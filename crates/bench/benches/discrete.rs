@@ -1,0 +1,103 @@
+//! Criterion benches for the Discrete exact solver (Theorem 4:
+//! exponential growth on PARTITION chains) and the warm-start
+//! ablation (DESIGN.md decision 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use models::{DiscreteModes, PowerLaw};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reclaim_core::discrete;
+use taskgraph::generators;
+
+const P: PowerLaw = PowerLaw::CUBIC;
+
+fn partition_instance(n: usize, seed: u64) -> (taskgraph::TaskGraph, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<f64> = (0..n)
+        .map(|_| (rng.gen_range(20..40) as f64) + 0.5)
+        .collect();
+    generators::partition_chain(&values)
+}
+
+fn bench_bnb_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("discrete-bnb-partition");
+    g.sample_size(10);
+    let modes = DiscreteModes::new(&[1.0, 2.0]).unwrap();
+    for n in [8usize, 12, 16] {
+        let (graph, d) = partition_instance(n, 5);
+        g.bench_with_input(BenchmarkId::new("cold", n), &n, |b, _| {
+            b.iter(|| {
+                discrete::exact_with_budget(&graph, d, &modes, P, u64::MAX, false).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("warm", n), &n, |b, _| {
+            b.iter(|| {
+                discrete::exact_with_budget(&graph, d, &modes, P, u64::MAX, true).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation (DESIGN.md decision 4): the chain-cover lower bound vs the
+/// static per-task bound, on a mapped execution graph where several
+/// processor chains are serialized.
+fn bench_chain_bound_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("discrete-bnb-chain-bound");
+    g.sample_size(10);
+    let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0, 2.5, 3.0]).unwrap();
+    let eg = bench::instances::random_execution_graph(4, 3, 2, 904);
+    let d = 1.5 * bench::instances::dmin(&eg, modes.s_max());
+    for (label, chain_bound) in [("static-bound", false), ("chain-bound", true)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                discrete::exact_with_config(
+                    &eg,
+                    d,
+                    &modes,
+                    P,
+                    discrete::BnbConfig { chain_bound, ..Default::default() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_chain_dp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("discrete-chain-dp");
+    g.sample_size(10);
+    let modes = DiscreteModes::new(&[1.0, 1.5, 2.0]).unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    let ws = generators::random_weights(24, 1.0, 4.0, &mut rng);
+    let chain = generators::chain(&ws);
+    let d = ws.iter().sum::<f64>() * 0.7;
+    for res in [200usize, 1000, 5000] {
+        g.bench_with_input(BenchmarkId::new("resolution", res), &res, |b, _| {
+            b.iter(|| discrete::chain_dp(&chain, d, &modes, P, res).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_round_up(c: &mut Criterion) {
+    let mut g = c.benchmark_group("discrete-round-up");
+    g.sample_size(10);
+    let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0, 2.5, 3.0]).unwrap();
+    let eg = bench::instances::random_execution_graph(5, 4, 2, 11);
+    let d = 1.5 * bench::instances::dmin(&eg, modes.s_max());
+    g.bench_function("prop1b-n20", |b| {
+        b.iter(|| discrete::round_up(&eg, d, &modes, P, Some(100)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bnb_growth,
+    bench_chain_bound_ablation,
+    bench_chain_dp,
+    bench_round_up
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerate every table and figure of the experiment suite.
+//!
+//! ```text
+//! cargo run -p bench --release --bin experiments            # all
+//! cargo run -p bench --release --bin experiments -- t3 f1   # subset
+//! cargo run -p bench --release --bin experiments -- --csv results/
+//! ```
+//!
+//! With `--csv DIR`, each experiment's table is also written to
+//! `DIR/<id>.csv`.
+
+use bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => {
+                csv_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--csv requires a directory argument");
+                    std::process::exit(2);
+                }));
+            }
+            "all" => {}
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let outcomes = if ids.is_empty() {
+        experiments::run_all()
+    } else {
+        ids.iter()
+            .map(|id| {
+                experiments::run_one(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment id: {id} (use t1..t7, f1..f4)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let mut failed = 0;
+    for o in &outcomes {
+        println!("{}", o.render());
+        if o.verdict.starts_with("FAIL") {
+            failed += 1;
+        }
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{}.csv", o.id.to_ascii_lowercase());
+            std::fs::write(&path, o.table.to_csv()).expect("write csv");
+            println!("(csv written to {path})\n");
+        }
+    }
+    println!(
+        "summary: {}/{} experiments PASS",
+        outcomes.len() - failed,
+        outcomes.len()
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,119 @@
+//! One module per experiment (see DESIGN.md §4 for the index).
+//!
+//! Every experiment returns a [`report::Table`] whose header row
+//! matches the columns recorded in EXPERIMENTS.md, plus a one-line
+//! verdict comparing the paper's claim with the measurement.
+
+pub mod f1;
+pub mod f2;
+pub mod f3;
+pub mod f4;
+pub mod t1;
+pub mod t2;
+pub mod t3;
+pub mod t4;
+pub mod t5;
+pub mod t6;
+pub mod t7;
+pub mod x1;
+pub mod x2;
+pub mod x3;
+pub mod x4;
+pub mod x5;
+
+use models::PowerLaw;
+use reclaim_core::continuous;
+use taskgraph::TaskGraph;
+
+/// The paper's power law, used by every experiment.
+pub const P: PowerLaw = PowerLaw::CUBIC;
+
+/// Outcome of one experiment: the data table plus a verdict line.
+pub struct Outcome {
+    /// Experiment id (`"T1"`, …).
+    pub id: &'static str,
+    /// What the paper claims.
+    pub claim: &'static str,
+    /// The measurements.
+    pub table: report::Table,
+    /// One-line pass/fail summary of claim vs measurement.
+    pub verdict: String,
+}
+
+impl Outcome {
+    /// Render the outcome for the terminal.
+    pub fn render(&self) -> String {
+        format!(
+            "== {} ==\nclaim: {}\n\n{}\nverdict: {}\n",
+            self.id, self.claim, self.table.render(), self.verdict
+        )
+    }
+}
+
+/// Continuous-model optimal energy (shape-dispatched solver).
+pub fn cont_energy(g: &TaskGraph, d: f64, s_max: Option<f64>) -> f64 {
+    let speeds = continuous::solve(g, d, s_max, P, None).expect("feasible instance");
+    continuous::energy_of_speeds(g, &speeds, P)
+}
+
+/// Continuous optimum restricted to the box `[s_min, s_max]` — the
+/// provable lower bound on any Discrete/Incremental optimum over the
+/// same speed range.
+pub fn cont_energy_boxed(g: &TaskGraph, d: f64, s_min: f64, s_max: f64) -> f64 {
+    let speeds =
+        continuous::solve_general_boxed(g, d, Some(s_min), Some(s_max), P, None)
+            .expect("feasible instance");
+    continuous::energy_of_speeds(g, &speeds, P)
+}
+
+/// Wall-clock of a closure, in seconds.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let v = f();
+    (v, start.elapsed().as_secs_f64())
+}
+
+/// Run every experiment in order.
+pub fn run_all() -> Vec<Outcome> {
+    vec![
+        t1::run(),
+        t2::run(),
+        t3::run(),
+        t4::run(),
+        t5::run(),
+        t6::run(),
+        t7::run(),
+        f1::run(),
+        f2::run(),
+        f3::run(),
+        f4::run(),
+        x1::run(),
+        x2::run(),
+        x3::run(),
+        x4::run(),
+        x5::run(),
+    ]
+}
+
+/// Run one experiment by id (case-insensitive), if it exists.
+pub fn run_one(id: &str) -> Option<Outcome> {
+    match id.to_ascii_lowercase().as_str() {
+        "t1" => Some(t1::run()),
+        "t2" => Some(t2::run()),
+        "t3" => Some(t3::run()),
+        "t4" => Some(t4::run()),
+        "t5" => Some(t5::run()),
+        "t6" => Some(t6::run()),
+        "t7" => Some(t7::run()),
+        "f1" => Some(f1::run()),
+        "f2" => Some(f2::run()),
+        "f3" => Some(f3::run()),
+        "f4" => Some(f4::run()),
+        "x1" => Some(x1::run()),
+        "x2" => Some(x2::run()),
+        "x3" => Some(x3::run()),
+        "x4" => Some(x4::run()),
+        "x5" => Some(x5::run()),
+        _ => None,
+    }
+}

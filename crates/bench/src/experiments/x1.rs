@@ -1,0 +1,64 @@
+//! X1 (extension, beyond the paper) — peak platform power across
+//! models: speed scaling flattens the power curve, and Vdd-Hopping's
+//! mode mixing momentarily spikes to the upper bracketing mode even
+//! when its *energy* tracks Continuous.
+
+use super::{Outcome, P};
+use crate::instances::{dmin, random_execution_graph, spread_modes};
+use models::EnergyModel;
+use reclaim_core::solve;
+use report::Table;
+use sim::simulate;
+
+/// Run the experiment.
+pub fn run() -> Outcome {
+    let mut table = Table::new(&[
+        "D/Dmin", "peak-Cont(W)", "peak-Vdd(W)", "peak-Disc(W)", "energy-Vdd/Cont",
+    ]);
+    let modes = spread_modes(5, 0.5, 3.0);
+    let mut flattening_ok = true;
+    let mut prev_peak = f64::INFINITY;
+
+    for &tight in &[1.05, 1.3, 1.8, 2.5, 4.0] {
+        let mut peaks = [0.0f64; 3];
+        let mut e_ratio = Vec::new();
+        for seed in 0..6u64 {
+            let g = random_execution_graph(4, 3, 2, 1200 + seed);
+            let d = tight * dmin(&g, modes.s_max());
+            let models = [
+                EnergyModel::continuous(modes.s_max()),
+                EnergyModel::VddHopping(modes.clone()),
+                EnergyModel::Discrete(modes.clone()),
+            ];
+            let mut energies = [0.0f64; 3];
+            for (k, model) in models.iter().enumerate() {
+                let sol = solve(&g, d, model, P).unwrap();
+                let res = simulate(&g, &sol.schedule, P).unwrap();
+                peaks[k] = peaks[k].max(res.trace.peak_power());
+                energies[k] = sol.energy;
+            }
+            e_ratio.push(energies[1] / energies[0]);
+        }
+        // Continuous peak power must fall as the deadline loosens.
+        if peaks[0] > prev_peak * (1.0 + 1e-9) {
+            flattening_ok = false;
+        }
+        prev_peak = peaks[0];
+        table.row(&[
+            format!("{tight:.2}"),
+            format!("{:.3}", peaks[0]),
+            format!("{:.3}", peaks[1]),
+            format!("{:.3}", peaks[2]),
+            format!("{:.4}", report::geo_mean(&e_ratio)),
+        ]);
+    }
+    Outcome {
+        id: "X1",
+        claim: "(extension) speed scaling flattens peak power; Vdd matches Continuous energy but spikes to bracketing modes",
+        table,
+        verdict: format!(
+            "{}: Continuous peak power decreases monotonically with the deadline; Vdd pays its energy parity with mode-level power spikes",
+            if flattening_ok { "PASS" } else { "FAIL" }
+        ),
+    }
+}

@@ -1,0 +1,135 @@
+//! Instance ensembles shared by experiments and criterion benches.
+//!
+//! Every generator is seeded for reproducibility. The canonical random
+//! workload follows the paper's setting: an application DAG is mapped
+//! onto identical processors by list scheduling (the "given" mapping),
+//! and the solvers then work on the resulting execution graph.
+
+use mapping::{list_schedule, Priority};
+use models::DiscreteModes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taskgraph::analysis::critical_path_weight;
+use taskgraph::{generators, TaskGraph};
+
+/// The minimum feasible deadline at top speed `s_max` (deadlines in
+/// experiments are expressed as multiples `D = tightness · dmin`).
+pub fn dmin(g: &TaskGraph, s_max: f64) -> f64 {
+    critical_path_weight(g) / s_max
+}
+
+/// A random layered application DAG mapped onto `procs` processors by
+/// critical-path list scheduling; returns the **execution graph**
+/// (application edges + serialization edges).
+pub fn random_execution_graph(
+    layers: usize,
+    width: usize,
+    procs: usize,
+    seed: u64,
+) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let app = generators::layered_dag(layers, width, 0.35, 1.0, 5.0, &mut rng);
+    let m = list_schedule(&app, procs, Priority::BottomLevel);
+    m.execution_graph(&app)
+        .expect("list scheduling respects precedence")
+}
+
+/// `m` modes spread uniformly over `[lo, hi]` (inclusive endpoints).
+pub fn spread_modes(m: usize, lo: f64, hi: f64) -> DiscreteModes {
+    assert!(m >= 1);
+    let speeds: Vec<f64> = if m == 1 {
+        vec![hi]
+    } else {
+        (0..m)
+            .map(|i| lo + (hi - lo) * i as f64 / (m - 1) as f64)
+            .collect()
+    };
+    DiscreteModes::new(&speeds).expect("spread speeds are valid")
+}
+
+/// `m` modes over `[lo, hi]` with irregular spacing: endpoints fixed,
+/// interior points drawn uniformly. Used by T7 (Proposition 1(b)) to
+/// sweep the max-gap constant α.
+pub fn irregular_modes(m: usize, lo: f64, hi: f64, seed: u64) -> DiscreteModes {
+    assert!(m >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut speeds = vec![lo, hi];
+    for _ in 0..m.saturating_sub(2) {
+        speeds.push(rng.gen_range(lo..hi));
+    }
+    DiscreteModes::new(&speeds).expect("irregular speeds are valid")
+}
+
+/// A reproducible family of execution graphs (seeds `base..base+count`).
+pub struct Ensemble {
+    /// Number of layers in each application DAG.
+    pub layers: usize,
+    /// Tasks per layer.
+    pub width: usize,
+    /// Processors for the list-scheduled mapping.
+    pub procs: usize,
+    /// First seed.
+    pub base_seed: u64,
+    /// Number of instances.
+    pub count: usize,
+}
+
+impl Ensemble {
+    /// Materialize all execution graphs.
+    pub fn graphs(&self) -> Vec<TaskGraph> {
+        (0..self.count)
+            .map(|k| {
+                random_execution_graph(
+                    self.layers,
+                    self.width,
+                    self.procs,
+                    self.base_seed + k as u64,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execution_graph_is_reproducible() {
+        let a = random_execution_graph(4, 3, 2, 7);
+        let b = random_execution_graph(4, 3, 2, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.n(), 12);
+    }
+
+    #[test]
+    fn spread_modes_endpoints() {
+        let m = spread_modes(5, 0.5, 2.5);
+        assert_eq!(m.m(), 5);
+        assert_eq!(m.s_min(), 0.5);
+        assert_eq!(m.s_max(), 2.5);
+        assert!((m.max_gap() - 0.5).abs() < 1e-12);
+        let one = spread_modes(1, 0.5, 2.5);
+        assert_eq!(one.speeds(), &[2.5]);
+    }
+
+    #[test]
+    fn irregular_modes_keep_endpoints() {
+        let m = irregular_modes(6, 1.0, 3.0, 42);
+        assert_eq!(m.s_min(), 1.0);
+        assert_eq!(m.s_max(), 3.0);
+        assert!(m.m() <= 6 && m.m() >= 2);
+    }
+
+    #[test]
+    fn ensemble_counts() {
+        let e = Ensemble { layers: 3, width: 2, procs: 2, base_seed: 1, count: 4 };
+        assert_eq!(e.graphs().len(), 4);
+    }
+
+    #[test]
+    fn dmin_is_cp_over_smax() {
+        let g = generators::chain(&[2.0, 2.0]);
+        assert!((dmin(&g, 2.0) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,255 @@
+//! `reclaim` — solve MinEnergy(Ĝ, D) instances from the command line.
+//!
+//! ```text
+//! reclaim solve <instance-file> [--dot]
+//! reclaim sweep <instance-file> [--points N] [--lo F] [--hi F]
+//! reclaim dmin  <instance-file>
+//! reclaim check <instance-file>
+//! ```
+//!
+//! See `crates/cli/src/instance.rs` for the instance format.
+
+use models::PowerLaw;
+use reclaim_cli::pareto::energy_curve;
+use reclaim_cli::{parse, Instance};
+use report::Table;
+use taskgraph::analysis::critical_path_weight;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reclaim <command> <instance-file> [options]\n\
+         commands:\n\
+           solve    — solve the instance, print the schedule [--dot]\n\
+           simulate — solve, then replay in the discrete-event simulator\n\
+           gantt    — per-processor Gantt chart (needs proc lines) [--width N]\n\
+           sweep    — energy–deadline curve [--points N] [--lo F] [--hi F]\n\
+           dmin     — minimum feasible deadline at top speed\n\
+           check    — parse and validate the instance only\n\
+           gen      — generate an instance: reclaim gen <family> [params…]\n\
+                      [--procs P] [--model M] [--tightness T] [--seed S]\n\
+                      families: fft lu stencil ge dac chain fork tree sp layered"
+    );
+    std::process::exit(2);
+}
+
+fn generate_command(args: &[String]) {
+    let Some(family) = args.first() else { usage() };
+    let mut params = Vec::new();
+    let mut opts = reclaim_cli::GenOptions::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--procs" => {
+                opts.procs = args[i + 1].parse().expect("--procs P");
+                i += 2;
+            }
+            "--model" => {
+                opts.model = args[i + 1].clone();
+                i += 2;
+            }
+            "--tightness" => {
+                opts.tightness = args[i + 1].parse().expect("--tightness T");
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = args[i + 1].parse().expect("--seed S");
+                i += 2;
+            }
+            v => {
+                params.push(v.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("bad family parameter {v:?}");
+                    std::process::exit(2);
+                }));
+                i += 1;
+            }
+        }
+    }
+    match reclaim_cli::generate(family, &params, &opts) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("gen failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn load(path: &str) -> Instance {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `gen` takes a family spec, not an instance file.
+    if args.first().map(String::as_str) == Some("gen") {
+        return generate_command(&args[1..]);
+    }
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        usage()
+    };
+    let flags = &args[2..];
+    let flag_value = |name: &str| -> Option<&str> {
+        flags
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| flags.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let p = PowerLaw::CUBIC;
+    let inst = load(path);
+
+    match cmd.as_str() {
+        "check" => {
+            println!(
+                "ok: {} tasks, {} edges, model {}, deadline {}",
+                inst.graph.n(),
+                inst.graph.m(),
+                inst.model.name(),
+                inst.deadline
+            );
+        }
+        "dmin" => {
+            match inst.model.top_speed() {
+                Some(sm) => {
+                    let dmin = critical_path_weight(&inst.graph) / sm;
+                    println!("{dmin}");
+                    if inst.deadline < dmin {
+                        eprintln!(
+                            "warning: instance deadline {} is below dmin — infeasible",
+                            inst.deadline
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                None => println!("0 (unbounded speeds: any positive deadline is feasible)"),
+            }
+        }
+        "solve" => {
+            let sol = reclaim_core::solve(&inst.graph, inst.deadline, &inst.model, p)
+                .unwrap_or_else(|e| {
+                    eprintln!("solve failed: {e}");
+                    std::process::exit(1);
+                });
+            println!(
+                "model {} | algorithm {} | energy {:.6} | makespan {:.6} / deadline {}",
+                inst.model.name(),
+                sol.algorithm,
+                sol.energy,
+                sol.schedule.makespan(&inst.graph),
+                inst.deadline
+            );
+            let mut t = Table::new(&["task", "weight", "start", "end", "profile"]);
+            for task in inst.graph.tasks() {
+                let prof = match sol.schedule.profile(task) {
+                    models::SpeedProfile::Constant(s) => format!("s={s:.4}"),
+                    models::SpeedProfile::Pieces(ps) => ps
+                        .iter()
+                        .map(|(s, d)| format!("{s:.3}x{d:.3}"))
+                        .collect::<Vec<_>>()
+                        .join(" + "),
+                };
+                t.row(&[
+                    format!("T{}", task.index()),
+                    format!("{:.3}", inst.graph.weight(task)),
+                    format!("{:.4}", sol.schedule.start(task)),
+                    format!("{:.4}", sol.schedule.completion(task, &inst.graph)),
+                    prof,
+                ]);
+            }
+            println!("\n{}", t.render());
+            if flags.iter().any(|a| a == "--dot") {
+                let sched = &sol.schedule;
+                let g = &inst.graph;
+                println!(
+                    "{}",
+                    taskgraph::dot::to_dot_with(g, |i| {
+                        let t = taskgraph::TaskId(i);
+                        Some(format!(
+                            "[{:.3},{:.3}]",
+                            sched.start(t),
+                            sched.completion(t, g)
+                        ))
+                    })
+                );
+            }
+        }
+        "simulate" => {
+            let sol = reclaim_core::solve(&inst.graph, inst.deadline, &inst.model, p)
+                .unwrap_or_else(|e| {
+                    eprintln!("solve failed: {e}");
+                    std::process::exit(1);
+                });
+            let res = sim::simulate(&inst.graph, &sol.schedule, p).unwrap_or_else(|e| {
+                eprintln!("simulation rejected the schedule: {e}");
+                std::process::exit(1);
+            });
+            if let Some(m) = &inst.mapping {
+                sim::check_mapping_consistency(&inst.graph, &sol.schedule, m)
+                    .unwrap_or_else(|e| {
+                        eprintln!("mapping inconsistency: {e}");
+                        std::process::exit(1);
+                    });
+            }
+            println!(
+                "replayed {} tasks | integrated energy {:.6} (analytic {:.6}) | \
+                 makespan {:.6} | peak power {:.4} W | avg power {:.4} W",
+                res.events.len(),
+                res.energy,
+                sol.energy,
+                res.makespan,
+                res.trace.peak_power(),
+                res.trace.average_power()
+            );
+            let drift = (res.energy - sol.energy).abs() / sol.energy.max(1e-12);
+            if drift > 1e-6 {
+                eprintln!("warning: energy drift {drift:.2e} between trace and analytic");
+                std::process::exit(1);
+            }
+        }
+        "gantt" => {
+            let Some(m) = &inst.mapping else {
+                eprintln!("gantt needs 'proc' lines in the instance");
+                std::process::exit(2);
+            };
+            let width: usize = flag_value("--width")
+                .map(|v| v.parse().expect("--width N"))
+                .unwrap_or(64);
+            let sol = reclaim_core::solve(&inst.graph, inst.deadline, &inst.model, p)
+                .unwrap_or_else(|e| {
+                    eprintln!("solve failed: {e}");
+                    std::process::exit(1);
+                });
+            println!("{}", sim::gantt(&inst.graph, &sol.schedule, m, width));
+        }
+        "sweep" => {
+            let points: usize = flag_value("--points")
+                .map(|v| v.parse().expect("--points N"))
+                .unwrap_or(8);
+            let lo: f64 = flag_value("--lo")
+                .map(|v| v.parse().expect("--lo F"))
+                .unwrap_or(1.05);
+            let hi: f64 = flag_value("--hi")
+                .map(|v| v.parse().expect("--hi F"))
+                .unwrap_or(4.0);
+            let curve = energy_curve(&inst.graph, &inst.model, p, points, lo, hi)
+                .unwrap_or_else(|e| {
+                    eprintln!("sweep failed: {e}");
+                    std::process::exit(1);
+                });
+            let mut t = Table::new(&["deadline", "energy"]);
+            for pt in &curve {
+                t.row(&[format!("{:.4}", pt.deadline), format!("{:.6}", pt.energy)]);
+            }
+            println!("{}", t.render());
+            let energies: Vec<f64> = curve.iter().map(|p| p.energy).collect();
+            println!("shape: {}", report::sparkline(&energies));
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,410 @@
+//! The plain-text instance format.
+//!
+//! ```text
+//! # comments start with '#'; blank lines ignored
+//! tasks 2.0 3.0 5.0 1.0          # task costs, ids 0..n in order
+//! edge 0 1                        # precedence T0 -> T1
+//! edge 0 2
+//! edge 1 3
+//! edge 2 3
+//! proc 0 1 3                      # optional: ordered list for one processor
+//! proc 2                          # (one 'proc' line per processor)
+//! deadline 8.0
+//! model continuous smax=2.0       # or: continuous  (unbounded)
+//! # model discrete 0.5 1.0 2.0
+//! # model vdd 0.5 1.0 2.0
+//! # model incremental smin=0.5 smax=3.0 delta=0.25
+//! ```
+//!
+//! When `proc` lines are present they must cover every task exactly
+//! once; the execution graph then gains the serialization edges. With
+//! no `proc` lines the graph is used as-is (it is already an execution
+//! graph).
+
+use mapping::Mapping;
+use models::{DiscreteModes, EnergyModel, IncrementalModes};
+use std::fmt;
+use taskgraph::{TaskGraph, TaskId};
+
+/// A parsed instance: execution graph + deadline + model.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The execution graph (serialization edges already added when a
+    /// mapping was given).
+    pub graph: TaskGraph,
+    /// The deadline `D`.
+    pub deadline: f64,
+    /// The energy model.
+    pub model: EnergyModel,
+    /// The mapping, if one was given.
+    pub mapping: Option<Mapping>,
+}
+
+/// Parse failure with a line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending directive (0 for global errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+fn parse_f64(line: usize, s: &str) -> Result<f64, ParseError> {
+    s.parse::<f64>()
+        .map_err(|_| ParseError { line, message: format!("not a number: {s:?}") })
+}
+
+fn parse_usize(line: usize, s: &str) -> Result<usize, ParseError> {
+    s.parse::<usize>()
+        .map_err(|_| ParseError { line, message: format!("not a task id: {s:?}") })
+}
+
+/// Parse `key=value` into `(key, value)`.
+fn parse_kv(line: usize, s: &str) -> Result<(&str, f64), ParseError> {
+    let Some((k, v)) = s.split_once('=') else {
+        return err(line, format!("expected key=value, got {s:?}"));
+    };
+    Ok((k, parse_f64(line, v)?))
+}
+
+/// Parse the instance format (see the module docs).
+pub fn parse(text: &str) -> Result<Instance, ParseError> {
+    let mut weights: Option<Vec<f64>> = None;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut procs: Vec<Vec<TaskId>> = Vec::new();
+    let mut deadline: Option<f64> = None;
+    let mut model: Option<EnergyModel> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().unwrap();
+        let rest: Vec<&str> = parts.collect();
+        match keyword {
+            "tasks" => {
+                if weights.is_some() {
+                    return err(line_no, "duplicate 'tasks' directive");
+                }
+                if rest.is_empty() {
+                    return err(line_no, "'tasks' needs at least one cost");
+                }
+                let ws: Result<Vec<f64>, _> =
+                    rest.iter().map(|s| parse_f64(line_no, s)).collect();
+                weights = Some(ws?);
+            }
+            "edge" => {
+                if rest.len() != 2 {
+                    return err(line_no, "'edge' needs exactly two task ids");
+                }
+                edges.push((parse_usize(line_no, rest[0])?, parse_usize(line_no, rest[1])?));
+            }
+            "proc" => {
+                let ids: Result<Vec<usize>, _> =
+                    rest.iter().map(|s| parse_usize(line_no, s)).collect();
+                procs.push(ids?.into_iter().map(TaskId).collect());
+            }
+            "deadline" => {
+                if rest.len() != 1 {
+                    return err(line_no, "'deadline' needs exactly one value");
+                }
+                deadline = Some(parse_f64(line_no, rest[0])?);
+            }
+            "model" => {
+                if model.is_some() {
+                    return err(line_no, "duplicate 'model' directive");
+                }
+                model = Some(parse_model(line_no, &rest)?);
+            }
+            other => return err(line_no, format!("unknown directive {other:?}")),
+        }
+    }
+
+    let weights = weights.ok_or(ParseError {
+        line: 0,
+        message: "missing 'tasks' directive".into(),
+    })?;
+    let deadline = deadline.ok_or(ParseError {
+        line: 0,
+        message: "missing 'deadline' directive".into(),
+    })?;
+    let model = model.ok_or(ParseError {
+        line: 0,
+        message: "missing 'model' directive".into(),
+    })?;
+
+    let app = TaskGraph::new(weights, &edges)
+        .map_err(|e| ParseError { line: 0, message: e.to_string() })?;
+    let (graph, mapping) = if procs.is_empty() {
+        (app, None)
+    } else {
+        let m = Mapping::new(procs);
+        let exec = m
+            .execution_graph(&app)
+            .map_err(|e| ParseError { line: 0, message: format!("bad mapping: {e}") })?;
+        (exec, Some(m))
+    };
+    Ok(Instance { graph, deadline, model, mapping })
+}
+
+fn parse_model(line: usize, rest: &[&str]) -> Result<EnergyModel, ParseError> {
+    let Some((&kind, args)) = rest.split_first() else {
+        return err(line, "'model' needs a kind (continuous|discrete|vdd|incremental)");
+    };
+    match kind {
+        "continuous" => {
+            let mut s_max = None;
+            for a in args {
+                let (k, v) = parse_kv(line, a)?;
+                match k {
+                    "smax" => s_max = Some(v),
+                    other => return err(line, format!("unknown continuous option {other:?}")),
+                }
+            }
+            Ok(match s_max {
+                Some(m) => EnergyModel::continuous(m),
+                None => EnergyModel::continuous_unbounded(),
+            })
+        }
+        "discrete" | "vdd" => {
+            let speeds: Result<Vec<f64>, _> =
+                args.iter().map(|s| parse_f64(line, s)).collect();
+            let modes = DiscreteModes::new(&speeds?)
+                .map_err(|e| ParseError { line, message: e.to_string() })?;
+            Ok(if kind == "discrete" {
+                EnergyModel::Discrete(modes)
+            } else {
+                EnergyModel::VddHopping(modes)
+            })
+        }
+        "incremental" => {
+            let (mut smin, mut smax, mut delta) = (None, None, None);
+            for a in args {
+                let (k, v) = parse_kv(line, a)?;
+                match k {
+                    "smin" => smin = Some(v),
+                    "smax" => smax = Some(v),
+                    "delta" => delta = Some(v),
+                    other => {
+                        return err(line, format!("unknown incremental option {other:?}"))
+                    }
+                }
+            }
+            let (Some(lo), Some(hi), Some(d)) = (smin, smax, delta) else {
+                return err(line, "incremental needs smin=, smax=, delta=");
+            };
+            let modes = IncrementalModes::new(lo, hi, d)
+                .map_err(|e| ParseError { line, message: e.to_string() })?;
+            Ok(EnergyModel::Incremental(modes))
+        }
+        other => err(line, format!("unknown model kind {other:?}")),
+    }
+}
+
+/// Render an instance back into the text format. Round-trip safe:
+/// parsing the output reproduces the same execution graph, deadline
+/// and model (serialization edges are written explicitly and
+/// deduplicated on re-parse).
+pub fn write(
+    graph: &TaskGraph,
+    mapping: Option<&Mapping>,
+    deadline: f64,
+    model: &EnergyModel,
+) -> String {
+    let mut out = String::new();
+    out.push_str("tasks");
+    for &w in graph.weights() {
+        out.push_str(&format!(" {w}"));
+    }
+    out.push('\n');
+    for &(u, v) in graph.edges() {
+        out.push_str(&format!("edge {} {}\n", u.index(), v.index()));
+    }
+    if let Some(m) = mapping {
+        for list in m.lists() {
+            out.push_str("proc");
+            for t in list {
+                out.push_str(&format!(" {}", t.index()));
+            }
+            out.push('\n');
+        }
+    }
+    out.push_str(&format!("deadline {deadline}\n"));
+    match model {
+        EnergyModel::Continuous { s_max: None } => out.push_str("model continuous\n"),
+        EnergyModel::Continuous { s_max: Some(m) } => {
+            out.push_str(&format!("model continuous smax={m}\n"))
+        }
+        EnergyModel::Discrete(m) => {
+            out.push_str("model discrete");
+            for s in m.speeds() {
+                out.push_str(&format!(" {s}"));
+            }
+            out.push('\n');
+        }
+        EnergyModel::VddHopping(m) => {
+            out.push_str("model vdd");
+            for s in m.speeds() {
+                out.push_str(&format!(" {s}"));
+            }
+            out.push('\n');
+        }
+        EnergyModel::Incremental(m) => out.push_str(&format!(
+            "model incremental smin={} smax={} delta={}\n",
+            m.s_min(),
+            m.s_max(),
+            m.delta()
+        )),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIAMOND: &str = "\
+# a diamond on two processors
+tasks 2.0 3.0 5.0 1.0
+edge 0 1
+edge 0 2
+edge 1 3
+edge 2 3
+proc 0 1 3
+proc 2
+deadline 8.0
+model continuous smax=2.0
+";
+
+    #[test]
+    fn parses_full_instance() {
+        let inst = parse(DIAMOND).unwrap();
+        assert_eq!(inst.graph.n(), 4);
+        // Serialization edge (1,3) already exists; mapping adds (0,1)
+        // (already exists) — so the edge count matches the app graph.
+        assert_eq!(inst.deadline, 8.0);
+        assert_eq!(inst.model.name(), "Continuous");
+        assert!(inst.mapping.is_some());
+    }
+
+    #[test]
+    fn parses_all_model_kinds() {
+        for (spec, name) in [
+            ("model continuous", "Continuous"),
+            ("model discrete 1.0 2.0", "Discrete"),
+            ("model vdd 1.0 2.0", "Vdd-Hopping"),
+            ("model incremental smin=0.5 smax=2.0 delta=0.5", "Incremental"),
+        ] {
+            let text = format!("tasks 1.0\ndeadline 2.0\n{spec}\n");
+            let inst = parse(&text).unwrap();
+            assert_eq!(inst.model.name(), name, "{spec}");
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "tasks 1.0 2.0\nedge 0 5\ndeadline 1.0\nmodel continuous\n";
+        // Edge endpoint out of range surfaces as a graph error.
+        assert!(parse(text).is_err());
+        let text = "tasks 1.0\nbogus 1\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn missing_directives_are_reported() {
+        assert!(parse("deadline 1.0\nmodel continuous\n")
+            .unwrap_err()
+            .message
+            .contains("tasks"));
+        assert!(parse("tasks 1.0\nmodel continuous\n")
+            .unwrap_err()
+            .message
+            .contains("deadline"));
+        assert!(parse("tasks 1.0\ndeadline 1.0\n")
+            .unwrap_err()
+            .message
+            .contains("model"));
+    }
+
+    #[test]
+    fn bad_mapping_is_rejected() {
+        let text = "\
+tasks 1.0 1.0
+edge 0 1
+proc 1 0
+deadline 5.0
+model continuous
+";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("mapping"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# hi\ntasks 1.0  # inline comment\n\ndeadline 2.0\nmodel continuous\n";
+        let inst = parse(text).unwrap();
+        assert_eq!(inst.graph.n(), 1);
+    }
+
+    #[test]
+    fn duplicate_directives_rejected() {
+        let text = "tasks 1.0\ntasks 2.0\ndeadline 1.0\nmodel continuous\n";
+        assert!(parse(text).unwrap_err().message.contains("duplicate"));
+        let text = "tasks 1.0\ndeadline 1.0\nmodel continuous\nmodel continuous\n";
+        assert!(parse(text).unwrap_err().message.contains("duplicate"));
+    }
+
+    #[test]
+    fn write_parse_roundtrip() {
+        let inst = parse(DIAMOND).unwrap();
+        let text = write(&inst.graph, inst.mapping.as_ref(), inst.deadline, &inst.model);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.graph, inst.graph);
+        assert_eq!(back.deadline, inst.deadline);
+        assert_eq!(back.model, inst.model);
+        // All four model kinds survive a round-trip.
+        for spec in [
+            "model continuous\n",
+            "model continuous smax=1.5\n",
+            "model discrete 1.0 2.0\n",
+            "model vdd 1.0 2.0\n",
+            "model incremental smin=0.5 smax=2.0 delta=0.5\n",
+        ] {
+            let text = format!("tasks 1.0\ndeadline 2.0\n{spec}");
+            let a = parse(&text).unwrap();
+            let again = write(&a.graph, None, a.deadline, &a.model);
+            let b = parse(&again).unwrap();
+            assert_eq!(a.model, b.model, "{spec}");
+        }
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let inst = parse(DIAMOND).unwrap();
+        let sol = reclaim_core::solve(
+            &inst.graph,
+            inst.deadline,
+            &inst.model,
+            models::PowerLaw::CUBIC,
+        )
+        .unwrap();
+        assert!(sol.energy > 0.0);
+    }
+}

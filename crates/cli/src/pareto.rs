@@ -1,0 +1,121 @@
+//! Energy–deadline trade-off curves (the bicriteria view: the paper
+//! is a bi-criteria optimization — energy under a deadline — so the
+//! natural user-facing output is the whole Pareto front).
+
+use models::{EnergyModel, PowerLaw};
+use reclaim_core::{solve, SolveError};
+use taskgraph::analysis::critical_path_weight;
+use taskgraph::TaskGraph;
+
+/// One point of the energy–deadline curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// The deadline.
+    pub deadline: f64,
+    /// The optimal (or approximated, per the model's solver) energy.
+    pub energy: f64,
+}
+
+/// Sample the energy–deadline curve at `points` geometrically spaced
+/// deadlines between the minimum feasible deadline (scaled by
+/// `lo_factor > 1`) and `hi_factor` times it.
+///
+/// Returns an error only if the model has no top speed **and**
+/// `lo_factor`/`hi_factor` are invalid; infeasible leading points are
+/// skipped.
+pub fn energy_curve(
+    g: &TaskGraph,
+    model: &EnergyModel,
+    p: PowerLaw,
+    points: usize,
+    lo_factor: f64,
+    hi_factor: f64,
+) -> Result<Vec<ParetoPoint>, SolveError> {
+    assert!(points >= 2, "need at least two points");
+    if !(lo_factor > 0.0 && hi_factor > lo_factor) {
+        return Err(SolveError::Unsupported(
+            "need 0 < lo_factor < hi_factor".into(),
+        ));
+    }
+    // Reference deadline: critical path at top speed (or at unit speed
+    // for unbounded Continuous, where any D > 0 is feasible).
+    let base = match model.top_speed() {
+        Some(sm) => critical_path_weight(g) / sm,
+        None => critical_path_weight(g),
+    };
+    let mut out = Vec::with_capacity(points);
+    let ratio = (hi_factor / lo_factor).powf(1.0 / (points - 1) as f64);
+    let mut f = lo_factor;
+    for _ in 0..points {
+        let d = f * base;
+        match solve(g, d, model, p) {
+            Ok(sol) => out.push(ParetoPoint { deadline: d, energy: sol.energy }),
+            Err(SolveError::Infeasible { .. }) => {} // skip the infeasible edge
+            Err(e) => return Err(e),
+        }
+        f *= ratio;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use models::DiscreteModes;
+    use taskgraph::generators;
+
+    #[test]
+    fn curve_is_monotone_decreasing() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.0]);
+        let modes = DiscreteModes::new(&[0.5, 1.0, 2.0]).unwrap();
+        for model in [
+            EnergyModel::continuous(2.0),
+            EnergyModel::VddHopping(modes.clone()),
+            EnergyModel::Discrete(modes),
+        ] {
+            let curve =
+                energy_curve(&g, &model, PowerLaw::CUBIC, 6, 1.05, 4.0).unwrap();
+            assert!(curve.len() >= 5, "{}", model.name());
+            for w in curve.windows(2) {
+                assert!(w[0].deadline < w[1].deadline);
+                assert!(
+                    w[1].energy <= w[0].energy * (1.0 + 1e-6),
+                    "{}: energy must decrease along the front",
+                    model.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_continuous_uses_unit_speed_reference() {
+        let g = generators::chain(&[2.0, 2.0]);
+        let curve = energy_curve(
+            &g,
+            &EnergyModel::continuous_unbounded(),
+            PowerLaw::CUBIC,
+            3,
+            0.5,
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(curve.len(), 3);
+        // E(D) = (Σw)³/D²: check the first point.
+        let d0 = curve[0].deadline;
+        assert!((curve[0].energy - 64.0 / (d0 * d0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_factors() {
+        let g = generators::chain(&[1.0]);
+        assert!(energy_curve(
+            &g,
+            &EnergyModel::continuous_unbounded(),
+            PowerLaw::CUBIC,
+            3,
+            2.0,
+            1.0
+        )
+        .is_err());
+    }
+}

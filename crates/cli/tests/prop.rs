@@ -1,0 +1,71 @@
+//! Property tests for the instance format: write→parse round-trips
+//! over randomized instances, and parser robustness on mangled input.
+
+use models::{DiscreteModes, EnergyModel, IncrementalModes};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reclaim_cli::{parse, write};
+use taskgraph::generators;
+
+fn arb_model() -> impl Strategy<Value = EnergyModel> {
+    prop_oneof![
+        Just(EnergyModel::continuous_unbounded()),
+        (0.5f64..4.0).prop_map(EnergyModel::continuous),
+        prop::collection::vec(0.25f64..4.0, 1..6).prop_map(|v| {
+            EnergyModel::Discrete(DiscreteModes::new(&v).unwrap())
+        }),
+        prop::collection::vec(0.25f64..4.0, 1..6).prop_map(|v| {
+            EnergyModel::VddHopping(DiscreteModes::new(&v).unwrap())
+        }),
+        (0.25f64..1.0, 1.5f64..4.0, 0.05f64..0.75).prop_map(|(lo, hi, d)| {
+            EnergyModel::Incremental(IncrementalModes::new(lo, hi, d).unwrap())
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn write_parse_roundtrip(
+        n in 1usize..15,
+        seed in any::<u64>(),
+        model in arb_model(),
+        deadline in 0.5f64..50.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_dag(n, 0.3, 0.5, 5.0, &mut rng);
+        let text = write(&g, None, deadline, &model);
+        let back = parse(&text).expect("own output must parse");
+        prop_assert_eq!(&back.graph, &g);
+        prop_assert_eq!(back.deadline, deadline);
+        prop_assert_eq!(&back.model, &model);
+        // Idempotence: writing again produces the same text.
+        let text2 = write(&back.graph, None, back.deadline, &back.model);
+        prop_assert_eq!(text, text2);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_is_panic_free(input in "[ -~\n]{0,300}") {
+        let _ = parse(&input);
+    }
+
+    /// Mangling one random line of a valid instance yields either a
+    /// clean error or a still-valid instance — never a panic.
+    #[test]
+    fn parser_survives_line_mangling(
+        seed in any::<u64>(),
+        junk in "[a-z0-9 .]{0,20}",
+        line_pick in any::<u16>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_dag(5, 0.4, 0.5, 3.0, &mut rng);
+        let text = write(&g, None, 5.0, &EnergyModel::continuous_unbounded());
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let k = (line_pick as usize) % lines.len();
+        lines[k] = junk.clone();
+        let _ = parse(&lines.join("\n"));
+    }
+}

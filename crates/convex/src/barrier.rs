@@ -1,0 +1,370 @@
+//! Log-barrier interior-point method for convex, separable objectives
+//! under sparse linear inequality constraints.
+
+use crate::linalg::Matrix;
+use std::fmt;
+
+/// A sparse linear inequality `Σ coeffs·x ≤ rhs`.
+#[derive(Debug, Clone)]
+pub struct LinearConstraint {
+    /// `(variable, coefficient)` pairs.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl LinearConstraint {
+    /// Build a constraint.
+    pub fn new(coeffs: Vec<(usize, f64)>, rhs: f64) -> LinearConstraint {
+        LinearConstraint { coeffs, rhs }
+    }
+
+    /// Slack `rhs − Σ coeffs·x` at a point (positive = strictly
+    /// feasible).
+    pub fn slack(&self, x: &[f64]) -> f64 {
+        self.rhs - self.coeffs.iter().map(|&(j, c)| c * x[j]).sum::<f64>()
+    }
+}
+
+/// A convex objective with a **diagonal** Hessian (separable in the
+/// coordinates). Coordinates where the objective has no curvature may
+/// report zero — the constraint barrier supplies the missing
+/// curvature.
+///
+/// Implementations must return `f64::INFINITY` outside the objective's
+/// domain (e.g. a non-positive duration): the line search treats an
+/// infinite value as an inadmissible step.
+pub trait Objective {
+    /// Objective value at `x` (`INFINITY` outside the domain).
+    fn value(&self, x: &[f64]) -> f64;
+    /// Gradient at `x` (only called at domain points).
+    fn gradient(&self, x: &[f64], grad: &mut [f64]);
+    /// Diagonal of the Hessian at `x`.
+    fn hess_diag(&self, x: &[f64], hess: &mut [f64]);
+}
+
+/// Why the barrier solver gave up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConvexError {
+    /// The initial point violates a constraint (or is on its boundary).
+    InfeasibleStart { constraint: usize, slack: f64 },
+    /// The Newton system could not be solved (NaN/Inf propagation).
+    NumericalFailure,
+    /// The inner Newton loop failed to make progress.
+    Stalled,
+}
+
+impl fmt::Display for ConvexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvexError::InfeasibleStart { constraint, slack } => {
+                write!(f, "start point violates constraint {constraint} (slack {slack})")
+            }
+            ConvexError::NumericalFailure => write!(f, "Newton system unsolvable"),
+            ConvexError::Stalled => write!(f, "barrier method stalled"),
+        }
+    }
+}
+
+impl std::error::Error for ConvexError {}
+
+/// Result of a successful barrier minimization.
+#[derive(Debug, Clone)]
+pub struct BarrierSolution {
+    /// The (strictly feasible) minimizer approximation.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Final duality-gap bound `m / t`.
+    pub gap: f64,
+    /// Total Newton steps across all centering problems.
+    pub newton_steps: usize,
+}
+
+/// The log-barrier solver (Boyd & Vandenberghe §11.3).
+#[derive(Debug, Clone)]
+pub struct BarrierSolver {
+    /// Target duality-gap bound `m / t` (absolute, also scaled by the
+    /// objective magnitude).
+    pub tol: f64,
+    /// Barrier weight multiplier per outer iteration.
+    pub mu: f64,
+    /// Maximum Newton steps per centering problem.
+    pub max_newton: usize,
+    /// Line-search backtracking factor.
+    pub beta: f64,
+    /// Line-search sufficient-decrease factor.
+    pub alpha: f64,
+}
+
+impl Default for BarrierSolver {
+    fn default() -> Self {
+        BarrierSolver { tol: 1e-9, mu: 20.0, max_newton: 80, beta: 0.5, alpha: 0.25 }
+    }
+}
+
+impl BarrierSolver {
+    /// A solver targeting relative precision `1/K` on the objective
+    /// (used by the Theorem 5 approximation scheme: polynomial in `K`
+    /// because the outer loop needs `O(log(m·K))` centering steps).
+    pub fn with_precision_k(k: u32) -> BarrierSolver {
+        BarrierSolver { tol: 1.0 / (k.max(1) as f64), ..BarrierSolver::default() }
+    }
+
+    /// Minimize `obj` subject to `constraints`, starting from the
+    /// strictly feasible `x0`.
+    pub fn minimize(
+        &self,
+        obj: &dyn Objective,
+        constraints: &[LinearConstraint],
+        x0: Vec<f64>,
+    ) -> Result<BarrierSolution, ConvexError> {
+        let n = x0.len();
+        let m = constraints.len().max(1) as f64;
+        // Verify strict feasibility of the start.
+        for (k, c) in constraints.iter().enumerate() {
+            let s = c.slack(&x0);
+            if !(s > 0.0) {
+                return Err(ConvexError::InfeasibleStart { constraint: k, slack: s });
+            }
+        }
+        if !obj.value(&x0).is_finite() {
+            return Err(ConvexError::InfeasibleStart { constraint: usize::MAX, slack: f64::NAN });
+        }
+
+        let mut x = x0;
+        let mut t = 1.0;
+        let mut newton_steps = 0usize;
+        let mut grad = vec![0.0; n];
+        let mut hdiag = vec![0.0; n];
+
+        loop {
+            // ---- Centering: Newton on  t·f(x) − Σ log(slack_k).
+            let mut made_progress = false;
+            for _ in 0..self.max_newton {
+                // Gradient and Hessian of the barrier-augmented
+                // objective.
+                obj.gradient(&x, &mut grad);
+                obj.hess_diag(&x, &mut hdiag);
+                let mut g: Vec<f64> = grad.iter().map(|v| t * v).collect();
+                let mut h = Matrix::zeros(n);
+                for (i, &d) in hdiag.iter().enumerate() {
+                    h.add(i, i, t * d);
+                }
+                for c in constraints {
+                    let s = c.slack(&x);
+                    let inv = 1.0 / s;
+                    for &(j, cj) in &c.coeffs {
+                        g[j] += cj * inv;
+                    }
+                    let inv2 = inv * inv;
+                    for &(j1, c1) in &c.coeffs {
+                        for &(j2, c2) in &c.coeffs {
+                            h.add(j1, j2, c1 * c2 * inv2);
+                        }
+                    }
+                }
+                let dx = h.solve_spd(&g).ok_or(ConvexError::NumericalFailure)?;
+                // Newton decrement λ² = gᵀ H⁻¹ g = gᵀ dx.
+                let lambda2: f64 = g.iter().zip(&dx).map(|(a, b)| a * b).sum();
+                if !lambda2.is_finite() {
+                    return Err(ConvexError::NumericalFailure);
+                }
+                if lambda2 / 2.0 <= 1e-12 {
+                    break;
+                }
+                // Backtracking line search on the true barrier value
+                // with strict-feasibility checks.
+                let f0 = self.barrier_value(obj, constraints, &x, t);
+                let gdx: f64 = lambda2; // directional derivative of −dx is −λ²
+                let mut step = 1.0;
+                let mut accepted = false;
+                for _ in 0..60 {
+                    let cand: Vec<f64> =
+                        x.iter().zip(&dx).map(|(xi, di)| xi - step * di).collect();
+                    let feasible = constraints.iter().all(|c| c.slack(&cand) > 0.0);
+                    if feasible {
+                        let fv = self.barrier_value(obj, constraints, &cand, t);
+                        if fv.is_finite() && fv <= f0 - self.alpha * step * gdx {
+                            x = cand;
+                            accepted = true;
+                            break;
+                        }
+                    }
+                    step *= self.beta;
+                }
+                newton_steps += 1;
+                if !accepted {
+                    // Cannot decrease further: either converged to
+                    // machine precision or stuck.
+                    break;
+                }
+                made_progress = true;
+            }
+            // ---- Outer loop: shrink the gap bound.
+            let value = obj.value(&x);
+            let gap = m / t;
+            let scale = 1.0 + value.abs();
+            if gap <= self.tol * scale {
+                return Ok(BarrierSolution { x, value, gap, newton_steps });
+            }
+            if !made_progress && gap > self.tol * scale * 1e3 {
+                return Err(ConvexError::Stalled);
+            }
+            t *= self.mu;
+        }
+    }
+
+    fn barrier_value(
+        &self,
+        obj: &dyn Objective,
+        constraints: &[LinearConstraint],
+        x: &[f64],
+        t: f64,
+    ) -> f64 {
+        let f = obj.value(x);
+        if !f.is_finite() {
+            return f64::INFINITY;
+        }
+        let mut v = t * f;
+        for c in constraints {
+            let s = c.slack(x);
+            if s <= 0.0 {
+                return f64::INFINITY;
+            }
+            v -= s.ln();
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// f(x) = Σ (x_i − c_i)².
+    struct Quadratic {
+        center: Vec<f64>,
+    }
+
+    impl Objective for Quadratic {
+        fn value(&self, x: &[f64]) -> f64 {
+            x.iter().zip(&self.center).map(|(a, b)| (a - b) * (a - b)).sum()
+        }
+        fn gradient(&self, x: &[f64], g: &mut [f64]) {
+            for i in 0..x.len() {
+                g[i] = 2.0 * (x[i] - self.center[i]);
+            }
+        }
+        fn hess_diag(&self, x: &[f64], h: &mut [f64]) {
+            for v in h.iter_mut().take(x.len()) {
+                *v = 2.0;
+            }
+        }
+    }
+
+    /// f(d) = Σ w_i³/d_i² — the paper's objective.
+    struct EnergyObj {
+        w: Vec<f64>,
+    }
+
+    impl Objective for EnergyObj {
+        fn value(&self, x: &[f64]) -> f64 {
+            if x.iter().any(|&d| d <= 0.0) {
+                return f64::INFINITY;
+            }
+            x.iter().zip(&self.w).map(|(&d, &w)| w * w * w / (d * d)).sum()
+        }
+        fn gradient(&self, x: &[f64], g: &mut [f64]) {
+            for i in 0..x.len() {
+                let w = self.w[i];
+                g[i] = -2.0 * w * w * w / (x[i] * x[i] * x[i]);
+            }
+        }
+        fn hess_diag(&self, x: &[f64], h: &mut [f64]) {
+            for i in 0..x.len() {
+                let w = self.w[i];
+                h[i] = 6.0 * w * w * w / (x[i] * x[i] * x[i] * x[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_interior_optimum() {
+        // Minimize (x−1)² + (y−2)² with x,y ≤ 10 (inactive): optimum
+        // at the center.
+        let obj = Quadratic { center: vec![1.0, 2.0] };
+        let cons = vec![
+            LinearConstraint::new(vec![(0, 1.0)], 10.0),
+            LinearConstraint::new(vec![(1, 1.0)], 10.0),
+        ];
+        let sol = BarrierSolver::default()
+            .minimize(&obj, &cons, vec![5.0, 5.0])
+            .unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-4, "{:?}", sol.x);
+        assert!((sol.x[1] - 2.0).abs() < 1e-4);
+        assert!(sol.value < 1e-7);
+    }
+
+    #[test]
+    fn active_constraint_optimum() {
+        // Minimize (x−3)² s.t. x ≤ 2 → x* = 2.
+        let obj = Quadratic { center: vec![3.0] };
+        let cons = vec![LinearConstraint::new(vec![(0, 1.0)], 2.0)];
+        let sol = BarrierSolver::default()
+            .minimize(&obj, &cons, vec![0.0])
+            .unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-4, "{:?}", sol.x);
+        assert!((sol.value - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn chain_energy_matches_closed_form() {
+        // min w1³/d1² + w2³/d2²  s.t.  d1 + d2 ≤ D.
+        // Optimal split d_i ∝ w_i  → energy (w1+w2)³/D².
+        let (w1, w2, dl) = (2.0, 3.0, 4.0);
+        let obj = EnergyObj { w: vec![w1, w2] };
+        let cons = vec![LinearConstraint::new(vec![(0, 1.0), (1, 1.0)], dl)];
+        let sol = BarrierSolver::default()
+            .minimize(&obj, &cons, vec![dl / 3.0, dl / 3.0])
+            .unwrap();
+        let expect = (w1 + w2) * (w1 + w2) * (w1 + w2) / (dl * dl);
+        assert!(
+            (sol.value - expect).abs() < 1e-6 * expect,
+            "value {} vs {}",
+            sol.value,
+            expect
+        );
+        // d_i proportional to w_i.
+        assert!((sol.x[0] / sol.x[1] - w1 / w2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn infeasible_start_rejected() {
+        let obj = Quadratic { center: vec![0.0] };
+        let cons = vec![LinearConstraint::new(vec![(0, 1.0)], 1.0)];
+        let err = BarrierSolver::default()
+            .minimize(&obj, &cons, vec![2.0])
+            .unwrap_err();
+        assert!(matches!(err, ConvexError::InfeasibleStart { constraint: 0, .. }));
+    }
+
+    #[test]
+    fn boundary_start_rejected() {
+        let obj = Quadratic { center: vec![0.0] };
+        let cons = vec![LinearConstraint::new(vec![(0, 1.0)], 1.0)];
+        // Slack exactly zero: not strictly feasible.
+        let err = BarrierSolver::default()
+            .minimize(&obj, &cons, vec![1.0])
+            .unwrap_err();
+        assert!(matches!(err, ConvexError::InfeasibleStart { .. }));
+    }
+
+    #[test]
+    fn precision_k_constructor() {
+        let s = BarrierSolver::with_precision_k(100);
+        assert!((s.tol - 0.01).abs() < 1e-12);
+        let s0 = BarrierSolver::with_precision_k(0);
+        assert!((s0.tol - 1.0).abs() < 1e-12);
+    }
+}

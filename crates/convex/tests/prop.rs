@@ -1,0 +1,117 @@
+//! Property tests for the barrier solver against closed-form optima.
+
+use convex::{BarrierSolver, LinearConstraint, Objective};
+use proptest::prelude::*;
+
+/// Separable quadratic `Σ (x_i − c_i)²`.
+struct Quad {
+    center: Vec<f64>,
+}
+
+impl Objective for Quad {
+    fn value(&self, x: &[f64]) -> f64 {
+        x.iter().zip(&self.center).map(|(a, b)| (a - b) * (a - b)).sum()
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        for i in 0..x.len() {
+            g[i] = 2.0 * (x[i] - self.center[i]);
+        }
+    }
+    fn hess_diag(&self, x: &[f64], h: &mut [f64]) {
+        for v in h.iter_mut().take(x.len()) {
+            *v = 2.0;
+        }
+    }
+}
+
+/// The paper's energy objective `Σ w³/d²`.
+struct Energy {
+    w: Vec<f64>,
+}
+
+impl Objective for Energy {
+    fn value(&self, x: &[f64]) -> f64 {
+        if x.iter().any(|&d| d <= 0.0) {
+            return f64::INFINITY;
+        }
+        x.iter().zip(&self.w).map(|(&d, &w)| w * w * w / (d * d)).sum()
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        for i in 0..x.len() {
+            let w = self.w[i];
+            g[i] = -2.0 * w * w * w / (x[i] * x[i] * x[i]);
+        }
+    }
+    fn hess_diag(&self, x: &[f64], h: &mut [f64]) {
+        for i in 0..x.len() {
+            let w = self.w[i];
+            h[i] = 6.0 * w * w * w / (x[i] * x[i] * x[i] * x[i]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Box-constrained quadratic: the optimum is the clamped center.
+    #[test]
+    fn quadratic_clamps_to_box(
+        centers in prop::collection::vec(-5.0f64..5.0, 1..5),
+        ubs in prop::collection::vec(-2.0f64..4.0, 5),
+    ) {
+        let n = centers.len();
+        let ub = &ubs[..n];
+        let obj = Quad { center: centers.clone() };
+        let cons: Vec<LinearConstraint> = (0..n)
+            .map(|i| LinearConstraint::new(vec![(i, 1.0)], ub[i]))
+            .collect();
+        // Strictly feasible start: below every bound.
+        let x0: Vec<f64> = ub.iter().map(|u| u - 1.0).collect();
+        let sol = BarrierSolver::default().minimize(&obj, &cons, x0).unwrap();
+        for i in 0..n {
+            let expect = centers[i].min(ub[i]);
+            prop_assert!((sol.x[i] - expect).abs() < 2e-3,
+                "x[{i}] = {} expected {expect}", sol.x[i]);
+        }
+    }
+
+    /// Chain-energy: min Σ w_i³/d_i² with Σ d ≤ D has the closed form
+    /// (Σ w)³/D² at d_i ∝ w_i.
+    #[test]
+    fn chain_energy_closed_form(
+        ws in prop::collection::vec(0.2f64..4.0, 1..6),
+        d in 1.0f64..10.0,
+    ) {
+        let n = ws.len();
+        let obj = Energy { w: ws.clone() };
+        let cons = vec![LinearConstraint::new(
+            (0..n).map(|i| (i, 1.0)).collect(), d)];
+        let x0 = vec![d / (n as f64 + 1.0); n];
+        let sol = BarrierSolver::default().minimize(&obj, &cons, x0).unwrap();
+        let total: f64 = ws.iter().sum();
+        let expect = total * total * total / (d * d);
+        prop_assert!((sol.value - expect).abs() <= 1e-5 * expect,
+            "{} vs {}", sol.value, expect);
+    }
+
+    /// The solver never returns an infeasible point.
+    #[test]
+    fn solution_respects_constraints(
+        centers in prop::collection::vec(-3.0f64..3.0, 2..4),
+        rhs in 0.5f64..4.0,
+    ) {
+        let n = centers.len();
+        let obj = Quad { center: centers };
+        // Σ x ≤ rhs plus x_i ≥ −10 (as −x_i ≤ 10).
+        let mut cons = vec![LinearConstraint::new(
+            (0..n).map(|i| (i, 1.0)).collect(), rhs)];
+        for i in 0..n {
+            cons.push(LinearConstraint::new(vec![(i, -1.0)], 10.0));
+        }
+        let x0 = vec![-1.0; n];
+        let sol = BarrierSolver::default().minimize(&obj, &cons, x0).unwrap();
+        for c in &cons {
+            prop_assert!(c.slack(&sol.x) >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,833 @@
+//! Discrete-model solvers (Theorem 4: NP-complete; Proposition 1(b):
+//! rounding approximation).
+//!
+//! * [`exact`] — branch-and-bound over per-task mode choices. Worst
+//!   case exponential, as Theorem 4's NP-completeness predicts;
+//!   experiment T4 measures the blow-up on PARTITION-style instances.
+//! * [`chain_dp`] — pseudo-polynomial dynamic program for chains with
+//!   a discretized time budget (NP-completeness is *weak* for chains).
+//! * [`round_up`] — Proposition 1(b): solve the Continuous relaxation
+//!   boxed to `[s_1, s_m]` to precision `1/K` and round each speed up
+//!   to the next mode; approximation factor
+//!   `(1 + α/s_1)^{α_pow−1} · (1 + 1/K)^{α_pow−1}` where
+//!   `α = max_i (s_{i+1} − s_i)` (for the paper's cubic power law the
+//!   exponent is 2, matching the stated `(1+α/s₁)²(1+1/K)²`).
+
+use crate::continuous;
+use crate::error::SolveError;
+use models::{DiscreteModes, PowerLaw};
+use taskgraph::analysis::{critical_path_weight, topo_order};
+use taskgraph::TaskGraph;
+
+/// Branch-and-bound search statistics (experiment T4 evidence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BnbStats {
+    /// Search-tree nodes expanded.
+    pub nodes: u64,
+    /// Nodes cut by the deadline-feasibility bound.
+    pub pruned_infeasible: u64,
+    /// Nodes cut by the energy lower bound.
+    pub pruned_bound: u64,
+}
+
+/// Result of an exact Discrete solve.
+#[derive(Debug, Clone)]
+pub struct ExactSolution {
+    /// Optimal per-task speeds (each one of the modes).
+    pub speeds: Vec<f64>,
+    /// Optimal energy.
+    pub energy: f64,
+    /// Search statistics.
+    pub stats: BnbStats,
+}
+
+/// Hard cap on explored nodes before giving up (exponential searches
+/// must fail loudly rather than hang).
+pub const DEFAULT_NODE_BUDGET: u64 = 20_000_000;
+
+/// Branch-and-bound configuration (the knobs ablated in
+/// `benches/discrete.rs`).
+#[derive(Debug, Clone, Copy)]
+pub struct BnbConfig {
+    /// Hard cap on explored nodes.
+    pub node_budget: u64,
+    /// Seed the incumbent with the Proposition 1(b) rounding.
+    pub warm_start: bool,
+    /// Use the dynamic chain-cover lower bound in addition to the
+    /// static per-task bound (see [`exact_with_config`]).
+    pub chain_bound: bool,
+}
+
+impl Default for BnbConfig {
+    fn default() -> Self {
+        BnbConfig { node_budget: DEFAULT_NODE_BUDGET, warm_start: true, chain_bound: true }
+    }
+}
+
+/// Exact branch-and-bound (Theorem 4's problem).
+///
+/// Tasks are assigned in topological order, so each task's earliest
+/// completion is known as soon as it is assigned. Pruning:
+///
+/// 1. **Deadline**: completion of the assigned prefix plus the
+///    top-speed tail of the heaviest remaining path must fit in `D`;
+/// 2. **Energy bound**: accumulated energy plus a per-task admissible
+///    lower bound (each unassigned task at the slowest mode that can
+///    possibly meet its window) must beat the incumbent.
+///
+/// The initial incumbent is the [`round_up`] approximation, so the
+/// search starts with a provably near-optimal bound.
+pub fn exact(
+    g: &TaskGraph,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+) -> Result<ExactSolution, SolveError> {
+    exact_with_config(g, deadline, modes, p, BnbConfig::default())
+}
+
+/// [`exact`] with an explicit node budget and optional warm start
+/// (kept for convenience; [`exact_with_config`] exposes all knobs).
+pub fn exact_with_budget(
+    g: &TaskGraph,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+    node_budget: u64,
+    warm_start: bool,
+) -> Result<ExactSolution, SolveError> {
+    exact_with_config(
+        g,
+        deadline,
+        modes,
+        p,
+        BnbConfig { node_budget, warm_start, ..Default::default() },
+    )
+}
+
+/// [`exact`] with full branch-and-bound configuration.
+///
+/// When [`BnbConfig::chain_bound`] is on, the energy lower bound for
+/// the unassigned suffix additionally uses a **chain-cover bound**:
+/// the graph is covered once by disjoint directed paths (for execution
+/// graphs these are essentially the per-processor chains), and the
+/// remaining members of each chain must run *serially* between the
+/// chain's dynamic earliest start (known exactly from the assigned
+/// prefix) and the deadline — by convexity their energy is at least
+/// `W·max(W/window, s₁)^{α−1}` for total remaining work `W`. This is
+/// much tighter than per-task windows on serialized workloads.
+pub fn exact_with_config(
+    g: &TaskGraph,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+    cfg: BnbConfig,
+) -> Result<ExactSolution, SolveError> {
+    continuous::check_feasible(g, deadline, Some(modes.s_max()))?;
+    let n = g.n();
+    let order = topo_order(g);
+    let speeds_list = modes.speeds();
+    let m = speeds_list.len();
+
+    // Position of each task in the topological order.
+    let mut pos = vec![0usize; n];
+    for (k, &t) in order.iter().enumerate() {
+        pos[t.0] = k;
+    }
+
+    // Top-speed tail below each task: heaviest path weight from the
+    // task (exclusive) to a sink, divided by s_m.
+    let s_top = modes.s_max();
+    let mut tail = vec![0.0f64; n];
+    for &t in order.iter().rev() {
+        tail[t.0] = g
+            .succs(t)
+            .iter()
+            .map(|&s| tail[s.0] + g.weight(s) / s_top)
+            .fold(0.0f64, f64::max);
+    }
+    // Earliest possible start (everything at top speed) per task.
+    let mut est = vec![0.0f64; n];
+    for &t in &order {
+        est[t.0] = g
+            .preds(t)
+            .iter()
+            .map(|&q| est[q.0] + g.weight(q) / s_top)
+            .fold(0.0f64, f64::max);
+    }
+
+    // Per-task energy lower bound: the slowest mode that fits the
+    // task's widest possible window [est, D − tail].
+    let mut task_lb = vec![0.0f64; n];
+    let mut min_mode_idx = vec![0usize; n];
+    for i in 0..n {
+        let window = deadline - tail[i] - est[i];
+        if window <= 0.0 {
+            return Err(SolveError::Infeasible {
+                deadline,
+                min_makespan: critical_path_weight(g) / s_top,
+            });
+        }
+        let need = g.weights()[i] / window;
+        let s_lb = modes.round_up(need).ok_or(SolveError::Infeasible {
+            deadline,
+            min_makespan: critical_path_weight(g) / s_top,
+        })?;
+        min_mode_idx[i] = speeds_list
+            .iter()
+            .position(|&s| s >= s_lb - 1e-12)
+            .unwrap();
+        task_lb[i] = p.energy_at_speed(g.weights()[i], s_lb);
+    }
+    // Suffix sums of the per-task lower bounds along the topo order.
+    let mut suffix_lb = vec![0.0f64; n + 1];
+    for k in (0..n).rev() {
+        suffix_lb[k] = suffix_lb[k + 1] + task_lb[order[k].0];
+    }
+
+    // Greedy chain cover: disjoint directed paths covering every task,
+    // each following graph edges (so topo positions increase along a
+    // chain and the assigned members of a chain are always a prefix).
+    let mut chain_of = vec![usize::MAX; n];
+    let mut chains: Vec<Vec<usize>> = Vec::new();
+    for &t in &order {
+        if chain_of[t.0] != usize::MAX {
+            continue;
+        }
+        let id = chains.len();
+        let mut chain = vec![t.0];
+        chain_of[t.0] = id;
+        let mut cur = t;
+        'extend: loop {
+            for &s in g.succs(cur) {
+                if chain_of[s.0] == usize::MAX {
+                    chain_of[s.0] = id;
+                    chain.push(s.0);
+                    cur = s;
+                    continue 'extend;
+                }
+            }
+            break;
+        }
+        chains.push(chain);
+    }
+    // Per-chain suffix sums of work and static per-task bounds, and
+    // per-depth frontiers (index of the chain's first unassigned
+    // member when the topo prefix of length k is assigned).
+    let nc = chains.len();
+    let mut chain_w_suffix: Vec<Vec<f64>> = Vec::with_capacity(nc);
+    let mut chain_lb_suffix: Vec<Vec<f64>> = Vec::with_capacity(nc);
+    for chain in &chains {
+        let len = chain.len();
+        let mut ws = vec![0.0f64; len + 1];
+        let mut lbs = vec![0.0f64; len + 1];
+        for j in (0..len).rev() {
+            ws[j] = ws[j + 1] + g.weights()[chain[j]];
+            lbs[j] = lbs[j + 1] + task_lb[chain[j]];
+        }
+        chain_w_suffix.push(ws);
+        chain_lb_suffix.push(lbs);
+    }
+    let mut chain_frontier: Vec<Vec<usize>> = vec![vec![0usize; n + 2]; nc];
+    for (c, chain) in chains.iter().enumerate() {
+        let mut j = 0usize;
+        for k in 0..=(n + 1) {
+            while j < chain.len() && pos[chain[j]] < k {
+                j += 1;
+            }
+            chain_frontier[c][k] = j;
+        }
+    }
+    let s_bottom = modes.s_min();
+
+    // Warm start: the Proposition 1(b) rounding (guaranteed feasible).
+    let mut best_energy = f64::INFINITY;
+    let mut best_speeds: Option<Vec<f64>> = None;
+    if cfg.warm_start {
+        if let Ok(speeds) = round_up(g, deadline, modes, p, None) {
+            best_energy = continuous::energy_of_speeds(g, &speeds, p);
+            best_speeds = Some(speeds);
+        }
+    }
+
+    // Candidate mode order per task: start from the cheapest possibly
+    // feasible mode (slowest that fits the widest window), faster ones
+    // after.
+    let mut cand: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for i in 0..n {
+        cand.push((min_mode_idx[i]..m).collect());
+    }
+
+    // Iterative DFS over (depth, mode-choice) with explicit stacks to
+    // allow deep graphs.
+    struct Frame {
+        /// Index into `cand[task]` tried next.
+        next: usize,
+    }
+    let mut stats = BnbStats { nodes: 0, pruned_infeasible: 0, pruned_bound: 0 };
+    let mut assign = vec![usize::MAX; n]; // mode index per task
+    let mut ecl = vec![0.0f64; n]; // completion of assigned tasks
+    let mut energy_prefix = vec![0.0f64; n + 1];
+    let mut frames: Vec<Frame> = vec![Frame { next: 0 }];
+
+    'search: while let Some(depth) = frames.len().checked_sub(1) {
+        if depth == n {
+            // Complete assignment: record incumbent.
+            if energy_prefix[n] < best_energy {
+                best_energy = energy_prefix[n];
+                let mut speeds = vec![0.0; n];
+                for i in 0..n {
+                    speeds[i] = speeds_list[assign[i]];
+                }
+                best_speeds = Some(speeds);
+            }
+            frames.pop();
+            continue;
+        }
+        let task = order[depth];
+        let i = task.0;
+        loop {
+            let frame = frames.last_mut().unwrap();
+            let Some(&mode_idx) = cand[i].get(frame.next) else {
+                // Exhausted this task's modes: backtrack.
+                assign[i] = usize::MAX;
+                frames.pop();
+                continue 'search;
+            };
+            frame.next += 1;
+            stats.nodes += 1;
+            if stats.nodes > cfg.node_budget {
+                return Err(SolveError::Numerical(format!(
+                    "branch-and-bound node budget {} exhausted",
+                    cfg.node_budget
+                )));
+            }
+            let s = speeds_list[mode_idx];
+            let d = g.weights()[i] / s;
+            let start = g
+                .preds(task)
+                .iter()
+                .map(|&q| ecl[q.0])
+                .fold(0.0f64, f64::max);
+            let completion = start + d;
+            // Deadline prune: this task's completion plus the fastest
+            // possible tail must fit.
+            if completion + tail[i] > deadline * (1.0 + 1e-12) {
+                stats.pruned_infeasible += 1;
+                continue;
+            }
+            let e = energy_prefix[depth] + p.energy_at_speed(g.weights()[i], s);
+            // Energy lower bound for the unassigned suffix.
+            ecl[i] = completion; // chain frontiers read it
+            let rem_lb = if cfg.chain_bound {
+                let d1 = depth + 1;
+                let mut b = 0.0f64;
+                for c in 0..nc {
+                    let j = chain_frontier[c][d1];
+                    let chain = &chains[c];
+                    if j >= chain.len() {
+                        continue;
+                    }
+                    let w_rem = chain_w_suffix[c][j];
+                    let lb_static = chain_lb_suffix[c][j];
+                    let f = chain[j];
+                    let mut start_f = est[f];
+                    for &q in g.preds(taskgraph::TaskId(f)) {
+                        if pos[q.0] < d1 {
+                            start_f = start_f.max(ecl[q.0]);
+                        }
+                    }
+                    let window = deadline - start_f;
+                    let lb_chain = if window <= 0.0 {
+                        f64::INFINITY
+                    } else {
+                        p.energy_at_speed(w_rem, (w_rem / window).max(s_bottom))
+                    };
+                    b += lb_static.max(lb_chain);
+                }
+                b
+            } else {
+                suffix_lb[depth + 1]
+            };
+            if e + rem_lb >= best_energy * (1.0 - 1e-12) {
+                stats.pruned_bound += 1;
+                if cfg.chain_bound {
+                    // A faster mode frees the chain windows, so the
+                    // dynamic bound is not monotone in the mode index:
+                    // try the next candidate instead of backtracking.
+                    continue;
+                }
+                // Static bound: candidates are ordered by increasing
+                // speed, hence increasing energy — once a mode's bound
+                // fails, all faster modes fail too.
+                assign[i] = usize::MAX;
+                frames.pop();
+                continue 'search;
+            }
+            assign[i] = mode_idx;
+            energy_prefix[depth + 1] = e;
+            frames.push(Frame { next: 0 });
+            continue 'search;
+        }
+    }
+
+    match best_speeds {
+        Some(speeds) => Ok(ExactSolution { speeds, energy: best_energy, stats }),
+        None => Err(SolveError::Infeasible {
+            deadline,
+            min_makespan: critical_path_weight(g) / s_top,
+        }),
+    }
+}
+
+/// Pseudo-polynomial DP for **chains** (single processor): discretize
+/// the deadline into `resolution` slots, round every mode duration
+/// *up* to the grid (so the result is always feasible), and run a
+/// knapsack-style DP over (task, time-budget).
+///
+/// Complexity `O(n · m · resolution)`. As `resolution → ∞` the energy
+/// converges to the exact optimum from above; this is the standard
+/// weak-NP-hardness picture for chains.
+pub fn chain_dp(
+    g: &TaskGraph,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+    resolution: usize,
+) -> Result<(Vec<f64>, f64), SolveError> {
+    if !taskgraph::structure::is_chain(g) {
+        return Err(SolveError::Unsupported("chain_dp requires a chain".into()));
+    }
+    continuous::check_feasible(g, deadline, Some(modes.s_max()))?;
+    assert!(resolution >= 1);
+    let n = g.n();
+    let _ = modes.m();
+    let slot = deadline / resolution as f64;
+    // Chain order = topological order.
+    let order = topo_order(g);
+
+    // dp[τ] = min energy to finish the processed prefix within τ slots.
+    let inf = f64::INFINITY;
+    let mut dp = vec![inf; resolution + 1];
+    let mut choice = vec![vec![usize::MAX; resolution + 1]; n];
+    dp[0] = 0.0;
+    for (k, &t) in order.iter().enumerate() {
+        let w = g.weight(t);
+        let mut next = vec![inf; resolution + 1];
+        for (j, &s) in modes.speeds().iter().enumerate() {
+            let slots = ((w / s) / slot - 1e-9).ceil().max(1.0) as usize;
+            if slots > resolution {
+                continue;
+            }
+            let e = p.energy_at_speed(w, s);
+            for tau in slots..=resolution {
+                let cand = dp[tau - slots] + e;
+                if cand < next[tau] {
+                    next[tau] = cand;
+                    choice[k][tau] = j;
+                }
+            }
+        }
+        dp = next;
+    }
+    if !dp[resolution].is_finite() {
+        return Err(SolveError::Infeasible {
+            deadline,
+            min_makespan: g.total_work() / modes.s_max(),
+        });
+    }
+    // Reconstruct.
+    let mut speeds = vec![0.0; n];
+    let mut tau = resolution;
+    for k in (0..n).rev() {
+        let t = order[k];
+        let j = choice[k][tau];
+        debug_assert_ne!(j, usize::MAX);
+        let s = modes.speeds()[j];
+        speeds[t.0] = s;
+        let slots = ((g.weight(t) / s) / slot - 1e-9).ceil().max(1.0) as usize;
+        tau -= slots;
+    }
+    let energy = continuous::energy_of_speeds(g, &speeds, p);
+    Ok((speeds, energy))
+}
+
+/// Proposition 1(b): the rounding approximation for arbitrary mode
+/// sets.
+///
+/// Solves the Continuous relaxation **boxed to `[s_1, s_m]`** (so the
+/// relaxation optimum is a lower bound on the Discrete optimum, whose
+/// speeds all lie in that box) to relative precision `1/K`, then
+/// rounds each speed up to the next mode. Rounding up only shrinks
+/// durations, so feasibility is preserved; each speed grows by at most
+/// `1 + α/s_1`, giving the stated `(1 + α/s_1)² (1 + 1/K)²` energy
+/// factor for the cubic power law.
+pub fn round_up(
+    g: &TaskGraph,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+    precision_k: Option<u32>,
+) -> Result<Vec<f64>, SolveError> {
+    let relaxed = if modes.m() == 1 {
+        // Degenerate box: the only choice is the single mode.
+        vec![modes.s_min(); g.n()]
+    } else {
+        continuous::solve_general_boxed(
+            g,
+            deadline,
+            Some(modes.s_min()),
+            Some(modes.s_max()),
+            p,
+            precision_k,
+        )?
+    };
+    let mut speeds = Vec::with_capacity(g.n());
+    for &s in &relaxed {
+        let rounded = modes.round_up(s).unwrap_or(modes.s_max());
+        speeds.push(rounded);
+    }
+    // Feasibility paranoia: rounding up can only shrink durations, but
+    // verify the makespan anyway (the relaxation is numerical).
+    let durations: Vec<f64> = g
+        .weights()
+        .iter()
+        .zip(&speeds)
+        .map(|(&w, &s)| w / s)
+        .collect();
+    let mk = taskgraph::analysis::makespan(g, &durations);
+    if mk > deadline * (1.0 + 1e-6) {
+        return Err(SolveError::Numerical(format!(
+            "rounded schedule misses the deadline ({mk} > {deadline})"
+        )));
+    }
+    Ok(speeds)
+}
+
+/// Classic DVFS greedy-slowdown baseline (not from the paper — a
+/// standard practical heuristic included for comparison, see
+/// experiment X2).
+///
+/// Start from every task at the **fastest** mode, then repeatedly pick
+/// the single-task slowdown (one mode step) with the largest energy
+/// saving that keeps the schedule feasible, until no slowdown fits the
+/// deadline. `O(n²·m)` worst case — polynomial, hence (by Theorem 4)
+/// necessarily suboptimal on some instances; the experiments quantify
+/// the gap against [`exact`] and [`round_up`].
+pub fn greedy_slowdown(
+    g: &TaskGraph,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+) -> Result<Vec<f64>, SolveError> {
+    continuous::check_feasible(g, deadline, Some(modes.s_max()))?;
+    let n = g.n();
+    let speeds_list = modes.speeds();
+    let m = speeds_list.len();
+    // Mode index per task, fastest first.
+    let mut idx = vec![m - 1; n];
+    let durations = |idx: &[usize]| -> Vec<f64> {
+        (0..n)
+            .map(|i| g.weights()[i] / speeds_list[idx[i]])
+            .collect()
+    };
+    if taskgraph::analysis::makespan(g, &durations(&idx)) > deadline * (1.0 + 1e-12) {
+        return Err(SolveError::Infeasible {
+            deadline,
+            min_makespan: critical_path_weight(g) / modes.s_max(),
+        });
+    }
+    loop {
+        // Best single-step slowdown.
+        let mut best: Option<(usize, f64)> = None;
+        let base_durs = durations(&idx);
+        let slackv = taskgraph::analysis::slack(g, &base_durs, deadline);
+        for i in 0..n {
+            if idx[i] == 0 {
+                continue;
+            }
+            let s_now = speeds_list[idx[i]];
+            let s_next = speeds_list[idx[i] - 1];
+            let extra = g.weights()[i] / s_next - g.weights()[i] / s_now;
+            // Cheap necessary test first: the task's own slack.
+            if extra > slackv[i] * (1.0 + 1e-12) + 1e-12 {
+                continue;
+            }
+            let gain = p.energy_at_speed(g.weights()[i], s_now)
+                - p.energy_at_speed(g.weights()[i], s_next);
+            match best {
+                Some((_, g0)) if g0 >= gain => {}
+                _ => best = Some((i, gain)),
+            }
+        }
+        let Some((i, _)) = best else { break };
+        idx[i] -= 1;
+        // The per-task slack test is exact for a single change
+        // (lengthening one task by no more than its total slack keeps
+        // every path within the deadline), so no rollback is needed.
+        debug_assert!(
+            taskgraph::analysis::makespan(g, &durations(&idx))
+                <= deadline * (1.0 + 1e-9)
+        );
+    }
+    Ok(idx.into_iter().map(|j| speeds_list[j]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskgraph::generators;
+
+    const P: PowerLaw = PowerLaw::CUBIC;
+
+    fn modes(v: &[f64]) -> DiscreteModes {
+        DiscreteModes::new(v).unwrap()
+    }
+
+    #[test]
+    fn exact_single_task_picks_slowest_feasible_mode() {
+        let g = generators::chain(&[4.0]);
+        let ms = modes(&[1.0, 2.0, 4.0]);
+        // Deadline 2.5: speed must be ≥ 1.6 → mode 2.
+        let sol = exact(&g, 2.5, &ms, P).unwrap();
+        assert_eq!(sol.speeds, vec![2.0]);
+        assert!((sol.energy - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_two_task_chain_enumerates_combinations() {
+        // Same instance as the Vdd test: best single-speed assignment
+        // is (3,1) or (1,3) with energy 30.
+        let g = generators::chain(&[3.0, 3.0]);
+        let ms = modes(&[1.0, 3.0]);
+        let sol = exact(&g, 4.0, &ms, P).unwrap();
+        assert!((sol.energy - 30.0).abs() < 1e-9, "energy {}", sol.energy);
+        let mut sp = sol.speeds.clone();
+        sp.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(sp, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_diamond() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let ms = modes(&[0.8, 1.6, 2.4]);
+        let d = 5.0;
+        let sol = exact(&g, d, &ms, P).unwrap();
+        // Brute force all 3^4 assignments.
+        let mut best = f64::INFINITY;
+        let sp = ms.speeds();
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    for e in 0..3 {
+                        let speeds = [sp[a], sp[b], sp[c], sp[e]];
+                        let durations: Vec<f64> = g
+                            .weights()
+                            .iter()
+                            .zip(&speeds)
+                            .map(|(&w, &s)| w / s)
+                            .collect();
+                        if taskgraph::analysis::makespan(&g, &durations) <= d + 1e-12 {
+                            let en =
+                                continuous::energy_of_speeds(&g, &speeds, P);
+                            best = best.min(en);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            (sol.energy - best).abs() < 1e-9,
+            "bnb {} vs brute force {}",
+            sol.energy,
+            best
+        );
+    }
+
+    #[test]
+    fn exact_dominates_continuous_relaxation() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let ms = modes(&[0.8, 1.6, 2.4]);
+        let d = 5.0;
+        let sol = exact(&g, d, &ms, P).unwrap();
+        let cont = continuous::solve(&g, d, Some(ms.s_max()), P, None).unwrap();
+        let e_cont = continuous::energy_of_speeds(&g, &cont, P);
+        assert!(sol.energy >= e_cont * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn exact_infeasible_detected() {
+        let g = generators::chain(&[4.0]);
+        let ms = modes(&[1.0, 2.0]);
+        assert!(matches!(
+            exact(&g, 1.5, &ms, P),
+            Err(SolveError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn round_up_is_feasible_and_within_bound() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let ms = modes(&[0.8, 1.4, 2.0, 2.6]);
+        let d = 5.0;
+        let speeds = round_up(&g, d, &ms, P, Some(100)).unwrap();
+        for &s in &speeds {
+            assert!(ms.contains(s), "{s} is not a mode");
+        }
+        let e_alg = continuous::energy_of_speeds(&g, &speeds, P);
+        let opt = exact(&g, d, &ms, P).unwrap().energy;
+        let bound = (1.0 + ms.max_gap() / ms.s_min()).powi(2) * (1.0 + 1.0 / 100.0f64).powi(2);
+        assert!(
+            e_alg <= opt * bound * (1.0 + 1e-6),
+            "ratio {} exceeds bound {bound}",
+            e_alg / opt
+        );
+        assert!(e_alg >= opt * (1.0 - 1e-9), "cannot beat the optimum");
+    }
+
+    #[test]
+    fn round_up_single_mode() {
+        let g = generators::chain(&[2.0, 2.0]);
+        let ms = modes(&[2.0]);
+        let speeds = round_up(&g, 2.0, &ms, P, None).unwrap();
+        assert_eq!(speeds, vec![2.0, 2.0]);
+        // Too tight for the single mode.
+        assert!(round_up(&g, 1.5, &ms, P, None).is_err());
+    }
+
+    #[test]
+    fn chain_dp_matches_exact_at_fine_resolution() {
+        let g = generators::chain(&[3.0, 2.0, 4.0]);
+        let ms = modes(&[1.0, 2.0, 3.0]);
+        let d = 6.0;
+        let (speeds, energy) = chain_dp(&g, d, &ms, P, 6000).unwrap();
+        // Feasible.
+        let durations: Vec<f64> = g
+            .weights()
+            .iter()
+            .zip(&speeds)
+            .map(|(&w, &s)| w / s)
+            .collect();
+        assert!(taskgraph::analysis::makespan(&g, &durations) <= d + 1e-9);
+        let exact_e = exact(&g, d, &ms, P).unwrap().energy;
+        assert!(
+            energy <= exact_e * 1.02 + 1e-9 && energy >= exact_e * (1.0 - 1e-9),
+            "dp {energy} vs exact {exact_e}"
+        );
+    }
+
+    #[test]
+    fn chain_dp_rejects_non_chains() {
+        let g = generators::diamond([1.0; 4]);
+        let ms = modes(&[1.0]);
+        assert!(matches!(
+            chain_dp(&g, 10.0, &ms, P, 100),
+            Err(SolveError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn chain_dp_infeasible() {
+        let g = generators::chain(&[4.0, 4.0]);
+        let ms = modes(&[1.0, 2.0]);
+        assert!(matches!(
+            chain_dp(&g, 3.0, &ms, P, 300),
+            Err(SolveError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn chain_bound_preserves_optimum() {
+        // The chain-cover bound must be admissible: switching it on
+        // and off gives the same optimal energy, only different node
+        // counts.
+        let g = taskgraph::TaskGraph::new(
+            vec![1.0, 2.0, 3.0, 1.5, 2.5, 1.0],
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (2, 4), (3, 5), (4, 5)],
+        )
+        .unwrap();
+        let ms = modes(&[0.6, 1.2, 1.8, 2.4, 3.0]);
+        let d = 1.4 * taskgraph::analysis::critical_path_weight(&g) / ms.s_max();
+        let on = exact_with_config(
+            &g,
+            d,
+            &ms,
+            P,
+            BnbConfig { chain_bound: true, ..Default::default() },
+        )
+        .unwrap();
+        let off = exact_with_config(
+            &g,
+            d,
+            &ms,
+            P,
+            BnbConfig { chain_bound: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            (on.energy - off.energy).abs() < 1e-9 * on.energy,
+            "{} vs {}",
+            on.energy,
+            off.energy
+        );
+    }
+
+    #[test]
+    fn node_budget_respected() {
+        // A partition chain large enough to exceed a tiny budget.
+        let values: Vec<f64> = (0..14).map(|i| 1.0 + (i as f64) * 0.37).collect();
+        let (g, d) = generators::partition_chain(&values);
+        let ms = modes(&[1.0, 2.0]);
+        let res = exact_with_budget(&g, d, &ms, P, 10, false);
+        assert!(matches!(res, Err(SolveError::Numerical(_))));
+    }
+
+    #[test]
+    fn greedy_slowdown_is_feasible_and_dominated_by_exact() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let ms = modes(&[0.8, 1.6, 2.4]);
+        let d = 5.0;
+        let speeds = greedy_slowdown(&g, d, &ms, P).unwrap();
+        for &s in &speeds {
+            assert!(ms.contains(s));
+        }
+        let durations: Vec<f64> = g
+            .weights()
+            .iter()
+            .zip(&speeds)
+            .map(|(&w, &s)| w / s)
+            .collect();
+        assert!(taskgraph::analysis::makespan(&g, &durations) <= d * (1.0 + 1e-9));
+        let e_greedy = continuous::energy_of_speeds(&g, &speeds, P);
+        let e_exact = exact(&g, d, &ms, P).unwrap().energy;
+        assert!(e_greedy >= e_exact * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn greedy_slowdown_reaches_floor_on_loose_deadlines() {
+        let g = generators::chain(&[1.0, 2.0]);
+        let ms = modes(&[0.5, 1.0, 2.0]);
+        let speeds = greedy_slowdown(&g, 100.0, &ms, P).unwrap();
+        assert_eq!(speeds, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn greedy_slowdown_infeasible() {
+        let g = generators::chain(&[4.0]);
+        let ms = modes(&[1.0, 2.0]);
+        assert!(matches!(
+            greedy_slowdown(&g, 1.0, &ms, P),
+            Err(SolveError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn partition_instance_solved_exactly() {
+        // {3,1,1,2,2,1}: total 10, perfect partition exists (5/5).
+        let (g, d) = generators::partition_chain(&[3.0, 1.0, 1.0, 2.0, 2.0, 1.0]);
+        let ms = modes(&[1.0, 2.0]);
+        let sol = exact(&g, d, &ms, P).unwrap();
+        // Optimal: fast set of weight exactly 5 → energy 4·5 + 1·5 = 25.
+        assert!((sol.energy - 25.0).abs() < 1e-9, "energy {}", sol.energy);
+    }
+}

@@ -1,0 +1,52 @@
+//! Solver errors.
+
+use std::fmt;
+
+/// Why `MinEnergy(Ĝ, D)` could not be solved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// No speed assignment meets the deadline: even at the fastest
+    /// admissible speeds the critical path takes `min_makespan > D`.
+    Infeasible {
+        /// The deadline that was requested.
+        deadline: f64,
+        /// The minimum achievable makespan at top speed (the smallest
+        /// feasible deadline).
+        min_makespan: f64,
+    },
+    /// The numerical substrate failed (barrier stall, LP iteration
+    /// cap). Carries a human-readable reason.
+    Numerical(String),
+    /// The model/graph combination is not supported by the requested
+    /// specialized algorithm (e.g. asking the SP closed form for a
+    /// non-SP graph).
+    Unsupported(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible { deadline, min_makespan } => write!(
+                f,
+                "infeasible: deadline {deadline} < minimum makespan {min_makespan} at top speed"
+            ),
+            SolveError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            SolveError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SolveError::Infeasible { deadline: 1.0, min_makespan: 2.0 };
+        assert!(e.to_string().contains("infeasible"));
+        assert!(SolveError::Numerical("x".into()).to_string().contains("x"));
+        assert!(SolveError::Unsupported("y".into()).to_string().contains("y"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Incremental-model solvers (Theorem 5 approximation; exact via
+//! branch-and-bound on the grid, which Theorem 4 covers since
+//! Incremental is a special case of Discrete).
+
+use crate::continuous;
+use crate::discrete::{self, ExactSolution};
+use crate::error::SolveError;
+use models::{IncrementalModes, PowerLaw};
+use taskgraph::TaskGraph;
+
+/// Theorem 5: for any integer `K > 0`, approximate
+/// `MinEnergy(Ĝ, D)` within `(1 + δ/s_min)² · (1 + 1/K)²` in time
+/// polynomial in the instance and in `K` (exponent 2 = `α_pow − 1`
+/// for the paper's cubic power law).
+///
+/// Algorithm: solve the Continuous relaxation boxed to
+/// `[s_min, top_mode]` to relative precision `1/K` (polynomial: the
+/// barrier method needs `O(log(m·K))` outer iterations), then round
+/// each speed **up** to the next grid mode. Rounding up shrinks
+/// durations, so the schedule stays feasible; each speed inflates by
+/// at most `1 + δ/s_min`, hence the energy by at most
+/// `(1 + δ/s_min)^{α−1}`.
+pub fn approx(
+    g: &TaskGraph,
+    deadline: f64,
+    modes: &IncrementalModes,
+    p: PowerLaw,
+    k: u32,
+) -> Result<Vec<f64>, SolveError> {
+    assert!(k > 0, "Theorem 5 requires K > 0");
+    let relaxed = if modes.m() == 1 {
+        vec![modes.s_min(); g.n()]
+    } else {
+        continuous::solve_general_boxed(
+            g,
+            deadline,
+            Some(modes.s_min()),
+            Some(modes.top_mode()),
+            p,
+            Some(k),
+        )?
+    };
+    let mut speeds = Vec::with_capacity(g.n());
+    for &s in &relaxed {
+        speeds.push(modes.round_up(s).unwrap_or(modes.top_mode()));
+    }
+    let durations: Vec<f64> = g
+        .weights()
+        .iter()
+        .zip(&speeds)
+        .map(|(&w, &s)| w / s)
+        .collect();
+    let mk = taskgraph::analysis::makespan(g, &durations);
+    if mk > deadline * (1.0 + 1e-6) {
+        return Err(SolveError::Numerical(format!(
+            "rounded schedule misses the deadline ({mk} > {deadline})"
+        )));
+    }
+    Ok(speeds)
+}
+
+/// The guaranteed approximation factor of [`approx`]:
+/// `(1 + δ/s_min)^{α−1} · (1 + 1/K)^{α−1}`.
+pub fn approx_bound(modes: &IncrementalModes, p: PowerLaw, k: u32) -> f64 {
+    modes.rounding_ratio(p.alpha()) * (1.0 + 1.0 / k as f64).powf(p.alpha() - 1.0)
+}
+
+/// Exact Incremental solve: Theorem 4 makes this NP-complete, so we
+/// reuse the Discrete branch-and-bound on the materialized grid.
+pub fn exact(
+    g: &TaskGraph,
+    deadline: f64,
+    modes: &IncrementalModes,
+    p: PowerLaw,
+) -> Result<ExactSolution, SolveError> {
+    discrete::exact(g, deadline, &modes.to_discrete(), p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskgraph::generators;
+
+    const P: PowerLaw = PowerLaw::CUBIC;
+
+    #[test]
+    fn approx_speeds_live_on_the_grid() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let modes = IncrementalModes::new(0.5, 3.0, 0.25).unwrap();
+        let speeds = approx(&g, 5.0, &modes, P, 50).unwrap();
+        for &s in &speeds {
+            let i = (s - modes.s_min()) / modes.delta();
+            assert!((i - i.round()).abs() < 1e-6, "{s} not on grid");
+        }
+    }
+
+    #[test]
+    fn approx_within_theorem5_bound_of_exact() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let modes = IncrementalModes::new(0.5, 3.0, 0.5).unwrap();
+        let d = 5.0;
+        let k = 10;
+        let speeds = approx(&g, d, &modes, P, k).unwrap();
+        let e_alg = continuous::energy_of_speeds(&g, &speeds, P);
+        let opt = exact(&g, d, &modes, P).unwrap().energy;
+        let bound = approx_bound(&modes, P, k);
+        assert!(
+            e_alg <= opt * bound * (1.0 + 1e-6),
+            "ratio {} > bound {bound}",
+            e_alg / opt
+        );
+        assert!(e_alg >= opt * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn finer_grid_tightens_energy() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let d = 5.0;
+        let coarse = IncrementalModes::new(0.5, 3.0, 1.0).unwrap();
+        let fine = IncrementalModes::new(0.5, 3.0, 0.05).unwrap();
+        let e_coarse = continuous::energy_of_speeds(
+            &g,
+            &approx(&g, d, &coarse, P, 100).unwrap(),
+            P,
+        );
+        let e_fine = continuous::energy_of_speeds(
+            &g,
+            &approx(&g, d, &fine, P, 100).unwrap(),
+            P,
+        );
+        assert!(
+            e_fine <= e_coarse * (1.0 + 1e-9),
+            "finer grid must not cost more: {e_fine} vs {e_coarse}"
+        );
+        // And the fine grid approaches the continuous optimum.
+        let cont = continuous::solve(&g, d, Some(3.0), P, None).unwrap();
+        let e_cont = continuous::energy_of_speeds(&g, &cont, P);
+        assert!(e_fine <= e_cont * coarse.rounding_ratio(3.0));
+        assert!(e_fine <= e_cont * fine.rounding_ratio(3.0) * 1.01);
+    }
+
+    #[test]
+    fn approx_bound_formula() {
+        let modes = IncrementalModes::new(1.0, 2.0, 0.1).unwrap();
+        // (1.1)² · (1.01)² for K = 100.
+        let b = approx_bound(&modes, P, 100);
+        assert!((b - 1.21 * 1.0201).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let g = generators::chain(&[4.0]);
+        let modes = IncrementalModes::new(0.5, 1.0, 0.25).unwrap();
+        assert!(matches!(
+            approx(&g, 3.0, &modes, P, 10),
+            Err(SolveError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_must_be_positive() {
+        let g = generators::chain(&[1.0]);
+        let modes = IncrementalModes::new(0.5, 1.0, 0.25).unwrap();
+        let _ = approx(&g, 3.0, &modes, P, 0);
+    }
+}

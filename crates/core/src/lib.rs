@@ -1,0 +1,32 @@
+//! # reclaim-core — MinEnergy(Ĝ, D) solvers
+//!
+//! The paper's contribution: given a frozen execution graph `Ĝ` and a
+//! deadline `D`, choose per-task speeds minimizing the dynamic energy
+//! `Σ s_i^α · d_i`, under each of the four energy models.
+//!
+//! Solver inventory (paper result → module):
+//!
+//! | Result | Module |
+//! |---|---|
+//! | Theorem 1 (fork closed form, incl. `s_max`) | [`continuous::solve_fork`] |
+//! | Theorem 2 (trees, series–parallel) | [`continuous`] (`solve_tree`, `solve_sp`) |
+//! | §2.1 geometric program on DAGs | [`continuous::solve_general`] |
+//! | Theorem 3 (Vdd-Hopping via LP) | [`vdd`] |
+//! | Theorem 4 (Discrete/Incremental exact, NP-hard) | [`discrete::exact`] |
+//! | Theorem 5 (Incremental approximation) | [`incremental`] |
+//! | Proposition 1 (model transfer bounds) | [`discrete::round_up`], [`incremental`] |
+//!
+//! The unified entry point is [`solve`], which dispatches on the
+//! [`models::EnergyModel`] and the detected graph shape.
+
+pub mod bicriteria;
+pub mod certify;
+pub mod continuous;
+pub mod discrete;
+pub mod error;
+pub mod incremental;
+pub mod solver;
+pub mod vdd;
+
+pub use error::SolveError;
+pub use solver::{solve, solve_with, Solution, SolveOptions};

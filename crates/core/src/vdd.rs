@@ -1,0 +1,341 @@
+//! Vdd-Hopping solver (Theorem 3): polynomial time via linear
+//! programming.
+//!
+//! Under Vdd-Hopping a task may switch between modes during execution,
+//! so the decision per task is *how much time to spend in each mode*.
+//! With variables `x_{ij}` (time task `i` runs at mode `s_j`) and
+//! completion times `t_i`, `MinEnergy(Ĝ, D)` becomes the LP
+//!
+//! ```text
+//! minimize   Σ_{i,j} s_j^α · x_{ij}
+//! subject to Σ_j s_j · x_{ij} = w_i                (work completion)
+//!            t_u + Σ_j x_{vj} ≤ t_v   ∀ (u,v) ∈ Ê  (precedence)
+//!            Σ_j x_{ij} ≤ t_i                      (start ≥ 0)
+//!            t_i ≤ D
+//!            x_{ij}, t_i ≥ 0
+//! ```
+//!
+//! solved by the `lp` crate's two-phase simplex. The LP optimum uses
+//! at most two (consecutive) modes per task in basic solutions, which
+//! is the "mix two consecutive modes optimally" intuition of the
+//! paper's conclusion.
+//!
+//! [`adjacent_mix`] is the *heuristic* the conclusion contrasts with:
+//! take the continuous optimum and emulate each continuous speed by
+//! mixing its two bracketing modes, keeping per-task durations. It is
+//! always feasible but not always optimal, because the LP can also
+//! *rebalance durations between tasks* — experiment F4 quantifies the
+//! gap.
+
+use crate::continuous;
+use crate::error::SolveError;
+use lp::{Problem, Relation};
+use models::{DiscreteModes, PowerLaw, Schedule, SpeedProfile};
+use taskgraph::analysis::critical_path_weight;
+use taskgraph::TaskGraph;
+
+/// Minimum piece duration kept in an extracted profile (pure noise
+/// below this).
+const PIECE_EPS: f64 = 1e-10;
+
+/// Solve Vdd-Hopping exactly via the LP of Theorem 3.
+///
+/// Returns the optimal schedule (piecewise-constant speed profiles and
+/// explicit start times taken from the LP's completion-time
+/// variables).
+pub fn solve_lp(
+    g: &TaskGraph,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+) -> Result<Schedule, SolveError> {
+    continuous::check_feasible(g, deadline, Some(modes.s_max()))?;
+    let n = g.n();
+    let m = modes.m();
+    let x = |i: usize, j: usize| i * m + j;
+    let t = |i: usize| n * m + i;
+    let mut prob = Problem::new(n * m + n);
+
+    // Objective: Σ s_j^α x_ij.
+    let mut obj = Vec::with_capacity(n * m);
+    for i in 0..n {
+        for (j, &s) in modes.speeds().iter().enumerate() {
+            obj.push((x(i, j), p.power(s)));
+        }
+    }
+    prob.set_objective(&obj);
+
+    // Work completion.
+    for i in 0..n {
+        let coeffs: Vec<(usize, f64)> = modes
+            .speeds()
+            .iter()
+            .enumerate()
+            .map(|(j, &s)| (x(i, j), s))
+            .collect();
+        prob.add_constraint(&coeffs, Relation::Eq, g.weights()[i]);
+    }
+    // Precedence: t_u + d_v − t_v ≤ 0 (transitively reduced — same
+    // feasible set, fewer simplex rows).
+    let reduced = taskgraph::analysis::transitive_reduction(g);
+    for &(u, v) in reduced.edges() {
+        let mut coeffs: Vec<(usize, f64)> = vec![(t(u.0), 1.0), (t(v.0), -1.0)];
+        for j in 0..m {
+            coeffs.push((x(v.0, j), 1.0));
+        }
+        prob.add_constraint(&coeffs, Relation::Le, 0.0);
+    }
+    // Start ≥ 0 and deadline.
+    for i in 0..n {
+        let mut coeffs: Vec<(usize, f64)> = vec![(t(i), -1.0)];
+        for j in 0..m {
+            coeffs.push((x(i, j), 1.0));
+        }
+        prob.add_constraint(&coeffs, Relation::Le, 0.0);
+        prob.add_constraint(&[(t(i), 1.0)], Relation::Le, deadline);
+    }
+
+    let sol = prob.solve().map_err(|e| match e {
+        lp::LpError::Infeasible => SolveError::Infeasible {
+            deadline,
+            min_makespan: critical_path_weight(g) / modes.s_max(),
+        },
+        other => SolveError::Numerical(other.to_string()),
+    })?;
+
+    // Extract per-task profiles and start times.
+    let mut starts = Vec::with_capacity(n);
+    let mut profiles = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut pieces: Vec<(f64, f64)> = Vec::new();
+        for (j, &s) in modes.speeds().iter().enumerate() {
+            let dur = sol.x[x(i, j)];
+            if dur > PIECE_EPS {
+                pieces.push((s, dur));
+            }
+        }
+        // Guard against an all-noise extraction (cannot happen for a
+        // consistent LP, but keep the schedule well-formed).
+        if pieces.is_empty() {
+            pieces.push((modes.s_max(), g.weights()[i] / modes.s_max()));
+        }
+        // Remove tiny work drift from the simplex tolerance by scaling
+        // piece durations so ∫ s dt = w_i exactly.
+        let done: f64 = pieces.iter().map(|&(s, d)| s * d).sum();
+        let scale = g.weights()[i] / done;
+        for piece in &mut pieces {
+            piece.1 *= scale;
+        }
+        let duration: f64 = pieces.iter().map(|&(_, d)| d).sum();
+        let completion = sol.x[t(i)];
+        starts.push((completion - duration).max(0.0));
+        profiles.push(if pieces.len() == 1 {
+            SpeedProfile::Constant(pieces[0].0)
+        } else {
+            SpeedProfile::Pieces(pieces)
+        });
+    }
+    Ok(Schedule::new(starts, profiles))
+}
+
+/// The adjacent-mode-mix heuristic (ablation F4).
+///
+/// Solve the Continuous model with `s_max = s_m`, then execute each
+/// task for the same duration `d_i = w_i / s_i^*` by mixing the two
+/// modes bracketing `s_i^*` (time split chosen so the work completes
+/// exactly). Tasks whose continuous speed falls below `s_1` run at
+/// `s_1` (finishing early — still feasible).
+///
+/// Because every task keeps (or shrinks) its continuous duration, the
+/// continuous schedule's start times remain feasible.
+pub fn adjacent_mix(
+    g: &TaskGraph,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+) -> Result<Schedule, SolveError> {
+    let speeds = continuous::solve(g, deadline, Some(modes.s_max()), p, None)?;
+    let mut profiles = Vec::with_capacity(g.n());
+    for i in 0..g.n() {
+        let w = g.weights()[i];
+        let s_star = speeds[i];
+        let profile = match modes.bracket(s_star) {
+            None => {
+                // Below the slowest mode: run flat at s_1.
+                SpeedProfile::Constant(modes.s_min())
+            }
+            Some((lo, hi)) if (hi - lo).abs() <= 1e-12 * (1.0 + hi) => {
+                SpeedProfile::Constant(lo)
+            }
+            Some((lo, hi)) => {
+                let d = w / s_star;
+                // x_hi·hi + (d − x_hi)·lo = w  ⇒  x_hi = (w − lo·d)/(hi − lo)
+                let x_hi = (w - lo * d) / (hi - lo);
+                let x_lo = d - x_hi;
+                debug_assert!(x_hi >= -1e-9 && x_lo >= -1e-9);
+                SpeedProfile::Pieces(vec![(lo, x_lo.max(0.0)), (hi, x_hi.max(0.0))])
+            }
+        };
+        profiles.push(profile);
+    }
+    Ok(Schedule::asap_from_profiles(g, profiles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use models::EnergyModel;
+    use taskgraph::generators;
+
+    const P: PowerLaw = PowerLaw::CUBIC;
+
+    fn modes(v: &[f64]) -> DiscreteModes {
+        DiscreteModes::new(v).unwrap()
+    }
+
+    #[test]
+    fn single_task_mixes_bracketing_modes() {
+        // One task, w = 3, modes {1, 2}, deadline 2: continuous optimum
+        // is speed 1.5; Vdd mixes modes 1 and 2 with one time unit
+        // each: energy 1³·1 + 2³·1 = 9 < 2²·3 = 12 (all-fast).
+        let g = generators::chain(&[3.0]);
+        let ms = modes(&[1.0, 2.0]);
+        let sched = solve_lp(&g, 2.0, &ms, P).unwrap();
+        sched
+            .validate(&g, &EnergyModel::VddHopping(ms.clone()), 2.0)
+            .unwrap();
+        let e = sched.energy(&g, P);
+        assert!((e - 9.0).abs() < 1e-6, "energy {e}");
+    }
+
+    #[test]
+    fn lp_beats_or_matches_discrete_single_speeds() {
+        // Chain of two tasks, modes {1, 3}, deadline 4, weights 3 and 3.
+        // Discrete options are limited; Vdd can mix.
+        let g = generators::chain(&[3.0, 3.0]);
+        let ms = modes(&[1.0, 3.0]);
+        let sched = solve_lp(&g, 4.0, &ms, P).unwrap();
+        sched
+            .validate(&g, &EnergyModel::VddHopping(ms.clone()), 4.0)
+            .unwrap();
+        let e_vdd = sched.energy(&g, P);
+        // Best single-speed-per-task assignment: speeds (3,1): time
+        // 1+3=4 ok, energy 9·3+1·3 = 30; (1,3) symmetric 30; (3,3):
+        // energy 54; (1,1): time 6 > 4 infeasible. So discrete best 30.
+        assert!(e_vdd <= 30.0 + 1e-6);
+        // Continuous lower bound: speed 6/4 = 1.5, E = 2.25·6 = 13.5.
+        assert!(e_vdd >= 13.5 - 1e-6);
+    }
+
+    #[test]
+    fn vdd_energy_between_continuous_and_discrete_bounds() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let ms = modes(&[0.8, 1.6, 2.4]);
+        let d = 5.0;
+        let sched = solve_lp(&g, d, &ms, P).unwrap();
+        sched
+            .validate(&g, &EnergyModel::VddHopping(ms.clone()), d)
+            .unwrap();
+        let e_vdd = sched.energy(&g, P);
+        let cont =
+            continuous::solve(&g, d, Some(ms.s_max()), P, None).unwrap();
+        let e_cont = continuous::energy_of_speeds(&g, &cont, P);
+        assert!(
+            e_vdd >= e_cont * (1.0 - 1e-6),
+            "vdd {e_vdd} must dominate continuous {e_cont}"
+        );
+    }
+
+    #[test]
+    fn infeasible_deadline() {
+        let g = generators::chain(&[4.0]);
+        let ms = modes(&[1.0, 2.0]);
+        assert!(matches!(
+            solve_lp(&g, 1.0, &ms, P),
+            Err(SolveError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_mode_speed_uses_single_piece() {
+        // Deadline exactly w/s for mode 2: LP picks the single mode.
+        let g = generators::chain(&[4.0]);
+        let ms = modes(&[1.0, 2.0, 4.0]);
+        let sched = solve_lp(&g, 2.0, &ms, P).unwrap();
+        let e = sched.energy(&g, P);
+        // Optimal: speed 2 for 2 time units → 8·2 = 16? Mixing 1 and 4
+        // for durations a+b=2, a+4b=4 → b=2/3, a=4/3: energy
+        // 1·4/3 + 64·2/3 = 44 — worse. So 16.
+        assert!((e - 16.0).abs() < 1e-6, "energy {e}");
+    }
+
+    #[test]
+    fn adjacent_mix_is_feasible_and_dominates_lp() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let ms = modes(&[0.8, 1.6, 2.4]);
+        let d = 5.0;
+        let heur = adjacent_mix(&g, d, &ms, P).unwrap();
+        heur.validate(&g, &EnergyModel::VddHopping(ms.clone()), d)
+            .unwrap();
+        let e_heur = heur.energy(&g, P);
+        let e_lp = solve_lp(&g, d, &ms, P).unwrap().energy(&g, P);
+        assert!(
+            e_heur >= e_lp * (1.0 - 1e-6),
+            "heuristic {e_heur} cannot beat the LP {e_lp}"
+        );
+        // And the heuristic is within the bracketing bound of the
+        // continuous optimum (mixing is convex interpolation).
+        let cont = continuous::solve(&g, d, Some(ms.s_max()), P, None).unwrap();
+        let e_cont = continuous::energy_of_speeds(&g, &cont, P);
+        assert!(e_heur >= e_cont * (1.0 - 1e-6));
+    }
+
+    #[test]
+    fn adjacent_mix_below_smin_runs_at_s1() {
+        // Very loose deadline: continuous optimum is slower than s_1.
+        let g = generators::chain(&[1.0]);
+        let ms = modes(&[1.0, 2.0]);
+        let sched = adjacent_mix(&g, 100.0, &ms, P).unwrap();
+        match sched.profile(taskgraph::TaskId(0)) {
+            SpeedProfile::Constant(s) => assert_eq!(*s, 1.0),
+            other => panic!("expected constant profile, got {other:?}"),
+        }
+        sched
+            .validate(&g, &EnergyModel::VddHopping(ms), 100.0)
+            .unwrap();
+    }
+
+    #[test]
+    fn lp_profiles_use_at_most_two_modes_per_task() {
+        // Basic-solution structure: ≤ 2 modes per task (and they are
+        // consecutive). Verify on a random-ish instance.
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let ms = modes(&[0.5, 1.0, 1.5, 2.0, 2.5]);
+        let sched = solve_lp(&g, 5.5, &ms, P).unwrap();
+        for t in g.tasks() {
+            match sched.profile(t) {
+                SpeedProfile::Constant(_) => {}
+                SpeedProfile::Pieces(ps) => {
+                    assert!(
+                        ps.len() <= 2,
+                        "task {t} uses {} modes: {ps:?}",
+                        ps.len()
+                    );
+                    if ps.len() == 2 {
+                        // Consecutive in the mode list.
+                        let idx: Vec<usize> = ps
+                            .iter()
+                            .map(|&(s, _)| {
+                                ms.speeds()
+                                    .iter()
+                                    .position(|&x| (x - s).abs() < 1e-9)
+                                    .unwrap()
+                            })
+                            .collect();
+                        assert_eq!(idx[0].abs_diff(idx[1]), 1, "{ps:?}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # lp — dense two-phase primal simplex
+//!
+//! Theorem 3 states that `MinEnergy(Ĝ, D)` under Vdd-Hopping "can be
+//! solved in polynomial time (via linear programming)". The offline
+//! policy forbids external solver crates, so this crate implements the
+//! substrate from scratch: a dense tableau two-phase primal simplex
+//! with Bland's anti-cycling rule.
+//!
+//! The entry point is [`Problem`]: build a minimization problem with
+//! non-negative variables and `≤` / `≥` / `=` rows, then call
+//! [`Problem::solve`].
+//!
+//! Scope: the Vdd LPs have a few hundred variables and rows; a dense
+//! tableau is both simple and fast enough (`O(rows·cols)` per pivot).
+//! Degenerate pivots fall back to Bland's rule, guaranteeing
+//! termination.
+
+mod simplex;
+
+pub use simplex::{Constraint, LpError, LpSolution, Problem, Relation};

@@ -1,0 +1,77 @@
+//! Property tests for the simplex: solutions are feasible and no
+//! worse than any feasible point we can construct.
+
+use lp::{Problem, Relation};
+use proptest::prelude::*;
+
+/// Build a random LP that is feasible **by construction**: draw a
+/// witness point `x*` ≥ 0 and make every `≤` row satisfied at `x*`
+/// with non-negative slack. Returns `(problem, c, witness)`.
+fn feasible_lp(
+    nvars: usize,
+    nrows: usize,
+    seed_data: &[f64],
+) -> (Problem, Vec<f64>, Vec<f64>) {
+    let mut it = seed_data.iter().copied().cycle();
+    let mut next = move || it.next().unwrap();
+    let witness: Vec<f64> = (0..nvars).map(|_| next().abs() * 3.0).collect();
+    let costs: Vec<f64> = (0..nvars).map(|_| next() * 2.0).collect();
+    let mut p = Problem::new(nvars);
+    let obj: Vec<(usize, f64)> = costs.iter().copied().enumerate().collect();
+    p.set_objective(&obj);
+    let mut rows = Vec::new();
+    for _ in 0..nrows {
+        let coeffs: Vec<(usize, f64)> =
+            (0..nvars).map(|j| (j, next() * 2.0)).collect();
+        let at_witness: f64 = coeffs.iter().map(|&(j, a)| a * witness[j]).sum();
+        let slack = next().abs();
+        p.add_constraint(&coeffs, Relation::Le, at_witness + slack);
+        rows.push((coeffs, at_witness + slack));
+    }
+    // Keep the problem bounded: x_j ≤ witness_j + 10 for every var.
+    for j in 0..nvars {
+        p.add_constraint(&[(j, 1.0)], Relation::Le, witness[j] + 10.0);
+    }
+    (p, costs, witness)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn simplex_beats_witness_and_is_feasible(
+        data in prop::collection::vec(-1.0f64..1.0, 24..64),
+        nvars in 2usize..6,
+        nrows in 1usize..6,
+    ) {
+        let (p, costs, witness) = feasible_lp(nvars, nrows, &data);
+        let sol = p.solve().expect("constructed LP is feasible and bounded");
+        // Objective must not exceed the witness's objective.
+        let witness_obj: f64 = costs.iter().zip(&witness).map(|(c, x)| c * x).sum();
+        prop_assert!(sol.objective <= witness_obj + 1e-6,
+            "simplex {} worse than witness {}", sol.objective, witness_obj);
+        // Non-negativity.
+        for &x in &sol.x {
+            prop_assert!(x >= -1e-9);
+        }
+        // Reported objective is consistent with the reported point.
+        let recomputed: f64 = costs.iter().zip(&sol.x).map(|(c, x)| c * x).sum();
+        prop_assert!((sol.objective - recomputed).abs() <= 1e-6 * (1.0 + recomputed.abs()));
+    }
+
+    /// Scaling the objective scales the optimum (and the argmin can
+    /// stay put): sanity for the reduced-cost bookkeeping.
+    #[test]
+    fn objective_scaling(data in prop::collection::vec(-1.0f64..1.0, 24..48)) {
+        let (p, costs, _) = feasible_lp(3, 3, &data);
+        let s1 = p.solve().unwrap();
+        let mut p2 = p.clone();
+        let scaled: Vec<(usize, f64)> =
+            costs.iter().map(|&c| c * 2.0).enumerate().collect();
+        p2.set_objective(&scaled);
+        let s2 = p2.solve().unwrap();
+        prop_assert!((s2.objective - 2.0 * s1.objective).abs()
+            <= 1e-6 * (1.0 + s1.objective.abs() * 2.0),
+            "{} vs {}", s2.objective, 2.0 * s1.objective);
+    }
+}

@@ -1,0 +1,304 @@
+//! # mapping — fixed task-to-processor mappings
+//!
+//! The paper's core assumption is that "the mapping is given, say by an
+//! ordered list of tasks to execute on each processor" (motivated by
+//! legacy applications, task–resource affinities, or security-driven
+//! pre-allocation). This crate produces such mappings and performs the
+//! **execution-graph augmentation**: given the application graph `G`
+//! and a mapping, build `Ĝ = (V, Ê)` by adding an edge between
+//! consecutive tasks of each processor's list.
+//!
+//! Provided mapping generators (all respect precedence):
+//!
+//! * [`list_schedule`] — classic list scheduling with earliest-start
+//!   placement and a priority order (critical-path a.k.a. bottom-level
+//!   by default), the realistic "given" mapping;
+//! * [`round_robin`] — topological order striped over processors;
+//! * [`random_mapping`] — a topological order split at random.
+
+use rand::Rng;
+use taskgraph::analysis::topo_order;
+use taskgraph::{GraphError, TaskGraph, TaskId};
+
+/// A mapping: for each processor, the ordered list of tasks it runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    lists: Vec<Vec<TaskId>>,
+}
+
+impl Mapping {
+    /// Build from explicit per-processor ordered lists. Every task
+    /// must appear exactly once; ordering constraints are validated by
+    /// [`Mapping::execution_graph`] (which fails on a cycle).
+    pub fn new(lists: Vec<Vec<TaskId>>) -> Mapping {
+        Mapping { lists }
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Ordered task list of processor `p`.
+    pub fn list(&self, p: usize) -> &[TaskId] {
+        &self.lists[p]
+    }
+
+    /// All per-processor lists.
+    pub fn lists(&self) -> &[Vec<TaskId>] {
+        &self.lists
+    }
+
+    /// The processor assigned to each task (indexed by task id), or an
+    /// error message if some task is missing or duplicated.
+    pub fn processor_of(&self, n: usize) -> Result<Vec<usize>, String> {
+        let mut proc = vec![usize::MAX; n];
+        for (p, list) in self.lists.iter().enumerate() {
+            for &t in list {
+                if t.0 >= n {
+                    return Err(format!("mapping references unknown task {t}"));
+                }
+                if proc[t.0] != usize::MAX {
+                    return Err(format!("task {t} mapped twice"));
+                }
+                proc[t.0] = p;
+            }
+        }
+        if let Some(i) = proc.iter().position(|&p| p == usize::MAX) {
+            return Err(format!("task T{i} not mapped"));
+        }
+        Ok(proc)
+    }
+
+    /// The paper's augmentation: `Ê = E ∪ {(u, v) : u, v consecutive
+    /// on the same processor}`. Fails when the serialization order
+    /// contradicts precedence (the combined edge set has a cycle) or
+    /// when the mapping does not cover the tasks exactly.
+    pub fn execution_graph(&self, g: &TaskGraph) -> Result<TaskGraph, GraphError> {
+        // Coverage check first for a clearer error than a bare cycle.
+        if let Err(_msg) = self.processor_of(g.n()) {
+            return Err(GraphError::BadTask(g.n()));
+        }
+        let mut extra = Vec::new();
+        for list in &self.lists {
+            for w in list.windows(2) {
+                extra.push((w[0].0, w[1].0));
+            }
+        }
+        g.with_extra_edges(&extra)
+    }
+}
+
+/// Priority used by [`list_schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Bottom level: weight of the heaviest path from the task to a
+    /// sink (classic critical-path list scheduling).
+    BottomLevel,
+    /// Plain topological position (FIFO).
+    Topological,
+}
+
+/// Bottom levels (heaviest task-weighted path from each task to any
+/// sink, inclusive).
+pub fn bottom_levels(g: &TaskGraph) -> Vec<f64> {
+    let mut bl = vec![0.0; g.n()];
+    for &t in topo_order(g).iter().rev() {
+        let down = g
+            .succs(t)
+            .iter()
+            .map(|&s| bl[s.0])
+            .fold(0.0f64, f64::max);
+        bl[t.0] = g.weight(t) + down;
+    }
+    bl
+}
+
+/// List scheduling at unit speed onto `p` identical processors.
+///
+/// Tasks become ready when all predecessors have completed; among
+/// ready tasks the one with the highest priority is placed on the
+/// processor that frees earliest. The resulting per-processor order is
+/// the "ordered list of tasks" the paper takes as input.
+pub fn list_schedule(g: &TaskGraph, p: usize, priority: Priority) -> Mapping {
+    assert!(p >= 1, "need at least one processor");
+    let n = g.n();
+    let prio: Vec<f64> = match priority {
+        Priority::BottomLevel => bottom_levels(g),
+        Priority::Topological => {
+            let order = topo_order(g);
+            let mut v = vec![0.0; n];
+            for (k, &t) in order.iter().enumerate() {
+                v[t.0] = (n - k) as f64;
+            }
+            v
+        }
+    };
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.preds(TaskId(i)).len()).collect();
+    let mut ready: Vec<TaskId> = (0..n)
+        .filter(|&i| indeg[i] == 0)
+        .map(TaskId)
+        .collect();
+    let mut proc_free = vec![0.0f64; p];
+    let mut finish = vec![0.0f64; n];
+    let mut lists: Vec<Vec<TaskId>> = vec![Vec::new(); p];
+    let mut done = 0usize;
+    while done < n {
+        // Highest-priority ready task (stable tie-break on id).
+        let (k, &t) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                prio[a.0]
+                    .partial_cmp(&prio[b.0])
+                    .unwrap()
+                    .then(b.0.cmp(&a.0))
+            })
+            .expect("ready set cannot be empty while tasks remain");
+        ready.swap_remove(k);
+        // Earliest start on each processor: max(processor free time,
+        // predecessors' completion).
+        let pred_done = g
+            .preds(t)
+            .iter()
+            .map(|&q| finish[q.0])
+            .fold(0.0f64, f64::max);
+        let (best_p, _) = proc_free
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .unwrap();
+        let start = proc_free[best_p].max(pred_done);
+        let end = start + g.weight(t);
+        proc_free[best_p] = end;
+        finish[t.0] = end;
+        lists[best_p].push(t);
+        done += 1;
+        for &TaskId(v) in g.succs(t) {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                ready.push(TaskId(v));
+            }
+        }
+    }
+    Mapping::new(lists)
+}
+
+/// Topological order striped over `p` processors
+/// (`task k → processor k mod p`).
+pub fn round_robin(g: &TaskGraph, p: usize) -> Mapping {
+    assert!(p >= 1);
+    let mut lists: Vec<Vec<TaskId>> = vec![Vec::new(); p];
+    for (k, t) in topo_order(g).into_iter().enumerate() {
+        lists[k % p].push(t);
+    }
+    Mapping::new(lists)
+}
+
+/// A random precedence-respecting mapping: assign each task of a
+/// topological order to a uniformly random processor.
+pub fn random_mapping<R: Rng>(g: &TaskGraph, p: usize, rng: &mut R) -> Mapping {
+    assert!(p >= 1);
+    let mut lists: Vec<Vec<TaskId>> = vec![Vec::new(); p];
+    for t in topo_order(g) {
+        lists[rng.gen_range(0..p)].push(t);
+    }
+    Mapping::new(lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use taskgraph::generators;
+
+    #[test]
+    fn bottom_levels_diamond() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let bl = bottom_levels(&g);
+        assert_eq!(bl, vec![8.0, 6.0, 7.0, 4.0]);
+    }
+
+    #[test]
+    fn execution_graph_adds_serialization_edges() {
+        // Fork 0 → {1, 2, 3} mapped on 2 processors: children sharing
+        // a processor get a serialization edge.
+        let g = generators::fork(1.0, &[1.0, 1.0, 1.0]);
+        let m = Mapping::new(vec![
+            vec![TaskId(0), TaskId(1), TaskId(2)],
+            vec![TaskId(3)],
+        ]);
+        let eg = m.execution_graph(&g).unwrap();
+        assert!(eg.has_edge(TaskId(1), TaskId(2)));
+        // Serialization adds (0,1) — already present, collapses — and (1,2).
+        assert_eq!(eg.m(), g.m() + 1);
+    }
+
+    #[test]
+    fn execution_graph_rejects_precedence_conflicts() {
+        // Chain 0 → 1 but the processor list runs 1 before 0.
+        let g = generators::chain(&[1.0, 1.0]);
+        let m = Mapping::new(vec![vec![TaskId(1), TaskId(0)]]);
+        assert!(m.execution_graph(&g).is_err());
+    }
+
+    #[test]
+    fn execution_graph_rejects_partial_mappings() {
+        let g = generators::chain(&[1.0, 1.0]);
+        let m = Mapping::new(vec![vec![TaskId(0)]]);
+        assert!(m.execution_graph(&g).is_err());
+        let dup = Mapping::new(vec![vec![TaskId(0), TaskId(1), TaskId(0)]]);
+        assert!(dup.execution_graph(&g).is_err());
+    }
+
+    #[test]
+    fn list_schedule_covers_all_tasks_and_respects_precedence() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::layered_dag(4, 3, 0.4, 1.0, 5.0, &mut rng);
+        for p in [1usize, 2, 3, 5] {
+            let m = list_schedule(&g, p, Priority::BottomLevel);
+            assert_eq!(m.processors(), p);
+            let proc = m.processor_of(g.n()).unwrap();
+            assert_eq!(proc.len(), g.n());
+            // The augmented graph must stay acyclic.
+            let eg = m.execution_graph(&g).unwrap();
+            assert!(eg.m() >= g.m());
+        }
+    }
+
+    #[test]
+    fn round_robin_and_random_are_valid() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::random_dag(25, 0.12, 1.0, 3.0, &mut rng);
+        let rr = round_robin(&g, 4);
+        rr.execution_graph(&g).unwrap();
+        let rm = random_mapping(&g, 4, &mut rng);
+        rm.execution_graph(&g).unwrap();
+    }
+
+    #[test]
+    fn single_processor_serializes_everything() {
+        let g = generators::diamond([1.0; 4]);
+        let m = list_schedule(&g, 1, Priority::Topological);
+        let eg = m.execution_graph(&g).unwrap();
+        // On one processor the execution graph contains a Hamiltonian
+        // chain: its critical path weight is the total work.
+        assert_eq!(
+            taskgraph::analysis::critical_path_weight(&eg),
+            g.total_work()
+        );
+    }
+
+    #[test]
+    fn list_schedule_prefers_critical_path() {
+        // Diamond with heavy T2: bottom-level priority runs T2 before
+        // T1 when both are ready.
+        let g = generators::diamond([1.0, 1.0, 10.0, 1.0]);
+        let m = list_schedule(&g, 1, Priority::BottomLevel);
+        let list = m.list(0);
+        let pos2 = list.iter().position(|&t| t == TaskId(2)).unwrap();
+        let pos1 = list.iter().position(|&t| t == TaskId(1)).unwrap();
+        assert!(pos2 < pos1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for mapping generation and execution-graph
+//! augmentation.
+
+use mapping::{bottom_levels, list_schedule, random_mapping, round_robin, Priority};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taskgraph::{analysis, generators, TaskGraph};
+
+fn arb_dag() -> impl Strategy<Value = TaskGraph> {
+    (2usize..25, any::<u64>(), 0.05f64..0.5).prop_map(|(n, seed, pr)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::random_dag(n, pr, 0.5, 5.0, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every mapping policy covers each task exactly once and yields
+    /// an acyclic execution graph.
+    #[test]
+    fn mappings_are_valid(g in arb_dag(), procs in 1usize..6, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for m in [
+            list_schedule(&g, procs, Priority::BottomLevel),
+            list_schedule(&g, procs, Priority::Topological),
+            round_robin(&g, procs),
+            random_mapping(&g, procs, &mut rng),
+        ] {
+            prop_assert_eq!(m.processors(), procs);
+            let assignment = m.processor_of(g.n());
+            prop_assert!(assignment.is_ok(), "{:?}", assignment);
+            let exec = m.execution_graph(&g);
+            prop_assert!(exec.is_ok());
+            let exec = exec.unwrap();
+            prop_assert!(exec.m() >= g.m());
+            // The augmentation preserves weights.
+            prop_assert_eq!(exec.weights(), g.weights());
+        }
+    }
+
+    /// The execution graph's critical path is at least the original's
+    /// (adding constraints cannot shorten it) and at most the serial
+    /// time.
+    #[test]
+    fn augmentation_brackets_critical_path(g in arb_dag(), procs in 1usize..5) {
+        let base_cp = analysis::critical_path_weight(&g);
+        let m = list_schedule(&g, procs, Priority::BottomLevel);
+        let exec = m.execution_graph(&g).unwrap();
+        let cp = analysis::critical_path_weight(&exec);
+        prop_assert!(cp >= base_cp - 1e-9);
+        prop_assert!(cp <= g.total_work() + 1e-9);
+    }
+
+    /// One processor serializes everything: the execution graph's
+    /// critical path equals the total work.
+    #[test]
+    fn single_processor_serializes(g in arb_dag()) {
+        let m = list_schedule(&g, 1, Priority::BottomLevel);
+        let exec = m.execution_graph(&g).unwrap();
+        prop_assert!((analysis::critical_path_weight(&exec) - g.total_work()).abs()
+            <= 1e-9 * g.total_work());
+    }
+
+    /// Bottom levels are monotone along edges
+    /// (bl(u) ≥ bl(v) + w(u) for u → v).
+    #[test]
+    fn bottom_levels_monotone(g in arb_dag()) {
+        let bl = bottom_levels(&g);
+        for &(u, v) in g.edges() {
+            prop_assert!(bl[u.index()] >= bl[v.index()] + g.weight(u) - 1e-9);
+        }
+    }
+
+    /// The list schedule's unit-speed makespan respects the classic
+    /// Graham bound: ≤ total/p + cp (a sanity check that the
+    /// simulated placement is a real list schedule).
+    #[test]
+    fn graham_bound(g in arb_dag(), procs in 1usize..5) {
+        let m = list_schedule(&g, procs, Priority::BottomLevel);
+        let exec = m.execution_graph(&g).unwrap();
+        let makespan = analysis::critical_path_weight(&exec);
+        let bound = g.total_work() / procs as f64 + analysis::critical_path_weight(&g);
+        prop_assert!(makespan <= bound + 1e-9,
+            "makespan {makespan} exceeds Graham bound {bound}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # models — energy models, mode sets, and schedules
+//!
+//! Everything the paper's §1 "Energy models" paragraph defines, as
+//! data:
+//!
+//! * [`PowerLaw`] — the dynamic power function `P(s) = s^α` (the paper
+//!   uses `α = 3`: a processor at speed `s` dissipates `s³` watts and
+//!   consumes `s³·t` joules over `t` time units);
+//! * [`DiscreteModes`] / [`IncrementalModes`] — the admissible speed
+//!   sets of the **Discrete** and **Incremental** models;
+//! * [`EnergyModel`] — the four models (Continuous, Discrete,
+//!   Vdd-Hopping, Incremental) as one dispatchable type;
+//! * [`Schedule`] / [`SpeedProfile`] — a complete solution (start time
+//!   and speed profile per task) with feasibility checking
+//!   ([`Schedule::validate`]) and energy accounting
+//!   ([`Schedule::energy`]).
+
+pub mod model;
+pub mod modes;
+pub mod power;
+pub mod schedule;
+
+pub use model::EnergyModel;
+pub use modes::{DiscreteModes, IncrementalModes, ModeError};
+pub use power::{static_energy, PowerLaw};
+pub use schedule::{Schedule, ScheduleError, SpeedProfile};

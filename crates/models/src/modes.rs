@@ -1,0 +1,322 @@
+//! Admissible speed sets for the Discrete, Incremental and Vdd-Hopping
+//! models.
+
+use std::fmt;
+
+/// Errors building a mode set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModeError {
+    /// Fewer than one speed, or a non-positive / non-finite speed.
+    BadSpeed(f64),
+    /// No speeds at all.
+    Empty,
+    /// Incremental parameters out of range (`δ ≤ 0`, `s_min ≤ 0`, or
+    /// `s_max < s_min`).
+    BadIncrement { s_min: f64, s_max: f64, delta: f64 },
+}
+
+impl fmt::Display for ModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModeError::BadSpeed(s) => write!(f, "invalid speed {s}"),
+            ModeError::Empty => write!(f, "mode set must contain at least one speed"),
+            ModeError::BadIncrement { s_min, s_max, delta } => write!(
+                f,
+                "invalid incremental parameters: s_min={s_min}, s_max={s_max}, δ={delta}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModeError {}
+
+/// The **Discrete** model's speed set: arbitrary modes
+/// `s_1 < s_2 < … < s_m` ("no assumption on the range and distribution
+/// of these modes"). A processor cannot change speed during a task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteModes {
+    speeds: Vec<f64>, // sorted ascending, strictly positive, deduplicated
+}
+
+impl DiscreteModes {
+    /// Build from an arbitrary list of speeds (sorted and deduplicated
+    /// internally).
+    pub fn new(speeds: &[f64]) -> Result<DiscreteModes, ModeError> {
+        if speeds.is_empty() {
+            return Err(ModeError::Empty);
+        }
+        for &s in speeds {
+            if !(s.is_finite() && s > 0.0) {
+                return Err(ModeError::BadSpeed(s));
+            }
+        }
+        let mut v = speeds.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.dedup_by(|a, b| (*a - *b).abs() < 1e-12 * b.abs());
+        Ok(DiscreteModes { speeds: v })
+    }
+
+    /// Number of modes `m`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// The sorted speeds `s_1 < … < s_m`.
+    #[inline]
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds
+    }
+
+    /// Slowest mode `s_1`.
+    #[inline]
+    pub fn s_min(&self) -> f64 {
+        self.speeds[0]
+    }
+
+    /// Fastest mode `s_m`.
+    #[inline]
+    pub fn s_max(&self) -> f64 {
+        *self.speeds.last().unwrap()
+    }
+
+    /// Largest gap between consecutive modes:
+    /// `α = max_{1 ≤ i < m} (s_{i+1} − s_i)` (the constant in
+    /// Proposition 1(b)). Zero for a single mode.
+    pub fn max_gap(&self) -> f64 {
+        self.speeds
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Smallest mode `≥ s`, or `None` when `s > s_m` (the rounding-up
+    /// step of the approximation algorithms).
+    pub fn round_up(&self, s: f64) -> Option<f64> {
+        let i = self.speeds.partition_point(|&x| x < s - 1e-15);
+        self.speeds.get(i).copied()
+    }
+
+    /// Largest mode `≤ s`, or `None` when `s < s_1`.
+    pub fn round_down(&self, s: f64) -> Option<f64> {
+        let i = self.speeds.partition_point(|&x| x <= s + 1e-15);
+        i.checked_sub(1).map(|i| self.speeds[i])
+    }
+
+    /// The two consecutive modes bracketing `s`
+    /// (`s_j ≤ s ≤ s_{j+1}`), used by the Vdd-Hopping mixing rule.
+    /// Returns `(s, s)` degenerate brackets when `s` is itself a mode,
+    /// and `None` when `s` is outside `[s_1, s_m]`.
+    pub fn bracket(&self, s: f64) -> Option<(f64, f64)> {
+        let lo = self.round_down(s)?;
+        let hi = self.round_up(s)?;
+        Some((lo, hi))
+    }
+
+    /// Whether `s` equals one of the modes (within tolerance).
+    pub fn contains(&self, s: f64) -> bool {
+        self.speeds
+            .iter()
+            .any(|&x| (x - s).abs() <= 1e-9 * (1.0 + x.abs()))
+    }
+}
+
+/// The **Incremental** model's speed set: a regular grid
+/// `s = s_min + i·δ` for integer `0 ≤ i ≤ (s_max − s_min)/δ`
+/// ("the modern counterpart of a potentiometer knob").
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalModes {
+    s_min: f64,
+    s_max: f64,
+    delta: f64,
+    count: usize, // number of modes = ⌊(s_max − s_min)/δ⌋ + 1
+}
+
+impl IncrementalModes {
+    /// Build the grid. The effective maximum is
+    /// `s_min + ⌊(s_max − s_min)/δ⌋·δ ≤ s_max` (the paper constrains
+    /// `i ≤ (s_max − s_min)/δ` to integers).
+    pub fn new(s_min: f64, s_max: f64, delta: f64) -> Result<IncrementalModes, ModeError> {
+        if !(s_min.is_finite() && s_min > 0.0)
+            || !(s_max.is_finite() && s_max >= s_min)
+            || !(delta.is_finite() && delta > 0.0)
+        {
+            return Err(ModeError::BadIncrement { s_min, s_max, delta });
+        }
+        // Robust floor: tolerate s_max − s_min being an almost-exact
+        // multiple of δ.
+        let steps = ((s_max - s_min) / delta + 1e-9).floor() as usize;
+        Ok(IncrementalModes { s_min, s_max, delta, count: steps + 1 })
+    }
+
+    /// Minimum speed `s_min` (also the slowest mode).
+    #[inline]
+    pub fn s_min(&self) -> f64 {
+        self.s_min
+    }
+
+    /// The declared upper bound `s_max` (the fastest mode may be
+    /// slightly below it when `s_max − s_min` is not a multiple of δ).
+    #[inline]
+    pub fn s_max(&self) -> f64 {
+        self.s_max
+    }
+
+    /// The speed increment δ.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.count
+    }
+
+    /// The `i`-th mode `s_min + i·δ`.
+    #[inline]
+    pub fn mode(&self, i: usize) -> f64 {
+        debug_assert!(i < self.count);
+        self.s_min + i as f64 * self.delta
+    }
+
+    /// Fastest mode on the grid.
+    #[inline]
+    pub fn top_mode(&self) -> f64 {
+        self.mode(self.count - 1)
+    }
+
+    /// Smallest grid mode `≥ s` (`None` when `s` exceeds the top
+    /// mode). O(1) thanks to the regular spacing.
+    pub fn round_up(&self, s: f64) -> Option<f64> {
+        if s <= self.s_min {
+            return Some(self.s_min);
+        }
+        let i = ((s - self.s_min) / self.delta - 1e-9).ceil() as usize;
+        (i < self.count).then(|| self.mode(i))
+    }
+
+    /// Largest grid mode `≤ s` (`None` when `s < s_min`).
+    pub fn round_down(&self, s: f64) -> Option<f64> {
+        if s < self.s_min - 1e-15 {
+            return None;
+        }
+        let i = (((s - self.s_min) / self.delta) + 1e-9).floor() as usize;
+        Some(self.mode(i.min(self.count - 1)))
+    }
+
+    /// Materialize the grid as a [`DiscreteModes`] set (the Incremental
+    /// model *is* a Discrete model with regular spacing; Theorem 4's
+    /// NP-completeness transfers through this embedding).
+    pub fn to_discrete(&self) -> DiscreteModes {
+        let speeds: Vec<f64> = (0..self.count).map(|i| self.mode(i)).collect();
+        DiscreteModes::new(&speeds).expect("grid speeds are valid")
+    }
+
+    /// The approximation-ratio factor of Theorem 5 / Proposition 1(a):
+    /// `(1 + δ/s_min)²` for `α = 3` — in general
+    /// `(1 + δ/s_min)^{α−1}`.
+    pub fn rounding_ratio(&self, alpha: f64) -> f64 {
+        (1.0 + self.delta / self.s_min).powf(alpha - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_sorts_and_dedups() {
+        let m = DiscreteModes::new(&[2.0, 1.0, 2.0, 3.5]).unwrap();
+        assert_eq!(m.speeds(), &[1.0, 2.0, 3.5]);
+        assert_eq!(m.m(), 3);
+        assert_eq!(m.s_min(), 1.0);
+        assert_eq!(m.s_max(), 3.5);
+        assert!((m.max_gap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_rejects_bad_input() {
+        assert_eq!(DiscreteModes::new(&[]), Err(ModeError::Empty));
+        assert!(matches!(
+            DiscreteModes::new(&[1.0, -2.0]),
+            Err(ModeError::BadSpeed(_))
+        ));
+        assert!(matches!(
+            DiscreteModes::new(&[f64::NAN]),
+            Err(ModeError::BadSpeed(_))
+        ));
+    }
+
+    #[test]
+    fn rounding_and_brackets() {
+        let m = DiscreteModes::new(&[1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(m.round_up(1.5), Some(2.0));
+        assert_eq!(m.round_up(2.0), Some(2.0));
+        assert_eq!(m.round_up(4.1), None);
+        assert_eq!(m.round_down(1.5), Some(1.0));
+        assert_eq!(m.round_down(0.5), None);
+        assert_eq!(m.bracket(3.0), Some((2.0, 4.0)));
+        assert_eq!(m.bracket(2.0), Some((2.0, 2.0)));
+        assert_eq!(m.bracket(0.1), None);
+        assert!(m.contains(2.0));
+        assert!(!m.contains(3.0));
+    }
+
+    #[test]
+    fn incremental_grid() {
+        let m = IncrementalModes::new(1.0, 2.0, 0.25).unwrap();
+        assert_eq!(m.m(), 5);
+        assert_eq!(m.mode(0), 1.0);
+        assert!((m.top_mode() - 2.0).abs() < 1e-12);
+        assert_eq!(m.round_up(1.1), Some(1.25));
+        assert_eq!(m.round_up(0.2), Some(1.0));
+        assert_eq!(m.round_up(2.01), None);
+        assert_eq!(m.round_down(1.1), Some(1.0));
+        assert_eq!(m.round_down(0.9), None);
+        // Exact grid points round to themselves in both directions.
+        assert_eq!(m.round_up(1.25), Some(1.25));
+        assert_eq!(m.round_down(1.25), Some(1.25));
+    }
+
+    #[test]
+    fn incremental_truncates_to_multiple() {
+        // (2.0 − 1.0)/0.3 = 3.33 → modes at 1.0, 1.3, 1.6, 1.9.
+        let m = IncrementalModes::new(1.0, 2.0, 0.3).unwrap();
+        assert_eq!(m.m(), 4);
+        assert!((m.top_mode() - 1.9).abs() < 1e-12);
+        assert_eq!(m.round_up(1.95), None);
+    }
+
+    #[test]
+    fn incremental_to_discrete_roundtrip() {
+        let inc = IncrementalModes::new(0.5, 1.5, 0.5).unwrap();
+        let d = inc.to_discrete();
+        assert_eq!(d.speeds(), &[0.5, 1.0, 1.5]);
+        assert!((d.max_gap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounding_ratio_matches_theorem5() {
+        let inc = IncrementalModes::new(1.0, 2.0, 0.1).unwrap();
+        // (1 + 0.1/1.0)² = 1.21 for the paper's α = 3.
+        assert!((inc.rounding_ratio(3.0) - 1.21).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_rejects_bad_params() {
+        assert!(IncrementalModes::new(0.0, 1.0, 0.1).is_err());
+        assert!(IncrementalModes::new(1.0, 0.5, 0.1).is_err());
+        assert!(IncrementalModes::new(1.0, 2.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn single_mode_sets() {
+        let d = DiscreteModes::new(&[2.0]).unwrap();
+        assert_eq!(d.max_gap(), 0.0);
+        assert_eq!(d.bracket(2.0), Some((2.0, 2.0)));
+        let i = IncrementalModes::new(2.0, 2.0, 0.5).unwrap();
+        assert_eq!(i.m(), 1);
+    }
+}

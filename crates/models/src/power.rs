@@ -1,0 +1,152 @@
+//! The dynamic power function `P(s) = s^α`.
+
+/// Power-law dynamic energy: a processor operated at speed `s` for `d`
+/// time units consumes `s^α · d` joules.
+///
+/// The paper fixes `α = 3` (citing JouleTrack and Ishihara–Yasuura);
+/// we keep the exponent as a parameter because every algorithm in the
+/// paper only needs `α > 1` (strict convexity), and the companion
+/// report states the results for general `α`. [`PowerLaw::CUBIC`] is
+/// the paper's default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLaw {
+    alpha: f64,
+}
+
+impl PowerLaw {
+    /// The paper's `s³` model.
+    pub const CUBIC: PowerLaw = PowerLaw { alpha: 3.0 };
+
+    /// A general exponent `α > 1` (required for strict convexity of
+    /// the energy in the task duration).
+    pub fn new(alpha: f64) -> PowerLaw {
+        assert!(
+            alpha.is_finite() && alpha > 1.0,
+            "power exponent must be finite and > 1, got {alpha}"
+        );
+        PowerLaw { alpha }
+    }
+
+    /// The exponent `α`.
+    #[inline]
+    pub fn alpha(self) -> f64 {
+        self.alpha
+    }
+
+    /// Instantaneous power at speed `s`: `s^α` watts.
+    #[inline]
+    pub fn power(self, s: f64) -> f64 {
+        s.powf(self.alpha)
+    }
+
+    /// Energy of running at constant speed `s` for `d` time units.
+    #[inline]
+    pub fn energy(self, s: f64, d: f64) -> f64 {
+        self.power(s) * d
+    }
+
+    /// Energy of executing `w` units of work in exactly `d` time units
+    /// at constant speed: `(w/d)^α · d = w^α / d^{α−1}`.
+    ///
+    /// This is the objective's per-task term after eliminating the
+    /// speed (`§1`: "objective function rewritten as
+    /// `Σ (1/s_i)^{−2} w_i`" for `α = 3`).
+    #[inline]
+    pub fn energy_for_work(self, w: f64, d: f64) -> f64 {
+        debug_assert!(d > 0.0);
+        w.powf(self.alpha) / d.powf(self.alpha - 1.0)
+    }
+
+    /// Energy of executing `w` units of work at constant speed `s`:
+    /// `s^{α−1} · w`.
+    #[inline]
+    pub fn energy_at_speed(self, w: f64, s: f64) -> f64 {
+        s.powf(self.alpha - 1.0) * w
+    }
+
+    /// The "α-norm" combinator used by parallel composition:
+    /// `(Σ x_i^α)^{1/α}` (cube root of the sum of cubes for `α = 3`,
+    /// exactly Theorem 1's expression).
+    pub fn parallel_combine(self, xs: impl IntoIterator<Item = f64>) -> f64 {
+        let s: f64 = xs.into_iter().map(|x| x.powf(self.alpha)).sum();
+        s.powf(1.0 / self.alpha)
+    }
+}
+
+impl Default for PowerLaw {
+    fn default() -> Self {
+        PowerLaw::CUBIC
+    }
+}
+
+/// Static platform energy over an execution window.
+///
+/// The paper's §1 deliberately excludes this term: "We do not take
+/// static energy into account, because all processors are up and alive
+/// during the whole execution" — with a fixed processor count and a
+/// fixed deadline, the static part `processors · P_static · D` is a
+/// constant offset that no speed assignment can change, so it never
+/// affects which schedule is optimal. This helper exists for
+/// *reporting* total platform energy (e.g. when comparing deadlines of
+/// different lengths, where the offset is no longer constant).
+pub fn static_energy(processors: usize, static_power: f64, duration: f64) -> f64 {
+    assert!(static_power >= 0.0 && duration >= 0.0);
+    processors as f64 * static_power * duration
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubic_matches_paper() {
+        let p = PowerLaw::CUBIC;
+        assert_eq!(p.alpha(), 3.0);
+        // s³ watts for d time units.
+        assert!((p.energy(2.0, 5.0) - 40.0).abs() < 1e-12);
+        // w³ / d² form.
+        assert!((p.energy_for_work(4.0, 2.0) - 16.0).abs() < 1e-12);
+        // equal to running w at speed w/d: (w/d)^3 * d
+        let (w, d) = (3.0, 1.5);
+        assert!((p.energy_for_work(w, d) - p.energy(w / d, d)).abs() < 1e-12);
+        // s² · w form.
+        assert!((p.energy_at_speed(4.0, 2.0) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_alpha_consistency() {
+        let p = PowerLaw::new(2.5);
+        let (w, d) = (7.0, 3.0);
+        let s = w / d;
+        assert!((p.energy_for_work(w, d) - p.energy(s, d)).abs() < 1e-9);
+        assert!((p.energy_at_speed(w, s) - p.energy(s, d)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_combine_is_cube_root_of_sum_of_cubes() {
+        let p = PowerLaw::CUBIC;
+        let c = p.parallel_combine([1.0, 2.0, 3.0]);
+        assert!((c - 36.0f64.cbrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_decreases_when_slowing_down() {
+        // Convexity sanity: same work over a longer duration costs less.
+        let p = PowerLaw::CUBIC;
+        assert!(p.energy_for_work(5.0, 2.0) > p.energy_for_work(5.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn alpha_must_exceed_one() {
+        let _ = PowerLaw::new(1.0);
+    }
+
+    #[test]
+    fn static_energy_is_procs_times_power_times_time() {
+        assert_eq!(static_energy(4, 0.5, 10.0), 20.0);
+        assert_eq!(static_energy(0, 1.0, 10.0), 0.0);
+        // Constant in the speed assignment: only D, P_static, p count.
+        assert_eq!(static_energy(2, 0.0, 100.0), 0.0);
+    }
+}

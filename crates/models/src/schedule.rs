@@ -1,0 +1,455 @@
+//! Complete solutions: per-task start times and speed profiles, with
+//! energy accounting and full feasibility checking.
+
+use crate::model::EnergyModel;
+use crate::power::PowerLaw;
+use std::fmt;
+use taskgraph::{analysis, TaskGraph, TaskId};
+
+/// Relative tolerance used by all feasibility checks.
+pub const TOL: f64 = 1e-6;
+
+/// How a task's speed evolves over its execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpeedProfile {
+    /// One constant speed for the whole task (all models; the only
+    /// admissible profile under Discrete and Incremental).
+    Constant(f64),
+    /// A sequence of `(speed, time)` intervals — the Vdd-Hopping
+    /// execution ("the energy consumed is the sum, on each time
+    /// interval with constant speed s, of the energy consumed during
+    /// this interval at speed s").
+    Pieces(Vec<(f64, f64)>),
+}
+
+impl SpeedProfile {
+    /// Total execution time of the task under this profile.
+    pub fn duration(&self) -> f64 {
+        match self {
+            SpeedProfile::Constant(_) => f64::NAN, // needs the work; see `duration_for`
+            SpeedProfile::Pieces(ps) => ps.iter().map(|&(_, t)| t).sum(),
+        }
+    }
+
+    /// Execution time for `w` units of work.
+    pub fn duration_for(&self, w: f64) -> f64 {
+        match self {
+            SpeedProfile::Constant(s) => w / s,
+            SpeedProfile::Pieces(ps) => ps.iter().map(|&(_, t)| t).sum(),
+        }
+    }
+
+    /// Work accomplished by the profile (`∫ s dt`). For a constant
+    /// profile this is defined by the task's work, so the caller
+    /// passes it in.
+    pub fn work_done(&self, w_for_constant: f64) -> f64 {
+        match self {
+            SpeedProfile::Constant(_) => w_for_constant,
+            SpeedProfile::Pieces(ps) => ps.iter().map(|&(s, t)| s * t).sum(),
+        }
+    }
+
+    /// Energy consumed executing `w` units of work under this profile.
+    pub fn energy(&self, w: f64, p: PowerLaw) -> f64 {
+        match self {
+            SpeedProfile::Constant(s) => p.energy_at_speed(w, *s),
+            SpeedProfile::Pieces(ps) => ps.iter().map(|&(s, t)| p.energy(s, t)).sum(),
+        }
+    }
+
+    /// Mean speed (`work / duration`).
+    pub fn mean_speed(&self, w: f64) -> f64 {
+        match self {
+            SpeedProfile::Constant(s) => *s,
+            SpeedProfile::Pieces(_) => {
+                let d = self.duration_for(w);
+                self.work_done(w) / d
+            }
+        }
+    }
+}
+
+/// Why a schedule is infeasible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// Wrong number of per-task entries.
+    WrongSize { expected: usize, got: usize },
+    /// A start time is negative.
+    NegativeStart(usize),
+    /// A speed is inadmissible under the model.
+    BadSpeed { task: usize, speed: f64 },
+    /// The model forbids mid-task speed switching but the profile has
+    /// several pieces.
+    SwitchForbidden(usize),
+    /// A Vdd-Hopping piece uses a speed that is not one of the modes.
+    NotAMode { task: usize, speed: f64 },
+    /// The profile does not accomplish the task's work.
+    WorkMismatch { task: usize, done: f64, want: f64 },
+    /// A precedence constraint `t_i + d_j ≤ t_j` is violated.
+    PrecedenceViolated { from: usize, to: usize },
+    /// A task completes after the deadline.
+    DeadlineViolated { task: usize, completion: f64, deadline: f64 },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::WrongSize { expected, got } => {
+                write!(f, "schedule covers {got} tasks, graph has {expected}")
+            }
+            ScheduleError::NegativeStart(i) => write!(f, "task T{i} starts before time 0"),
+            ScheduleError::BadSpeed { task, speed } => {
+                write!(f, "task T{task} runs at inadmissible speed {speed}")
+            }
+            ScheduleError::SwitchForbidden(i) => {
+                write!(f, "task T{i} switches speed mid-task, model forbids it")
+            }
+            ScheduleError::NotAMode { task, speed } => {
+                write!(f, "task T{task} piece speed {speed} is not a mode")
+            }
+            ScheduleError::WorkMismatch { task, done, want } => {
+                write!(f, "task T{task} does {done} work, needs {want}")
+            }
+            ScheduleError::PrecedenceViolated { from, to } => {
+                write!(f, "precedence T{from} → T{to} violated")
+            }
+            ScheduleError::DeadlineViolated { task, completion, deadline } => {
+                write!(f, "task T{task} completes at {completion} > deadline {deadline}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A complete solution to `MinEnergy(Ĝ, D)`: a start time and a speed
+/// profile per task.
+///
+/// ```
+/// use models::{EnergyModel, PowerLaw, Schedule};
+/// use taskgraph::TaskGraph;
+///
+/// let g = TaskGraph::new(vec![2.0, 2.0], &[(0, 1)]).unwrap();
+/// let s = Schedule::asap_from_speeds(&g, &[2.0, 1.0]);
+/// assert_eq!(s.makespan(&g), 3.0);                    // 1 + 2
+/// assert_eq!(s.energy(&g, PowerLaw::CUBIC), 10.0);    // 4·2 + 1·2
+/// s.validate(&g, &EnergyModel::continuous(2.0), 3.0).unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    starts: Vec<f64>,
+    profiles: Vec<SpeedProfile>,
+}
+
+impl Schedule {
+    /// Build from explicit starts and profiles.
+    pub fn new(starts: Vec<f64>, profiles: Vec<SpeedProfile>) -> Schedule {
+        assert_eq!(starts.len(), profiles.len());
+        Schedule { starts, profiles }
+    }
+
+    /// Build the **as-soon-as-possible** schedule for the given
+    /// constant per-task speeds: every task starts at the maximum
+    /// completion time of its predecessors.
+    pub fn asap_from_speeds(g: &TaskGraph, speeds: &[f64]) -> Schedule {
+        assert_eq!(speeds.len(), g.n());
+        let durations: Vec<f64> =
+            speeds.iter().zip(g.weights()).map(|(&s, &w)| w / s).collect();
+        let ecl = analysis::earliest_completion(g, &durations);
+        let starts: Vec<f64> = ecl.iter().zip(&durations).map(|(c, d)| c - d).collect();
+        let profiles = speeds.iter().map(|&s| SpeedProfile::Constant(s)).collect();
+        Schedule { starts, profiles }
+    }
+
+    /// Build the ASAP schedule from explicit per-task profiles.
+    pub fn asap_from_profiles(g: &TaskGraph, profiles: Vec<SpeedProfile>) -> Schedule {
+        assert_eq!(profiles.len(), g.n());
+        let durations: Vec<f64> = profiles
+            .iter()
+            .zip(g.weights())
+            .map(|(p, &w)| p.duration_for(w))
+            .collect();
+        let ecl = analysis::earliest_completion(g, &durations);
+        let starts: Vec<f64> = ecl.iter().zip(&durations).map(|(c, d)| c - d).collect();
+        Schedule { starts, profiles }
+    }
+
+    /// Number of tasks covered.
+    pub fn n(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Start time of task `t`.
+    pub fn start(&self, t: TaskId) -> f64 {
+        self.starts[t.0]
+    }
+
+    /// Speed profile of task `t`.
+    pub fn profile(&self, t: TaskId) -> &SpeedProfile {
+        &self.profiles[t.0]
+    }
+
+    /// Duration of task `t` given its work `w`.
+    pub fn duration(&self, t: TaskId, g: &TaskGraph) -> f64 {
+        self.profiles[t.0].duration_for(g.weight(t))
+    }
+
+    /// Completion time `t_i = start + duration`.
+    pub fn completion(&self, t: TaskId, g: &TaskGraph) -> f64 {
+        self.start(t) + self.duration(t, g)
+    }
+
+    /// Latest completion over all tasks.
+    pub fn makespan(&self, g: &TaskGraph) -> f64 {
+        g.tasks()
+            .map(|t| self.completion(t, g))
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Total dynamic energy `Σ_i E(profile_i, w_i)`.
+    pub fn energy(&self, g: &TaskGraph, p: PowerLaw) -> f64 {
+        g.tasks()
+            .map(|t| self.profiles[t.0].energy(g.weight(t), p))
+            .sum()
+    }
+
+    /// Per-task constant speeds, if every profile is constant.
+    pub fn constant_speeds(&self) -> Option<Vec<f64>> {
+        self.profiles
+            .iter()
+            .map(|p| match p {
+                SpeedProfile::Constant(s) => Some(*s),
+                SpeedProfile::Pieces(_) => None,
+            })
+            .collect()
+    }
+
+    /// Full feasibility check against graph, model, and deadline.
+    ///
+    /// Verifies (i) size, (ii) non-negative starts, (iii) per-task
+    /// speed admissibility under `model` (including the no-mid-task-
+    /// switch rule for Discrete/Incremental and mode membership for
+    /// Vdd pieces), (iv) work completion `∫ s dt = w_i`, (v) every
+    /// precedence constraint of `Ĝ`, and (vi) the deadline.
+    pub fn validate(
+        &self,
+        g: &TaskGraph,
+        model: &EnergyModel,
+        deadline: f64,
+    ) -> Result<(), ScheduleError> {
+        if self.n() != g.n() {
+            return Err(ScheduleError::WrongSize { expected: g.n(), got: self.n() });
+        }
+        for t in g.tasks() {
+            let i = t.0;
+            if self.starts[i] < -TOL {
+                return Err(ScheduleError::NegativeStart(i));
+            }
+            match &self.profiles[i] {
+                SpeedProfile::Constant(s) => {
+                    if !model.admits_constant_speed(*s) {
+                        return Err(ScheduleError::BadSpeed { task: i, speed: *s });
+                    }
+                }
+                SpeedProfile::Pieces(ps) => {
+                    if !model.allows_mid_task_switch() && ps.len() > 1 {
+                        return Err(ScheduleError::SwitchForbidden(i));
+                    }
+                    for &(s, _) in ps {
+                        match model {
+                            EnergyModel::VddHopping(modes) => {
+                                if !modes.contains(s) {
+                                    return Err(ScheduleError::NotAMode { task: i, speed: s });
+                                }
+                            }
+                            _ => {
+                                if !model.admits_constant_speed(s) {
+                                    return Err(ScheduleError::BadSpeed { task: i, speed: s });
+                                }
+                            }
+                        }
+                    }
+                    let done = self.profiles[i].work_done(g.weight(t));
+                    let want = g.weight(t);
+                    if (done - want).abs() > TOL * (1.0 + want.abs()) {
+                        return Err(ScheduleError::WorkMismatch { task: i, done, want });
+                    }
+                }
+            }
+        }
+        for &(u, v) in g.edges() {
+            let end_u = self.completion(u, g);
+            let start_v = self.start(v);
+            if start_v < end_u - TOL * (1.0 + end_u.abs()) {
+                return Err(ScheduleError::PrecedenceViolated { from: u.0, to: v.0 });
+            }
+        }
+        for t in g.tasks() {
+            let c = self.completion(t, g);
+            if c > deadline * (1.0 + TOL) + TOL {
+                return Err(ScheduleError::DeadlineViolated {
+                    task: t.0,
+                    completion: c,
+                    deadline,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::DiscreteModes;
+    use taskgraph::generators;
+
+    fn cont() -> EnergyModel {
+        EnergyModel::continuous_unbounded()
+    }
+
+    #[test]
+    fn asap_diamond_schedule() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let s = Schedule::asap_from_speeds(&g, &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(s.start(TaskId(0)), 0.0);
+        assert_eq!(s.start(TaskId(1)), 1.0);
+        assert_eq!(s.start(TaskId(2)), 1.0);
+        assert_eq!(s.start(TaskId(3)), 4.0);
+        assert_eq!(s.makespan(&g), 8.0);
+        s.validate(&g, &cont(), 8.0).unwrap();
+        assert!(matches!(
+            s.validate(&g, &cont(), 7.9),
+            Err(ScheduleError::DeadlineViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn energy_accounting_cubic() {
+        let g = generators::chain(&[2.0, 3.0]);
+        let s = Schedule::asap_from_speeds(&g, &[2.0, 1.0]);
+        // E = s² w: 4·2 + 1·3 = 11.
+        assert!((s.energy(&g, PowerLaw::CUBIC) - 11.0).abs() < 1e-12);
+        assert!((s.makespan(&g) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let g = generators::chain(&[1.0, 1.0]);
+        let s = Schedule::new(
+            vec![0.0, 0.5],
+            vec![SpeedProfile::Constant(1.0), SpeedProfile::Constant(1.0)],
+        );
+        assert!(matches!(
+            s.validate(&g, &cont(), 10.0),
+            Err(ScheduleError::PrecedenceViolated { from: 0, to: 1 })
+        ));
+    }
+
+    #[test]
+    fn vdd_profile_checks_modes_and_work() {
+        let g = generators::chain(&[3.0]);
+        let modes = DiscreteModes::new(&[1.0, 2.0]).unwrap();
+        let vdd = EnergyModel::VddHopping(modes);
+        // 1·1 + 2·1 = 3 units of work: feasible.
+        let ok = Schedule::new(
+            vec![0.0],
+            vec![SpeedProfile::Pieces(vec![(1.0, 1.0), (2.0, 1.0)])],
+        );
+        ok.validate(&g, &vdd, 2.0).unwrap();
+        assert!((ok.profile(TaskId(0)).mean_speed(3.0) - 1.5).abs() < 1e-12);
+        // Energy: 1³·1 + 2³·1 = 9.
+        assert!((ok.energy(&g, PowerLaw::CUBIC) - 9.0).abs() < 1e-12);
+        // Speed 1.5 is not a mode.
+        let bad_mode = Schedule::new(
+            vec![0.0],
+            vec![SpeedProfile::Pieces(vec![(1.5, 2.0)])],
+        );
+        assert!(matches!(
+            bad_mode.validate(&g, &vdd, 10.0),
+            Err(ScheduleError::NotAMode { .. })
+        ));
+        // Work mismatch.
+        let too_little = Schedule::new(
+            vec![0.0],
+            vec![SpeedProfile::Pieces(vec![(1.0, 1.0)])],
+        );
+        assert!(matches!(
+            too_little.validate(&g, &vdd, 10.0),
+            Err(ScheduleError::WorkMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn discrete_forbids_mid_task_switch() {
+        let g = generators::chain(&[2.0]);
+        let modes = DiscreteModes::new(&[1.0, 2.0]).unwrap();
+        let disc = EnergyModel::Discrete(modes);
+        let s = Schedule::new(
+            vec![0.0],
+            vec![SpeedProfile::Pieces(vec![(1.0, 1.0), (2.0, 0.5)])],
+        );
+        assert!(matches!(
+            s.validate(&g, &disc, 10.0),
+            Err(ScheduleError::SwitchForbidden(0))
+        ));
+        // Constant non-mode speed is rejected too.
+        let s2 = Schedule::asap_from_speeds(&g, &[1.5]);
+        assert!(matches!(
+            s2.validate(&g, &disc, 10.0),
+            Err(ScheduleError::BadSpeed { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_start_detected() {
+        let g = generators::chain(&[1.0]);
+        let s = Schedule::new(vec![-1.0], vec![SpeedProfile::Constant(1.0)]);
+        assert!(matches!(
+            s.validate(&g, &cont(), 10.0),
+            Err(ScheduleError::NegativeStart(0))
+        ));
+    }
+
+    #[test]
+    fn smax_enforced_for_continuous() {
+        let g = generators::chain(&[1.0]);
+        let s = Schedule::asap_from_speeds(&g, &[3.0]);
+        s.validate(&g, &EnergyModel::continuous(3.0), 10.0).unwrap();
+        assert!(matches!(
+            s.validate(&g, &EnergyModel::continuous(2.0), 10.0),
+            Err(ScheduleError::BadSpeed { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_speeds_extraction() {
+        let g = generators::chain(&[1.0, 2.0]);
+        let s = Schedule::asap_from_speeds(&g, &[1.0, 2.0]);
+        assert_eq!(s.constant_speeds(), Some(vec![1.0, 2.0]));
+        let mixed = Schedule::new(
+            vec![0.0, 1.0],
+            vec![
+                SpeedProfile::Constant(1.0),
+                SpeedProfile::Pieces(vec![(2.0, 1.0)]),
+            ],
+        );
+        assert_eq!(mixed.constant_speeds(), None);
+    }
+
+    #[test]
+    fn asap_from_profiles_matches_speeds() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let sp = Schedule::asap_from_speeds(&g, &[1.0, 2.0, 1.0, 1.0]);
+        let pr = Schedule::asap_from_profiles(
+            &g,
+            vec![
+                SpeedProfile::Constant(1.0),
+                SpeedProfile::Constant(2.0),
+                SpeedProfile::Constant(1.0),
+                SpeedProfile::Constant(1.0),
+            ],
+        );
+        assert_eq!(sp, pr);
+    }
+}

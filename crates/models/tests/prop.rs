@@ -1,0 +1,104 @@
+//! Property tests for schedules and energy accounting.
+
+use models::{DiscreteModes, EnergyModel, PowerLaw, Schedule, SpeedProfile};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taskgraph::generators;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// ASAP schedules built from admissible speeds always validate at
+    /// their own makespan.
+    #[test]
+    fn asap_validates_at_makespan(
+        ws in prop::collection::vec(0.2f64..5.0, 1..10),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = {
+            let n = ws.len();
+            let mut edges = Vec::new();
+            use rand::Rng;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(0.3) {
+                        edges.push((i, j));
+                    }
+                }
+            }
+            taskgraph::TaskGraph::new(ws.clone(), &edges).unwrap()
+        };
+        use rand::Rng;
+        let speeds: Vec<f64> = (0..g.n()).map(|_| rng.gen_range(0.5f64..2.0)).collect();
+        let sched = Schedule::asap_from_speeds(&g, &speeds);
+        let mk = sched.makespan(&g);
+        sched
+            .validate(&g, &EnergyModel::continuous(2.0), mk)
+            .expect("ASAP schedule must be feasible at its makespan");
+        // And must fail strictly below it.
+        prop_assert!(sched.validate(&g, &EnergyModel::continuous(2.0), mk * 0.9).is_err());
+    }
+
+    /// Energy is (α−1)-homogeneous in a uniform speed scale.
+    #[test]
+    fn energy_homogeneity(
+        ws in prop::collection::vec(0.2f64..5.0, 1..8),
+        lambda in 1.1f64..3.0,
+        alpha in 1.5f64..4.0,
+    ) {
+        let g = generators::chain(&ws);
+        let p = PowerLaw::new(alpha);
+        let s1 = vec![1.0; g.n()];
+        let s2 = vec![lambda; g.n()];
+        let e1 = Schedule::asap_from_speeds(&g, &s1).energy(&g, p);
+        let e2 = Schedule::asap_from_speeds(&g, &s2).energy(&g, p);
+        let expect = e1 * lambda.powf(alpha - 1.0);
+        prop_assert!((e2 - expect).abs() <= 1e-9 * expect.max(1.0));
+    }
+
+    /// A Vdd profile's mean speed lies between its slowest and fastest
+    /// pieces, and its energy is at least the constant-mean-speed
+    /// energy (convexity of s^α).
+    #[test]
+    fn profile_mean_speed_and_convexity(
+        s_lo in 0.5f64..1.5,
+        gap in 0.1f64..2.0,
+        t_lo in 0.1f64..3.0,
+        t_hi in 0.1f64..3.0,
+    ) {
+        let s_hi = s_lo + gap;
+        let profile = SpeedProfile::Pieces(vec![(s_lo, t_lo), (s_hi, t_hi)]);
+        let w = profile.work_done(0.0);
+        let mean = profile.mean_speed(w);
+        prop_assert!(mean >= s_lo - 1e-9 && mean <= s_hi + 1e-9);
+        let p = PowerLaw::CUBIC;
+        let e_pieces = profile.energy(w, p);
+        let e_mean = p.energy_at_speed(w, mean);
+        prop_assert!(e_pieces >= e_mean * (1.0 - 1e-9),
+            "mixing cannot beat the constant mean speed: {e_pieces} < {e_mean}");
+    }
+
+    /// Mode-set rounding brackets: round_down ≤ s ≤ round_up and both
+    /// are modes.
+    #[test]
+    fn discrete_rounding_brackets(
+        speeds in prop::collection::vec(0.1f64..5.0, 1..8),
+        query in 0.05f64..6.0,
+    ) {
+        let m = DiscreteModes::new(&speeds).unwrap();
+        if let Some(up) = m.round_up(query) {
+            prop_assert!(up >= query - 1e-9);
+            prop_assert!(m.contains(up));
+        } else {
+            prop_assert!(query > m.s_max());
+        }
+        if let Some(down) = m.round_down(query) {
+            prop_assert!(down <= query + 1e-9);
+            prop_assert!(m.contains(down));
+        } else {
+            prop_assert!(query < m.s_min());
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Event-driven execution of a schedule.
+
+use crate::trace::PowerTrace;
+use mapping::Mapping;
+use models::{PowerLaw, Schedule, SpeedProfile};
+use std::fmt;
+use taskgraph::{TaskGraph, TaskId};
+
+/// One executed task occurrence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskEvent {
+    /// The task.
+    pub task: TaskId,
+    /// When it started.
+    pub start: f64,
+    /// When it completed.
+    pub end: f64,
+}
+
+/// Why the simulation rejected the schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A task started before one of its predecessors had completed.
+    PrecedenceViolation {
+        /// The late predecessor.
+        pred: usize,
+        /// The too-eager successor.
+        succ: usize,
+        /// How early the successor started.
+        gap: f64,
+    },
+    /// Two tasks mapped to the same processor overlap in time.
+    ProcessorOverlap {
+        /// The processor.
+        processor: usize,
+        /// First task.
+        a: usize,
+        /// Second task.
+        b: usize,
+    },
+    /// A start time is negative or non-finite.
+    BadStart(usize),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PrecedenceViolation { pred, succ, gap } => write!(
+                f,
+                "T{succ} starts {gap} before its predecessor T{pred} completes"
+            ),
+            SimError::ProcessorOverlap { processor, a, b } => {
+                write!(f, "tasks T{a} and T{b} overlap on processor {processor}")
+            }
+            SimError::BadStart(i) => write!(f, "task T{i} has an invalid start time"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The outcome of a successful simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Executed intervals, sorted by start time.
+    pub events: Vec<TaskEvent>,
+    /// Total platform power over time.
+    pub trace: PowerTrace,
+    /// Integrated energy `∫ P dt` (independent of the analytic
+    /// accounting in `models`).
+    pub energy: f64,
+    /// Completion time of the last task.
+    pub makespan: f64,
+}
+
+/// Execute the schedule on the execution graph.
+///
+/// Replays every task at its scheduled start with its speed profile,
+/// checking causality (every precedence edge) along the way, and
+/// integrates the platform power trace.
+pub fn simulate(
+    g: &TaskGraph,
+    schedule: &Schedule,
+    p: PowerLaw,
+) -> Result<SimResult, SimError> {
+    assert_eq!(schedule.n(), g.n(), "schedule/graph size mismatch");
+    const TOL: f64 = 1e-6;
+    // Build events.
+    let mut events = Vec::with_capacity(g.n());
+    for t in g.tasks() {
+        let start = schedule.start(t);
+        if !start.is_finite() || start < -TOL {
+            return Err(SimError::BadStart(t.index()));
+        }
+        let end = schedule.completion(t, g);
+        events.push(TaskEvent { task: t, start, end });
+    }
+    // Causality.
+    for &(u, v) in g.edges() {
+        let end_u = events[u.index()].end;
+        let start_v = events[v.index()].start;
+        if start_v < end_u - TOL * (1.0 + end_u.abs()) {
+            return Err(SimError::PrecedenceViolation {
+                pred: u.index(),
+                succ: v.index(),
+                gap: end_u - start_v,
+            });
+        }
+    }
+    // Power contributions, piece by piece.
+    let mut contribs: Vec<(f64, f64, f64)> = Vec::new();
+    for t in g.tasks() {
+        let mut clock = schedule.start(t);
+        match schedule.profile(t) {
+            SpeedProfile::Constant(s) => {
+                let d = g.weight(t) / s;
+                contribs.push((clock, clock + d, p.power(*s)));
+            }
+            SpeedProfile::Pieces(ps) => {
+                for &(s, d) in ps {
+                    if d > 0.0 {
+                        contribs.push((clock, clock + d, p.power(s)));
+                        clock += d;
+                    }
+                }
+            }
+        }
+    }
+    let trace = PowerTrace::from_contributions(&contribs);
+    let energy = trace.energy();
+    let makespan = events.iter().map(|e| e.end).fold(0.0f64, f64::max);
+    events.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+    Ok(SimResult { events, trace, energy, makespan })
+}
+
+/// Verify that no two tasks sharing a processor overlap in time.
+///
+/// The serialization edges of the execution graph make this
+/// automatic for schedules produced by the solvers; this is the
+/// independent check.
+pub fn check_mapping_consistency(
+    g: &TaskGraph,
+    schedule: &Schedule,
+    mapping: &Mapping,
+) -> Result<(), SimError> {
+    const TOL: f64 = 1e-6;
+    for (proc, list) in mapping.lists().iter().enumerate() {
+        // Tasks on one processor, in their mapped order, must run
+        // back-to-back or with gaps — never overlapping.
+        for w in list.windows(2) {
+            let end_a = schedule.completion(w[0], g);
+            let start_b = schedule.start(w[1]);
+            if start_b < end_a - TOL * (1.0 + end_a.abs()) {
+                return Err(SimError::ProcessorOverlap {
+                    processor: proc,
+                    a: w[0].index(),
+                    b: w[1].index(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-processor busy fraction over the makespan: `Σ durations on p /
+/// makespan`. A perfectly packed processor reports 1.0.
+pub fn utilization(g: &TaskGraph, schedule: &Schedule, mapping: &Mapping) -> Vec<f64> {
+    let makespan = schedule.makespan(g).max(1e-12);
+    mapping
+        .lists()
+        .iter()
+        .map(|list| {
+            let busy: f64 = list.iter().map(|&t| schedule.duration(t, g)).sum();
+            busy / makespan
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use models::EnergyModel;
+    use taskgraph::generators;
+
+    const P: PowerLaw = PowerLaw::CUBIC;
+
+    #[test]
+    fn integrated_energy_matches_analytic() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.0]);
+        let sched = Schedule::asap_from_speeds(&g, &[1.0, 0.5, 1.5, 2.0]);
+        let sim = simulate(&g, &sched, P).unwrap();
+        let analytic = sched.energy(&g, P);
+        assert!(
+            (sim.energy - analytic).abs() < 1e-9 * analytic,
+            "sim {} vs analytic {analytic}",
+            sim.energy
+        );
+        assert!((sim.makespan - sched.makespan(&g)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vdd_profiles_integrate_correctly() {
+        let g = generators::chain(&[3.0]);
+        let sched = Schedule::new(
+            vec![0.0],
+            vec![SpeedProfile::Pieces(vec![(1.0, 1.0), (2.0, 1.0)])],
+        );
+        let sim = simulate(&g, &sched, P).unwrap();
+        assert!((sim.energy - 9.0).abs() < 1e-12);
+        // Power steps from 1 to 8 watts.
+        assert_eq!(sim.trace.power_at(0.5), 1.0);
+        assert_eq!(sim.trace.power_at(1.5), 8.0);
+        assert_eq!(sim.trace.peak_power(), 8.0);
+    }
+
+    #[test]
+    fn causality_violation_detected() {
+        let g = generators::chain(&[1.0, 1.0]);
+        let bad = Schedule::new(
+            vec![0.0, 0.5],
+            vec![SpeedProfile::Constant(1.0), SpeedProfile::Constant(1.0)],
+        );
+        assert!(matches!(
+            simulate(&g, &bad, P),
+            Err(SimError::PrecedenceViolation { pred: 0, succ: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_start_detected() {
+        let g = generators::chain(&[1.0]);
+        let bad = Schedule::new(vec![f64::NAN], vec![SpeedProfile::Constant(1.0)]);
+        assert!(matches!(simulate(&g, &bad, P), Err(SimError::BadStart(0))));
+    }
+
+    #[test]
+    fn mapping_overlap_detected() {
+        let g = taskgraph::TaskGraph::new(vec![2.0, 2.0], &[]).unwrap();
+        // Both tasks on one processor, overlapping in time.
+        let m = Mapping::new(vec![vec![TaskId(0), TaskId(1)]]);
+        let sched = Schedule::new(
+            vec![0.0, 1.0],
+            vec![SpeedProfile::Constant(1.0), SpeedProfile::Constant(1.0)],
+        );
+        assert!(matches!(
+            check_mapping_consistency(&g, &sched, &m),
+            Err(SimError::ProcessorOverlap { processor: 0, .. })
+        ));
+        // Back-to-back is fine.
+        let ok = Schedule::new(
+            vec![0.0, 2.0],
+            vec![SpeedProfile::Constant(1.0), SpeedProfile::Constant(1.0)],
+        );
+        check_mapping_consistency(&g, &ok, &m).unwrap();
+    }
+
+    #[test]
+    fn solver_schedules_pass_simulation() {
+        let g = generators::fork_join(1.0, &[2.0, 3.0], 1.0);
+        let model = EnergyModel::continuous(2.0);
+        let sol = reclaim_core::solve(&g, 6.0, &model, P).unwrap();
+        let sim = simulate(&g, &sol.schedule, P).unwrap();
+        assert!((sim.energy - sol.energy).abs() < 1e-6 * sol.energy);
+    }
+
+    #[test]
+    fn utilization_of_packed_chain_is_one() {
+        let g = generators::chain(&[1.0, 2.0]);
+        let m = Mapping::new(vec![vec![TaskId(0), TaskId(1)]]);
+        let sched = Schedule::asap_from_speeds(&g, &[1.0, 1.0]);
+        let u = utilization(&g, &sched, &m);
+        assert_eq!(u.len(), 1);
+        assert!((u[0] - 1.0).abs() < 1e-12);
+        // Slower second task on a second processor idles half the time.
+        let m2 = Mapping::new(vec![vec![TaskId(0)], vec![TaskId(1)]]);
+        let u2 = utilization(&g, &sched, &m2);
+        assert!((u2[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((u2[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_sorted_by_start() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.0]);
+        let sched = Schedule::asap_from_speeds(&g, &[1.0; 4]);
+        let sim = simulate(&g, &sched, P).unwrap();
+        for w in sim.events.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+}

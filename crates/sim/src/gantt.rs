@@ -1,0 +1,79 @@
+//! ASCII Gantt charts of executed schedules.
+
+use mapping::Mapping;
+use models::Schedule;
+use taskgraph::TaskGraph;
+
+/// Render a per-processor Gantt chart of the schedule, `width`
+/// characters wide. Each processor gets one row; task intervals are
+/// drawn with the task id (mod 10) as fill, idle time with `·`.
+///
+/// ```text
+/// P0 |0000111133·····|
+/// P1 |··22222········|
+/// ```
+pub fn gantt(g: &TaskGraph, schedule: &Schedule, mapping: &Mapping, width: usize) -> String {
+    assert!(width >= 8, "need a reasonable chart width");
+    let makespan = schedule.makespan(g).max(1e-12);
+    let scale = width as f64 / makespan;
+    let mut out = String::new();
+    for (p, list) in mapping.lists().iter().enumerate() {
+        let mut row = vec!['·'; width];
+        for &t in list {
+            let s = schedule.start(t);
+            let e = schedule.completion(t, g);
+            let c0 = ((s * scale).floor() as usize).min(width - 1);
+            let c1 = ((e * scale).ceil() as usize).clamp(c0 + 1, width);
+            let ch = char::from_digit((t.index() % 10) as u32, 10).unwrap();
+            for cell in &mut row[c0..c1] {
+                *cell = ch;
+            }
+        }
+        out.push_str(&format!("P{p:<2}|"));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "    0{:>w$.3}\n",
+        makespan,
+        w = width.saturating_sub(1)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskgraph::{generators, TaskId};
+
+    #[test]
+    fn renders_rows_per_processor() {
+        let g = generators::chain(&[2.0, 2.0]);
+        let m = Mapping::new(vec![vec![TaskId(0)], vec![TaskId(1)]]);
+        let sched = Schedule::asap_from_speeds(&g, &[1.0, 1.0]);
+        let out = gantt(&g, &sched, &m, 20);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("P0 |"));
+        assert!(lines[1].starts_with("P1 |"));
+        // Task 0 occupies the first half of P0's row, then idle.
+        assert!(lines[0].contains('0'));
+        assert!(lines[0].contains('·'));
+        // Task 1 starts after task 0 on P1.
+        assert!(lines[1].trim_start_matches("P1 |").starts_with('·'));
+    }
+
+    #[test]
+    fn busy_processor_has_no_idle_gap() {
+        let g = generators::chain(&[1.0, 1.0]);
+        let m = Mapping::new(vec![vec![TaskId(0), TaskId(1)]]);
+        let sched = Schedule::asap_from_speeds(&g, &[1.0, 1.0]);
+        let out = gantt(&g, &sched, &m, 16);
+        let row = out.lines().next().unwrap();
+        let cells: String = row
+            .trim_start_matches("P0 |")
+            .trim_end_matches('|')
+            .to_string();
+        assert!(!cells.contains('·'), "back-to-back chain must fill the row: {row}");
+    }
+}

@@ -1,0 +1,29 @@
+//! # sim — discrete-event schedule execution
+//!
+//! An **independent oracle** for the solvers: instead of using the
+//! analytic energy formula `Σ sᵢ^α·dᵢ`, this crate *executes* a
+//! [`models::Schedule`] event by event, builds the platform's
+//! piecewise-constant power trace, and integrates it. Agreement
+//! between the integrated energy and the analytic accounting is a
+//! strong end-to-end check on both sides (used in the workspace
+//! integration tests).
+//!
+//! It also provides what an operator of the paper's platform would
+//! want to see:
+//!
+//! * the executed timeline ([`SimResult::events`]),
+//! * the total power trace with peak/average power
+//!   ([`PowerTrace`]) — relevant because speed scaling trades energy
+//!   *and* flattens power peaks,
+//! * per-processor Gantt charts ([`gantt`]) when the mapping is known,
+//! * mapping-consistency checking (no two tasks sharing a processor
+//!   may overlap — guaranteed by the serialization edges, verified
+//!   here independently).
+
+pub mod executor;
+pub mod gantt;
+pub mod trace;
+
+pub use executor::{check_mapping_consistency, simulate, utilization, SimError, SimResult, TaskEvent};
+pub use gantt::gantt;
+pub use trace::PowerTrace;

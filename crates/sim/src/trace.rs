@@ -1,0 +1,151 @@
+//! Piecewise-constant platform power traces.
+
+/// A piecewise-constant function of time: total dissipated power.
+///
+/// Built from the union of all task execution intervals; segments are
+/// contiguous, non-overlapping, and sorted by time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTrace {
+    /// `(t_start, t_end, watts)` segments, sorted, non-overlapping.
+    segments: Vec<(f64, f64, f64)>,
+}
+
+impl PowerTrace {
+    /// Build a trace from raw `(start, end, watts)` contributions
+    /// (task pieces). Overlapping contributions add up.
+    pub fn from_contributions(contribs: &[(f64, f64, f64)]) -> PowerTrace {
+        // Sweep over all boundaries.
+        let mut bounds: Vec<f64> = contribs
+            .iter()
+            .flat_map(|&(a, b, _)| [a, b])
+            .collect();
+        bounds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        bounds.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        let mut segments = Vec::new();
+        for w in bounds.windows(2) {
+            let (t0, t1) = (w[0], w[1]);
+            if t1 - t0 <= 1e-15 {
+                continue;
+            }
+            let mid = 0.5 * (t0 + t1);
+            let watts: f64 = contribs
+                .iter()
+                .filter(|&&(a, b, _)| a <= mid && mid < b)
+                .map(|&(_, _, p)| p)
+                .sum();
+            segments.push((t0, t1, watts));
+        }
+        PowerTrace { segments }
+    }
+
+    /// The segments `(t_start, t_end, watts)`.
+    pub fn segments(&self) -> &[(f64, f64, f64)] {
+        &self.segments
+    }
+
+    /// Total energy: `∫ P dt`.
+    pub fn energy(&self) -> f64 {
+        self.segments.iter().map(|&(a, b, p)| (b - a) * p).sum()
+    }
+
+    /// Peak instantaneous power.
+    pub fn peak_power(&self) -> f64 {
+        self.segments.iter().map(|&(_, _, p)| p).fold(0.0, f64::max)
+    }
+
+    /// Time-averaged power over the trace's span (0 for an empty
+    /// trace).
+    pub fn average_power(&self) -> f64 {
+        let span = self.span();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.energy() / span
+        }
+    }
+
+    /// Total time span covered (first start to last end).
+    pub fn span(&self) -> f64 {
+        match (self.segments.first(), self.segments.last()) {
+            (Some(&(a, _, _)), Some(&(_, b, _))) => b - a,
+            _ => 0.0,
+        }
+    }
+
+    /// Power at a given time (0 outside the trace).
+    pub fn power_at(&self, t: f64) -> f64 {
+        self.segments
+            .iter()
+            .find(|&&(a, b, _)| a <= t && t < b)
+            .map_or(0.0, |&(_, _, p)| p)
+    }
+
+    /// CSV export (`t_start,t_end,watts` rows with a header), for
+    /// plotting outside the tool.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_start,t_end,watts\n");
+        for &(a, b, p) in &self.segments {
+            out.push_str(&format!("{a},{b},{p}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_contribution() {
+        let tr = PowerTrace::from_contributions(&[(0.0, 2.0, 3.0)]);
+        assert_eq!(tr.energy(), 6.0);
+        assert_eq!(tr.peak_power(), 3.0);
+        assert_eq!(tr.average_power(), 3.0);
+        assert_eq!(tr.power_at(1.0), 3.0);
+        assert_eq!(tr.power_at(2.5), 0.0);
+    }
+
+    #[test]
+    fn overlapping_contributions_add() {
+        let tr = PowerTrace::from_contributions(&[
+            (0.0, 2.0, 1.0),
+            (1.0, 3.0, 2.0),
+        ]);
+        // [0,1): 1, [1,2): 3, [2,3): 2.
+        assert_eq!(tr.power_at(0.5), 1.0);
+        assert_eq!(tr.power_at(1.5), 3.0);
+        assert_eq!(tr.power_at(2.5), 2.0);
+        assert!((tr.energy() - (1.0 + 3.0 + 2.0)).abs() < 1e-12);
+        assert_eq!(tr.peak_power(), 3.0);
+        assert_eq!(tr.span(), 3.0);
+    }
+
+    #[test]
+    fn gap_in_trace() {
+        let tr = PowerTrace::from_contributions(&[
+            (0.0, 1.0, 2.0),
+            (2.0, 3.0, 4.0),
+        ]);
+        assert_eq!(tr.power_at(1.5), 0.0);
+        assert!((tr.energy() - 6.0).abs() < 1e-12);
+        // Average over the 3-unit span.
+        assert!((tr.average_power() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_export() {
+        let tr = PowerTrace::from_contributions(&[(0.0, 1.0, 2.0)]);
+        let csv = tr.to_csv();
+        assert!(csv.starts_with("t_start,t_end,watts\n"));
+        assert!(csv.contains("0,1,2"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let tr = PowerTrace::from_contributions(&[]);
+        assert_eq!(tr.energy(), 0.0);
+        assert_eq!(tr.peak_power(), 0.0);
+        assert_eq!(tr.average_power(), 0.0);
+        assert_eq!(tr.span(), 0.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Graph analysis: topological order, critical paths, time windows.
+
+use crate::graph::{TaskGraph, TaskId};
+
+/// A topological order of the tasks (Kahn's algorithm, deterministic:
+/// ties broken by smallest id first).
+///
+/// The graph is guaranteed acyclic by construction, so this never
+/// fails.
+pub fn topo_order(g: &TaskGraph) -> Vec<TaskId> {
+    let n = g.n();
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.preds(TaskId(i)).len()).collect();
+    // Min-heap on id for determinism.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&i| indeg[i] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(u)) = heap.pop() {
+        order.push(TaskId(u));
+        for &TaskId(v) in g.succs(TaskId(u)) {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                heap.push(std::cmp::Reverse(v));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+/// Longest weighted path ending at each task, **including** the task's
+/// own duration: `ecl_i = d_i + max_{j ∈ preds(i)} ecl_j`.
+///
+/// With `durations = weights` this is the critical-path completion time
+/// at unit speed; the energy solvers call it with actual durations
+/// `d_i = w_i / s_i` to get earliest completion times.
+pub fn earliest_completion(g: &TaskGraph, durations: &[f64]) -> Vec<f64> {
+    assert_eq!(durations.len(), g.n());
+    let mut ecl = vec![0.0; g.n()];
+    for &t in &topo_order(g) {
+        let start = g
+            .preds(t)
+            .iter()
+            .map(|&p| ecl[p.0])
+            .fold(0.0f64, f64::max);
+        ecl[t.0] = start + durations[t.0];
+    }
+    ecl
+}
+
+/// Latest completion time of each task so that every task still meets
+/// the deadline `d`: `lcl_i = min(d, min_{j ∈ succs(i)} lcl_j − dur_j)`.
+pub fn latest_completion(g: &TaskGraph, durations: &[f64], deadline: f64) -> Vec<f64> {
+    assert_eq!(durations.len(), g.n());
+    let mut lcl = vec![deadline; g.n()];
+    for &t in topo_order(g).iter().rev() {
+        let lim = g
+            .succs(t)
+            .iter()
+            .map(|&s| lcl[s.0] - durations[s.0])
+            .fold(deadline, f64::min);
+        lcl[t.0] = lim;
+    }
+    lcl
+}
+
+/// Makespan of the graph under the given durations (max earliest
+/// completion over all tasks).
+pub fn makespan(g: &TaskGraph, durations: &[f64]) -> f64 {
+    earliest_completion(g, durations)
+        .into_iter()
+        .fold(0.0f64, f64::max)
+}
+
+/// Weight of the heaviest (critical) path: the makespan at unit speed.
+///
+/// This is the minimum deadline for which `MinEnergy(Ĝ, D)` is feasible
+/// with unbounded speeds scaled to 1, i.e. `D_min = cp_weight / s_max`
+/// when a maximum speed `s_max` exists.
+pub fn critical_path_weight(g: &TaskGraph) -> f64 {
+    makespan(g, g.weights())
+}
+
+/// One heaviest path, as a list of task ids from a source to a sink.
+pub fn critical_path(g: &TaskGraph) -> Vec<TaskId> {
+    let ecl = earliest_completion(g, g.weights());
+    // Start from the task with the largest completion time and walk
+    // backwards through the predecessor that realizes the start time.
+    let mut cur = g
+        .tasks()
+        .max_by(|&a, &b| ecl[a.0].partial_cmp(&ecl[b.0]).unwrap())
+        .expect("non-empty graph");
+    let mut path = vec![cur];
+    loop {
+        let start = ecl[cur.0] - g.weight(cur);
+        let prev = g
+            .preds(cur)
+            .iter()
+            .copied()
+            .find(|&p| (ecl[p.0] - start).abs() <= 1e-9 * (1.0 + start.abs()));
+        match prev {
+            Some(p) => {
+                path.push(p);
+                cur = p;
+            }
+            None => break,
+        }
+    }
+    path.reverse();
+    path
+}
+
+/// Per-task slack under the given durations and deadline:
+/// `lcl_i − ecl_i`. Non-negative everywhere iff the schedule is
+/// feasible. Critical tasks have (near-)zero slack.
+pub fn slack(g: &TaskGraph, durations: &[f64], deadline: f64) -> Vec<f64> {
+    let ecl = earliest_completion(g, durations);
+    let lcl = latest_completion(g, durations, deadline);
+    ecl.iter().zip(&lcl).map(|(e, l)| l - e).collect()
+}
+
+/// Whether `order` is a topological order of `g` (each task appears
+/// once, after all its predecessors).
+pub fn is_topo_order(g: &TaskGraph, order: &[TaskId]) -> bool {
+    if order.len() != g.n() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.n()];
+    for (k, &t) in order.iter().enumerate() {
+        if pos[t.0] != usize::MAX {
+            return false;
+        }
+        pos[t.0] = k;
+    }
+    g.edges().iter().all(|&(u, v)| pos[u.0] < pos[v.0])
+}
+
+/// Reachability matrix as a vector of bitsets: `reach[u][v]` is true
+/// iff there is a directed path from `u` to `v` (including `u = v`).
+///
+/// O(n·m / 64) via bit-parallel DP over reverse topological order.
+pub fn reachability(g: &TaskGraph) -> Vec<Vec<u64>> {
+    let n = g.n();
+    let wds = n.div_ceil(64);
+    let mut reach = vec![vec![0u64; wds]; n];
+    for &t in topo_order(g).iter().rev() {
+        let u = t.0;
+        reach[u][u / 64] |= 1 << (u % 64);
+        for s in 0..g.succs(t).len() {
+            let v = g.succs(t)[s].0;
+            // reach[u] |= reach[v]  (split borrows via index math)
+            let (a, b) = if u < v {
+                let (lo, hi) = reach.split_at_mut(v);
+                (&mut lo[u], &hi[0])
+            } else {
+                let (lo, hi) = reach.split_at_mut(u);
+                (&mut hi[0], &lo[v])
+            };
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x |= *y;
+            }
+        }
+    }
+    reach
+}
+
+/// Query helper for [`reachability`] output.
+#[inline]
+pub fn reaches(reach: &[Vec<u64>], u: TaskId, v: TaskId) -> bool {
+    reach[u.0][v.0 / 64] >> (v.0 % 64) & 1 == 1
+}
+
+/// Transitive reduction: the same DAG with every redundant edge
+/// removed (an edge `(u, v)` is redundant when some other successor of
+/// `u` already reaches `v`).
+///
+/// The reduction preserves the precedence *relation*, hence the
+/// feasible schedules and the optimal energy — but shrinks the
+/// constraint sets handed to the LP/barrier substrates. `O(m·deg)`
+/// after the bit-parallel reachability.
+pub fn transitive_reduction(g: &TaskGraph) -> TaskGraph {
+    let reach = reachability(g);
+    let mut kept: Vec<(usize, usize)> = Vec::with_capacity(g.m());
+    for &(u, v) in g.edges() {
+        let redundant = g
+            .succs(u)
+            .iter()
+            .any(|&w| w != v && reaches(&reach, w, v));
+        if !redundant {
+            kept.push((u.0, v.0));
+        }
+    }
+    TaskGraph::new(g.weights().to_vec(), &kept)
+        .expect("removing edges from a DAG keeps it a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraph;
+
+    fn diamond() -> TaskGraph {
+        TaskGraph::new(vec![1.0, 2.0, 3.0, 4.0], &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn topo_order_is_valid_and_deterministic() {
+        let g = diamond();
+        let o = topo_order(&g);
+        assert!(is_topo_order(&g, &o));
+        assert_eq!(o, topo_order(&g));
+        assert_eq!(o[0], TaskId(0));
+        assert_eq!(o[3], TaskId(3));
+    }
+
+    #[test]
+    fn earliest_completion_diamond() {
+        let g = diamond();
+        let ecl = earliest_completion(&g, g.weights());
+        assert_eq!(ecl, vec![1.0, 3.0, 4.0, 8.0]);
+        assert_eq!(makespan(&g, g.weights()), 8.0);
+        assert_eq!(critical_path_weight(&g), 8.0);
+    }
+
+    #[test]
+    fn latest_completion_and_slack() {
+        let g = diamond();
+        let lcl = latest_completion(&g, g.weights(), 10.0);
+        // Sink must finish by 10, so T1 by 6, T2 by 6, T0 by min(4,3).
+        assert_eq!(lcl, vec![3.0, 6.0, 6.0, 10.0]);
+        let s = slack(&g, g.weights(), 10.0);
+        assert_eq!(s, vec![2.0, 3.0, 2.0, 2.0]);
+        // At the exact critical-path deadline, the critical path has 0 slack.
+        let s8 = slack(&g, g.weights(), 8.0);
+        assert!(s8[0].abs() < 1e-12 && s8[2].abs() < 1e-12 && s8[3].abs() < 1e-12);
+        assert!((s8[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_follows_heaviest_route() {
+        let g = diamond();
+        assert_eq!(critical_path(&g), vec![TaskId(0), TaskId(2), TaskId(3)]);
+    }
+
+    #[test]
+    fn reachability_matrix() {
+        let g = diamond();
+        let r = reachability(&g);
+        assert!(reaches(&r, TaskId(0), TaskId(3)));
+        assert!(reaches(&r, TaskId(0), TaskId(0)));
+        assert!(!reaches(&r, TaskId(1), TaskId(2)));
+        assert!(!reaches(&r, TaskId(3), TaskId(0)));
+    }
+
+    #[test]
+    fn is_topo_order_rejects_bad_orders() {
+        let g = diamond();
+        assert!(!is_topo_order(&g, &[TaskId(1), TaskId(0), TaskId(2), TaskId(3)]));
+        assert!(!is_topo_order(&g, &[TaskId(0), TaskId(1), TaskId(2)]));
+        assert!(!is_topo_order(&g, &[TaskId(0), TaskId(0), TaskId(2), TaskId(3)]));
+    }
+
+    #[test]
+    fn transitive_reduction_drops_redundant_edges() {
+        // Diamond plus the redundant shortcut (0, 3).
+        let g = TaskGraph::new(
+            vec![1.0; 4],
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)],
+        )
+        .unwrap();
+        let r = transitive_reduction(&g);
+        assert_eq!(r.m(), 4);
+        assert!(!r.has_edge(TaskId(0), TaskId(3)));
+        // Reachability is preserved.
+        let ra = reachability(&g);
+        let rb = reachability(&r);
+        for u in g.tasks() {
+            for v in g.tasks() {
+                assert_eq!(reaches(&ra, u, v), reaches(&rb, u, v), "{u} -> {v}");
+            }
+        }
+        // Critical path unchanged.
+        assert_eq!(critical_path_weight(&g), critical_path_weight(&r));
+    }
+
+    #[test]
+    fn transitive_reduction_of_chain_is_identity() {
+        let g = TaskGraph::new(vec![1.0; 3], &[(0, 1), (1, 2)]).unwrap();
+        let r = transitive_reduction(&g);
+        assert_eq!(r.m(), 2);
+        assert_eq!(r.edges(), g.edges());
+    }
+
+    #[test]
+    fn chain_completion_times_accumulate() {
+        let g = TaskGraph::new(vec![2.0, 3.0, 4.0], &[(0, 1), (1, 2)]).unwrap();
+        let ecl = earliest_completion(&g, &[1.0, 1.5, 2.0]);
+        assert_eq!(ecl, vec![1.0, 2.5, 4.5]);
+    }
+}

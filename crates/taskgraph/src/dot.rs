@@ -1,0 +1,59 @@
+//! Graphviz DOT export for visual inspection of execution graphs.
+
+use crate::graph::TaskGraph;
+
+/// Render the graph in DOT format. Node labels show the task id and
+/// its cost; an optional per-task annotation (e.g. the chosen speed)
+/// can be appended by [`to_dot_with`].
+pub fn to_dot(g: &TaskGraph) -> String {
+    to_dot_with(g, |_| None)
+}
+
+/// DOT export with a per-task extra label line produced by `annot`
+/// (return `None` for no annotation).
+pub fn to_dot_with<F>(g: &TaskGraph, annot: F) -> String
+where
+    F: Fn(usize) -> Option<String>,
+{
+    let mut out = String::from("digraph execution {\n  rankdir=TB;\n  node [shape=box];\n");
+    for t in g.tasks() {
+        let mut label = format!("T{} | w={:.3}", t.0, g.weight(t));
+        if let Some(extra) = annot(t.0) {
+            label.push_str("\\n");
+            label.push_str(&extra);
+        }
+        out.push_str(&format!("  t{} [label=\"{}\"];\n", t.0, label));
+    }
+    for &(u, v) in g.edges() {
+        out.push_str(&format!("  t{} -> t{};\n", u.0, v.0));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let dot = to_dot(&g);
+        for i in 0..4 {
+            assert!(dot.contains(&format!("t{i} [label=")));
+        }
+        assert!(dot.contains("t0 -> t1;"));
+        assert!(dot.contains("t2 -> t3;"));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn annotations_are_appended() {
+        let g = generators::chain(&[1.0, 2.0]);
+        let dot = to_dot_with(&g, |i| Some(format!("s={i}")));
+        assert!(dot.contains("s=0"));
+        assert!(dot.contains("s=1"));
+    }
+}

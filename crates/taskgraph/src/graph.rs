@@ -1,0 +1,330 @@
+//! Core DAG data structure.
+
+use std::fmt;
+
+/// Index of a task in a [`TaskGraph`].
+///
+/// Task ids are dense (`0..n`) and stable: generators and the `mapping`
+/// crate never renumber tasks, so a `TaskId` can be used to key
+/// per-task vectors (speeds, durations, completion times) everywhere in
+/// the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// The underlying dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Errors produced when building or mutating a [`TaskGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge references a task id `>= n`.
+    BadTask(usize),
+    /// A self-loop `(i, i)` was added.
+    SelfLoop(usize),
+    /// The edge set contains a directed cycle (first detected node).
+    Cycle(usize),
+    /// A task cost is not strictly positive and finite.
+    BadWeight { task: usize, weight: f64 },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::BadTask(i) => write!(f, "edge references unknown task T{i}"),
+            GraphError::SelfLoop(i) => write!(f, "self-loop on task T{i}"),
+            GraphError::Cycle(i) => write!(f, "directed cycle through task T{i}"),
+            GraphError::BadWeight { task, weight } => {
+                write!(f, "task T{task} has invalid cost {weight}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A directed acyclic **execution graph** with per-task costs.
+///
+/// Tasks are numbered `0..n`. Each task `i` carries a cost `w_i > 0`
+/// (the amount of work: executing at speed `s` takes `w_i / s` time
+/// units). Edges are precedence constraints: `(i, j)` means `T_j`
+/// cannot start before `T_i` completes.
+///
+/// The structure is immutable once built (all solvers treat the
+/// mapping, and hence the execution graph, as frozen — that is the
+/// paper's core assumption).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskGraph {
+    weights: Vec<f64>,
+    succs: Vec<Vec<TaskId>>,
+    preds: Vec<Vec<TaskId>>,
+    edges: Vec<(TaskId, TaskId)>,
+}
+
+impl TaskGraph {
+    /// Build a graph from task costs and precedence edges.
+    ///
+    /// Validates weights (strictly positive, finite), edge endpoints,
+    /// absence of self-loops and duplicate edges (duplicates are
+    /// silently collapsed), and acyclicity.
+    ///
+    /// ```
+    /// use taskgraph::TaskGraph;
+    /// let g = TaskGraph::new(vec![1.0, 2.0], &[(0, 1)]).unwrap();
+    /// assert_eq!(g.n(), 2);
+    /// assert!(TaskGraph::new(vec![1.0, 2.0], &[(0, 1), (1, 0)]).is_err());
+    /// ```
+    pub fn new(weights: Vec<f64>, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        let n = weights.len();
+        for (i, &w) in weights.iter().enumerate() {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(GraphError::BadWeight { task: i, weight: w });
+            }
+        }
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        let mut uniq = std::collections::HashSet::with_capacity(edges.len());
+        let mut elist = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if u >= n {
+                return Err(GraphError::BadTask(u));
+            }
+            if v >= n {
+                return Err(GraphError::BadTask(v));
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+            if uniq.insert((u, v)) {
+                succs[u].push(TaskId(v));
+                preds[v].push(TaskId(u));
+                elist.push((TaskId(u), TaskId(v)));
+            }
+        }
+        let g = TaskGraph { weights, succs, preds, edges: elist };
+        if let Some(c) = g.find_cycle_node() {
+            return Err(GraphError::Cycle(c));
+        }
+        Ok(g)
+    }
+
+    /// A single-task graph (convenience for tests and SP leaves).
+    pub fn single(weight: f64) -> Self {
+        TaskGraph::new(vec![weight], &[]).expect("single task is always a valid graph")
+    }
+
+    /// Number of tasks `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of precedence edges `|Ê|`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Cost `w_i` of a task.
+    #[inline]
+    pub fn weight(&self, t: TaskId) -> f64 {
+        self.weights[t.0]
+    }
+
+    /// All task costs, indexed by `TaskId`.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Total work `Σ w_i`.
+    pub fn total_work(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Successors of `t` (tasks that must wait for `t`).
+    #[inline]
+    pub fn succs(&self, t: TaskId) -> &[TaskId] {
+        &self.succs[t.0]
+    }
+
+    /// Predecessors of `t`.
+    #[inline]
+    pub fn preds(&self, t: TaskId) -> &[TaskId] {
+        &self.preds[t.0]
+    }
+
+    /// All edges in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[(TaskId, TaskId)] {
+        &self.edges
+    }
+
+    /// Iterator over all task ids.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.n()).map(TaskId)
+    }
+
+    /// Tasks with no predecessor.
+    pub fn sources(&self) -> Vec<TaskId> {
+        self.tasks().filter(|&t| self.preds(t).is_empty()).collect()
+    }
+
+    /// Tasks with no successor.
+    pub fn sinks(&self) -> Vec<TaskId> {
+        self.tasks().filter(|&t| self.succs(t).is_empty()).collect()
+    }
+
+    /// Whether edge `(u, v)` is present.
+    pub fn has_edge(&self, u: TaskId, v: TaskId) -> bool {
+        self.succs[u.0].contains(&v)
+    }
+
+    /// Returns a graph with the same tasks and every edge reversed.
+    ///
+    /// Useful for treating in-trees (join-like) with out-tree
+    /// algorithms: `MinEnergy` is invariant under edge reversal
+    /// (reversing time preserves both the precedence structure and the
+    /// energy of any schedule).
+    pub fn reversed(&self) -> TaskGraph {
+        let edges: Vec<(usize, usize)> =
+            self.edges.iter().map(|&(u, v)| (v.0, u.0)).collect();
+        TaskGraph::new(self.weights.clone(), &edges)
+            .expect("reversing a DAG yields a DAG")
+    }
+
+    /// Returns a new graph equal to `self` plus the given extra edges
+    /// (used by the `mapping` crate to add serialization edges).
+    pub fn with_extra_edges(&self, extra: &[(usize, usize)]) -> Result<TaskGraph, GraphError> {
+        let mut edges: Vec<(usize, usize)> =
+            self.edges.iter().map(|&(u, v)| (u.0, v.0)).collect();
+        edges.extend_from_slice(extra);
+        TaskGraph::new(self.weights.clone(), &edges)
+    }
+
+    /// Kahn's algorithm; returns `Some(node-in-cycle)` when the edge
+    /// set is cyclic, `None` for a DAG.
+    fn find_cycle_node(&self) -> Option<usize> {
+        let n = self.n();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
+        let mut stack: Vec<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = stack.pop() {
+            seen += 1;
+            for &TaskId(v) in &self.succs[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        if seen == n {
+            None
+        } else {
+            (0..n).find(|&i| indeg[i] > 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        // 0 -> {1,2} -> 3
+        TaskGraph::new(vec![1.0, 2.0, 3.0, 4.0], &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn builds_and_exposes_structure() {
+        let g = diamond();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.sources(), vec![TaskId(0)]);
+        assert_eq!(g.sinks(), vec![TaskId(3)]);
+        assert_eq!(g.succs(TaskId(0)), &[TaskId(1), TaskId(2)]);
+        assert_eq!(g.preds(TaskId(3)), &[TaskId(1), TaskId(2)]);
+        assert!((g.total_work() - 10.0).abs() < 1e-12);
+        assert!(g.has_edge(TaskId(0), TaskId(1)));
+        assert!(!g.has_edge(TaskId(1), TaskId(0)));
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let err = TaskGraph::new(vec![1.0; 3], &[(0, 1), (1, 2), (2, 0)]).unwrap_err();
+        assert!(matches!(err, GraphError::Cycle(_)));
+    }
+
+    #[test]
+    fn rejects_self_loop_and_bad_endpoints() {
+        assert!(matches!(
+            TaskGraph::new(vec![1.0; 2], &[(0, 0)]),
+            Err(GraphError::SelfLoop(0))
+        ));
+        assert!(matches!(
+            TaskGraph::new(vec![1.0; 2], &[(0, 5)]),
+            Err(GraphError::BadTask(5))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        for w in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                TaskGraph::new(vec![1.0, w], &[]),
+                Err(GraphError::BadWeight { task: 1, .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = TaskGraph::new(vec![1.0; 2], &[(0, 1), (0, 1)]).unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn reversal_is_involutive_and_swaps_roles() {
+        let g = diamond();
+        let r = g.reversed();
+        assert_eq!(r.sources(), vec![TaskId(3)]);
+        assert_eq!(r.sinks(), vec![TaskId(0)]);
+        let rr = r.reversed();
+        assert_eq!(rr.n(), g.n());
+        for t in g.tasks() {
+            let mut a = g.succs(t).to_vec();
+            let mut b = rr.succs(t).to_vec();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn with_extra_edges_adds_serialization() {
+        let g = diamond();
+        let g2 = g.with_extra_edges(&[(1, 2)]).unwrap();
+        assert_eq!(g2.m(), 5);
+        assert!(g2.has_edge(TaskId(1), TaskId(2)));
+        // Adding an edge that would create a cycle fails.
+        assert!(g2.with_extra_edges(&[(3, 0)]).is_err());
+    }
+
+    #[test]
+    fn single_task_graph() {
+        let g = TaskGraph::single(5.0);
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.sources(), g.sinks());
+    }
+}

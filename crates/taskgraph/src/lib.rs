@@ -1,0 +1,32 @@
+//! # taskgraph — execution-graph substrate
+//!
+//! Directed-acyclic task graphs with per-task costs, as used by the
+//! SPAA'11 paper *Reclaiming the Energy of a Schedule*. A [`TaskGraph`]
+//! is the **execution graph** `Ĝ = (V, Ê)`: the application precedence
+//! edges plus the serialization edges induced by a fixed mapping (see
+//! the `mapping` crate for the augmentation step).
+//!
+//! The crate provides:
+//!
+//! * the graph data structure itself ([`TaskGraph`], [`TaskId`]),
+//!   with cycle detection at construction time;
+//! * graph analysis: topological orders, longest (critical) paths,
+//!   per-task earliest/latest completion windows ([`analysis`]);
+//! * structure detection: chains, forks, joins, in/out-trees, and
+//!   series–parallel decomposition ([`structure`], [`sp`]);
+//! * random and deterministic generators for every graph family used
+//!   by the paper's experiments ([`generators`]);
+//! * DOT export for visual inspection ([`dot`]).
+
+pub mod analysis;
+pub mod dot;
+pub mod generators;
+pub mod graph;
+pub mod metrics;
+pub mod sp;
+pub mod structure;
+pub mod workflows;
+
+pub use graph::{GraphError, TaskGraph, TaskId};
+pub use sp::SpTree;
+pub use structure::Shape;

@@ -1,0 +1,174 @@
+//! Structure detection: which specialized solver applies to a graph.
+//!
+//! The paper gives closed forms / polynomial algorithms for specific
+//! graph shapes (Theorem 1: forks; Theorem 2: trees and series–parallel
+//! graphs). [`classify`] detects the most specific shape so the core
+//! crate can dispatch to the cheapest exact solver.
+
+use crate::graph::{TaskGraph, TaskId};
+use crate::sp::SpTree;
+
+/// Most specific recognized shape of an execution graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// A single task.
+    Single,
+    /// A simple path `T_0 → T_1 → … → T_{n−1}`.
+    Chain,
+    /// One source with `n` independent children (Theorem 1).
+    Fork,
+    /// `n` independent parents feeding one sink (mirror of a fork).
+    Join,
+    /// Out-tree: a rooted tree with edges pointing away from the root.
+    OutTree,
+    /// In-tree: a rooted tree with edges pointing towards the root.
+    InTree,
+    /// Series–parallel composition (recognized by [`SpTree::from_graph`]).
+    SeriesParallel,
+    /// None of the above: requires the general numerical solver.
+    General,
+}
+
+/// Whether the graph is a simple chain.
+pub fn is_chain(g: &TaskGraph) -> bool {
+    if g.n() == 1 {
+        return true;
+    }
+    if g.m() != g.n() - 1 {
+        return false;
+    }
+    let one_source = g.sources().len() == 1;
+    let one_sink = g.sinks().len() == 1;
+    one_source
+        && one_sink
+        && g.tasks()
+            .all(|t| g.succs(t).len() <= 1 && g.preds(t).len() <= 1)
+}
+
+/// Whether the graph is a fork: one source, all other tasks are its
+/// children and have no successors. Requires at least 2 leaves (a
+/// 1-leaf fork is just a chain).
+pub fn is_fork(g: &TaskGraph) -> bool {
+    let sources = g.sources();
+    if sources.len() != 1 || g.n() < 3 {
+        return false;
+    }
+    let root = sources[0];
+    g.succs(root).len() == g.n() - 1
+        && g.tasks()
+            .filter(|&t| t != root)
+            .all(|t| g.succs(t).is_empty() && g.preds(t) == [root])
+}
+
+/// Whether the graph is a join (reverse of a fork).
+pub fn is_join(g: &TaskGraph) -> bool {
+    is_fork(&g.reversed())
+}
+
+/// Whether the graph is an out-tree: a single source and every other
+/// task has exactly one predecessor (connectivity follows because the
+/// graph then has `n − 1` edges reaching every non-root).
+pub fn is_out_tree(g: &TaskGraph) -> bool {
+    let sources = g.sources();
+    sources.len() == 1
+        && g.tasks()
+            .filter(|&t| t != sources[0])
+            .all(|t| g.preds(t).len() == 1)
+}
+
+/// Whether the graph is an in-tree (every non-sink task has exactly one
+/// successor, single sink).
+pub fn is_in_tree(g: &TaskGraph) -> bool {
+    is_out_tree(&g.reversed())
+}
+
+/// Children of `root` in an out-tree (just its successors).
+pub fn tree_children(g: &TaskGraph, t: TaskId) -> &[TaskId] {
+    g.succs(t)
+}
+
+/// Classify the graph into the most specific [`Shape`].
+///
+/// The order matters: every chain is an out-tree and an in-tree and an
+/// SP graph; every fork is an out-tree; trees are checked before the
+/// (more expensive) SP recognition.
+pub fn classify(g: &TaskGraph) -> Shape {
+    if g.n() == 1 {
+        return Shape::Single;
+    }
+    if is_chain(g) {
+        return Shape::Chain;
+    }
+    if is_fork(g) {
+        return Shape::Fork;
+    }
+    if is_join(g) {
+        return Shape::Join;
+    }
+    if is_out_tree(g) {
+        return Shape::OutTree;
+    }
+    if is_in_tree(g) {
+        return Shape::InTree;
+    }
+    if SpTree::from_graph(g).is_some() {
+        return Shape::SeriesParallel;
+    }
+    Shape::General
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::TaskGraph;
+
+    #[test]
+    fn classifies_single_and_chain() {
+        assert_eq!(classify(&TaskGraph::single(1.0)), Shape::Single);
+        let g = generators::chain(&[1.0, 2.0, 3.0]);
+        assert_eq!(classify(&g), Shape::Chain);
+        assert!(is_out_tree(&g) && is_in_tree(&g));
+    }
+
+    #[test]
+    fn classifies_fork_and_join() {
+        let f = generators::fork(2.0, &[1.0, 3.0, 4.0]);
+        assert_eq!(classify(&f), Shape::Fork);
+        assert_eq!(classify(&f.reversed()), Shape::Join);
+        assert!(is_out_tree(&f));
+        assert!(!is_in_tree(&f));
+    }
+
+    #[test]
+    fn classifies_trees() {
+        // 0 -> 1 -> {2,3}, 0 -> 4  : out-tree, not a fork.
+        let g = TaskGraph::new(vec![1.0; 5], &[(0, 1), (1, 2), (1, 3), (0, 4)]).unwrap();
+        assert_eq!(classify(&g), Shape::OutTree);
+        assert_eq!(classify(&g.reversed()), Shape::InTree);
+    }
+
+    #[test]
+    fn classifies_sp_and_general() {
+        // Diamond = series(0, parallel(1, 2), 3): SP but not a tree.
+        let d = TaskGraph::new(vec![1.0; 4], &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(classify(&d), Shape::SeriesParallel);
+        // The "N" graph is the canonical non-SP DAG:
+        // 0 -> 2, 0 -> 3, 1 -> 3 (and nothing else).
+        let n = TaskGraph::new(vec![1.0; 4], &[(0, 2), (0, 3), (1, 3)]).unwrap();
+        assert_eq!(classify(&n), Shape::General);
+    }
+
+    #[test]
+    fn two_task_chain_is_chain_not_fork() {
+        let g = generators::chain(&[1.0, 2.0]);
+        assert_eq!(classify(&g), Shape::Chain);
+        assert!(!is_fork(&g));
+    }
+
+    #[test]
+    fn disconnected_tasks_are_sp_parallel() {
+        let g = TaskGraph::new(vec![1.0, 2.0], &[]).unwrap();
+        assert_eq!(classify(&g), Shape::SeriesParallel);
+    }
+}

@@ -1,0 +1,246 @@
+//! Classic structured task graphs from the scheduling literature.
+//!
+//! These are the workloads the energy-aware-scheduling literature
+//! (including the companion research report's simulation studies)
+//! evaluates on: FFT butterflies, tiled LU/Gaussian elimination,
+//! stencil sweeps, and divide-and-conquer trees. All generators are
+//! deterministic given their size parameters; weights model the
+//! per-task flop counts of the usual implementations.
+
+use crate::graph::TaskGraph;
+
+/// Recursive FFT task graph with `2^levels` inputs.
+///
+/// Layout: `levels + 1` rows of `2^levels` butterfly tasks; task `j`
+/// of row `r + 1` depends on tasks `j` and `j XOR 2^r` of row `r`
+/// (the classic butterfly pattern). All tasks have unit weight
+/// (butterflies cost Θ(1)).
+pub fn fft(levels: u32) -> TaskGraph {
+    assert!(levels >= 1 && levels <= 12, "fft size out of range");
+    let width = 1usize << levels;
+    let rows = levels as usize + 1;
+    let id = |r: usize, j: usize| r * width + j;
+    let mut edges = Vec::new();
+    for r in 0..levels as usize {
+        let stride = 1usize << r;
+        for j in 0..width {
+            edges.push((id(r, j), id(r + 1, j)));
+            edges.push((id(r, j ^ stride), id(r + 1, j)));
+        }
+    }
+    TaskGraph::new(vec![1.0; rows * width], &edges).expect("fft butterfly is a DAG")
+}
+
+/// Tiled LU factorization (right-looking, no pivoting) on a `t × t`
+/// tile grid.
+///
+/// Tasks per step `k`: one `getrf(k)` (weight `w_diag`), `t−k−1` panel
+/// solves `trsm(k, j)` each depending on `getrf(k)` (weight `w_panel`),
+/// and `(t−k−1)²` updates `gemm(k, i, j)` depending on the two
+/// covering `trsm`s (weight `w_update`); `getrf(k+1)` and step-`k+1`
+/// tasks depend on the step-`k` updates that touch their tile.
+pub fn lu(tiles: usize) -> TaskGraph {
+    assert!((2..=16).contains(&tiles), "lu tile count out of range");
+    let (w_diag, w_panel, w_update) = (1.0, 2.0, 3.0);
+    let mut weights = Vec::new();
+    let mut edges = Vec::new();
+    // owner[i][j] = task that last wrote tile (i, j).
+    let mut owner = vec![vec![usize::MAX; tiles]; tiles];
+    let new_task = |w: f64, weights: &mut Vec<f64>| -> usize {
+        weights.push(w);
+        weights.len() - 1
+    };
+    for k in 0..tiles {
+        let getrf = new_task(w_diag, &mut weights);
+        if owner[k][k] != usize::MAX {
+            edges.push((owner[k][k], getrf));
+        }
+        owner[k][k] = getrf;
+        // Row and column panels.
+        let mut row_trsm = vec![usize::MAX; tiles];
+        let mut col_trsm = vec![usize::MAX; tiles];
+        for j in (k + 1)..tiles {
+            let t_row = new_task(w_panel, &mut weights);
+            edges.push((getrf, t_row));
+            if owner[k][j] != usize::MAX {
+                edges.push((owner[k][j], t_row));
+            }
+            owner[k][j] = t_row;
+            row_trsm[j] = t_row;
+
+            let t_col = new_task(w_panel, &mut weights);
+            edges.push((getrf, t_col));
+            if owner[j][k] != usize::MAX {
+                edges.push((owner[j][k], t_col));
+            }
+            owner[j][k] = t_col;
+            col_trsm[j] = t_col;
+        }
+        // Trailing updates.
+        for i in (k + 1)..tiles {
+            for j in (k + 1)..tiles {
+                let gemm = new_task(w_update, &mut weights);
+                edges.push((col_trsm[i], gemm));
+                edges.push((row_trsm[j], gemm));
+                if owner[i][j] != usize::MAX {
+                    edges.push((owner[i][j], gemm));
+                }
+                owner[i][j] = gemm;
+            }
+        }
+    }
+    TaskGraph::new(weights, &edges).expect("tiled LU is a DAG")
+}
+
+/// A 2-D stencil (Laplace / Gauss–Seidel wavefront) sweep on an
+/// `rows × cols` grid: task `(i, j)` depends on `(i−1, j)` and
+/// `(i, j−1)`. Unit weights.
+pub fn stencil(rows: usize, cols: usize) -> TaskGraph {
+    assert!(rows >= 1 && cols >= 1 && rows * cols <= 1 << 20);
+    let id = |i: usize, j: usize| i * cols + j;
+    let mut edges = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            if i > 0 {
+                edges.push((id(i - 1, j), id(i, j)));
+            }
+            if j > 0 {
+                edges.push((id(i, j - 1), id(i, j)));
+            }
+        }
+    }
+    TaskGraph::new(vec![1.0; rows * cols], &edges).expect("stencil wavefront is a DAG")
+}
+
+/// Divide-and-conquer graph (Strassen-like): a `branch`-ary divide
+/// out-tree of the given `depth`, mirrored by a conquer in-tree.
+/// Divide/merge tasks cost `w_split`; the `branch^depth` leaves cost
+/// `w_leaf` each.
+pub fn divide_and_conquer(depth: u32, branch: usize, w_split: f64, w_leaf: f64) -> TaskGraph {
+    assert!(branch >= 2 && depth >= 1 && branch.pow(depth) <= 1 << 16);
+    let mut weights = Vec::new();
+    let mut edges = Vec::new();
+    // Build recursively; returns (entry, exit) task ids of the block.
+    fn build(
+        depth: u32,
+        branch: usize,
+        w_split: f64,
+        w_leaf: f64,
+        weights: &mut Vec<f64>,
+        edges: &mut Vec<(usize, usize)>,
+    ) -> (usize, usize) {
+        if depth == 0 {
+            weights.push(w_leaf);
+            let leaf = weights.len() - 1;
+            return (leaf, leaf);
+        }
+        weights.push(w_split);
+        let split = weights.len() - 1;
+        weights.push(w_split);
+        let merge = weights.len() - 1;
+        for _ in 0..branch {
+            let (entry, exit) = build(depth - 1, branch, w_split, w_leaf, weights, edges);
+            edges.push((split, entry));
+            edges.push((exit, merge));
+        }
+        (split, merge)
+    }
+    build(depth, branch, w_split, w_leaf, &mut weights, &mut edges);
+    TaskGraph::new(weights, &edges).expect("divide-and-conquer is a DAG")
+}
+
+/// Gaussian-elimination dependency graph on `n` columns (the classic
+/// `GE(n)` example): pivot task `p_k` enables update tasks
+/// `u_{k,j}` for `j > k`, and `u_{k,k+1}` enables `p_{k+1}`.
+pub fn gaussian_elimination(n: usize) -> TaskGraph {
+    assert!((2..=60).contains(&n));
+    let mut weights = Vec::new();
+    let mut edges = Vec::new();
+    let mut pivot_of = vec![usize::MAX; n];
+    let mut update = vec![vec![usize::MAX; n]; n];
+    for k in 0..n - 1 {
+        weights.push(1.0); // pivot p_k
+        let p = weights.len() - 1;
+        pivot_of[k] = p;
+        if k > 0 {
+            edges.push((update[k - 1][k], p));
+        }
+        for j in (k + 1)..n {
+            weights.push(2.0); // update u_{k,j}
+            let u = weights.len() - 1;
+            update[k][j] = u;
+            edges.push((p, u));
+            if k > 0 {
+                edges.push((update[k - 1][j], u));
+            }
+        }
+    }
+    TaskGraph::new(weights, &edges).expect("GE(n) is a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{critical_path_weight, topo_order};
+    use crate::structure::{classify, Shape};
+
+    #[test]
+    fn fft_shape() {
+        let g = fft(3);
+        assert_eq!(g.n(), 4 * 8);
+        // Each non-input row has 2 incoming edges per task, dedup for
+        // stride crossing itself never happens (j != j^stride).
+        assert_eq!(g.m(), 3 * 8 * 2);
+        // Depth = levels + 1 at unit weights.
+        assert_eq!(critical_path_weight(&g), 4.0);
+        assert_eq!(classify(&g), Shape::General);
+        assert_eq!(topo_order(&g).len(), g.n());
+    }
+
+    #[test]
+    fn lu_task_count() {
+        // t = 3: k=0: 1 + 2·2 + 4; k=1: 1 + 2·1 + 1; k=2: 1 → 14.
+        let g = lu(3);
+        assert_eq!(g.n(), 14);
+        assert_eq!(g.sources().len(), 1, "getrf(0) is the unique source");
+        // Final getrf is the unique sink.
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn stencil_wavefront() {
+        let g = stencil(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 2 * 3 * 4 - 3 - 4);
+        // Critical path = rows + cols − 1 at unit weights.
+        assert_eq!(critical_path_weight(&g), 6.0);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn dac_is_series_parallel() {
+        let g = divide_and_conquer(2, 2, 1.0, 4.0);
+        // 2 levels of (split+merge) pairs: 1+1 + 2·(1+1) + 4 leaves = 10.
+        assert_eq!(g.n(), 10);
+        assert_eq!(classify(&g), Shape::SeriesParallel);
+        // cp: split, split, leaf, merge, merge = 1+1+4+1+1.
+        assert_eq!(critical_path_weight(&g), 8.0);
+    }
+
+    #[test]
+    fn ge_structure() {
+        let g = gaussian_elimination(4);
+        // k=0: p + 3u; k=1: p + 2u; k=2: p + 1u → 9 tasks.
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.sources().len(), 1);
+        // Pivots form a chain through the first-column updates.
+        assert!(critical_path_weight(&g) >= 3.0 * 1.0 + 2.0 * 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fft_rejects_zero_levels() {
+        let _ = fft(0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Energy study on classic HPC workflow structures: FFT butterflies,
+//! tiled LU, stencil wavefronts, divide-and-conquer, and Gaussian
+//! elimination — mapped by list scheduling, then speed-scaled under a
+//! deadline.
+//!
+//! ```text
+//! cargo run --release --example hpc_workflows
+//! ```
+
+use reclaim::core::solve;
+use reclaim::mapping::{list_schedule, Priority};
+use reclaim::models::{DiscreteModes, EnergyModel, PowerLaw};
+use reclaim::report::Table;
+use reclaim::taskgraph::{analysis, metrics, workflows, TaskGraph};
+
+fn main() {
+    let p = PowerLaw::CUBIC;
+    let modes = DiscreteModes::new(&[0.5, 1.125, 1.75, 2.375, 3.0]).unwrap();
+
+    let cases: Vec<(&str, TaskGraph, usize)> = vec![
+        ("fft(8 pts)", workflows::fft(3), 4),
+        ("lu(4 tiles)", workflows::lu(4), 3),
+        ("stencil(6x6)", workflows::stencil(6, 6), 3),
+        ("d&c(depth 3)", workflows::divide_and_conquer(3, 2, 1.0, 4.0), 4),
+        ("ge(8)", workflows::gaussian_elimination(8), 3),
+    ];
+
+    let mut table = Table::new(&[
+        "workflow", "tasks", "depth", "parallelism", "E-cont", "E-vdd", "savings-vs-smax",
+    ]);
+    for (name, app, procs) in cases {
+        let mapping = list_schedule(&app, procs, Priority::BottomLevel);
+        let exec = mapping.execution_graph(&app).unwrap();
+        let met = metrics::metrics(&exec);
+        let d = 1.4 * analysis::critical_path_weight(&exec) / modes.s_max();
+        let e_cont = solve(&exec, d, &EnergyModel::continuous(modes.s_max()), p)
+            .unwrap()
+            .energy;
+        let e_vdd = solve(&exec, d, &EnergyModel::VddHopping(modes.clone()), p)
+            .unwrap()
+            .energy;
+        let naive = p.energy_at_speed(exec.total_work(), modes.s_max());
+        table.row(&[
+            name.into(),
+            met.n.to_string(),
+            met.depth.to_string(),
+            format!("{:.2}", met.parallelism),
+            format!("{e_cont:.2}"),
+            format!("{e_vdd:.2}"),
+            format!("{:.1}%", 100.0 * (1.0 - e_vdd / naive)),
+        ]);
+    }
+    println!(
+        "Classic HPC workflows, mapped by critical-path list scheduling,\n\
+         deadline = 1.4 × Dmin, DVFS ladder {:?}:\n",
+        modes.speeds()
+    );
+    println!("{}", table.render());
+    println!(
+        "The reclaimable energy depends on the structure: wide graphs \
+         (FFT) keep most tasks off the critical path, so their speeds \
+         drop far below s_max; narrow wavefronts (stencil) are almost \
+         chains and can only exploit the 1.4x deadline slack itself."
+    );
+}

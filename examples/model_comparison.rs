@@ -1,0 +1,64 @@
+//! The paper-conclusion scenario in miniature: "a comparative study
+//! of energy models" on one random execution graph, sweeping the
+//! deadline from tight to loose.
+//!
+//! ```text
+//! cargo run --release --example model_comparison
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reclaim::core::solve;
+use reclaim::mapping::{list_schedule, Priority};
+use reclaim::models::{DiscreteModes, EnergyModel, IncrementalModes, PowerLaw};
+use reclaim::report::Table;
+use reclaim::taskgraph::{analysis, generators};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    let app = generators::layered_dag(4, 3, 0.35, 1.0, 5.0, &mut rng);
+    let mapping = list_schedule(&app, 2, Priority::BottomLevel);
+    let exec = mapping.execution_graph(&app).unwrap();
+
+    let modes = DiscreteModes::new(&[0.5, 1.125, 1.75, 2.375, 3.0]).unwrap();
+    let knob = IncrementalModes::new(0.5, 3.0, 0.25).unwrap();
+    let p = PowerLaw::CUBIC;
+    let dmin = analysis::critical_path_weight(&exec) / modes.s_max();
+
+    println!(
+        "execution graph: {} tasks, {} edges, minimum deadline {dmin:.3}\n",
+        exec.n(),
+        exec.m()
+    );
+
+    let mut table = Table::new(&[
+        "D/Dmin", "Continuous", "Vdd-Hopping", "Discrete", "Incremental",
+        "Disc/Cont",
+    ]);
+    for tight in [1.02, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0] {
+        let d = tight * dmin;
+        let e = |m: &EnergyModel| solve(&exec, d, m, p).map(|s| s.energy);
+        let cont = e(&EnergyModel::continuous(modes.s_max())).unwrap();
+        let vdd = e(&EnergyModel::VddHopping(modes.clone())).unwrap();
+        let disc = e(&EnergyModel::Discrete(modes.clone())).unwrap();
+        let inc = e(&EnergyModel::Incremental(knob.clone())).unwrap();
+        table.row(&[
+            format!("{tight:.2}"),
+            format!("{cont:.3}"),
+            format!("{vdd:.3}"),
+            format!("{disc:.3}"),
+            format!("{inc:.3}"),
+            format!("{:.4}", disc / cont),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected shape (paper's conclusion): Vdd-Hopping 'smooths out the \
+         discrete nature of the modes' — it hugs Continuous at every \
+         tightness. Discrete/Incremental pay a rounding premium near \
+         D = Dmin. At very loose deadlines a second premium appears for \
+         every bounded-speed model: they saturate at the slowest mode s_1 \
+         while the Continuous model keeps slowing down (speed-floor \
+         effect), so Disc/Cont rises again — the premium is U-shaped."
+    );
+}

@@ -1,0 +1,90 @@
+//! Security-driven pre-allocation scenario (paper §1: "tasks are
+//! pre-allocated, for example for security reasons").
+//!
+//! A mixed-criticality avionics workload pins tasks to processors by
+//! security domain: crypto tasks on the hardened core, I/O on the
+//! peripheral core, everything else on the application core. The
+//! placement is non-negotiable; speeds are not. We reclaim the energy
+//! of the fixed placement under the Vdd-Hopping model and show the
+//! per-task speed profiles.
+//!
+//! ```text
+//! cargo run --example secure_placement
+//! ```
+
+use reclaim::core::solve;
+use reclaim::mapping::Mapping;
+use reclaim::models::{DiscreteModes, EnergyModel, PowerLaw, SpeedProfile};
+use reclaim::taskgraph::{TaskGraph, TaskId};
+
+fn main() {
+    // Application DAG: sensor read (0) → decrypt (1) → {filter (2),
+    // authenticate (3)} → fuse (4) → encrypt (5) → transmit (6).
+    let app = TaskGraph::new(
+        vec![1.0, 4.0, 6.0, 3.0, 2.0, 4.0, 1.5],
+        &[(0, 1), (1, 2), (1, 3), (2, 4), (3, 4), (4, 5), (5, 6)],
+    )
+    .expect("valid DAG");
+
+    // Pinning by security domain (fixed, ordered lists per processor):
+    //   P0 (hardened):  decrypt, authenticate, encrypt
+    //   P1 (peripheral): sensor read, transmit
+    //   P2 (application): filter, fuse
+    let mapping = Mapping::new(vec![
+        vec![TaskId(1), TaskId(3), TaskId(5)],
+        vec![TaskId(0), TaskId(6)],
+        vec![TaskId(2), TaskId(4)],
+    ]);
+    let exec = mapping
+        .execution_graph(&app)
+        .expect("placement is precedence-consistent");
+
+    let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0]).unwrap();
+    let p = PowerLaw::CUBIC;
+    let deadline = 14.0;
+
+    println!("secure placement: {} tasks on 3 cores, deadline {deadline}", exec.n());
+    for (core, names) in [
+        ("P0 hardened", "decrypt, authenticate, encrypt"),
+        ("P1 peripheral", "sensor, transmit"),
+        ("P2 application", "filter, fuse"),
+    ] {
+        println!("  {core}: {names}");
+    }
+
+    for model in [
+        EnergyModel::continuous(modes.s_max()),
+        EnergyModel::VddHopping(modes.clone()),
+        EnergyModel::Discrete(modes.clone()),
+    ] {
+        match solve(&exec, deadline, &model, p) {
+            Ok(sol) => println!(
+                "\n{:<12} energy {:>8.3} J  (makespan {:.3}, algorithm {})",
+                model.name(),
+                sol.energy,
+                sol.schedule.makespan(&exec),
+                sol.algorithm
+            ),
+            Err(e) => println!("\n{:<12} failed: {e}", model.name()),
+        }
+    }
+
+    // Show the Vdd-Hopping profiles: which tasks hop between modes.
+    let sol = solve(&exec, deadline, &EnergyModel::VddHopping(modes), p).unwrap();
+    println!("\nVdd-Hopping speed profiles:");
+    let names = ["sensor", "decrypt", "filter", "auth", "fuse", "encrypt", "tx"];
+    for t in exec.tasks() {
+        match sol.schedule.profile(t) {
+            SpeedProfile::Constant(s) => {
+                println!("  {:<8} constant {s:.3}", names[t.index()]);
+            }
+            SpeedProfile::Pieces(ps) => {
+                let desc: Vec<String> = ps
+                    .iter()
+                    .map(|(s, d)| format!("{s:.2} for {d:.3}"))
+                    .collect();
+                println!("  {:<8} hops: {}", names[t.index()], desc.join(", "));
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the bicriteria inversion: deadline → energy →
+//! deadline must round-trip, and the returned deadline is minimal.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reclaim::core::bicriteria::min_deadline_for_budget;
+use reclaim::core::solve;
+use reclaim::models::{DiscreteModes, EnergyModel, PowerLaw};
+use reclaim::taskgraph::{analysis, generators, TaskGraph};
+
+const P: PowerLaw = PowerLaw::CUBIC;
+
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    (2usize..8, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::random_dag(n, 0.35, 0.5, 4.0, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn continuous_roundtrip(g in arb_graph(), factor in 1.2f64..4.0) {
+        let model = EnergyModel::continuous_unbounded();
+        let d0 = factor * analysis::critical_path_weight(&g);
+        let e0 = solve(&g, d0, &model, P).unwrap().energy;
+        let d = min_deadline_for_budget(&g, &model, P, e0, 1e-9).unwrap();
+        prop_assert!((d - d0).abs() <= 1e-5 * d0, "{d} vs {d0}");
+    }
+
+    #[test]
+    fn bounded_models_inversion_is_minimal(
+        g in arb_graph(),
+        factor in 1.1f64..3.0,
+        budget_slack in 1.01f64..1.5,
+    ) {
+        let modes = DiscreteModes::new(&[0.5, 1.5, 3.0]).unwrap();
+        for model in [
+            EnergyModel::continuous(3.0),
+            EnergyModel::VddHopping(modes.clone()),
+        ] {
+            let d0 = factor * analysis::critical_path_weight(&g) / 3.0;
+            let e0 = solve(&g, d0, &model, P).unwrap().energy;
+            let budget = e0 * budget_slack;
+            let d = min_deadline_for_budget(&g, &model, P, budget, 1e-6).unwrap();
+            // Respects the budget…
+            let e = solve(&g, d, &model, P).unwrap().energy;
+            prop_assert!(e <= budget * (1.0 + 1e-6));
+            // …is no looser than the probe deadline…
+            prop_assert!(d <= d0 * (1.0 + 1e-6));
+            // …and is minimal up to the bisection tolerance: slightly
+            // tighter deadlines need more than the budget (skip when d
+            // is already at the feasibility floor).
+            let d_floor = analysis::critical_path_weight(&g) / 3.0;
+            let d_tighter = d * (1.0 - 1e-3);
+            if d_tighter > d_floor * (1.0 + 1e-9) {
+                let e_tight = solve(&g, d_tighter, &model, P).unwrap().energy;
+                prop_assert!(e_tight >= budget * (1.0 - 1e-2),
+                    "{}: {e_tight} far below budget {budget} at a tighter deadline",
+                    model.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end integration: application graph → fixed mapping →
+//! execution graph → every solver → validated schedule.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reclaim::core::{solve, solve_with, SolveOptions};
+use reclaim::mapping::{list_schedule, random_mapping, round_robin, Priority};
+use reclaim::models::{DiscreteModes, EnergyModel, IncrementalModes, PowerLaw};
+use reclaim::taskgraph::{analysis, generators};
+
+const P: PowerLaw = PowerLaw::CUBIC;
+
+fn all_models(modes: &DiscreteModes, inc: &IncrementalModes) -> Vec<EnergyModel> {
+    vec![
+        EnergyModel::continuous_unbounded(),
+        EnergyModel::continuous(modes.s_max()),
+        EnergyModel::VddHopping(modes.clone()),
+        EnergyModel::Discrete(modes.clone()),
+        EnergyModel::Incremental(inc.clone()),
+    ]
+}
+
+#[test]
+fn pipeline_from_random_app_to_all_solvers() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0, 2.5, 3.0]).unwrap();
+    let inc = IncrementalModes::new(0.5, 3.0, 0.5).unwrap();
+    for seed in 0..5u64 {
+        let app = generators::layered_dag(4, 3, 0.3, 1.0, 5.0, &mut rng);
+        let mapping = match seed % 3 {
+            0 => list_schedule(&app, 2, Priority::BottomLevel),
+            1 => round_robin(&app, 3),
+            _ => random_mapping(&app, 2, &mut rng),
+        };
+        let exec = mapping.execution_graph(&app).unwrap();
+        let d = 1.5 * analysis::critical_path_weight(&exec) / modes.s_max();
+        for model in all_models(&modes, &inc) {
+            let sol = solve(&exec, d, &model, P).unwrap_or_else(|e| {
+                panic!("{} failed on seed {seed}: {e}", model.name())
+            });
+            // The solver validated it already; double-check externally.
+            sol.schedule.validate(&exec, &model, d).unwrap();
+            assert!(sol.energy.is_finite() && sol.energy > 0.0);
+        }
+    }
+}
+
+#[test]
+fn model_dominance_chain_holds_across_instances() {
+    // The paper's intuition chain:
+    //   E_cont(unbounded) ≤ E_cont(s_max) ≤ E_vdd ≤ E_disc
+    // and E_disc ≤ E_incremental-on-subgrid when the discrete set
+    // contains the grid (here they coincide).
+    let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0, 2.5, 3.0]).unwrap();
+    let inc = IncrementalModes::new(0.5, 3.0, 0.5).unwrap();
+    let mut rng = StdRng::seed_from_u64(123);
+    for seed in 0..4u64 {
+        let app = generators::layered_dag(4, 3, 0.35, 1.0, 4.0, &mut rng);
+        let mapping = list_schedule(&app, 2, Priority::BottomLevel);
+        let exec = mapping.execution_graph(&app).unwrap();
+        let d = 1.3 * analysis::critical_path_weight(&exec) / modes.s_max();
+        let e = |m: &EnergyModel| solve(&exec, d, m, P).unwrap().energy;
+        let e_unb = e(&EnergyModel::continuous_unbounded());
+        let e_cap = e(&EnergyModel::continuous(modes.s_max()));
+        let e_vdd = e(&EnergyModel::VddHopping(modes.clone()));
+        let e_disc = e(&EnergyModel::Discrete(modes.clone()));
+        let e_inc = solve_with(
+            &exec,
+            d,
+            &EnergyModel::Incremental(inc.clone()),
+            P,
+            SolveOptions { exact_incremental: true, ..Default::default() },
+        )
+        .unwrap()
+        .energy;
+        let tol = 1.0 + 1e-6;
+        assert!(e_unb <= e_cap * tol, "seed {seed}: {e_unb} > {e_cap}");
+        assert!(e_cap <= e_vdd * tol, "seed {seed}: {e_cap} > {e_vdd}");
+        assert!(e_vdd <= e_disc * tol, "seed {seed}: {e_vdd} > {e_disc}");
+        assert!(
+            (e_disc - e_inc).abs() <= 1e-6 * e_disc,
+            "seed {seed}: identical mode sets must give identical optima"
+        );
+    }
+}
+
+#[test]
+fn serialization_edges_increase_energy() {
+    // Mapping more tasks on fewer processors can only restrict the
+    // schedule, so the optimal energy is monotone in processor count
+    // reduction (for the same deadline).
+    let mut rng = StdRng::seed_from_u64(7);
+    let app = generators::layered_dag(3, 4, 0.3, 1.0, 4.0, &mut rng);
+    let d = app.total_work(); // loose enough for the 1-processor case
+    let mut prev = f64::INFINITY;
+    for procs in [1usize, 2, 4] {
+        let exec = list_schedule(&app, procs, Priority::BottomLevel)
+            .execution_graph(&app)
+            .unwrap();
+        let e = solve(&exec, d, &EnergyModel::continuous_unbounded(), P)
+            .unwrap()
+            .energy;
+        assert!(
+            e <= prev * (1.0 + 1e-9),
+            "more processors must not increase optimal energy: {e} > {prev}"
+        );
+        prev = e;
+    }
+}
+
+#[test]
+fn energy_monotone_in_deadline() {
+    let modes = DiscreteModes::new(&[0.5, 1.0, 2.0]).unwrap();
+    let mut rng = StdRng::seed_from_u64(55);
+    let app = generators::layered_dag(4, 3, 0.3, 1.0, 4.0, &mut rng);
+    let exec = list_schedule(&app, 2, Priority::BottomLevel)
+        .execution_graph(&app)
+        .unwrap();
+    let dmin = analysis::critical_path_weight(&exec) / modes.s_max();
+    for model in [
+        EnergyModel::continuous(modes.s_max()),
+        EnergyModel::VddHopping(modes.clone()),
+        EnergyModel::Discrete(modes.clone()),
+    ] {
+        let mut prev = f64::INFINITY;
+        for tight in [1.05, 1.3, 1.8, 2.5, 4.0] {
+            let e = solve(&exec, tight * dmin, &model, P).unwrap().energy;
+            assert!(
+                e <= prev * (1.0 + 1e-6),
+                "{}: energy must not increase with a looser deadline",
+                model.name()
+            );
+            prev = e;
+        }
+    }
+}
+
+#[test]
+fn infeasible_below_dmin_feasible_above() {
+    let modes = DiscreteModes::new(&[1.0, 2.0]).unwrap();
+    let g = generators::chain(&[2.0, 2.0, 2.0]);
+    let dmin = g.total_work() / modes.s_max(); // 3.0
+    for model in [
+        EnergyModel::continuous(2.0),
+        EnergyModel::VddHopping(modes.clone()),
+        EnergyModel::Discrete(modes.clone()),
+    ] {
+        assert!(solve(&g, dmin * 0.99, &model, P).is_err(), "{}", model.name());
+        assert!(solve(&g, dmin * 1.01, &model, P).is_ok(), "{}", model.name());
+    }
+}
+
+#[test]
+fn continuous_scaling_law_on_mapped_graphs() {
+    // E*(λD) = E*(D)/λ² for the Continuous model without s_max.
+    let mut rng = StdRng::seed_from_u64(31);
+    let app = generators::layered_dag(3, 3, 0.4, 1.0, 4.0, &mut rng);
+    let exec = list_schedule(&app, 2, Priority::BottomLevel)
+        .execution_graph(&app)
+        .unwrap();
+    let d0 = analysis::critical_path_weight(&exec);
+    let model = EnergyModel::continuous_unbounded();
+    let e0 = solve(&exec, d0, &model, P).unwrap().energy;
+    for lambda in [1.5, 2.0, 4.0] {
+        let e = solve(&exec, lambda * d0, &model, P).unwrap().energy;
+        let expect = e0 / (lambda * lambda);
+        assert!(
+            (e - expect).abs() <= 1e-4 * expect,
+            "λ={lambda}: {e} vs {expect}"
+        );
+    }
+}

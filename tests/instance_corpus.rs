@@ -1,0 +1,62 @@
+//! Every file in `instances/` must parse, solve, validate, and replay
+//! in the simulator.
+
+use reclaim::cli::parse;
+use reclaim::models::PowerLaw;
+use reclaim::sim::simulate;
+
+#[test]
+fn corpus_parses_solves_and_replays() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/instances");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("instances/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("inst") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        let inst = parse(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let sol = reclaim::core::solve(
+            &inst.graph,
+            inst.deadline,
+            &inst.model,
+            PowerLaw::CUBIC,
+        )
+        .unwrap_or_else(|e| panic!("{}: solve failed: {e}", path.display()));
+        // Validate externally and replay in the simulator.
+        sol.schedule
+            .validate(&inst.graph, &inst.model, inst.deadline)
+            .unwrap_or_else(|e| panic!("{}: invalid schedule: {e}", path.display()));
+        let sim = simulate(&inst.graph, &sol.schedule, PowerLaw::CUBIC)
+            .unwrap_or_else(|e| panic!("{}: simulation rejected: {e}", path.display()));
+        assert!(
+            (sim.energy - sol.energy).abs() <= 1e-6 * sol.energy,
+            "{}: energy drift",
+            path.display()
+        );
+        if let Some(m) = &inst.mapping {
+            reclaim::sim::check_mapping_consistency(&inst.graph, &sol.schedule, m)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        }
+    }
+    assert!(seen >= 4, "expected the shipped corpus, found {seen} files");
+}
+
+#[test]
+fn corpus_covers_all_four_models() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/instances");
+    let mut names = std::collections::HashSet::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("inst") {
+            continue;
+        }
+        let inst = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        names.insert(inst.model.name());
+    }
+    for required in ["Continuous", "Discrete", "Vdd-Hopping", "Incremental"] {
+        assert!(names.contains(required), "corpus missing a {required} instance");
+    }
+}

@@ -1,0 +1,88 @@
+//! The simulator as an independent oracle: for every model, the
+//! integrated power-trace energy must match the analytic accounting,
+//! and solver schedules must replay cleanly (causality + mapping
+//! consistency).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reclaim::core::solve;
+use reclaim::mapping::{list_schedule, Priority};
+use reclaim::models::{DiscreteModes, EnergyModel, IncrementalModes, PowerLaw};
+use reclaim::sim::{check_mapping_consistency, gantt, simulate};
+use reclaim::taskgraph::{analysis, generators};
+
+const P: PowerLaw = PowerLaw::CUBIC;
+
+#[test]
+fn simulated_energy_matches_solver_for_every_model() {
+    let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0, 2.5, 3.0]).unwrap();
+    let inc = IncrementalModes::new(0.5, 3.0, 0.5).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    for seed in 0..4u64 {
+        let app = generators::layered_dag(4, 3, 0.3, 1.0, 5.0, &mut rng);
+        let mapping = list_schedule(&app, 2, Priority::BottomLevel);
+        let exec = mapping.execution_graph(&app).unwrap();
+        let d = (1.2 + seed as f64 * 0.3) * analysis::critical_path_weight(&exec)
+            / modes.s_max();
+        for model in [
+            EnergyModel::continuous(modes.s_max()),
+            EnergyModel::VddHopping(modes.clone()),
+            EnergyModel::Discrete(modes.clone()),
+            EnergyModel::Incremental(inc.clone()),
+        ] {
+            let sol = solve(&exec, d, &model, P).unwrap();
+            let sim = simulate(&exec, &sol.schedule, P)
+                .unwrap_or_else(|e| panic!("{}: {e}", model.name()));
+            assert!(
+                (sim.energy - sol.energy).abs() <= 1e-6 * sol.energy,
+                "{}: integrated {} vs analytic {}",
+                model.name(),
+                sim.energy,
+                sol.energy
+            );
+            assert!(sim.makespan <= d * (1.0 + 1e-6));
+            check_mapping_consistency(&exec, &sol.schedule, &mapping)
+                .unwrap_or_else(|e| panic!("{}: {e}", model.name()));
+        }
+    }
+}
+
+#[test]
+fn peak_power_is_bounded_by_all_tasks_at_top_speed() {
+    let modes = DiscreteModes::new(&[0.5, 1.5, 3.0]).unwrap();
+    let g = generators::fork_join(1.0, &[2.0, 3.0, 2.0], 1.0);
+    let d = 1.3 * analysis::critical_path_weight(&g) / modes.s_max();
+    let sol = solve(&g, d, &EnergyModel::VddHopping(modes.clone()), P).unwrap();
+    let sim = simulate(&g, &sol.schedule, P).unwrap();
+    // At most 3 tasks run concurrently (the fork's middle layer), each
+    // below s_max³ watts.
+    let bound = 3.0 * P.power(modes.s_max());
+    assert!(sim.trace.peak_power() <= bound * (1.0 + 1e-9));
+    assert!(sim.trace.average_power() <= sim.trace.peak_power());
+}
+
+#[test]
+fn slower_schedules_have_lower_peak_power() {
+    // Speed scaling flattens the power curve: doubling the deadline
+    // must not raise the peak.
+    let g = generators::diamond([1.0, 2.0, 3.0, 1.0]);
+    let model = EnergyModel::continuous_unbounded();
+    let d0 = analysis::critical_path_weight(&g);
+    let tight = simulate(&g, &solve(&g, d0, &model, P).unwrap().schedule, P).unwrap();
+    let loose =
+        simulate(&g, &solve(&g, 2.0 * d0, &model, P).unwrap().schedule, P).unwrap();
+    assert!(loose.trace.peak_power() <= tight.trace.peak_power() * (1.0 + 1e-9));
+    assert!(loose.energy < tight.energy);
+}
+
+#[test]
+fn gantt_chart_renders_for_mapped_schedules() {
+    let app = generators::diamond([1.0, 2.0, 3.0, 1.0]);
+    let mapping = list_schedule(&app, 2, Priority::BottomLevel);
+    let exec = mapping.execution_graph(&app).unwrap();
+    let sol = solve(&exec, 8.0, &EnergyModel::continuous(2.0), P).unwrap();
+    let chart = gantt(&exec, &sol.schedule, &mapping, 40);
+    assert_eq!(chart.lines().count(), 3); // 2 processors + time axis
+    assert!(chart.contains("P0"));
+    assert!(chart.contains("P1"));
+}

@@ -1,0 +1,78 @@
+//! Full matrix: every structured workflow family × every energy
+//! model → solve, validate, simulate, and check model dominance.
+
+use reclaim::core::solve;
+use reclaim::mapping::{list_schedule, Priority};
+use reclaim::models::{DiscreteModes, EnergyModel, IncrementalModes, PowerLaw};
+use reclaim::sim::simulate;
+use reclaim::taskgraph::{analysis, workflows, TaskGraph};
+
+const P: PowerLaw = PowerLaw::CUBIC;
+
+fn cases() -> Vec<(&'static str, TaskGraph, usize)> {
+    vec![
+        ("fft", workflows::fft(3), 3),
+        ("lu", workflows::lu(3), 2),
+        ("stencil", workflows::stencil(4, 4), 2),
+        ("dac", workflows::divide_and_conquer(2, 3, 1.0, 3.0), 3),
+        ("ge", workflows::gaussian_elimination(6), 2),
+    ]
+}
+
+#[test]
+fn every_workflow_under_every_model() {
+    let modes = DiscreteModes::new(&[0.5, 1.125, 1.75, 2.375, 3.0]).unwrap();
+    let inc = IncrementalModes::new(0.5, 3.0, 0.25).unwrap();
+    for (name, app, procs) in cases() {
+        let mapping = list_schedule(&app, procs, Priority::BottomLevel);
+        let exec = mapping.execution_graph(&app).unwrap();
+        let d = 1.3 * analysis::critical_path_weight(&exec) / modes.s_max();
+        let mut energies = Vec::new();
+        for model in [
+            EnergyModel::continuous(modes.s_max()),
+            EnergyModel::VddHopping(modes.clone()),
+            EnergyModel::Discrete(modes.clone()),
+            EnergyModel::Incremental(inc.clone()),
+        ] {
+            let sol = solve(&exec, d, &model, P)
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", model.name()));
+            sol.schedule
+                .validate(&exec, &model, d)
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", model.name()));
+            let sim = simulate(&exec, &sol.schedule, P)
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", model.name()));
+            assert!(
+                (sim.energy - sol.energy).abs() <= 1e-6 * sol.energy,
+                "{name}/{}: oracle disagreement",
+                model.name()
+            );
+            energies.push(sol.energy);
+        }
+        // Dominance: Continuous ≤ Vdd ≤ Discrete-solver-output.
+        // (Discrete may be the rounding approximation on big
+        // workflows, still an upper bound on the Vdd optimum.)
+        assert!(energies[0] <= energies[1] * (1.0 + 1e-6), "{name}: cont vs vdd");
+        assert!(energies[1] <= energies[2] * (1.0 + 1e-6), "{name}: vdd vs disc");
+    }
+}
+
+#[test]
+fn workflow_energy_beats_naive_smax() {
+    // Running everything flat-out is always feasible but wasteful:
+    // the continuous optimum must reclaim a strictly positive amount
+    // whenever the deadline has slack.
+    let modes = DiscreteModes::new(&[0.5, 1.5, 3.0]).unwrap();
+    for (name, app, procs) in cases() {
+        let mapping = list_schedule(&app, procs, Priority::BottomLevel);
+        let exec = mapping.execution_graph(&app).unwrap();
+        let d = 1.5 * analysis::critical_path_weight(&exec) / modes.s_max();
+        let sol =
+            solve(&exec, d, &EnergyModel::continuous(modes.s_max()), P).unwrap();
+        let naive = P.energy_at_speed(exec.total_work(), modes.s_max());
+        assert!(
+            sol.energy < naive * 0.9,
+            "{name}: expected ≥ 10% reclaimed, got {} vs naive {naive}",
+            sol.energy
+        );
+    }
+}
