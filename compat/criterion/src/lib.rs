@@ -1,0 +1,180 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's
+//! benches use: `Criterion::benchmark_group`, `BenchmarkGroup`
+//! (`sample_size`, `bench_function`, `bench_with_input`, `finish`),
+//! `Bencher::iter`, `BenchmarkId::new`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing is a simple mean over `sample_size` batched iterations via
+//! `std::time::Instant` — no warm-up, outlier analysis, or HTML
+//! reports. Good enough to smoke-run benches and print comparable
+//! per-iteration times; later PRs can vendor the real harness.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: 1,
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: 1,
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher, input);
+        }
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        if bencher.samples.is_empty() {
+            return;
+        }
+        let total: Duration = bencher.samples.iter().sum();
+        let iters = bencher.samples.len() as u128 * bencher.iters_per_sample as u128;
+        let mean_ns = total.as_nanos() / iters.max(1);
+        let label = if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        println!("bench: {label:<50} {:>12} ns/iter", mean_ns);
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        hint::black_box(f());
+        self.samples.push(start.elapsed());
+        self.iters_per_sample = 1;
+    }
+}
+
+/// `criterion_group!(name, target, ...)` — the config-less form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,43 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Size argument of [`vec`]: an exact length or a half-open range.
+pub trait IntoSizeRange {
+    fn pick(&self, rng: &mut StdRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn pick(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = self.len.pick(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

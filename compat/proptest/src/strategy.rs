@@ -1,0 +1,284 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+
+/// A recipe for producing random values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a sampler.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Type-erased strategy, as returned by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+/// Numeric ranges are strategies: `0.5f64..2.0`, `1usize..20`, ...
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + Copy,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($s:ident $idx:tt),+);)+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_tuple! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// Marker used by [`crate::arbitrary::any`].
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+/// String literals are regex strategies in proptest. This stub
+/// supports the one shape the workspace uses — a single character
+/// class with a bounded repetition, `[<class>]{lo,hi}` or
+/// `[<class>]{n}` — where the class may contain literal characters,
+/// `a-z`-style ranges, and `\n`/`\t`/`\r`/`\\` escapes.
+impl Strategy for str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (alphabet, lo, hi) = parse_class_repeat(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy {self:?}: the offline proptest stub only handles `[class]{{lo,hi}}`"));
+        let n = if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..hi + 1)
+        };
+        (0..n)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, reps) = rest.split_once(']')?;
+    let reps = reps.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match reps.split_once(',') {
+        Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+        None => {
+            let n = reps.parse().ok()?;
+            (n, n)
+        }
+    };
+
+    let mut chars: Vec<char> = Vec::new();
+    let mut iter = class.chars().peekable();
+    while let Some(c) = iter.next() {
+        let c = if c == '\\' {
+            match iter.next()? {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            }
+        } else {
+            c
+        };
+        // `a-z` range (a '-' that is neither first nor last)?
+        if iter.peek() == Some(&'-') && {
+            let mut ahead = iter.clone();
+            ahead.next();
+            ahead.peek().is_some()
+        } {
+            iter.next(); // consume '-'
+            let end = match iter.next()? {
+                '\\' => match iter.next()? {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                },
+                other => other,
+            };
+            let (a, b) = (c as u32, end as u32);
+            if a > b {
+                return None;
+            }
+            chars.extend((a..=b).filter_map(char::from_u32));
+        } else {
+            chars.push(c);
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    Some((chars, lo, hi))
+}

@@ -41,11 +41,9 @@ fn bench_geometric_program(c: &mut Criterion) {
     for (layers, width) in [(3usize, 3usize), (4, 4), (6, 6), (8, 8)] {
         let eg = random_execution_graph(layers, width, 3, 42);
         let d = taskgraph::analysis::critical_path_weight(&eg) * 0.8;
-        g.bench_with_input(
-            BenchmarkId::new("barrier", eg.n()),
-            &eg.n(),
-            |b, _| b.iter(|| continuous::solve_general(&eg, d, None, P, None).unwrap()),
-        );
+        g.bench_with_input(BenchmarkId::new("barrier", eg.n()), &eg.n(), |b, _| {
+            b.iter(|| continuous::solve_general(&eg, d, None, P, None).unwrap())
+        });
     }
     g.finish();
 }

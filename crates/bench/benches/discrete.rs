@@ -26,14 +26,10 @@ fn bench_bnb_growth(c: &mut Criterion) {
     for n in [8usize, 12, 16] {
         let (graph, d) = partition_instance(n, 5);
         g.bench_with_input(BenchmarkId::new("cold", n), &n, |b, _| {
-            b.iter(|| {
-                discrete::exact_with_budget(&graph, d, &modes, P, u64::MAX, false).unwrap()
-            })
+            b.iter(|| discrete::exact_with_budget(&graph, d, &modes, P, u64::MAX, false).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("warm", n), &n, |b, _| {
-            b.iter(|| {
-                discrete::exact_with_budget(&graph, d, &modes, P, u64::MAX, true).unwrap()
-            })
+            b.iter(|| discrete::exact_with_budget(&graph, d, &modes, P, u64::MAX, true).unwrap())
         });
     }
     g.finish();
@@ -56,7 +52,10 @@ fn bench_chain_bound_ablation(c: &mut Criterion) {
                     d,
                     &modes,
                     P,
-                    discrete::BnbConfig { chain_bound, ..Default::default() },
+                    discrete::BnbConfig {
+                        chain_bound,
+                        ..Default::default()
+                    },
                 )
                 .unwrap()
             })

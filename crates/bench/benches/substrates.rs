@@ -15,13 +15,10 @@ fn bench_simplex(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let rows = n;
         let mut p = Problem::new(n);
-        let obj: Vec<(usize, f64)> =
-            (0..n).map(|j| (j, rng.gen_range(0.1..1.0))).collect();
+        let obj: Vec<(usize, f64)> = (0..n).map(|j| (j, rng.gen_range(0.1..1.0))).collect();
         p.set_objective(&obj);
         for _ in 0..rows {
-            let coeffs: Vec<(usize, f64)> = (0..n)
-                .map(|j| (j, rng.gen_range(-0.5..1.0)))
-                .collect();
+            let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, rng.gen_range(-0.5..1.0))).collect();
             p.add_constraint(&coeffs, Relation::Le, rng.gen_range(1.0..5.0));
             // Also a covering row to keep the optimum away from 0.
         }
@@ -62,5 +59,10 @@ fn bench_graph_analysis(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_simplex, bench_sp_recognition, bench_graph_analysis);
+criterion_group!(
+    benches,
+    bench_simplex,
+    bench_sp_recognition,
+    bench_graph_analysis
+);
 criterion_main!(benches);

@@ -17,11 +17,9 @@ fn bench_lp_scaling(c: &mut Criterion) {
         for m in [2usize, 5, 8] {
             let modes = spread_modes(m, 0.5, 3.0);
             let d = 1.5 * dmin(&eg, modes.s_max());
-            g.bench_with_input(
-                BenchmarkId::new(format!("n{}", eg.n()), m),
-                &m,
-                |b, _| b.iter(|| vdd::solve_lp(&eg, d, &modes, P).unwrap()),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("n{}", eg.n()), m), &m, |b, _| {
+                b.iter(|| vdd::solve_lp(&eg, d, &modes, P).unwrap())
+            });
         }
     }
     g.finish();

@@ -19,9 +19,7 @@ use report::Table;
 
 /// Run the experiment.
 pub fn run() -> Outcome {
-    let mut table = Table::new(&[
-        "D/Dmin", "Vdd/Cont", "Disc/Cont", "Incr/Cont", "instances",
-    ]);
+    let mut table = Table::new(&["D/Dmin", "Vdd/Cont", "Disc/Cont", "Incr/Cont", "instances"]);
     let modes = spread_modes(5, 0.5, 3.0);
     let inc = IncrementalModes::new(0.5, 3.0, 0.625).unwrap();
     let seeds: Vec<u64> = (0..8).collect();
@@ -39,8 +37,7 @@ pub fn run() -> Outcome {
             let e_vdd = vdd::solve_lp(&g, d, &modes, P).unwrap().energy(&g, P);
             let e_disc = discrete::exact(&g, d, &modes, P).unwrap().energy;
             let e_inc = incremental::exact(&g, d, &inc, P).unwrap().energy;
-            ordering_ok &= e_cont <= e_vdd * (1.0 + 1e-6)
-                && e_vdd <= e_disc * (1.0 + 1e-6);
+            ordering_ok &= e_cont <= e_vdd * (1.0 + 1e-6) && e_vdd <= e_disc * (1.0 + 1e-6);
             r_vdd.push(e_vdd / e_cont);
             r_disc.push(e_disc / e_cont);
             r_inc.push(e_inc / e_cont);

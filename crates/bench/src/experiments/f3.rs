@@ -28,9 +28,7 @@ fn family(name: &str, seed: u64) -> TaskGraph {
 
 /// Run the experiment.
 pub fn run() -> Outcome {
-    let mut table = Table::new(&[
-        "family", "algorithm", "Vdd/Cont", "Disc/Cont", "ordering",
-    ]);
+    let mut table = Table::new(&["family", "algorithm", "Vdd/Cont", "Disc/Cont", "ordering"]);
     let modes = spread_modes(5, 0.5, 3.0);
     let mut all_ok = true;
 

@@ -14,7 +14,11 @@ use report::Table;
 /// Run the experiment.
 pub fn run() -> Outcome {
     let mut table = Table::new(&[
-        "m-modes", "tightness", "geo mix/LP", "max mix/LP", "LP-never-worse",
+        "m-modes",
+        "tightness",
+        "geo mix/LP",
+        "max mix/LP",
+        "LP-never-worse",
     ]);
     let mut all_ok = true;
     let mut overall_max = 1.0f64;

@@ -45,7 +45,10 @@ impl Outcome {
     pub fn render(&self) -> String {
         format!(
             "== {} ==\nclaim: {}\n\n{}\nverdict: {}\n",
-            self.id, self.claim, self.table.render(), self.verdict
+            self.id,
+            self.claim,
+            self.table.render(),
+            self.verdict
         )
     }
 }
@@ -60,9 +63,8 @@ pub fn cont_energy(g: &TaskGraph, d: f64, s_max: Option<f64>) -> f64 {
 /// provable lower bound on any Discrete/Incremental optimum over the
 /// same speed range.
 pub fn cont_energy_boxed(g: &TaskGraph, d: f64, s_min: f64, s_max: f64) -> f64 {
-    let speeds =
-        continuous::solve_general_boxed(g, d, Some(s_min), Some(s_max), P, None)
-            .expect("feasible instance");
+    let speeds = continuous::solve_general_boxed(g, d, Some(s_min), Some(s_max), P, None)
+        .expect("feasible instance");
     continuous::energy_of_speeds(g, &speeds, P)
 }
 

@@ -11,8 +11,14 @@ use taskgraph::generators;
 /// Run the experiment.
 pub fn run() -> Outcome {
     let mut table = Table::new(&[
-        "n-leaves", "deadline", "regime", "E-closed-form", "E-numerical", "rel-diff",
-        "t-closed(us)", "t-numeric(us)",
+        "n-leaves",
+        "deadline",
+        "regime",
+        "E-closed-form",
+        "E-numerical",
+        "rel-diff",
+        "t-closed(us)",
+        "t-numeric(us)",
     ]);
     let mut rng = StdRng::seed_from_u64(101);
     let mut worst = 0.0f64;
@@ -29,11 +35,8 @@ pub fn run() -> Outcome {
         let cp = taskgraph::analysis::critical_path_weight(&g);
         let sm_mid = 0.5 * (cp / d + s0_unconstrained);
         assert!(sm_mid > cp / d && sm_mid < s0_unconstrained);
-        for (label, s_max) in
-            [("unsaturated", None), ("saturated", Some(sm_mid))]
-        {
-            let (closed, t_closed) =
-                time_it(|| continuous::solve_fork(&g, d, s_max, P).unwrap());
+        for (label, s_max) in [("unsaturated", None), ("saturated", Some(sm_mid))] {
+            let (closed, t_closed) = time_it(|| continuous::solve_fork(&g, d, s_max, P).unwrap());
             let (numer, t_numer) =
                 time_it(|| continuous::solve_general(&g, d, s_max, P, None).unwrap());
             let e_closed = continuous::energy_of_speeds(&g, &closed, P);

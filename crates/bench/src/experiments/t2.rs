@@ -12,7 +12,12 @@ use taskgraph::{generators, SpTree};
 /// Run the experiment.
 pub fn run() -> Outcome {
     let mut table = Table::new(&[
-        "family", "n", "t-exact(us)", "E-exact", "E-numerical", "rel-diff",
+        "family",
+        "n",
+        "t-exact(us)",
+        "E-exact",
+        "E-numerical",
+        "rel-diff",
     ]);
     let mut rng = StdRng::seed_from_u64(202);
     let mut worst = 0.0f64;
@@ -22,8 +27,7 @@ pub fn run() -> Outcome {
         // Random out-tree.
         let tree = generators::random_out_tree(n, 1.0, 5.0, &mut rng);
         let d = taskgraph::analysis::critical_path_weight(&tree) * 0.8;
-        let (speeds, t_exact) =
-            time_it(|| continuous::solve_tree(&tree, d, P).unwrap());
+        let (speeds, t_exact) = time_it(|| continuous::solve_tree(&tree, d, P).unwrap());
         let e_exact = continuous::energy_of_speeds(&tree, &speeds, P);
         times.push((n, t_exact));
         // Cross-check with the barrier solver on small sizes only
@@ -50,8 +54,7 @@ pub fn run() -> Outcome {
         // construction; recognition is also exercised for small n).
         let (sp, decomp) = generators::random_sp(n, 0.55, 1.0, 5.0, &mut rng);
         let d = taskgraph::analysis::critical_path_weight(&sp) * 0.8;
-        let (speeds, t_exact) =
-            time_it(|| continuous::solve_sp(&sp, &decomp, d, P).unwrap());
+        let (speeds, t_exact) = time_it(|| continuous::solve_sp(&sp, &decomp, d, P).unwrap());
         let e_exact = continuous::energy_of_speeds(&sp, &speeds, P);
         if n <= 100 {
             // Recognition must rediscover a decomposition with the

@@ -11,7 +11,13 @@ use report::Table;
 /// Run the experiment.
 pub fn run() -> Outcome {
     let mut table = Table::new(&[
-        "n", "m-modes", "tightness", "E-cont", "E-vdd-lp", "E-discrete", "t-lp(ms)",
+        "n",
+        "m-modes",
+        "tightness",
+        "E-cont",
+        "E-vdd-lp",
+        "E-discrete",
+        "t-lp(ms)",
         "sandwich",
     ]);
     let mut all_ok = true;
@@ -24,8 +30,7 @@ pub fn run() -> Outcome {
                 let modes = spread_modes(m, 0.5, 3.0);
                 let d = tight * dmin(&g, modes.s_max());
                 let e_cont = cont_energy(&g, d, Some(modes.s_max()));
-                let (sched, t_lp) =
-                    time_it(|| vdd::solve_lp(&g, d, &modes, P).unwrap());
+                let (sched, t_lp) = time_it(|| vdd::solve_lp(&g, d, &modes, P).unwrap());
                 let e_vdd = sched.energy(&g, P);
                 // Discrete upper bound: exact when small, rounding
                 // otherwise.

@@ -16,9 +16,7 @@ use taskgraph::generators;
 
 /// Run the experiment.
 pub fn run() -> Outcome {
-    let mut table = Table::new(&[
-        "n", "nodes-cold", "nodes-warm", "t-cold(ms)", "growth-cold",
-    ]);
+    let mut table = Table::new(&["n", "nodes-cold", "nodes-warm", "t-cold(ms)", "growth-cold"]);
     let modes = DiscreteModes::new(&[1.0, 2.0]).unwrap();
     let mut rng = StdRng::seed_from_u64(404);
     let budget = 30_000_000;
@@ -32,12 +30,9 @@ pub fn run() -> Outcome {
             .map(|_| (rng.gen_range(20..40) as f64) + 0.5)
             .collect();
         let (g, d) = generators::partition_chain(&values);
-        let (cold, t_cold) = time_it(|| {
-            discrete::exact_with_budget(&g, d, &modes, P, budget, false)
-        });
-        let (warm, _) = time_it(|| {
-            discrete::exact_with_budget(&g, d, &modes, P, budget, true)
-        });
+        let (cold, t_cold) =
+            time_it(|| discrete::exact_with_budget(&g, d, &modes, P, budget, false));
+        let (warm, _) = time_it(|| discrete::exact_with_budget(&g, d, &modes, P, budget, true));
         let (nodes_cold, nodes_warm) = match (&cold, &warm) {
             (Ok(c), Ok(w)) => (c.stats.nodes as f64, w.stats.nodes as f64),
             _ => (budget as f64, budget as f64),

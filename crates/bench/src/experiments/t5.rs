@@ -16,7 +16,12 @@ use report::Table;
 /// Run the experiment.
 pub fn run() -> Outcome {
     let mut table = Table::new(&[
-        "delta", "K", "bound", "ratio-vs-exact", "ratio-vs-contLB", "t-alg(ms)",
+        "delta",
+        "K",
+        "bound",
+        "ratio-vs-exact",
+        "ratio-vs-contLB",
+        "t-alg(ms)",
         "within-bound",
     ]);
     let g = random_execution_graph(4, 3, 2, 505); // 12 tasks
@@ -28,8 +33,7 @@ pub fn run() -> Outcome {
         for &k in &[1u32, 3, 10, 100] {
             let modes = IncrementalModes::new(s_min, s_max, delta).unwrap();
             let bound = incremental::approx_bound(&modes, P, k);
-            let (speeds, t_alg) =
-                time_it(|| incremental::approx(&g, d, &modes, P, k).unwrap());
+            let (speeds, t_alg) = time_it(|| incremental::approx(&g, d, &modes, P, k).unwrap());
             let e_alg = continuous::energy_of_speeds(&g, &speeds, P);
             // Exact optimum only for coarse grids (the search is
             // exponential — that is Theorem 4); fall back to the

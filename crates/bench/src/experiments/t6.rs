@@ -14,7 +14,11 @@ use report::Table;
 /// Run the experiment.
 pub fn run() -> Outcome {
     let mut table = Table::new(&[
-        "delta", "bound=(1+d/smin)^2", "geo-ratio", "max-ratio", "within",
+        "delta",
+        "bound=(1+d/smin)^2",
+        "geo-ratio",
+        "max-ratio",
+        "within",
     ]);
     let (s_min, s_max) = (0.5, 3.0);
     let mut all_ok = true;

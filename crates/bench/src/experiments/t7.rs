@@ -10,7 +10,13 @@ use report::Table;
 /// Run the experiment.
 pub fn run() -> Outcome {
     let mut table = Table::new(&[
-        "modes", "alpha-gap", "K", "bound", "ratio-vs-exact", "t-approx(ms)", "within",
+        "modes",
+        "alpha-gap",
+        "K",
+        "bound",
+        "ratio-vs-exact",
+        "t-approx(ms)",
+        "within",
     ]);
     let mut all_ok = true;
 
@@ -18,8 +24,7 @@ pub fn run() -> Outcome {
         for &k in &[1u32, 10, 100] {
             let modes = irregular_modes(m, 0.6, 3.0, 700 + mi as u64);
             let alpha_gap = modes.max_gap();
-            let bound = (1.0 + alpha_gap / modes.s_min()).powi(2)
-                * (1.0 + 1.0 / k as f64).powi(2);
+            let bound = (1.0 + alpha_gap / modes.s_min()).powi(2) * (1.0 + 1.0 / k as f64).powi(2);
             let g = random_execution_graph(4, 3, 2, 710 + mi as u64); // 12 tasks
             let d = 1.5 * dmin(&g, modes.s_max());
             let (speeds, t_alg) =
@@ -30,7 +35,14 @@ pub fn run() -> Outcome {
             let ok = ratio <= bound * (1.0 + 1e-6);
             all_ok &= ok;
             table.row(&[
-                format!("{:?}", modes.speeds().iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>()),
+                format!(
+                    "{:?}",
+                    modes
+                        .speeds()
+                        .iter()
+                        .map(|s| (s * 100.0).round() / 100.0)
+                        .collect::<Vec<_>>()
+                ),
                 format!("{alpha_gap:.3}"),
                 k.to_string(),
                 format!("{bound:.4}"),

@@ -13,7 +13,11 @@ use sim::simulate;
 /// Run the experiment.
 pub fn run() -> Outcome {
     let mut table = Table::new(&[
-        "D/Dmin", "peak-Cont(W)", "peak-Vdd(W)", "peak-Disc(W)", "energy-Vdd/Cont",
+        "D/Dmin",
+        "peak-Cont(W)",
+        "peak-Vdd(W)",
+        "peak-Disc(W)",
+        "energy-Vdd/Cont",
     ]);
     let modes = spread_modes(5, 0.5, 3.0);
     let mut flattening_ok = true;

@@ -11,7 +11,11 @@ use report::Table;
 /// Run the experiment.
 pub fn run() -> Outcome {
     let mut table = Table::new(&[
-        "m-modes", "tightness", "roundup/OPT", "greedy/OPT", "greedy-wins(%)",
+        "m-modes",
+        "tightness",
+        "roundup/OPT",
+        "greedy/OPT",
+        "greedy-wins(%)",
     ]);
     let mut all_feasible = true;
     let mut worst_roundup = 1.0f64;

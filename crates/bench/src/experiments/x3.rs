@@ -16,7 +16,12 @@ use taskgraph::generators;
 /// Run the experiment.
 pub fn run() -> Outcome {
     let mut table = Table::new(&[
-        "alpha", "fork-rel-diff", "sp-rel-diff", "Vdd/Cont", "Disc/Cont", "ordering",
+        "alpha",
+        "fork-rel-diff",
+        "sp-rel-diff",
+        "Vdd/Cont",
+        "Disc/Cont",
+        "ordering",
     ]);
     let mut rng = StdRng::seed_from_u64(1400);
     let mut all_ok = true;

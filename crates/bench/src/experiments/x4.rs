@@ -21,7 +21,11 @@ fn mapped(app: &TaskGraph, procs: usize) -> TaskGraph {
 /// Run the experiment.
 pub fn run() -> Outcome {
     let mut table = Table::new(&[
-        "workflow", "n", "t-continuous(ms)", "t-vdd-lp(ms)", "t-incr-approx(ms)",
+        "workflow",
+        "n",
+        "t-continuous(ms)",
+        "t-vdd-lp(ms)",
+        "t-incr-approx(ms)",
     ]);
     let modes = DiscreteModes::new(&[0.5, 1.125, 1.75, 2.375, 3.0]).unwrap();
     let inc = IncrementalModes::new(0.5, 3.0, 0.25).unwrap();
@@ -34,13 +38,15 @@ pub fn run() -> Outcome {
         ("lu-4", mapped(&workflows::lu(4), 3)),
         ("stencil-5x5", mapped(&workflows::stencil(5, 5), 3)),
         ("stencil-8x8", mapped(&workflows::stencil(8, 8), 3)),
-        ("dac-3", mapped(&workflows::divide_and_conquer(3, 2, 1.0, 4.0), 4)),
+        (
+            "dac-3",
+            mapped(&workflows::divide_and_conquer(3, 2, 1.0, 4.0), 4),
+        ),
         ("ge-8", mapped(&workflows::gaussian_elimination(8), 3)),
     ];
     for (name, g) in cases {
         let d = 1.4 * crate::instances::dmin(&g, modes.s_max());
-        let (r_cont, t_cont) =
-            time_it(|| continuous::solve(&g, d, Some(modes.s_max()), P, None));
+        let (r_cont, t_cont) = time_it(|| continuous::solve(&g, d, Some(modes.s_max()), P, None));
         let (r_vdd, t_vdd) = time_it(|| vdd::solve_lp(&g, d, &modes, P));
         let (r_inc, t_inc) = time_it(|| incremental::approx(&g, d, &inc, P, 1000));
         all_finite &= r_cont.is_ok() && r_vdd.is_ok() && r_inc.is_ok();

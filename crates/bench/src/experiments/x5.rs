@@ -14,7 +14,12 @@ use taskgraph::generators;
 /// Run the experiment.
 pub fn run() -> Outcome {
     let mut table = Table::new(&[
-        "procs", "BL-list", "FIFO-list", "round-robin", "random", "worst/best",
+        "procs",
+        "BL-list",
+        "FIFO-list",
+        "round-robin",
+        "random",
+        "worst/best",
     ]);
     let mut all_ok = true;
     let mut worst_spread = 1.0f64;

@@ -21,12 +21,7 @@ pub fn dmin(g: &TaskGraph, s_max: f64) -> f64 {
 /// A random layered application DAG mapped onto `procs` processors by
 /// critical-path list scheduling; returns the **execution graph**
 /// (application edges + serialization edges).
-pub fn random_execution_graph(
-    layers: usize,
-    width: usize,
-    procs: usize,
-    seed: u64,
-) -> TaskGraph {
+pub fn random_execution_graph(layers: usize, width: usize, procs: usize, seed: u64) -> TaskGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let app = generators::layered_dag(layers, width, 0.35, 1.0, 5.0, &mut rng);
     let m = list_schedule(&app, procs, Priority::BottomLevel);
@@ -123,7 +118,13 @@ mod tests {
 
     #[test]
     fn ensemble_counts() {
-        let e = Ensemble { layers: 3, width: 2, procs: 2, base_seed: 1, count: 4 };
+        let e = Ensemble {
+            layers: 3,
+            width: 2,
+            procs: 2,
+            base_seed: 1,
+            count: 4,
+        };
         assert_eq!(e.graphs().len(), 4);
     }
 

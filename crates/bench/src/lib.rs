@@ -17,6 +17,4 @@
 pub mod experiments;
 pub mod instances;
 
-pub use instances::{
-    dmin, irregular_modes, random_execution_graph, spread_modes, Ensemble,
-};
+pub use instances::{dmin, irregular_modes, random_execution_graph, spread_modes, Ensemble};

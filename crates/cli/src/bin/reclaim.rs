@@ -114,22 +114,20 @@ fn main() {
                 inst.deadline
             );
         }
-        "dmin" => {
-            match inst.model.top_speed() {
-                Some(sm) => {
-                    let dmin = critical_path_weight(&inst.graph) / sm;
-                    println!("{dmin}");
-                    if inst.deadline < dmin {
-                        eprintln!(
-                            "warning: instance deadline {} is below dmin — infeasible",
-                            inst.deadline
-                        );
-                        std::process::exit(1);
-                    }
+        "dmin" => match inst.model.top_speed() {
+            Some(sm) => {
+                let dmin = critical_path_weight(&inst.graph) / sm;
+                println!("{dmin}");
+                if inst.deadline < dmin {
+                    eprintln!(
+                        "warning: instance deadline {} is below dmin — infeasible",
+                        inst.deadline
+                    );
+                    std::process::exit(1);
                 }
-                None => println!("0 (unbounded speeds: any positive deadline is feasible)"),
             }
-        }
+            None => println!("0 (unbounded speeds: any positive deadline is feasible)"),
+        },
         "solve" => {
             let sol = reclaim_core::solve(&inst.graph, inst.deadline, &inst.model, p)
                 .unwrap_or_else(|e| {
@@ -190,11 +188,10 @@ fn main() {
                 std::process::exit(1);
             });
             if let Some(m) = &inst.mapping {
-                sim::check_mapping_consistency(&inst.graph, &sol.schedule, m)
-                    .unwrap_or_else(|e| {
-                        eprintln!("mapping inconsistency: {e}");
-                        std::process::exit(1);
-                    });
+                sim::check_mapping_consistency(&inst.graph, &sol.schedule, m).unwrap_or_else(|e| {
+                    eprintln!("mapping inconsistency: {e}");
+                    std::process::exit(1);
+                });
             }
             println!(
                 "replayed {} tasks | integrated energy {:.6} (analytic {:.6}) | \
@@ -237,8 +234,8 @@ fn main() {
             let hi: f64 = flag_value("--hi")
                 .map(|v| v.parse().expect("--hi F"))
                 .unwrap_or(4.0);
-            let curve = energy_curve(&inst.graph, &inst.model, p, points, lo, hi)
-                .unwrap_or_else(|e| {
+            let curve =
+                energy_curve(&inst.graph, &inst.model, p, points, lo, hi).unwrap_or_else(|e| {
                     eprintln!("sweep failed: {e}");
                     std::process::exit(1);
                 });

@@ -26,7 +26,12 @@ pub struct GenOptions {
 
 impl Default for GenOptions {
     fn default() -> Self {
-        GenOptions { procs: 2, tightness: 1.4, model: "continuous".into(), seed: 42 }
+        GenOptions {
+            procs: 2,
+            tightness: 1.4,
+            model: "continuous".into(),
+            seed: 42,
+        }
     }
 }
 
@@ -49,9 +54,7 @@ pub fn family_graph(family: &str, params: &[usize], seed: u64) -> Result<TaskGra
         }
         "tree" => generators::random_out_tree(p(0, 12), 1.0, 5.0, &mut rng),
         "sp" => generators::random_sp(p(0, 12), 0.55, 1.0, 5.0, &mut rng).0,
-        "layered" => {
-            generators::layered_dag(p(0, 4), p(1, 3), 0.35, 1.0, 5.0, &mut rng)
-        }
+        "layered" => generators::layered_dag(p(0, 4), p(1, 3), 0.35, 1.0, 5.0, &mut rng),
         other => return Err(format!("unknown family {other:?}")),
     })
 }
@@ -75,9 +78,9 @@ pub fn generate(family: &str, params: &[usize], opts: &GenOptions) -> Result<Str
         "continuous" => EnergyModel::continuous(default_modes().s_max()),
         "discrete" => EnergyModel::Discrete(default_modes()),
         "vdd" => EnergyModel::VddHopping(default_modes()),
-        "incremental" => EnergyModel::Incremental(
-            IncrementalModes::new(0.5, 3.0, 0.25).expect("static grid"),
-        ),
+        "incremental" => {
+            EnergyModel::Incremental(IncrementalModes::new(0.5, 3.0, 0.25).expect("static grid"))
+        }
         other => return Err(format!("unknown model {other:?}")),
     };
     let s_top = model.top_speed().expect("generated models are bounded");
@@ -92,15 +95,18 @@ mod tests {
 
     #[test]
     fn all_families_generate_parseable_instances() {
-        for family in
-            ["fft", "lu", "stencil", "ge", "dac", "chain", "fork", "tree", "sp", "layered"]
-        {
+        for family in [
+            "fft", "lu", "stencil", "ge", "dac", "chain", "fork", "tree", "sp", "layered",
+        ] {
             for model in ["continuous", "discrete", "vdd", "incremental"] {
-                let opts = GenOptions { model: model.into(), ..Default::default() };
+                let opts = GenOptions {
+                    model: model.into(),
+                    ..Default::default()
+                };
                 let text = generate(family, &[], &opts)
                     .unwrap_or_else(|e| panic!("{family}/{model}: {e}"));
-                let inst = parse(&text)
-                    .unwrap_or_else(|e| panic!("{family}/{model}: reparse: {e}"));
+                let inst =
+                    parse(&text).unwrap_or_else(|e| panic!("{family}/{model}: reparse: {e}"));
                 assert!(inst.graph.n() >= 2, "{family}");
             }
         }
@@ -108,7 +114,10 @@ mod tests {
 
     #[test]
     fn generated_instances_solve() {
-        let opts = GenOptions { model: "vdd".into(), ..Default::default() };
+        let opts = GenOptions {
+            model: "vdd".into(),
+            ..Default::default()
+        };
         let text = generate("lu", &[3], &opts).unwrap();
         let inst = parse(&text).unwrap();
         let sol = reclaim_core::solve(
@@ -123,7 +132,10 @@ mod tests {
 
     #[test]
     fn zero_procs_means_no_mapping() {
-        let opts = GenOptions { procs: 0, ..Default::default() };
+        let opts = GenOptions {
+            procs: 0,
+            ..Default::default()
+        };
         let text = generate("stencil", &[3, 3], &opts).unwrap();
         let inst = parse(&text).unwrap();
         assert!(inst.mapping.is_none());
@@ -132,7 +144,10 @@ mod tests {
     #[test]
     fn unknown_family_and_model_rejected() {
         assert!(generate("bogus", &[], &GenOptions::default()).is_err());
-        let opts = GenOptions { model: "bogus".into(), ..Default::default() };
+        let opts = GenOptions {
+            model: "bogus".into(),
+            ..Default::default()
+        };
         assert!(generate("chain", &[], &opts).is_err());
     }
 }

@@ -58,17 +58,24 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 fn parse_f64(line: usize, s: &str) -> Result<f64, ParseError> {
-    s.parse::<f64>()
-        .map_err(|_| ParseError { line, message: format!("not a number: {s:?}") })
+    s.parse::<f64>().map_err(|_| ParseError {
+        line,
+        message: format!("not a number: {s:?}"),
+    })
 }
 
 fn parse_usize(line: usize, s: &str) -> Result<usize, ParseError> {
-    s.parse::<usize>()
-        .map_err(|_| ParseError { line, message: format!("not a task id: {s:?}") })
+    s.parse::<usize>().map_err(|_| ParseError {
+        line,
+        message: format!("not a task id: {s:?}"),
+    })
 }
 
 /// Parse `key=value` into `(key, value)`.
@@ -104,15 +111,17 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
                 if rest.is_empty() {
                     return err(line_no, "'tasks' needs at least one cost");
                 }
-                let ws: Result<Vec<f64>, _> =
-                    rest.iter().map(|s| parse_f64(line_no, s)).collect();
+                let ws: Result<Vec<f64>, _> = rest.iter().map(|s| parse_f64(line_no, s)).collect();
                 weights = Some(ws?);
             }
             "edge" => {
                 if rest.len() != 2 {
                     return err(line_no, "'edge' needs exactly two task ids");
                 }
-                edges.push((parse_usize(line_no, rest[0])?, parse_usize(line_no, rest[1])?));
+                edges.push((
+                    parse_usize(line_no, rest[0])?,
+                    parse_usize(line_no, rest[1])?,
+                ));
             }
             "proc" => {
                 let ids: Result<Vec<usize>, _> =
@@ -148,23 +157,34 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
         message: "missing 'model' directive".into(),
     })?;
 
-    let app = TaskGraph::new(weights, &edges)
-        .map_err(|e| ParseError { line: 0, message: e.to_string() })?;
+    let app = TaskGraph::new(weights, &edges).map_err(|e| ParseError {
+        line: 0,
+        message: e.to_string(),
+    })?;
     let (graph, mapping) = if procs.is_empty() {
         (app, None)
     } else {
         let m = Mapping::new(procs);
-        let exec = m
-            .execution_graph(&app)
-            .map_err(|e| ParseError { line: 0, message: format!("bad mapping: {e}") })?;
+        let exec = m.execution_graph(&app).map_err(|e| ParseError {
+            line: 0,
+            message: format!("bad mapping: {e}"),
+        })?;
         (exec, Some(m))
     };
-    Ok(Instance { graph, deadline, model, mapping })
+    Ok(Instance {
+        graph,
+        deadline,
+        model,
+        mapping,
+    })
 }
 
 fn parse_model(line: usize, rest: &[&str]) -> Result<EnergyModel, ParseError> {
     let Some((&kind, args)) = rest.split_first() else {
-        return err(line, "'model' needs a kind (continuous|discrete|vdd|incremental)");
+        return err(
+            line,
+            "'model' needs a kind (continuous|discrete|vdd|incremental)",
+        );
     };
     match kind {
         "continuous" => {
@@ -182,10 +202,11 @@ fn parse_model(line: usize, rest: &[&str]) -> Result<EnergyModel, ParseError> {
             })
         }
         "discrete" | "vdd" => {
-            let speeds: Result<Vec<f64>, _> =
-                args.iter().map(|s| parse_f64(line, s)).collect();
-            let modes = DiscreteModes::new(&speeds?)
-                .map_err(|e| ParseError { line, message: e.to_string() })?;
+            let speeds: Result<Vec<f64>, _> = args.iter().map(|s| parse_f64(line, s)).collect();
+            let modes = DiscreteModes::new(&speeds?).map_err(|e| ParseError {
+                line,
+                message: e.to_string(),
+            })?;
             Ok(if kind == "discrete" {
                 EnergyModel::Discrete(modes)
             } else {
@@ -200,16 +221,16 @@ fn parse_model(line: usize, rest: &[&str]) -> Result<EnergyModel, ParseError> {
                     "smin" => smin = Some(v),
                     "smax" => smax = Some(v),
                     "delta" => delta = Some(v),
-                    other => {
-                        return err(line, format!("unknown incremental option {other:?}"))
-                    }
+                    other => return err(line, format!("unknown incremental option {other:?}")),
                 }
             }
             let (Some(lo), Some(hi), Some(d)) = (smin, smax, delta) else {
                 return err(line, "incremental needs smin=, smax=, delta=");
             };
-            let modes = IncrementalModes::new(lo, hi, d)
-                .map_err(|e| ParseError { line, message: e.to_string() })?;
+            let modes = IncrementalModes::new(lo, hi, d).map_err(|e| ParseError {
+                line,
+                message: e.to_string(),
+            })?;
             Ok(EnergyModel::Incremental(modes))
         }
         other => err(line, format!("unknown model kind {other:?}")),
@@ -308,7 +329,10 @@ model continuous smax=2.0
             ("model continuous", "Continuous"),
             ("model discrete 1.0 2.0", "Discrete"),
             ("model vdd 1.0 2.0", "Vdd-Hopping"),
-            ("model incremental smin=0.5 smax=2.0 delta=0.5", "Incremental"),
+            (
+                "model incremental smin=0.5 smax=2.0 delta=0.5",
+                "Incremental",
+            ),
         ] {
             let text = format!("tasks 1.0\ndeadline 2.0\n{spec}\n");
             let inst = parse(&text).unwrap();
@@ -374,7 +398,12 @@ model continuous
     #[test]
     fn write_parse_roundtrip() {
         let inst = parse(DIAMOND).unwrap();
-        let text = write(&inst.graph, inst.mapping.as_ref(), inst.deadline, &inst.model);
+        let text = write(
+            &inst.graph,
+            inst.mapping.as_ref(),
+            inst.deadline,
+            &inst.model,
+        );
         let back = parse(&text).unwrap();
         assert_eq!(back.graph, inst.graph);
         assert_eq!(back.deadline, inst.deadline);

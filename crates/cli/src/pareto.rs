@@ -49,7 +49,10 @@ pub fn energy_curve(
     for _ in 0..points {
         let d = f * base;
         match solve(g, d, model, p) {
-            Ok(sol) => out.push(ParetoPoint { deadline: d, energy: sol.energy }),
+            Ok(sol) => out.push(ParetoPoint {
+                deadline: d,
+                energy: sol.energy,
+            }),
             Err(SolveError::Infeasible { .. }) => {} // skip the infeasible edge
             Err(e) => return Err(e),
         }
@@ -73,8 +76,7 @@ mod tests {
             EnergyModel::VddHopping(modes.clone()),
             EnergyModel::Discrete(modes),
         ] {
-            let curve =
-                energy_curve(&g, &model, PowerLaw::CUBIC, 6, 1.05, 4.0).unwrap();
+            let curve = energy_curve(&g, &model, PowerLaw::CUBIC, 6, 1.05, 4.0).unwrap();
             assert!(curve.len() >= 5, "{}", model.name());
             for w in curve.windows(2) {
                 assert!(w[0].deadline < w[1].deadline);

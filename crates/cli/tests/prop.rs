@@ -12,12 +12,10 @@ fn arb_model() -> impl Strategy<Value = EnergyModel> {
     prop_oneof![
         Just(EnergyModel::continuous_unbounded()),
         (0.5f64..4.0).prop_map(EnergyModel::continuous),
-        prop::collection::vec(0.25f64..4.0, 1..6).prop_map(|v| {
-            EnergyModel::Discrete(DiscreteModes::new(&v).unwrap())
-        }),
-        prop::collection::vec(0.25f64..4.0, 1..6).prop_map(|v| {
-            EnergyModel::VddHopping(DiscreteModes::new(&v).unwrap())
-        }),
+        prop::collection::vec(0.25f64..4.0, 1..6)
+            .prop_map(|v| { EnergyModel::Discrete(DiscreteModes::new(&v).unwrap()) }),
+        prop::collection::vec(0.25f64..4.0, 1..6)
+            .prop_map(|v| { EnergyModel::VddHopping(DiscreteModes::new(&v).unwrap()) }),
         (0.25f64..1.0, 1.5f64..4.0, 0.05f64..0.75).prop_map(|(lo, hi, d)| {
             EnergyModel::Incremental(IncrementalModes::new(lo, hi, d).unwrap())
         }),

@@ -58,7 +58,10 @@ impl fmt::Display for ConvexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConvexError::InfeasibleStart { constraint, slack } => {
-                write!(f, "start point violates constraint {constraint} (slack {slack})")
+                write!(
+                    f,
+                    "start point violates constraint {constraint} (slack {slack})"
+                )
             }
             ConvexError::NumericalFailure => write!(f, "Newton system unsolvable"),
             ConvexError::Stalled => write!(f, "barrier method stalled"),
@@ -99,7 +102,13 @@ pub struct BarrierSolver {
 
 impl Default for BarrierSolver {
     fn default() -> Self {
-        BarrierSolver { tol: 1e-9, mu: 20.0, max_newton: 80, beta: 0.5, alpha: 0.25 }
+        BarrierSolver {
+            tol: 1e-9,
+            mu: 20.0,
+            max_newton: 80,
+            beta: 0.5,
+            alpha: 0.25,
+        }
     }
 }
 
@@ -108,11 +117,15 @@ impl BarrierSolver {
     /// (used by the Theorem 5 approximation scheme: polynomial in `K`
     /// because the outer loop needs `O(log(m·K))` centering steps).
     pub fn with_precision_k(k: u32) -> BarrierSolver {
-        BarrierSolver { tol: 1.0 / (k.max(1) as f64), ..BarrierSolver::default() }
+        BarrierSolver {
+            tol: 1.0 / (k.max(1) as f64),
+            ..BarrierSolver::default()
+        }
     }
 
     /// Minimize `obj` subject to `constraints`, starting from the
     /// strictly feasible `x0`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(s > 0)` must also reject NaN slack
     pub fn minimize(
         &self,
         obj: &dyn Objective,
@@ -125,11 +138,17 @@ impl BarrierSolver {
         for (k, c) in constraints.iter().enumerate() {
             let s = c.slack(&x0);
             if !(s > 0.0) {
-                return Err(ConvexError::InfeasibleStart { constraint: k, slack: s });
+                return Err(ConvexError::InfeasibleStart {
+                    constraint: k,
+                    slack: s,
+                });
             }
         }
         if !obj.value(&x0).is_finite() {
-            return Err(ConvexError::InfeasibleStart { constraint: usize::MAX, slack: f64::NAN });
+            return Err(ConvexError::InfeasibleStart {
+                constraint: usize::MAX,
+                slack: f64::NAN,
+            });
         }
 
         let mut x = x0;
@@ -180,8 +199,7 @@ impl BarrierSolver {
                 let mut step = 1.0;
                 let mut accepted = false;
                 for _ in 0..60 {
-                    let cand: Vec<f64> =
-                        x.iter().zip(&dx).map(|(xi, di)| xi - step * di).collect();
+                    let cand: Vec<f64> = x.iter().zip(&dx).map(|(xi, di)| xi - step * di).collect();
                     let feasible = constraints.iter().all(|c| c.slack(&cand) > 0.0);
                     if feasible {
                         let fv = self.barrier_value(obj, constraints, &cand, t);
@@ -206,7 +224,12 @@ impl BarrierSolver {
             let gap = m / t;
             let scale = 1.0 + value.abs();
             if gap <= self.tol * scale {
-                return Ok(BarrierSolution { x, value, gap, newton_steps });
+                return Ok(BarrierSolution {
+                    x,
+                    value,
+                    gap,
+                    newton_steps,
+                });
             }
             if !made_progress && gap > self.tol * scale * 1e3 {
                 return Err(ConvexError::Stalled);
@@ -249,7 +272,10 @@ mod tests {
 
     impl Objective for Quadratic {
         fn value(&self, x: &[f64]) -> f64 {
-            x.iter().zip(&self.center).map(|(a, b)| (a - b) * (a - b)).sum()
+            x.iter()
+                .zip(&self.center)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
         }
         fn gradient(&self, x: &[f64], g: &mut [f64]) {
             for i in 0..x.len() {
@@ -273,7 +299,10 @@ mod tests {
             if x.iter().any(|&d| d <= 0.0) {
                 return f64::INFINITY;
             }
-            x.iter().zip(&self.w).map(|(&d, &w)| w * w * w / (d * d)).sum()
+            x.iter()
+                .zip(&self.w)
+                .map(|(&d, &w)| w * w * w / (d * d))
+                .sum()
         }
         fn gradient(&self, x: &[f64], g: &mut [f64]) {
             for i in 0..x.len() {
@@ -293,7 +322,9 @@ mod tests {
     fn unconstrained_interior_optimum() {
         // Minimize (x−1)² + (y−2)² with x,y ≤ 10 (inactive): optimum
         // at the center.
-        let obj = Quadratic { center: vec![1.0, 2.0] };
+        let obj = Quadratic {
+            center: vec![1.0, 2.0],
+        };
         let cons = vec![
             LinearConstraint::new(vec![(0, 1.0)], 10.0),
             LinearConstraint::new(vec![(1, 1.0)], 10.0),
@@ -346,7 +377,10 @@ mod tests {
         let err = BarrierSolver::default()
             .minimize(&obj, &cons, vec![2.0])
             .unwrap_err();
-        assert!(matches!(err, ConvexError::InfeasibleStart { constraint: 0, .. }));
+        assert!(matches!(
+            err,
+            ConvexError::InfeasibleStart { constraint: 0, .. }
+        ));
     }
 
     #[test]

@@ -26,7 +26,5 @@
 pub mod barrier;
 pub mod linalg;
 
-pub use barrier::{
-    BarrierSolution, BarrierSolver, ConvexError, LinearConstraint, Objective,
-};
+pub use barrier::{BarrierSolution, BarrierSolver, ConvexError, LinearConstraint, Objective};
 pub use linalg::Matrix;

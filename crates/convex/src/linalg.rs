@@ -1,5 +1,10 @@
 //! Dense symmetric linear algebra for the Newton steps.
 
+// Indexed loops are the house style for the dense kernels below:
+// every statement touches several rows/columns at once, where
+// iterator chains obscure the math.
+#![allow(clippy::needless_range_loop)]
+
 /// A dense square matrix, row-major.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
@@ -10,7 +15,10 @@ pub struct Matrix {
 impl Matrix {
     /// The `n × n` zero matrix.
     pub fn zeros(n: usize) -> Matrix {
-        Matrix { n, a: vec![0.0; n * n] }
+        Matrix {
+            n,
+            a: vec![0.0; n * n],
+        }
     }
 
     /// Dimension.

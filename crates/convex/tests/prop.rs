@@ -10,7 +10,10 @@ struct Quad {
 
 impl Objective for Quad {
     fn value(&self, x: &[f64]) -> f64 {
-        x.iter().zip(&self.center).map(|(a, b)| (a - b) * (a - b)).sum()
+        x.iter()
+            .zip(&self.center)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
     }
     fn gradient(&self, x: &[f64], g: &mut [f64]) {
         for i in 0..x.len() {
@@ -34,7 +37,10 @@ impl Objective for Energy {
         if x.iter().any(|&d| d <= 0.0) {
             return f64::INFINITY;
         }
-        x.iter().zip(&self.w).map(|(&d, &w)| w * w * w / (d * d)).sum()
+        x.iter()
+            .zip(&self.w)
+            .map(|(&d, &w)| w * w * w / (d * d))
+            .sum()
     }
     fn gradient(&self, x: &[f64], g: &mut [f64]) {
         for i in 0..x.len() {

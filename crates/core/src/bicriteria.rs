@@ -36,7 +36,9 @@ pub fn min_deadline_for_budget(
     tol: f64,
 ) -> Result<f64, SolveError> {
     if !(budget > 0.0 && budget.is_finite()) {
-        return Err(SolveError::Unsupported(format!("invalid energy budget {budget}")));
+        return Err(SolveError::Unsupported(format!(
+            "invalid energy budget {budget}"
+        )));
     }
     if let Some(floor) = energy_floor(g, model, p) {
         if budget < floor * (1.0 - 1e-12) {
@@ -127,9 +129,17 @@ mod tests {
             let d = min_deadline_for_budget(&g, &model, P, budget, 1e-6).unwrap();
             // The returned deadline's energy respects the budget...
             let e = solve(&g, d, &model, P).unwrap().energy;
-            assert!(e <= budget * (1.0 + 1e-6), "{}: {e} > {budget}", model.name());
+            assert!(
+                e <= budget * (1.0 + 1e-6),
+                "{}: {e} > {budget}",
+                model.name()
+            );
             // ...and it is no looser than the probe deadline.
-            assert!(d <= d_probe * (1.0 + 1e-6), "{}: {d} > {d_probe}", model.name());
+            assert!(
+                d <= d_probe * (1.0 + 1e-6),
+                "{}: {d} > {d_probe}",
+                model.name()
+            );
         }
     }
 

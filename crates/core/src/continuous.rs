@@ -33,19 +33,21 @@ pub fn energy_of_speeds(g: &TaskGraph, speeds: &[f64], p: PowerLaw) -> f64 {
 
 /// Check deadline feasibility at the fastest admissible speed and
 /// produce the canonical error.
-pub fn check_feasible(
-    g: &TaskGraph,
-    deadline: f64,
-    s_max: Option<f64>,
-) -> Result<(), SolveError> {
+pub fn check_feasible(g: &TaskGraph, deadline: f64, s_max: Option<f64>) -> Result<(), SolveError> {
     if let Some(sm) = s_max {
         let min_makespan = critical_path_weight(g) / sm;
         if min_makespan > deadline * (1.0 + 1e-12) {
-            return Err(SolveError::Infeasible { deadline, min_makespan });
+            return Err(SolveError::Infeasible {
+                deadline,
+                min_makespan,
+            });
         }
     }
     if !(deadline.is_finite() && deadline > 0.0) {
-        return Err(SolveError::Infeasible { deadline, min_makespan: f64::INFINITY });
+        return Err(SolveError::Infeasible {
+            deadline,
+            min_makespan: f64::INFINITY,
+        });
     }
     Ok(())
 }
@@ -86,7 +88,9 @@ pub fn solve_fork(
     p: PowerLaw,
 ) -> Result<Vec<f64>, SolveError> {
     if !structure::is_fork(g) {
-        return Err(SolveError::Unsupported("solve_fork requires a fork graph".into()));
+        return Err(SolveError::Unsupported(
+            "solve_fork requires a fork graph".into(),
+        ));
     }
     check_feasible(g, deadline, s_max)?;
     let root = g.sources()[0];
@@ -133,9 +137,7 @@ pub fn equivalent_weight(tree: &SpTree, g: &TaskGraph, p: PowerLaw) -> f64 {
     match tree {
         SpTree::Leaf(t) => g.weight(*t),
         SpTree::Series(cs) => cs.iter().map(|c| equivalent_weight(c, g, p)).sum(),
-        SpTree::Parallel(cs) => {
-            p.parallel_combine(cs.iter().map(|c| equivalent_weight(c, g, p)))
-        }
+        SpTree::Parallel(cs) => p.parallel_combine(cs.iter().map(|c| equivalent_weight(c, g, p))),
     }
 }
 
@@ -207,11 +209,7 @@ fn tree_sub(g: &TaskGraph, node: TaskId) -> SpTree {
 }
 
 /// Solve an out-tree or in-tree exactly (unbounded speeds).
-pub fn solve_tree(
-    g: &TaskGraph,
-    deadline: f64,
-    p: PowerLaw,
-) -> Result<Vec<f64>, SolveError> {
+pub fn solve_tree(g: &TaskGraph, deadline: f64, p: PowerLaw) -> Result<Vec<f64>, SolveError> {
     if let Some(tree) = tree_decomposition(g) {
         return solve_sp(g, &tree, deadline, p);
     }
@@ -221,7 +219,9 @@ pub fn solve_tree(
         // instance.
         return solve_sp(&rev, &tree, deadline, p);
     }
-    Err(SolveError::Unsupported("solve_tree requires an out- or in-tree".into()))
+    Err(SolveError::Unsupported(
+        "solve_tree requires an out- or in-tree".into(),
+    ))
 }
 
 /// The MinEnergy objective `Σ w_i^α / d_i^{α−1}` over
@@ -234,14 +234,12 @@ struct MinEnergyObjective {
 
 impl Objective for MinEnergyObjective {
     fn value(&self, x: &[f64]) -> f64 {
-        let n = self.weights.len();
         let mut e = 0.0;
-        for i in 0..n {
-            let d = x[i];
+        for (&w, &d) in self.weights.iter().zip(x) {
             if d <= 0.0 {
                 return f64::INFINITY;
             }
-            e += self.weights[i].powf(self.alpha) / d.powf(self.alpha - 1.0);
+            e += w.powf(self.alpha) / d.powf(self.alpha - 1.0);
         }
         e
     }
@@ -325,7 +323,11 @@ pub fn solve_general_boxed(
     let t_min_abs = s_max.map_or(0.0, |sm| cp / sm);
     let eps_bump = 1e-7;
     let needs_bump = deadline - t_min_abs < 1e-9 * deadline;
-    let eff_deadline = if needs_bump { deadline * (1.0 + eps_bump) } else { deadline };
+    let eff_deadline = if needs_bump {
+        deadline * (1.0 + eps_bump)
+    } else {
+        deadline
+    };
     let scaled = solve_normalized(
         g,
         s_min.map(|s| s * eff_deadline),
@@ -376,7 +378,10 @@ fn solve_normalized(
     }
     for i in 0..n {
         // d_i − t_i ≤ 0  (start time ≥ 0)
-        cons.push(LinearConstraint::new(vec![(d_var(i), 1.0), (t_var(i), -1.0)], 0.0));
+        cons.push(LinearConstraint::new(
+            vec![(d_var(i), 1.0), (t_var(i), -1.0)],
+            0.0,
+        ));
         // t_i ≤ D
         cons.push(LinearConstraint::new(vec![(t_var(i), 1.0)], deadline));
         if let Some(sm) = s_max {
@@ -424,7 +429,10 @@ fn solve_normalized(
         Some(k) => BarrierSolver::with_precision_k(k),
         None => BarrierSolver::default(),
     };
-    let obj = MinEnergyObjective { weights: g.weights().to_vec(), alpha: p.alpha() };
+    let obj = MinEnergyObjective {
+        weights: g.weights().to_vec(),
+        alpha: p.alpha(),
+    };
     let BarrierSolution { x, .. } = solver
         .minimize(&obj, &cons, x0)
         .map_err(|e| SolveError::Numerical(e.to_string()))?;
@@ -473,8 +481,7 @@ pub fn solve(
             // Chain/fork handle s_max internally and exactly; the
             // tree/SP closed forms assume unbounded speeds (Theorem 2's
             // caveat) — if the cap binds, defer to the numerical solver.
-            let within_cap = s_max
-                .map_or(true, |sm| speeds.iter().all(|&s| s <= sm * (1.0 + 1e-9)));
+            let within_cap = s_max.is_none_or(|sm| speeds.iter().all(|&s| s <= sm * (1.0 + 1e-9)));
             if within_cap {
                 Ok(speeds)
             } else {
@@ -532,9 +539,9 @@ mod tests {
         let d = 2.0;
         let comb = 9.0f64.cbrt();
         let s0_unc = (comb + 1.0) / d; // ≈ 1.5400
-        // Choose s_max below the unconstrained s0 but above the
-        // critical-path bound cp/D = 3/2 (so the instance stays
-        // feasible): the saturated branch of Theorem 1.
+                                       // Choose s_max below the unconstrained s0 but above the
+                                       // critical-path bound cp/D = 3/2 (so the instance stays
+                                       // feasible): the saturated branch of Theorem 1.
         let sm = 1.52;
         assert!(sm < s0_unc && sm > 1.5);
         let s = solve_fork(&g, d, Some(sm), P).unwrap();
@@ -612,8 +619,7 @@ mod tests {
         let tree = SpTree::from_graph(&g).unwrap();
         let d = 4.0;
         let e_exact = energy_of_speeds(&g, &solve_sp(&g, &tree, d, P).unwrap(), P);
-        let e_numer =
-            energy_of_speeds(&g, &solve_general(&g, d, None, P, None).unwrap(), P);
+        let e_numer = energy_of_speeds(&g, &solve_general(&g, d, None, P, None).unwrap(), P);
         rel_close(e_exact, e_numer, 1e-5);
     }
 
@@ -637,8 +643,7 @@ mod tests {
     fn non_sp_graph_solves_numerically() {
         // The "N" graph: 0→2, 0→3, 1→3.
         let g =
-            taskgraph::TaskGraph::new(vec![1.0, 2.0, 3.0, 1.0], &[(0, 2), (0, 3), (1, 3)])
-                .unwrap();
+            taskgraph::TaskGraph::new(vec![1.0, 2.0, 3.0, 1.0], &[(0, 2), (0, 3), (1, 3)]).unwrap();
         let d = 3.0;
         let s = solve(&g, d, None, P, None).unwrap();
         let durations: Vec<f64> = (0..4).map(|i| g.weights()[i] / s[i]).collect();
@@ -678,8 +683,7 @@ mod tests {
         )
         .unwrap();
         let d = 5.0;
-        let e1 =
-            energy_of_speeds(&clean, &solve_general(&clean, d, None, P, None).unwrap(), P);
+        let e1 = energy_of_speeds(&clean, &solve_general(&clean, d, None, P, None).unwrap(), P);
         let e2 = energy_of_speeds(
             &redundant,
             &solve_general(&redundant, d, None, P, None).unwrap(),

@@ -60,7 +60,11 @@ pub struct BnbConfig {
 
 impl Default for BnbConfig {
     fn default() -> Self {
-        BnbConfig { node_budget: DEFAULT_NODE_BUDGET, warm_start: true, chain_bound: true }
+        BnbConfig {
+            node_budget: DEFAULT_NODE_BUDGET,
+            warm_start: true,
+            chain_bound: true,
+        }
     }
 }
 
@@ -101,7 +105,11 @@ pub fn exact_with_budget(
         deadline,
         modes,
         p,
-        BnbConfig { node_budget, warm_start, ..Default::default() },
+        BnbConfig {
+            node_budget,
+            warm_start,
+            ..Default::default()
+        },
     )
 }
 
@@ -173,10 +181,7 @@ pub fn exact_with_config(
             deadline,
             min_makespan: critical_path_weight(g) / s_top,
         })?;
-        min_mode_idx[i] = speeds_list
-            .iter()
-            .position(|&s| s >= s_lb - 1e-12)
-            .unwrap();
+        min_mode_idx[i] = speeds_list.iter().position(|&s| s >= s_lb - 1e-12).unwrap();
         task_lb[i] = p.energy_at_speed(g.weights()[i], s_lb);
     }
     // Suffix sums of the per-task lower bounds along the topo order.
@@ -231,11 +236,11 @@ pub fn exact_with_config(
     let mut chain_frontier: Vec<Vec<usize>> = vec![vec![0usize; n + 2]; nc];
     for (c, chain) in chains.iter().enumerate() {
         let mut j = 0usize;
-        for k in 0..=(n + 1) {
+        for (k, slot) in chain_frontier[c].iter_mut().enumerate() {
             while j < chain.len() && pos[chain[j]] < k {
                 j += 1;
             }
-            chain_frontier[c][k] = j;
+            *slot = j;
         }
     }
     let s_bottom = modes.s_min();
@@ -254,8 +259,8 @@ pub fn exact_with_config(
     // feasible mode (slowest that fits the widest window), faster ones
     // after.
     let mut cand: Vec<Vec<usize>> = Vec::with_capacity(n);
-    for i in 0..n {
-        cand.push((min_mode_idx[i]..m).collect());
+    for &lo in &min_mode_idx {
+        cand.push((lo..m).collect());
     }
 
     // Iterative DFS over (depth, mode-choice) with explicit stacks to
@@ -264,7 +269,11 @@ pub fn exact_with_config(
         /// Index into `cand[task]` tried next.
         next: usize,
     }
-    let mut stats = BnbStats { nodes: 0, pruned_infeasible: 0, pruned_bound: 0 };
+    let mut stats = BnbStats {
+        nodes: 0,
+        pruned_infeasible: 0,
+        pruned_bound: 0,
+    };
     let mut assign = vec![usize::MAX; n]; // mode index per task
     let mut ecl = vec![0.0f64; n]; // completion of assigned tasks
     let mut energy_prefix = vec![0.0f64; n + 1];
@@ -372,7 +381,11 @@ pub fn exact_with_config(
     }
 
     match best_speeds {
-        Some(speeds) => Ok(ExactSolution { speeds, energy: best_energy, stats }),
+        Some(speeds) => Ok(ExactSolution {
+            speeds,
+            energy: best_energy,
+            stats,
+        }),
         None => Err(SolveError::Infeasible {
             deadline,
             min_makespan: critical_path_weight(g) / s_top,
@@ -566,8 +579,7 @@ pub fn greedy_slowdown(
         // (lengthening one task by no more than its total slack keeps
         // every path within the deadline), so no rollback is needed.
         debug_assert!(
-            taskgraph::analysis::makespan(g, &durations(&idx))
-                <= deadline * (1.0 + 1e-9)
+            taskgraph::analysis::makespan(g, &durations(&idx)) <= deadline * (1.0 + 1e-9)
         );
     }
     Ok(idx.into_iter().map(|j| speeds_list[j]).collect())
@@ -628,8 +640,7 @@ mod tests {
                             .map(|(&w, &s)| w / s)
                             .collect();
                         if taskgraph::analysis::makespan(&g, &durations) <= d + 1e-12 {
-                            let en =
-                                continuous::energy_of_speeds(&g, &speeds, P);
+                            let en = continuous::energy_of_speeds(&g, &speeds, P);
                             best = best.min(en);
                         }
                     }
@@ -753,7 +764,10 @@ mod tests {
             d,
             &ms,
             P,
-            BnbConfig { chain_bound: true, ..Default::default() },
+            BnbConfig {
+                chain_bound: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let off = exact_with_config(
@@ -761,7 +775,10 @@ mod tests {
             d,
             &ms,
             P,
-            BnbConfig { chain_bound: false, ..Default::default() },
+            BnbConfig {
+                chain_bound: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(

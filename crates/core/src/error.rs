@@ -26,7 +26,10 @@ pub enum SolveError {
 impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SolveError::Infeasible { deadline, min_makespan } => write!(
+            SolveError::Infeasible {
+                deadline,
+                min_makespan,
+            } => write!(
                 f,
                 "infeasible: deadline {deadline} < minimum makespan {min_makespan} at top speed"
             ),
@@ -44,9 +47,14 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = SolveError::Infeasible { deadline: 1.0, min_makespan: 2.0 };
+        let e = SolveError::Infeasible {
+            deadline: 1.0,
+            min_makespan: 2.0,
+        };
         assert!(e.to_string().contains("infeasible"));
         assert!(SolveError::Numerical("x".into()).to_string().contains("x"));
-        assert!(SolveError::Unsupported("y".into()).to_string().contains("y"));
+        assert!(SolveError::Unsupported("y".into())
+            .to_string()
+            .contains("y"));
     }
 }

@@ -118,16 +118,9 @@ mod tests {
         let d = 5.0;
         let coarse = IncrementalModes::new(0.5, 3.0, 1.0).unwrap();
         let fine = IncrementalModes::new(0.5, 3.0, 0.05).unwrap();
-        let e_coarse = continuous::energy_of_speeds(
-            &g,
-            &approx(&g, d, &coarse, P, 100).unwrap(),
-            P,
-        );
-        let e_fine = continuous::energy_of_speeds(
-            &g,
-            &approx(&g, d, &fine, P, 100).unwrap(),
-            P,
-        );
+        let e_coarse =
+            continuous::energy_of_speeds(&g, &approx(&g, d, &coarse, P, 100).unwrap(), P);
+        let e_fine = continuous::energy_of_speeds(&g, &approx(&g, d, &fine, P, 100).unwrap(), P);
         assert!(
             e_fine <= e_coarse * (1.0 + 1e-9),
             "finer grid must not cost more: {e_fine} vs {e_coarse}"

@@ -91,16 +91,14 @@ pub fn solve_with(
             let speeds = continuous::solve(g, deadline, *s_max, p, None)?;
             (Schedule::asap_from_speeds(g, &speeds), "continuous")
         }
-        EnergyModel::VddHopping(modes) => {
-            (vdd::solve_lp(g, deadline, modes, p)?, "vdd-lp")
-        }
+        EnergyModel::VddHopping(modes) => (vdd::solve_lp(g, deadline, modes, p)?, "vdd-lp"),
         EnergyModel::Discrete(modes) => {
             // Exact only when the search space is plausibly tractable
             // (Theorem 4: it is exponential); if the node budget still
             // trips, degrade gracefully to the Proposition 1(b)
             // rounding rather than failing.
-            let tractable = g.n() <= opts.exact_discrete_limit
-                && (modes.m() as f64).powi(g.n() as i32) <= 5e9;
+            let tractable =
+                g.n() <= opts.exact_discrete_limit && (modes.m() as f64).powi(g.n() as i32) <= 5e9;
             let exact_result = if tractable {
                 match discrete::exact(g, deadline, modes, p) {
                     Ok(sol) => Some(sol),
@@ -111,24 +109,16 @@ pub fn solve_with(
                 None
             };
             match exact_result {
-                Some(sol) => {
-                    (Schedule::asap_from_speeds(g, &sol.speeds), "discrete-bnb")
-                }
+                Some(sol) => (Schedule::asap_from_speeds(g, &sol.speeds), "discrete-bnb"),
                 None => {
-                    let speeds = discrete::round_up(
-                        g,
-                        deadline,
-                        modes,
-                        p,
-                        Some(opts.precision_k),
-                    )?;
+                    let speeds = discrete::round_up(g, deadline, modes, p, Some(opts.precision_k))?;
                     (Schedule::asap_from_speeds(g, &speeds), "discrete-round-up")
                 }
             }
         }
         EnergyModel::Incremental(modes) => {
-            let tractable = g.n() <= opts.exact_discrete_limit
-                && (modes.m() as f64).powi(g.n() as i32) <= 5e9;
+            let tractable =
+                g.n() <= opts.exact_discrete_limit && (modes.m() as f64).powi(g.n() as i32) <= 5e9;
             let exact_result = if opts.exact_incremental && tractable {
                 match incremental::exact(g, deadline, modes, p) {
                     Ok(sol) => Some(sol),
@@ -139,12 +129,12 @@ pub fn solve_with(
                 None
             };
             match exact_result {
-                Some(sol) => {
-                    (Schedule::asap_from_speeds(g, &sol.speeds), "incremental-bnb")
-                }
+                Some(sol) => (
+                    Schedule::asap_from_speeds(g, &sol.speeds),
+                    "incremental-bnb",
+                ),
                 None => {
-                    let speeds =
-                        incremental::approx(g, deadline, modes, p, opts.precision_k)?;
+                    let speeds = incremental::approx(g, deadline, modes, p, opts.precision_k)?;
                     (Schedule::asap_from_speeds(g, &speeds), "incremental-approx")
                 }
             }
@@ -154,7 +144,11 @@ pub fn solve_with(
         .validate(g, model, deadline)
         .map_err(|e| SolveError::Numerical(format!("produced schedule invalid: {e}")))?;
     let energy = schedule.energy(g, p);
-    Ok(Solution { schedule, energy, algorithm })
+    Ok(Solution {
+        schedule,
+        energy,
+        algorithm,
+    })
 }
 
 #[cfg(test)]
@@ -174,7 +168,9 @@ mod tests {
         let ms = DiscreteModes::new(&[0.8, 1.6, 2.4]).unwrap();
         let inc = IncrementalModes::new(0.8, 2.4, 0.8).unwrap();
 
-        let e_cont = solve(&g, d, &EnergyModel::continuous(2.4), P).unwrap().energy;
+        let e_cont = solve(&g, d, &EnergyModel::continuous(2.4), P)
+            .unwrap()
+            .energy;
         let e_vdd = solve(&g, d, &EnergyModel::VddHopping(ms.clone()), P)
             .unwrap()
             .energy;
@@ -184,7 +180,10 @@ mod tests {
             d,
             &EnergyModel::Incremental(inc),
             P,
-            SolveOptions { exact_incremental: true, ..Default::default() },
+            SolveOptions {
+                exact_incremental: true,
+                ..Default::default()
+            },
         )
         .unwrap()
         .energy;
@@ -210,8 +209,8 @@ mod tests {
             EnergyModel::Discrete(ms),
             EnergyModel::Incremental(inc),
         ] {
-            let sol = solve(&g, d, &model, P)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", model.name()));
+            let sol =
+                solve(&g, d, &model, P).unwrap_or_else(|e| panic!("{} failed: {e}", model.name()));
             assert!(sol.energy > 0.0);
             assert!(sol.schedule.makespan(&g) <= d * (1.0 + 1e-6));
         }
@@ -221,7 +220,10 @@ mod tests {
     fn discrete_falls_back_to_rounding_beyond_limit() {
         let g = generators::chain(&[1.0, 2.0, 1.0]);
         let ms = DiscreteModes::new(&[1.0, 2.0]).unwrap();
-        let opts = SolveOptions { exact_discrete_limit: 2, ..Default::default() };
+        let opts = SolveOptions {
+            exact_discrete_limit: 2,
+            ..Default::default()
+        };
         let sol = solve_with(&g, 3.0, &EnergyModel::Discrete(ms), P, opts).unwrap();
         assert_eq!(sol.algorithm, "discrete-round-up");
     }

@@ -156,17 +156,13 @@ pub fn adjacent_mix(
 ) -> Result<Schedule, SolveError> {
     let speeds = continuous::solve(g, deadline, Some(modes.s_max()), p, None)?;
     let mut profiles = Vec::with_capacity(g.n());
-    for i in 0..g.n() {
-        let w = g.weights()[i];
-        let s_star = speeds[i];
+    for (&w, &s_star) in g.weights().iter().zip(&speeds) {
         let profile = match modes.bracket(s_star) {
             None => {
                 // Below the slowest mode: run flat at s_1.
                 SpeedProfile::Constant(modes.s_min())
             }
-            Some((lo, hi)) if (hi - lo).abs() <= 1e-12 * (1.0 + hi) => {
-                SpeedProfile::Constant(lo)
-            }
+            Some((lo, hi)) if (hi - lo).abs() <= 1e-12 * (1.0 + hi) => SpeedProfile::Constant(lo),
             Some((lo, hi)) => {
                 let d = w / s_star;
                 // x_hi·hi + (d − x_hi)·lo = w  ⇒  x_hi = (w − lo·d)/(hi − lo)
@@ -237,8 +233,7 @@ mod tests {
             .validate(&g, &EnergyModel::VddHopping(ms.clone()), d)
             .unwrap();
         let e_vdd = sched.energy(&g, P);
-        let cont =
-            continuous::solve(&g, d, Some(ms.s_max()), P, None).unwrap();
+        let cont = continuous::solve(&g, d, Some(ms.s_max()), P, None).unwrap();
         let e_cont = continuous::energy_of_speeds(&g, &cont, P);
         assert!(
             e_vdd >= e_cont * (1.0 - 1e-6),
@@ -316,11 +311,7 @@ mod tests {
             match sched.profile(t) {
                 SpeedProfile::Constant(_) => {}
                 SpeedProfile::Pieces(ps) => {
-                    assert!(
-                        ps.len() <= 2,
-                        "task {t} uses {} modes: {ps:?}",
-                        ps.len()
-                    );
+                    assert!(ps.len() <= 2, "task {t} uses {} modes: {ps:?}", ps.len());
                     if ps.len() == 2 {
                         // Consecutive in the mode list.
                         let idx: Vec<usize> = ps

@@ -2,7 +2,7 @@
 //! deadlines, single-mode sets, and exact-boundary saturation.
 
 use models::{DiscreteModes, EnergyModel, IncrementalModes, PowerLaw};
-use reclaim_core::{continuous, discrete, incremental, solve, vdd, SolveError};
+use reclaim_core::{continuous, discrete, incremental, solve, vdd};
 use taskgraph::{generators, TaskGraph};
 
 const P: PowerLaw = PowerLaw::CUBIC;

@@ -83,7 +83,11 @@ impl Problem {
     /// A problem with `nvars` non-negative variables and zero
     /// objective.
     pub fn new(nvars: usize) -> Problem {
-        Problem { nvars, costs: vec![0.0; nvars], rows: Vec::new() }
+        Problem {
+            nvars,
+            costs: vec![0.0; nvars],
+            rows: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -110,7 +114,11 @@ impl Problem {
         for &(j, _) in coeffs {
             assert!(j < self.nvars, "constraint references variable {j}");
         }
-        self.rows.push(Constraint { coeffs: coeffs.to_vec(), rel, rhs });
+        self.rows.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            rel,
+            rhs,
+        });
     }
 
     /// Solve with the two-phase primal simplex.
@@ -198,7 +206,14 @@ impl Tableau {
                 }
             }
         }
-        Tableau { m, ncols, a, z: vec![0.0; stride], basis, art_start }
+        Tableau {
+            m,
+            ncols,
+            a,
+            z: vec![0.0; stride],
+            basis,
+            art_start,
+        }
     }
 
     #[inline]
@@ -248,11 +263,15 @@ impl Tableau {
         self.z[..col_costs.len()].copy_from_slice(col_costs);
         for i in 0..self.m {
             let cb = *self.z.get(self.basis[i]).unwrap_or(&0.0);
-            let cb = if self.basis[i] < col_costs.len() { col_costs[self.basis[i]] } else { cb };
+            let cb = if self.basis[i] < col_costs.len() {
+                col_costs[self.basis[i]]
+            } else {
+                cb
+            };
             if cb.abs() > 0.0 {
                 let row: Vec<f64> = self.row(i).to_vec();
-                for j in 0..stride {
-                    self.z[j] -= cb * row[j];
+                for (z, &r) in self.z.iter_mut().take(stride).zip(&row) {
+                    *z -= cb * r;
                 }
             }
         }
@@ -304,7 +323,9 @@ impl Tableau {
                     }
                 }
             }
-            let Some((r, _)) = leave else { return Err(LpError::Unbounded) };
+            let Some((r, _)) = leave else {
+                return Err(LpError::Unbounded);
+            };
             self.pivot(r, c);
         }
         Err(LpError::IterationLimit)
@@ -328,9 +349,7 @@ impl Tableau {
             for i in 0..self.m {
                 if self.basis[i] >= self.art_start {
                     let row: Vec<f64> = self.row(i).to_vec();
-                    if let Some(c) =
-                        (0..self.art_start).find(|&j| row[j].abs() > 1e-7)
-                    {
+                    if let Some(c) = (0..self.art_start).find(|&j| row[j].abs() > 1e-7) {
                         self.pivot(i, c);
                     }
                     // Otherwise the row is redundant; the artificial
@@ -485,9 +504,9 @@ mod tests {
         let mut p = Problem::new(6);
         let idx = |i: usize, j: usize| i * 3 + j;
         let mut obj = Vec::new();
-        for i in 0..2 {
-            for j in 0..3 {
-                obj.push((idx(i, j), c[i][j]));
+        for (i, row) in c.iter().enumerate() {
+            for (j, &cost) in row.iter().enumerate() {
+                obj.push((idx(i, j), cost));
             }
         }
         p.set_objective(&obj);

@@ -7,11 +7,7 @@ use proptest::prelude::*;
 /// Build a random LP that is feasible **by construction**: draw a
 /// witness point `x*` ≥ 0 and make every `≤` row satisfied at `x*`
 /// with non-negative slack. Returns `(problem, c, witness)`.
-fn feasible_lp(
-    nvars: usize,
-    nrows: usize,
-    seed_data: &[f64],
-) -> (Problem, Vec<f64>, Vec<f64>) {
+fn feasible_lp(nvars: usize, nrows: usize, seed_data: &[f64]) -> (Problem, Vec<f64>, Vec<f64>) {
     let mut it = seed_data.iter().copied().cycle();
     let mut next = move || it.next().unwrap();
     let witness: Vec<f64> = (0..nvars).map(|_| next().abs() * 3.0).collect();
@@ -21,16 +17,15 @@ fn feasible_lp(
     p.set_objective(&obj);
     let mut rows = Vec::new();
     for _ in 0..nrows {
-        let coeffs: Vec<(usize, f64)> =
-            (0..nvars).map(|j| (j, next() * 2.0)).collect();
+        let coeffs: Vec<(usize, f64)> = (0..nvars).map(|j| (j, next() * 2.0)).collect();
         let at_witness: f64 = coeffs.iter().map(|&(j, a)| a * witness[j]).sum();
         let slack = next().abs();
         p.add_constraint(&coeffs, Relation::Le, at_witness + slack);
         rows.push((coeffs, at_witness + slack));
     }
     // Keep the problem bounded: x_j ≤ witness_j + 10 for every var.
-    for j in 0..nvars {
-        p.add_constraint(&[(j, 1.0)], Relation::Le, witness[j] + 10.0);
+    for (j, &w) in witness.iter().enumerate() {
+        p.add_constraint(&[(j, 1.0)], Relation::Le, w + 10.0);
     }
     (p, costs, witness)
 }

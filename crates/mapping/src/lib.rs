@@ -104,11 +104,7 @@ pub enum Priority {
 pub fn bottom_levels(g: &TaskGraph) -> Vec<f64> {
     let mut bl = vec![0.0; g.n()];
     for &t in topo_order(g).iter().rev() {
-        let down = g
-            .succs(t)
-            .iter()
-            .map(|&s| bl[s.0])
-            .fold(0.0f64, f64::max);
+        let down = g.succs(t).iter().map(|&s| bl[s.0]).fold(0.0f64, f64::max);
         bl[t.0] = g.weight(t) + down;
     }
     bl
@@ -135,10 +131,7 @@ pub fn list_schedule(g: &TaskGraph, p: usize, priority: Priority) -> Mapping {
         }
     };
     let mut indeg: Vec<usize> = (0..n).map(|i| g.preds(TaskId(i)).len()).collect();
-    let mut ready: Vec<TaskId> = (0..n)
-        .filter(|&i| indeg[i] == 0)
-        .map(TaskId)
-        .collect();
+    let mut ready: Vec<TaskId> = (0..n).filter(|&i| indeg[i] == 0).map(TaskId).collect();
     let mut proc_free = vec![0.0f64; p];
     let mut finish = vec![0.0f64; n];
     let mut lists: Vec<Vec<TaskId>> = vec![Vec::new(); p];
@@ -225,10 +218,7 @@ mod tests {
         // Fork 0 → {1, 2, 3} mapped on 2 processors: children sharing
         // a processor get a serialization edge.
         let g = generators::fork(1.0, &[1.0, 1.0, 1.0]);
-        let m = Mapping::new(vec![
-            vec![TaskId(0), TaskId(1), TaskId(2)],
-            vec![TaskId(3)],
-        ]);
+        let m = Mapping::new(vec![vec![TaskId(0), TaskId(1), TaskId(2)], vec![TaskId(3)]]);
         let eg = m.execution_graph(&g).unwrap();
         assert!(eg.has_edge(TaskId(1), TaskId(2)));
         // Serialization adds (0,1) — already present, collapses — and (1,2).

@@ -64,9 +64,7 @@ impl EnergyModel {
             return false;
         }
         match self {
-            EnergyModel::Continuous { s_max } => {
-                s_max.map_or(true, |m| s <= m * (1.0 + 1e-9))
-            }
+            EnergyModel::Continuous { s_max } => s_max.is_none_or(|m| s <= m * (1.0 + 1e-9)),
             EnergyModel::Discrete(m) => m.contains(s),
             EnergyModel::VddHopping(m) => {
                 s >= m.s_min() * (1.0 - 1e-9) && s <= m.s_max() * (1.0 + 1e-9)
@@ -156,9 +154,13 @@ mod tests {
             EnergyModel::continuous(2.0).to_string(),
             "Continuous(s ≤ 2)"
         );
-        assert!(EnergyModel::continuous_unbounded().to_string().contains('∞'));
+        assert!(EnergyModel::continuous_unbounded()
+            .to_string()
+            .contains('∞'));
         let m = DiscreteModes::new(&[1.0, 2.0]).unwrap();
-        assert!(EnergyModel::Discrete(m.clone()).to_string().starts_with("Discrete"));
+        assert!(EnergyModel::Discrete(m.clone())
+            .to_string()
+            .starts_with("Discrete"));
         assert!(EnergyModel::VddHopping(m).to_string().contains("Vdd"));
         let inc = IncrementalModes::new(1.0, 2.0, 0.5).unwrap();
         assert_eq!(

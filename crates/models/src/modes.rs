@@ -20,7 +20,11 @@ impl fmt::Display for ModeError {
         match self {
             ModeError::BadSpeed(s) => write!(f, "invalid speed {s}"),
             ModeError::Empty => write!(f, "mode set must contain at least one speed"),
-            ModeError::BadIncrement { s_min, s_max, delta } => write!(
+            ModeError::BadIncrement {
+                s_min,
+                s_max,
+                delta,
+            } => write!(
                 f,
                 "invalid incremental parameters: s_min={s_min}, s_max={s_max}, δ={delta}"
             ),
@@ -137,16 +141,28 @@ impl IncrementalModes {
     /// `s_min + ⌊(s_max − s_min)/δ⌋·δ ≤ s_max` (the paper constrains
     /// `i ≤ (s_max − s_min)/δ` to integers).
     pub fn new(s_min: f64, s_max: f64, delta: f64) -> Result<IncrementalModes, ModeError> {
-        if !(s_min.is_finite() && s_min > 0.0)
-            || !(s_max.is_finite() && s_max >= s_min)
-            || !(delta.is_finite() && delta > 0.0)
-        {
-            return Err(ModeError::BadIncrement { s_min, s_max, delta });
+        let well_formed = s_min.is_finite()
+            && s_min > 0.0
+            && s_max.is_finite()
+            && s_max >= s_min
+            && delta.is_finite()
+            && delta > 0.0;
+        if !well_formed {
+            return Err(ModeError::BadIncrement {
+                s_min,
+                s_max,
+                delta,
+            });
         }
         // Robust floor: tolerate s_max − s_min being an almost-exact
         // multiple of δ.
         let steps = ((s_max - s_min) / delta + 1e-9).floor() as usize;
-        Ok(IncrementalModes { s_min, s_max, delta, count: steps + 1 })
+        Ok(IncrementalModes {
+            s_min,
+            s_max,
+            delta,
+            count: steps + 1,
+        })
     }
 
     /// Minimum speed `s_min` (also the slowest mode).

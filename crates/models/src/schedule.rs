@@ -88,7 +88,11 @@ pub enum ScheduleError {
     /// A precedence constraint `t_i + d_j ≤ t_j` is violated.
     PrecedenceViolated { from: usize, to: usize },
     /// A task completes after the deadline.
-    DeadlineViolated { task: usize, completion: f64, deadline: f64 },
+    DeadlineViolated {
+        task: usize,
+        completion: f64,
+        deadline: f64,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -113,8 +117,15 @@ impl fmt::Display for ScheduleError {
             ScheduleError::PrecedenceViolated { from, to } => {
                 write!(f, "precedence T{from} → T{to} violated")
             }
-            ScheduleError::DeadlineViolated { task, completion, deadline } => {
-                write!(f, "task T{task} completes at {completion} > deadline {deadline}")
+            ScheduleError::DeadlineViolated {
+                task,
+                completion,
+                deadline,
+            } => {
+                write!(
+                    f,
+                    "task T{task} completes at {completion} > deadline {deadline}"
+                )
             }
         }
     }
@@ -153,8 +164,11 @@ impl Schedule {
     /// completion time of its predecessors.
     pub fn asap_from_speeds(g: &TaskGraph, speeds: &[f64]) -> Schedule {
         assert_eq!(speeds.len(), g.n());
-        let durations: Vec<f64> =
-            speeds.iter().zip(g.weights()).map(|(&s, &w)| w / s).collect();
+        let durations: Vec<f64> = speeds
+            .iter()
+            .zip(g.weights())
+            .map(|(&s, &w)| w / s)
+            .collect();
         let ecl = analysis::earliest_completion(g, &durations);
         let starts: Vec<f64> = ecl.iter().zip(&durations).map(|(c, d)| c - d).collect();
         let profiles = speeds.iter().map(|&s| SpeedProfile::Constant(s)).collect();
@@ -238,7 +252,10 @@ impl Schedule {
         deadline: f64,
     ) -> Result<(), ScheduleError> {
         if self.n() != g.n() {
-            return Err(ScheduleError::WrongSize { expected: g.n(), got: self.n() });
+            return Err(ScheduleError::WrongSize {
+                expected: g.n(),
+                got: self.n(),
+            });
         }
         for t in g.tasks() {
             let i = t.0;
@@ -272,7 +289,11 @@ impl Schedule {
                     let done = self.profiles[i].work_done(g.weight(t));
                     let want = g.weight(t);
                     if (done - want).abs() > TOL * (1.0 + want.abs()) {
-                        return Err(ScheduleError::WorkMismatch { task: i, done, want });
+                        return Err(ScheduleError::WorkMismatch {
+                            task: i,
+                            done,
+                            want,
+                        });
                     }
                 }
             }
@@ -361,19 +382,13 @@ mod tests {
         // Energy: 1³·1 + 2³·1 = 9.
         assert!((ok.energy(&g, PowerLaw::CUBIC) - 9.0).abs() < 1e-12);
         // Speed 1.5 is not a mode.
-        let bad_mode = Schedule::new(
-            vec![0.0],
-            vec![SpeedProfile::Pieces(vec![(1.5, 2.0)])],
-        );
+        let bad_mode = Schedule::new(vec![0.0], vec![SpeedProfile::Pieces(vec![(1.5, 2.0)])]);
         assert!(matches!(
             bad_mode.validate(&g, &vdd, 10.0),
             Err(ScheduleError::NotAMode { .. })
         ));
         // Work mismatch.
-        let too_little = Schedule::new(
-            vec![0.0],
-            vec![SpeedProfile::Pieces(vec![(1.0, 1.0)])],
-        );
+        let too_little = Schedule::new(vec![0.0], vec![SpeedProfile::Pieces(vec![(1.0, 1.0)])]);
         assert!(matches!(
             too_little.validate(&g, &vdd, 10.0),
             Err(ScheduleError::WorkMismatch { .. })

@@ -18,7 +18,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header arity).
@@ -101,9 +104,7 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(
-            &self.headers.iter().map(esc).collect::<Vec<_>>().join(","),
-        );
+        out.push_str(&self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
         out.push('\n');
         for r in &self.rows {
             out.push_str(&r.iter().map(esc).collect::<Vec<_>>().join(","));

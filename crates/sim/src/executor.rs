@@ -78,11 +78,7 @@ pub struct SimResult {
 /// Replays every task at its scheduled start with its speed profile,
 /// checking causality (every precedence edge) along the way, and
 /// integrates the platform power trace.
-pub fn simulate(
-    g: &TaskGraph,
-    schedule: &Schedule,
-    p: PowerLaw,
-) -> Result<SimResult, SimError> {
+pub fn simulate(g: &TaskGraph, schedule: &Schedule, p: PowerLaw) -> Result<SimResult, SimError> {
     assert_eq!(schedule.n(), g.n(), "schedule/graph size mismatch");
     const TOL: f64 = 1e-6;
     // Build events.
@@ -93,7 +89,11 @@ pub fn simulate(
             return Err(SimError::BadStart(t.index()));
         }
         let end = schedule.completion(t, g);
-        events.push(TaskEvent { task: t, start, end });
+        events.push(TaskEvent {
+            task: t,
+            start,
+            end,
+        });
     }
     // Causality.
     for &(u, v) in g.edges() {
@@ -130,7 +130,12 @@ pub fn simulate(
     let energy = trace.energy();
     let makespan = events.iter().map(|e| e.end).fold(0.0f64, f64::max);
     events.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
-    Ok(SimResult { events, trace, energy, makespan })
+    Ok(SimResult {
+        events,
+        trace,
+        energy,
+        makespan,
+    })
 }
 
 /// Verify that no two tasks sharing a processor overlap in time.
@@ -222,7 +227,11 @@ mod tests {
         );
         assert!(matches!(
             simulate(&g, &bad, P),
-            Err(SimError::PrecedenceViolation { pred: 0, succ: 1, .. })
+            Err(SimError::PrecedenceViolation {
+                pred: 0,
+                succ: 1,
+                ..
+            })
         ));
     }
 

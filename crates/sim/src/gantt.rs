@@ -74,6 +74,9 @@ mod tests {
             .trim_start_matches("P0 |")
             .trim_end_matches('|')
             .to_string();
-        assert!(!cells.contains('·'), "back-to-back chain must fill the row: {row}");
+        assert!(
+            !cells.contains('·'),
+            "back-to-back chain must fill the row: {row}"
+        );
     }
 }

@@ -24,6 +24,8 @@ pub mod executor;
 pub mod gantt;
 pub mod trace;
 
-pub use executor::{check_mapping_consistency, simulate, utilization, SimError, SimResult, TaskEvent};
+pub use executor::{
+    check_mapping_consistency, simulate, utilization, SimError, SimResult, TaskEvent,
+};
 pub use gantt::gantt;
 pub use trace::PowerTrace;

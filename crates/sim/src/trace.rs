@@ -15,10 +15,7 @@ impl PowerTrace {
     /// (task pieces). Overlapping contributions add up.
     pub fn from_contributions(contribs: &[(f64, f64, f64)]) -> PowerTrace {
         // Sweep over all boundaries.
-        let mut bounds: Vec<f64> = contribs
-            .iter()
-            .flat_map(|&(a, b, _)| [a, b])
-            .collect();
+        let mut bounds: Vec<f64> = contribs.iter().flat_map(|&(a, b, _)| [a, b]).collect();
         bounds.sort_by(|a, b| a.partial_cmp(b).unwrap());
         bounds.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         let mut segments = Vec::new();
@@ -107,10 +104,7 @@ mod tests {
 
     #[test]
     fn overlapping_contributions_add() {
-        let tr = PowerTrace::from_contributions(&[
-            (0.0, 2.0, 1.0),
-            (1.0, 3.0, 2.0),
-        ]);
+        let tr = PowerTrace::from_contributions(&[(0.0, 2.0, 1.0), (1.0, 3.0, 2.0)]);
         // [0,1): 1, [1,2): 3, [2,3): 2.
         assert_eq!(tr.power_at(0.5), 1.0);
         assert_eq!(tr.power_at(1.5), 3.0);
@@ -122,10 +116,7 @@ mod tests {
 
     #[test]
     fn gap_in_trace() {
-        let tr = PowerTrace::from_contributions(&[
-            (0.0, 1.0, 2.0),
-            (2.0, 3.0, 4.0),
-        ]);
+        let tr = PowerTrace::from_contributions(&[(0.0, 1.0, 2.0), (2.0, 3.0, 4.0)]);
         assert_eq!(tr.power_at(1.5), 0.0);
         assert!((tr.energy() - 6.0).abs() < 1e-12);
         // Average over the 3-unit span.

@@ -39,11 +39,7 @@ pub fn earliest_completion(g: &TaskGraph, durations: &[f64]) -> Vec<f64> {
     assert_eq!(durations.len(), g.n());
     let mut ecl = vec![0.0; g.n()];
     for &t in &topo_order(g) {
-        let start = g
-            .preds(t)
-            .iter()
-            .map(|&p| ecl[p.0])
-            .fold(0.0f64, f64::max);
+        let start = g.preds(t).iter().map(|&p| ecl[p.0]).fold(0.0f64, f64::max);
         ecl[t.0] = start + durations[t.0];
     }
     ecl
@@ -183,16 +179,12 @@ pub fn transitive_reduction(g: &TaskGraph) -> TaskGraph {
     let reach = reachability(g);
     let mut kept: Vec<(usize, usize)> = Vec::with_capacity(g.m());
     for &(u, v) in g.edges() {
-        let redundant = g
-            .succs(u)
-            .iter()
-            .any(|&w| w != v && reaches(&reach, w, v));
+        let redundant = g.succs(u).iter().any(|&w| w != v && reaches(&reach, w, v));
         if !redundant {
             kept.push((u.0, v.0));
         }
     }
-    TaskGraph::new(g.weights().to_vec(), &kept)
-        .expect("removing edges from a DAG keeps it a DAG")
+    TaskGraph::new(g.weights().to_vec(), &kept).expect("removing edges from a DAG keeps it a DAG")
 }
 
 #[cfg(test)]
@@ -256,19 +248,21 @@ mod tests {
     #[test]
     fn is_topo_order_rejects_bad_orders() {
         let g = diamond();
-        assert!(!is_topo_order(&g, &[TaskId(1), TaskId(0), TaskId(2), TaskId(3)]));
+        assert!(!is_topo_order(
+            &g,
+            &[TaskId(1), TaskId(0), TaskId(2), TaskId(3)]
+        ));
         assert!(!is_topo_order(&g, &[TaskId(0), TaskId(1), TaskId(2)]));
-        assert!(!is_topo_order(&g, &[TaskId(0), TaskId(0), TaskId(2), TaskId(3)]));
+        assert!(!is_topo_order(
+            &g,
+            &[TaskId(0), TaskId(0), TaskId(2), TaskId(3)]
+        ));
     }
 
     #[test]
     fn transitive_reduction_drops_redundant_edges() {
         // Diamond plus the redundant shortcut (0, 3).
-        let g = TaskGraph::new(
-            vec![1.0; 4],
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)],
-        )
-        .unwrap();
+        let g = TaskGraph::new(vec![1.0; 4], &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)]).unwrap();
         let r = transitive_reduction(&g);
         assert_eq!(r.m(), 4);
         assert!(!r.has_edge(TaskId(0), TaskId(3)));

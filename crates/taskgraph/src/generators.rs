@@ -139,13 +139,7 @@ pub fn random_sp<R: Rng>(
     shape.build()
 }
 
-fn random_sp_shape<R: Rng>(
-    n: usize,
-    series_bias: f64,
-    lo: f64,
-    hi: f64,
-    rng: &mut R,
-) -> SpShape {
+fn random_sp_shape<R: Rng>(n: usize, series_bias: f64, lo: f64, hi: f64, rng: &mut R) -> SpShape {
     assert!(n >= 1);
     if n == 1 {
         return SpShape::Leaf(rng.gen_range(lo..hi));

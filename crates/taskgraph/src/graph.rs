@@ -111,7 +111,12 @@ impl TaskGraph {
                 elist.push((TaskId(u), TaskId(v)));
             }
         }
-        let g = TaskGraph { weights, succs, preds, edges: elist };
+        let g = TaskGraph {
+            weights,
+            succs,
+            preds,
+            edges: elist,
+        };
         if let Some(c) = g.find_cycle_node() {
             return Err(GraphError::Cycle(c));
         }
@@ -197,17 +202,14 @@ impl TaskGraph {
     /// (reversing time preserves both the precedence structure and the
     /// energy of any schedule).
     pub fn reversed(&self) -> TaskGraph {
-        let edges: Vec<(usize, usize)> =
-            self.edges.iter().map(|&(u, v)| (v.0, u.0)).collect();
-        TaskGraph::new(self.weights.clone(), &edges)
-            .expect("reversing a DAG yields a DAG")
+        let edges: Vec<(usize, usize)> = self.edges.iter().map(|&(u, v)| (v.0, u.0)).collect();
+        TaskGraph::new(self.weights.clone(), &edges).expect("reversing a DAG yields a DAG")
     }
 
     /// Returns a new graph equal to `self` plus the given extra edges
     /// (used by the `mapping` crate to add serialization edges).
     pub fn with_extra_edges(&self, extra: &[(usize, usize)]) -> Result<TaskGraph, GraphError> {
-        let mut edges: Vec<(usize, usize)> =
-            self.edges.iter().map(|&(u, v)| (u.0, v.0)).collect();
+        let mut edges: Vec<(usize, usize)> = self.edges.iter().map(|&(u, v)| (u.0, v.0)).collect();
         edges.extend_from_slice(extra);
         TaskGraph::new(self.weights.clone(), &edges)
     }
@@ -217,8 +219,7 @@ impl TaskGraph {
     fn find_cycle_node(&self) -> Option<usize> {
         let n = self.n();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
-        let mut stack: Vec<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut seen = 0usize;
         while let Some(u) = stack.pop() {
             seen += 1;

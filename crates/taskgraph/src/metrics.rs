@@ -30,12 +30,7 @@ pub struct GraphMetrics {
 pub fn levels(g: &TaskGraph) -> Vec<usize> {
     let mut lvl = vec![0usize; g.n()];
     for &t in &topo_order(g) {
-        lvl[t.0] = g
-            .preds(t)
-            .iter()
-            .map(|&p| lvl[p.0] + 1)
-            .max()
-            .unwrap_or(0);
+        lvl[t.0] = g.preds(t).iter().map(|&p| lvl[p.0] + 1).max().unwrap_or(0);
     }
     lvl
 }

@@ -16,7 +16,7 @@ use crate::graph::TaskGraph;
 /// (the classic butterfly pattern). All tasks have unit weight
 /// (butterflies cost Θ(1)).
 pub fn fft(levels: u32) -> TaskGraph {
-    assert!(levels >= 1 && levels <= 12, "fft size out of range");
+    assert!((1..=12).contains(&levels), "fft size out of range");
     let width = 1usize << levels;
     let rows = levels as usize + 1;
     let id = |r: usize, j: usize| r * width + j;
@@ -152,6 +152,7 @@ pub fn divide_and_conquer(depth: u32, branch: usize, w_split: f64, w_leaf: f64) 
 /// Gaussian-elimination dependency graph on `n` columns (the classic
 /// `GE(n)` example): pivot task `p_k` enables update tasks
 /// `u_{k,j}` for `j > k`, and `u_{k,k+1}` enables `p_{k+1}`.
+#[allow(clippy::needless_range_loop)] // `update[k][j]`/`update[k-1][j]` pairs read clearest indexed
 pub fn gaussian_elimination(n: usize) -> TaskGraph {
     assert!((2..=60).contains(&n));
     let mut weights = Vec::new();

@@ -21,12 +21,22 @@ fn main() {
         ("fft(8 pts)", workflows::fft(3), 4),
         ("lu(4 tiles)", workflows::lu(4), 3),
         ("stencil(6x6)", workflows::stencil(6, 6), 3),
-        ("d&c(depth 3)", workflows::divide_and_conquer(3, 2, 1.0, 4.0), 4),
+        (
+            "d&c(depth 3)",
+            workflows::divide_and_conquer(3, 2, 1.0, 4.0),
+            4,
+        ),
         ("ge(8)", workflows::gaussian_elimination(8), 3),
     ];
 
     let mut table = Table::new(&[
-        "workflow", "tasks", "depth", "parallelism", "E-cont", "E-vdd", "savings-vs-smax",
+        "workflow",
+        "tasks",
+        "depth",
+        "parallelism",
+        "E-cont",
+        "E-vdd",
+        "savings-vs-smax",
     ]);
     for (name, app, procs) in cases {
         let mapping = list_schedule(&app, procs, Priority::BottomLevel);

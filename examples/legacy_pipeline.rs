@@ -38,8 +38,13 @@ fn main() {
     ];
 
     let mut table = Table::new(&[
-        "deadline", "slack-vs-smax", "Continuous", "Vdd-Hopping", "Discrete",
-        "Incremental", "naive-smax",
+        "deadline",
+        "slack-vs-smax",
+        "Continuous",
+        "Vdd-Hopping",
+        "Discrete",
+        "Incremental",
+        "naive-smax",
     ]);
 
     for slack in [1.05, 1.2, 1.5, 2.0] {
@@ -56,7 +61,10 @@ fn main() {
         table.row(&row);
     }
 
-    println!("Legacy pipeline: {} stages, total work {total}", stages.len());
+    println!(
+        "Legacy pipeline: {} stages, total work {total}",
+        stages.len()
+    );
     println!("DVFS modes: {:?}\n", dvfs.speeds());
     println!("{}", table.render());
     println!(

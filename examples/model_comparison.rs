@@ -32,7 +32,11 @@ fn main() {
     );
 
     let mut table = Table::new(&[
-        "D/Dmin", "Continuous", "Vdd-Hopping", "Discrete", "Incremental",
+        "D/Dmin",
+        "Continuous",
+        "Vdd-Hopping",
+        "Discrete",
+        "Incremental",
         "Disc/Cont",
     ]);
     for tight in [1.02, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0] {

@@ -28,7 +28,12 @@ fn main() {
     );
 
     let mut table = Table::new(&[
-        "deadline", "model", "energy(J)", "peak(W)", "avg(W)", "makespan",
+        "deadline",
+        "model",
+        "energy(J)",
+        "peak(W)",
+        "avg(W)",
+        "makespan",
     ]);
     for tight in [1.1, 2.0] {
         let d = tight * dmin;

@@ -13,17 +13,16 @@ use reclaim::taskgraph::{dot, TaskGraph, TaskId};
 fn main() -> Result<(), SolveError> {
     // 1. An application task graph: T0 fans out to T1/T2, which join
     //    into T3 (costs in work units).
-    let app = TaskGraph::new(
-        vec![2.0, 3.0, 5.0, 1.0],
-        &[(0, 1), (0, 2), (1, 3), (2, 3)],
-    )
-    .expect("valid DAG");
+    let app = TaskGraph::new(vec![2.0, 3.0, 5.0, 1.0], &[(0, 1), (0, 2), (1, 3), (2, 3)])
+        .expect("valid DAG");
 
     // 2. The mapping is *given* (here: produced once by critical-path
     //    list scheduling on 2 processors, then frozen — the paper's
     //    setting). The execution graph adds serialization edges.
     let mapping = list_schedule(&app, 2, Priority::BottomLevel);
-    let exec = mapping.execution_graph(&app).expect("mapping respects precedence");
+    let exec = mapping
+        .execution_graph(&app)
+        .expect("mapping respects precedence");
     println!("execution graph: {} tasks, {} edges", exec.n(), exec.m());
 
     // 3. Minimize energy under a deadline, with speeds capped at 2.0.
@@ -32,7 +31,10 @@ fn main() -> Result<(), SolveError> {
     let sol = solve(&exec, deadline, &model, PowerLaw::CUBIC)?;
 
     println!("\nmodel: {} (algorithm: {})", model.name(), sol.algorithm);
-    println!("deadline: {deadline}, makespan: {:.4}", sol.schedule.makespan(&exec));
+    println!(
+        "deadline: {deadline}, makespan: {:.4}",
+        sol.schedule.makespan(&exec)
+    );
     println!("optimal energy: {:.4} J\n", sol.energy);
     println!("task  weight  speed   start   end");
     for t in exec.tasks() {

@@ -43,7 +43,10 @@ fn main() {
     let p = PowerLaw::CUBIC;
     let deadline = 14.0;
 
-    println!("secure placement: {} tasks on 3 cores, deadline {deadline}", exec.n());
+    println!(
+        "secure placement: {} tasks on 3 cores, deadline {deadline}",
+        exec.n()
+    );
     for (core, names) in [
         ("P0 hardened", "decrypt, authenticate, encrypt"),
         ("P1 peripheral", "sensor, transmit"),
@@ -72,7 +75,9 @@ fn main() {
     // Show the Vdd-Hopping profiles: which tasks hop between modes.
     let sol = solve(&exec, deadline, &EnergyModel::VddHopping(modes), p).unwrap();
     println!("\nVdd-Hopping speed profiles:");
-    let names = ["sensor", "decrypt", "filter", "auth", "fuse", "encrypt", "tx"];
+    let names = [
+        "sensor", "decrypt", "filter", "auth", "fuse", "encrypt", "tx",
+    ];
     for t in exec.tasks() {
         match sol.schedule.profile(t) {
             SpeedProfile::Constant(s) => {

@@ -40,20 +40,18 @@ fn brute_force(g: &TaskGraph, d: f64, modes: &DiscreteModes) -> Option<f64> {
 }
 
 fn tiny_instance() -> impl Strategy<Value = (TaskGraph, DiscreteModes, f64)> {
-    (2usize..6, any::<u64>(), 2usize..4, 1.05f64..2.5).prop_map(
-        |(n, seed, m, tight)| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let g = generators::random_dag(n, 0.4, 0.5, 4.0, &mut rng);
-            use rand::Rng;
-            let mut speeds = vec![0.5, 2.5];
-            for _ in 0..m.saturating_sub(2) {
-                speeds.push(rng.gen_range(0.5f64..2.5));
-            }
-            let modes = DiscreteModes::new(&speeds).unwrap();
-            let d = tight * analysis::critical_path_weight(&g) / modes.s_max();
-            (g, modes, d)
-        },
-    )
+    (2usize..6, any::<u64>(), 2usize..4, 1.05f64..2.5).prop_map(|(n, seed, m, tight)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_dag(n, 0.4, 0.5, 4.0, &mut rng);
+        use rand::Rng;
+        let mut speeds = vec![0.5, 2.5];
+        for _ in 0..m.saturating_sub(2) {
+            speeds.push(rng.gen_range(0.5f64..2.5));
+        }
+        let modes = DiscreteModes::new(&speeds).unwrap();
+        let d = tight * analysis::critical_path_weight(&g) / modes.s_max();
+        (g, modes, d)
+    })
 }
 
 proptest! {

@@ -35,9 +35,8 @@ fn pipeline_from_random_app_to_all_solvers() {
         let exec = mapping.execution_graph(&app).unwrap();
         let d = 1.5 * analysis::critical_path_weight(&exec) / modes.s_max();
         for model in all_models(&modes, &inc) {
-            let sol = solve(&exec, d, &model, P).unwrap_or_else(|e| {
-                panic!("{} failed on seed {seed}: {e}", model.name())
-            });
+            let sol = solve(&exec, d, &model, P)
+                .unwrap_or_else(|e| panic!("{} failed on seed {seed}: {e}", model.name()));
             // The solver validated it already; double-check externally.
             sol.schedule.validate(&exec, &model, d).unwrap();
             assert!(sol.energy.is_finite() && sol.energy > 0.0);
@@ -69,7 +68,10 @@ fn model_dominance_chain_holds_across_instances() {
             d,
             &EnergyModel::Incremental(inc.clone()),
             P,
-            SolveOptions { exact_incremental: true, ..Default::default() },
+            SolveOptions {
+                exact_incremental: true,
+                ..Default::default()
+            },
         )
         .unwrap()
         .energy;
@@ -145,8 +147,16 @@ fn infeasible_below_dmin_feasible_above() {
         EnergyModel::VddHopping(modes.clone()),
         EnergyModel::Discrete(modes.clone()),
     ] {
-        assert!(solve(&g, dmin * 0.99, &model, P).is_err(), "{}", model.name());
-        assert!(solve(&g, dmin * 1.01, &model, P).is_ok(), "{}", model.name());
+        assert!(
+            solve(&g, dmin * 0.99, &model, P).is_err(),
+            "{}",
+            model.name()
+        );
+        assert!(
+            solve(&g, dmin * 1.01, &model, P).is_ok(),
+            "{}",
+            model.name()
+        );
     }
 }
 

@@ -1,0 +1,76 @@
+//! Smoke test for the `quickstart` example path: the exact pipeline
+//! the example walks (app graph → frozen list-schedule mapping →
+//! execution graph → `reclaim::core::solve` → validated schedule) must
+//! run end-to-end through the facade and produce a feasible,
+//! deadline-respecting solution that beats the naive all-at-s_max
+//! schedule.
+
+use reclaim::core::solve;
+use reclaim::mapping::{list_schedule, Priority};
+use reclaim::models::{EnergyModel, PowerLaw};
+use reclaim::taskgraph::{dot, TaskGraph};
+
+#[test]
+fn quickstart_path_runs_end_to_end() {
+    // Same instance as examples/quickstart.rs.
+    let app = TaskGraph::new(vec![2.0, 3.0, 5.0, 1.0], &[(0, 1), (0, 2), (1, 3), (2, 3)])
+        .expect("valid DAG");
+
+    let mapping = list_schedule(&app, 2, Priority::BottomLevel);
+    let exec = mapping
+        .execution_graph(&app)
+        .expect("mapping respects precedence");
+    assert_eq!(exec.n(), app.n(), "mapping must not add or drop tasks");
+    assert!(exec.m() >= app.m(), "serialization can only add edges");
+
+    let deadline = 8.0;
+    let model = EnergyModel::continuous(2.0);
+    let sol = solve(&exec, deadline, &model, PowerLaw::CUBIC).expect("quickstart instance solves");
+
+    // Feasible and deadline-respecting, per the model's own validator
+    // and an independent makespan check.
+    sol.schedule
+        .validate(&exec, &model, deadline)
+        .expect("schedule validates");
+    assert!(sol.schedule.makespan(&exec) <= deadline * (1.0 + 1e-9));
+    assert!(sol.energy > 0.0);
+    assert_eq!(sol.algorithm, "continuous");
+
+    // It actually reclaims energy versus running flat out at s_max.
+    let naive: f64 = exec
+        .tasks()
+        .map(|t| PowerLaw::CUBIC.energy_at_speed(exec.weight(t), 2.0))
+        .sum();
+    assert!(
+        sol.energy < naive,
+        "optimal {} must beat naive {naive}",
+        sol.energy
+    );
+
+    // The DOT export the example ends with stays renderable.
+    let rendered = dot::to_dot(&exec);
+    assert!(rendered.contains("digraph"));
+}
+
+#[test]
+fn quickstart_solution_is_optimal_for_the_relaxation() {
+    // Sanity anchor: on the quickstart's execution graph the optimal
+    // energy can never beat the independent-tasks lower bound.
+    let app = TaskGraph::new(vec![2.0, 3.0, 5.0, 1.0], &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+    let mapping = list_schedule(&app, 2, Priority::BottomLevel);
+    let exec = mapping.execution_graph(&app).unwrap();
+    let deadline = 8.0;
+    let sol = solve(
+        &exec,
+        deadline,
+        &EnergyModel::continuous(2.0),
+        PowerLaw::CUBIC,
+    )
+    .unwrap();
+    let lower_bound: f64 = exec
+        .weights()
+        .iter()
+        .map(|&w| PowerLaw::CUBIC.energy_for_work(w, deadline))
+        .sum();
+    assert!(sol.energy >= lower_bound * (1.0 - 1e-9));
+}

@@ -16,15 +16,9 @@ fn corpus_parses_solves_and_replays() {
         }
         seen += 1;
         let text = std::fs::read_to_string(&path).unwrap();
-        let inst = parse(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        let sol = reclaim::core::solve(
-            &inst.graph,
-            inst.deadline,
-            &inst.model,
-            PowerLaw::CUBIC,
-        )
-        .unwrap_or_else(|e| panic!("{}: solve failed: {e}", path.display()));
+        let inst = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let sol = reclaim::core::solve(&inst.graph, inst.deadline, &inst.model, PowerLaw::CUBIC)
+            .unwrap_or_else(|e| panic!("{}: solve failed: {e}", path.display()));
         // Validate externally and replay in the simulator.
         sol.schedule
             .validate(&inst.graph, &inst.model, inst.deadline)
@@ -57,6 +51,9 @@ fn corpus_covers_all_four_models() {
         names.insert(inst.model.name());
     }
     for required in ["Continuous", "Discrete", "Vdd-Hopping", "Incremental"] {
-        assert!(names.contains(required), "corpus missing a {required} instance");
+        assert!(
+            names.contains(required),
+            "corpus missing a {required} instance"
+        );
     }
 }

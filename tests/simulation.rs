@@ -22,8 +22,7 @@ fn simulated_energy_matches_solver_for_every_model() {
         let app = generators::layered_dag(4, 3, 0.3, 1.0, 5.0, &mut rng);
         let mapping = list_schedule(&app, 2, Priority::BottomLevel);
         let exec = mapping.execution_graph(&app).unwrap();
-        let d = (1.2 + seed as f64 * 0.3) * analysis::critical_path_weight(&exec)
-            / modes.s_max();
+        let d = (1.2 + seed as f64 * 0.3) * analysis::critical_path_weight(&exec) / modes.s_max();
         for model in [
             EnergyModel::continuous(modes.s_max()),
             EnergyModel::VddHopping(modes.clone()),
@@ -69,8 +68,7 @@ fn slower_schedules_have_lower_peak_power() {
     let model = EnergyModel::continuous_unbounded();
     let d0 = analysis::critical_path_weight(&g);
     let tight = simulate(&g, &solve(&g, d0, &model, P).unwrap().schedule, P).unwrap();
-    let loose =
-        simulate(&g, &solve(&g, 2.0 * d0, &model, P).unwrap().schedule, P).unwrap();
+    let loose = simulate(&g, &solve(&g, 2.0 * d0, &model, P).unwrap().schedule, P).unwrap();
     assert!(loose.trace.peak_power() <= tight.trace.peak_power() * (1.0 + 1e-9));
     assert!(loose.energy < tight.energy);
 }

@@ -67,9 +67,7 @@ fn closed_form_helper_sanity() {
     // test case from the vdd module, derived independently here).
     assert!((chain_vdd_energy(3.0, 2.0, &modes).unwrap() - 9.0).abs() < 1e-12);
     // Slow regime.
-    assert!(
-        (chain_vdd_energy(1.0, 10.0, &modes).unwrap() - 1.0).abs() < 1e-12
-    );
+    assert!((chain_vdd_energy(1.0, 10.0, &modes).unwrap() - 1.0).abs() < 1e-12);
     // Infeasible.
     assert!(chain_vdd_energy(10.0, 1.0, &modes).is_none());
 }

@@ -51,8 +51,14 @@ fn every_workflow_under_every_model() {
         // Dominance: Continuous ≤ Vdd ≤ Discrete-solver-output.
         // (Discrete may be the rounding approximation on big
         // workflows, still an upper bound on the Vdd optimum.)
-        assert!(energies[0] <= energies[1] * (1.0 + 1e-6), "{name}: cont vs vdd");
-        assert!(energies[1] <= energies[2] * (1.0 + 1e-6), "{name}: vdd vs disc");
+        assert!(
+            energies[0] <= energies[1] * (1.0 + 1e-6),
+            "{name}: cont vs vdd"
+        );
+        assert!(
+            energies[1] <= energies[2] * (1.0 + 1e-6),
+            "{name}: vdd vs disc"
+        );
     }
 }
 
@@ -66,8 +72,7 @@ fn workflow_energy_beats_naive_smax() {
         let mapping = list_schedule(&app, procs, Priority::BottomLevel);
         let exec = mapping.execution_graph(&app).unwrap();
         let d = 1.5 * analysis::critical_path_weight(&exec) / modes.s_max();
-        let sol =
-            solve(&exec, d, &EnergyModel::continuous(modes.s_max()), P).unwrap();
+        let sol = solve(&exec, d, &EnergyModel::continuous(modes.s_max()), P).unwrap();
         let naive = P.energy_at_speed(exec.total_work(), modes.s_max());
         assert!(
             sol.energy < naive * 0.9,
