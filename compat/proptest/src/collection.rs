@@ -7,7 +7,7 @@ use rand::Rng;
 
 use crate::strategy::Strategy;
 
-/// Size argument of [`vec`]: an exact length or a half-open range.
+/// Size argument of [`vec()`]: an exact length or a half-open range.
 pub trait IntoSizeRange {
     fn pick(&self, rng: &mut StdRng) -> usize;
 }

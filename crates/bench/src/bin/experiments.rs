@@ -1,19 +1,52 @@
 //! Regenerate every table and figure of the experiment suite.
 //!
 //! ```text
-//! cargo run -p bench --release --bin experiments            # all
-//! cargo run -p bench --release --bin experiments -- t3 f1   # subset
+//! cargo run -p bench --release --bin experiments             # all
+//! cargo run -p bench --release --bin experiments -- t3 f1    # subset
 //! cargo run -p bench --release --bin experiments -- --csv results/
+//! cargo run -p bench --release --bin experiments -- --json perf/
 //! ```
 //!
 //! With `--csv DIR`, each experiment's table is also written to
-//! `DIR/<id>.csv`.
+//! `DIR/<id>.csv`. With `--json DIR`, each experiment additionally
+//! emits a machine-readable `DIR/BENCH_<ID>.json` record so the perf
+//! trajectory can be tracked across PRs: `experiment`, `mean_ns`
+//! (wall-clock of one full experiment run — experiments average over
+//! instance ensembles internally, but the figure is a single-shot
+//! coarse signal, not a criterion-style repeated mean), and
+//! `instance_size`, plus any experiment-specific `metrics` — e.g.
+//! `X6` records its naive/engine sweep arms separately, which is the
+//! entry to watch for sweep-path regressions.
 
 use bench::experiments;
+use bench::experiments::Outcome;
+
+/// Render the `BENCH_<id>.json` record (no serde in-tree; the schema
+/// is flat enough to format by hand). `mean_ns` is the single-run
+/// wall-clock of the experiment (see the module docs for caveats).
+fn bench_json(o: &Outcome, mean_ns: u128) -> String {
+    let mut s = format!(
+        "{{\n  \"experiment\": \"{}\",\n  \"mean_ns\": {},\n  \"instance_size\": {}",
+        o.id, mean_ns, o.size
+    );
+    if !o.metrics.is_empty() {
+        s.push_str(",\n  \"metrics\": {");
+        for (k, (name, value)) in o.metrics.iter().enumerate() {
+            if k > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{name}\": {value:.0}"));
+        }
+        s.push('}');
+    }
+    s.push_str("\n}\n");
+    s
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut csv_dir: Option<String> = None;
+    let mut json_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -24,26 +57,36 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--json" => {
+                json_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a directory argument");
+                    std::process::exit(2);
+                }));
+            }
             "all" => {}
             other => ids.push(other.to_string()),
         }
     }
 
-    let outcomes = if ids.is_empty() {
-        experiments::run_all()
-    } else {
-        ids.iter()
-            .map(|id| {
-                experiments::run_one(id).unwrap_or_else(|| {
-                    eprintln!("unknown experiment id: {id} (use t1..t7, f1..f4)");
-                    std::process::exit(2);
-                })
-            })
+    let run_ids: Vec<String> = if ids.is_empty() {
+        experiments::all_ids()
+            .iter()
+            .map(|s| s.to_string())
             .collect()
+    } else {
+        ids
     };
 
     let mut failed = 0;
-    for o in &outcomes {
+    let mut count = 0;
+    for id in &run_ids {
+        let start = std::time::Instant::now();
+        let o = experiments::run_one(id).unwrap_or_else(|| {
+            eprintln!("unknown experiment id: {id} (use t1..t7, f1..f4, x1..x6)");
+            std::process::exit(2);
+        });
+        let mean_ns = start.elapsed().as_nanos();
+        count += 1;
         println!("{}", o.render());
         if o.verdict.starts_with("FAIL") {
             failed += 1;
@@ -54,12 +97,14 @@ fn main() {
             std::fs::write(&path, o.table.to_csv()).expect("write csv");
             println!("(csv written to {path})\n");
         }
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = format!("{dir}/BENCH_{}.json", o.id);
+            std::fs::write(&path, bench_json(&o, mean_ns)).expect("write json");
+            println!("(json written to {path})\n");
+        }
     }
-    println!(
-        "summary: {}/{} experiments PASS",
-        outcomes.len() - failed,
-        outcomes.len()
-    );
+    println!("summary: {}/{} experiments PASS", count - failed, count);
     if failed > 0 {
         std::process::exit(1);
     }

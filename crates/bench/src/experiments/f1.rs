@@ -56,6 +56,8 @@ pub fn run() -> Outcome {
     }
     let pass = ordering_ok;
     Outcome {
+        size: 12,
+        metrics: vec![],
         id: "F1",
         claim: "Cont ≤ Vdd ≤ Disc at every deadline; discretization premium near D_min; speed-floor premium at loose D (U-shape)",
         table,

@@ -55,6 +55,8 @@ pub fn run() -> Outcome {
         ]);
     }
     Outcome {
+        size: 12,
+        metrics: vec![],
         id: "F2",
         claim: "Vdd-Hopping smooths out mode discreteness: near-Continuous with any m; Discrete converges only as m grows",
         table,

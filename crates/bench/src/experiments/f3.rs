@@ -63,6 +63,8 @@ pub fn run() -> Outcome {
         ]);
     }
     Outcome {
+        size: 12,
+        metrics: vec![],
         id: "F3",
         claim: "the model ordering and premiums are structural, not an artifact of one graph family",
         table,

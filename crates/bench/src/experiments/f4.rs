@@ -50,6 +50,8 @@ pub fn run() -> Outcome {
         }
     }
     Outcome {
+        size: 12,
+        metrics: vec![],
         id: "F4",
         claim: "mixing adjacent modes of the continuous optimum is feasible but suboptimal; the LP can rebalance durations",
         table,

@@ -20,6 +20,7 @@ pub mod x2;
 pub mod x3;
 pub mod x4;
 pub mod x5;
+pub mod x6;
 
 use models::PowerLaw;
 use reclaim_core::continuous;
@@ -38,6 +39,12 @@ pub struct Outcome {
     pub table: report::Table,
     /// One-line pass/fail summary of claim vs measurement.
     pub verdict: String,
+    /// Task count of the experiment's largest instance — recorded in
+    /// the machine-readable `BENCH_<id>.json` perf trail.
+    pub size: usize,
+    /// Extra machine-readable metrics (`name → value`) for
+    /// `BENCH_<id>.json`; most experiments have none.
+    pub metrics: Vec<(&'static str, f64)>,
 }
 
 impl Outcome {
@@ -75,47 +82,47 @@ pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (v, start.elapsed().as_secs_f64())
 }
 
+/// An experiment entry point.
+type Runner = fn() -> Outcome;
+
+/// The experiment registry: every id with its runner, in canonical
+/// order — the single source of truth [`run_all`], [`all_ids`], and
+/// [`run_one`] all derive from.
+const EXPERIMENTS: &[(&str, Runner)] = &[
+    ("t1", t1::run),
+    ("t2", t2::run),
+    ("t3", t3::run),
+    ("t4", t4::run),
+    ("t5", t5::run),
+    ("t6", t6::run),
+    ("t7", t7::run),
+    ("f1", f1::run),
+    ("f2", f2::run),
+    ("f3", f3::run),
+    ("f4", f4::run),
+    ("x1", x1::run),
+    ("x2", x2::run),
+    ("x3", x3::run),
+    ("x4", x4::run),
+    ("x5", x5::run),
+    ("x6", x6::run),
+];
+
 /// Run every experiment in order.
 pub fn run_all() -> Vec<Outcome> {
-    vec![
-        t1::run(),
-        t2::run(),
-        t3::run(),
-        t4::run(),
-        t5::run(),
-        t6::run(),
-        t7::run(),
-        f1::run(),
-        f2::run(),
-        f3::run(),
-        f4::run(),
-        x1::run(),
-        x2::run(),
-        x3::run(),
-        x4::run(),
-        x5::run(),
-    ]
+    EXPERIMENTS.iter().map(|&(_, run)| run()).collect()
+}
+
+/// Every experiment id, in canonical order.
+pub fn all_ids() -> Vec<&'static str> {
+    EXPERIMENTS.iter().map(|&(id, _)| id).collect()
 }
 
 /// Run one experiment by id (case-insensitive), if it exists.
 pub fn run_one(id: &str) -> Option<Outcome> {
-    match id.to_ascii_lowercase().as_str() {
-        "t1" => Some(t1::run()),
-        "t2" => Some(t2::run()),
-        "t3" => Some(t3::run()),
-        "t4" => Some(t4::run()),
-        "t5" => Some(t5::run()),
-        "t6" => Some(t6::run()),
-        "t7" => Some(t7::run()),
-        "f1" => Some(f1::run()),
-        "f2" => Some(f2::run()),
-        "f3" => Some(f3::run()),
-        "f4" => Some(f4::run()),
-        "x1" => Some(x1::run()),
-        "x2" => Some(x2::run()),
-        "x3" => Some(x3::run()),
-        "x4" => Some(x4::run()),
-        "x5" => Some(x5::run()),
-        _ => None,
-    }
+    let id = id.to_ascii_lowercase();
+    EXPERIMENTS
+        .iter()
+        .find(|&&(known, _)| known == id)
+        .map(|&(_, run)| run())
 }

@@ -57,6 +57,8 @@ pub fn run() -> Outcome {
     }
     let pass = worst < 1e-4;
     Outcome {
+        size: 33,
+        metrics: vec![],
         id: "T1",
         claim: "fork optimum: s0 = ((Σ w_i³)^⅓ + w0)/D, s_i ∝ w_i; s_max-saturated fallback",
         table,

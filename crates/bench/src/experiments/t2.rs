@@ -90,6 +90,8 @@ pub fn run() -> Outcome {
     let growth = (t1.max(1e-9) / t0.max(1e-9)).log2() / ((n1 as f64 / n0 as f64).log2());
     let pass = worst < 1e-4 && growth < 3.0;
     Outcome {
+        size: 3000,
+        metrics: vec![],
         id: "T2",
         claim: "MinEnergy solvable in polynomial time on trees and SP graphs (s_max = ∞)",
         table,

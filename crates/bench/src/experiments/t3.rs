@@ -57,6 +57,8 @@ pub fn run() -> Outcome {
         }
     }
     Outcome {
+        size: 20,
+        metrics: vec![],
         id: "T3",
         claim: "Vdd-Hopping solvable in polynomial time via LP; E_cont ≤ E_vdd ≤ E_discrete",
         table,

@@ -55,6 +55,8 @@ pub fn run() -> Outcome {
     let geo = report::geo_mean(&growths);
     let pass = geo > 1.5;
     Outcome {
+        size: 20,
+        metrics: vec![],
         id: "T4",
         claim: "Discrete/Incremental MinEnergy is NP-complete (exact search is exponential)",
         table,

@@ -62,6 +62,8 @@ pub fn run() -> Outcome {
         }
     }
     Outcome {
+        size: 12,
+        metrics: vec![],
         id: "T5",
         claim: "Incremental approximable within (1+δ/s_min)²(1+1/K)² in time poly(instance, K)",
         table,

@@ -50,6 +50,8 @@ pub fn run() -> Outcome {
         ]);
     }
     Outcome {
+        size: 12,
+        metrics: vec![],
         id: "T6",
         claim: "Continuous approximated within (1+δ/s_min)² by Incremental with increment δ",
         table,

@@ -53,6 +53,8 @@ pub fn run() -> Outcome {
         }
     }
     Outcome {
+        size: 12,
+        metrics: vec![],
         id: "T7",
         claim: "Discrete approximated within (1+α/s_1)²(1+1/K)², α = max mode gap",
         table,

@@ -57,6 +57,8 @@ pub fn run() -> Outcome {
         ]);
     }
     Outcome {
+        size: 12,
+        metrics: vec![],
         id: "X1",
         claim: "(extension) speed scaling flattens peak power; Vdd matches Continuous energy but spikes to bracketing modes",
         table,

@@ -54,6 +54,8 @@ pub fn run() -> Outcome {
         }
     }
     Outcome {
+        size: 12,
+        metrics: vec![],
         id: "X2",
         claim: "(extension) the provable rounding and the classic greedy DVFS heuristic both track the exact optimum; neither dominates",
         table,

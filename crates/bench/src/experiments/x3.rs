@@ -82,6 +82,8 @@ pub fn run() -> Outcome {
         ]);
     }
     Outcome {
+        size: 12,
+        metrics: vec![],
         id: "X3",
         claim: "(extension) all algorithms generalize from s³ to any power law s^α, α > 1",
         table,

@@ -59,6 +59,8 @@ pub fn run() -> Outcome {
         ]);
     }
     Outcome {
+        size: 80,
+        metrics: vec![],
         id: "X4",
         claim: "(extension) the polynomial algorithms stay fast on real HPC workflow structures",
         table,

@@ -63,6 +63,8 @@ pub fn run() -> Outcome {
         ]);
     }
     Outcome {
+        size: 16,
+        metrics: vec![],
         id: "X5",
         claim: "(extension) the frozen mapping matters: bad placements cost real energy even after optimal speed scaling",
         table,

@@ -6,7 +6,7 @@
 //! and the solvers then work on the resulting execution graph.
 
 use mapping::{list_schedule, Priority};
-use models::DiscreteModes;
+use models::{DiscreteModes, EnergyModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use taskgraph::analysis::critical_path_weight;
@@ -16,6 +16,36 @@ use taskgraph::{generators, TaskGraph};
 /// experiments are expressed as multiples `D = tightness · dmin`).
 pub fn dmin(g: &TaskGraph, s_max: f64) -> f64 {
     critical_path_weight(g) / s_max
+}
+
+/// The geometric deadline grid `Engine::energy_curve` samples:
+/// `points` deadlines from `lo` to `hi` times the reference deadline
+/// (critical path at top speed, or at unit speed for unbounded
+/// Continuous), with the same iterated-multiplication rounding the
+/// engine uses. The sweep benchmarks (`X6`, `benches/sweep.rs`) feed
+/// these to their naive arms so the engine-vs-naive energy drift
+/// check compares identical deadlines; if the engine's spacing ever
+/// changes, X6's drift assertion fails loudly rather than silently
+/// comparing different points.
+pub fn deadline_grid(
+    g: &TaskGraph,
+    model: &EnergyModel,
+    points: usize,
+    lo: f64,
+    hi: f64,
+) -> Vec<f64> {
+    let base = match model.top_speed() {
+        Some(sm) => critical_path_weight(g) / sm,
+        None => critical_path_weight(g),
+    };
+    let ratio = (hi / lo).powf(1.0 / (points - 1) as f64);
+    let mut out = Vec::with_capacity(points);
+    let mut f = lo;
+    for _ in 0..points {
+        out.push(f * base);
+        f *= ratio;
+    }
+    out
 }
 
 /// A random layered application DAG mapped onto `procs` processors by

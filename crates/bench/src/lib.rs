@@ -17,4 +17,6 @@
 pub mod experiments;
 pub mod instances;
 
-pub use instances::{dmin, irregular_modes, random_execution_graph, spread_modes, Ensemble};
+pub use instances::{
+    deadline_grid, dmin, irregular_modes, random_execution_graph, spread_modes, Ensemble,
+};

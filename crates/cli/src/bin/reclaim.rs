@@ -10,10 +10,10 @@
 //! See `crates/cli/src/instance.rs` for the instance format.
 
 use models::PowerLaw;
-use reclaim_cli::pareto::energy_curve;
 use reclaim_cli::{parse, Instance};
+use reclaim_core::Engine;
 use report::Table;
-use taskgraph::analysis::critical_path_weight;
+use taskgraph::PreparedGraph;
 
 fn usage() -> ! {
     eprintln!(
@@ -103,6 +103,18 @@ fn main() {
     };
     let p = PowerLaw::CUBIC;
     let inst = load(path);
+    // One prepared graph + engine for whatever the command needs:
+    // repeated solves (sweep) share the cached analysis.
+    let engine = Engine::new(p);
+    let prep = PreparedGraph::new(&inst.graph);
+    let solve_or_die = || {
+        engine
+            .solve(&prep, &inst.model, inst.deadline)
+            .unwrap_or_else(|e| {
+                eprintln!("solve failed: {e}");
+                std::process::exit(1);
+            })
+    };
 
     match cmd.as_str() {
         "check" => {
@@ -116,7 +128,7 @@ fn main() {
         }
         "dmin" => match inst.model.top_speed() {
             Some(sm) => {
-                let dmin = critical_path_weight(&inst.graph) / sm;
+                let dmin = prep.critical_path_weight() / sm;
                 println!("{dmin}");
                 if inst.deadline < dmin {
                     eprintln!(
@@ -129,11 +141,7 @@ fn main() {
             None => println!("0 (unbounded speeds: any positive deadline is feasible)"),
         },
         "solve" => {
-            let sol = reclaim_core::solve(&inst.graph, inst.deadline, &inst.model, p)
-                .unwrap_or_else(|e| {
-                    eprintln!("solve failed: {e}");
-                    std::process::exit(1);
-                });
+            let sol = solve_or_die();
             println!(
                 "model {} | algorithm {} | energy {:.6} | makespan {:.6} / deadline {}",
                 inst.model.name(),
@@ -178,11 +186,7 @@ fn main() {
             }
         }
         "simulate" => {
-            let sol = reclaim_core::solve(&inst.graph, inst.deadline, &inst.model, p)
-                .unwrap_or_else(|e| {
-                    eprintln!("solve failed: {e}");
-                    std::process::exit(1);
-                });
+            let sol = solve_or_die();
             let res = sim::simulate(&inst.graph, &sol.schedule, p).unwrap_or_else(|e| {
                 eprintln!("simulation rejected the schedule: {e}");
                 std::process::exit(1);
@@ -217,11 +221,7 @@ fn main() {
             let width: usize = flag_value("--width")
                 .map(|v| v.parse().expect("--width N"))
                 .unwrap_or(64);
-            let sol = reclaim_core::solve(&inst.graph, inst.deadline, &inst.model, p)
-                .unwrap_or_else(|e| {
-                    eprintln!("solve failed: {e}");
-                    std::process::exit(1);
-                });
+            let sol = solve_or_die();
             println!("{}", sim::gantt(&inst.graph, &sol.schedule, m, width));
         }
         "sweep" => {
@@ -234,8 +234,9 @@ fn main() {
             let hi: f64 = flag_value("--hi")
                 .map(|v| v.parse().expect("--hi F"))
                 .unwrap_or(4.0);
-            let curve =
-                energy_curve(&inst.graph, &inst.model, p, points, lo, hi).unwrap_or_else(|e| {
+            let curve = engine
+                .energy_curve(&prep, &inst.model, points, lo, hi)
+                .unwrap_or_else(|e| {
                     eprintln!("sweep failed: {e}");
                     std::process::exit(1);
                 });

@@ -1,27 +1,26 @@
 //! Energy–deadline trade-off curves (the bicriteria view: the paper
 //! is a bi-criteria optimization — energy under a deadline — so the
 //! natural user-facing output is the whole Pareto front).
+//!
+//! Since the engine refactor this module is a thin veneer over
+//! [`Engine::energy_curve`], which prepares the graph once, exploits
+//! the unbounded-Continuous scaling law, warm-starts the Vdd LP
+//! across points, and fans the remaining models out over threads.
 
 use models::{EnergyModel, PowerLaw};
-use reclaim_core::{solve, SolveError};
-use taskgraph::analysis::critical_path_weight;
-use taskgraph::TaskGraph;
+use reclaim_core::{Engine, SolveError};
+use taskgraph::{PreparedGraph, TaskGraph};
 
-/// One point of the energy–deadline curve.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ParetoPoint {
-    /// The deadline.
-    pub deadline: f64,
-    /// The optimal (or approximated, per the model's solver) energy.
-    pub energy: f64,
-}
+/// One point of the energy–deadline curve (re-exported from the
+/// engine; `ParetoPoint` is the historical name).
+pub use reclaim_core::CurvePoint as ParetoPoint;
 
-/// Sample the energy–deadline curve at `points` geometrically spaced
-/// deadlines between the minimum feasible deadline (scaled by
+/// Sample the energy–deadline curve at `points ≥ 2` geometrically
+/// spaced deadlines between the minimum feasible deadline (scaled by
 /// `lo_factor > 1`) and `hi_factor` times it.
 ///
-/// Returns an error only if the model has no top speed **and**
-/// `lo_factor`/`hi_factor` are invalid; infeasible leading points are
+/// Errors on fewer than two points or invalid factors
+/// (`SolveError::Unsupported`); infeasible leading points are
 /// skipped.
 pub fn energy_curve(
     g: &TaskGraph,
@@ -31,34 +30,8 @@ pub fn energy_curve(
     lo_factor: f64,
     hi_factor: f64,
 ) -> Result<Vec<ParetoPoint>, SolveError> {
-    assert!(points >= 2, "need at least two points");
-    if !(lo_factor > 0.0 && hi_factor > lo_factor) {
-        return Err(SolveError::Unsupported(
-            "need 0 < lo_factor < hi_factor".into(),
-        ));
-    }
-    // Reference deadline: critical path at top speed (or at unit speed
-    // for unbounded Continuous, where any D > 0 is feasible).
-    let base = match model.top_speed() {
-        Some(sm) => critical_path_weight(g) / sm,
-        None => critical_path_weight(g),
-    };
-    let mut out = Vec::with_capacity(points);
-    let ratio = (hi_factor / lo_factor).powf(1.0 / (points - 1) as f64);
-    let mut f = lo_factor;
-    for _ in 0..points {
-        let d = f * base;
-        match solve(g, d, model, p) {
-            Ok(sol) => out.push(ParetoPoint {
-                deadline: d,
-                energy: sol.energy,
-            }),
-            Err(SolveError::Infeasible { .. }) => {} // skip the infeasible edge
-            Err(e) => return Err(e),
-        }
-        f *= ratio;
-    }
-    Ok(out)
+    let prep = PreparedGraph::new(g);
+    Engine::new(p).energy_curve(&prep, model, points, lo_factor, hi_factor)
 }
 
 #[cfg(test)]
@@ -119,5 +92,23 @@ mod tests {
             1.0
         )
         .is_err());
+    }
+
+    #[test]
+    fn too_few_points_error_instead_of_panicking() {
+        let g = generators::chain(&[1.0]);
+        for points in [0, 1] {
+            assert!(matches!(
+                energy_curve(
+                    &g,
+                    &EnergyModel::continuous_unbounded(),
+                    PowerLaw::CUBIC,
+                    points,
+                    1.0,
+                    2.0
+                ),
+                Err(SolveError::Unsupported(_))
+            ));
+        }
     }
 }

@@ -7,11 +7,10 @@
 //! `E*(D) = E*(1)/D^{α−1}` gives a closed form; every other model is
 //! handled by bisection over the (monotone) energy–deadline curve.
 
+use crate::engine::Engine;
 use crate::error::SolveError;
-use crate::solver::solve;
 use models::{EnergyModel, PowerLaw};
-use taskgraph::analysis::critical_path_weight;
-use taskgraph::TaskGraph;
+use taskgraph::{PreparedGraph, TaskGraph};
 
 /// Energy a bounded-speed model can never go below (every task at the
 /// slowest admissible speed), or `None` for unbounded Continuous
@@ -48,11 +47,18 @@ pub fn min_deadline_for_budget(
             });
         }
     }
-    let cp = critical_path_weight(g);
+    // One prepared graph for the whole bracket-and-bisect: the
+    // analysis (topo order, shape, SP tree, critical path) is shared
+    // by every probe solve instead of being re-derived dozens of
+    // times.
+    let engine = Engine::new(p);
+    let prep = PreparedGraph::new(g);
+    let solve = |d: f64| engine.solve(&prep, model, d).map(|s| s.energy);
+    let cp = prep.critical_path_weight();
 
     // Closed form for unbounded Continuous: E(D) = E(cp)·(cp/D)^{α−1}.
     if matches!(model, EnergyModel::Continuous { s_max: None }) {
-        let e_ref = solve(g, cp, model, p)?.energy;
+        let e_ref = solve(cp)?;
         let d = cp * (e_ref / budget).powf(1.0 / (p.alpha() - 1.0));
         return Ok(d);
     }
@@ -61,16 +67,16 @@ pub fn min_deadline_for_budget(
     // budget is met.
     let s_top = model.top_speed().expect("bounded models have a top speed");
     let mut lo = cp / s_top * (1.0 + 1e-9);
-    let e_lo = solve(g, lo, model, p)?.energy;
+    let e_lo = solve(lo)?;
     if e_lo <= budget {
         return Ok(lo);
     }
     let mut hi = lo * 2.0;
-    let mut e_hi = solve(g, hi, model, p)?.energy;
+    let mut e_hi = solve(hi)?;
     let mut grow = 0;
     while e_hi > budget {
         hi *= 2.0;
-        e_hi = solve(g, hi, model, p)?.energy;
+        e_hi = solve(hi)?;
         grow += 1;
         if grow > 60 {
             return Err(SolveError::Infeasible {
@@ -85,7 +91,7 @@ pub fn min_deadline_for_budget(
             break;
         }
         let mid = 0.5 * (lo + hi);
-        let e_mid = solve(g, mid, model, p)?.energy;
+        let e_mid = solve(mid)?;
         if e_mid <= budget {
             hi = mid;
         } else {
@@ -98,6 +104,7 @@ pub fn min_deadline_for_budget(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solver::solve;
     use models::DiscreteModes;
     use taskgraph::generators;
 

@@ -20,9 +20,9 @@
 use crate::error::SolveError;
 use convex::{BarrierSolution, BarrierSolver, LinearConstraint, Objective};
 use models::PowerLaw;
-use taskgraph::analysis::{critical_path_weight, earliest_completion};
+use taskgraph::analysis::critical_path_weight;
 use taskgraph::structure::{self, Shape};
-use taskgraph::{SpTree, TaskGraph, TaskId};
+use taskgraph::{PreparedGraph, SpTree, TaskGraph, TaskId};
 
 /// Total energy of running each task at the given constant speed.
 pub fn energy_of_speeds(g: &TaskGraph, speeds: &[f64], p: PowerLaw) -> f64 {
@@ -34,8 +34,26 @@ pub fn energy_of_speeds(g: &TaskGraph, speeds: &[f64], p: PowerLaw) -> f64 {
 /// Check deadline feasibility at the fastest admissible speed and
 /// produce the canonical error.
 pub fn check_feasible(g: &TaskGraph, deadline: f64, s_max: Option<f64>) -> Result<(), SolveError> {
+    check_feasible_inner(|| critical_path_weight(g), deadline, s_max)
+}
+
+/// [`check_feasible`] with the critical path taken from the prepared
+/// cache.
+pub fn check_feasible_prepared(
+    prep: &PreparedGraph<'_>,
+    deadline: f64,
+    s_max: Option<f64>,
+) -> Result<(), SolveError> {
+    check_feasible_inner(|| prep.critical_path_weight(), deadline, s_max)
+}
+
+fn check_feasible_inner(
+    cp: impl FnOnce() -> f64,
+    deadline: f64,
+    s_max: Option<f64>,
+) -> Result<(), SolveError> {
     if let Some(sm) = s_max {
-        let min_makespan = critical_path_weight(g) / sm;
+        let min_makespan = cp() / sm;
         if min_makespan > deadline * (1.0 + 1e-12) {
             return Err(SolveError::Infeasible {
                 deadline,
@@ -300,7 +318,28 @@ pub fn solve_general_boxed(
     p: PowerLaw,
     precision_k: Option<u32>,
 ) -> Result<Vec<f64>, SolveError> {
-    check_feasible(g, deadline, s_max)?;
+    solve_general_prepared(
+        &PreparedGraph::new(g),
+        deadline,
+        s_min,
+        s_max,
+        p,
+        precision_k,
+    )
+}
+
+/// [`solve_general_boxed`] on a prepared graph: critical path,
+/// topological order, and transitive reduction come from the shared
+/// cache instead of being re-derived per call.
+pub fn solve_general_prepared(
+    prep: &PreparedGraph<'_>,
+    deadline: f64,
+    s_min: Option<f64>,
+    s_max: Option<f64>,
+    p: PowerLaw,
+    precision_k: Option<u32>,
+) -> Result<Vec<f64>, SolveError> {
+    check_feasible_prepared(prep, deadline, s_max)?;
     if let (Some(lo), Some(hi)) = (s_min, s_max) {
         if lo >= hi * (1.0 - 1e-5) {
             return Err(SolveError::Unsupported(
@@ -319,7 +358,7 @@ pub fn solve_general_boxed(
     //    d → d/D scales the objective by D^{1−α} and the speed box by
     //    D), so the barrier's absolute tolerances are meaningful at
     //    any deadline magnitude.
-    let cp = critical_path_weight(g);
+    let cp = prep.critical_path_weight();
     let t_min_abs = s_max.map_or(0.0, |sm| cp / sm);
     let eps_bump = 1e-7;
     let needs_bump = deadline - t_min_abs < 1e-9 * deadline;
@@ -329,7 +368,7 @@ pub fn solve_general_boxed(
         deadline
     };
     let scaled = solve_normalized(
-        g,
+        prep,
         s_min.map(|s| s * eff_deadline),
         s_max.map(|s| s * eff_deadline),
         p,
@@ -354,12 +393,13 @@ pub fn solve_general_boxed(
 /// scaled; returned speeds are in normalized units (divide by the real
 /// deadline to recover them).
 fn solve_normalized(
-    g: &TaskGraph,
+    prep: &PreparedGraph<'_>,
     s_min: Option<f64>,
     s_max: Option<f64>,
     p: PowerLaw,
     precision_k: Option<u32>,
 ) -> Result<Vec<f64>, SolveError> {
+    let g = prep.graph();
     let deadline = 1.0f64;
     let n = g.n();
     let d_var = |i: usize| i;
@@ -367,7 +407,7 @@ fn solve_normalized(
 
     // Redundant precedence edges add redundant constraints (and barrier
     // terms); the transitive reduction preserves the feasible set.
-    let reduced = taskgraph::analysis::transitive_reduction(g);
+    let reduced = prep.reduced();
     let mut cons: Vec<LinearConstraint> = Vec::with_capacity(reduced.m() + 2 * n);
     for &(u, v) in reduced.edges() {
         // t_u + d_v − t_v ≤ 0
@@ -403,7 +443,7 @@ fn solve_normalized(
     // Strictly feasible start: uniform speed with makespan strictly
     // between the minimum (cp/s_max, or 0) and D, then stretch the
     // completion times into the interior.
-    let cp = critical_path_weight(g);
+    let cp = prep.critical_path_weight();
     let t_min = s_max.map_or(0.0, |sm| cp / sm);
     let target_makespan = 0.5 * (t_min + deadline);
     let mut s0 = cp / target_makespan;
@@ -417,7 +457,7 @@ fn solve_normalized(
     }
     let s0 = s0;
     let durations: Vec<f64> = g.weights().iter().map(|&w| w / s0).collect();
-    let ecl = earliest_completion(g, &durations);
+    let ecl = prep.earliest_completion(&durations);
     let gamma = 0.5 * (deadline - target_makespan) / target_makespan;
     let mut x0 = vec![0.0; 2 * n];
     for i in 0..n {
@@ -459,9 +499,22 @@ pub fn solve(
     p: PowerLaw,
     precision_k: Option<u32>,
 ) -> Result<Vec<f64>, SolveError> {
-    check_feasible(g, deadline, s_max)?;
-    let shape = structure::classify(g);
-    let closed_form: Option<Vec<f64>> = match shape {
+    solve_dispatched(&PreparedGraph::new(g), deadline, s_max, p, precision_k)
+}
+
+/// [`solve`] on a prepared graph: the shape classification, SP
+/// decomposition, and (for the numerical fallback) transitive
+/// reduction come from the shared cache.
+pub fn solve_dispatched(
+    prep: &PreparedGraph<'_>,
+    deadline: f64,
+    s_max: Option<f64>,
+    p: PowerLaw,
+    precision_k: Option<u32>,
+) -> Result<Vec<f64>, SolveError> {
+    check_feasible_prepared(prep, deadline, s_max)?;
+    let g = prep.graph();
+    let closed_form: Option<Vec<f64>> = match prep.shape() {
         Shape::Single | Shape::Chain => Some(solve_chain(g, deadline, s_max)?),
         Shape::Fork => Some(solve_fork(g, deadline, s_max, p)?),
         Shape::Join => {
@@ -471,8 +524,8 @@ pub fn solve(
         }
         Shape::OutTree | Shape::InTree => Some(solve_tree(g, deadline, p)?),
         Shape::SeriesParallel => {
-            let tree = SpTree::from_graph(g).expect("classified as SP");
-            Some(solve_sp(g, &tree, deadline, p)?)
+            let tree = prep.sp_tree().expect("classified as SP");
+            Some(solve_sp(g, tree, deadline, p)?)
         }
         Shape::General => None,
     };
@@ -485,10 +538,10 @@ pub fn solve(
             if within_cap {
                 Ok(speeds)
             } else {
-                solve_general(g, deadline, s_max, p, precision_k)
+                solve_general_prepared(prep, deadline, None, s_max, p, precision_k)
             }
         }
-        None => solve_general(g, deadline, s_max, p, precision_k),
+        None => solve_general_prepared(prep, deadline, None, s_max, p, precision_k),
     }
 }
 

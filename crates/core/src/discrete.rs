@@ -17,7 +17,7 @@ use crate::continuous;
 use crate::error::SolveError;
 use models::{DiscreteModes, PowerLaw};
 use taskgraph::analysis::{critical_path_weight, topo_order};
-use taskgraph::TaskGraph;
+use taskgraph::{PreparedGraph, TaskGraph};
 
 /// Branch-and-bound search statistics (experiment T4 evidence).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -482,12 +482,25 @@ pub fn round_up(
     p: PowerLaw,
     precision_k: Option<u32>,
 ) -> Result<Vec<f64>, SolveError> {
+    round_up_prepared(&PreparedGraph::new(g), deadline, modes, p, precision_k)
+}
+
+/// [`round_up`] on a prepared graph (cached analysis for the boxed
+/// Continuous relaxation underneath).
+pub fn round_up_prepared(
+    prep: &PreparedGraph<'_>,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+    precision_k: Option<u32>,
+) -> Result<Vec<f64>, SolveError> {
+    let g = prep.graph();
     let relaxed = if modes.m() == 1 {
         // Degenerate box: the only choice is the single mode.
         vec![modes.s_min(); g.n()]
     } else {
-        continuous::solve_general_boxed(
-            g,
+        continuous::solve_general_prepared(
+            prep,
             deadline,
             Some(modes.s_min()),
             Some(modes.s_max()),
@@ -508,7 +521,7 @@ pub fn round_up(
         .zip(&speeds)
         .map(|(&w, &s)| w / s)
         .collect();
-    let mk = taskgraph::analysis::makespan(g, &durations);
+    let mk = prep.makespan(&durations);
     if mk > deadline * (1.0 + 1e-6) {
         return Err(SolveError::Numerical(format!(
             "rounded schedule misses the deadline ({mk} > {deadline})"

@@ -1,0 +1,202 @@
+//! The algorithm registry: one pluggable solver per paper result.
+//!
+//! Each [`Algorithm`] declares its own applicability, so the engine's
+//! dispatch is data-driven — a flat scan of [`registry`] in preference
+//! order replaces the old hard-coded `match` in `solver.rs`, and the
+//! provenance tag on [`crate::Solution`] is simply the name of
+//! whichever entry solved the instance.
+
+use crate::engine::Ctx;
+use crate::error::SolveError;
+use crate::{continuous, discrete, incremental, vdd};
+use models::{EnergyModel, Schedule};
+
+/// What one algorithm attempt produced.
+pub enum Step {
+    /// A candidate schedule (validated by the engine before it is
+    /// handed back).
+    Solved(Schedule),
+    /// The algorithm applies in principle but declined this instance
+    /// (e.g. branch-and-bound tripped its node budget); the engine
+    /// moves on to the next applicable entry.
+    Deferred,
+}
+
+/// A `MinEnergy(Ĝ, D)` solver with self-declared applicability.
+pub trait Algorithm: Sync {
+    /// Provenance tag recorded on [`crate::Solution::algorithm`].
+    fn name(&self) -> &'static str;
+    /// Whether this algorithm can attempt the instance.
+    fn applies(&self, ctx: &Ctx<'_>) -> bool;
+    /// Attempt the instance. Feasibility has already been pre-checked
+    /// by the engine against the cached critical path.
+    fn run(&self, ctx: &Ctx<'_>) -> Result<Step, SolveError>;
+}
+
+/// All registered algorithms, in dispatch-preference order (exact and
+/// specialized entries before approximations; the first applicable,
+/// non-deferring entry wins).
+pub fn registry() -> &'static [&'static dyn Algorithm] {
+    static REGISTRY: [&dyn Algorithm; 6] = [
+        &Continuous,
+        &VddLp,
+        &DiscreteBnb,
+        &DiscreteRoundUp,
+        &IncrementalBnb,
+        &IncrementalApprox,
+    ];
+    &REGISTRY
+}
+
+/// Whether exhaustive per-task mode search is plausibly tractable
+/// (Theorem 4: it is exponential in general).
+fn bnb_tractable(ctx: &Ctx<'_>, n_modes: usize) -> bool {
+    let n = ctx.prep.graph().n();
+    n <= ctx.opts.exact_discrete_limit && (n_modes as f64).powi(n as i32) <= 5e9
+}
+
+/// Continuous model: Theorem 1/2 closed forms on recognized shapes,
+/// the §2.1 geometric program otherwise (both exact, so one entry).
+struct Continuous;
+
+impl Algorithm for Continuous {
+    fn name(&self) -> &'static str {
+        "continuous"
+    }
+    fn applies(&self, ctx: &Ctx<'_>) -> bool {
+        matches!(ctx.model, EnergyModel::Continuous { .. })
+    }
+    fn run(&self, ctx: &Ctx<'_>) -> Result<Step, SolveError> {
+        let EnergyModel::Continuous { s_max } = ctx.model else {
+            unreachable!("applies() gates on the model")
+        };
+        let speeds = continuous::solve_dispatched(ctx.prep, ctx.deadline, *s_max, ctx.power, None)?;
+        Ok(Step::Solved(ctx.schedule_from_speeds(&speeds)))
+    }
+}
+
+/// Vdd-Hopping: the Theorem 3 LP (exact, polynomial).
+struct VddLp;
+
+impl Algorithm for VddLp {
+    fn name(&self) -> &'static str {
+        "vdd-lp"
+    }
+    fn applies(&self, ctx: &Ctx<'_>) -> bool {
+        matches!(ctx.model, EnergyModel::VddHopping(_))
+    }
+    fn run(&self, ctx: &Ctx<'_>) -> Result<Step, SolveError> {
+        let EnergyModel::VddHopping(modes) = ctx.model else {
+            unreachable!("applies() gates on the model")
+        };
+        let schedule = vdd::solve_lp_prepared(ctx.prep, ctx.deadline, modes, ctx.power)?;
+        Ok(Step::Solved(schedule))
+    }
+}
+
+/// Discrete, exact: branch-and-bound over mode assignments (Theorem
+/// 4). Defers on a node-budget trip so the rounding approximation can
+/// take over.
+struct DiscreteBnb;
+
+impl Algorithm for DiscreteBnb {
+    fn name(&self) -> &'static str {
+        "discrete-bnb"
+    }
+    fn applies(&self, ctx: &Ctx<'_>) -> bool {
+        match ctx.model {
+            EnergyModel::Discrete(modes) => bnb_tractable(ctx, modes.m()),
+            _ => false,
+        }
+    }
+    fn run(&self, ctx: &Ctx<'_>) -> Result<Step, SolveError> {
+        let EnergyModel::Discrete(modes) = ctx.model else {
+            unreachable!("applies() gates on the model")
+        };
+        match discrete::exact(ctx.prep.graph(), ctx.deadline, modes, ctx.power) {
+            Ok(sol) => Ok(Step::Solved(ctx.schedule_from_speeds(&sol.speeds))),
+            // Budget trip: degrade gracefully to the rounding entry.
+            Err(SolveError::Numerical(_)) => Ok(Step::Deferred),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Discrete, approximate: Proposition 1(b) round-up of the boxed
+/// Continuous relaxation.
+struct DiscreteRoundUp;
+
+impl Algorithm for DiscreteRoundUp {
+    fn name(&self) -> &'static str {
+        "discrete-round-up"
+    }
+    fn applies(&self, ctx: &Ctx<'_>) -> bool {
+        matches!(ctx.model, EnergyModel::Discrete(_))
+    }
+    fn run(&self, ctx: &Ctx<'_>) -> Result<Step, SolveError> {
+        let EnergyModel::Discrete(modes) = ctx.model else {
+            unreachable!("applies() gates on the model")
+        };
+        let speeds = discrete::round_up_prepared(
+            ctx.prep,
+            ctx.deadline,
+            modes,
+            ctx.power,
+            Some(ctx.opts.precision_k),
+        )?;
+        Ok(Step::Solved(ctx.schedule_from_speeds(&speeds)))
+    }
+}
+
+/// Incremental, exact (opt-in): branch-and-bound on the materialized
+/// grid.
+struct IncrementalBnb;
+
+impl Algorithm for IncrementalBnb {
+    fn name(&self) -> &'static str {
+        "incremental-bnb"
+    }
+    fn applies(&self, ctx: &Ctx<'_>) -> bool {
+        match ctx.model {
+            EnergyModel::Incremental(modes) => {
+                ctx.opts.exact_incremental && bnb_tractable(ctx, modes.m())
+            }
+            _ => false,
+        }
+    }
+    fn run(&self, ctx: &Ctx<'_>) -> Result<Step, SolveError> {
+        let EnergyModel::Incremental(modes) = ctx.model else {
+            unreachable!("applies() gates on the model")
+        };
+        match incremental::exact(ctx.prep.graph(), ctx.deadline, modes, ctx.power) {
+            Ok(sol) => Ok(Step::Solved(ctx.schedule_from_speeds(&sol.speeds))),
+            Err(SolveError::Numerical(_)) => Ok(Step::Deferred),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Incremental, approximate: the Theorem 5 rounding scheme.
+struct IncrementalApprox;
+
+impl Algorithm for IncrementalApprox {
+    fn name(&self) -> &'static str {
+        "incremental-approx"
+    }
+    fn applies(&self, ctx: &Ctx<'_>) -> bool {
+        matches!(ctx.model, EnergyModel::Incremental(_))
+    }
+    fn run(&self, ctx: &Ctx<'_>) -> Result<Step, SolveError> {
+        let EnergyModel::Incremental(modes) = ctx.model else {
+            unreachable!("applies() gates on the model")
+        };
+        let speeds = incremental::approx_prepared(
+            ctx.prep,
+            ctx.deadline,
+            modes,
+            ctx.power,
+            ctx.opts.precision_k,
+        )?;
+        Ok(Step::Solved(ctx.schedule_from_speeds(&speeds)))
+    }
+}

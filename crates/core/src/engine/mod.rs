@@ -1,0 +1,575 @@
+//! The prepared-instance solver engine.
+//!
+//! The paper's experiments — and every consumer of this crate —
+//! solve `MinEnergy(Ĝ, D)` many times on the **same** graph: deadline
+//! sweeps, budget bisections, model comparisons. The plain
+//! [`crate::solve`] entry point re-derives the topological order,
+//! shape classification, SP decomposition, and critical path on every
+//! call. This module amortizes all of that:
+//!
+//! * [`taskgraph::PreparedGraph`] caches the graph analysis once per
+//!   graph (lazily, thread-safely);
+//! * an [`Algorithm`] registry makes dispatch data-driven — each paper
+//!   algorithm declares its own applicability, and the provenance tag
+//!   on [`Solution`] is the name of whichever entry won;
+//! * [`Engine::solve_batch`] / [`Engine::solve_deadlines`] fan
+//!   independent instances out over scoped threads (no external
+//!   dependencies — plain [`std::thread::scope`]);
+//! * [`Engine::energy_curve`] samples a whole energy–deadline front,
+//!   with two sweep-specific shortcuts: the unbounded-Continuous
+//!   scaling law `E*(D) = E*(D₀)·(D₀/D)^{α−1}` collapses the sweep to
+//!   one solve, and Vdd-Hopping points reuse the previous point's LP
+//!   basis ([`vdd::solve_lp_sweep`]).
+//!
+//! The legacy [`crate::solve`] / [`crate::solve_with`] wrappers now
+//! route through a transient engine, so every caller gets the same
+//! dispatch — existing call sites compile and behave unchanged.
+
+mod algorithms;
+
+pub use algorithms::{registry, Algorithm, Step};
+
+use crate::error::SolveError;
+use crate::solver::{Solution, SolveOptions};
+use crate::vdd;
+use models::{EnergyModel, PowerLaw, Schedule, SpeedProfile};
+use std::sync::atomic::{AtomicUsize, Ordering};
+pub use taskgraph::PreparedGraph;
+use taskgraph::TaskGraph;
+
+/// One point of an energy–deadline curve (the Pareto front of the
+/// bicriteria problem).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// The deadline.
+    pub deadline: f64,
+    /// The optimal (or approximated, per the model's solver) energy.
+    pub energy: f64,
+}
+
+/// Everything an [`Algorithm`] needs to attempt one instance.
+pub struct Ctx<'a> {
+    /// The prepared (analysis-cached) graph.
+    pub prep: &'a PreparedGraph<'a>,
+    /// The energy model.
+    pub model: &'a EnergyModel,
+    /// The deadline `D`.
+    pub deadline: f64,
+    /// The power law `P(s) = s^α`.
+    pub power: PowerLaw,
+    /// Engine tuning knobs.
+    pub opts: &'a SolveOptions,
+}
+
+impl Ctx<'_> {
+    /// Build the ASAP schedule for constant per-task speeds using the
+    /// cached topological order (no re-analysis).
+    pub fn schedule_from_speeds(&self, speeds: &[f64]) -> Schedule {
+        let g = self.prep.graph();
+        assert_eq!(speeds.len(), g.n());
+        let durations: Vec<f64> = speeds
+            .iter()
+            .zip(g.weights())
+            .map(|(&s, &w)| w / s)
+            .collect();
+        let ecl = self.prep.earliest_completion(&durations);
+        let starts: Vec<f64> = ecl.iter().zip(&durations).map(|(c, d)| c - d).collect();
+        let profiles = speeds.iter().map(|&s| SpeedProfile::Constant(s)).collect();
+        Schedule::new(starts, profiles)
+    }
+}
+
+/// The solver engine: a power law plus tuning options, with batch and
+/// sweep entry points that amortize graph analysis and fan out over
+/// threads.
+///
+/// ```
+/// use models::{EnergyModel, PowerLaw};
+/// use reclaim_core::engine::{Engine, PreparedGraph};
+/// use taskgraph::TaskGraph;
+///
+/// let g = TaskGraph::new(vec![2.0, 4.0], &[(0, 1)]).unwrap();
+/// let engine = Engine::new(PowerLaw::CUBIC);
+/// let prep = PreparedGraph::new(&g);
+/// let model = EnergyModel::continuous_unbounded();
+/// // One prepared graph, many deadlines: analysis runs once.
+/// let a = engine.solve(&prep, &model, 3.0).unwrap();
+/// let b = engine.solve(&prep, &model, 6.0).unwrap();
+/// assert!((a.energy - 24.0).abs() < 1e-9);
+/// assert!((b.energy - 6.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    power: PowerLaw,
+    opts: SolveOptions,
+    threads: Option<usize>,
+}
+
+impl Engine {
+    /// An engine with default [`SolveOptions`].
+    pub fn new(power: PowerLaw) -> Engine {
+        Engine::with_options(power, SolveOptions::default())
+    }
+
+    /// An engine with explicit options.
+    pub fn with_options(power: PowerLaw, opts: SolveOptions) -> Engine {
+        Engine {
+            power,
+            opts,
+            threads: None,
+        }
+    }
+
+    /// Cap the worker threads used by the batch/sweep entry points
+    /// (default: [`std::thread::available_parallelism`]).
+    pub fn threads(mut self, n: usize) -> Engine {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// The engine's power law.
+    pub fn power(&self) -> PowerLaw {
+        self.power
+    }
+
+    /// The engine's tuning options.
+    pub fn options(&self) -> &SolveOptions {
+        &self.opts
+    }
+
+    /// Solve one prepared instance: pre-check feasibility against the
+    /// cached critical path, then dispatch through the algorithm
+    /// [`registry`]. The returned schedule is always validated against
+    /// the model and deadline.
+    pub fn solve(
+        &self,
+        prep: &PreparedGraph<'_>,
+        model: &EnergyModel,
+        deadline: f64,
+    ) -> Result<Solution, SolveError> {
+        crate::continuous::check_feasible_prepared(prep, deadline, model.top_speed())?;
+        let ctx = Ctx {
+            prep,
+            model,
+            deadline,
+            power: self.power,
+            opts: &self.opts,
+        };
+        for alg in registry() {
+            if !alg.applies(&ctx) {
+                continue;
+            }
+            match alg.run(&ctx)? {
+                Step::Solved(schedule) => return self.finish(&ctx, schedule, alg.name()),
+                Step::Deferred => continue,
+            }
+        }
+        Err(SolveError::Unsupported(format!(
+            "no registered algorithm applies to model {}",
+            model.name()
+        )))
+    }
+
+    /// Validate and package a schedule produced by an algorithm.
+    fn finish(
+        &self,
+        ctx: &Ctx<'_>,
+        schedule: Schedule,
+        algorithm: &'static str,
+    ) -> Result<Solution, SolveError> {
+        schedule
+            .validate(ctx.prep.graph(), ctx.model, ctx.deadline)
+            .map_err(|e| SolveError::Numerical(format!("produced schedule invalid: {e}")))?;
+        let energy = schedule.energy(ctx.prep.graph(), self.power);
+        Ok(Solution {
+            schedule,
+            energy,
+            algorithm,
+        })
+    }
+
+    /// Solve one graph (convenience: prepares it transiently).
+    pub fn solve_graph(
+        &self,
+        g: &TaskGraph,
+        model: &EnergyModel,
+        deadline: f64,
+    ) -> Result<Solution, SolveError> {
+        self.solve(&PreparedGraph::new(g), model, deadline)
+    }
+
+    /// Solve a batch of `(graph, deadline)` instances under one model,
+    /// in parallel across scoped threads. Each **distinct** graph
+    /// (by address) is prepared once and its analysis shared across
+    /// every job and worker that references it; results come back in
+    /// input order, identical to solving sequentially.
+    pub fn solve_batch(
+        &self,
+        model: &EnergyModel,
+        jobs: &[(&TaskGraph, f64)],
+    ) -> Vec<Result<Solution, SolveError>> {
+        // Deduplicate preparation by graph address so a batch of many
+        // deadlines on few graphs amortizes like `solve_deadlines`.
+        let mut seen: std::collections::HashMap<*const TaskGraph, usize> =
+            std::collections::HashMap::new();
+        let mut preps: Vec<PreparedGraph<'_>> = Vec::new();
+        let prep_of: Vec<usize> = jobs
+            .iter()
+            .map(|&(g, _)| {
+                *seen.entry(std::ptr::from_ref(g)).or_insert_with(|| {
+                    preps.push(PreparedGraph::new(g));
+                    preps.len() - 1
+                })
+            })
+            .collect();
+        self.run_ordered(jobs.len(), |i| {
+            self.solve(&preps[prep_of[i]], model, jobs[i].1)
+        })
+    }
+
+    /// Solve one prepared graph at many deadlines, in parallel. The
+    /// analysis cache is shared across the worker threads (first one
+    /// to need a pass fills it for everyone).
+    pub fn solve_deadlines(
+        &self,
+        prep: &PreparedGraph<'_>,
+        model: &EnergyModel,
+        deadlines: &[f64],
+    ) -> Vec<Result<Solution, SolveError>> {
+        self.run_ordered(deadlines.len(), |i| self.solve(prep, model, deadlines[i]))
+    }
+
+    /// Sample the energy–deadline curve at `points ≥ 2` geometrically
+    /// spaced deadlines between `lo_factor` and `hi_factor` times the
+    /// reference deadline (critical path at top speed, or at unit
+    /// speed for unbounded Continuous). Infeasible points are skipped;
+    /// other errors abort.
+    ///
+    /// Sweep shortcuts (each produces the same values as independent
+    /// [`Engine::solve`] calls, up to solver tolerance):
+    ///
+    /// * unbounded Continuous: one solve plus the exact scaling law
+    ///   `E*(D) = E*(D₀)·(D₀/D)^{α−1}` — the sweep costs one solve
+    ///   instead of N;
+    /// * Vdd-Hopping: consecutive points re-optimize the previous LP
+    ///   basis under the moved deadline rows instead of solving cold
+    ///   ([`vdd::solve_lp_sweep`]);
+    /// * everything else: the points are independent solves fanned out
+    ///   over threads.
+    pub fn energy_curve(
+        &self,
+        prep: &PreparedGraph<'_>,
+        model: &EnergyModel,
+        points: usize,
+        lo_factor: f64,
+        hi_factor: f64,
+    ) -> Result<Vec<CurvePoint>, SolveError> {
+        if points < 2 {
+            return Err(SolveError::Unsupported(format!(
+                "energy_curve needs at least two points, got {points}"
+            )));
+        }
+        if !(lo_factor > 0.0 && hi_factor > lo_factor) {
+            return Err(SolveError::Unsupported(
+                "need 0 < lo_factor < hi_factor".into(),
+            ));
+        }
+        let base = match model.top_speed() {
+            Some(sm) => prep.critical_path_weight() / sm,
+            None => prep.critical_path_weight(),
+        };
+        let ratio = (hi_factor / lo_factor).powf(1.0 / (points - 1) as f64);
+        let mut deadlines = Vec::with_capacity(points);
+        let mut f = lo_factor;
+        for _ in 0..points {
+            deadlines.push(f * base);
+            f *= ratio;
+        }
+
+        // Unbounded Continuous: the optimum scales as D^{1−α}, so one
+        // solve pins the whole curve.
+        if matches!(model, EnergyModel::Continuous { s_max: None }) {
+            let d0 = deadlines[0];
+            let e0 = self.solve(prep, model, d0)?.energy;
+            let expo = self.power.alpha() - 1.0;
+            return Ok(deadlines
+                .into_iter()
+                .map(|d| CurvePoint {
+                    deadline: d,
+                    energy: e0 * (d0 / d).powf(expo),
+                })
+                .collect());
+        }
+
+        // Vdd-Hopping: warm-started LP chain over the sweep. Each
+        // schedule gets the same validation every other solve path
+        // applies (warm re-optimization must not smuggle in drift); a
+        // warm point that fails it is re-solved cold, so the sweep
+        // never fails where 32 independent solves would succeed.
+        if let EnergyModel::VddHopping(modes) = model {
+            let g = prep.graph();
+            let mut out = Vec::with_capacity(points);
+            for (sched, &d) in vdd::solve_lp_sweep(prep, &deadlines, modes, self.power)
+                .into_iter()
+                .zip(&deadlines)
+            {
+                let energy = match sched {
+                    Ok(s) if s.validate(g, model, d).is_ok() => s.energy(g, self.power),
+                    Ok(_) => match self.solve(prep, model, d) {
+                        Ok(sol) => sol.energy,
+                        Err(SolveError::Infeasible { .. }) => continue,
+                        Err(e) => return Err(e),
+                    },
+                    Err(SolveError::Infeasible { .. }) => continue,
+                    Err(e) => return Err(e),
+                };
+                out.push(CurvePoint {
+                    deadline: d,
+                    energy,
+                });
+            }
+            return Ok(out);
+        }
+
+        // General case: independent solves, fanned out over threads.
+        let solutions = self.solve_deadlines(prep, model, &deadlines);
+        let mut out = Vec::with_capacity(points);
+        for (sol, d) in solutions.into_iter().zip(deadlines) {
+            match sol {
+                Ok(sol) => out.push(CurvePoint {
+                    deadline: d,
+                    energy: sol.energy,
+                }),
+                Err(SolveError::Infeasible { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Run `f(0..n)` across scoped worker threads, returning results
+    /// in index order. Work is pulled from a shared atomic counter so
+    /// uneven instances balance; with one worker (or one item) it runs
+    /// inline.
+    fn run_ordered<T: Send>(&self, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        let workers = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .min(n.max(1));
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, T)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            mine.push((i, f(i)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        });
+        indexed.sort_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use models::{DiscreteModes, IncrementalModes};
+    use taskgraph::{generators, profiling};
+
+    const P: PowerLaw = PowerLaw::CUBIC;
+
+    #[test]
+    fn analysis_runs_exactly_once_per_prepared_graph() {
+        // The acceptance hook: classify / SP recognition / topo order
+        // each run once per prepared graph no matter how many solves
+        // reuse it. Counters are thread-local, so keep everything on
+        // this thread (single solves never spawn).
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let engine = Engine::new(P);
+        let prep = PreparedGraph::new(&g);
+        let model = EnergyModel::continuous_unbounded();
+        let before = profiling::counts();
+        let mut energies = Vec::new();
+        for k in 0..8 {
+            let d = 4.0 + k as f64;
+            energies.push(engine.solve(&prep, &model, d).unwrap().energy);
+        }
+        let delta = profiling::counts() - before;
+        assert_eq!(delta.classify, 1, "classification must run once");
+        assert_eq!(delta.sp_from_graph, 1, "SP recognition must run once");
+        assert_eq!(delta.topo_order, 1, "topo order must be computed once");
+        // Sanity: the solves were real.
+        assert!(energies.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn vdd_path_reuses_prepared_analysis() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let engine = Engine::new(P);
+        let prep = PreparedGraph::new(&g);
+        let modes = DiscreteModes::new(&[0.5, 1.0, 2.0]).unwrap();
+        let model = EnergyModel::VddHopping(modes);
+        let before = profiling::counts();
+        for k in 0..5 {
+            engine.solve(&prep, &model, 5.0 + k as f64).unwrap();
+        }
+        let delta = profiling::counts() - before;
+        // Vdd never needs the shape, and the reduction/critical path
+        // reuse the single cached topo order.
+        assert_eq!(delta.topo_order, 1);
+        assert_eq!(delta.classify, 0);
+        assert_eq!(delta.sp_from_graph, 0);
+    }
+
+    #[test]
+    fn engine_matches_legacy_dispatch_tags() {
+        let g = generators::chain(&[1.0, 1.0]);
+        let modes = DiscreteModes::new(&[1.0, 2.0]).unwrap();
+        let engine = Engine::new(P);
+        let cases: Vec<(EnergyModel, &str)> = vec![
+            (EnergyModel::continuous_unbounded(), "continuous"),
+            (EnergyModel::VddHopping(modes.clone()), "vdd-lp"),
+            (EnergyModel::Discrete(modes), "discrete-bnb"),
+            (
+                EnergyModel::Incremental(IncrementalModes::new(1.0, 2.0, 0.5).unwrap()),
+                "incremental-approx",
+            ),
+        ];
+        for (model, expect) in cases {
+            let prep = PreparedGraph::new(&g);
+            let sol = engine.solve(&prep, &model, 3.0).unwrap();
+            assert_eq!(sol.algorithm, expect);
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_in_order_and_values() {
+        let graphs: Vec<TaskGraph> = vec![
+            generators::chain(&[1.0, 2.0, 3.0]),
+            generators::diamond([1.0, 2.0, 3.0, 1.5]),
+            generators::fork(1.0, &[2.0, 1.0, 3.0]),
+            generators::fork_join(1.0, &[2.0, 3.0, 1.0], 1.5),
+        ];
+        let jobs: Vec<(&TaskGraph, f64)> =
+            graphs.iter().flat_map(|g| [(g, 5.0), (g, 8.0)]).collect();
+        let model = EnergyModel::continuous(2.5);
+        let sequential = Engine::new(P).threads(1).solve_batch(&model, &jobs);
+        let parallel = Engine::new(P).threads(4).solve_batch(&model, &jobs);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, q) in sequential.iter().zip(&parallel) {
+            let (s, q) = (s.as_ref().unwrap(), q.as_ref().unwrap());
+            assert_eq!(s.algorithm, q.algorithm);
+            assert!((s.energy - q.energy).abs() <= 1e-12 * (1.0 + s.energy));
+        }
+    }
+
+    #[test]
+    fn batch_prepares_each_distinct_graph_once() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let h = generators::chain(&[1.0, 2.0]);
+        let jobs: Vec<(&TaskGraph, f64)> = vec![(&g, 5.0), (&g, 6.0), (&h, 4.0), (&g, 7.0)];
+        let model = EnergyModel::continuous_unbounded();
+        let before = profiling::counts();
+        // Single worker: everything stays on this thread so the
+        // thread-local counters see the whole batch.
+        let results = Engine::new(P).threads(1).solve_batch(&model, &jobs);
+        assert!(results.iter().all(Result::is_ok));
+        let delta = profiling::counts() - before;
+        // Two distinct graphs → exactly two classifications and two
+        // topo orders, not four.
+        assert_eq!(delta.classify, 2);
+        assert_eq!(delta.topo_order, 2);
+    }
+
+    #[test]
+    fn curve_shortcut_matches_pointwise_solves() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let engine = Engine::new(P);
+        let prep = PreparedGraph::new(&g);
+        let model = EnergyModel::continuous_unbounded();
+        let curve = engine.energy_curve(&prep, &model, 6, 0.8, 3.0).unwrap();
+        assert_eq!(curve.len(), 6);
+        for pt in &curve {
+            let direct = engine.solve(&prep, &model, pt.deadline).unwrap().energy;
+            assert!(
+                (pt.energy - direct).abs() <= 1e-9 * (1.0 + direct),
+                "scaling shortcut diverged at D = {}",
+                pt.deadline
+            );
+        }
+    }
+
+    #[test]
+    fn vdd_warm_sweep_matches_cold_solves() {
+        let g = generators::fork_join(1.0, &[2.0, 3.0, 1.0], 1.5);
+        let engine = Engine::new(P);
+        let prep = PreparedGraph::new(&g);
+        let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0]).unwrap();
+        let model = EnergyModel::VddHopping(modes);
+        let curve = engine.energy_curve(&prep, &model, 8, 1.05, 4.0).unwrap();
+        assert!(curve.len() >= 7);
+        for pt in &curve {
+            let cold = engine.solve(&prep, &model, pt.deadline).unwrap().energy;
+            assert!(
+                (pt.energy - cold).abs() <= 1e-6 * (1.0 + cold),
+                "warm LP diverged at D = {}: {} vs {}",
+                pt.deadline,
+                pt.energy,
+                cold
+            );
+        }
+        // Monotone non-increasing along the front.
+        for w in curve.windows(2) {
+            assert!(w[1].energy <= w[0].energy * (1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    fn infeasible_points_are_skipped_not_fatal() {
+        let g = generators::chain(&[4.0]);
+        let engine = Engine::new(P);
+        let prep = PreparedGraph::new(&g);
+        let modes = DiscreteModes::new(&[1.0, 2.0]).unwrap();
+        // lo_factor < 1: the first points sit below dmin.
+        let curve = engine
+            .energy_curve(&prep, &EnergyModel::Discrete(modes), 5, 0.5, 3.0)
+            .unwrap();
+        assert!(!curve.is_empty() && curve.len() < 5);
+    }
+
+    #[test]
+    fn bad_curve_parameters_error_instead_of_panicking() {
+        let g = generators::chain(&[1.0]);
+        let engine = Engine::new(P);
+        let prep = PreparedGraph::new(&g);
+        let model = EnergyModel::continuous_unbounded();
+        assert!(matches!(
+            engine.energy_curve(&prep, &model, 1, 1.0, 2.0),
+            Err(SolveError::Unsupported(_))
+        ));
+        assert!(matches!(
+            engine.energy_curve(&prep, &model, 4, 2.0, 1.0),
+            Err(SolveError::Unsupported(_))
+        ));
+    }
+}

@@ -6,7 +6,7 @@ use crate::continuous;
 use crate::discrete::{self, ExactSolution};
 use crate::error::SolveError;
 use models::{IncrementalModes, PowerLaw};
-use taskgraph::TaskGraph;
+use taskgraph::{PreparedGraph, TaskGraph};
 
 /// Theorem 5: for any integer `K > 0`, approximate
 /// `MinEnergy(Ĝ, D)` within `(1 + δ/s_min)² · (1 + 1/K)²` in time
@@ -27,12 +27,31 @@ pub fn approx(
     p: PowerLaw,
     k: u32,
 ) -> Result<Vec<f64>, SolveError> {
-    assert!(k > 0, "Theorem 5 requires K > 0");
+    approx_prepared(&PreparedGraph::new(g), deadline, modes, p, k)
+}
+
+/// [`approx`] on a prepared graph (cached analysis for the boxed
+/// Continuous relaxation underneath).
+pub fn approx_prepared(
+    prep: &PreparedGraph<'_>,
+    deadline: f64,
+    modes: &IncrementalModes,
+    p: PowerLaw,
+    k: u32,
+) -> Result<Vec<f64>, SolveError> {
+    if k == 0 {
+        // Library code must not panic on bad user input (the CLI feeds
+        // this straight through).
+        return Err(SolveError::Unsupported(
+            "Theorem 5 requires precision K > 0".into(),
+        ));
+    }
+    let g = prep.graph();
     let relaxed = if modes.m() == 1 {
         vec![modes.s_min(); g.n()]
     } else {
-        continuous::solve_general_boxed(
-            g,
+        continuous::solve_general_prepared(
+            prep,
             deadline,
             Some(modes.s_min()),
             Some(modes.top_mode()),
@@ -50,7 +69,7 @@ pub fn approx(
         .zip(&speeds)
         .map(|(&w, &s)| w / s)
         .collect();
-    let mk = taskgraph::analysis::makespan(g, &durations);
+    let mk = prep.makespan(&durations);
     if mk > deadline * (1.0 + 1e-6) {
         return Err(SolveError::Numerical(format!(
             "rounded schedule misses the deadline ({mk} > {deadline})"
@@ -151,10 +170,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn k_must_be_positive() {
+    fn k_zero_is_rejected_without_panicking() {
         let g = generators::chain(&[1.0]);
         let modes = IncrementalModes::new(0.5, 1.0, 0.25).unwrap();
-        let _ = approx(&g, 3.0, &modes, P, 0);
+        assert!(matches!(
+            approx(&g, 3.0, &modes, P, 0),
+            Err(SolveError::Unsupported(_))
+        ));
     }
 }

@@ -17,16 +17,22 @@
 //! | Proposition 1 (model transfer bounds) | [`discrete::round_up`], [`incremental`] |
 //!
 //! The unified entry point is [`solve`], which dispatches on the
-//! [`models::EnergyModel`] and the detected graph shape.
+//! [`models::EnergyModel`] and the detected graph shape. Repeated
+//! solves on one graph (sweeps, bisections, model comparisons) should
+//! go through the prepared-instance [`engine`] instead: it caches the
+//! graph analysis, dispatches through a pluggable algorithm registry,
+//! and fans batches out over threads.
 
 pub mod bicriteria;
 pub mod certify;
 pub mod continuous;
 pub mod discrete;
+pub mod engine;
 pub mod error;
 pub mod incremental;
 pub mod solver;
 pub mod vdd;
 
+pub use engine::{CurvePoint, Engine};
 pub use error::SolveError;
 pub use solver::{solve, solve_with, Solution, SolveOptions};

@@ -1,8 +1,14 @@
 //! Unified entry point: dispatch `MinEnergy(Ĝ, D)` on the energy
 //! model and the detected graph shape.
+//!
+//! [`solve`] and [`solve_with`] are thin compatibility wrappers over
+//! the [`crate::engine`]: they prepare the graph transiently and run
+//! one dispatch through the algorithm registry. Callers that solve
+//! the same graph repeatedly should hold a
+//! [`taskgraph::PreparedGraph`] and an [`crate::engine::Engine`]
+//! instead, so the analysis is paid once.
 
 use crate::error::SolveError;
-use crate::{continuous, discrete, incremental, vdd};
 use models::{EnergyModel, PowerLaw, Schedule};
 use taskgraph::TaskGraph;
 
@@ -86,69 +92,90 @@ pub fn solve_with(
     p: PowerLaw,
     opts: SolveOptions,
 ) -> Result<Solution, SolveError> {
-    let (schedule, algorithm) = match model {
-        EnergyModel::Continuous { s_max } => {
-            let speeds = continuous::solve(g, deadline, *s_max, p, None)?;
-            (Schedule::asap_from_speeds(g, &speeds), "continuous")
-        }
-        EnergyModel::VddHopping(modes) => (vdd::solve_lp(g, deadline, modes, p)?, "vdd-lp"),
-        EnergyModel::Discrete(modes) => {
-            // Exact only when the search space is plausibly tractable
-            // (Theorem 4: it is exponential); if the node budget still
-            // trips, degrade gracefully to the Proposition 1(b)
-            // rounding rather than failing.
-            let tractable =
-                g.n() <= opts.exact_discrete_limit && (modes.m() as f64).powi(g.n() as i32) <= 5e9;
-            let exact_result = if tractable {
-                match discrete::exact(g, deadline, modes, p) {
-                    Ok(sol) => Some(sol),
-                    Err(SolveError::Numerical(_)) => None, // budget trip
-                    Err(e) => return Err(e),
-                }
-            } else {
-                None
-            };
-            match exact_result {
-                Some(sol) => (Schedule::asap_from_speeds(g, &sol.speeds), "discrete-bnb"),
-                None => {
-                    let speeds = discrete::round_up(g, deadline, modes, p, Some(opts.precision_k))?;
-                    (Schedule::asap_from_speeds(g, &speeds), "discrete-round-up")
+    crate::engine::Engine::with_options(p, opts).solve_graph(g, model, deadline)
+}
+
+/// The seed's hand-rolled `match` dispatcher, retained verbatim as a
+/// differential-testing oracle for the engine (see the
+/// `engine_equivalence` property suite). Not part of the public API.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+    use crate::{continuous, discrete, incremental, vdd};
+
+    /// The pre-engine dispatch of [`solve_with`].
+    pub fn solve_with(
+        g: &TaskGraph,
+        deadline: f64,
+        model: &EnergyModel,
+        p: PowerLaw,
+        opts: SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        let (schedule, algorithm) = match model {
+            EnergyModel::Continuous { s_max } => {
+                let speeds = continuous::solve(g, deadline, *s_max, p, None)?;
+                (Schedule::asap_from_speeds(g, &speeds), "continuous")
+            }
+            EnergyModel::VddHopping(modes) => (vdd::solve_lp(g, deadline, modes, p)?, "vdd-lp"),
+            EnergyModel::Discrete(modes) => {
+                // Exact only when the search space is plausibly tractable
+                // (Theorem 4: it is exponential); if the node budget still
+                // trips, degrade gracefully to the Proposition 1(b)
+                // rounding rather than failing.
+                let tractable = g.n() <= opts.exact_discrete_limit
+                    && (modes.m() as f64).powi(g.n() as i32) <= 5e9;
+                let exact_result = if tractable {
+                    match discrete::exact(g, deadline, modes, p) {
+                        Ok(sol) => Some(sol),
+                        Err(SolveError::Numerical(_)) => None, // budget trip
+                        Err(e) => return Err(e),
+                    }
+                } else {
+                    None
+                };
+                match exact_result {
+                    Some(sol) => (Schedule::asap_from_speeds(g, &sol.speeds), "discrete-bnb"),
+                    None => {
+                        let speeds =
+                            discrete::round_up(g, deadline, modes, p, Some(opts.precision_k))?;
+                        (Schedule::asap_from_speeds(g, &speeds), "discrete-round-up")
+                    }
                 }
             }
-        }
-        EnergyModel::Incremental(modes) => {
-            let tractable =
-                g.n() <= opts.exact_discrete_limit && (modes.m() as f64).powi(g.n() as i32) <= 5e9;
-            let exact_result = if opts.exact_incremental && tractable {
-                match incremental::exact(g, deadline, modes, p) {
-                    Ok(sol) => Some(sol),
-                    Err(SolveError::Numerical(_)) => None,
-                    Err(e) => return Err(e),
-                }
-            } else {
-                None
-            };
-            match exact_result {
-                Some(sol) => (
-                    Schedule::asap_from_speeds(g, &sol.speeds),
-                    "incremental-bnb",
-                ),
-                None => {
-                    let speeds = incremental::approx(g, deadline, modes, p, opts.precision_k)?;
-                    (Schedule::asap_from_speeds(g, &speeds), "incremental-approx")
+            EnergyModel::Incremental(modes) => {
+                let tractable = g.n() <= opts.exact_discrete_limit
+                    && (modes.m() as f64).powi(g.n() as i32) <= 5e9;
+                let exact_result = if opts.exact_incremental && tractable {
+                    match incremental::exact(g, deadline, modes, p) {
+                        Ok(sol) => Some(sol),
+                        Err(SolveError::Numerical(_)) => None,
+                        Err(e) => return Err(e),
+                    }
+                } else {
+                    None
+                };
+                match exact_result {
+                    Some(sol) => (
+                        Schedule::asap_from_speeds(g, &sol.speeds),
+                        "incremental-bnb",
+                    ),
+                    None => {
+                        let speeds = incremental::approx(g, deadline, modes, p, opts.precision_k)?;
+                        (Schedule::asap_from_speeds(g, &speeds), "incremental-approx")
+                    }
                 }
             }
-        }
-    };
-    schedule
-        .validate(g, model, deadline)
-        .map_err(|e| SolveError::Numerical(format!("produced schedule invalid: {e}")))?;
-    let energy = schedule.energy(g, p);
-    Ok(Solution {
-        schedule,
-        energy,
-        algorithm,
-    })
+        };
+        schedule
+            .validate(g, model, deadline)
+            .map_err(|e| SolveError::Numerical(format!("produced schedule invalid: {e}")))?;
+        let energy = schedule.energy(g, p);
+        Ok(Solution {
+            schedule,
+            energy,
+            algorithm,
+        })
+    }
 }
 
 #[cfg(test)]

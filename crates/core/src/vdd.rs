@@ -29,10 +29,9 @@
 
 use crate::continuous;
 use crate::error::SolveError;
-use lp::{Problem, Relation};
+use lp::{LpSolution, Problem, Relation};
 use models::{DiscreteModes, PowerLaw, Schedule, SpeedProfile};
-use taskgraph::analysis::critical_path_weight;
-use taskgraph::TaskGraph;
+use taskgraph::{PreparedGraph, TaskGraph};
 
 /// Minimum piece duration kept in an extracted profile (pure noise
 /// below this).
@@ -49,7 +48,87 @@ pub fn solve_lp(
     modes: &DiscreteModes,
     p: PowerLaw,
 ) -> Result<Schedule, SolveError> {
-    continuous::check_feasible(g, deadline, Some(modes.s_max()))?;
+    solve_lp_prepared(&PreparedGraph::new(g), deadline, modes, p)
+}
+
+/// [`solve_lp`] on a prepared graph: the transitive reduction and
+/// critical path come from the shared cache instead of being
+/// re-derived per call.
+pub fn solve_lp_prepared(
+    prep: &PreparedGraph<'_>,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+) -> Result<Schedule, SolveError> {
+    continuous::check_feasible_prepared(prep, deadline, Some(modes.s_max()))?;
+    let (prob, _) = build_lp(prep, deadline, modes, p);
+    let sol = prob
+        .solve()
+        .map_err(|e| lp_error(prep, deadline, modes, e))?;
+    Ok(extract_schedule(prep.graph(), modes, &sol))
+}
+
+/// Solve the Theorem 3 LP at many deadlines on one graph, reusing the
+/// optimal basis between consecutive points (parametric-RHS warm
+/// start: only the `t_i ≤ D` rows move, so the previous basis stays
+/// dual feasible and a few dual-simplex pivots re-optimize it — see
+/// [`lp::PreparedLp`]). Results are returned in input order; each
+/// entry matches what [`solve_lp`] would return at that deadline, up
+/// to LP tolerance.
+pub fn solve_lp_sweep(
+    prep: &PreparedGraph<'_>,
+    deadlines: &[f64],
+    modes: &DiscreteModes,
+    p: PowerLaw,
+) -> Vec<Result<Schedule, SolveError>> {
+    let g = prep.graph();
+    let mut out: Vec<Result<Schedule, SolveError>> = Vec::with_capacity(deadlines.len());
+    let mut warm: Option<(lp::PreparedLp, Vec<usize>)> = None;
+    for &d in deadlines {
+        if let Err(e) = continuous::check_feasible_prepared(prep, d, Some(modes.s_max())) {
+            out.push(Err(e));
+            continue;
+        }
+        // Warm path: move the deadline rows, re-optimize dually.
+        let warm_sol = match &mut warm {
+            Some((lp, rows)) => {
+                let changes: Vec<(usize, f64)> = rows.iter().map(|&r| (r, d)).collect();
+                lp.resolve_rhs(&changes).ok()
+            }
+            None => None,
+        };
+        let sol = match warm_sol {
+            Some(sol) => Ok(sol),
+            None => {
+                // Cold (re)start: also refreshes the warm handle after
+                // a failed or never-started warm chain.
+                let (prob, rows) = build_lp(prep, d, modes, p);
+                match prob.solve_prepared() {
+                    Ok((sol, handle)) => {
+                        warm = Some((handle, rows));
+                        Ok(sol)
+                    }
+                    Err(e) => {
+                        warm = None;
+                        Err(lp_error(prep, d, modes, e))
+                    }
+                }
+            }
+        };
+        out.push(sol.map(|s| extract_schedule(g, modes, &s)));
+    }
+    out
+}
+
+/// Build the Theorem 3 LP. Returns the problem and the row indices of
+/// the per-task deadline rows `t_i ≤ D` (for parametric re-solves).
+fn build_lp(
+    prep: &PreparedGraph<'_>,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+) -> (Problem, Vec<usize>) {
+    let g = prep.graph();
     let n = g.n();
     let m = modes.m();
     let x = |i: usize, j: usize| i * m + j;
@@ -77,8 +156,7 @@ pub fn solve_lp(
     }
     // Precedence: t_u + d_v − t_v ≤ 0 (transitively reduced — same
     // feasible set, fewer simplex rows).
-    let reduced = taskgraph::analysis::transitive_reduction(g);
-    for &(u, v) in reduced.edges() {
+    for &(u, v) in prep.reduced().edges() {
         let mut coeffs: Vec<(usize, f64)> = vec![(t(u.0), 1.0), (t(v.0), -1.0)];
         for j in 0..m {
             coeffs.push((x(v.0, j), 1.0));
@@ -86,24 +164,40 @@ pub fn solve_lp(
         prob.add_constraint(&coeffs, Relation::Le, 0.0);
     }
     // Start ≥ 0 and deadline.
+    let mut deadline_rows = Vec::with_capacity(n);
     for i in 0..n {
         let mut coeffs: Vec<(usize, f64)> = vec![(t(i), -1.0)];
         for j in 0..m {
             coeffs.push((x(i, j), 1.0));
         }
         prob.add_constraint(&coeffs, Relation::Le, 0.0);
+        deadline_rows.push(prob.nrows());
         prob.add_constraint(&[(t(i), 1.0)], Relation::Le, deadline);
     }
+    (prob, deadline_rows)
+}
 
-    let sol = prob.solve().map_err(|e| match e {
+fn lp_error(
+    prep: &PreparedGraph<'_>,
+    deadline: f64,
+    modes: &DiscreteModes,
+    e: lp::LpError,
+) -> SolveError {
+    match e {
         lp::LpError::Infeasible => SolveError::Infeasible {
             deadline,
-            min_makespan: critical_path_weight(g) / modes.s_max(),
+            min_makespan: prep.critical_path_weight() / modes.s_max(),
         },
         other => SolveError::Numerical(other.to_string()),
-    })?;
+    }
+}
 
-    // Extract per-task profiles and start times.
+/// Extract per-task profiles and start times from an LP solution.
+fn extract_schedule(g: &TaskGraph, modes: &DiscreteModes, sol: &LpSolution) -> Schedule {
+    let n = g.n();
+    let m = modes.m();
+    let x = |i: usize, j: usize| i * m + j;
+    let t = |i: usize| n * m + i;
     let mut starts = Vec::with_capacity(n);
     let mut profiles = Vec::with_capacity(n);
     for i in 0..n {
@@ -135,7 +229,7 @@ pub fn solve_lp(
             SpeedProfile::Pieces(pieces)
         });
     }
-    Ok(Schedule::new(starts, profiles))
+    Schedule::new(starts, profiles)
 }
 
 /// The adjacent-mode-mix heuristic (ablation F4).

@@ -8,7 +8,11 @@
 //!
 //! The entry point is [`Problem`]: build a minimization problem with
 //! non-negative variables and `≤` / `≥` / `=` rows, then call
-//! [`Problem::solve`].
+//! [`Problem::solve`] — or [`Problem::solve_prepared`] when the same
+//! problem will be re-solved under right-hand-side changes (deadline
+//! sweeps): the returned [`PreparedLp`] re-optimizes from the retained
+//! optimal basis with dual-simplex pivots instead of a cold two-phase
+//! run.
 //!
 //! Scope: the Vdd LPs have a few hundred variables and rows; a dense
 //! tableau is both simple and fast enough (`O(rows·cols)` per pivot).
@@ -17,4 +21,4 @@
 
 mod simplex;
 
-pub use simplex::{Constraint, LpError, LpSolution, Problem, Relation};
+pub use simplex::{Constraint, LpError, LpSolution, PreparedLp, Problem, Relation};

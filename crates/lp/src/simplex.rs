@@ -38,6 +38,11 @@ pub enum LpError {
     /// Iteration cap exceeded (should not happen with Bland's rule;
     /// kept as a hard safety net).
     IterationLimit,
+    /// A warm re-solve ([`PreparedLp::resolve_rhs`]) left the retained
+    /// basis unable to represent the perturbed problem (a degenerate
+    /// basic artificial was pushed to a positive level). The handle is
+    /// spent; re-solve cold to get a definitive answer.
+    WarmStartLost,
 }
 
 impl fmt::Display for LpError {
@@ -46,6 +51,7 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "LP infeasible"),
             LpError::Unbounded => write!(f, "LP unbounded"),
             LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
+            LpError::WarmStartLost => write!(f, "warm basis lost after RHS change"),
         }
     }
 }
@@ -125,6 +131,68 @@ impl Problem {
     pub fn solve(&self) -> Result<LpSolution, LpError> {
         Tableau::build(self).solve(&self.costs, self.nvars)
     }
+
+    /// Solve, returning the solution **and** a warm-start handle that
+    /// can re-solve the problem after right-hand-side changes without
+    /// repeating the two phases (see [`PreparedLp::resolve_rhs`]).
+    pub fn solve_prepared(self) -> Result<(LpSolution, PreparedLp), LpError> {
+        let mut tab = Tableau::build(&self);
+        let sol = tab.solve(&self.costs, self.nvars)?;
+        Ok((
+            sol,
+            PreparedLp {
+                tab,
+                costs: self.costs,
+                nvars: self.nvars,
+            },
+        ))
+    }
+}
+
+/// A solved LP retained in its final (optimal-basis) tableau form, for
+/// cheap re-solves under right-hand-side perturbations — the classic
+/// parametric-RHS situation of a deadline sweep, where only the
+/// `t_i ≤ D` bounds move between solves.
+///
+/// The optimal basis stays **dual feasible** when `b` changes (reduced
+/// costs do not depend on `b`), so re-optimization needs no phase 1:
+/// if the updated basic solution is still non-negative the old basis
+/// is immediately optimal, and otherwise a few dual-simplex pivots
+/// restore feasibility — typically orders of magnitude cheaper than a
+/// cold solve.
+pub struct PreparedLp {
+    tab: Tableau,
+    costs: Vec<f64>,
+    nvars: usize,
+}
+
+impl PreparedLp {
+    /// Re-solve after setting the RHS of the given original rows to
+    /// new values (`changes` holds `(row_index, new_rhs)` pairs; rows
+    /// not mentioned keep their current RHS).
+    ///
+    /// Errors: `Infeasible` when the perturbed problem has no feasible
+    /// point; `IterationLimit` / `WarmStartLost` when the warm basis
+    /// cannot be re-optimized (the caller should fall back to a cold
+    /// [`Problem::solve`]).
+    pub fn resolve_rhs(&mut self, changes: &[(usize, f64)]) -> Result<LpSolution, LpError> {
+        self.tab.update_rhs(changes);
+        self.tab.dual_simplex(&self.costs)?;
+        // A degenerate basic artificial (level 0 at the optimum, so
+        // invisible to the dual pivots, which only chase *negative*
+        // values) may have been pushed positive by the RHS update; the
+        // basis then no longer represents the real constraint set and
+        // extract() would silently drop the violation.
+        if self.tab.artificial_active() {
+            return Err(LpError::WarmStartLost);
+        }
+        Ok(self.tab.extract(&self.costs, self.nvars))
+    }
+
+    /// The current solution without further changes.
+    pub fn solution(&self) -> LpSolution {
+        self.tab.extract(&self.costs, self.nvars)
+    }
 }
 
 /// Dense simplex tableau: `m` constraint rows over `ncols` structural +
@@ -141,6 +209,17 @@ struct Tableau {
     /// First artificial column index (artificials occupy
     /// `art_start..ncols`).
     art_start: usize,
+    /// Per row: a column whose original coefficient in that row is the
+    /// unit vector `+e_row` (the slack for `Le`, the artificial for
+    /// `Ge`/`Eq`). Its current tableau column therefore equals the
+    /// corresponding column of `B⁻¹`, which is what an RHS update
+    /// needs.
+    row_unit_col: Vec<usize>,
+    /// Whether the row was sign-flipped at build time (negative RHS
+    /// normalization).
+    row_flipped: Vec<bool>,
+    /// Current internal (post-flip) RHS of each row.
+    b_int: Vec<f64>,
 }
 
 impl Tableau {
@@ -180,16 +259,20 @@ impl Tableau {
         let stride = ncols + 1;
         let mut a = vec![0.0; m * stride];
         let mut basis = vec![usize::MAX; m];
+        let mut row_unit_col = vec![usize::MAX; m];
+        let mut b_int = vec![0.0; m];
         let mut slack_at = p.nvars;
         let mut art_at = art_start;
         for (i, (dense, rel, rhs)) in rows.iter().enumerate() {
             let row = &mut a[i * stride..(i + 1) * stride];
             row[..p.nvars].copy_from_slice(dense);
             row[ncols] = *rhs;
+            b_int[i] = *rhs;
             match rel {
                 Relation::Le => {
                     row[slack_at] = 1.0;
                     basis[i] = slack_at;
+                    row_unit_col[i] = slack_at;
                     slack_at += 1;
                 }
                 Relation::Ge => {
@@ -197,15 +280,18 @@ impl Tableau {
                     slack_at += 1;
                     row[art_at] = 1.0;
                     basis[i] = art_at;
+                    row_unit_col[i] = art_at;
                     art_at += 1;
                 }
                 Relation::Eq => {
                     row[art_at] = 1.0;
                     basis[i] = art_at;
+                    row_unit_col[i] = art_at;
                     art_at += 1;
                 }
             }
         }
+        let row_flipped = p.rows.iter().map(|c| c.rhs < 0.0).collect();
         Tableau {
             m,
             ncols,
@@ -213,6 +299,9 @@ impl Tableau {
             z: vec![0.0; stride],
             basis,
             art_start,
+            row_unit_col,
+            row_flipped,
+            b_int,
         }
     }
 
@@ -331,8 +420,7 @@ impl Tableau {
         Err(LpError::IterationLimit)
     }
 
-    fn solve(mut self, costs: &[f64], nvars: usize) -> Result<LpSolution, LpError> {
-        let stride = self.ncols + 1;
+    fn solve(&mut self, costs: &[f64], nvars: usize) -> Result<LpSolution, LpError> {
         // ---- Phase 1: minimize the sum of artificials.
         if self.art_start < self.ncols {
             let mut phase1 = vec![0.0; self.ncols];
@@ -363,7 +451,20 @@ impl Tableau {
         phase2[..nvars].copy_from_slice(costs);
         self.set_costs(&phase2);
         self.iterate(self.art_start)?;
-        // Extract the solution.
+        Ok(self.extract(costs, nvars))
+    }
+
+    /// Whether any artificial variable is basic at a level above
+    /// tolerance (the tableau then violates an original `=`/`≥` row).
+    fn artificial_active(&self) -> bool {
+        let stride = self.ncols + 1;
+        (0..self.m)
+            .any(|i| self.basis[i] >= self.art_start && self.a[i * stride + self.ncols] > EPS)
+    }
+
+    /// Read the basic solution off the (optimal) tableau.
+    fn extract(&self, costs: &[f64], nvars: usize) -> LpSolution {
+        let stride = self.ncols + 1;
         let mut x = vec![0.0; nvars];
         for i in 0..self.m {
             let b = self.basis[i];
@@ -372,7 +473,83 @@ impl Tableau {
             }
         }
         let objective: f64 = x.iter().zip(costs).map(|(xi, ci)| xi * ci).sum();
-        Ok(LpSolution { x, objective })
+        LpSolution { x, objective }
+    }
+
+    /// Apply RHS changes `(original_row, new_rhs)` to the reduced
+    /// tableau: the new basic solution is
+    /// `B⁻¹b_new = B⁻¹b_old + Σ_r δ_r · (B⁻¹e_r)`, and `B⁻¹e_r` is
+    /// exactly the current column of the row's build-time unit column
+    /// (slack or artificial).
+    fn update_rhs(&mut self, changes: &[(usize, f64)]) {
+        let stride = self.ncols + 1;
+        for &(r, new_rhs) in changes {
+            assert!(r < self.m, "RHS change for nonexistent row {r}");
+            let new_int = if self.row_flipped[r] {
+                -new_rhs
+            } else {
+                new_rhs
+            };
+            let delta = new_int - self.b_int[r];
+            if delta == 0.0 {
+                continue;
+            }
+            self.b_int[r] = new_int;
+            let unit = self.row_unit_col[r];
+            for i in 0..self.m {
+                let binv = self.a[i * stride + unit];
+                if binv != 0.0 {
+                    self.a[i * stride + self.ncols] += delta * binv;
+                }
+            }
+        }
+    }
+
+    /// Dual simplex: restore primal feasibility of a dual-feasible
+    /// basis (reduced costs ≥ 0) after an RHS perturbation. Usually a
+    /// handful of pivots; no-op when the basis is still feasible.
+    fn dual_simplex(&mut self, costs: &[f64]) -> Result<(), LpError> {
+        let stride = self.ncols + 1;
+        let max_iters = 50 * (self.m + self.ncols).max(100);
+        for _ in 0..max_iters {
+            // Leaving row: most negative basic value.
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..self.m {
+                let b = self.a[i * stride + self.ncols];
+                if b < -EPS && leave.is_none_or(|(_, lb)| b < lb) {
+                    leave = Some((i, b));
+                }
+            }
+            let Some((r, _)) = leave else {
+                // Primal feasible again. Reduced costs were kept
+                // non-negative by the ratio test, so this basis is
+                // optimal; a primal clean-up pass costs nothing when
+                // that holds and repairs EPS-level drift when not.
+                let mut phase2 = vec![0.0; self.ncols];
+                phase2[..costs.len().min(self.ncols)]
+                    .copy_from_slice(&costs[..costs.len().min(self.ncols)]);
+                self.set_costs(&phase2);
+                return self.iterate(self.art_start);
+            };
+            // Entering column: dual ratio test over eligible columns
+            // (artificials never re-enter).
+            let mut enter: Option<(usize, f64)> = None;
+            for j in 0..self.art_start {
+                let arj = self.a[r * stride + j];
+                if arj < -EPS {
+                    let ratio = self.z[j] / -arj;
+                    if enter.is_none_or(|(_, best)| ratio < best - EPS) {
+                        enter = Some((j, ratio));
+                    }
+                }
+            }
+            let Some((c, _)) = enter else {
+                // Row demands a negative value no column can supply.
+                return Err(LpError::Infeasible);
+            };
+            self.pivot(r, c);
+        }
+        Err(LpError::IterationLimit)
     }
 }
 
@@ -494,6 +671,107 @@ mod tests {
         p.add_constraint(&[(0, 1.0), (0, 1.0)], Relation::Le, 4.0);
         let s = p.solve().unwrap();
         approx(s.x[0], 2.0);
+    }
+
+    #[test]
+    fn warm_rhs_resolve_matches_cold_solves() {
+        // min x + 2y s.t. x + y = 4, x ≤ cap — sweep the cap and
+        // compare the warm path against cold solves.
+        let build = |cap: f64| {
+            let mut p = Problem::new(2);
+            p.set_objective(&[(0, 1.0), (1, 2.0)]);
+            p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 4.0);
+            p.add_constraint(&[(0, 1.0)], Relation::Le, cap);
+            p
+        };
+        let (first, mut prep) = build(4.0).solve_prepared().unwrap();
+        approx(first.objective, 4.0);
+        for cap in [3.0, 2.0, 1.0, 0.5, 2.5, 4.0, 6.0] {
+            let warm = prep.resolve_rhs(&[(1, cap)]).unwrap();
+            let cold = build(cap).solve().unwrap();
+            approx(warm.objective, cold.objective);
+            // x is capped, the rest shifts to y.
+            approx(warm.x[0], cap.min(4.0));
+            approx(warm.x[1], 4.0 - cap.min(4.0));
+        }
+    }
+
+    #[test]
+    fn warm_resolve_detects_infeasible_rhs() {
+        // x ≥ 2 with x ≤ cap: cap below 2 is infeasible.
+        let mut p = Problem::new(1);
+        p.set_objective(&[(0, 1.0)]);
+        p.add_constraint(&[(0, 1.0)], Relation::Ge, 2.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 5.0);
+        let (sol, mut prep) = p.solve_prepared().unwrap();
+        approx(sol.x[0], 2.0);
+        assert_eq!(
+            prep.resolve_rhs(&[(1, 1.0)]).unwrap_err(),
+            LpError::Infeasible
+        );
+        // Note: after an infeasible perturbation the handle is spent;
+        // sweeps fall back to a cold solve (see `vdd::solve_lp_sweep`).
+    }
+
+    #[test]
+    fn warm_resolve_handles_flipped_rows() {
+        // −x ≤ −lo ⇔ x ≥ lo (build-time sign flip); sweep lo.
+        let mut p = Problem::new(1);
+        p.set_objective(&[(0, 1.0)]);
+        p.add_constraint(&[(0, -1.0)], Relation::Le, -3.0);
+        let (sol, mut prep) = p.solve_prepared().unwrap();
+        approx(sol.objective, 3.0);
+        for lo in [4.0, 2.0, 7.5] {
+            let warm = prep.resolve_rhs(&[(0, -lo)]).unwrap();
+            approx(warm.objective, lo);
+        }
+    }
+
+    #[test]
+    fn warm_resolve_rejects_reactivated_artificial() {
+        // x + y = 2 stated twice: phase 1 leaves one redundant row's
+        // artificial basic at level 0 (degenerate). Moving only one
+        // copy's RHS makes the rows contradictory; the RHS update
+        // pushes that artificial positive, which the warm path must
+        // refuse to present as a solution.
+        let mut p = Problem::new(2);
+        p.set_objective(&[(0, 1.0), (1, 3.0)]);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        let (sol, mut prep) = p.solve_prepared().unwrap();
+        approx(sol.objective, 2.0);
+        let err = prep.resolve_rhs(&[(1, 3.0)]).unwrap_err();
+        assert!(
+            matches!(err, LpError::WarmStartLost | LpError::Infeasible),
+            "contradictory rows must not yield Ok: {err:?}"
+        );
+        // Moving BOTH rows consistently keeps the warm path usable —
+        // unless this degenerate basis cannot re-optimize, in which
+        // case the error still routes callers to a cold solve.
+        let mut p2 = Problem::new(2);
+        p2.set_objective(&[(0, 1.0), (1, 3.0)]);
+        p2.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        p2.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        let (_, mut prep2) = p2.solve_prepared().unwrap();
+        match prep2.resolve_rhs(&[(0, 3.0), (1, 3.0)]) {
+            Ok(warm) => approx(warm.objective, 3.0),
+            Err(e) => assert!(matches!(
+                e,
+                LpError::WarmStartLost | LpError::IterationLimit
+            )),
+        }
+    }
+
+    #[test]
+    fn prepared_solution_is_stable() {
+        let mut p = Problem::new(2);
+        p.set_objective(&[(0, -3.0), (1, -5.0)]);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        p.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let (sol, prep) = p.solve_prepared().unwrap();
+        approx(sol.objective, -36.0);
+        approx(prep.solution().objective, -36.0);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! * the total power trace with peak/average power
 //!   ([`PowerTrace`]) — relevant because speed scaling trades energy
 //!   *and* flattens power peaks,
-//! * per-processor Gantt charts ([`gantt`]) when the mapping is known,
+//! * per-processor Gantt charts ([`gantt()`]) when the mapping is known,
 //! * mapping-consistency checking (no two tasks sharing a processor
 //!   may overlap — guaranteed by the serialization edges, verified
 //!   here independently).

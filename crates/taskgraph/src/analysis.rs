@@ -7,7 +7,12 @@ use crate::graph::{TaskGraph, TaskId};
 ///
 /// The graph is guaranteed acyclic by construction, so this never
 /// fails.
+///
+/// Callers that solve the same graph repeatedly should compute the
+/// order once (e.g. via [`crate::PreparedGraph`]) and use the
+/// `*_ordered` variants below.
 pub fn topo_order(g: &TaskGraph) -> Vec<TaskId> {
+    crate::profiling::bump_topo_order();
     let n = g.n();
     let mut indeg: Vec<usize> = (0..n).map(|i| g.preds(TaskId(i)).len()).collect();
     // Min-heap on id for determinism.
@@ -36,9 +41,16 @@ pub fn topo_order(g: &TaskGraph) -> Vec<TaskId> {
 /// at unit speed; the energy solvers call it with actual durations
 /// `d_i = w_i / s_i` to get earliest completion times.
 pub fn earliest_completion(g: &TaskGraph, durations: &[f64]) -> Vec<f64> {
+    earliest_completion_ordered(g, durations, &topo_order(g))
+}
+
+/// [`earliest_completion`] with a caller-supplied topological order
+/// (must be a valid order of `g`, e.g. from a cached analysis).
+pub fn earliest_completion_ordered(g: &TaskGraph, durations: &[f64], order: &[TaskId]) -> Vec<f64> {
     assert_eq!(durations.len(), g.n());
+    debug_assert!(is_topo_order(g, order));
     let mut ecl = vec![0.0; g.n()];
-    for &t in &topo_order(g) {
+    for &t in order {
         let start = g.preds(t).iter().map(|&p| ecl[p.0]).fold(0.0f64, f64::max);
         ecl[t.0] = start + durations[t.0];
     }
@@ -48,9 +60,20 @@ pub fn earliest_completion(g: &TaskGraph, durations: &[f64]) -> Vec<f64> {
 /// Latest completion time of each task so that every task still meets
 /// the deadline `d`: `lcl_i = min(d, min_{j ∈ succs(i)} lcl_j − dur_j)`.
 pub fn latest_completion(g: &TaskGraph, durations: &[f64], deadline: f64) -> Vec<f64> {
+    latest_completion_ordered(g, durations, deadline, &topo_order(g))
+}
+
+/// [`latest_completion`] with a caller-supplied topological order.
+pub fn latest_completion_ordered(
+    g: &TaskGraph,
+    durations: &[f64],
+    deadline: f64,
+    order: &[TaskId],
+) -> Vec<f64> {
     assert_eq!(durations.len(), g.n());
+    debug_assert!(is_topo_order(g, order));
     let mut lcl = vec![deadline; g.n()];
-    for &t in topo_order(g).iter().rev() {
+    for &t in order.iter().rev() {
         let lim = g
             .succs(t)
             .iter()
@@ -65,6 +88,13 @@ pub fn latest_completion(g: &TaskGraph, durations: &[f64], deadline: f64) -> Vec
 /// completion over all tasks).
 pub fn makespan(g: &TaskGraph, durations: &[f64]) -> f64 {
     earliest_completion(g, durations)
+        .into_iter()
+        .fold(0.0f64, f64::max)
+}
+
+/// [`makespan`] with a caller-supplied topological order.
+pub fn makespan_ordered(g: &TaskGraph, durations: &[f64], order: &[TaskId]) -> f64 {
+    earliest_completion_ordered(g, durations, order)
         .into_iter()
         .fold(0.0f64, f64::max)
 }
@@ -137,10 +167,16 @@ pub fn is_topo_order(g: &TaskGraph, order: &[TaskId]) -> bool {
 ///
 /// O(n·m / 64) via bit-parallel DP over reverse topological order.
 pub fn reachability(g: &TaskGraph) -> Vec<Vec<u64>> {
+    reachability_ordered(g, &topo_order(g))
+}
+
+/// [`reachability`] with a caller-supplied topological order.
+pub fn reachability_ordered(g: &TaskGraph, order: &[TaskId]) -> Vec<Vec<u64>> {
+    debug_assert!(is_topo_order(g, order));
     let n = g.n();
     let wds = n.div_ceil(64);
     let mut reach = vec![vec![0u64; wds]; n];
-    for &t in topo_order(g).iter().rev() {
+    for &t in order.iter().rev() {
         let u = t.0;
         reach[u][u / 64] |= 1 << (u % 64);
         for s in 0..g.succs(t).len() {
@@ -176,7 +212,12 @@ pub fn reaches(reach: &[Vec<u64>], u: TaskId, v: TaskId) -> bool {
 /// constraint sets handed to the LP/barrier substrates. `O(m·deg)`
 /// after the bit-parallel reachability.
 pub fn transitive_reduction(g: &TaskGraph) -> TaskGraph {
-    let reach = reachability(g);
+    transitive_reduction_ordered(g, &topo_order(g))
+}
+
+/// [`transitive_reduction`] with a caller-supplied topological order.
+pub fn transitive_reduction_ordered(g: &TaskGraph, order: &[TaskId]) -> TaskGraph {
+    let reach = reachability_ordered(g, order);
     let mut kept: Vec<(usize, usize)> = Vec::with_capacity(g.m());
     for &(u, v) in g.edges() {
         let redundant = g.succs(u).iter().any(|&w| w != v && reaches(&reach, w, v));

@@ -14,6 +14,9 @@
 //!   per-task earliest/latest completion windows ([`analysis`]);
 //! * structure detection: chains, forks, joins, in/out-trees, and
 //!   series–parallel decomposition ([`structure`], [`sp`]);
+//! * cached analysis for repeated solves on one graph
+//!   ([`PreparedGraph`]), with once-only guarantees observable via
+//!   [`profiling`];
 //! * random and deterministic generators for every graph family used
 //!   by the paper's experiments ([`generators`]);
 //! * DOT export for visual inspection ([`dot`]).
@@ -23,10 +26,13 @@ pub mod dot;
 pub mod generators;
 pub mod graph;
 pub mod metrics;
+pub mod prepared;
+pub mod profiling;
 pub mod sp;
 pub mod structure;
 pub mod workflows;
 
 pub use graph::{GraphError, TaskGraph, TaskId};
+pub use prepared::PreparedGraph;
 pub use sp::SpTree;
 pub use structure::Shape;

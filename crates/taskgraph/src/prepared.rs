@@ -1,0 +1,185 @@
+//! Cached graph analysis for repeated solves on the same graph.
+//!
+//! Solving `MinEnergy(Ĝ, D)` many times on one graph — deadline
+//! sweeps, budget bisections, model comparisons — re-derives the same
+//! topological order, shape classification, SP decomposition, critical
+//! path, and transitive reduction on every call. [`PreparedGraph`]
+//! computes each of these **at most once** (lazily, on first use) and
+//! hands out shared references, so a thousand solves pay for one
+//! analysis.
+//!
+//! All caches are [`OnceLock`]s, so a `&PreparedGraph` can be shared
+//! across scoped threads: whichever solve needs a pass first fills the
+//! cache for everyone. The once-only guarantee is observable through
+//! [`crate::profiling`].
+
+use std::sync::OnceLock;
+
+use crate::analysis;
+use crate::graph::{TaskGraph, TaskId};
+use crate::sp::SpTree;
+use crate::structure::{self, Shape};
+
+/// A task graph plus lazily cached analysis results.
+///
+/// Borrowing (rather than owning) the graph keeps preparation free and
+/// lets call sites wrap any `&TaskGraph` without cloning:
+///
+/// ```
+/// use taskgraph::{generators, PreparedGraph, Shape};
+///
+/// let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+/// let prep = PreparedGraph::new(&g);
+/// assert_eq!(prep.shape(), Shape::SeriesParallel);
+/// assert_eq!(prep.critical_path_weight(), 8.0);
+/// // Second call: served from the cache, no re-analysis.
+/// assert_eq!(prep.shape(), Shape::SeriesParallel);
+/// ```
+#[derive(Debug)]
+pub struct PreparedGraph<'g> {
+    g: &'g TaskGraph,
+    topo: OnceLock<Vec<TaskId>>,
+    class: OnceLock<(Shape, Option<SpTree>)>,
+    cp_weight: OnceLock<f64>,
+    reduced: OnceLock<TaskGraph>,
+}
+
+impl<'g> PreparedGraph<'g> {
+    /// Wrap a graph. No analysis runs until a cache is first used.
+    pub fn new(g: &'g TaskGraph) -> Self {
+        PreparedGraph {
+            g,
+            topo: OnceLock::new(),
+            class: OnceLock::new(),
+            cp_weight: OnceLock::new(),
+            reduced: OnceLock::new(),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g TaskGraph {
+        self.g
+    }
+
+    /// The cached topological order ([`analysis::topo_order`]).
+    pub fn topo(&self) -> &[TaskId] {
+        self.topo.get_or_init(|| analysis::topo_order(self.g))
+    }
+
+    /// The cached shape classification ([`structure::classify`]).
+    pub fn shape(&self) -> Shape {
+        self.classification().0
+    }
+
+    /// The cached series–parallel decomposition: `Some` exactly when
+    /// [`Self::shape`] is [`Shape::SeriesParallel`]. (More specific
+    /// shapes — chains, forks, trees — have cheaper dedicated closed
+    /// forms and skip the SP tree.)
+    pub fn sp_tree(&self) -> Option<&SpTree> {
+        self.classification().1.as_ref()
+    }
+
+    fn classification(&self) -> &(Shape, Option<SpTree>) {
+        self.class
+            .get_or_init(|| structure::classify_with_tree_ordered(self.g, self.topo()))
+    }
+
+    /// The cached critical-path weight
+    /// ([`analysis::critical_path_weight`]).
+    pub fn critical_path_weight(&self) -> f64 {
+        *self
+            .cp_weight
+            .get_or_init(|| self.makespan(self.g.weights()))
+    }
+
+    /// The cached transitive reduction
+    /// ([`analysis::transitive_reduction`]): same precedence relation,
+    /// minimal edge set — what the LP/barrier substrates want.
+    pub fn reduced(&self) -> &TaskGraph {
+        self.reduced
+            .get_or_init(|| analysis::transitive_reduction_ordered(self.g, self.topo()))
+    }
+
+    /// [`analysis::earliest_completion`] using the cached order.
+    pub fn earliest_completion(&self, durations: &[f64]) -> Vec<f64> {
+        analysis::earliest_completion_ordered(self.g, durations, self.topo())
+    }
+
+    /// [`analysis::latest_completion`] using the cached order.
+    pub fn latest_completion(&self, durations: &[f64], deadline: f64) -> Vec<f64> {
+        analysis::latest_completion_ordered(self.g, durations, deadline, self.topo())
+    }
+
+    /// [`analysis::makespan`] using the cached order.
+    pub fn makespan(&self, durations: &[f64]) -> f64 {
+        analysis::makespan_ordered(self.g, durations, self.topo())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::profiling;
+
+    #[test]
+    fn analysis_runs_at_most_once() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let prep = PreparedGraph::new(&g);
+        let before = profiling::counts();
+        for _ in 0..10 {
+            assert_eq!(prep.shape(), Shape::SeriesParallel);
+            assert!(prep.sp_tree().is_some());
+            assert_eq!(prep.critical_path_weight(), 8.0);
+            assert_eq!(prep.topo().len(), 4);
+            assert_eq!(prep.reduced().m(), 4);
+            let _ = prep.makespan(g.weights());
+            let _ = prep.earliest_completion(g.weights());
+            let _ = prep.latest_completion(g.weights(), 10.0);
+        }
+        let delta = profiling::counts() - before;
+        assert_eq!(delta.topo_order, 1, "topo order must be computed once");
+        assert_eq!(delta.classify, 1, "classification must run once");
+        assert_eq!(delta.sp_from_graph, 1, "SP recognition must run once");
+    }
+
+    #[test]
+    fn cached_results_match_direct_analysis() {
+        let g = crate::TaskGraph::new(
+            vec![1.0, 2.0, 1.5, 3.0, 0.5],
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4)],
+        )
+        .unwrap();
+        let prep = PreparedGraph::new(&g);
+        assert_eq!(prep.topo(), analysis::topo_order(&g));
+        assert_eq!(prep.shape(), structure::classify(&g));
+        assert_eq!(
+            prep.critical_path_weight(),
+            analysis::critical_path_weight(&g)
+        );
+        assert_eq!(
+            prep.reduced().edges(),
+            analysis::transitive_reduction(&g).edges()
+        );
+        let durs = vec![0.5; 5];
+        assert_eq!(
+            prep.earliest_completion(&durs),
+            analysis::earliest_completion(&g, &durs)
+        );
+        assert_eq!(prep.makespan(&durs), analysis::makespan(&g, &durs));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let g = generators::fork_join(1.0, &[2.0, 3.0, 1.0], 1.5);
+        let prep = PreparedGraph::new(&g);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    assert_eq!(prep.shape(), Shape::SeriesParallel);
+                    assert!(prep.critical_path_weight() > 0.0);
+                });
+            }
+        });
+    }
+}

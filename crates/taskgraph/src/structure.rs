@@ -93,28 +93,51 @@ pub fn tree_children(g: &TaskGraph, t: TaskId) -> &[TaskId] {
 /// SP graph; every fork is an out-tree; trees are checked before the
 /// (more expensive) SP recognition.
 pub fn classify(g: &TaskGraph) -> Shape {
+    classify_with_tree(g).0
+}
+
+/// [`classify`], also returning the series–parallel decomposition when
+/// the graph classified as [`Shape::SeriesParallel`] — so callers that
+/// cache the classification (e.g. [`crate::PreparedGraph`]) get the
+/// tree the recognition already built instead of recomputing it.
+pub fn classify_with_tree(g: &TaskGraph) -> (Shape, Option<SpTree>) {
+    classify_inner(g, None)
+}
+
+/// [`classify_with_tree`] with a caller-supplied topological order,
+/// so the SP recognition reuses it instead of re-deriving one.
+pub fn classify_with_tree_ordered(g: &TaskGraph, order: &[TaskId]) -> (Shape, Option<SpTree>) {
+    classify_inner(g, Some(order))
+}
+
+fn classify_inner(g: &TaskGraph, order: Option<&[TaskId]>) -> (Shape, Option<SpTree>) {
+    crate::profiling::bump_classify();
     if g.n() == 1 {
-        return Shape::Single;
+        return (Shape::Single, None);
     }
     if is_chain(g) {
-        return Shape::Chain;
+        return (Shape::Chain, None);
     }
     if is_fork(g) {
-        return Shape::Fork;
+        return (Shape::Fork, None);
     }
     if is_join(g) {
-        return Shape::Join;
+        return (Shape::Join, None);
     }
     if is_out_tree(g) {
-        return Shape::OutTree;
+        return (Shape::OutTree, None);
     }
     if is_in_tree(g) {
-        return Shape::InTree;
+        return (Shape::InTree, None);
     }
-    if SpTree::from_graph(g).is_some() {
-        return Shape::SeriesParallel;
+    let tree = match order {
+        Some(o) => SpTree::from_graph_ordered(g, o),
+        None => SpTree::from_graph(g),
+    };
+    if let Some(tree) = tree {
+        return (Shape::SeriesParallel, Some(tree));
     }
-    Shape::General
+    (Shape::General, None)
 }
 
 #[cfg(test)]

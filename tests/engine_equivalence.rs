@@ -1,0 +1,175 @@
+//! Differential property tests: the prepared-instance engine must be
+//! observationally identical to the seed `solve_with` dispatcher
+//! (retained as `solver::reference`) across all four energy models ×
+//! the generator shapes, and the threaded batch APIs must match
+//! sequential solving in order and values.
+
+use proptest::prelude::*;
+use reclaim::core::solver::reference;
+use reclaim::core::{Engine, SolveOptions};
+use reclaim::models::{DiscreteModes, EnergyModel, IncrementalModes, PowerLaw};
+use reclaim::taskgraph::{analysis, generators, PreparedGraph, TaskGraph};
+
+const P: PowerLaw = PowerLaw::CUBIC;
+
+/// Every model family, over a top speed of 2.0 so one deadline scale
+/// fits all.
+fn all_models() -> Vec<EnergyModel> {
+    let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0]).unwrap();
+    vec![
+        EnergyModel::continuous_unbounded(),
+        EnergyModel::continuous(2.0),
+        EnergyModel::VddHopping(modes.clone()),
+        EnergyModel::Discrete(modes),
+        EnergyModel::Incremental(IncrementalModes::new(0.5, 2.0, 0.5).unwrap()),
+    ]
+}
+
+/// Strategy: a graph from each generator family the dispatch table
+/// distinguishes (chain, fork, join, tree, series–parallel, general
+/// DAG), seeded for reproducibility.
+fn any_shape() -> impl Strategy<Value = TaskGraph> {
+    (0usize..6, any::<u64>()).prop_map(|(family, seed)| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        match family {
+            0 => generators::chain(&generators::random_weights(4, 0.5, 3.0, &mut rng)),
+            1 => generators::fork(1.0, &generators::random_weights(4, 0.5, 3.0, &mut rng)),
+            2 => generators::join(&generators::random_weights(4, 0.5, 3.0, &mut rng), 1.0),
+            3 => generators::random_out_tree(6, 0.5, 3.0, &mut rng),
+            4 => generators::random_sp(6, 0.5, 0.5, 3.0, &mut rng).0,
+            _ => generators::random_dag(6, 0.4, 0.5, 3.0, &mut rng),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Engine == seed dispatcher: same algorithm tag, energy within
+    /// 1e-9, same per-task speeds, for every model × shape.
+    #[test]
+    fn engine_matches_seed_dispatch(g in any_shape(), tightness in 1.1f64..4.0) {
+        let d = tightness * analysis::critical_path_weight(&g) / 2.0;
+        let opts = SolveOptions::default();
+        let engine = Engine::with_options(P, opts);
+        for model in all_models() {
+            let prep = PreparedGraph::new(&g);
+            let new = engine.solve(&prep, &model, d);
+            let old = reference::solve_with(&g, d, &model, P, opts);
+            match (new, old) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.algorithm, b.algorithm, "{}", model.name());
+                    prop_assert!(
+                        (a.energy - b.energy).abs() <= 1e-9 * (1.0 + b.energy),
+                        "{}: engine {} vs seed {}", model.name(), a.energy, b.energy
+                    );
+                    let (sa, sb) = (a.schedule.constant_speeds(), b.schedule.constant_speeds());
+                    prop_assert_eq!(sa.is_some(), sb.is_some());
+                    if let (Some(sa), Some(sb)) = (sa, sb) {
+                        for (x, y) in sa.iter().zip(&sb) {
+                            prop_assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()));
+                        }
+                    }
+                }
+                (Err(a), Err(b)) => {
+                    // Same error class (the engine pre-checks
+                    // feasibility centrally, so messages may differ).
+                    prop_assert_eq!(
+                        std::mem::discriminant(&a),
+                        std::mem::discriminant(&b),
+                        "{}: {a} vs {b}", model.name()
+                    );
+                }
+                (a, b) => prop_assert!(false, "{}: {a:?} vs {b:?}", model.name()),
+            }
+        }
+    }
+
+    /// Exact-incremental opt-in takes the same path in both worlds.
+    #[test]
+    fn engine_matches_seed_exact_incremental(seed in any::<u64>(), tightness in 1.2f64..3.0) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_sp(5, 0.5, 0.5, 2.0, &mut rng).0;
+        let d = tightness * analysis::critical_path_weight(&g) / 2.0;
+        let model = EnergyModel::Incremental(IncrementalModes::new(0.5, 2.0, 0.75).unwrap());
+        let opts = SolveOptions { exact_incremental: true, ..Default::default() };
+        let new = Engine::with_options(P, opts).solve_graph(&g, &model, d);
+        let old = reference::solve_with(&g, d, &model, P, opts);
+        match (new, old) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.algorithm, b.algorithm);
+                prop_assert!((a.energy - b.energy).abs() <= 1e-9 * (1.0 + b.energy));
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "{a:?} vs {b:?}"),
+        }
+    }
+
+    /// `solve_batch` over threads returns the same results, in the
+    /// same order, as a one-worker (sequential) engine.
+    #[test]
+    fn threaded_batch_matches_sequential(seeds in prop::collection::vec(any::<u64>(), 3..6), tightness in 1.2f64..3.0) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let graphs: Vec<TaskGraph> = seeds
+            .iter()
+            .map(|&s| {
+                let mut rng = StdRng::seed_from_u64(s);
+                generators::random_dag(5, 0.4, 0.5, 3.0, &mut rng)
+            })
+            .collect();
+        let jobs: Vec<(&TaskGraph, f64)> = graphs
+            .iter()
+            .map(|g| (g, tightness * analysis::critical_path_weight(g) / 2.0))
+            .collect();
+        for model in all_models() {
+            let sequential = Engine::new(P).threads(1).solve_batch(&model, &jobs);
+            let threaded = Engine::new(P).threads(4).solve_batch(&model, &jobs);
+            prop_assert_eq!(sequential.len(), threaded.len());
+            for (s, t) in sequential.iter().zip(&threaded) {
+                match (s, t) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(a.algorithm, b.algorithm);
+                        prop_assert!((a.energy - b.energy).abs() <= 1e-9 * (1.0 + b.energy));
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(
+                        std::mem::discriminant(a),
+                        std::mem::discriminant(b)
+                    ),
+                    (a, b) => prop_assert!(false, "{}: {a:?} vs {b:?}", model.name()),
+                }
+            }
+        }
+    }
+
+    /// `solve_deadlines` shares one prepared graph across workers and
+    /// still matches point-by-point solves.
+    #[test]
+    fn shared_prepared_graph_matches_pointwise(seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_sp(8, 0.5, 0.5, 3.0, &mut rng).0;
+        let cp = analysis::critical_path_weight(&g);
+        let deadlines: Vec<f64> = (0..6).map(|k| cp * (0.6 + 0.2 * k as f64)).collect();
+        let model = EnergyModel::continuous(2.0);
+        let engine = Engine::new(P).threads(3);
+        let prep = PreparedGraph::new(&g);
+        let batch = engine.solve_deadlines(&prep, &model, &deadlines);
+        for (r, &d) in batch.iter().zip(&deadlines) {
+            let direct = reference::solve_with(&g, d, &model, P, SolveOptions::default());
+            match (r, direct) {
+                (Ok(a), Ok(b)) => prop_assert!((a.energy - b.energy).abs() <= 1e-9 * (1.0 + b.energy)),
+                (Err(a), Err(b)) => prop_assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(&b)
+                ),
+                (a, b) => prop_assert!(false, "{a:?} vs {b:?}"),
+            }
+        }
+    }
+}
