@@ -21,6 +21,7 @@ pub mod x3;
 pub mod x4;
 pub mod x5;
 pub mod x6;
+pub mod x7;
 
 use models::PowerLaw;
 use reclaim_core::continuous;
@@ -106,6 +107,7 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
     ("x4", x4::run),
     ("x5", x5::run),
     ("x6", x6::run),
+    ("x7", x7::run),
 ];
 
 /// Run every experiment in order.

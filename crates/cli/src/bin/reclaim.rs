@@ -5,13 +5,19 @@
 //! reclaim sweep <instance-file> [--points N] [--lo F] [--hi F]
 //! reclaim dmin  <instance-file>
 //! reclaim check <instance-file>
+//! reclaim serve  [--socket PATH] [--tcp ADDR] [--workers N] …
+//! reclaim ask    [<instance-file>] [--socket PATH|--tcp ADDR] [--stats] [--shutdown]
+//! reclaim corpus <dir> [--shards N] [--json DIR]
 //! ```
 //!
-//! See `crates/cli/src/instance.rs` for the instance format.
+//! See `crates/cli/src/instance.rs` for the instance format and
+//! `reclaim_service::proto` for the daemon wire protocol.
 
 use models::PowerLaw;
 use reclaim_cli::{parse, Instance};
 use reclaim_core::Engine;
+use reclaim_service::proto::{Request, Response};
+use reclaim_service::{client::Client, corpus, daemon, Endpoint};
 use report::Table;
 use taskgraph::PreparedGraph;
 
@@ -27,9 +33,216 @@ fn usage() -> ! {
            check    — parse and validate the instance only\n\
            gen      — generate an instance: reclaim gen <family> [params…]\n\
                       [--procs P] [--model M] [--tightness T] [--seed S]\n\
-                      families: fft lu stencil ge dac chain fork tree sp layered"
+                      families: fft lu stencil ge dac chain fork tree sp layered\n\
+           serve    — run the reclaimd daemon in the foreground\n\
+                      [--socket PATH] [--tcp ADDR] [--workers N]\n\
+                      [--cache-entries N] [--cache-bytes B] [--alpha A]\n\
+           ask      — send requests to a running daemon\n\
+                      reclaim ask [<file>] [--socket PATH|--tcp ADDR]\n\
+                      [--stats] [--shutdown]\n\
+           corpus   — shard a directory of .inst files across engines\n\
+                      reclaim corpus <dir> [--shards N] [--json DIR]"
     );
     std::process::exit(2);
+}
+
+/// Resolve `--socket` / `--tcp` flags into a daemon endpoint
+/// (default: `reclaimd.sock` in the working directory).
+fn endpoint_from_flags(flags: &[String]) -> Endpoint {
+    let value = |name: &str| {
+        flags
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| flags.get(i + 1))
+            .cloned()
+    };
+    if let Some(addr) = value("--tcp") {
+        let addr = addr.parse().unwrap_or_else(|_| {
+            eprintln!("bad --tcp address {addr:?}");
+            std::process::exit(2);
+        });
+        Endpoint::Tcp(addr)
+    } else {
+        Endpoint::Unix(
+            value("--socket")
+                .unwrap_or_else(|| "reclaimd.sock".into())
+                .into(),
+        )
+    }
+}
+
+fn ask_command(args: &[String]) {
+    let file = args.first().filter(|a| !a.starts_with("--"));
+    let flags: Vec<String> = args
+        .iter()
+        .skip(usize::from(file.is_some()))
+        .cloned()
+        .collect();
+    let stats = flags.iter().any(|a| a == "--stats");
+    let shutdown = flags.iter().any(|a| a == "--shutdown");
+    if file.is_none() && !stats && !shutdown {
+        eprintln!("ask needs an instance file, --stats, or --shutdown");
+        std::process::exit(2);
+    }
+    let ep = endpoint_from_flags(&flags);
+    let mut client = Client::connect(&ep).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {ep}: {e} (is reclaimd running?)");
+        std::process::exit(1);
+    });
+    let mut roundtrip = |req: Request| {
+        client
+            .roundtrip(req)
+            .unwrap_or_else(|e| {
+                eprintln!("request failed: {e}");
+                std::process::exit(1);
+            })
+            .response
+    };
+    if let Some(path) = file {
+        let inst = load(path);
+        match roundtrip(Request::Solve {
+            graph: inst.graph,
+            model: inst.model,
+            deadline: inst.deadline,
+        }) {
+            Response::Solve(r) => println!(
+                "energy {:.6} | algorithm {} | makespan {:.6} | \
+                 solve {} µs | prep {} µs | cache {} | worker {}",
+                r.energy,
+                r.algorithm,
+                r.makespan,
+                r.solve_ns / 1_000,
+                r.prep_ns / 1_000,
+                if r.cached { "hit" } else { "miss" },
+                r.worker
+            ),
+            Response::Error(e) => {
+                eprintln!("daemon error: {e}");
+                std::process::exit(1);
+            }
+            other => {
+                eprintln!("unexpected response: {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if stats {
+        match roundtrip(Request::Stats) {
+            Response::Stats(s) => {
+                println!(
+                    "cache: {} entries | {} bytes | {} hits | {} misses | {} evictions",
+                    s.cache.entries, s.cache.bytes, s.cache.hits, s.cache.misses, s.cache.evictions
+                );
+                for (i, w) in s.workers.iter().enumerate() {
+                    println!(
+                        "worker {i}: {} requests | {} solves | {} µs solving",
+                        w.requests,
+                        w.solves,
+                        w.solve_ns / 1_000
+                    );
+                }
+            }
+            other => {
+                eprintln!("unexpected response: {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if shutdown {
+        match roundtrip(Request::Shutdown) {
+            Response::Shutdown => println!("daemon stopping"),
+            other => {
+                eprintln!("unexpected response: {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn corpus_command(args: &[String]) {
+    let Some(dir) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("corpus needs a directory of .inst files");
+        std::process::exit(2);
+    };
+    let flags = &args[1..];
+    let value = |name: &str| {
+        flags
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| flags.get(i + 1))
+            .map(String::as_str)
+    };
+    let shards: usize = value("--shards")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--shards needs an integer, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(2)
+        .max(1);
+    let out_dir = value("--json").unwrap_or("bench-json").to_string();
+
+    // Deterministic enumeration: sorted file names. Parse errors are
+    // fatal and fully attributed (file, line, offending token).
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot read {dir}: {e}");
+            std::process::exit(2);
+        })
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "inst"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("no .inst files in {dir}");
+        std::process::exit(2);
+    }
+    let jobs: Vec<corpus::CorpusJob> = paths
+        .iter()
+        .map(|p| {
+            let inst = load(&p.display().to_string());
+            corpus::CorpusJob {
+                name: p
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| p.display().to_string()),
+                graph: inst.graph,
+                model: inst.model,
+                deadline: inst.deadline,
+            }
+        })
+        .collect();
+
+    let outcomes = corpus::run_corpus(jobs, shards, PowerLaw::CUBIC);
+    let mut t = Table::new(&[
+        "shard",
+        "files",
+        "solved",
+        "errors",
+        "max tasks",
+        "time(ms)",
+    ]);
+    for o in &outcomes {
+        t.row(&[
+            format!("{}", o.shard),
+            format!("{}", o.entries.len()),
+            format!("{}", o.solved()),
+            format!("{}", o.entries.len() - o.solved()),
+            format!("{}", o.max_tasks()),
+            format!("{:.2}", o.elapsed_ns as f64 / 1e6),
+        ]);
+    }
+    println!("{}", t.render());
+    let written =
+        corpus::write_outputs(std::path::Path::new(&out_dir), &outcomes).unwrap_or_else(|e| {
+            eprintln!("cannot write corpus outputs to {out_dir}: {e}");
+            std::process::exit(1);
+        });
+    for p in written {
+        println!("wrote {}", p.display());
+    }
 }
 
 fn generate_command(args: &[String]) {
@@ -86,9 +299,30 @@ fn load(path: &str) -> Instance {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `gen` takes a family spec, not an instance file.
-    if args.first().map(String::as_str) == Some("gen") {
-        return generate_command(&args[1..]);
+    // `gen`, the service commands, and `corpus` take their own
+    // arguments, not a single instance file.
+    match args.first().map(String::as_str) {
+        Some("gen") => return generate_command(&args[1..]),
+        Some("serve") => {
+            let cfg = daemon::config_from_args(&args[1..]).unwrap_or_else(|e| {
+                eprintln!("serve: {e}");
+                std::process::exit(2);
+            });
+            let workers = cfg.workers;
+            let d = daemon::Daemon::bind(cfg).unwrap_or_else(|e| {
+                eprintln!("serve: bind failed: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("serving on {} ({workers} workers)", d.endpoint());
+            if let Err(e) = d.run() {
+                eprintln!("serve: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("ask") => return ask_command(&args[1..]),
+        Some("corpus") => return corpus_command(&args[1..]),
+        _ => {}
     }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         usage()

@@ -24,7 +24,7 @@
 use mapping::Mapping;
 use models::{DiscreteModes, EnergyModel, IncrementalModes};
 use std::fmt;
-use taskgraph::{TaskGraph, TaskId};
+use taskgraph::{GraphError, TaskGraph, TaskId};
 
 /// A parsed instance: execution graph + deadline + model.
 #[derive(Debug, Clone)]
@@ -40,18 +40,31 @@ pub struct Instance {
     pub mapping: Option<Mapping>,
 }
 
-/// Parse failure with a line number.
+/// Parse failure with a line number and, when one exists, the
+/// offending token — so a bad `.inst` deep in a corpus directory is
+/// attributable from the error alone (`file:line`, plus the exact
+/// text that broke).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
-    /// 1-based line of the offending directive (0 for global errors).
+    /// 1-based line of the offending directive (0 for global errors —
+    /// e.g. a missing directive or a cycle, which no single line
+    /// owns).
     pub line: usize,
     /// What went wrong.
     pub message: String,
+    /// The offending token, verbatim, when the failure is pinnable to
+    /// one (a malformed number, an out-of-range task id, an unknown
+    /// directive or model kind).
+    pub token: Option<String>,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.line, self.message)?;
+        if let Some(t) = &self.token {
+            write!(f, " (offending token {t:?})")?;
+        }
+        Ok(())
     }
 }
 
@@ -61,27 +74,40 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError {
         line,
         message: message.into(),
+        token: None,
+    })
+}
+
+fn err_tok<T>(
+    line: usize,
+    token: impl Into<String>,
+    message: impl Into<String>,
+) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+        token: Some(token.into()),
     })
 }
 
 fn parse_f64(line: usize, s: &str) -> Result<f64, ParseError> {
-    s.parse::<f64>().map_err(|_| ParseError {
-        line,
-        message: format!("not a number: {s:?}"),
-    })
+    match s.parse::<f64>() {
+        Ok(v) => Ok(v),
+        Err(_) => err_tok(line, s, "not a number"),
+    }
 }
 
 fn parse_usize(line: usize, s: &str) -> Result<usize, ParseError> {
-    s.parse::<usize>().map_err(|_| ParseError {
-        line,
-        message: format!("not a task id: {s:?}"),
-    })
+    match s.parse::<usize>() {
+        Ok(v) => Ok(v),
+        Err(_) => err_tok(line, s, "not a task id"),
+    }
 }
 
 /// Parse `key=value` into `(key, value)`.
 fn parse_kv(line: usize, s: &str) -> Result<(&str, f64), ParseError> {
     let Some((k, v)) = s.split_once('=') else {
-        return err(line, format!("expected key=value, got {s:?}"));
+        return err_tok(line, s, "expected key=value");
     };
     Ok((k, parse_f64(line, v)?))
 }
@@ -89,7 +115,9 @@ fn parse_kv(line: usize, s: &str) -> Result<(&str, f64), ParseError> {
 /// Parse the instance format (see the module docs).
 pub fn parse(text: &str) -> Result<Instance, ParseError> {
     let mut weights: Option<Vec<f64>> = None;
+    let mut tasks_line = 0usize;
     let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut edge_lines: Vec<usize> = Vec::new();
     let mut procs: Vec<Vec<TaskId>> = Vec::new();
     let mut deadline: Option<f64> = None;
     let mut model: Option<EnergyModel> = None;
@@ -113,6 +141,7 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
                 }
                 let ws: Result<Vec<f64>, _> = rest.iter().map(|s| parse_f64(line_no, s)).collect();
                 weights = Some(ws?);
+                tasks_line = line_no;
             }
             "edge" => {
                 if rest.len() != 2 {
@@ -122,6 +151,7 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
                     parse_usize(line_no, rest[0])?,
                     parse_usize(line_no, rest[1])?,
                 ));
+                edge_lines.push(line_no);
             }
             "proc" => {
                 let ids: Result<Vec<usize>, _> =
@@ -140,26 +170,44 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
                 }
                 model = Some(parse_model(line_no, &rest)?);
             }
-            other => return err(line_no, format!("unknown directive {other:?}")),
+            other => return err_tok(line_no, other, "unknown directive"),
         }
     }
 
-    let weights = weights.ok_or(ParseError {
+    let missing = |what: &str| ParseError {
         line: 0,
-        message: "missing 'tasks' directive".into(),
-    })?;
-    let deadline = deadline.ok_or(ParseError {
-        line: 0,
-        message: "missing 'deadline' directive".into(),
-    })?;
-    let model = model.ok_or(ParseError {
-        line: 0,
-        message: "missing 'model' directive".into(),
-    })?;
+        message: format!("missing '{what}' directive"),
+        token: None,
+    };
+    let weights = weights.ok_or_else(|| missing("tasks"))?;
+    let deadline = deadline.ok_or_else(|| missing("deadline"))?;
+    let model = model.ok_or_else(|| missing("model"))?;
 
-    let app = TaskGraph::new(weights, &edges).map_err(|e| ParseError {
-        line: 0,
-        message: e.to_string(),
+    // `TaskGraph::new` is the single validator; here its errors are
+    // attributed back to the line (and token) that introduced them.
+    // Only global properties (cycles) stay at line 0 — no one line
+    // owns a cycle.
+    let edge_line_of = |pred: &dyn Fn(usize, usize) -> bool| {
+        edges
+            .iter()
+            .position(|&(u, v)| pred(u, v))
+            .map_or(0, |i| edge_lines[i])
+    };
+    let app = TaskGraph::new(weights, &edges).map_err(|e| {
+        let (line, token) = match &e {
+            GraphError::BadWeight { task: _, weight } => (tasks_line, Some(format!("{weight}"))),
+            GraphError::BadTask(t) => (
+                edge_line_of(&|u, v| u == *t || v == *t),
+                Some(format!("{t}")),
+            ),
+            GraphError::SelfLoop(t) => (edge_line_of(&|u, v| u == *t && v == *t), None),
+            GraphError::Cycle(_) => (0, None),
+        };
+        ParseError {
+            line,
+            message: e.to_string(),
+            token,
+        }
     })?;
     let (graph, mapping) = if procs.is_empty() {
         (app, None)
@@ -168,6 +216,7 @@ pub fn parse(text: &str) -> Result<Instance, ParseError> {
         let exec = m.execution_graph(&app).map_err(|e| ParseError {
             line: 0,
             message: format!("bad mapping: {e}"),
+            token: None,
         })?;
         (exec, Some(m))
     };
@@ -193,7 +242,7 @@ fn parse_model(line: usize, rest: &[&str]) -> Result<EnergyModel, ParseError> {
                 let (k, v) = parse_kv(line, a)?;
                 match k {
                     "smax" => s_max = Some(v),
-                    other => return err(line, format!("unknown continuous option {other:?}")),
+                    other => return err_tok(line, other, "unknown continuous option"),
                 }
             }
             Ok(match s_max {
@@ -206,6 +255,7 @@ fn parse_model(line: usize, rest: &[&str]) -> Result<EnergyModel, ParseError> {
             let modes = DiscreteModes::new(&speeds?).map_err(|e| ParseError {
                 line,
                 message: e.to_string(),
+                token: None,
             })?;
             Ok(if kind == "discrete" {
                 EnergyModel::Discrete(modes)
@@ -221,7 +271,7 @@ fn parse_model(line: usize, rest: &[&str]) -> Result<EnergyModel, ParseError> {
                     "smin" => smin = Some(v),
                     "smax" => smax = Some(v),
                     "delta" => delta = Some(v),
-                    other => return err(line, format!("unknown incremental option {other:?}")),
+                    other => return err_tok(line, other, "unknown incremental option"),
                 }
             }
             let (Some(lo), Some(hi), Some(d)) = (smin, smax, delta) else {
@@ -230,10 +280,11 @@ fn parse_model(line: usize, rest: &[&str]) -> Result<EnergyModel, ParseError> {
             let modes = IncrementalModes::new(lo, hi, d).map_err(|e| ParseError {
                 line,
                 message: e.to_string(),
+                token: None,
             })?;
             Ok(EnergyModel::Incremental(modes))
         }
-        other => err(line, format!("unknown model kind {other:?}")),
+        other => err_tok(line, other, "unknown model kind"),
     }
 }
 
@@ -341,14 +392,30 @@ model continuous smax=2.0
     }
 
     #[test]
-    fn reports_line_numbers() {
+    fn reports_line_numbers_and_offending_tokens() {
+        // Edge endpoint out of range is pinned to its line and token.
         let text = "tasks 1.0 2.0\nedge 0 5\ndeadline 1.0\nmodel continuous\n";
-        // Edge endpoint out of range surfaces as a graph error.
-        assert!(parse(text).is_err());
-        let text = "tasks 1.0\nbogus 1\n";
         let e = parse(text).unwrap_err();
         assert_eq!(e.line, 2);
-        assert!(e.message.contains("bogus"));
+        assert_eq!(e.token.as_deref(), Some("5"));
+        assert!(e.message.contains("unknown task T5"), "{e}");
+        // Unknown directive carries the directive as the token.
+        let e = parse("tasks 1.0\nbogus 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.token.as_deref(), Some("bogus"));
+        assert!(e.to_string().contains("bogus"), "{e}");
+        // Malformed number inside a directive.
+        let e = parse("tasks 1.0 fast\ndeadline 1.0\nmodel continuous\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.token.as_deref(), Some("fast"));
+        // Self-loop attribution.
+        let e = parse("tasks 1.0\nedge 0 0\ndeadline 1.0\nmodel continuous\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("self-loop"), "{e}");
+        // Unknown model kind.
+        let e = parse("tasks 1.0\ndeadline 1.0\nmodel warp\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.token.as_deref(), Some("warp"));
     }
 
     #[test]

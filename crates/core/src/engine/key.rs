@@ -1,0 +1,163 @@
+//! Stable content keys for `(graph, model)` instances.
+//!
+//! The service cache and [`super::Engine::solve_batch`] both need to
+//! recognize "the same instance" across process boundaries and across
+//! distinct allocations: two `.inst` files with identical content must
+//! map to one [`taskgraph::PreparedGraph`]. Addresses can't do that,
+//! and `std::hash::Hasher` implementations are explicitly not stable
+//! across releases/processes — so this module fixes the function:
+//! **128-bit FNV-1a** over a canonical byte serialization of the
+//! instance.
+//!
+//! Canonicalization:
+//!
+//! * task weights in id order, as IEEE-754 bit patterns (so `-0.0` and
+//!   `0.0` differ — weights are validated positive anyway, and bitwise
+//!   identity is exactly "same file content");
+//! * the edge list **sorted** — two files listing the same precedence
+//!   edges in different order describe the same instance and share a
+//!   key (adjacency order can steer which of several equally optimal
+//!   schedules a solver returns, but never the optimal energy);
+//! * a model tag byte plus the model's parameters, again as bit
+//!   patterns.
+//!
+//! 128 bits of FNV keep accidental collisions out of reach for any
+//! realistic corpus; the cache treats the key as the identity and does
+//! not re-verify content on hit.
+
+use models::EnergyModel;
+use taskgraph::TaskGraph;
+
+/// 128-bit FNV-1a (offset basis / prime per the FNV reference).
+#[derive(Debug, Clone)]
+struct Fnv128(u128);
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+impl Fnv128 {
+    fn new() -> Self {
+        Fnv128(FNV128_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u128;
+        self.0 = self.0.wrapping_mul(FNV128_PRIME);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// The stable content key of one `(graph, model)` instance (see the
+/// module docs for the canonical form). Equal content ⇒ equal key, in
+/// every process, on every platform.
+pub fn content_key(g: &TaskGraph, model: &EnergyModel) -> u128 {
+    let mut h = Fnv128::new();
+    h.u64(g.n() as u64);
+    for &w in g.weights() {
+        h.f64(w);
+    }
+    let mut edges: Vec<(usize, usize)> = g
+        .edges()
+        .iter()
+        .map(|&(u, v)| (u.index(), v.index()))
+        .collect();
+    edges.sort_unstable();
+    h.u64(edges.len() as u64);
+    for (u, v) in edges {
+        h.u64(u as u64);
+        h.u64(v as u64);
+    }
+    match model {
+        EnergyModel::Continuous { s_max: None } => h.byte(1),
+        EnergyModel::Continuous { s_max: Some(m) } => {
+            h.byte(2);
+            h.f64(*m);
+        }
+        EnergyModel::Discrete(m) => {
+            h.byte(3);
+            for &s in m.speeds() {
+                h.f64(s);
+            }
+        }
+        EnergyModel::VddHopping(m) => {
+            h.byte(4);
+            for &s in m.speeds() {
+                h.f64(s);
+            }
+        }
+        EnergyModel::Incremental(m) => {
+            h.byte(5);
+            h.f64(m.s_min());
+            h.f64(m.s_max());
+            h.f64(m.delta());
+        }
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use models::DiscreteModes;
+
+    fn modes() -> DiscreteModes {
+        DiscreteModes::new(&[1.0, 2.0]).unwrap()
+    }
+
+    #[test]
+    fn identical_content_same_key_across_allocations() {
+        let a = TaskGraph::new(vec![1.0, 2.0, 3.0], &[(0, 1), (1, 2)]).unwrap();
+        let b = TaskGraph::new(vec![1.0, 2.0, 3.0], &[(0, 1), (1, 2)]).unwrap();
+        let m = EnergyModel::continuous_unbounded();
+        assert_eq!(content_key(&a, &m), content_key(&b, &m));
+    }
+
+    #[test]
+    fn edge_order_is_canonicalized() {
+        let a = TaskGraph::new(vec![1.0, 1.0, 1.0], &[(0, 1), (0, 2)]).unwrap();
+        let b = TaskGraph::new(vec![1.0, 1.0, 1.0], &[(0, 2), (0, 1)]).unwrap();
+        let m = EnergyModel::continuous_unbounded();
+        assert_eq!(content_key(&a, &m), content_key(&b, &m));
+    }
+
+    #[test]
+    fn every_component_feeds_the_key() {
+        let g = TaskGraph::new(vec![1.0, 2.0], &[(0, 1)]).unwrap();
+        let base = content_key(&g, &EnergyModel::continuous_unbounded());
+        // Different weights.
+        let g2 = TaskGraph::new(vec![1.0, 2.5], &[(0, 1)]).unwrap();
+        assert_ne!(content_key(&g2, &EnergyModel::continuous_unbounded()), base);
+        // Different edges.
+        let g3 = TaskGraph::new(vec![1.0, 2.0], &[]).unwrap();
+        assert_ne!(content_key(&g3, &EnergyModel::continuous_unbounded()), base);
+        // Different model kind / parameters.
+        assert_ne!(content_key(&g, &EnergyModel::continuous(2.0)), base);
+        assert_ne!(content_key(&g, &EnergyModel::Discrete(modes())), base);
+        assert_ne!(content_key(&g, &EnergyModel::VddHopping(modes())), base);
+        // Discrete and Vdd-Hopping over the same ladder must differ.
+        assert_ne!(
+            content_key(&g, &EnergyModel::Discrete(modes())),
+            content_key(&g, &EnergyModel::VddHopping(modes()))
+        );
+    }
+
+    #[test]
+    fn key_is_pinned() {
+        // The key is part of the wire/cache contract: a change to the
+        // canonical form is a protocol break and must be deliberate.
+        let g = TaskGraph::new(vec![1.0, 2.0], &[(0, 1)]).unwrap();
+        assert_eq!(
+            content_key(&g, &EnergyModel::continuous_unbounded()),
+            0xb45a_05dd_4e23_6a1a_943e_eefc_db0f_d51d_u128,
+        );
+    }
+}

@@ -26,8 +26,10 @@
 //! dispatch — existing call sites compile and behave unchanged.
 
 mod algorithms;
+mod key;
 
 pub use algorithms::{registry, Algorithm, Step};
+pub use key::content_key;
 
 use crate::error::SolveError;
 use crate::solver::{Solution, SolveOptions};
@@ -199,24 +201,34 @@ impl Engine {
     }
 
     /// Solve a batch of `(graph, deadline)` instances under one model,
-    /// in parallel across scoped threads. Each **distinct** graph
-    /// (by address) is prepared once and its analysis shared across
-    /// every job and worker that references it; results come back in
-    /// input order, identical to solving sequentially.
+    /// in parallel across scoped threads. Each **distinct** graph (by
+    /// [`content_key`] — content, not address) is prepared once and
+    /// its analysis shared across every job and worker that references
+    /// it, so identical graphs loaded from two files still share one
+    /// [`PreparedGraph`]; results come back in input order, identical
+    /// to solving sequentially.
     pub fn solve_batch(
         &self,
         model: &EnergyModel,
         jobs: &[(&TaskGraph, f64)],
     ) -> Vec<Result<Solution, SolveError>> {
-        // Deduplicate preparation by graph address so a batch of many
-        // deadlines on few graphs amortizes like `solve_deadlines`.
-        let mut seen: std::collections::HashMap<*const TaskGraph, usize> =
-            std::collections::HashMap::new();
+        // Deduplicate preparation by content hash so a batch of many
+        // deadlines on few graphs amortizes like `solve_deadlines`,
+        // even when equal graphs arrive as separate allocations. The
+        // hash itself is memoized per allocation, so the common case —
+        // one `&TaskGraph` repeated across the whole batch — hashes
+        // the graph once, not once per job.
+        use std::collections::HashMap;
+        let mut key_of_ptr: HashMap<*const TaskGraph, u128> = HashMap::new();
+        let mut seen: HashMap<u128, usize> = HashMap::new();
         let mut preps: Vec<PreparedGraph<'_>> = Vec::new();
         let prep_of: Vec<usize> = jobs
             .iter()
             .map(|&(g, _)| {
-                *seen.entry(std::ptr::from_ref(g)).or_insert_with(|| {
+                let key = *key_of_ptr
+                    .entry(std::ptr::from_ref(g))
+                    .or_insert_with(|| content_key(g, model));
+                *seen.entry(key).or_insert_with(|| {
                     preps.push(PreparedGraph::new(g));
                     preps.len() - 1
                 })
@@ -499,6 +511,23 @@ mod tests {
         // topo orders, not four.
         assert_eq!(delta.classify, 2);
         assert_eq!(delta.topo_order, 2);
+    }
+
+    #[test]
+    fn batch_dedups_identical_graphs_by_content() {
+        // Two separate allocations of the same graph (as if loaded
+        // from two files): content hashing must prepare only once.
+        let g1 = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let g2 = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        assert!(!std::ptr::eq(&g1, &g2));
+        let jobs: Vec<(&TaskGraph, f64)> = vec![(&g1, 5.0), (&g2, 6.0), (&g1, 7.0)];
+        let model = EnergyModel::continuous_unbounded();
+        let before = profiling::counts();
+        let results = Engine::new(P).threads(1).solve_batch(&model, &jobs);
+        assert!(results.iter().all(Result::is_ok));
+        let delta = profiling::counts() - before;
+        assert_eq!(delta.classify, 1, "equal content must share one prep");
+        assert_eq!(delta.topo_order, 1);
     }
 
     #[test]

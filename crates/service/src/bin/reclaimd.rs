@@ -1,0 +1,43 @@
+//! `reclaimd` — the content-addressed solve daemon.
+//!
+//! ```text
+//! reclaimd [--socket PATH] [--tcp ADDR] [--workers N]
+//!          [--cache-entries N] [--cache-bytes B] [--alpha A]
+//! ```
+//!
+//! Serves the length-prefixed JSON-line protocol (see
+//! `reclaim_service::proto`) until a `shutdown` request arrives.
+//! `reclaim ask` is the matching client.
+
+use reclaim_service::daemon::{config_from_args, Daemon};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: reclaimd [--socket PATH] [--tcp ADDR] [--workers N]\n\
+             \x20               [--cache-entries N] [--cache-bytes B] [--alpha A]\n\
+             default socket: reclaimd.sock (unix domain); --tcp overrides.\n\
+             Stop it with: reclaim ask --shutdown --socket PATH"
+        );
+        std::process::exit(2);
+    }
+    let cfg = config_from_args(&args).unwrap_or_else(|e| {
+        eprintln!("reclaimd: {e}");
+        std::process::exit(2);
+    });
+    let workers = cfg.workers;
+    let daemon = Daemon::bind(cfg).unwrap_or_else(|e| {
+        eprintln!("reclaimd: bind failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "reclaimd: listening on {} ({} workers)",
+        daemon.endpoint(),
+        workers
+    );
+    if let Err(e) = daemon.run() {
+        eprintln!("reclaimd: {e}");
+        std::process::exit(1);
+    }
+}

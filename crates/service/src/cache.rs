@@ -1,0 +1,288 @@
+//! The content-addressed cache of prepared instances.
+//!
+//! Keys are [`reclaim_core::engine::content_key`] hashes of the
+//! serialized `(graph, model)` content, so the *same instance arriving
+//! twice* — from two connections, two files, or two runs of a client —
+//! maps to one [`taskgraph::PreparedInstance`] whose analysis
+//! (topological order, shape, SP tree, critical path, transitive
+//! reduction) is paid for exactly once. Values are
+//! `Arc<PreparedInstance>`: a hit hands out a clone of the handle, so
+//! eviction never invalidates an in-flight solve.
+//!
+//! Eviction is least-recently-used under a dual budget: a maximum
+//! entry count and a maximum (estimated) byte footprint
+//! ([`taskgraph::PreparedInstance::approx_bytes`]). The most recently
+//! inserted entry is never evicted by its own insertion, so a single
+//! over-budget instance still serves its request (and is dropped on
+//! the next insertion instead).
+//!
+//! The key deliberately covers graph **and** model, even though the
+//! cached analysis is model-independent: one cache entry *is* one
+//! addressable instance on the wire, so hit/miss/eviction counters
+//! read in instance units and an entry's lifetime matches its
+//! traffic. The cost — a graph solved under two models is analyzed
+//! twice — is bounded by the model count (≤ 4 kinds); sharing the
+//! analysis across models would need a graph-keyed second level and
+//! is not worth the accounting ambiguity yet.
+
+use reclaim_core::engine::content_key;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use taskgraph::PreparedInstance;
+
+use crate::proto::CacheStatsReport;
+
+/// Budgets for [`InstanceCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Maximum live entries (≥ 1 enforced).
+    pub max_entries: usize,
+    /// Maximum estimated resident bytes across live entries.
+    pub max_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_entries: 64,
+            max_bytes: 256 << 20,
+        }
+    }
+}
+
+struct Entry {
+    inst: Arc<PreparedInstance>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<u128, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// A thread-safe content-addressed LRU of prepared instances.
+pub struct InstanceCache {
+    cfg: CacheConfig,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl InstanceCache {
+    /// An empty cache with the given budgets.
+    pub fn new(cfg: CacheConfig) -> InstanceCache {
+        InstanceCache {
+            cfg: CacheConfig {
+                max_entries: cfg.max_entries.max(1),
+                max_bytes: cfg.max_bytes,
+            },
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up the instance for `key`, building (and fully warming)
+    /// it on a miss. Returns the shared handle and whether it was a
+    /// hit. The builder runs *outside* the lock: two racing misses on
+    /// one key both build, and the first insertion wins — wasted work,
+    /// never a wrong answer.
+    pub fn get_or_prepare(
+        &self,
+        key: u128,
+        build: impl FnOnce() -> PreparedInstance,
+    ) -> (Arc<PreparedInstance>, bool) {
+        if let Some(inst) = self.lookup(key) {
+            return (inst, true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = build();
+        built.warm();
+        let bytes = built.approx_bytes();
+        let built = Arc::new(built);
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let inst = match inner.map.get_mut(&key) {
+            // A racing worker inserted while we were building: use
+            // (and refresh) the winner, drop our copy.
+            Some(e) => {
+                e.last_used = tick;
+                Arc::clone(&e.inst)
+            }
+            None => {
+                inner.bytes += bytes;
+                inner.map.insert(
+                    key,
+                    Entry {
+                        inst: Arc::clone(&built),
+                        bytes,
+                        last_used: tick,
+                    },
+                );
+                self.enforce_budget(&mut inner, key);
+                built
+            }
+        };
+        (inst, false)
+    }
+
+    /// The lookup half of [`Self::get_or_prepare`], counting a hit iff
+    /// present.
+    fn lookup(&self, key: u128) -> Option<Arc<PreparedInstance>> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&e.inst))
+            }
+            None => None,
+        }
+    }
+
+    /// Evict LRU entries until both budgets hold, never evicting
+    /// `keep` (the entry whose insertion triggered enforcement).
+    fn enforce_budget(&self, inner: &mut Inner, keep: u128) {
+        while inner.map.len() > self.cfg.max_entries
+            || (inner.bytes > self.cfg.max_bytes && inner.map.len() > 1)
+        {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            if let Some(e) = inner.map.remove(&victim) {
+                inner.bytes -= e.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStatsReport {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        CacheStatsReport {
+            entries: inner.map.len() as u64,
+            bytes: inner.bytes as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Convenience: the content key for a parsed instance (re-exported so
+/// daemon/corpus call one function).
+pub fn instance_key(g: &taskgraph::TaskGraph, model: &models::EnergyModel) -> u128 {
+    content_key(g, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use taskgraph::generators;
+
+    fn prep(seed: f64) -> PreparedInstance {
+        PreparedInstance::new(StdArc::new(generators::diamond([1.0, 2.0, 3.0, seed])))
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let cache = InstanceCache::new(CacheConfig {
+            max_entries: 4,
+            max_bytes: usize::MAX,
+        });
+        let (_, hit) = cache.get_or_prepare(1, || prep(1.0));
+        assert!(!hit);
+        let (_, hit) = cache.get_or_prepare(1, || panic!("must not rebuild"));
+        assert!(hit);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn entry_budget_evicts_lru() {
+        let cache = InstanceCache::new(CacheConfig {
+            max_entries: 2,
+            max_bytes: usize::MAX,
+        });
+        cache.get_or_prepare(1, || prep(1.0));
+        cache.get_or_prepare(2, || prep(2.0));
+        // Touch 1 so 2 becomes the LRU.
+        cache.get_or_prepare(1, || panic!("hit expected"));
+        cache.get_or_prepare(3, || prep(3.0));
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+        // 2 was evicted; 1 and 3 survive.
+        let (_, hit) = cache.get_or_prepare(1, || prep(1.0));
+        assert!(hit);
+        let (_, hit) = cache.get_or_prepare(3, || prep(3.0));
+        assert!(hit);
+        let (_, hit) = cache.get_or_prepare(2, || prep(2.0));
+        assert!(!hit, "2 must have been evicted");
+    }
+
+    #[test]
+    fn byte_budget_keeps_at_least_the_newest() {
+        // A budget smaller than any one instance: every insertion
+        // evicts the previous entry but keeps itself.
+        let cache = InstanceCache::new(CacheConfig {
+            max_entries: 10,
+            max_bytes: 1,
+        });
+        cache.get_or_prepare(1, || prep(1.0));
+        assert_eq!(cache.stats().entries, 1, "own insertion survives");
+        cache.get_or_prepare(2, || prep(2.0));
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn eviction_does_not_invalidate_live_handles() {
+        let cache = InstanceCache::new(CacheConfig {
+            max_entries: 1,
+            max_bytes: usize::MAX,
+        });
+        let (held, _) = cache.get_or_prepare(1, || prep(1.0));
+        cache.get_or_prepare(2, || prep(2.0)); // evicts 1
+        assert_eq!(cache.stats().evictions, 1);
+        // The handle still works: analysis remains usable.
+        assert!(held.view().critical_path_weight() > 0.0);
+    }
+
+    #[test]
+    fn concurrent_same_key_converges_to_one_entry() {
+        let cache = StdArc::new(InstanceCache::new(CacheConfig::default()));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = StdArc::clone(&cache);
+                s.spawn(move || {
+                    let (inst, _) = cache.get_or_prepare(42, || prep(5.0));
+                    assert_eq!(inst.graph().n(), 4);
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.hits + s.misses, 8);
+        assert!(s.misses >= 1);
+    }
+}

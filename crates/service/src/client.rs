@@ -1,0 +1,88 @@
+//! A blocking client for `reclaimd`.
+
+use crate::daemon::{Endpoint, Stream};
+use crate::proto::{
+    read_frame, write_frame, ErrorBody, FrameError, RequestEnvelope, ResponseEnvelope,
+};
+use std::fmt;
+use std::io;
+use std::time::{Duration, Instant};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Framing failure (truncated/oversized frame from the daemon).
+    Frame(FrameError),
+    /// The daemon's bytes decoded but violated the protocol.
+    Protocol(ErrorBody),
+    /// The daemon closed the stream before answering.
+    Closed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Frame(e) => write!(f, "framing error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Closed => write!(f, "daemon closed the connection without answering"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a running daemon.
+pub struct Client {
+    stream: Stream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect once.
+    pub fn connect(ep: &Endpoint) -> io::Result<Client> {
+        Ok(Client {
+            stream: Stream::connect(ep)?,
+            next_id: 1,
+        })
+    }
+
+    /// Connect, retrying until `timeout` elapses — for racing a daemon
+    /// that is still binding its socket (tests, CI smoke steps).
+    pub fn connect_with_retry(ep: &Endpoint, timeout: Duration) -> io::Result<Client> {
+        let start = Instant::now();
+        loop {
+            match Client::connect(ep) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() >= timeout => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Send one request and block for its response. Ids are assigned
+    /// automatically and verified on the way back (this client does
+    /// not pipeline, so responses arrive in order).
+    pub fn roundtrip(
+        &mut self,
+        request: crate::proto::Request,
+    ) -> Result<ResponseEnvelope, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let env = RequestEnvelope { id, request };
+        write_frame(&mut self.stream, &env.encode())?;
+        let payload = read_frame(&mut self.stream)
+            .map_err(ClientError::Frame)?
+            .ok_or(ClientError::Closed)?;
+        let resp = ResponseEnvelope::decode(&payload).map_err(ClientError::Protocol)?;
+        Ok(resp)
+    }
+}

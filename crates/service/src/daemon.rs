@@ -1,0 +1,582 @@
+//! `reclaimd` — the long-lived solve daemon.
+//!
+//! Architecture (std only — no async runtime; the engine is `Sync`
+//! and thread-scoped, so the remaining work really is protocol plus
+//! cache eviction, as the roadmap predicted):
+//!
+//! ```text
+//!            accept loop (Daemon::run, caller's thread)
+//!                 │ one reader thread per connection
+//!                 ▼
+//!   frames ──► mpsc job queue ──► fixed worker pool (N std threads)
+//!                                    │  content-addressed cache
+//!                                    │  (Arc<PreparedInstance>, LRU)
+//!                                    ▼
+//!                       response frame → per-connection writer lock
+//! ```
+//!
+//! Workers pull jobs from one shared queue, so requests from all
+//! connections interleave freely; responses echo the request `id`, and
+//! a pipelined client must match on it (two requests on one connection
+//! may complete out of order). Each worker owns a single-threaded
+//! [`Engine`], making the pool size the daemon's one parallelism knob.
+//!
+//! `shutdown` stops the accept loop (nudging it with a self-
+//! connection), drops the job queue, and joins the workers once every
+//! open connection has drained. Clients that hold a connection open
+//! after shutdown keep their reader thread alive until they close —
+//! send `shutdown` last, as `reclaim ask --shutdown` does.
+
+use crate::cache::{CacheConfig, InstanceCache};
+use crate::proto::{
+    read_frame, write_frame, ErrorBody, ErrorKind, Request, RequestEnvelope, Response,
+    ResponseEnvelope, SolveReport, StatsReport, WorkerStatsReport,
+};
+use models::{EnergyModel, PowerLaw};
+use reclaim_core::engine::content_key;
+use reclaim_core::Engine;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+use taskgraph::{PreparedInstance, TaskGraph};
+
+/// Where a daemon listens / where a client connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket path (the default transport).
+    Unix(PathBuf),
+    /// A TCP address.
+    Tcp(SocketAddr),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Unix socket path to bind (ignored when `tcp` is set).
+    pub socket: PathBuf,
+    /// Optional TCP bind address (e.g. `127.0.0.1:0`); overrides the
+    /// Unix socket.
+    pub tcp: Option<String>,
+    /// Worker pool size (defaults to available parallelism).
+    pub workers: usize,
+    /// Cache budgets.
+    pub cache: CacheConfig,
+    /// The power law every solve uses.
+    pub power: PowerLaw,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            socket: PathBuf::from("reclaimd.sock"),
+            tcp: None,
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            cache: CacheConfig::default(),
+            power: PowerLaw::CUBIC,
+        }
+    }
+}
+
+/// Parse `reclaimd`-style flags into a config (shared by the
+/// `reclaimd` binary and `reclaim serve`).
+///
+/// ```text
+/// --socket PATH        unix socket path   (default reclaimd.sock)
+/// --tcp ADDR           listen on TCP instead (e.g. 127.0.0.1:7421)
+/// --workers N          worker pool size   (default: CPUs)
+/// --cache-entries N    cache entry budget (default 64)
+/// --cache-bytes B      cache byte budget  (default 256 MiB)
+/// --alpha A            power-law exponent (default 3)
+/// ```
+pub fn config_from_args(args: &[String]) -> Result<DaemonConfig, String> {
+    let mut cfg = DaemonConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+                .cloned()
+        };
+        match flag.as_str() {
+            "--socket" => cfg.socket = PathBuf::from(value()?),
+            "--tcp" => cfg.tcp = Some(value()?),
+            "--workers" => {
+                cfg.workers = value()?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--workers needs an integer ≥ 1")?;
+            }
+            "--cache-entries" => {
+                cfg.cache.max_entries = value()?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--cache-entries needs an integer ≥ 1")?;
+            }
+            "--cache-bytes" => {
+                cfg.cache.max_bytes = value()?
+                    .parse::<usize>()
+                    .map_err(|_| "--cache-bytes needs an integer")?;
+            }
+            "--alpha" => {
+                let a: f64 = value()?.parse().map_err(|_| "--alpha needs a number")?;
+                if !(a.is_finite() && a > 1.0) {
+                    return Err("--alpha must be finite and > 1".into());
+                }
+                cfg.power = PowerLaw::new(a);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(cfg)
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+/// Either stream type, as one readable/writable object.
+pub(crate) enum Stream {
+    /// Unix-domain.
+    Unix(UnixStream),
+    /// TCP.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    pub(crate) fn connect(ep: &Endpoint) -> io::Result<Stream> {
+        Ok(match ep {
+            Endpoint::Unix(p) => Stream::Unix(UnixStream::connect(p)?),
+            Endpoint::Tcp(a) => {
+                let s = TcpStream::connect(a)?;
+                // Frames are small request/response pairs; latency
+                // beats batching.
+                s.set_nodelay(true)?;
+                Stream::Tcp(s)
+            }
+        })
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct WorkerCounters {
+    requests: AtomicU64,
+    solves: AtomicU64,
+    solve_ns: AtomicU64,
+}
+
+struct State {
+    cache: InstanceCache,
+    power: PowerLaw,
+    shutdown: AtomicBool,
+    workers: Vec<WorkerCounters>,
+}
+
+struct Job {
+    payload: String,
+    writer: Arc<Mutex<Stream>>,
+}
+
+/// A bound-but-not-yet-running daemon. Binding and running are split
+/// so callers (tests, the X7 experiment) can learn the resolved
+/// endpoint — e.g. the ephemeral port of `--tcp 127.0.0.1:0` — before
+/// blocking in [`Daemon::run`].
+pub struct Daemon {
+    listener: Listener,
+    endpoint: Endpoint,
+    cfg: DaemonConfig,
+    state: Arc<State>,
+}
+
+impl Daemon {
+    /// Bind the socket. For Unix endpoints a stale socket file from a
+    /// dead daemon is removed first.
+    pub fn bind(cfg: DaemonConfig) -> io::Result<Daemon> {
+        let (listener, endpoint) = match &cfg.tcp {
+            Some(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                let ep = Endpoint::Tcp(l.local_addr()?);
+                (Listener::Tcp(l), ep)
+            }
+            None => {
+                if cfg.socket.exists() {
+                    // Refuse to steal a live daemon's socket; only a
+                    // dead one (nothing accepting) is reclaimed.
+                    if UnixStream::connect(&cfg.socket).is_ok() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::AddrInUse,
+                            format!("{} already has a live daemon", cfg.socket.display()),
+                        ));
+                    }
+                    std::fs::remove_file(&cfg.socket)?;
+                }
+                let l = UnixListener::bind(&cfg.socket)?;
+                (Listener::Unix(l), Endpoint::Unix(cfg.socket.clone()))
+            }
+        };
+        let workers = cfg.workers.max(1);
+        let state = Arc::new(State {
+            cache: InstanceCache::new(cfg.cache),
+            power: cfg.power,
+            shutdown: AtomicBool::new(false),
+            workers: (0..workers).map(|_| WorkerCounters::default()).collect(),
+        });
+        Ok(Daemon {
+            listener,
+            endpoint,
+            cfg,
+            state,
+        })
+    }
+
+    /// The resolved endpoint clients should connect to.
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint.clone()
+    }
+
+    /// Serve until a `shutdown` request arrives, then drain and
+    /// return. Consumes the daemon; the socket file (Unix) is removed
+    /// on the way out.
+    pub fn run(self) -> io::Result<()> {
+        let Daemon {
+            listener,
+            endpoint,
+            cfg,
+            state,
+        } = self;
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles: Vec<_> = (0..state.workers.len())
+            .map(|worker_id| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                let endpoint = endpoint.clone();
+                std::thread::spawn(move || worker_loop(worker_id, &rx, &state, &endpoint))
+            })
+            .collect();
+
+        let mut conn_handles = Vec::new();
+        loop {
+            let stream = match &listener {
+                Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+                Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                    let _ = s.set_nodelay(true);
+                    Stream::Tcp(s)
+                }),
+            };
+            if state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let tx = tx.clone();
+                    conn_handles.push(std::thread::spawn(move || connection_loop(stream, &tx)));
+                }
+                Err(e) => {
+                    // A transient accept failure is not fatal.
+                    eprintln!("reclaimd: accept failed: {e}");
+                }
+            }
+        }
+        drop(listener);
+        if let Endpoint::Unix(_) = endpoint {
+            let _ = std::fs::remove_file(&cfg.socket);
+        }
+        // The queue closes once the last reader thread exits; workers
+        // then drain and stop.
+        drop(tx);
+        for h in conn_handles {
+            let _ = h.join();
+        }
+        for h in worker_handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: bind and run in one call.
+pub fn run(cfg: DaemonConfig) -> io::Result<()> {
+    Daemon::bind(cfg)?.run()
+}
+
+/// Read frames off one connection and enqueue them for the pool.
+fn connection_loop(stream: Stream, tx: &mpsc::Sender<Job>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(e) => {
+            eprintln!("reclaimd: cannot clone stream: {e}");
+            return;
+        }
+    };
+    let mut reader = stream;
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(payload)) => {
+                let job = Job {
+                    payload,
+                    writer: Arc::clone(&writer),
+                };
+                if tx.send(job).is_err() {
+                    return; // daemon shutting down
+                }
+            }
+            Ok(None) => return, // client closed cleanly
+            Err(e) => {
+                // Framing violation: report once, then drop the
+                // connection — resynchronization is not possible.
+                let resp = ResponseEnvelope {
+                    id: 0,
+                    response: Response::Error(ErrorBody::new(ErrorKind::Protocol, e.to_string())),
+                };
+                if let Ok(mut w) = writer.lock() {
+                    let _ = write_frame(&mut *w, &resp.encode());
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    worker_id: usize,
+    rx: &Arc<Mutex<mpsc::Receiver<Job>>>,
+    state: &State,
+    ep: &Endpoint,
+) {
+    let engine = Engine::new(state.power).threads(1);
+    loop {
+        let job = match rx.lock().expect("job queue lock poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // queue closed: daemon is draining
+        };
+        state.workers[worker_id]
+            .requests
+            .fetch_add(1, Ordering::Relaxed);
+        let (resp, stop) = handle_payload(&job.payload, worker_id, state, &engine);
+        if let Ok(mut w) = job.writer.lock() {
+            // A vanished client is not a daemon error.
+            let _ = write_frame(&mut *w, &resp.encode());
+        }
+        if stop {
+            state.shutdown.store(true, Ordering::SeqCst);
+            // Nudge the accept loop so it observes the flag — but keep
+            // pulling jobs: requests racing the shutdown (or arriving
+            // on connections that haven't closed yet) must still be
+            // answered, or their clients would hang and the drain in
+            // `Daemon::run` would never finish. The loop ends when the
+            // last connection thread drops its sender.
+            let _ = Stream::connect(ep);
+        }
+    }
+}
+
+/// Decode, dispatch, and answer one frame payload.
+fn handle_payload(
+    payload: &str,
+    worker_id: usize,
+    state: &State,
+    engine: &Engine,
+) -> (ResponseEnvelope, bool) {
+    let env = match RequestEnvelope::decode(payload) {
+        Ok(env) => env,
+        Err(e) => {
+            return (
+                ResponseEnvelope {
+                    id: 0,
+                    response: Response::Error(e),
+                },
+                false,
+            )
+        }
+    };
+    let id = env.id;
+    let counters = &state.workers[worker_id];
+    let mut stop = false;
+    let response = match env.request {
+        Request::Solve {
+            graph,
+            model,
+            deadline,
+        } => match solve_one(state, engine, counters, worker_id, graph, &model, deadline) {
+            Ok(report) => Response::Solve(report),
+            Err(e) => Response::Error(e),
+        },
+        Request::SolveDeadlines {
+            graph,
+            model,
+            deadlines,
+        } => {
+            let (inst, cached, prep_ns) = prepare(state, graph, &model);
+            let items = deadlines
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    // Preparation cost is attributed to the first item.
+                    let prep_ns = if i == 0 { prep_ns } else { 0 };
+                    timed_solve(
+                        engine, counters, worker_id, &inst, &model, d, cached, prep_ns,
+                    )
+                    .map_err(|e| ErrorBody::from(&e))
+                })
+                .collect();
+            Response::Deadlines(items)
+        }
+        Request::EnergyCurve {
+            graph,
+            model,
+            points,
+            lo,
+            hi,
+        } => {
+            let (inst, _, _) = prepare(state, graph, &model);
+            let t0 = Instant::now();
+            let result = engine.energy_curve(&inst.view(), &model, points, lo, hi);
+            counters
+                .solve_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            counters.solves.fetch_add(1, Ordering::Relaxed);
+            match result {
+                Ok(curve) => {
+                    Response::Curve(curve.iter().map(|p| (p.deadline, p.energy)).collect())
+                }
+                Err(e) => Response::Error(ErrorBody::from(&e)),
+            }
+        }
+        Request::Batch { model, jobs } => Response::Batch(
+            jobs.into_iter()
+                .map(|(graph, deadline)| {
+                    solve_one(state, engine, counters, worker_id, graph, &model, deadline)
+                })
+                .collect(),
+        ),
+        Request::Stats => Response::Stats(StatsReport {
+            cache: state.cache.stats(),
+            workers: state
+                .workers
+                .iter()
+                .map(|w| WorkerStatsReport {
+                    requests: w.requests.load(Ordering::Relaxed),
+                    solves: w.solves.load(Ordering::Relaxed),
+                    solve_ns: w.solve_ns.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }),
+        Request::Shutdown => {
+            stop = true;
+            Response::Shutdown
+        }
+    };
+    (ResponseEnvelope { id, response }, stop)
+}
+
+/// Cache-or-prepare the instance for `(graph, model)`.
+fn prepare(
+    state: &State,
+    graph: TaskGraph,
+    model: &EnergyModel,
+) -> (Arc<PreparedInstance>, bool, u64) {
+    let key = content_key(&graph, model);
+    let t0 = Instant::now();
+    let (inst, hit) = state
+        .cache
+        .get_or_prepare(key, move || PreparedInstance::new(Arc::new(graph)));
+    let prep_ns = if hit {
+        0
+    } else {
+        t0.elapsed().as_nanos() as u64
+    };
+    (inst, hit, prep_ns)
+}
+
+fn solve_one(
+    state: &State,
+    engine: &Engine,
+    counters: &WorkerCounters,
+    worker_id: usize,
+    graph: TaskGraph,
+    model: &EnergyModel,
+    deadline: f64,
+) -> Result<SolveReport, ErrorBody> {
+    let (inst, cached, prep_ns) = prepare(state, graph, model);
+    timed_solve(
+        engine, counters, worker_id, &inst, model, deadline, cached, prep_ns,
+    )
+    .map_err(|e| ErrorBody::from(&e))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn timed_solve(
+    engine: &Engine,
+    counters: &WorkerCounters,
+    worker_id: usize,
+    inst: &PreparedInstance,
+    model: &EnergyModel,
+    deadline: f64,
+    cached: bool,
+    prep_ns: u64,
+) -> Result<SolveReport, reclaim_core::SolveError> {
+    let t0 = Instant::now();
+    let result = engine.solve(&inst.view(), model, deadline);
+    let solve_ns = t0.elapsed().as_nanos() as u64;
+    counters.solves.fetch_add(1, Ordering::Relaxed);
+    counters.solve_ns.fetch_add(solve_ns, Ordering::Relaxed);
+    result.map(|sol| SolveReport {
+        energy: sol.energy,
+        algorithm: sol.algorithm.to_string(),
+        makespan: sol.schedule.makespan(inst.graph()),
+        solve_ns,
+        prep_ns,
+        cached,
+        worker: worker_id as u64,
+    })
+}

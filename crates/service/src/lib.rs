@@ -1,0 +1,63 @@
+//! # reclaim-service — `reclaimd` and the sharded corpus front-end
+//!
+//! Every other entry point in this workspace pays process startup and
+//! graph preparation per invocation. This crate turns the prepared-
+//! instance [`reclaim_core::Engine`] into a **long-lived system**:
+//!
+//! * [`daemon`] — `reclaimd`, a socket daemon (Unix-domain by
+//!   default, TCP optional) holding a **content-addressed cache** of
+//!   [`taskgraph::PreparedInstance`]s keyed by
+//!   [`reclaim_core::engine::content_key`], with LRU eviction under
+//!   byte/entry budgets and a fixed worker pool of single-threaded
+//!   engines;
+//! * [`proto`] — the versioned, length-prefixed JSON-line wire
+//!   protocol (`solve` / `solve_deadlines` / `energy_curve` / `batch`
+//!   / `stats` / `shutdown`) with structured error mapping from
+//!   [`reclaim_core::SolveError`] and [`lp::LpError`];
+//! * [`cache`] — the cache itself, usable without the daemon;
+//! * [`client`] — a blocking client (used by `reclaim ask` and the
+//!   integration tests);
+//! * [`corpus`] — deterministic sharding of whole instance
+//!   directories across engine shards, with byte-identical manifests
+//!   and per-shard `BENCH_corpus_<k>.json` perf records;
+//! * [`json`] — the in-tree JSON codec both layers ride on (the build
+//!   environment is offline; there is no serde).
+//!
+//! Start a daemon and ask it something:
+//!
+//! ```no_run
+//! use reclaim_service::daemon::{Daemon, DaemonConfig};
+//! use reclaim_service::client::Client;
+//! use reclaim_service::proto::{Request, Response};
+//! use models::EnergyModel;
+//! use taskgraph::TaskGraph;
+//!
+//! let daemon = Daemon::bind(DaemonConfig::default())?;
+//! let endpoint = daemon.endpoint();
+//! std::thread::spawn(move || daemon.run());
+//!
+//! let mut client = Client::connect(&endpoint)?;
+//! let graph = TaskGraph::new(vec![2.0, 4.0], &[(0, 1)]).unwrap();
+//! let reply = client.roundtrip(Request::Solve {
+//!     graph,
+//!     model: EnergyModel::continuous_unbounded(),
+//!     deadline: 3.0,
+//! }).unwrap();
+//! if let Response::Solve(report) = reply.response {
+//!     assert!(!report.cached, "first sight of this content");
+//! }
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod corpus;
+pub mod daemon;
+pub mod json;
+pub mod proto;
+
+pub use cache::{CacheConfig, InstanceCache};
+pub use client::{Client, ClientError};
+pub use corpus::{run_corpus, CorpusJob, ShardOutcome};
+pub use daemon::{config_from_args, Daemon, DaemonConfig, Endpoint};
+pub use proto::{ErrorBody, ErrorKind, Request, RequestEnvelope, Response, ResponseEnvelope};

@@ -1,0 +1,1155 @@
+//! The `reclaimd` wire protocol: length-prefixed JSON lines,
+//! versioned request/response envelopes, and the structured error
+//! mapping from [`SolveError`] / [`lp::LpError`].
+//!
+//! # Framing
+//!
+//! One message = one frame:
+//!
+//! ```text
+//! <decimal byte length of payload> '\n' <payload JSON, one line> '\n'
+//! ```
+//!
+//! The payload is compact JSON (no interior newlines). Frames above
+//! [`MAX_FRAME`] bytes are rejected before allocation; a stream that
+//! ends mid-frame is a [`FrameError::Truncated`], while a stream that
+//! ends cleanly *between* frames reads as end-of-session.
+//!
+//! # Envelopes
+//!
+//! Every request carries `"v": 1` (the protocol version — unknown
+//! versions are rejected with an `ErrorKind::Protocol` error), an
+//! optional client-chosen `"id"` (echoed verbatim in the response so
+//! pipelined requests can be matched even when the worker pool
+//! completes them out of order), and a `"type"` tag. Responses carry
+//! `"ok"` plus either a typed `"result"` or an `"error"` object.
+//!
+//! A worked request/response pair (the README shows the same exchange
+//! end-to-end):
+//!
+//! ```text
+//! → {"v":1,"id":7,"type":"solve","graph":{"weights":[2,4],"edges":[[0,1]]},
+//!    "model":{"kind":"continuous"},"deadline":3}
+//! ← {"v":1,"id":7,"ok":true,"type":"solve","result":{"energy":24,...}}
+//! ```
+
+use crate::json::{self, Json};
+use models::{DiscreteModes, EnergyModel, IncrementalModes};
+use reclaim_core::SolveError;
+use std::fmt;
+use std::io::{self, Read, Write};
+use taskgraph::TaskGraph;
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard cap on one frame's payload, in bytes.
+pub const MAX_FRAME: usize = 64 << 20;
+
+// ---------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The declared length exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    /// The stream ended mid-frame, or the header/terminator was not
+    /// where the length said it would be.
+    Truncated(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds cap {MAX_FRAME}"),
+            FrameError::Truncated(what) => write!(f, "truncated frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame as a single transport write (three small writes
+/// would interact badly with Nagle's algorithm on TCP endpoints).
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    debug_assert!(!payload.contains('\n'), "payload must be one line");
+    let mut buf = Vec::with_capacity(payload.len() + 24);
+    buf.extend_from_slice(format!("{}\n", payload.len()).as_bytes());
+    buf.extend_from_slice(payload.as_bytes());
+    buf.push(b'\n');
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` means the peer closed the stream cleanly
+/// at a frame boundary; ending anywhere else is [`FrameError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, FrameError> {
+    // Length header: decimal digits up to '\n'.
+    let mut header = Vec::with_capacity(16);
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if header.is_empty() {
+                    return Ok(None); // clean end-of-session
+                }
+                return Err(FrameError::Truncated("EOF inside length header".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if header.len() >= 20 {
+                    return Err(FrameError::Truncated("length header too long".into()));
+                }
+                header.push(byte[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len: usize = std::str::from_utf8(&header)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            FrameError::Truncated(format!(
+                "bad length header {:?}",
+                String::from_utf8_lossy(&header)
+            ))
+        })?;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len + 1];
+    r.read_exact(&mut payload)
+        .map_err(|_| FrameError::Truncated(format!("EOF inside {len}-byte payload")))?;
+    if payload.pop() != Some(b'\n') {
+        return Err(FrameError::Truncated("missing frame terminator".into()));
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| FrameError::Truncated("payload is not UTF-8".into()))
+}
+
+// ---------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------
+
+/// Structured error categories on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The instance admits no schedule meeting the deadline
+    /// ([`SolveError::Infeasible`] — carries `deadline`/`min_makespan`).
+    Infeasible,
+    /// A numerical substrate failed ([`SolveError::Numerical`], or any
+    /// [`lp::LpError`] that is not an infeasibility).
+    Numerical,
+    /// The model/graph/parameter combination is not supported
+    /// ([`SolveError::Unsupported`]).
+    Unsupported,
+    /// The request decoded as JSON but its content is invalid
+    /// (unknown type, malformed graph, bad field).
+    BadRequest,
+    /// The envelope itself is unusable: not JSON, wrong version,
+    /// framing violation.
+    Protocol,
+}
+
+impl ErrorKind {
+    fn wire(self) -> &'static str {
+        match self {
+            ErrorKind::Infeasible => "infeasible",
+            ErrorKind::Numerical => "numerical",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Protocol => "protocol",
+        }
+    }
+
+    fn from_wire(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "infeasible" => ErrorKind::Infeasible,
+            "numerical" => ErrorKind::Numerical,
+            "unsupported" => ErrorKind::Unsupported,
+            "bad_request" => ErrorKind::BadRequest,
+            "protocol" => ErrorKind::Protocol,
+            _ => return None,
+        })
+    }
+}
+
+/// A structured wire error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorBody {
+    /// The category.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+    /// For [`ErrorKind::Infeasible`]: the requested deadline.
+    pub deadline: Option<f64>,
+    /// For [`ErrorKind::Infeasible`]: the minimum achievable makespan.
+    pub min_makespan: Option<f64>,
+}
+
+impl ErrorBody {
+    /// A plain error with no infeasibility numbers.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> ErrorBody {
+        ErrorBody {
+            kind,
+            message: message.into(),
+            deadline: None,
+            min_makespan: None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.wire(), self.message)
+    }
+}
+
+impl From<&SolveError> for ErrorBody {
+    fn from(e: &SolveError) -> ErrorBody {
+        match e {
+            SolveError::Infeasible {
+                deadline,
+                min_makespan,
+            } => ErrorBody {
+                kind: ErrorKind::Infeasible,
+                message: e.to_string(),
+                deadline: Some(*deadline),
+                min_makespan: Some(*min_makespan),
+            },
+            SolveError::Numerical(_) => ErrorBody::new(ErrorKind::Numerical, e.to_string()),
+            SolveError::Unsupported(_) => ErrorBody::new(ErrorKind::Unsupported, e.to_string()),
+        }
+    }
+}
+
+impl From<&lp::LpError> for ErrorBody {
+    fn from(e: &lp::LpError) -> ErrorBody {
+        // LP infeasibility at this level means the *instance* is
+        // infeasible only when the caller says so; as a raw substrate
+        // failure it is reported in the numerical category with the
+        // variant name preserved in the message.
+        ErrorBody::new(ErrorKind::Numerical, format!("LP substrate: {e}"))
+    }
+}
+
+// ---------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------
+
+/// One request body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Solve one instance.
+    Solve {
+        /// The execution graph.
+        graph: TaskGraph,
+        /// The energy model.
+        model: EnergyModel,
+        /// The deadline `D`.
+        deadline: f64,
+    },
+    /// Solve one graph at many deadlines (shares one preparation).
+    SolveDeadlines {
+        /// The execution graph.
+        graph: TaskGraph,
+        /// The energy model.
+        model: EnergyModel,
+        /// The deadlines, solved in order.
+        deadlines: Vec<f64>,
+    },
+    /// Sample the energy–deadline curve (see `Engine::energy_curve`).
+    EnergyCurve {
+        /// The execution graph.
+        graph: TaskGraph,
+        /// The energy model.
+        model: EnergyModel,
+        /// Number of geometrically spaced sample points (≥ 2).
+        points: usize,
+        /// Low deadline factor.
+        lo: f64,
+        /// High deadline factor.
+        hi: f64,
+    },
+    /// Solve many `(graph, deadline)` jobs under one model.
+    Batch {
+        /// The shared energy model.
+        model: EnergyModel,
+        /// The jobs, answered in order.
+        jobs: Vec<(TaskGraph, f64)>,
+    },
+    /// Read cache and worker counters.
+    Stats,
+    /// Stop accepting connections and exit once drained.
+    Shutdown,
+}
+
+/// A request plus its envelope metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestEnvelope {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The request body.
+    pub request: Request,
+}
+
+fn graph_to_json(g: &TaskGraph) -> Json {
+    Json::Obj(vec![
+        (
+            "weights".into(),
+            Json::Arr(g.weights().iter().map(|&w| Json::num(w)).collect()),
+        ),
+        (
+            "edges".into(),
+            Json::Arr(
+                g.edges()
+                    .iter()
+                    .map(|&(u, v)| {
+                        Json::Arr(vec![
+                            Json::num(u.index() as f64),
+                            Json::num(v.index() as f64),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn model_to_json(m: &EnergyModel) -> Json {
+    let speeds = |m: &DiscreteModes| Json::Arr(m.speeds().iter().map(|&s| Json::num(s)).collect());
+    Json::Obj(match m {
+        EnergyModel::Continuous { s_max: None } => {
+            vec![("kind".into(), Json::str("continuous"))]
+        }
+        EnergyModel::Continuous { s_max: Some(s) } => vec![
+            ("kind".into(), Json::str("continuous")),
+            ("s_max".into(), Json::num(*s)),
+        ],
+        EnergyModel::Discrete(m) => vec![
+            ("kind".into(), Json::str("discrete")),
+            ("speeds".into(), speeds(m)),
+        ],
+        EnergyModel::VddHopping(m) => vec![
+            ("kind".into(), Json::str("vdd")),
+            ("speeds".into(), speeds(m)),
+        ],
+        EnergyModel::Incremental(m) => vec![
+            ("kind".into(), Json::str("incremental")),
+            ("s_min".into(), Json::num(m.s_min())),
+            ("s_max".into(), Json::num(m.s_max())),
+            ("delta".into(), Json::num(m.delta())),
+        ],
+    })
+}
+
+fn bad(msg: impl Into<String>) -> ErrorBody {
+    ErrorBody::new(ErrorKind::BadRequest, msg)
+}
+
+fn graph_from_json(v: &Json) -> Result<TaskGraph, ErrorBody> {
+    let weights: Vec<f64> = v
+        .get("weights")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("graph needs a \"weights\" array"))?
+        .iter()
+        .map(|w| w.as_f64().ok_or_else(|| bad("weights must be numbers")))
+        .collect::<Result<_, _>>()?;
+    let edges: Vec<(usize, usize)> = v
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("graph needs an \"edges\" array"))?
+        .iter()
+        .map(|e| {
+            let pair = e.as_arr().filter(|p| p.len() == 2);
+            let (u, v) = match pair {
+                Some([u, v]) => (u.as_u64(), v.as_u64()),
+                _ => (None, None),
+            };
+            match (u, v) {
+                (Some(u), Some(v)) => Ok((u as usize, v as usize)),
+                _ => Err(bad("each edge must be a [u, v] pair of task ids")),
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    TaskGraph::new(weights, &edges).map_err(|e| bad(format!("invalid graph: {e}")))
+}
+
+fn model_from_json(v: &Json) -> Result<EnergyModel, ErrorBody> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("model needs a \"kind\""))?;
+    let speeds = || -> Result<Vec<f64>, ErrorBody> {
+        v.get("speeds")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("model needs a \"speeds\" array"))?
+            .iter()
+            .map(|s| s.as_f64().ok_or_else(|| bad("speeds must be numbers")))
+            .collect()
+    };
+    let field = |name: &str| -> Result<f64, ErrorBody> {
+        v.get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad(format!("model needs numeric \"{name}\"")))
+    };
+    match kind {
+        "continuous" => match v.get("s_max") {
+            None => Ok(EnergyModel::continuous_unbounded()),
+            Some(s) => {
+                let s = s.as_f64().filter(|s| *s > 0.0);
+                s.map(EnergyModel::continuous)
+                    .ok_or_else(|| bad("\"s_max\" must be a positive number"))
+            }
+        },
+        "discrete" | "vdd" => {
+            let modes = DiscreteModes::new(&speeds()?)
+                .map_err(|e| bad(format!("invalid mode ladder: {e}")))?;
+            Ok(if kind == "discrete" {
+                EnergyModel::Discrete(modes)
+            } else {
+                EnergyModel::VddHopping(modes)
+            })
+        }
+        "incremental" => {
+            let modes = IncrementalModes::new(field("s_min")?, field("s_max")?, field("delta")?)
+                .map_err(|e| bad(format!("invalid incremental grid: {e}")))?;
+            Ok(EnergyModel::Incremental(modes))
+        }
+        other => Err(bad(format!("unknown model kind {other:?}"))),
+    }
+}
+
+impl RequestEnvelope {
+    /// Encode to the one-line JSON payload (framing is separate).
+    pub fn encode(&self) -> String {
+        let mut pairs = vec![
+            ("v".into(), Json::num(PROTOCOL_VERSION as f64)),
+            ("id".into(), Json::num(self.id as f64)),
+        ];
+        match &self.request {
+            Request::Solve {
+                graph,
+                model,
+                deadline,
+            } => {
+                pairs.push(("type".into(), Json::str("solve")));
+                pairs.push(("graph".into(), graph_to_json(graph)));
+                pairs.push(("model".into(), model_to_json(model)));
+                pairs.push(("deadline".into(), Json::num(*deadline)));
+            }
+            Request::SolveDeadlines {
+                graph,
+                model,
+                deadlines,
+            } => {
+                pairs.push(("type".into(), Json::str("solve_deadlines")));
+                pairs.push(("graph".into(), graph_to_json(graph)));
+                pairs.push(("model".into(), model_to_json(model)));
+                pairs.push((
+                    "deadlines".into(),
+                    Json::Arr(deadlines.iter().map(|&d| Json::num(d)).collect()),
+                ));
+            }
+            Request::EnergyCurve {
+                graph,
+                model,
+                points,
+                lo,
+                hi,
+            } => {
+                pairs.push(("type".into(), Json::str("energy_curve")));
+                pairs.push(("graph".into(), graph_to_json(graph)));
+                pairs.push(("model".into(), model_to_json(model)));
+                pairs.push(("points".into(), Json::num(*points as f64)));
+                pairs.push(("lo".into(), Json::num(*lo)));
+                pairs.push(("hi".into(), Json::num(*hi)));
+            }
+            Request::Batch { model, jobs } => {
+                pairs.push(("type".into(), Json::str("batch")));
+                pairs.push(("model".into(), model_to_json(model)));
+                pairs.push((
+                    "jobs".into(),
+                    Json::Arr(
+                        jobs.iter()
+                            .map(|(g, d)| {
+                                Json::Obj(vec![
+                                    ("graph".into(), graph_to_json(g)),
+                                    ("deadline".into(), Json::num(*d)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Request::Stats => pairs.push(("type".into(), Json::str("stats"))),
+            Request::Shutdown => pairs.push(("type".into(), Json::str("shutdown"))),
+        }
+        Json::Obj(pairs).encode()
+    }
+
+    /// Decode a payload. Version/JSON failures come back as
+    /// [`ErrorKind::Protocol`], content failures as
+    /// [`ErrorKind::BadRequest`].
+    pub fn decode(payload: &str) -> Result<RequestEnvelope, ErrorBody> {
+        let v =
+            json::parse(payload).map_err(|e| ErrorBody::new(ErrorKind::Protocol, e.to_string()))?;
+        let version = v.get("v").and_then(Json::as_u64);
+        if version != Some(PROTOCOL_VERSION) {
+            return Err(ErrorBody::new(
+                ErrorKind::Protocol,
+                match version {
+                    Some(n) => format!(
+                        "unsupported protocol version {n} (this build speaks {PROTOCOL_VERSION})"
+                    ),
+                    None => "missing protocol version \"v\"".into(),
+                },
+            ));
+        }
+        let id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
+        let typ = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing request \"type\""))?;
+        let num = |name: &str| -> Result<f64, ErrorBody> {
+            v.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad(format!("missing numeric \"{name}\"")))
+        };
+        let graph = || -> Result<TaskGraph, ErrorBody> {
+            graph_from_json(v.get("graph").ok_or_else(|| bad("missing \"graph\""))?)
+        };
+        let model = || -> Result<EnergyModel, ErrorBody> {
+            model_from_json(v.get("model").ok_or_else(|| bad("missing \"model\""))?)
+        };
+        let request = match typ {
+            "solve" => Request::Solve {
+                graph: graph()?,
+                model: model()?,
+                deadline: num("deadline")?,
+            },
+            "solve_deadlines" => Request::SolveDeadlines {
+                graph: graph()?,
+                model: model()?,
+                deadlines: v
+                    .get("deadlines")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("missing \"deadlines\" array"))?
+                    .iter()
+                    .map(|d| d.as_f64().ok_or_else(|| bad("deadlines must be numbers")))
+                    .collect::<Result<_, _>>()?,
+            },
+            "energy_curve" => Request::EnergyCurve {
+                graph: graph()?,
+                model: model()?,
+                points: v
+                    .get("points")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("missing integer \"points\""))?
+                    as usize,
+                lo: num("lo")?,
+                hi: num("hi")?,
+            },
+            "batch" => Request::Batch {
+                model: model()?,
+                jobs: v
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("missing \"jobs\" array"))?
+                    .iter()
+                    .map(|j| {
+                        let g = graph_from_json(
+                            j.get("graph").ok_or_else(|| bad("job missing \"graph\""))?,
+                        )?;
+                        let d = j
+                            .get("deadline")
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| bad("job missing \"deadline\""))?;
+                        Ok((g, d))
+                    })
+                    .collect::<Result<_, ErrorBody>>()?,
+            },
+            "stats" => Request::Stats,
+            "shutdown" => Request::Shutdown,
+            other => return Err(bad(format!("unknown request type {other:?}"))),
+        };
+        Ok(RequestEnvelope { id, request })
+    }
+}
+
+// ---------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------
+
+/// The result of one solve, as reported on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Optimal (or model-approximated) energy.
+    pub energy: f64,
+    /// Which registry algorithm produced it.
+    pub algorithm: String,
+    /// Makespan of the returned schedule.
+    pub makespan: f64,
+    /// Nanoseconds spent solving — preparation excluded.
+    pub solve_ns: u64,
+    /// Nanoseconds spent preparing the graph analysis; `0` on a cache
+    /// hit (the point of the content-addressed cache).
+    pub prep_ns: u64,
+    /// Whether the prepared instance came from the cache.
+    pub cached: bool,
+    /// Index of the worker that served the request.
+    pub worker: u64,
+}
+
+/// Cache counters, as reported by `stats`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CacheStatsReport {
+    /// Live entries.
+    pub entries: u64,
+    /// Estimated resident bytes of live entries.
+    pub bytes: u64,
+    /// Lookup hits since start.
+    pub hits: u64,
+    /// Lookup misses since start.
+    pub misses: u64,
+    /// Evictions since start.
+    pub evictions: u64,
+}
+
+/// One worker's counters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkerStatsReport {
+    /// Requests served.
+    pub requests: u64,
+    /// Individual solves performed (a batch counts each job).
+    pub solves: u64,
+    /// Total nanoseconds in `Engine::solve`-family calls.
+    pub solve_ns: u64,
+}
+
+/// The `stats` response body.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsReport {
+    /// Cache counters.
+    pub cache: CacheStatsReport,
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerStatsReport>,
+}
+
+/// One response body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Solve`].
+    Solve(SolveReport),
+    /// Answer to [`Request::SolveDeadlines`]: one entry per deadline,
+    /// in request order.
+    Deadlines(Vec<Result<SolveReport, ErrorBody>>),
+    /// Answer to [`Request::EnergyCurve`]: `(deadline, energy)`
+    /// samples (infeasible points are skipped, as in the engine).
+    Curve(Vec<(f64, f64)>),
+    /// Answer to [`Request::Batch`]: one entry per job, in order.
+    Batch(Vec<Result<SolveReport, ErrorBody>>),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReport),
+    /// Answer to [`Request::Shutdown`].
+    Shutdown,
+    /// The request failed as a whole.
+    Error(ErrorBody),
+}
+
+/// A response plus its envelope metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseEnvelope {
+    /// The correlation id echoed from the request.
+    pub id: u64,
+    /// The response body.
+    pub response: Response,
+}
+
+fn report_to_json(r: &SolveReport) -> Json {
+    Json::Obj(vec![
+        ("energy".into(), Json::num(r.energy)),
+        ("algorithm".into(), Json::str(r.algorithm.clone())),
+        ("makespan".into(), Json::num(r.makespan)),
+        ("solve_ns".into(), Json::num(r.solve_ns as f64)),
+        ("prep_ns".into(), Json::num(r.prep_ns as f64)),
+        ("cached".into(), Json::Bool(r.cached)),
+        ("worker".into(), Json::num(r.worker as f64)),
+    ])
+}
+
+fn report_from_json(v: &Json) -> Result<SolveReport, ErrorBody> {
+    let f = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad(format!("solve report missing \"{name}\"")))
+    };
+    let u = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad(format!("solve report missing \"{name}\"")))
+    };
+    Ok(SolveReport {
+        energy: f("energy")?,
+        algorithm: v
+            .get("algorithm")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("solve report missing \"algorithm\""))?
+            .to_string(),
+        makespan: f("makespan")?,
+        solve_ns: u("solve_ns")?,
+        prep_ns: u("prep_ns")?,
+        cached: v
+            .get("cached")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| bad("solve report missing \"cached\""))?,
+        worker: u("worker")?,
+    })
+}
+
+fn error_to_json(e: &ErrorBody) -> Json {
+    let mut pairs = vec![
+        ("kind".into(), Json::str(e.kind.wire())),
+        ("message".into(), Json::str(e.message.clone())),
+    ];
+    if let Some(d) = e.deadline {
+        pairs.push(("deadline".into(), Json::num(d)));
+    }
+    if let Some(m) = e.min_makespan {
+        pairs.push(("min_makespan".into(), Json::num(m)));
+    }
+    Json::Obj(pairs)
+}
+
+fn error_from_json(v: &Json) -> Result<ErrorBody, ErrorBody> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .and_then(ErrorKind::from_wire)
+        .ok_or_else(|| bad("error body missing a known \"kind\""))?;
+    Ok(ErrorBody {
+        kind,
+        message: v
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        deadline: v.get("deadline").and_then(Json::as_f64),
+        min_makespan: v.get("min_makespan").and_then(Json::as_f64),
+    })
+}
+
+fn item_to_json(item: &Result<SolveReport, ErrorBody>) -> Json {
+    match item {
+        Ok(r) => {
+            let mut pairs = vec![("ok".into(), Json::Bool(true))];
+            pairs.push(("result".into(), report_to_json(r)));
+            Json::Obj(pairs)
+        }
+        Err(e) => Json::Obj(vec![
+            ("ok".into(), Json::Bool(false)),
+            ("error".into(), error_to_json(e)),
+        ]),
+    }
+}
+
+fn item_from_json(v: &Json) -> Result<Result<SolveReport, ErrorBody>, ErrorBody> {
+    match v.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok(Ok(report_from_json(
+            v.get("result").ok_or_else(|| bad("item missing result"))?,
+        )?)),
+        Some(false) => Ok(Err(error_from_json(
+            v.get("error").ok_or_else(|| bad("item missing error"))?,
+        )?)),
+        None => Err(bad("item missing \"ok\"")),
+    }
+}
+
+impl ResponseEnvelope {
+    /// Encode to the one-line JSON payload (framing is separate).
+    pub fn encode(&self) -> String {
+        let mut pairs = vec![
+            ("v".into(), Json::num(PROTOCOL_VERSION as f64)),
+            ("id".into(), Json::num(self.id as f64)),
+        ];
+        match &self.response {
+            Response::Error(e) => {
+                pairs.push(("ok".into(), Json::Bool(false)));
+                pairs.push(("error".into(), error_to_json(e)));
+            }
+            ok => {
+                pairs.push(("ok".into(), Json::Bool(true)));
+                let (typ, result) = match ok {
+                    Response::Solve(r) => ("solve", report_to_json(r)),
+                    Response::Deadlines(items) => (
+                        "solve_deadlines",
+                        Json::Arr(items.iter().map(item_to_json).collect()),
+                    ),
+                    Response::Curve(points) => (
+                        "energy_curve",
+                        Json::Arr(
+                            points
+                                .iter()
+                                .map(|&(d, e)| {
+                                    Json::Obj(vec![
+                                        ("deadline".into(), Json::num(d)),
+                                        ("energy".into(), Json::num(e)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    Response::Batch(items) => {
+                        ("batch", Json::Arr(items.iter().map(item_to_json).collect()))
+                    }
+                    Response::Stats(s) => ("stats", stats_to_json(s)),
+                    Response::Shutdown => (
+                        "shutdown",
+                        Json::Obj(vec![("stopping".into(), Json::Bool(true))]),
+                    ),
+                    Response::Error(_) => unreachable!("handled above"),
+                };
+                pairs.push(("type".into(), Json::str(typ)));
+                pairs.push(("result".into(), result));
+            }
+        }
+        Json::Obj(pairs).encode()
+    }
+
+    /// Decode a payload (the client side of [`Self::encode`]).
+    pub fn decode(payload: &str) -> Result<ResponseEnvelope, ErrorBody> {
+        let v =
+            json::parse(payload).map_err(|e| ErrorBody::new(ErrorKind::Protocol, e.to_string()))?;
+        if v.get("v").and_then(Json::as_u64) != Some(PROTOCOL_VERSION) {
+            return Err(ErrorBody::new(
+                ErrorKind::Protocol,
+                "missing or unsupported protocol version in response",
+            ));
+        }
+        let id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
+        let ok = v
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| bad("response missing \"ok\""))?;
+        if !ok {
+            let e = error_from_json(v.get("error").ok_or_else(|| bad("missing \"error\""))?)?;
+            return Ok(ResponseEnvelope {
+                id,
+                response: Response::Error(e),
+            });
+        }
+        let typ = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("response missing \"type\""))?;
+        let result = v
+            .get("result")
+            .ok_or_else(|| bad("response missing \"result\""))?;
+        let response = match typ {
+            "solve" => Response::Solve(report_from_json(result)?),
+            "solve_deadlines" | "batch" => {
+                let items = result
+                    .as_arr()
+                    .ok_or_else(|| bad("result must be an array"))?
+                    .iter()
+                    .map(item_from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if typ == "batch" {
+                    Response::Batch(items)
+                } else {
+                    Response::Deadlines(items)
+                }
+            }
+            "energy_curve" => Response::Curve(
+                result
+                    .as_arr()
+                    .ok_or_else(|| bad("result must be an array"))?
+                    .iter()
+                    .map(|p| {
+                        let d = p.get("deadline").and_then(Json::as_f64);
+                        let e = p.get("energy").and_then(Json::as_f64);
+                        match (d, e) {
+                            (Some(d), Some(e)) => Ok((d, e)),
+                            _ => Err(bad("curve point missing deadline/energy")),
+                        }
+                    })
+                    .collect::<Result<_, _>>()?,
+            ),
+            "stats" => Response::Stats(stats_from_json(result)?),
+            "shutdown" => Response::Shutdown,
+            other => return Err(bad(format!("unknown response type {other:?}"))),
+        };
+        Ok(ResponseEnvelope { id, response })
+    }
+}
+
+fn stats_to_json(s: &StatsReport) -> Json {
+    Json::Obj(vec![
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("entries".into(), Json::num(s.cache.entries as f64)),
+                ("bytes".into(), Json::num(s.cache.bytes as f64)),
+                ("hits".into(), Json::num(s.cache.hits as f64)),
+                ("misses".into(), Json::num(s.cache.misses as f64)),
+                ("evictions".into(), Json::num(s.cache.evictions as f64)),
+            ]),
+        ),
+        (
+            "workers".into(),
+            Json::Arr(
+                s.workers
+                    .iter()
+                    .map(|w| {
+                        Json::Obj(vec![
+                            ("requests".into(), Json::num(w.requests as f64)),
+                            ("solves".into(), Json::num(w.solves as f64)),
+                            ("solve_ns".into(), Json::num(w.solve_ns as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn stats_from_json(v: &Json) -> Result<StatsReport, ErrorBody> {
+    let cache = v.get("cache").ok_or_else(|| bad("stats missing cache"))?;
+    let cu = |name: &str| {
+        cache
+            .get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad(format!("cache stats missing \"{name}\"")))
+    };
+    Ok(StatsReport {
+        cache: CacheStatsReport {
+            entries: cu("entries")?,
+            bytes: cu("bytes")?,
+            hits: cu("hits")?,
+            misses: cu("misses")?,
+            evictions: cu("evictions")?,
+        },
+        workers: v
+            .get("workers")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("stats missing workers"))?
+            .iter()
+            .map(|w| {
+                let wu = |name: &str| {
+                    w.get(name)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad(format!("worker stats missing \"{name}\"")))
+                };
+                Ok(WorkerStatsReport {
+                    requests: wu("requests")?,
+                    solves: wu("solves")?,
+                    solve_ns: wu("solve_ns")?,
+                })
+            })
+            .collect::<Result<_, ErrorBody>>()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> TaskGraph {
+        TaskGraph::new(vec![2.0, 4.0, 1.0], &[(0, 1), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn request_encode_decode_identity() {
+        let reqs = vec![
+            Request::Solve {
+                graph: graph(),
+                model: EnergyModel::continuous(2.0),
+                deadline: 8.0,
+            },
+            Request::SolveDeadlines {
+                graph: graph(),
+                model: EnergyModel::continuous_unbounded(),
+                deadlines: vec![4.0, 5.5, 7.25],
+            },
+            Request::EnergyCurve {
+                graph: graph(),
+                model: EnergyModel::Discrete(DiscreteModes::new(&[1.0, 2.0]).unwrap()),
+                points: 8,
+                lo: 1.05,
+                hi: 4.0,
+            },
+            Request::Batch {
+                model: EnergyModel::VddHopping(DiscreteModes::new(&[0.5, 1.5]).unwrap()),
+                jobs: vec![(graph(), 6.0), (graph(), 9.0)],
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for (i, request) in reqs.into_iter().enumerate() {
+            let env = RequestEnvelope {
+                id: i as u64 + 1,
+                request,
+            };
+            let back = RequestEnvelope::decode(&env.encode()).unwrap();
+            assert_eq!(back, env);
+        }
+    }
+
+    #[test]
+    fn response_encode_decode_identity() {
+        let report = SolveReport {
+            energy: 24.5,
+            algorithm: "continuous".into(),
+            makespan: 7.75,
+            solve_ns: 12_345,
+            prep_ns: 0,
+            cached: true,
+            worker: 3,
+        };
+        let infeasible = ErrorBody {
+            kind: ErrorKind::Infeasible,
+            message: "too tight".into(),
+            deadline: Some(1.0),
+            min_makespan: Some(2.5),
+        };
+        let responses = vec![
+            Response::Solve(report.clone()),
+            Response::Deadlines(vec![Ok(report.clone()), Err(infeasible.clone())]),
+            Response::Curve(vec![(4.0, 10.0), (8.0, 2.5)]),
+            Response::Batch(vec![Err(infeasible.clone()), Ok(report)]),
+            Response::Stats(StatsReport {
+                cache: CacheStatsReport {
+                    entries: 2,
+                    bytes: 4096,
+                    hits: 10,
+                    misses: 3,
+                    evictions: 1,
+                },
+                workers: vec![
+                    WorkerStatsReport {
+                        requests: 5,
+                        solves: 9,
+                        solve_ns: 777,
+                    },
+                    WorkerStatsReport::default(),
+                ],
+            }),
+            Response::Shutdown,
+            Response::Error(infeasible),
+        ];
+        for (i, response) in responses.into_iter().enumerate() {
+            let env = ResponseEnvelope {
+                id: i as u64,
+                response,
+            };
+            let back = ResponseEnvelope::decode(&env.encode()).unwrap();
+            assert_eq!(back, env);
+        }
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let payload = r#"{"v":2,"id":1,"type":"stats"}"#;
+        let e = RequestEnvelope::decode(payload).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Protocol);
+        assert!(e.message.contains("version 2"), "{}", e.message);
+        let none = r#"{"id":1,"type":"stats"}"#;
+        assert_eq!(
+            RequestEnvelope::decode(none).unwrap_err().kind,
+            ErrorKind::Protocol
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_request_not_protocol() {
+        for payload in [
+            r#"{"v":1,"type":"warp"}"#,
+            r#"{"v":1,"type":"solve"}"#,
+            r#"{"v":1,"type":"solve","graph":{"weights":[1],"edges":[[0,0]]},"model":{"kind":"continuous"},"deadline":1}"#,
+            r#"{"v":1,"type":"solve","graph":{"weights":[1],"edges":[]},"model":{"kind":"warp"},"deadline":1}"#,
+        ] {
+            let e = RequestEnvelope::decode(payload).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadRequest, "{payload}");
+        }
+        // Non-JSON is a protocol error.
+        assert_eq!(
+            RequestEnvelope::decode("not json").unwrap_err().kind,
+            ErrorKind::Protocol
+        );
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        write_frame(&mut buf, r#"{"v":1}"#).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("hello"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(r#"{"v":1}"#));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "payload-of-some-length").unwrap();
+        // Every strict prefix must fail loudly, except the empty one
+        // (clean end-of-session).
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            assert!(
+                matches!(read_frame(&mut r), Err(FrameError::Truncated(_))),
+                "prefix of {cut} bytes should be a truncation error"
+            );
+        }
+        let mut empty: &[u8] = &[];
+        assert!(read_frame(&mut empty).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_and_garbage_headers_rejected() {
+        let mut r: &[u8] = b"99999999999999999999\nx";
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Truncated(_)) | Err(FrameError::TooLarge(_))
+        ));
+        let huge = format!("{}\n", MAX_FRAME + 1);
+        let mut r = huge.as_bytes();
+        assert!(matches!(read_frame(&mut r), Err(FrameError::TooLarge(_))));
+        let mut r: &[u8] = b"abc\nxyz\n";
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated(_))));
+    }
+
+    #[test]
+    fn solve_error_mapping_carries_structure() {
+        let e = SolveError::Infeasible {
+            deadline: 1.5,
+            min_makespan: 3.0,
+        };
+        let body = ErrorBody::from(&e);
+        assert_eq!(body.kind, ErrorKind::Infeasible);
+        assert_eq!(body.deadline, Some(1.5));
+        assert_eq!(body.min_makespan, Some(3.0));
+        let body = ErrorBody::from(&SolveError::Numerical("stall".into()));
+        assert_eq!(body.kind, ErrorKind::Numerical);
+        assert!(body.message.contains("stall"));
+        let body = ErrorBody::from(&lp::LpError::WarmStartLost);
+        assert_eq!(body.kind, ErrorKind::Numerical);
+        assert!(body.message.contains("LP"));
+    }
+}

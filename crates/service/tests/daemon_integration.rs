@@ -1,0 +1,276 @@
+//! Integration tests against a real `reclaimd` process: spawn the
+//! binary on a temp Unix socket, drive it over the wire, and assert
+//! the acceptance behaviors — repeated solves hit the cache (hit
+//! counter increments, `prep_ns` drops to 0), a tiny budget evicts,
+//! and `shutdown` exits cleanly and removes the socket.
+
+use models::EnergyModel;
+use reclaim_service::client::Client;
+use reclaim_service::daemon::{Daemon, DaemonConfig, Endpoint};
+use reclaim_service::proto::{ErrorKind, Request, Response, SolveReport, StatsReport};
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::time::Duration;
+use taskgraph::{generators, TaskGraph};
+
+struct Spawned {
+    child: Child,
+    endpoint: Endpoint,
+    socket: PathBuf,
+}
+
+impl Spawned {
+    /// Spawn `reclaimd` on a fresh temp socket with extra flags.
+    fn new(tag: &str, extra: &[&str]) -> Spawned {
+        let socket =
+            std::env::temp_dir().join(format!("reclaimd-test-{}-{tag}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let child = Command::new(env!("CARGO_BIN_EXE_reclaimd"))
+            .arg("--socket")
+            .arg(&socket)
+            .args(extra)
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn reclaimd");
+        Spawned {
+            child,
+            endpoint: Endpoint::Unix(socket.clone()),
+            socket,
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_with_retry(&self.endpoint, Duration::from_secs(10))
+            .expect("daemon must come up")
+    }
+
+    /// Ask for shutdown, close the connection, and assert a clean
+    /// exit (the daemon drains open connections before exiting, so
+    /// the client must be dropped before waiting).
+    fn shutdown(mut self, mut client: Client) {
+        match client.roundtrip(Request::Shutdown).unwrap().response {
+            Response::Shutdown => {}
+            other => panic!("unexpected shutdown response: {other:?}"),
+        }
+        drop(client);
+        let status = self.child.wait().expect("wait for reclaimd");
+        assert!(status.success(), "daemon must exit cleanly: {status:?}");
+        assert!(
+            !self.socket.exists(),
+            "socket file must be removed on shutdown"
+        );
+    }
+}
+
+impl Drop for Spawned {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+fn big_graph(seed: u64) -> TaskGraph {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::random_sp(120, 0.55, 1.0, 5.0, &mut rng).0
+}
+
+fn solve_req(g: &TaskGraph) -> Request {
+    Request::Solve {
+        graph: g.clone(),
+        model: EnergyModel::continuous_unbounded(),
+        deadline: 1.5 * taskgraph::analysis::critical_path_weight(g),
+    }
+}
+
+fn expect_solve(resp: Response) -> SolveReport {
+    match resp {
+        Response::Solve(r) => r,
+        other => panic!("expected a solve report, got {other:?}"),
+    }
+}
+
+fn expect_stats(resp: Response) -> StatsReport {
+    match resp {
+        Response::Stats(s) => s,
+        other => panic!("expected stats, got {other:?}"),
+    }
+}
+
+/// The acceptance path: a repeated solve of the same instance skips
+/// preparation — the hit counter increments and the second report's
+/// solve_ns excludes preparation (prep_ns == 0).
+#[test]
+fn repeated_solve_hits_cache_and_skips_preparation() {
+    let daemon = Spawned::new("hit", &["--workers", "2"]);
+    let mut client = daemon.client();
+    let g = big_graph(1);
+
+    let first = expect_solve(client.roundtrip(solve_req(&g)).unwrap().response);
+    assert!(!first.cached, "first sight of this content is a miss");
+    assert!(first.prep_ns > 0, "the miss pays for preparation");
+
+    let hits_before = expect_stats(client.roundtrip(Request::Stats).unwrap().response)
+        .cache
+        .hits;
+
+    let second = expect_solve(client.roundtrip(solve_req(&g)).unwrap().response);
+    assert!(second.cached, "identical content must hit");
+    assert_eq!(second.prep_ns, 0, "a hit pays nothing for preparation");
+    assert!(
+        (second.energy - first.energy).abs() <= 1e-9 * (1.0 + first.energy),
+        "cached preparation must not change the answer"
+    );
+
+    let stats = expect_stats(client.roundtrip(Request::Stats).unwrap().response);
+    assert!(
+        stats.cache.hits > hits_before,
+        "cache-hit counter must increment ({} -> {})",
+        hits_before,
+        stats.cache.hits
+    );
+    assert_eq!(stats.cache.entries, 1);
+    // Both worker slots are reported, and the pool did all the work.
+    assert_eq!(stats.workers.len(), 2);
+    assert!(stats.workers.iter().map(|w| w.solves).sum::<u64>() >= 2);
+
+    daemon.shutdown(client);
+}
+
+/// Under a one-entry budget, a second distinct instance evicts the
+/// first (and the evictee misses when it returns).
+#[test]
+fn tiny_budget_evicts_lru() {
+    let daemon = Spawned::new("evict", &["--cache-entries", "1"]);
+    let mut client = daemon.client();
+    let (a, b) = (big_graph(10), big_graph(11));
+
+    expect_solve(client.roundtrip(solve_req(&a)).unwrap().response);
+    expect_solve(client.roundtrip(solve_req(&b)).unwrap().response);
+    let stats = expect_stats(client.roundtrip(Request::Stats).unwrap().response);
+    assert_eq!(stats.cache.entries, 1, "budget holds");
+    assert!(stats.cache.evictions >= 1, "a must have been evicted");
+
+    let again = expect_solve(client.roundtrip(solve_req(&a)).unwrap().response);
+    assert!(!again.cached, "evicted content must miss");
+
+    daemon.shutdown(client);
+}
+
+/// The multi-solve request types work over the wire, and errors come
+/// back structured.
+#[test]
+fn sweep_batch_and_structured_errors() {
+    let daemon = Spawned::new("multi", &[]);
+    let mut client = daemon.client();
+    let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+    let model = EnergyModel::continuous(2.0);
+
+    // solve_deadlines: first feasible entry pays prep once.
+    let resp = client
+        .roundtrip(Request::SolveDeadlines {
+            graph: g.clone(),
+            model: model.clone(),
+            deadlines: vec![0.1, 5.0, 8.0],
+        })
+        .unwrap()
+        .response;
+    let Response::Deadlines(items) = resp else {
+        panic!("expected deadlines response");
+    };
+    assert_eq!(items.len(), 3);
+    let e = items[0].as_ref().unwrap_err();
+    assert_eq!(e.kind, ErrorKind::Infeasible, "0.1 is below dmin");
+    assert!(e.deadline.is_some() && e.min_makespan.is_some());
+    let (r1, r2) = (items[1].as_ref().unwrap(), items[2].as_ref().unwrap());
+    assert!(r1.energy > r2.energy, "looser deadline, lower energy");
+
+    // energy_curve over the same (already cached) instance.
+    let resp = client
+        .roundtrip(Request::EnergyCurve {
+            graph: g.clone(),
+            model: model.clone(),
+            points: 6,
+            lo: 1.1,
+            hi: 3.0,
+        })
+        .unwrap()
+        .response;
+    let Response::Curve(points) = resp else {
+        panic!("expected curve response");
+    };
+    assert_eq!(points.len(), 6);
+    assert!(points.windows(2).all(|w| w[1].1 <= w[0].1 * (1.0 + 1e-9)));
+
+    // batch under one model.
+    let resp = client
+        .roundtrip(Request::Batch {
+            model,
+            jobs: vec![(g.clone(), 5.0), (g.clone(), 0.01), (g, 9.0)],
+        })
+        .unwrap()
+        .response;
+    let Response::Batch(items) = resp else {
+        panic!("expected batch response");
+    };
+    assert_eq!(items.len(), 3);
+    assert!(items[0].is_ok() && items[2].is_ok());
+    assert_eq!(items[1].as_ref().unwrap_err().kind, ErrorKind::Infeasible);
+
+    daemon.shutdown(client);
+}
+
+/// Malformed envelopes are answered (not dropped) with protocol /
+/// bad-request errors, and the daemon keeps serving afterwards.
+#[test]
+fn malformed_requests_get_structured_answers() {
+    use reclaim_service::proto::{read_frame, write_frame, ResponseEnvelope};
+    let daemon = Spawned::new("malformed", &[]);
+    let mut client = daemon.client();
+
+    // An unknown version, sent raw over a second connection.
+    {
+        let mut raw = std::os::unix::net::UnixStream::connect(&daemon.socket).unwrap();
+        write_frame(&mut raw, r#"{"v":99,"id":5,"type":"stats"}"#).unwrap();
+        let payload = read_frame(&mut raw).unwrap().expect("an answer");
+        let resp = ResponseEnvelope::decode(&payload).unwrap();
+        let Response::Error(e) = resp.response else {
+            panic!("expected an error response");
+        };
+        assert_eq!(e.kind, ErrorKind::Protocol);
+        assert!(e.message.contains("version"), "{}", e.message);
+    }
+
+    // The daemon still answers well-formed requests.
+    let stats = expect_stats(client.roundtrip(Request::Stats).unwrap().response);
+    assert_eq!(stats.cache.entries, 0);
+
+    daemon.shutdown(client);
+}
+
+/// The in-process TCP path: bind on an ephemeral port, solve, stop.
+#[test]
+fn tcp_endpoint_works_in_process() {
+    let daemon = Daemon::bind(DaemonConfig {
+        tcp: Some("127.0.0.1:0".into()),
+        workers: 1,
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let endpoint = daemon.endpoint();
+    assert!(matches!(endpoint, Endpoint::Tcp(_)));
+    let handle = std::thread::spawn(move || daemon.run());
+
+    let mut client = Client::connect_with_retry(&endpoint, Duration::from_secs(5)).unwrap();
+    let g = generators::chain(&[1.0, 2.0]);
+    let r = expect_solve(client.roundtrip(solve_req(&g)).unwrap().response);
+    assert!(r.energy > 0.0);
+    match client.roundtrip(Request::Shutdown).unwrap().response {
+        Response::Shutdown => {}
+        other => panic!("unexpected: {other:?}"),
+    }
+    drop(client);
+    handle.join().unwrap().unwrap();
+}

@@ -1,0 +1,188 @@
+//! Property tests for the wire protocol: encode→decode identity over
+//! randomized envelopes, truncated-frame rejection at every cut
+//! point, and unknown-version rejection for every version ≠ 1.
+
+use models::{DiscreteModes, EnergyModel, IncrementalModes};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reclaim_service::proto::{
+    read_frame, write_frame, ErrorBody, ErrorKind, FrameError, Request, RequestEnvelope, Response,
+    ResponseEnvelope, SolveReport, PROTOCOL_VERSION,
+};
+use taskgraph::{generators, TaskGraph};
+
+fn arb_model() -> impl Strategy<Value = EnergyModel> {
+    prop_oneof![
+        Just(EnergyModel::continuous_unbounded()),
+        (0.5f64..4.0).prop_map(EnergyModel::continuous),
+        prop::collection::vec(0.25f64..4.0, 1..6)
+            .prop_map(|v| EnergyModel::Discrete(DiscreteModes::new(&v).unwrap())),
+        prop::collection::vec(0.25f64..4.0, 1..6)
+            .prop_map(|v| EnergyModel::VddHopping(DiscreteModes::new(&v).unwrap())),
+        (0.25f64..1.0, 1.5f64..4.0, 0.05f64..0.75).prop_map(|(lo, hi, d)| {
+            EnergyModel::Incremental(IncrementalModes::new(lo, hi, d).unwrap())
+        }),
+    ]
+}
+
+fn graph_for(seed: u64, n: usize) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::random_dag(n.max(1), 0.3, 0.5, 5.0, &mut rng)
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u64>(), 1usize..12, arb_model(), 0.5f64..50.0).prop_map(|(s, n, model, d)| {
+            Request::Solve {
+                graph: graph_for(s, n),
+                model,
+                deadline: d,
+            }
+        }),
+        (
+            any::<u64>(),
+            1usize..10,
+            arb_model(),
+            prop::collection::vec(0.5f64..50.0, 1..6)
+        )
+            .prop_map(|(s, n, model, deadlines)| Request::SolveDeadlines {
+                graph: graph_for(s, n),
+                model,
+                deadlines,
+            }),
+        (any::<u64>(), 1usize..10, arb_model(), 2usize..9).prop_map(|(s, n, model, points)| {
+            Request::EnergyCurve {
+                graph: graph_for(s, n),
+                model,
+                points,
+                lo: 1.05,
+                hi: 4.0,
+            }
+        }),
+        (
+            any::<u64>(),
+            arb_model(),
+            prop::collection::vec(0.5f64..20.0, 1..4)
+        )
+            .prop_map(|(s, model, ds)| Request::Batch {
+                model,
+                jobs: ds
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, d)| (graph_for(s.wrapping_add(i as u64), 3 + i), d))
+                    .collect(),
+            }),
+        Just(Request::Stats),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn arb_opt_f64() -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![Just(None), (0.1f64..100.0).prop_map(Some),]
+}
+
+fn arb_error() -> impl Strategy<Value = ErrorBody> {
+    (
+        prop_oneof![
+            Just(ErrorKind::Infeasible),
+            Just(ErrorKind::Numerical),
+            Just(ErrorKind::Unsupported),
+            Just(ErrorKind::BadRequest),
+            Just(ErrorKind::Protocol),
+        ],
+        "[ -~]{0,40}",
+        arb_opt_f64(),
+        arb_opt_f64(),
+    )
+        .prop_map(|(kind, message, deadline, min_makespan)| ErrorBody {
+            kind,
+            message,
+            deadline,
+            min_makespan,
+        })
+}
+
+fn arb_report() -> impl Strategy<Value = SolveReport> {
+    (
+        (0.001f64..1e6, "[a-z-]{1,16}", 0.001f64..1e4),
+        (any::<u32>(), any::<u32>(), any::<bool>(), 0u64..32),
+    )
+        .prop_map(
+            |((energy, algorithm, makespan), (solve_ns, prep_ns, cached, worker))| SolveReport {
+                energy,
+                algorithm,
+                makespan,
+                solve_ns: solve_ns as u64,
+                prep_ns: prep_ns as u64,
+                cached,
+                worker,
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    let item = prop_oneof![
+        arb_report().prop_map(Ok),
+        arb_error().prop_map(Err::<SolveReport, _>),
+    ];
+    prop_oneof![
+        arb_report().prop_map(Response::Solve),
+        prop::collection::vec(item, 0..5).prop_map(Response::Deadlines),
+        prop::collection::vec((0.5f64..50.0, 0.001f64..1e6), 0..6).prop_map(Response::Curve),
+        Just(Response::Shutdown),
+        arb_error().prop_map(Response::Error),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// encode → decode is the identity on request envelopes.
+    #[test]
+    fn request_roundtrip(id in any::<u32>(), request in arb_request()) {
+        let env = RequestEnvelope { id: id as u64, request };
+        let back = RequestEnvelope::decode(&env.encode()).expect("own encoding must decode");
+        prop_assert_eq!(back, env);
+    }
+
+    /// encode → decode is the identity on response envelopes.
+    #[test]
+    fn response_roundtrip(id in any::<u32>(), response in arb_response()) {
+        let env = ResponseEnvelope { id: id as u64, response };
+        let back = ResponseEnvelope::decode(&env.encode()).expect("own encoding must decode");
+        prop_assert_eq!(back, env);
+    }
+
+    /// A frame cut anywhere strictly inside is rejected as truncated,
+    /// and a cut at the boundary reads back the full payload.
+    #[test]
+    fn truncated_frames_rejected(request in arb_request(), cut_seed in any::<u64>()) {
+        let payload = RequestEnvelope { id: 1, request }.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let cut = 1 + (cut_seed as usize) % (buf.len() - 1);
+        let mut r = &buf[..cut];
+        prop_assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated(_))));
+        let mut full = &buf[..];
+        prop_assert_eq!(read_frame(&mut full).unwrap().as_deref(), Some(payload.as_str()));
+    }
+
+    /// Every version other than 1 is rejected as a protocol error.
+    #[test]
+    fn unknown_versions_rejected(v in any::<u32>()) {
+        prop_assume!(v as u64 != PROTOCOL_VERSION);
+        let payload = format!("{{\"v\":{v},\"id\":1,\"type\":\"stats\"}}");
+        let e = RequestEnvelope::decode(&payload).unwrap_err();
+        prop_assert_eq!(e.kind, ErrorKind::Protocol);
+    }
+
+    /// Arbitrary non-JSON payloads decode to protocol errors, never
+    /// panics.
+    #[test]
+    fn garbage_payloads_never_panic(junk in "[ -~]{0,120}") {
+        if let Err(e) = RequestEnvelope::decode(&junk) {
+            prop_assert!(matches!(e.kind, ErrorKind::Protocol | ErrorKind::BadRequest));
+        }
+    }
+}

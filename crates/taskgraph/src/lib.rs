@@ -33,6 +33,6 @@ pub mod structure;
 pub mod workflows;
 
 pub use graph::{GraphError, TaskGraph, TaskId};
-pub use prepared::PreparedGraph;
+pub use prepared::{PreparedGraph, PreparedInstance};
 pub use sp::SpTree;
 pub use structure::Shape;

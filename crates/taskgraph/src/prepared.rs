@@ -13,12 +13,46 @@
 //! cache for everyone. The once-only guarantee is observable through
 //! [`crate::profiling`].
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use crate::analysis;
 use crate::graph::{TaskGraph, TaskId};
 use crate::sp::SpTree;
 use crate::structure::{self, Shape};
+
+/// The lazily filled analysis caches, separated from the graph borrow
+/// so both [`PreparedGraph`] (borrowed) and [`PreparedInstance`]
+/// (owned, `'static`) can share one set behind an [`Arc`]: a view
+/// produced by [`PreparedInstance::view`] fills the *owner's* caches.
+#[derive(Debug, Default)]
+struct Caches {
+    topo: OnceLock<Vec<TaskId>>,
+    class: OnceLock<(Shape, Option<SpTree>)>,
+    cp_weight: OnceLock<f64>,
+    reduced: OnceLock<TaskGraph>,
+}
+
+impl Caches {
+    fn topo(&self, g: &TaskGraph) -> &[TaskId] {
+        self.topo.get_or_init(|| analysis::topo_order(g))
+    }
+
+    fn classification(&self, g: &TaskGraph) -> &(Shape, Option<SpTree>) {
+        self.class
+            .get_or_init(|| structure::classify_with_tree_ordered(g, self.topo(g)))
+    }
+
+    fn cp_weight(&self, g: &TaskGraph) -> f64 {
+        *self
+            .cp_weight
+            .get_or_init(|| analysis::makespan_ordered(g, g.weights(), self.topo(g)))
+    }
+
+    fn reduced(&self, g: &TaskGraph) -> &TaskGraph {
+        self.reduced
+            .get_or_init(|| analysis::transitive_reduction_ordered(g, self.topo(g)))
+    }
+}
 
 /// A task graph plus lazily cached analysis results.
 ///
@@ -35,13 +69,13 @@ use crate::structure::{self, Shape};
 /// // Second call: served from the cache, no re-analysis.
 /// assert_eq!(prep.shape(), Shape::SeriesParallel);
 /// ```
+///
+/// For a cacheable, owning variant (daemon caches, cross-request
+/// reuse) see [`PreparedInstance`].
 #[derive(Debug)]
 pub struct PreparedGraph<'g> {
     g: &'g TaskGraph,
-    topo: OnceLock<Vec<TaskId>>,
-    class: OnceLock<(Shape, Option<SpTree>)>,
-    cp_weight: OnceLock<f64>,
-    reduced: OnceLock<TaskGraph>,
+    caches: Arc<Caches>,
 }
 
 impl<'g> PreparedGraph<'g> {
@@ -49,10 +83,7 @@ impl<'g> PreparedGraph<'g> {
     pub fn new(g: &'g TaskGraph) -> Self {
         PreparedGraph {
             g,
-            topo: OnceLock::new(),
-            class: OnceLock::new(),
-            cp_weight: OnceLock::new(),
-            reduced: OnceLock::new(),
+            caches: Arc::new(Caches::default()),
         }
     }
 
@@ -63,12 +94,12 @@ impl<'g> PreparedGraph<'g> {
 
     /// The cached topological order ([`analysis::topo_order`]).
     pub fn topo(&self) -> &[TaskId] {
-        self.topo.get_or_init(|| analysis::topo_order(self.g))
+        self.caches.topo(self.g)
     }
 
     /// The cached shape classification ([`structure::classify`]).
     pub fn shape(&self) -> Shape {
-        self.classification().0
+        self.caches.classification(self.g).0
     }
 
     /// The cached series–parallel decomposition: `Some` exactly when
@@ -76,28 +107,20 @@ impl<'g> PreparedGraph<'g> {
     /// shapes — chains, forks, trees — have cheaper dedicated closed
     /// forms and skip the SP tree.)
     pub fn sp_tree(&self) -> Option<&SpTree> {
-        self.classification().1.as_ref()
-    }
-
-    fn classification(&self) -> &(Shape, Option<SpTree>) {
-        self.class
-            .get_or_init(|| structure::classify_with_tree_ordered(self.g, self.topo()))
+        self.caches.classification(self.g).1.as_ref()
     }
 
     /// The cached critical-path weight
     /// ([`analysis::critical_path_weight`]).
     pub fn critical_path_weight(&self) -> f64 {
-        *self
-            .cp_weight
-            .get_or_init(|| self.makespan(self.g.weights()))
+        self.caches.cp_weight(self.g)
     }
 
     /// The cached transitive reduction
     /// ([`analysis::transitive_reduction`]): same precedence relation,
     /// minimal edge set — what the LP/barrier substrates want.
     pub fn reduced(&self) -> &TaskGraph {
-        self.reduced
-            .get_or_init(|| analysis::transitive_reduction_ordered(self.g, self.topo()))
+        self.caches.reduced(self.g)
     }
 
     /// [`analysis::earliest_completion`] using the cached order.
@@ -113,6 +136,103 @@ impl<'g> PreparedGraph<'g> {
     /// [`analysis::makespan`] using the cached order.
     pub fn makespan(&self, durations: &[f64]) -> f64 {
         analysis::makespan_ordered(self.g, durations, self.topo())
+    }
+}
+
+/// An **owning** prepared graph: [`Arc<TaskGraph>`] plus the same
+/// lazily filled analysis caches as [`PreparedGraph`].
+///
+/// `PreparedGraph` borrows its graph, which makes it free to create
+/// but impossible to store in a `'static` cache (a daemon serving
+/// requests, an LRU of hot instances). `PreparedInstance` owns the
+/// graph and is `Send + Sync + 'static`, so it can live in an
+/// `Arc` shared across worker threads and requests. [`Self::view`]
+/// hands out a `PreparedGraph` borrowing from `self` that **shares**
+/// the caches: analysis filled through any view (or by
+/// [`Self::warm`]) is permanently retained by the instance.
+///
+/// ```
+/// use std::sync::Arc;
+/// use taskgraph::{generators, PreparedInstance, Shape};
+///
+/// let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+/// let inst = PreparedInstance::new(Arc::new(g));
+/// assert_eq!(inst.view().shape(), Shape::SeriesParallel);
+/// // A later view reuses the analysis the first one computed.
+/// assert_eq!(inst.view().critical_path_weight(), 8.0);
+/// ```
+#[derive(Debug)]
+pub struct PreparedInstance {
+    g: Arc<TaskGraph>,
+    caches: Arc<Caches>,
+}
+
+impl PreparedInstance {
+    /// Wrap an owned graph. No analysis runs until first use (or
+    /// [`Self::warm`]).
+    pub fn new(g: Arc<TaskGraph>) -> Self {
+        PreparedInstance {
+            g,
+            caches: Arc::new(Caches::default()),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.g
+    }
+
+    /// A clone of the owning handle.
+    pub fn graph_arc(&self) -> Arc<TaskGraph> {
+        Arc::clone(&self.g)
+    }
+
+    /// A borrowed [`PreparedGraph`] view sharing this instance's
+    /// caches — pass it to anything taking `&PreparedGraph`.
+    pub fn view(&self) -> PreparedGraph<'_> {
+        PreparedGraph {
+            g: &self.g,
+            caches: Arc::clone(&self.caches),
+        }
+    }
+
+    /// Eagerly fill every cache (topological order, classification,
+    /// critical path, transitive reduction), so subsequent solves
+    /// through [`Self::view`] pay zero analysis cost. Returns `self`
+    /// for chaining.
+    pub fn warm(&self) -> &Self {
+        let v = self.view();
+        v.topo();
+        let _ = v.sp_tree();
+        v.critical_path_weight();
+        v.reduced();
+        self
+    }
+
+    /// A coarse estimate of the resident size of the graph plus every
+    /// *currently filled* cache, in bytes — the unit the service
+    /// cache's byte budget is accounted in. It is an estimate (Vec
+    /// headers and allocator slack are approximated), not a promise.
+    pub fn approx_bytes(&self) -> usize {
+        fn graph_bytes(g: &TaskGraph) -> usize {
+            // weights + edge list + succ/pred adjacency (each edge
+            // appears once in each) + per-task Vec headers.
+            std::mem::size_of::<TaskGraph>() + 8 * g.n() + 16 * g.m() + 16 * g.m() + 48 * g.n()
+        }
+        let mut total = graph_bytes(&self.g);
+        if let Some(t) = self.caches.topo.get() {
+            total += 8 * t.len();
+        }
+        if let Some((_, tree)) = self.caches.class.get() {
+            // SP tree: roughly one node per task plus internal nodes.
+            if tree.is_some() {
+                total += 64 * self.g.n();
+            }
+        }
+        if let Some(r) = self.caches.reduced.get() {
+            total += graph_bytes(r);
+        }
+        total + std::mem::size_of::<Self>()
     }
 }
 
@@ -167,6 +287,45 @@ mod tests {
             analysis::earliest_completion(&g, &durs)
         );
         assert_eq!(prep.makespan(&durs), analysis::makespan(&g, &durs));
+    }
+
+    #[test]
+    fn owned_instance_views_share_one_analysis() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let inst = PreparedInstance::new(Arc::new(g));
+        let before = profiling::counts();
+        inst.warm();
+        // Ten fresh views, each exercising every cache: the warm()
+        // above paid for everything; no view re-analyzes.
+        for _ in 0..10 {
+            let v = inst.view();
+            assert_eq!(v.shape(), Shape::SeriesParallel);
+            assert_eq!(v.critical_path_weight(), 8.0);
+            assert_eq!(v.topo().len(), 4);
+            assert_eq!(v.reduced().m(), 4);
+        }
+        let delta = profiling::counts() - before;
+        assert_eq!(delta.topo_order, 1);
+        assert_eq!(delta.classify, 1);
+        assert_eq!(delta.sp_from_graph, 1);
+        // Warm instance accounts for the filled caches.
+        assert!(inst.approx_bytes() > std::mem::size_of::<PreparedInstance>());
+    }
+
+    #[test]
+    fn owned_instance_is_shareable_across_threads() {
+        let g = generators::fork_join(1.0, &[2.0, 3.0, 1.0], 1.5);
+        let inst = Arc::new(PreparedInstance::new(Arc::new(g)));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let inst = Arc::clone(&inst);
+                s.spawn(move || {
+                    let v = inst.view();
+                    assert_eq!(v.shape(), Shape::SeriesParallel);
+                    assert!(v.critical_path_weight() > 0.0);
+                });
+            }
+        });
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub use mapping;
 pub use models;
 pub use reclaim_cli as cli;
 pub use reclaim_core as core;
+pub use reclaim_service as service;
 pub use report;
 pub use sim;
 pub use taskgraph;
