@@ -82,7 +82,7 @@ fn main() {
     for id in &run_ids {
         let start = std::time::Instant::now();
         let o = experiments::run_one(id).unwrap_or_else(|| {
-            eprintln!("unknown experiment id: {id} (use t1..t7, f1..f4, x1..x7)");
+            eprintln!("unknown experiment id: {id} (use t1..t7, f1..f4, x1..x8)");
             std::process::exit(2);
         });
         let mean_ns = start.elapsed().as_nanos();

@@ -22,6 +22,7 @@ pub mod x4;
 pub mod x5;
 pub mod x6;
 pub mod x7;
+pub mod x8;
 
 use models::PowerLaw;
 use reclaim_core::continuous;
@@ -108,6 +109,7 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
     ("x5", x5::run),
     ("x6", x6::run),
     ("x7", x7::run),
+    ("x8", x8::run),
 ];
 
 /// Run every experiment in order.

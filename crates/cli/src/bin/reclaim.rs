@@ -6,12 +6,14 @@
 //! reclaim dmin  <instance-file>
 //! reclaim check <instance-file>
 //! reclaim serve  [--socket PATH] [--tcp ADDR] [--workers N] …
-//! reclaim ask    [<instance-file>] [--socket PATH|--tcp ADDR] [--stats] [--shutdown]
+//! reclaim ask    [<instance-file>] [--socket PATH|--tcp ADDR]
+//!                [--patch SPEC] [--stats] [--shutdown]
 //! reclaim corpus <dir> [--shards N] [--json DIR]
 //! ```
 //!
-//! See `crates/cli/src/instance.rs` for the instance format and
-//! `reclaim_service::proto` for the daemon wire protocol.
+//! See `crates/cli/src/instance.rs` for the instance format,
+//! `docs/PROTOCOL.md` for the daemon wire protocol, and
+//! `reclaim_cli::edits` for the `--patch` edit-spec grammar.
 
 use models::PowerLaw;
 use reclaim_cli::{parse, Instance};
@@ -39,7 +41,9 @@ fn usage() -> ! {
                       [--cache-entries N] [--cache-bytes B] [--alpha A]\n\
            ask      — send requests to a running daemon\n\
                       reclaim ask [<file>] [--socket PATH|--tcp ADDR]\n\
-                      [--stats] [--shutdown]\n\
+                      [--patch SPEC] [--stats] [--shutdown]\n\
+                      SPEC: ';'-separated edits — set:T:W link:U:V\n\
+                      unlink:U:V add:W[:pA.B][:sC.D] drop:T\n\
            corpus   — shard a directory of .inst files across engines\n\
                       reclaim corpus <dir> [--shards N] [--json DIR]"
     );
@@ -80,8 +84,22 @@ fn ask_command(args: &[String]) {
         .collect();
     let stats = flags.iter().any(|a| a == "--stats");
     let shutdown = flags.iter().any(|a| a == "--shutdown");
+    let patch_spec = flags
+        .iter()
+        .position(|a| a == "--patch")
+        .map(|i| match flags.get(i + 1) {
+            Some(spec) => spec.clone(),
+            None => {
+                eprintln!("--patch requires an edit spec (e.g. 'set:3:2.5;link:1:2')");
+                std::process::exit(2);
+            }
+        });
     if file.is_none() && !stats && !shutdown {
         eprintln!("ask needs an instance file, --stats, or --shutdown");
+        std::process::exit(2);
+    }
+    if patch_spec.is_some() && file.is_none() {
+        eprintln!("--patch needs the instance file the patch is based on");
         std::process::exit(2);
     }
     let ep = endpoint_from_flags(&flags);
@@ -101,8 +119,8 @@ fn ask_command(args: &[String]) {
     if let Some(path) = file {
         let inst = load(path);
         match roundtrip(Request::Solve {
-            graph: inst.graph,
-            model: inst.model,
+            graph: inst.graph.clone(),
+            model: inst.model.clone(),
             deadline: inst.deadline,
         }) {
             Response::Solve(r) => println!(
@@ -125,13 +143,55 @@ fn ask_command(args: &[String]) {
                 std::process::exit(1);
             }
         }
+        if let Some(spec) = &patch_spec {
+            let edits = reclaim_cli::parse_edits(spec).unwrap_or_else(|e| {
+                eprintln!("--patch: {e}");
+                std::process::exit(2);
+            });
+            // The daemon holds the just-solved instance; name it by
+            // content key and send only the delta.
+            let base = reclaim_core::engine::content_key(&inst.graph, &inst.model);
+            match roundtrip(Request::Patch {
+                base,
+                edits,
+                deadline: inst.deadline,
+            }) {
+                Response::Patch(p) => println!(
+                    "patched energy {:.6} | algorithm {} | makespan {:.6} | \
+                     solve {} µs | prep {} µs | lp {} | key {}",
+                    p.report.energy,
+                    p.report.algorithm,
+                    p.report.makespan,
+                    p.report.solve_ns / 1_000,
+                    p.report.prep_ns / 1_000,
+                    if p.warm_lp { "warm" } else { "cold" },
+                    reclaim_service::proto::key_to_hex(p.key),
+                ),
+                Response::Error(e) => {
+                    eprintln!("daemon error: {e}");
+                    std::process::exit(1);
+                }
+                other => {
+                    eprintln!("unexpected response: {other:?}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
     if stats {
         match roundtrip(Request::Stats) {
             Response::Stats(s) => {
                 println!(
-                    "cache: {} entries | {} bytes | {} hits | {} misses | {} evictions",
-                    s.cache.entries, s.cache.bytes, s.cache.hits, s.cache.misses, s.cache.evictions
+                    "cache: {} entries | {} bytes | {} hits | {} misses | {} evictions | \
+                     {} patch hits | {} patch misses | {} rekeys",
+                    s.cache.entries,
+                    s.cache.bytes,
+                    s.cache.hits,
+                    s.cache.misses,
+                    s.cache.evictions,
+                    s.cache.patch_hits,
+                    s.cache.patch_misses,
+                    s.cache.rekeys
                 );
                 for (i, w) in s.workers.iter().enumerate() {
                     println!(

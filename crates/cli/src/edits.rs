@@ -1,0 +1,153 @@
+//! The `--patch` edit-spec mini-language.
+//!
+//! `reclaim ask <file> --patch SPEC` sends a protocol-v2 `patch`
+//! request; `SPEC` is a `;`-separated list of edit operations, applied
+//! in order:
+//!
+//! | op | meaning |
+//! |---|---|
+//! | `set:T:W` | set task `T`'s cost to `W` ([`GraphEdit::SetWeight`]) |
+//! | `link:U:V` | insert precedence edge `U → V` ([`GraphEdit::InsertEdge`]) |
+//! | `unlink:U:V` | remove precedence edge `U → V` ([`GraphEdit::RemoveEdge`]) |
+//! | `add:W[:pA.B…][:sC.D…]` | append a task of cost `W` with predecessors `A.B…` and successors `C.D…` ([`GraphEdit::AddTask`]) |
+//! | `drop:T` | remove task `T` ([`GraphEdit::RemoveTask`]) |
+//!
+//! Examples: `set:3:2.5`, `set:0:1;link:1:2`,
+//! `add:1.5:p0.1:s3;drop:2`. Whitespace around ops is ignored.
+
+use taskgraph::edit::GraphEdit;
+
+/// Parse a `--patch` edit spec (see the module docs for the grammar).
+pub fn parse_edits(spec: &str) -> Result<Vec<GraphEdit>, String> {
+    let mut edits = Vec::new();
+    for raw in spec.split(';') {
+        let op = raw.trim();
+        if op.is_empty() {
+            continue;
+        }
+        let mut parts = op.split(':');
+        let head = parts.next().unwrap_or_default();
+        let rest: Vec<&str> = parts.collect();
+        let task = |s: &str| -> Result<usize, String> {
+            s.parse()
+                .map_err(|_| format!("{op:?}: {s:?} is not a task id"))
+        };
+        let weight = |s: &str| -> Result<f64, String> {
+            s.parse()
+                .map_err(|_| format!("{op:?}: {s:?} is not a weight"))
+        };
+        let edit = match (head, rest.as_slice()) {
+            ("set", [t, w]) => GraphEdit::SetWeight {
+                task: task(t)?,
+                weight: weight(w)?,
+            },
+            ("link", [u, v]) => GraphEdit::InsertEdge {
+                from: task(u)?,
+                to: task(v)?,
+            },
+            ("unlink", [u, v]) => GraphEdit::RemoveEdge {
+                from: task(u)?,
+                to: task(v)?,
+            },
+            ("add", [w, lists @ ..]) if lists.len() <= 2 => {
+                let mut preds = Vec::new();
+                let mut succs = Vec::new();
+                for list in lists {
+                    let (target, ids) = if let Some(ids) = list.strip_prefix('p') {
+                        (&mut preds, ids)
+                    } else if let Some(ids) = list.strip_prefix('s') {
+                        (&mut succs, ids)
+                    } else {
+                        return Err(format!("{op:?}: expected p… or s…, got {list:?}"));
+                    };
+                    for id in ids.split('.').filter(|s| !s.is_empty()) {
+                        target.push(task(id)?);
+                    }
+                }
+                GraphEdit::AddTask {
+                    weight: weight(w)?,
+                    preds,
+                    succs,
+                }
+            }
+            ("drop", [t]) => GraphEdit::RemoveTask { task: task(t)? },
+            _ => {
+                return Err(format!(
+                    "unknown edit op {op:?} (want set:T:W, link:U:V, unlink:U:V, \
+                     add:W[:pA.B][:sC.D], or drop:T)"
+                ))
+            }
+        };
+        edits.push(edit);
+    }
+    if edits.is_empty() {
+        return Err("empty edit spec".into());
+    }
+    Ok(edits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let edits = parse_edits("set:3:2.5; link:1:2 ;unlink:0:2;add:1.5:p0.1:s3;drop:2").unwrap();
+        assert_eq!(
+            edits,
+            vec![
+                GraphEdit::SetWeight {
+                    task: 3,
+                    weight: 2.5
+                },
+                GraphEdit::InsertEdge { from: 1, to: 2 },
+                GraphEdit::RemoveEdge { from: 0, to: 2 },
+                GraphEdit::AddTask {
+                    weight: 1.5,
+                    preds: vec![0, 1],
+                    succs: vec![3]
+                },
+                GraphEdit::RemoveTask { task: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn add_lists_are_optional() {
+        assert_eq!(
+            parse_edits("add:2.0").unwrap(),
+            vec![GraphEdit::AddTask {
+                weight: 2.0,
+                preds: vec![],
+                succs: vec![]
+            }]
+        );
+        assert_eq!(
+            parse_edits("add:2.0:s1.2").unwrap(),
+            vec![GraphEdit::AddTask {
+                weight: 2.0,
+                preds: vec![],
+                succs: vec![1, 2]
+            }]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            ";",
+            "warp:1",
+            "set:1",
+            "set:x:1",
+            "set:1:fast",
+            "link:1",
+            "add:1.0:q2",
+            "add:2.0:",
+            "add:1:é2",
+            "drop:last",
+        ] {
+            assert!(parse_edits(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

@@ -5,9 +5,11 @@
 //! the `reclaim-core` solvers. See [`parse`] for the format and the
 //! `reclaim` binary for the commands.
 
+pub mod edits;
 pub mod gen;
 pub mod instance;
 pub mod pareto;
 
+pub use edits::parse_edits;
 pub use gen::{generate, GenOptions};
 pub use instance::{parse, write, Instance, ParseError};

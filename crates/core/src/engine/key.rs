@@ -1,31 +1,45 @@
-//! Stable content keys for `(graph, model)` instances.
+//! Stable, **incrementally updatable** content keys for
+//! `(graph, model)` instances.
 //!
 //! The service cache and [`super::Engine::solve_batch`] both need to
 //! recognize "the same instance" across process boundaries and across
 //! distinct allocations: two `.inst` files with identical content must
 //! map to one [`taskgraph::PreparedGraph`]. Addresses can't do that,
 //! and `std::hash::Hasher` implementations are explicitly not stable
-//! across releases/processes — so this module fixes the function:
-//! **128-bit FNV-1a** over a canonical byte serialization of the
-//! instance.
+//! across releases/processes — so this module fixes the function.
 //!
-//! Canonicalization:
+//! Since protocol v2 the key must also support **patching**: a client
+//! that edits a cached instance sends `(base_key, edits)` instead of
+//! the whole graph, and the daemon re-keys the cache entry without
+//! re-serializing anything. A sequential hash (the v1 FNV-over-stream)
+//! cannot do that — changing one weight re-hashes everything after it.
+//! The v2 key is therefore a **XOR of independent component terms**:
 //!
-//! * task weights in id order, as IEEE-754 bit patterns (so `-0.0` and
-//!   `0.0` differ — weights are validated positive anyway, and bitwise
-//!   identity is exactly "same file content");
-//! * the edge list **sorted** — two files listing the same precedence
-//!   edges in different order describe the same instance and share a
-//!   key (adjacency order can steer which of several equally optimal
-//!   schedules a solver returns, but never the optimal energy);
-//! * a model tag byte plus the model's parameters, again as bit
-//!   patterns.
+//! ```text
+//! key = size_term(n) ⊕ ⨁ᵢ weight_term(i, wᵢ) ⊕ ⨁₍ᵤ,ᵥ₎ edge_term(u, v)
+//!       ⊕ model_term(model)
+//! ```
 //!
-//! 128 bits of FNV keep accidental collisions out of reach for any
-//! realistic corpus; the cache treats the key as the identity and does
-//! not re-verify content on hit.
+//! where each term is a full 128-bit FNV-1a over a short tagged byte
+//! string. XOR is commutative, so edge order is canonicalized for
+//! free, and each term is individually removable: a weight edit maps
+//! to `key ⊕= old_term ⊕ new_term`, an edge insert/remove to a single
+//! `⊕= edge_term` — see [`patched_key`]. Weight terms are tagged with
+//! the task id, so two tasks swapping costs changes the key; duplicate
+//! terms (which XOR would cancel) cannot occur because ids are unique
+//! and [`taskgraph::TaskGraph`] collapses duplicate edges.
+//!
+//! Task additions/removals renumber the id space, which perturbs an
+//! unbounded number of terms — [`patched_key`] reports those honestly
+//! as non-incremental (`None`) and the caller re-keys with
+//! [`content_key`] over the edited graph.
+//!
+//! 128 bits keep accidental collisions out of reach for any realistic
+//! corpus; the cache treats the key as the identity and does not
+//! re-verify content on hit.
 
 use models::EnergyModel;
+use taskgraph::edit::GraphEdit;
 use taskgraph::TaskGraph;
 
 /// 128-bit FNV-1a (offset basis / prime per the FNV reference).
@@ -35,9 +49,18 @@ struct Fnv128(u128);
 const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
 const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
 
+/// Component tags: every term hashes its tag first, so terms of
+/// different kinds can never collide by having equal payload bytes.
+const TAG_SIZE: u8 = 0xA0;
+const TAG_WEIGHT: u8 = 0xA1;
+const TAG_EDGE: u8 = 0xA2;
+const TAG_MODEL: u8 = 0xA3;
+
 impl Fnv128 {
-    fn new() -> Self {
-        Fnv128(FNV128_OFFSET)
+    fn new(tag: u8) -> Self {
+        let mut h = Fnv128(FNV128_OFFSET);
+        h.byte(tag);
+        h
     }
 
     fn byte(&mut self, b: u8) {
@@ -56,26 +79,28 @@ impl Fnv128 {
     }
 }
 
-/// The stable content key of one `(graph, model)` instance (see the
-/// module docs for the canonical form). Equal content ⇒ equal key, in
-/// every process, on every platform.
-pub fn content_key(g: &TaskGraph, model: &EnergyModel) -> u128 {
-    let mut h = Fnv128::new();
-    h.u64(g.n() as u64);
-    for &w in g.weights() {
-        h.f64(w);
-    }
-    let mut edges: Vec<(usize, usize)> = g
-        .edges()
-        .iter()
-        .map(|&(u, v)| (u.index(), v.index()))
-        .collect();
-    edges.sort_unstable();
-    h.u64(edges.len() as u64);
-    for (u, v) in edges {
-        h.u64(u as u64);
-        h.u64(v as u64);
-    }
+fn size_term(n: usize) -> u128 {
+    let mut h = Fnv128::new(TAG_SIZE);
+    h.u64(n as u64);
+    h.0
+}
+
+fn weight_term(task: usize, w: f64) -> u128 {
+    let mut h = Fnv128::new(TAG_WEIGHT);
+    h.u64(task as u64);
+    h.f64(w);
+    h.0
+}
+
+fn edge_term(u: usize, v: usize) -> u128 {
+    let mut h = Fnv128::new(TAG_EDGE);
+    h.u64(u as u64);
+    h.u64(v as u64);
+    h.0
+}
+
+fn model_term(model: &EnergyModel) -> u128 {
+    let mut h = Fnv128::new(TAG_MODEL);
     match model {
         EnergyModel::Continuous { s_max: None } => h.byte(1),
         EnergyModel::Continuous { s_max: Some(m) } => {
@@ -104,10 +129,89 @@ pub fn content_key(g: &TaskGraph, model: &EnergyModel) -> u128 {
     h.0
 }
 
+/// The graph-only part of the key (everything but the model term).
+fn graph_key(g: &TaskGraph) -> u128 {
+    let mut key = size_term(g.n());
+    for (i, &w) in g.weights().iter().enumerate() {
+        key ^= weight_term(i, w);
+    }
+    for &(u, v) in g.edges() {
+        key ^= edge_term(u.index(), v.index());
+    }
+    key
+}
+
+/// The stable content key of one `(graph, model)` instance (see the
+/// module docs for the construction). Equal content ⇒ equal key, in
+/// every process, on every platform; edge order is irrelevant by
+/// construction.
+pub fn content_key(g: &TaskGraph, model: &EnergyModel) -> u128 {
+    graph_key(g) ^ model_term(model)
+}
+
+/// Update `base` — the [`content_key`] of `(old, model)` for **any**
+/// model — to the key of the edited instance, touching only the terms
+/// the edits name. `O(edits)`, independent of graph size.
+///
+/// Returns `None` when the batch changes the task set
+/// ([`GraphEdit::AddTask`] / [`GraphEdit::RemoveTask`]): removal
+/// renumbers every id above the removed task, so the honest move is a
+/// full [`content_key`] over the edited graph, not a delta.
+///
+/// Edits must be valid for `old` (the caller has already applied them
+/// via [`taskgraph::PreparedInstance::apply`] or
+/// [`taskgraph::edit::apply_edits`], which validates); an edit batch
+/// this function accepts yields exactly
+/// `content_key(edited, model)`:
+///
+/// ```
+/// use models::EnergyModel;
+/// use reclaim_core::engine::{content_key, patched_key};
+/// use taskgraph::edit::{apply_edits, GraphEdit};
+/// use taskgraph::TaskGraph;
+///
+/// let g = TaskGraph::new(vec![1.0, 2.0], &[(0, 1)]).unwrap();
+/// let m = EnergyModel::continuous_unbounded();
+/// let edits = [GraphEdit::SetWeight { task: 1, weight: 3.5 }];
+/// let (edited, _) = apply_edits(&g, &edits).unwrap();
+/// let patched = patched_key(content_key(&g, &m), &g, &edits).unwrap();
+/// assert_eq!(patched, content_key(&edited, &m));
+/// ```
+pub fn patched_key(base: u128, old: &TaskGraph, edits: &[GraphEdit]) -> Option<u128> {
+    let mut key = base;
+    // Weights/edges as the delta walks the batch (edits see the state
+    // left by their predecessors, exactly like `apply_edits`).
+    let mut weights: Vec<f64> = old.weights().to_vec();
+    let mut edges: Vec<(usize, usize)> = old.edges().iter().map(|&(u, v)| (u.0, v.0)).collect();
+    for edit in edits {
+        match edit {
+            GraphEdit::SetWeight { task, weight } => {
+                key ^= weight_term(*task, *weights.get(*task)?);
+                key ^= weight_term(*task, *weight);
+                weights[*task] = *weight;
+            }
+            GraphEdit::InsertEdge { from, to } => {
+                if !edges.contains(&(*from, *to)) {
+                    key ^= edge_term(*from, *to);
+                    edges.push((*from, *to));
+                }
+            }
+            GraphEdit::RemoveEdge { from, to } => {
+                let pos = edges.iter().position(|e| e == &(*from, *to))?;
+                edges.remove(pos);
+                key ^= edge_term(*from, *to);
+            }
+            GraphEdit::AddTask { .. } | GraphEdit::RemoveTask { .. } => return None,
+        }
+    }
+    Some(key)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use models::DiscreteModes;
+    use taskgraph::edit::apply_edits;
 
     fn modes() -> DiscreteModes {
         DiscreteModes::new(&[1.0, 2.0]).unwrap()
@@ -151,13 +255,91 @@ mod tests {
     }
 
     #[test]
+    fn swapped_weights_change_the_key() {
+        // XOR terms are id-tagged: two tasks exchanging costs is a
+        // different instance, not a cancellation.
+        let a = TaskGraph::new(vec![1.0, 2.0], &[(0, 1)]).unwrap();
+        let b = TaskGraph::new(vec![2.0, 1.0], &[(0, 1)]).unwrap();
+        let m = EnergyModel::continuous_unbounded();
+        assert_ne!(content_key(&a, &m), content_key(&b, &m));
+    }
+
+    #[test]
     fn key_is_pinned() {
         // The key is part of the wire/cache contract: a change to the
-        // canonical form is a protocol break and must be deliberate.
+        // construction is a protocol break and must be deliberate.
+        // (Deliberately changed in protocol v2: the v1 sequential FNV
+        // could not be patched incrementally.)
         let g = TaskGraph::new(vec![1.0, 2.0], &[(0, 1)]).unwrap();
         assert_eq!(
             content_key(&g, &EnergyModel::continuous_unbounded()),
-            0xb45a_05dd_4e23_6a1a_943e_eefc_db0f_d51d_u128,
+            0x36bd_06bc_a277_3179_37d0_2054_da46_d064_u128,
         );
+    }
+
+    #[test]
+    fn patched_key_matches_full_rehash() {
+        let g =
+            TaskGraph::new(vec![1.0, 2.0, 3.0, 4.0], &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let models = [
+            EnergyModel::continuous_unbounded(),
+            EnergyModel::VddHopping(modes()),
+        ];
+        let batches: Vec<Vec<GraphEdit>> = vec![
+            vec![GraphEdit::SetWeight {
+                task: 1,
+                weight: 9.0,
+            }],
+            vec![
+                GraphEdit::SetWeight {
+                    task: 0,
+                    weight: 0.5,
+                },
+                GraphEdit::InsertEdge { from: 1, to: 2 },
+            ],
+            vec![
+                GraphEdit::RemoveEdge { from: 0, to: 2 },
+                GraphEdit::InsertEdge { from: 0, to: 2 }, // net no-op
+            ],
+        ];
+        for m in &models {
+            let base = content_key(&g, m);
+            for edits in &batches {
+                let (edited, _) = apply_edits(&g, edits).unwrap();
+                assert_eq!(
+                    patched_key(base, &g, edits),
+                    Some(content_key(&edited, m)),
+                    "delta diverged for {edits:?}"
+                );
+            }
+        }
+        // Inserting an existing edge is a no-op for the key too.
+        let noop = [GraphEdit::InsertEdge { from: 0, to: 1 }];
+        let m = &models[0];
+        assert_eq!(
+            patched_key(content_key(&g, m), &g, &noop),
+            Some(content_key(&g, m))
+        );
+    }
+
+    #[test]
+    fn task_set_edits_are_not_incremental() {
+        let g = TaskGraph::new(vec![1.0, 2.0], &[(0, 1)]).unwrap();
+        let m = EnergyModel::continuous_unbounded();
+        let base = content_key(&g, &m);
+        for edits in [
+            vec![GraphEdit::AddTask {
+                weight: 1.0,
+                preds: vec![1],
+                succs: vec![],
+            }],
+            vec![GraphEdit::RemoveTask { task: 0 }],
+        ] {
+            assert_eq!(patched_key(base, &g, &edits), None);
+            // The fallback — a full rehash of the edited graph — still
+            // works and differs from the base.
+            let (edited, _) = apply_edits(&g, &edits).unwrap();
+            assert_ne!(content_key(&edited, &m), base);
+        }
     }
 }

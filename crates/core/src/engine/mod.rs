@@ -29,15 +29,17 @@ mod algorithms;
 mod key;
 
 pub use algorithms::{registry, Algorithm, Step};
-pub use key::content_key;
+pub use key::{content_key, patched_key};
 
 use crate::error::SolveError;
 use crate::solver::{Solution, SolveOptions};
 use crate::vdd;
+pub use crate::vdd::VddWarm;
 use models::{EnergyModel, PowerLaw, Schedule, SpeedProfile};
 use std::sync::atomic::{AtomicUsize, Ordering};
-pub use taskgraph::PreparedGraph;
+pub use taskgraph::edit::GraphEdit;
 use taskgraph::TaskGraph;
+pub use taskgraph::{PreparedGraph, PreparedInstance};
 
 /// One point of an energy–deadline curve (the Pareto front of the
 /// bicriteria problem).
@@ -188,6 +190,99 @@ impl Engine {
             energy,
             algorithm,
         })
+    }
+
+    /// Solve one instance, reusing (and refreshing) a retained
+    /// Vdd-Hopping warm-start handle across calls.
+    ///
+    /// For [`EnergyModel::VddHopping`], a populated `warm` handle is
+    /// re-optimized from its retained basis
+    /// ([`VddWarm::resolve`] → [`lp::PreparedLp::resolve_rhs`]) — the
+    /// same parametric-RHS chain [`Engine::energy_curve`] runs across
+    /// deadline sweeps, here extended to weight edits. The resulting
+    /// schedule gets the same validation as every cold solve; on any
+    /// warm failure the handle is dropped and the instance re-solved
+    /// cold (so this never fails where [`Engine::solve`] would
+    /// succeed), and a successful cold solve refills `warm` for the
+    /// next call. Warm solutions are tagged `"vdd-lp-warm"`.
+    ///
+    /// For every other model this is exactly [`Engine::solve`]
+    /// (`warm` is left untouched — the handle belongs to the Vdd LP).
+    pub fn solve_warm(
+        &self,
+        prep: &PreparedGraph<'_>,
+        model: &EnergyModel,
+        deadline: f64,
+        warm: &mut Option<VddWarm>,
+    ) -> Result<Solution, SolveError> {
+        let EnergyModel::VddHopping(modes) = model else {
+            return self.solve(prep, model, deadline);
+        };
+        // A handle built over a different mode ladder cannot serve
+        // this solve.
+        if warm
+            .as_ref()
+            .is_some_and(|w| w.modes().speeds() != modes.speeds())
+        {
+            *warm = None;
+        }
+        crate::continuous::check_feasible_prepared(prep, deadline, model.top_speed())?;
+        if let Some(w) = warm.as_mut() {
+            // Feasibility was just established, so a warm Infeasible
+            // (or any other failure) means the basis is spent, not
+            // that the instance is unsolvable: fall through to cold.
+            if let Ok(sched) = w.resolve(prep, deadline) {
+                if sched.validate(prep.graph(), model, deadline).is_ok() {
+                    let energy = sched.energy(prep.graph(), self.power);
+                    return Ok(Solution {
+                        schedule: sched,
+                        energy,
+                        algorithm: "vdd-lp-warm",
+                    });
+                }
+            }
+            *warm = None;
+        }
+        let (sched, handle) = vdd::solve_lp_warm(prep, deadline, modes, self.power)?;
+        sched
+            .validate(prep.graph(), model, deadline)
+            .map_err(|e| SolveError::Numerical(format!("produced schedule invalid: {e}")))?;
+        let energy = sched.energy(prep.graph(), self.power);
+        *warm = Some(handle);
+        Ok(Solution {
+            schedule: sched,
+            energy,
+            algorithm: "vdd-lp",
+        })
+    }
+
+    /// Apply an edit batch to a prepared instance and solve the
+    /// edited instance, invalidating only what the edits can have
+    /// dirtied ([`PreparedInstance::apply`]) and routing weight-only
+    /// Vdd-Hopping re-solves through the retained LP basis
+    /// ([`Engine::solve_warm`]). Structural edits (edge or task
+    /// changes) spend the warm handle — the LP matrix they imply is a
+    /// different one.
+    ///
+    /// Returns the patched instance alongside the solution so callers
+    /// (the daemon's `patch` handler, sweep drivers) can keep solving
+    /// — or keep editing — without re-preparation.
+    pub fn solve_edited(
+        &self,
+        base: &PreparedInstance,
+        edits: &[GraphEdit],
+        model: &EnergyModel,
+        deadline: f64,
+        warm: &mut Option<VddWarm>,
+    ) -> Result<(PreparedInstance, Solution), SolveError> {
+        let patched = base
+            .apply(edits)
+            .map_err(|e| SolveError::Unsupported(format!("invalid edit batch: {e}")))?;
+        if !edits.iter().all(GraphEdit::is_weight_only) {
+            *warm = None;
+        }
+        let sol = self.solve_warm(&patched.view(), model, deadline, warm)?;
+        Ok((patched, sol))
     }
 
     /// Solve one graph (convenience: prepares it transiently).
@@ -528,6 +623,123 @@ mod tests {
         let delta = profiling::counts() - before;
         assert_eq!(delta.classify, 1, "equal content must share one prep");
         assert_eq!(delta.topo_order, 1);
+    }
+
+    #[test]
+    fn solve_edited_weight_only_recomputes_no_structure() {
+        use std::sync::Arc;
+
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let engine = Engine::new(P);
+        let inst = PreparedInstance::new(Arc::new(g));
+        inst.warm();
+        let model = EnergyModel::continuous_unbounded();
+        let mut warm = None;
+        let before = profiling::counts();
+        let (patched, sol) = engine
+            .solve_edited(
+                &inst,
+                &[GraphEdit::SetWeight {
+                    task: 1,
+                    weight: 4.0,
+                }],
+                &model,
+                8.0,
+                &mut warm,
+            )
+            .unwrap();
+        let delta = profiling::counts() - before;
+        assert_eq!(delta.topo_order, 0);
+        assert_eq!(delta.classify, 0);
+        assert_eq!(delta.sp_from_graph, 0);
+        assert_eq!(delta.transitive_reduction, 0);
+        // Equivalent to rebuilding and solving from scratch.
+        let rebuilt =
+            TaskGraph::new(vec![1.0, 4.0, 3.0, 1.5], &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let cold = engine.solve_graph(&rebuilt, &model, 8.0).unwrap();
+        assert!((sol.energy - cold.energy).abs() <= 1e-9 * (1.0 + cold.energy));
+        assert_eq!(patched.graph(), &rebuilt);
+    }
+
+    #[test]
+    fn vdd_warm_chain_matches_cold_and_tags_warm() {
+        use std::sync::Arc;
+
+        let g = generators::fork_join(1.0, &[2.0, 3.0, 1.0], 1.5);
+        let engine = Engine::new(P);
+        let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0]).unwrap();
+        let model = EnergyModel::VddHopping(modes);
+        let inst = PreparedInstance::new(Arc::new(g));
+        inst.warm();
+        let mut warm = None;
+        let d = 6.0;
+        // First edited solve: no warm state yet → cold LP, handle filled.
+        let (i1, s1) = engine
+            .solve_edited(
+                &inst,
+                &[GraphEdit::SetWeight {
+                    task: 1,
+                    weight: 2.5,
+                }],
+                &model,
+                d,
+                &mut warm,
+            )
+            .unwrap();
+        assert_eq!(s1.algorithm, "vdd-lp");
+        assert!(warm.is_some());
+        // Second edit: warm path.
+        let (i2, s2) = engine
+            .solve_edited(
+                &i1,
+                &[GraphEdit::SetWeight {
+                    task: 2,
+                    weight: 4.0,
+                }],
+                &model,
+                d,
+                &mut warm,
+            )
+            .unwrap();
+        assert_eq!(s2.algorithm, "vdd-lp-warm");
+        let cold = engine.solve(&i2.view(), &model, d).unwrap();
+        assert!(
+            (s2.energy - cold.energy).abs() <= 1e-6 * (1.0 + cold.energy),
+            "warm {} vs cold {}",
+            s2.energy,
+            cold.energy
+        );
+        // A structural edit spends the handle: next solve is cold again.
+        let (_, s3) = engine
+            .solve_edited(
+                &i2,
+                &[GraphEdit::InsertEdge { from: 1, to: 2 }],
+                &model,
+                d,
+                &mut warm,
+            )
+            .unwrap();
+        assert_eq!(s3.algorithm, "vdd-lp");
+    }
+
+    #[test]
+    fn solve_edited_rejects_invalid_batches() {
+        use std::sync::Arc;
+
+        let g = generators::chain(&[1.0, 2.0]);
+        let engine = Engine::new(P);
+        let inst = PreparedInstance::new(Arc::new(g));
+        let mut warm = None;
+        let err = engine
+            .solve_edited(
+                &inst,
+                &[GraphEdit::InsertEdge { from: 1, to: 0 }],
+                &EnergyModel::continuous_unbounded(),
+                3.0,
+                &mut warm,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SolveError::Unsupported(_)));
     }
 
     #[test]

@@ -120,6 +120,103 @@ pub fn solve_lp_sweep(
     out
 }
 
+/// A retained, re-optimizable Theorem 3 LP for **one graph structure
+/// and mode ladder** — the warm-start substrate of edited re-solves.
+///
+/// [`solve_lp_sweep`] already reuses the previous optimal basis when
+/// only the deadline rows move. Weight edits are the same parametric
+/// situation one row-block over: a task cost `w_i` is the RHS of the
+/// work-completion row `Σ_j s_j·x_{ij} = w_i`, so a weight-only edit
+/// keeps the LP's *matrix* (hence the retained basis's dual
+/// feasibility) intact and moves only `b`. [`VddWarm::resolve`]
+/// re-optimizes with a few dual-simplex pivots
+/// ([`lp::PreparedLp::resolve_rhs`]) instead of a cold two-phase run.
+///
+/// The handle is tied to the precedence structure the LP was built
+/// over: it stays valid across any number of weight and deadline
+/// changes, and must be discarded after structural edits (edge or
+/// task changes) — the engine's edit routing does exactly that.
+pub struct VddWarm {
+    lp: lp::PreparedLp,
+    deadline_rows: Vec<usize>,
+    modes: DiscreteModes,
+    n: usize,
+}
+
+/// [`solve_lp_prepared`], additionally returning a [`VddWarm`] handle
+/// that can re-solve the instance after weight and/or deadline changes
+/// without a cold LP.
+pub fn solve_lp_warm(
+    prep: &PreparedGraph<'_>,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+) -> Result<(Schedule, VddWarm), SolveError> {
+    continuous::check_feasible_prepared(prep, deadline, Some(modes.s_max()))?;
+    let (prob, deadline_rows) = build_lp(prep, deadline, modes, p);
+    let (sol, handle) = prob
+        .solve_prepared()
+        .map_err(|e| lp_error(prep, deadline, modes, e))?;
+    let sched = extract_schedule(prep.graph(), modes, &sol);
+    Ok((
+        sched,
+        VddWarm {
+            lp: handle,
+            deadline_rows,
+            modes: modes.clone(),
+            n: prep.graph().n(),
+        },
+    ))
+}
+
+impl VddWarm {
+    /// Re-solve against `prep`'s (possibly edited) weights and a new
+    /// deadline, starting from the retained optimal basis.
+    ///
+    /// `prep` must describe the same precedence structure the handle
+    /// was built over — weight-only edits qualify, structural edits do
+    /// not. Errors other than [`SolveError::Infeasible`] mean the warm
+    /// basis could not be re-optimized (e.g.
+    /// [`lp::LpError::WarmStartLost`]); the handle is then spent and
+    /// the caller should fall back to a cold solve.
+    pub fn resolve(
+        &mut self,
+        prep: &PreparedGraph<'_>,
+        deadline: f64,
+    ) -> Result<Schedule, SolveError> {
+        let g = prep.graph();
+        assert_eq!(
+            g.n(),
+            self.n,
+            "VddWarm is per graph structure; task set changed"
+        );
+        continuous::check_feasible_prepared(prep, deadline, Some(self.modes.s_max()))?;
+        // Work rows are rows 0..n by construction (`build_lp` adds
+        // them first); unchanged RHS entries are skipped inside
+        // `resolve_rhs`, so passing the full block is O(changed).
+        let mut changes: Vec<(usize, f64)> = g
+            .weights()
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i, w))
+            .collect();
+        changes.extend(self.deadline_rows.iter().map(|&r| (r, deadline)));
+        let sol = self.lp.resolve_rhs(&changes).map_err(|e| match e {
+            lp::LpError::Infeasible => SolveError::Infeasible {
+                deadline,
+                min_makespan: prep.critical_path_weight() / self.modes.s_max(),
+            },
+            other => SolveError::Numerical(format!("warm Vdd LP: {other}")),
+        })?;
+        Ok(extract_schedule(g, &self.modes, &sol))
+    }
+
+    /// The mode ladder the handle was built over.
+    pub fn modes(&self) -> &DiscreteModes {
+        &self.modes
+    }
+}
+
 /// Build the Theorem 3 LP. Returns the problem and the row indices of
 /// the per-task deadline rows `t_i ≤ D` (for parametric re-solves).
 fn build_lp(
@@ -392,6 +489,58 @@ mod tests {
         sched
             .validate(&g, &EnergyModel::VddHopping(ms), 100.0)
             .unwrap();
+    }
+
+    #[test]
+    fn warm_weight_resolve_matches_cold() {
+        use taskgraph::edit::GraphEdit;
+
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let ms = modes(&[0.8, 1.6, 2.4]);
+        let d = 5.0;
+        let prep = PreparedGraph::new(&g);
+        let (base, mut warm) = solve_lp_warm(&prep, d, &ms, P).unwrap();
+        base.validate(&g, &EnergyModel::VddHopping(ms.clone()), d)
+            .unwrap();
+
+        // A chain of weight edits, each re-solved warm and compared
+        // against an independent cold LP on the edited graph.
+        let inst = taskgraph::PreparedInstance::new(std::sync::Arc::new(g));
+        let mut current = inst.apply(&[]).unwrap();
+        for (task, w) in [(1usize, 3.5), (2, 1.2), (0, 2.0)] {
+            current = current
+                .apply(&[GraphEdit::SetWeight { task, weight: w }])
+                .unwrap();
+            let view = current.view();
+            let sched = warm.resolve(&view, d).unwrap();
+            sched
+                .validate(current.graph(), &EnergyModel::VddHopping(ms.clone()), d)
+                .unwrap();
+            let cold = solve_lp_prepared(&view, d, &ms, P).unwrap();
+            let (ew, ec) = (
+                sched.energy(current.graph(), P),
+                cold.energy(current.graph(), P),
+            );
+            assert!(
+                (ew - ec).abs() <= 1e-6 * (1.0 + ec),
+                "warm {ew} vs cold {ec} after w({task}) = {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_resolve_reports_infeasible_weights() {
+        let g = generators::chain(&[2.0]);
+        let ms = modes(&[1.0, 2.0]);
+        let prep = PreparedGraph::new(&g);
+        let (_, mut warm) = solve_lp_warm(&prep, 2.0, &ms, P).unwrap();
+        // Weight 10 at top speed 2 needs 5 time units > deadline 2.
+        let heavy = taskgraph::TaskGraph::new(vec![10.0], &[]).unwrap();
+        let hp = PreparedGraph::new(&heavy);
+        assert!(matches!(
+            warm.resolve(&hp, 2.0),
+            Err(SolveError::Infeasible { .. })
+        ));
     }
 
     #[test]

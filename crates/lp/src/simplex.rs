@@ -169,7 +169,16 @@ pub struct PreparedLp {
 impl PreparedLp {
     /// Re-solve after setting the RHS of the given original rows to
     /// new values (`changes` holds `(row_index, new_rhs)` pairs; rows
-    /// not mentioned keep their current RHS).
+    /// not mentioned — and rows whose new value equals the current one
+    /// — keep their RHS at no cost).
+    ///
+    /// Any row kind qualifies, `Eq` rows included: the basis stays
+    /// dual feasible because reduced costs do not depend on `b`. The
+    /// two parametric families this crate is used for are deadline
+    /// sweeps (`t_i ≤ D` rows, see `reclaim_core::vdd::solve_lp_sweep`)
+    /// and **weight deltas** (the `Σ s_j·x_{ij} = w_i` work rows, see
+    /// `reclaim_core::vdd::VddWarm` — the substrate of the daemon's
+    /// `patch` request).
     ///
     /// Errors: `Infeasible` when the perturbed problem has no feasible
     /// point; `IterationLimit` / `WarmStartLost` when the warm basis
@@ -694,6 +703,38 @@ mod tests {
             approx(warm.x[0], cap.min(4.0));
             approx(warm.x[1], 4.0 - cap.min(4.0));
         }
+    }
+
+    #[test]
+    fn warm_resolve_moves_eq_rows_weight_delta_shape() {
+        // The Vdd-Hopping work-completion rows are equalities whose
+        // RHS is the task cost w_i: a *weight edit* is an Eq-row RHS
+        // move. Shape: min Σ s_j^α x_j  s.t.  Σ s_j x_j = w,
+        // Σ x_j ≤ D — two modes {1, 2}, α = 3, so mixing is optimal
+        // for 1 < w/D < 2. Sweep w warm and compare against cold.
+        let build = |w: f64, d: f64| {
+            let mut p = Problem::new(2);
+            p.set_objective(&[(0, 1.0), (1, 8.0)]); // 1³, 2³
+            p.add_constraint(&[(0, 1.0), (1, 2.0)], Relation::Eq, w);
+            p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, d);
+            p
+        };
+        let d = 2.0;
+        let (first, mut prep) = build(3.0, d).solve_prepared().unwrap();
+        // w = 3, D = 2: x_lo + 2 x_hi = 3, x_lo + x_hi ≤ 2 → one unit
+        // at each mode, energy 1 + 8 = 9.
+        approx(first.objective, 9.0);
+        for w in [3.5, 2.5, 3.0, 2.2, 3.9] {
+            let warm = prep.resolve_rhs(&[(0, w)]).unwrap();
+            let cold = build(w, d).solve().unwrap();
+            approx(warm.objective, cold.objective);
+        }
+        // Pushing the weight beyond top-speed capacity (w > 2D) must
+        // surface as infeasibility, not a stale answer.
+        assert_eq!(
+            prep.resolve_rhs(&[(0, 4.5)]).unwrap_err(),
+            LpError::Infeasible
+        );
     }
 
     #[test]

@@ -1,13 +1,31 @@
 //! The content-addressed cache of prepared instances.
 //!
 //! Keys are [`reclaim_core::engine::content_key`] hashes of the
-//! serialized `(graph, model)` content, so the *same instance arriving
-//! twice* — from two connections, two files, or two runs of a client —
-//! maps to one [`taskgraph::PreparedInstance`] whose analysis
-//! (topological order, shape, SP tree, critical path, transitive
-//! reduction) is paid for exactly once. Values are
-//! `Arc<PreparedInstance>`: a hit hands out a clone of the handle, so
-//! eviction never invalidates an in-flight solve.
+//! `(graph, model)` content, so the *same instance arriving twice* —
+//! from two connections, two files, or two runs of a client — maps to
+//! one [`taskgraph::PreparedInstance`] whose analysis (topological
+//! order, shape, SP tree, critical path, transitive reduction) is paid
+//! for exactly once. Values are `Arc<PreparedInstance>` plus the model
+//! the key was derived under and a shared Vdd warm-start slot: a hit
+//! hands out a clone of the handle, so eviction never invalidates an
+//! in-flight solve.
+//!
+//! # Patching
+//!
+//! Since protocol v2 an entry can be **edited in place**:
+//! [`InstanceCache::patch`] looks up a base instance by key, applies a
+//! [`GraphEdit`] batch through [`taskgraph::PreparedInstance::apply`]
+//! (selective invalidation — weight-only batches recompute *no*
+//! structural analysis), derives the edited content key incrementally
+//! ([`reclaim_core::engine::patched_key`]), and **re-keys** the entry:
+//! the base slot is replaced by the patched instance under its new
+//! key, modelling "this cached instance just changed" rather than
+//! growing a second copy per edit. The base's Vdd warm-start slot
+//! travels with the patched entry across weight-only batches (the LP
+//! matrix is unchanged — only its RHS moved) and is reset by
+//! structural ones. Patch traffic is counted separately
+//! (`patch_hits` / `patch_misses` / `rekeys`) so `stats` can tell a
+//! patched-in-place instance from plain cache hits.
 //!
 //! Eviction is least-recently-used under a dual budget: a maximum
 //! entry count and a maximum (estimated) byte footprint
@@ -25,10 +43,12 @@
 //! analysis across models would need a graph-keyed second level and
 //! is not worth the accounting ambiguity yet.
 
-use reclaim_core::engine::content_key;
+use models::EnergyModel;
+use reclaim_core::engine::{content_key, patched_key, VddWarm};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use taskgraph::edit::{EditError, GraphEdit};
 use taskgraph::PreparedInstance;
 
 use crate::proto::CacheStatsReport;
@@ -51,8 +71,15 @@ impl Default for CacheConfig {
     }
 }
 
+/// The per-entry Vdd warm-start slot: the retained LP basis of the
+/// last Vdd-Hopping solve of this instance, if any. Shared (`Arc`) so
+/// a re-keyed patch chain keeps one slot alive across entries.
+pub type WarmSlot = Arc<Mutex<Option<VddWarm>>>;
+
 struct Entry {
     inst: Arc<PreparedInstance>,
+    model: EnergyModel,
+    warm: WarmSlot,
     bytes: usize,
     last_used: u64,
 }
@@ -70,6 +97,40 @@ pub struct InstanceCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    patch_hits: AtomicU64,
+    patch_misses: AtomicU64,
+    rekeys: AtomicU64,
+}
+
+/// A successfully applied [`InstanceCache::patch`].
+pub struct Patched {
+    /// The edited, selectively re-prepared instance.
+    pub inst: Arc<PreparedInstance>,
+    /// The model of the (base and patched) entry.
+    pub model: EnergyModel,
+    /// Content key of the edited instance — its cache identity from
+    /// now on.
+    pub key: u128,
+    /// The Vdd warm-start slot of the patched entry (the base's slot
+    /// for weight-only batches, a fresh empty one after structural
+    /// edits).
+    pub warm: WarmSlot,
+    /// Whether every edit in the batch was weight-only (nothing
+    /// structural was recomputed).
+    pub weight_only: bool,
+    /// Nanoseconds spent re-warming analyses the edits dropped
+    /// (`0` for weight-only batches — the carried caches *are* the
+    /// preparation).
+    pub prep_ns: u64,
+}
+
+/// Why a patch was refused.
+#[derive(Debug)]
+pub enum PatchError {
+    /// The base key is not in the cache (never seen, or evicted).
+    UnknownBase,
+    /// The edit batch is invalid for the base graph.
+    Edit(EditError),
 }
 
 impl InstanceCache {
@@ -88,20 +149,26 @@ impl InstanceCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            patch_hits: AtomicU64::new(0),
+            patch_misses: AtomicU64::new(0),
+            rekeys: AtomicU64::new(0),
         }
     }
 
     /// Look up the instance for `key`, building (and fully warming)
-    /// it on a miss. Returns the shared handle and whether it was a
-    /// hit. The builder runs *outside* the lock: two racing misses on
-    /// one key both build, and the first insertion wins — wasted work,
-    /// never a wrong answer.
+    /// it on a miss. `model` must be the model `key` was derived
+    /// under; it is stored with the entry so `patch` can re-key
+    /// without the client resending it. Returns the shared handle and
+    /// whether it was a hit. The builder runs *outside* the lock: two
+    /// racing misses on one key both build, and the first insertion
+    /// wins — wasted work, never a wrong answer.
     pub fn get_or_prepare(
         &self,
         key: u128,
+        model: &EnergyModel,
         build: impl FnOnce() -> PreparedInstance,
     ) -> (Arc<PreparedInstance>, bool) {
-        if let Some(inst) = self.lookup(key) {
+        if let Some((inst, _)) = self.lookup(key) {
             return (inst, true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -125,6 +192,8 @@ impl InstanceCache {
                     key,
                     Entry {
                         inst: Arc::clone(&built),
+                        model: model.clone(),
+                        warm: Arc::new(Mutex::new(None)),
                         bytes,
                         last_used: tick,
                     },
@@ -136,17 +205,123 @@ impl InstanceCache {
         (inst, false)
     }
 
+    /// The Vdd warm-start slot of an entry, if the entry is live. Used
+    /// by the daemon to retain the LP basis a solve produced so a
+    /// later `patch` can re-optimize it.
+    pub fn warm_slot(&self, key: u128) -> Option<WarmSlot> {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        inner.map.get(&key).map(|e| Arc::clone(&e.warm))
+    }
+
+    /// Apply an edit batch to the cached instance `base`, re-keying
+    /// the entry in place (see the module docs). On success the cache
+    /// holds the patched instance under [`Patched::key`] and no longer
+    /// holds `base`; in-flight solves against the base handle are
+    /// unaffected (`Arc`).
+    pub fn patch(&self, base: u128, edits: &[GraphEdit]) -> Result<Patched, PatchError> {
+        // Patch traffic is accounted in its own counters, not in the
+        // plain hit/miss pair — `stats` must be able to tell them
+        // apart.
+        let Some((base_inst, (model, base_warm))) = self.lookup_quiet(base) else {
+            self.patch_misses.fetch_add(1, Ordering::Relaxed);
+            return Err(PatchError::UnknownBase);
+        };
+        // Apply (and, for structural batches, re-warm) outside the
+        // lock — the expensive part must not serialize other workers.
+        let patched = base_inst.apply(edits).map_err(PatchError::Edit)?;
+        let weight_only = edits.iter().all(GraphEdit::is_weight_only);
+        let prep_ns = if weight_only {
+            // Every structural cache was carried over: the patched
+            // instance is as prepared as the base was.
+            0
+        } else {
+            let t0 = std::time::Instant::now();
+            patched.warm();
+            t0.elapsed().as_nanos() as u64
+        };
+        let key = patched_key(base, base_inst.graph(), edits)
+            .unwrap_or_else(|| content_key(patched.graph(), &model));
+        let warm = if weight_only {
+            // The LP matrix only changed in its RHS: the retained
+            // basis stays re-optimizable and travels with the entry.
+            base_warm
+        } else {
+            Arc::new(Mutex::new(None))
+        };
+        let bytes = patched.approx_bytes();
+        let inst = Arc::new(patched);
+
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&base) {
+            inner.bytes -= old.bytes;
+            self.rekeys.fetch_add(1, Ordering::Relaxed);
+        }
+        match inner.map.get_mut(&key) {
+            // The edited content was already cached (e.g. an edit that
+            // undoes a previous one): keep the existing entry.
+            Some(e) => {
+                e.last_used = tick;
+                let existing = Arc::clone(&e.inst);
+                let warm = Arc::clone(&e.warm);
+                self.patch_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Patched {
+                    inst: existing,
+                    model,
+                    key,
+                    warm,
+                    weight_only,
+                    prep_ns,
+                });
+            }
+            None => {
+                inner.bytes += bytes;
+                inner.map.insert(
+                    key,
+                    Entry {
+                        inst: Arc::clone(&inst),
+                        model: model.clone(),
+                        warm: Arc::clone(&warm),
+                        bytes,
+                        last_used: tick,
+                    },
+                );
+                self.enforce_budget(&mut inner, key);
+            }
+        }
+        drop(inner);
+        self.patch_hits.fetch_add(1, Ordering::Relaxed);
+        Ok(Patched {
+            inst,
+            model,
+            key,
+            warm,
+            weight_only,
+            prep_ns,
+        })
+    }
+
     /// The lookup half of [`Self::get_or_prepare`], counting a hit iff
     /// present.
-    fn lookup(&self, key: u128) -> Option<Arc<PreparedInstance>> {
+    fn lookup(&self, key: u128) -> Option<(Arc<PreparedInstance>, (EnergyModel, WarmSlot))> {
+        let found = self.lookup_quiet(key);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// [`Self::lookup`] without touching the hit counter (LRU recency
+    /// is still refreshed) — the read half of `patch`.
+    fn lookup_quiet(&self, key: u128) -> Option<(Arc<PreparedInstance>, (EnergyModel, WarmSlot))> {
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(&key) {
             Some(e) => {
                 e.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&e.inst))
+                Some((Arc::clone(&e.inst), (e.model.clone(), Arc::clone(&e.warm))))
             }
             None => None,
         }
@@ -181,6 +356,9 @@ impl InstanceCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            patch_hits: self.patch_hits.load(Ordering::Relaxed),
+            patch_misses: self.patch_misses.load(Ordering::Relaxed),
+            rekeys: self.rekeys.load(Ordering::Relaxed),
         }
     }
 }
@@ -201,15 +379,19 @@ mod tests {
         PreparedInstance::new(StdArc::new(generators::diamond([1.0, 2.0, 3.0, seed])))
     }
 
+    fn model() -> EnergyModel {
+        EnergyModel::continuous_unbounded()
+    }
+
     #[test]
     fn hit_and_miss_counters() {
         let cache = InstanceCache::new(CacheConfig {
             max_entries: 4,
             max_bytes: usize::MAX,
         });
-        let (_, hit) = cache.get_or_prepare(1, || prep(1.0));
+        let (_, hit) = cache.get_or_prepare(1, &model(), || prep(1.0));
         assert!(!hit);
-        let (_, hit) = cache.get_or_prepare(1, || panic!("must not rebuild"));
+        let (_, hit) = cache.get_or_prepare(1, &model(), || panic!("must not rebuild"));
         assert!(hit);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
@@ -222,20 +404,20 @@ mod tests {
             max_entries: 2,
             max_bytes: usize::MAX,
         });
-        cache.get_or_prepare(1, || prep(1.0));
-        cache.get_or_prepare(2, || prep(2.0));
+        cache.get_or_prepare(1, &model(), || prep(1.0));
+        cache.get_or_prepare(2, &model(), || prep(2.0));
         // Touch 1 so 2 becomes the LRU.
-        cache.get_or_prepare(1, || panic!("hit expected"));
-        cache.get_or_prepare(3, || prep(3.0));
+        cache.get_or_prepare(1, &model(), || panic!("hit expected"));
+        cache.get_or_prepare(3, &model(), || prep(3.0));
         let s = cache.stats();
         assert_eq!(s.entries, 2);
         assert_eq!(s.evictions, 1);
         // 2 was evicted; 1 and 3 survive.
-        let (_, hit) = cache.get_or_prepare(1, || prep(1.0));
+        let (_, hit) = cache.get_or_prepare(1, &model(), || prep(1.0));
         assert!(hit);
-        let (_, hit) = cache.get_or_prepare(3, || prep(3.0));
+        let (_, hit) = cache.get_or_prepare(3, &model(), || prep(3.0));
         assert!(hit);
-        let (_, hit) = cache.get_or_prepare(2, || prep(2.0));
+        let (_, hit) = cache.get_or_prepare(2, &model(), || prep(2.0));
         assert!(!hit, "2 must have been evicted");
     }
 
@@ -247,9 +429,9 @@ mod tests {
             max_entries: 10,
             max_bytes: 1,
         });
-        cache.get_or_prepare(1, || prep(1.0));
+        cache.get_or_prepare(1, &model(), || prep(1.0));
         assert_eq!(cache.stats().entries, 1, "own insertion survives");
-        cache.get_or_prepare(2, || prep(2.0));
+        cache.get_or_prepare(2, &model(), || prep(2.0));
         let s = cache.stats();
         assert_eq!(s.entries, 1);
         assert_eq!(s.evictions, 1);
@@ -261,8 +443,8 @@ mod tests {
             max_entries: 1,
             max_bytes: usize::MAX,
         });
-        let (held, _) = cache.get_or_prepare(1, || prep(1.0));
-        cache.get_or_prepare(2, || prep(2.0)); // evicts 1
+        let (held, _) = cache.get_or_prepare(1, &model(), || prep(1.0));
+        cache.get_or_prepare(2, &model(), || prep(2.0)); // evicts 1
         assert_eq!(cache.stats().evictions, 1);
         // The handle still works: analysis remains usable.
         assert!(held.view().critical_path_weight() > 0.0);
@@ -275,7 +457,7 @@ mod tests {
             for _ in 0..8 {
                 let cache = StdArc::clone(&cache);
                 s.spawn(move || {
-                    let (inst, _) = cache.get_or_prepare(42, || prep(5.0));
+                    let (inst, _) = cache.get_or_prepare(42, &model(), || prep(5.0));
                     assert_eq!(inst.graph().n(), 4);
                 });
             }
@@ -284,5 +466,84 @@ mod tests {
         assert_eq!(s.entries, 1);
         assert_eq!(s.hits + s.misses, 8);
         assert!(s.misses >= 1);
+    }
+
+    #[test]
+    fn patch_rekeys_in_place() {
+        let cache = InstanceCache::new(CacheConfig::default());
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let m = model();
+        let base_key = instance_key(&g, &m);
+        cache.get_or_prepare(base_key, &m, || {
+            PreparedInstance::new(StdArc::new(g.clone()))
+        });
+        let edits = [GraphEdit::SetWeight {
+            task: 1,
+            weight: 5.0,
+        }];
+        let patched = cache.patch(base_key, &edits).unwrap();
+        assert!(patched.weight_only);
+        assert_eq!(patched.prep_ns, 0);
+        assert_eq!(patched.inst.graph().weights()[1], 5.0);
+        // The new key is what a full rehash of the edited graph gives.
+        let (rebuilt, _) = taskgraph::edit::apply_edits(&g, &edits).unwrap();
+        assert_eq!(patched.key, instance_key(&rebuilt, &m));
+        // Re-key: one entry, reachable under the new key only.
+        let s = cache.stats();
+        assert_eq!((s.entries, s.patch_hits, s.rekeys), (1, 1, 1));
+        let (_, hit) = cache.get_or_prepare(patched.key, &m, || panic!("must be live"));
+        assert!(hit);
+        assert!(matches!(
+            cache.patch(base_key, &edits),
+            Err(PatchError::UnknownBase)
+        ));
+        assert_eq!(cache.stats().patch_misses, 1);
+    }
+
+    #[test]
+    fn patch_chain_and_structural_warm_reset() {
+        let cache = InstanceCache::new(CacheConfig::default());
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let m = model();
+        let k0 = instance_key(&g, &m);
+        cache.get_or_prepare(k0, &m, || PreparedInstance::new(StdArc::new(g.clone())));
+        let w0 = cache.warm_slot(k0).unwrap();
+        // Weight-only patch: the warm slot travels.
+        let p1 = cache
+            .patch(
+                k0,
+                &[GraphEdit::SetWeight {
+                    task: 0,
+                    weight: 2.0,
+                }],
+            )
+            .unwrap();
+        assert!(StdArc::ptr_eq(&w0, &p1.warm), "slot carried over");
+        // Structural patch: fresh slot, measured re-warm.
+        let p2 = cache
+            .patch(p1.key, &[GraphEdit::RemoveEdge { from: 0, to: 2 }])
+            .unwrap();
+        assert!(!p2.weight_only);
+        assert!(!StdArc::ptr_eq(&w0, &p2.warm), "slot reset");
+        let s = cache.stats();
+        assert_eq!((s.entries, s.patch_hits, s.rekeys), (1, 2, 2));
+    }
+
+    #[test]
+    fn patch_with_invalid_edits_keeps_base() {
+        let cache = InstanceCache::new(CacheConfig::default());
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let m = model();
+        let k0 = instance_key(&g, &m);
+        cache.get_or_prepare(k0, &m, || PreparedInstance::new(StdArc::new(g)));
+        match cache.patch(k0, &[GraphEdit::InsertEdge { from: 3, to: 0 }]) {
+            Err(PatchError::Edit(_)) => {}
+            Err(other) => panic!("expected edit error, got {other:?}"),
+            Ok(_) => panic!("cycle-introducing edit must fail"),
+        }
+        // Base entry is untouched.
+        let (_, hit) = cache.get_or_prepare(k0, &m, || panic!("base must survive"));
+        assert!(hit);
+        assert_eq!(cache.stats().rekeys, 0);
     }
 }

@@ -2,11 +2,12 @@
 
 use crate::daemon::{Endpoint, Stream};
 use crate::proto::{
-    read_frame, write_frame, ErrorBody, FrameError, RequestEnvelope, ResponseEnvelope,
+    read_frame, write_frame, ErrorBody, FrameError, Request, RequestEnvelope, ResponseEnvelope,
 };
 use std::fmt;
 use std::io;
 use std::time::{Duration, Instant};
+use taskgraph::edit::GraphEdit;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -70,19 +71,68 @@ impl Client {
 
     /// Send one request and block for its response. Ids are assigned
     /// automatically and verified on the way back (this client does
-    /// not pipeline, so responses arrive in order).
+    /// not pipeline, so responses arrive in order). The envelope rides
+    /// the lowest protocol version able to carry the request, so
+    /// everything but `patch` stays v1-compatible.
     pub fn roundtrip(
         &mut self,
         request: crate::proto::Request,
     ) -> Result<ResponseEnvelope, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let env = RequestEnvelope { id, request };
+        let env = RequestEnvelope::new(id, request);
         write_frame(&mut self.stream, &env.encode())?;
         let payload = read_frame(&mut self.stream)
             .map_err(ClientError::Frame)?
             .ok_or(ClientError::Closed)?;
         let resp = ResponseEnvelope::decode(&payload).map_err(ClientError::Protocol)?;
         Ok(resp)
+    }
+
+    /// Send a v2 `patch`: edit the instance the daemon already caches
+    /// under `base` ([`reclaim_core::engine::content_key`] of the
+    /// graph and model) and solve the result at `deadline` — without
+    /// resending the graph. The daemon answers
+    /// [`crate::proto::Response::Patch`] carrying the edited
+    /// instance's new content key (the `base` for the next patch in a
+    /// chain), or an [`crate::proto::ErrorKind::UnknownBase`] error
+    /// when the base was never cached or has been evicted — fall back
+    /// to a full [`crate::proto::Request::Solve`] then.
+    ///
+    /// ```no_run
+    /// use reclaim_service::client::Client;
+    /// use reclaim_service::daemon::Endpoint;
+    /// use reclaim_service::proto::Response;
+    /// use reclaim_core::engine::content_key;
+    /// use models::EnergyModel;
+    /// use taskgraph::edit::GraphEdit;
+    /// use taskgraph::TaskGraph;
+    ///
+    /// let mut client = Client::connect(&Endpoint::Unix("reclaimd.sock".into()))?;
+    /// let graph = TaskGraph::new(vec![2.0, 4.0], &[(0, 1)]).unwrap();
+    /// let model = EnergyModel::continuous_unbounded();
+    /// // The daemon holds this instance from an earlier solve; name
+    /// // it by content key and send only the delta.
+    /// let base = content_key(&graph, &model);
+    /// let reply = client
+    ///     .patch(base, &[GraphEdit::SetWeight { task: 1, weight: 5.0 }], 3.0)
+    ///     .unwrap();
+    /// if let Response::Patch(p) = reply.response {
+    ///     assert_eq!(p.report.prep_ns, 0, "weight edits re-prepare nothing");
+    ///     let _next_base = p.key; // chain further edits from here
+    /// }
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn patch(
+        &mut self,
+        base: u128,
+        edits: &[GraphEdit],
+        deadline: f64,
+    ) -> Result<ResponseEnvelope, ClientError> {
+        self.roundtrip(Request::Patch {
+            base,
+            edits: edits.to_vec(),
+            deadline,
+        })
     }
 }

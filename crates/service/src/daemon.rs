@@ -27,10 +27,10 @@
 //! after shutdown keep their reader thread alive until they close —
 //! send `shutdown` last, as `reclaim ask --shutdown` does.
 
-use crate::cache::{CacheConfig, InstanceCache};
+use crate::cache::{CacheConfig, InstanceCache, PatchError};
 use crate::proto::{
-    read_frame, write_frame, ErrorBody, ErrorKind, Request, RequestEnvelope, Response,
-    ResponseEnvelope, SolveReport, StatsReport, WorkerStatsReport,
+    read_frame, write_frame, ErrorBody, ErrorKind, PatchReport, Request, RequestEnvelope, Response,
+    ResponseEnvelope, SolveReport, StatsReport, WorkerStatsReport, MIN_PROTOCOL_VERSION,
 };
 use models::{EnergyModel, PowerLaw};
 use reclaim_core::engine::content_key;
@@ -373,8 +373,11 @@ fn connection_loop(stream: Stream, tx: &mpsc::Sender<Job>) {
             Ok(None) => return, // client closed cleanly
             Err(e) => {
                 // Framing violation: report once, then drop the
-                // connection — resynchronization is not possible.
+                // connection — resynchronization is not possible. The
+                // peer's version is unknowable here, so answer at the
+                // minimum version every supported client accepts.
                 let resp = ResponseEnvelope {
+                    version: MIN_PROTOCOL_VERSION,
                     id: 0,
                     response: Response::Error(ErrorBody::new(ErrorKind::Protocol, e.to_string())),
                 };
@@ -430,16 +433,22 @@ fn handle_payload(
     let env = match RequestEnvelope::decode(payload) {
         Ok(env) => env,
         Err(e) => {
+            // The request never decoded, so its version is unknown:
+            // answer at the minimum version every supported client
+            // accepts, so a v1-only peer sees the real diagnostic
+            // instead of a version error of its own.
             return (
                 ResponseEnvelope {
+                    version: MIN_PROTOCOL_VERSION,
                     id: 0,
                     response: Response::Error(e),
                 },
                 false,
-            )
+            );
         }
     };
     let id = env.id;
+    let version = env.version;
     let counters = &state.workers[worker_id];
     let mut stop = false;
     let response = match env.request {
@@ -456,7 +465,7 @@ fn handle_payload(
             model,
             deadlines,
         } => {
-            let (inst, cached, prep_ns) = prepare(state, graph, &model);
+            let (inst, cached, prep_ns, key) = prepare(state, graph, &model);
             let items = deadlines
                 .iter()
                 .enumerate()
@@ -464,7 +473,7 @@ fn handle_payload(
                     // Preparation cost is attributed to the first item.
                     let prep_ns = if i == 0 { prep_ns } else { 0 };
                     timed_solve(
-                        engine, counters, worker_id, &inst, &model, d, cached, prep_ns,
+                        state, engine, counters, worker_id, &inst, &model, d, cached, prep_ns, key,
                     )
                     .map_err(|e| ErrorBody::from(&e))
                 })
@@ -478,7 +487,7 @@ fn handle_payload(
             lo,
             hi,
         } => {
-            let (inst, _, _) = prepare(state, graph, &model);
+            let (inst, _, _, _) = prepare(state, graph, &model);
             let t0 = Instant::now();
             let result = engine.energy_curve(&inst.view(), &model, points, lo, hi);
             counters
@@ -511,31 +520,132 @@ fn handle_payload(
                 })
                 .collect(),
         }),
+        Request::Patch {
+            base,
+            edits,
+            deadline,
+        } => patch_one(state, engine, counters, worker_id, base, &edits, deadline),
         Request::Shutdown => {
             stop = true;
             Response::Shutdown
         }
     };
-    (ResponseEnvelope { id, response }, stop)
+    (
+        ResponseEnvelope {
+            version,
+            id,
+            response,
+        },
+        stop,
+    )
 }
 
-/// Cache-or-prepare the instance for `(graph, model)`.
+/// Handle one v2 `patch`: edit the cached base instance in place
+/// (selective invalidation + incremental re-key, see
+/// [`InstanceCache::patch`]) and solve the result. Vdd-Hopping solves
+/// route through the entry's retained LP basis when one is available
+/// ([`Engine::solve_warm`]), so a weight-only patch skips graph
+/// preparation *and* the cold LP.
+fn patch_one(
+    state: &State,
+    engine: &Engine,
+    counters: &WorkerCounters,
+    worker_id: usize,
+    base: u128,
+    edits: &[taskgraph::edit::GraphEdit],
+    deadline: f64,
+) -> Response {
+    let patched = match state.cache.patch(base, edits) {
+        Ok(p) => p,
+        Err(PatchError::UnknownBase) => {
+            return Response::Error(ErrorBody::new(
+                ErrorKind::UnknownBase,
+                format!(
+                    "no cached instance for base {} (send the full instance instead)",
+                    crate::proto::key_to_hex(base)
+                ),
+            ))
+        }
+        Err(PatchError::Edit(e)) => {
+            return Response::Error(ErrorBody::new(ErrorKind::BadRequest, e.to_string()))
+        }
+    };
+    let t0 = Instant::now();
+    let result = solve_with_slot(
+        engine,
+        &patched.inst,
+        &patched.model,
+        deadline,
+        &patched.warm,
+    );
+    let solve_ns = t0.elapsed().as_nanos() as u64;
+    counters.solves.fetch_add(1, Ordering::Relaxed);
+    counters.solve_ns.fetch_add(solve_ns, Ordering::Relaxed);
+    match result {
+        Ok(sol) => Response::Patch(PatchReport {
+            report: SolveReport {
+                energy: sol.energy,
+                algorithm: sol.algorithm.to_string(),
+                makespan: sol.schedule.makespan(patched.inst.graph()),
+                solve_ns,
+                prep_ns: patched.prep_ns,
+                cached: true,
+                worker: worker_id as u64,
+            },
+            key: patched.key,
+            warm_lp: sol.algorithm == "vdd-lp-warm",
+        }),
+        Err(e) => Response::Error(ErrorBody::from(&e)),
+    }
+}
+
+/// Cache-or-prepare the instance for `(graph, model)`. Returns the
+/// content key alongside so solve paths can reach the entry's warm
+/// slot.
 fn prepare(
     state: &State,
     graph: TaskGraph,
     model: &EnergyModel,
-) -> (Arc<PreparedInstance>, bool, u64) {
+) -> (Arc<PreparedInstance>, bool, u64, u128) {
     let key = content_key(&graph, model);
     let t0 = Instant::now();
     let (inst, hit) = state
         .cache
-        .get_or_prepare(key, move || PreparedInstance::new(Arc::new(graph)));
+        .get_or_prepare(key, model, move || PreparedInstance::new(Arc::new(graph)));
     let prep_ns = if hit {
         0
     } else {
         t0.elapsed().as_nanos() as u64
     };
-    (inst, hit, prep_ns)
+    (inst, hit, prep_ns, key)
+}
+
+/// Solve with the entry's Vdd warm slot, **without** holding its lock
+/// across the solve: the handle is taken under a short lock, the LP
+/// runs unlocked (a concurrent solve of the same key just runs cold —
+/// wasted work, never serialization), and the refreshed handle is put
+/// back afterwards (last writer wins). A poisoned slot is reclaimed
+/// rather than propagated — the handle inside is either intact or
+/// `None`, and either is a valid starting point.
+fn solve_with_slot(
+    engine: &Engine,
+    inst: &PreparedInstance,
+    model: &EnergyModel,
+    deadline: f64,
+    slot: &crate::cache::WarmSlot,
+) -> Result<reclaim_core::Solution, reclaim_core::SolveError> {
+    let mut warm = match slot.lock() {
+        Ok(mut guard) => guard.take(),
+        Err(poisoned) => poisoned.into_inner().take(),
+    };
+    let result = engine.solve_warm(&inst.view(), model, deadline, &mut warm);
+    if let Some(handle) = warm {
+        match slot.lock() {
+            Ok(mut guard) => *guard = Some(handle),
+            Err(poisoned) => *poisoned.into_inner() = Some(handle),
+        }
+    }
+    result
 }
 
 fn solve_one(
@@ -547,15 +657,16 @@ fn solve_one(
     model: &EnergyModel,
     deadline: f64,
 ) -> Result<SolveReport, ErrorBody> {
-    let (inst, cached, prep_ns) = prepare(state, graph, model);
+    let (inst, cached, prep_ns, key) = prepare(state, graph, model);
     timed_solve(
-        engine, counters, worker_id, &inst, model, deadline, cached, prep_ns,
+        state, engine, counters, worker_id, &inst, model, deadline, cached, prep_ns, key,
     )
     .map_err(|e| ErrorBody::from(&e))
 }
 
 #[allow(clippy::too_many_arguments)]
 fn timed_solve(
+    state: &State,
     engine: &Engine,
     counters: &WorkerCounters,
     worker_id: usize,
@@ -564,9 +675,19 @@ fn timed_solve(
     deadline: f64,
     cached: bool,
     prep_ns: u64,
+    key: u128,
 ) -> Result<SolveReport, reclaim_core::SolveError> {
     let t0 = Instant::now();
-    let result = engine.solve(&inst.view(), model, deadline);
+    // Vdd-Hopping solves go through the entry's warm slot: the first
+    // solve retains its optimal LP basis there, so later solves — and
+    // especially weight-only `patch` re-solves — re-optimize instead
+    // of running the two phases cold.
+    let result = match state.cache.warm_slot(key) {
+        Some(slot) if matches!(model, EnergyModel::VddHopping(_)) => {
+            solve_with_slot(engine, inst, model, deadline, &slot)
+        }
+        _ => engine.solve(&inst.view(), model, deadline),
+    };
     let solve_ns = t0.elapsed().as_nanos() as u64;
     counters.solves.fetch_add(1, Ordering::Relaxed);
     counters.solve_ns.fetch_add(solve_ns, Ordering::Relaxed);

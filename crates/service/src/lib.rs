@@ -11,12 +11,18 @@
 //!   byte/entry budgets and a fixed worker pool of single-threaded
 //!   engines;
 //! * [`proto`] — the versioned, length-prefixed JSON-line wire
-//!   protocol (`solve` / `solve_deadlines` / `energy_curve` / `batch`
-//!   / `stats` / `shutdown`) with structured error mapping from
-//!   [`reclaim_core::SolveError`] and [`lp::LpError`];
-//! * [`cache`] — the cache itself, usable without the daemon;
+//!   protocol (v1: `solve` / `solve_deadlines` / `energy_curve` /
+//!   `batch` / `stats` / `shutdown`; v2 adds `patch`) with structured
+//!   error mapping from [`reclaim_core::SolveError`] and
+//!   [`lp::LpError`] — the full wire specification lives in
+//!   `docs/PROTOCOL.md`;
+//! * [`cache`] — the cache itself, usable without the daemon, with
+//!   **patch-in-place re-keying**: a cached instance can be mutated
+//!   by a [`taskgraph::edit::GraphEdit`] batch under selective cache
+//!   invalidation, keeping its Vdd warm-start basis across
+//!   weight-only edits;
 //! * [`client`] — a blocking client (used by `reclaim ask` and the
-//!   integration tests);
+//!   integration tests), including the v2 [`Client::patch`] call;
 //! * [`corpus`] — deterministic sharding of whole instance
 //!   directories across engine shards, with byte-identical manifests
 //!   and per-shard `BENCH_corpus_<k>.json` perf records;

@@ -15,22 +15,40 @@
 //! ends mid-frame is a [`FrameError::Truncated`], while a stream that
 //! ends cleanly *between* frames reads as end-of-session.
 //!
-//! # Envelopes
+//! # Envelopes and versions
 //!
-//! Every request carries `"v": 1` (the protocol version — unknown
-//! versions are rejected with an `ErrorKind::Protocol` error), an
-//! optional client-chosen `"id"` (echoed verbatim in the response so
-//! pipelined requests can be matched even when the worker pool
-//! completes them out of order), and a `"type"` tag. Responses carry
-//! `"ok"` plus either a typed `"result"` or an `"error"` object.
+//! Every request carries `"v"` (the protocol version), an optional
+//! client-chosen `"id"` (echoed verbatim in the response so pipelined
+//! requests can be matched even when the worker pool completes them
+//! out of order), and a `"type"` tag. Responses carry `"ok"` plus
+//! either a typed `"result"` or an `"error"` object.
 //!
-//! A worked request/response pair (the README shows the same exchange
-//! end-to-end):
+//! This build speaks versions **1 and 2** ([`MIN_PROTOCOL_VERSION`]
+//! ..= [`PROTOCOL_VERSION`]). Negotiation is per request: the server
+//! accepts any version in that range, answers with the version the
+//! request used, and rejects anything else with an
+//! [`ErrorKind::Protocol`] error naming the supported range. The only
+//! v2 request is `patch` — sending it under `"v": 1` is a protocol
+//! error, so a v1-only intermediary never sees half-understood
+//! traffic.
+//!
+//! A worked request/response pair (docs/PROTOCOL.md walks the same
+//! exchange byte by byte):
 //!
 //! ```text
 //! → {"v":1,"id":7,"type":"solve","graph":{"weights":[2,4],"edges":[[0,1]]},
 //!    "model":{"kind":"continuous"},"deadline":3}
 //! ← {"v":1,"id":7,"ok":true,"type":"solve","result":{"energy":24,...}}
+//! ```
+//!
+//! and the v2 `patch` — edits against a cached instance named by its
+//! content key, instead of resending the graph:
+//!
+//! ```text
+//! → {"v":2,"id":8,"type":"patch","base":"0x36bd06bca277317937d02054da46d064",
+//!    "edits":[{"op":"set_weight","task":1,"weight":3.5}],"deadline":3}
+//! ← {"v":2,"id":8,"ok":true,"type":"patch","result":{"energy":27.8,…,
+//!    "prep_ns":0,"key":"0x…","warm_lp":false}}
 //! ```
 
 use crate::json::{self, Json};
@@ -38,10 +56,14 @@ use models::{DiscreteModes, EnergyModel, IncrementalModes};
 use reclaim_core::SolveError;
 use std::fmt;
 use std::io::{self, Read, Write};
+use taskgraph::edit::GraphEdit;
 use taskgraph::TaskGraph;
 
-/// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// The newest protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// The oldest protocol version this build still accepts.
+pub const MIN_PROTOCOL_VERSION: u64 = 1;
 
 /// Hard cap on one frame's payload, in bytes.
 pub const MAX_FRAME: usize = 64 << 20;
@@ -161,6 +183,10 @@ pub enum ErrorKind {
     /// The request decoded as JSON but its content is invalid
     /// (unknown type, malformed graph, bad field).
     BadRequest,
+    /// A `patch` request named a `base` content key the daemon's cache
+    /// does not hold (never cached, or since evicted). The client
+    /// should fall back to sending the full edited instance.
+    UnknownBase,
     /// The envelope itself is unusable: not JSON, wrong version,
     /// framing violation.
     Protocol,
@@ -173,6 +199,7 @@ impl ErrorKind {
             ErrorKind::Numerical => "numerical",
             ErrorKind::Unsupported => "unsupported",
             ErrorKind::BadRequest => "bad_request",
+            ErrorKind::UnknownBase => "unknown_base",
             ErrorKind::Protocol => "protocol",
         }
     }
@@ -183,6 +210,7 @@ impl ErrorKind {
             "numerical" => ErrorKind::Numerical,
             "unsupported" => ErrorKind::Unsupported,
             "bad_request" => ErrorKind::BadRequest,
+            "unknown_base" => ErrorKind::UnknownBase,
             "protocol" => ErrorKind::Protocol,
             _ => return None,
         })
@@ -293,19 +321,76 @@ pub enum Request {
         /// The jobs, answered in order.
         jobs: Vec<(TaskGraph, f64)>,
     },
+    /// **v2.** Edit an instance the daemon already holds: apply
+    /// `edits` to the cached instance whose content key is `base` and
+    /// solve the result, re-keying the cache entry in place. The
+    /// client never resends the graph; on a weight-only batch the
+    /// daemon also skips every structural re-analysis *and* (for
+    /// Vdd-Hopping) the cold LP.
+    Patch {
+        /// Content key of the cached base instance
+        /// ([`reclaim_core::engine::content_key`]).
+        base: u128,
+        /// The edit batch, applied in order.
+        edits: Vec<GraphEdit>,
+        /// The deadline to solve the edited instance at.
+        deadline: f64,
+    },
     /// Read cache and worker counters.
     Stats,
     /// Stop accepting connections and exit once drained.
     Shutdown,
 }
 
+impl Request {
+    /// The lowest protocol version that can carry this request.
+    pub fn min_version(&self) -> u64 {
+        match self {
+            Request::Patch { .. } => 2,
+            _ => MIN_PROTOCOL_VERSION,
+        }
+    }
+}
+
 /// A request plus its envelope metadata.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestEnvelope {
+    /// The protocol version of this exchange (the response echoes it).
+    pub version: u64,
     /// Client-chosen correlation id, echoed in the response.
     pub id: u64,
     /// The request body.
     pub request: Request,
+}
+
+impl RequestEnvelope {
+    /// An envelope at the lowest version able to carry `request` —
+    /// what the bundled client sends, so v1 servers keep understanding
+    /// everything but `patch`.
+    pub fn new(id: u64, request: Request) -> RequestEnvelope {
+        RequestEnvelope {
+            version: request.min_version(),
+            id,
+            request,
+        }
+    }
+}
+
+/// Render a content key the way the wire carries it (128 bits exceed
+/// JSON's interoperable integer range, so keys travel as fixed-width
+/// hex strings).
+pub fn key_to_hex(key: u128) -> String {
+    format!("0x{key:032x}")
+}
+
+/// Parse a [`key_to_hex`]-formatted content key (the `0x` prefix is
+/// optional, case is ignored).
+pub fn key_from_hex(s: &str) -> Option<u128> {
+    let digits = s
+        .strip_prefix("0x")
+        .or_else(|| s.strip_prefix("0X"))
+        .unwrap_or(s);
+    u128::from_str_radix(digits, 16).ok()
 }
 
 fn graph_to_json(g: &TaskGraph) -> Json {
@@ -360,6 +445,94 @@ fn model_to_json(m: &EnergyModel) -> Json {
 
 fn bad(msg: impl Into<String>) -> ErrorBody {
     ErrorBody::new(ErrorKind::BadRequest, msg)
+}
+
+fn edit_to_json(e: &GraphEdit) -> Json {
+    let ids = |v: &[usize]| Json::Arr(v.iter().map(|&i| Json::num(i as f64)).collect());
+    Json::Obj(match e {
+        GraphEdit::SetWeight { task, weight } => vec![
+            ("op".into(), Json::str("set_weight")),
+            ("task".into(), Json::num(*task as f64)),
+            ("weight".into(), Json::num(*weight)),
+        ],
+        GraphEdit::InsertEdge { from, to } => vec![
+            ("op".into(), Json::str("insert_edge")),
+            ("from".into(), Json::num(*from as f64)),
+            ("to".into(), Json::num(*to as f64)),
+        ],
+        GraphEdit::RemoveEdge { from, to } => vec![
+            ("op".into(), Json::str("remove_edge")),
+            ("from".into(), Json::num(*from as f64)),
+            ("to".into(), Json::num(*to as f64)),
+        ],
+        GraphEdit::AddTask {
+            weight,
+            preds,
+            succs,
+        } => vec![
+            ("op".into(), Json::str("add_task")),
+            ("weight".into(), Json::num(*weight)),
+            ("preds".into(), ids(preds)),
+            ("succs".into(), ids(succs)),
+        ],
+        GraphEdit::RemoveTask { task } => vec![
+            ("op".into(), Json::str("remove_task")),
+            ("task".into(), Json::num(*task as f64)),
+        ],
+    })
+}
+
+fn edit_from_json(v: &Json) -> Result<GraphEdit, ErrorBody> {
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("edit needs an \"op\""))?;
+    let task_field = |name: &str| -> Result<usize, ErrorBody> {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .map(|t| t as usize)
+            .ok_or_else(|| bad(format!("edit {op:?} needs integer \"{name}\"")))
+    };
+    let weight_field = || -> Result<f64, ErrorBody> {
+        v.get("weight")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad(format!("edit {op:?} needs numeric \"weight\"")))
+    };
+    let id_list = |name: &str| -> Result<Vec<usize>, ErrorBody> {
+        v.get(name)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad(format!("edit {op:?} needs a \"{name}\" array")))?
+            .iter()
+            .map(|i| {
+                i.as_u64()
+                    .map(|i| i as usize)
+                    .ok_or_else(|| bad(format!("\"{name}\" entries must be task ids")))
+            })
+            .collect()
+    };
+    Ok(match op {
+        "set_weight" => GraphEdit::SetWeight {
+            task: task_field("task")?,
+            weight: weight_field()?,
+        },
+        "insert_edge" => GraphEdit::InsertEdge {
+            from: task_field("from")?,
+            to: task_field("to")?,
+        },
+        "remove_edge" => GraphEdit::RemoveEdge {
+            from: task_field("from")?,
+            to: task_field("to")?,
+        },
+        "add_task" => GraphEdit::AddTask {
+            weight: weight_field()?,
+            preds: id_list("preds")?,
+            succs: id_list("succs")?,
+        },
+        "remove_task" => GraphEdit::RemoveTask {
+            task: task_field("task")?,
+        },
+        other => return Err(bad(format!("unknown edit op {other:?}"))),
+    })
 }
 
 fn graph_from_json(v: &Json) -> Result<TaskGraph, ErrorBody> {
@@ -439,7 +612,7 @@ impl RequestEnvelope {
     /// Encode to the one-line JSON payload (framing is separate).
     pub fn encode(&self) -> String {
         let mut pairs = vec![
-            ("v".into(), Json::num(PROTOCOL_VERSION as f64)),
+            ("v".into(), Json::num(self.version as f64)),
             ("id".into(), Json::num(self.id as f64)),
         ];
         match &self.request {
@@ -497,6 +670,19 @@ impl RequestEnvelope {
                     ),
                 ));
             }
+            Request::Patch {
+                base,
+                edits,
+                deadline,
+            } => {
+                pairs.push(("type".into(), Json::str("patch")));
+                pairs.push(("base".into(), Json::str(key_to_hex(*base))));
+                pairs.push((
+                    "edits".into(),
+                    Json::Arr(edits.iter().map(edit_to_json).collect()),
+                ));
+                pairs.push(("deadline".into(), Json::num(*deadline)));
+            }
             Request::Stats => pairs.push(("type".into(), Json::str("stats"))),
             Request::Shutdown => pairs.push(("type".into(), Json::str("shutdown"))),
         }
@@ -510,17 +696,24 @@ impl RequestEnvelope {
         let v =
             json::parse(payload).map_err(|e| ErrorBody::new(ErrorKind::Protocol, e.to_string()))?;
         let version = v.get("v").and_then(Json::as_u64);
-        if version != Some(PROTOCOL_VERSION) {
-            return Err(ErrorBody::new(
-                ErrorKind::Protocol,
-                match version {
-                    Some(n) => format!(
-                        "unsupported protocol version {n} (this build speaks {PROTOCOL_VERSION})"
+        let version = match version {
+            Some(n) if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&n) => n,
+            Some(n) => {
+                return Err(ErrorBody::new(
+                    ErrorKind::Protocol,
+                    format!(
+                        "unsupported protocol version {n} (this build speaks \
+                         {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
                     ),
-                    None => "missing protocol version \"v\"".into(),
-                },
-            ));
-        }
+                ))
+            }
+            None => {
+                return Err(ErrorBody::new(
+                    ErrorKind::Protocol,
+                    "missing protocol version \"v\"",
+                ))
+            }
+        };
         let id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
         let typ = v
             .get("type")
@@ -584,11 +777,40 @@ impl RequestEnvelope {
                     })
                     .collect::<Result<_, ErrorBody>>()?,
             },
+            "patch" => Request::Patch {
+                base: v
+                    .get("base")
+                    .and_then(Json::as_str)
+                    .and_then(key_from_hex)
+                    .ok_or_else(|| bad("missing or malformed \"base\" content key"))?,
+                edits: v
+                    .get("edits")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("missing \"edits\" array"))?
+                    .iter()
+                    .map(edit_from_json)
+                    .collect::<Result<_, _>>()?,
+                deadline: num("deadline")?,
+            },
             "stats" => Request::Stats,
             "shutdown" => Request::Shutdown,
             other => return Err(bad(format!("unknown request type {other:?}"))),
         };
-        Ok(RequestEnvelope { id, request })
+        if version < request.min_version() {
+            return Err(ErrorBody::new(
+                ErrorKind::Protocol,
+                format!(
+                    "request type {typ:?} requires protocol version \
+                     {} (request used {version})",
+                    request.min_version()
+                ),
+            ));
+        }
+        Ok(RequestEnvelope {
+            version,
+            id,
+            request,
+        })
     }
 }
 
@@ -616,6 +838,23 @@ pub struct SolveReport {
     pub worker: u64,
 }
 
+/// The result of one `patch`, as reported on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatchReport {
+    /// The solve of the edited instance. `prep_ns` is `0` when every
+    /// structural analysis was carried over (weight-only batches);
+    /// otherwise it is the time spent re-warming what the edits
+    /// dropped. `cached` reports whether the *base* was a cache hit
+    /// (always true — a miss is an [`ErrorKind::UnknownBase`] error).
+    pub report: SolveReport,
+    /// Content key of the edited instance — the `base` for the next
+    /// patch in a chain.
+    pub key: u128,
+    /// Whether the Vdd-Hopping solve reused the retained LP basis
+    /// (`vdd-lp-warm`) instead of a cold two-phase run.
+    pub warm_lp: bool,
+}
+
 /// Cache counters, as reported by `stats`.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CacheStatsReport {
@@ -623,12 +862,21 @@ pub struct CacheStatsReport {
     pub entries: u64,
     /// Estimated resident bytes of live entries.
     pub bytes: u64,
-    /// Lookup hits since start.
+    /// Lookup hits since start (plain requests resolving to a cached
+    /// instance — patch traffic is counted separately below).
     pub hits: u64,
     /// Lookup misses since start.
     pub misses: u64,
     /// Evictions since start.
     pub evictions: u64,
+    /// `patch` requests whose base key was held (served in place).
+    pub patch_hits: u64,
+    /// `patch` requests whose base key was absent
+    /// ([`ErrorKind::UnknownBase`] answers).
+    pub patch_misses: u64,
+    /// In-place re-keys: patched entries that replaced their base
+    /// entry under the edited content key.
+    pub rekeys: u64,
 }
 
 /// One worker's counters.
@@ -664,6 +912,8 @@ pub enum Response {
     Curve(Vec<(f64, f64)>),
     /// Answer to [`Request::Batch`]: one entry per job, in order.
     Batch(Vec<Result<SolveReport, ErrorBody>>),
+    /// Answer to [`Request::Patch`] (v2).
+    Patch(PatchReport),
     /// Answer to [`Request::Stats`].
     Stats(StatsReport),
     /// Answer to [`Request::Shutdown`].
@@ -675,6 +925,8 @@ pub enum Response {
 /// A response plus its envelope metadata.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResponseEnvelope {
+    /// The protocol version, echoing the request's.
+    pub version: u64,
     /// The correlation id echoed from the request.
     pub id: u64,
     /// The response body.
@@ -784,7 +1036,7 @@ impl ResponseEnvelope {
     /// Encode to the one-line JSON payload (framing is separate).
     pub fn encode(&self) -> String {
         let mut pairs = vec![
-            ("v".into(), Json::num(PROTOCOL_VERSION as f64)),
+            ("v".into(), Json::num(self.version as f64)),
             ("id".into(), Json::num(self.id as f64)),
         ];
         match &self.response {
@@ -817,6 +1069,15 @@ impl ResponseEnvelope {
                     Response::Batch(items) => {
                         ("batch", Json::Arr(items.iter().map(item_to_json).collect()))
                     }
+                    Response::Patch(p) => {
+                        let report = report_to_json(&p.report);
+                        let Json::Obj(mut fields) = report else {
+                            unreachable!("solve reports encode as objects")
+                        };
+                        fields.push(("key".into(), Json::str(key_to_hex(p.key))));
+                        fields.push(("warm_lp".into(), Json::Bool(p.warm_lp)));
+                        ("patch", Json::Obj(fields))
+                    }
                     Response::Stats(s) => ("stats", stats_to_json(s)),
                     Response::Shutdown => (
                         "shutdown",
@@ -835,12 +1096,15 @@ impl ResponseEnvelope {
     pub fn decode(payload: &str) -> Result<ResponseEnvelope, ErrorBody> {
         let v =
             json::parse(payload).map_err(|e| ErrorBody::new(ErrorKind::Protocol, e.to_string()))?;
-        if v.get("v").and_then(Json::as_u64) != Some(PROTOCOL_VERSION) {
-            return Err(ErrorBody::new(
-                ErrorKind::Protocol,
-                "missing or unsupported protocol version in response",
-            ));
-        }
+        let version = match v.get("v").and_then(Json::as_u64) {
+            Some(n) if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&n) => n,
+            _ => {
+                return Err(ErrorBody::new(
+                    ErrorKind::Protocol,
+                    "missing or unsupported protocol version in response",
+                ))
+            }
+        };
         let id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
         let ok = v
             .get("ok")
@@ -849,6 +1113,7 @@ impl ResponseEnvelope {
         if !ok {
             let e = error_from_json(v.get("error").ok_or_else(|| bad("missing \"error\""))?)?;
             return Ok(ResponseEnvelope {
+                version,
                 id,
                 response: Response::Error(e),
             });
@@ -890,11 +1155,27 @@ impl ResponseEnvelope {
                     })
                     .collect::<Result<_, _>>()?,
             ),
+            "patch" => Response::Patch(PatchReport {
+                report: report_from_json(result)?,
+                key: result
+                    .get("key")
+                    .and_then(Json::as_str)
+                    .and_then(key_from_hex)
+                    .ok_or_else(|| bad("patch result missing \"key\""))?,
+                warm_lp: result
+                    .get("warm_lp")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| bad("patch result missing \"warm_lp\""))?,
+            }),
             "stats" => Response::Stats(stats_from_json(result)?),
             "shutdown" => Response::Shutdown,
             other => return Err(bad(format!("unknown response type {other:?}"))),
         };
-        Ok(ResponseEnvelope { id, response })
+        Ok(ResponseEnvelope {
+            version,
+            id,
+            response,
+        })
     }
 }
 
@@ -908,6 +1189,12 @@ fn stats_to_json(s: &StatsReport) -> Json {
                 ("hits".into(), Json::num(s.cache.hits as f64)),
                 ("misses".into(), Json::num(s.cache.misses as f64)),
                 ("evictions".into(), Json::num(s.cache.evictions as f64)),
+                ("patch_hits".into(), Json::num(s.cache.patch_hits as f64)),
+                (
+                    "patch_misses".into(),
+                    Json::num(s.cache.patch_misses as f64),
+                ),
+                ("rekeys".into(), Json::num(s.cache.rekeys as f64)),
             ]),
         ),
         (
@@ -936,6 +1223,9 @@ fn stats_from_json(v: &Json) -> Result<StatsReport, ErrorBody> {
             .and_then(Json::as_u64)
             .ok_or_else(|| bad(format!("cache stats missing \"{name}\"")))
     };
+    // The patch counters are absent from v1 daemons' stats; default
+    // them to zero so a v2 client can read either.
+    let cu0 = |name: &str| cache.get(name).and_then(Json::as_u64).unwrap_or(0);
     Ok(StatsReport {
         cache: CacheStatsReport {
             entries: cu("entries")?,
@@ -943,6 +1233,9 @@ fn stats_from_json(v: &Json) -> Result<StatsReport, ErrorBody> {
             hits: cu("hits")?,
             misses: cu("misses")?,
             evictions: cu("evictions")?,
+            patch_hits: cu0("patch_hits"),
+            patch_misses: cu0("patch_misses"),
+            rekeys: cu0("rekeys"),
         },
         workers: v
             .get("workers")
@@ -997,17 +1290,54 @@ mod tests {
                 model: EnergyModel::VddHopping(DiscreteModes::new(&[0.5, 1.5]).unwrap()),
                 jobs: vec![(graph(), 6.0), (graph(), 9.0)],
             },
+            Request::Patch {
+                base: 0x36bd_06bc_a277_3179_37d0_2054_da46_d064,
+                edits: vec![
+                    GraphEdit::SetWeight {
+                        task: 1,
+                        weight: 3.5,
+                    },
+                    GraphEdit::InsertEdge { from: 0, to: 2 },
+                    GraphEdit::RemoveEdge { from: 0, to: 1 },
+                    GraphEdit::AddTask {
+                        weight: 1.0,
+                        preds: vec![0, 1],
+                        succs: vec![2],
+                    },
+                    GraphEdit::RemoveTask { task: 2 },
+                ],
+                deadline: 7.5,
+            },
             Request::Stats,
             Request::Shutdown,
         ];
         for (i, request) in reqs.into_iter().enumerate() {
-            let env = RequestEnvelope {
-                id: i as u64 + 1,
-                request,
-            };
+            let env = RequestEnvelope::new(i as u64 + 1, request);
             let back = RequestEnvelope::decode(&env.encode()).unwrap();
             assert_eq!(back, env);
         }
+    }
+
+    #[test]
+    fn envelope_version_tracks_request_needs() {
+        // Plain requests ride v1 (older daemons keep understanding
+        // them); patch needs v2.
+        assert_eq!(RequestEnvelope::new(1, Request::Stats).version, 1);
+        let patch = Request::Patch {
+            base: 1,
+            edits: vec![],
+            deadline: 1.0,
+        };
+        assert_eq!(RequestEnvelope::new(1, patch.clone()).version, 2);
+        // A patch forced into a v1 envelope is rejected at decode.
+        let bogus = RequestEnvelope {
+            version: 1,
+            id: 1,
+            request: patch,
+        };
+        let e = RequestEnvelope::decode(&bogus.encode()).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Protocol);
+        assert!(e.message.contains("requires protocol version 2"), "{e}");
     }
 
     #[test]
@@ -1031,6 +1361,11 @@ mod tests {
             Response::Solve(report.clone()),
             Response::Deadlines(vec![Ok(report.clone()), Err(infeasible.clone())]),
             Response::Curve(vec![(4.0, 10.0), (8.0, 2.5)]),
+            Response::Patch(PatchReport {
+                report: report.clone(),
+                key: 0xdead_beef_0123_4567_89ab_cdef_0000_0001,
+                warm_lp: true,
+            }),
             Response::Batch(vec![Err(infeasible.clone()), Ok(report)]),
             Response::Stats(StatsReport {
                 cache: CacheStatsReport {
@@ -1039,6 +1374,9 @@ mod tests {
                     hits: 10,
                     misses: 3,
                     evictions: 1,
+                    patch_hits: 6,
+                    patch_misses: 2,
+                    rekeys: 5,
                 },
                 workers: vec![
                     WorkerStatsReport {
@@ -1054,6 +1392,7 @@ mod tests {
         ];
         for (i, response) in responses.into_iter().enumerate() {
             let env = ResponseEnvelope {
+                version: PROTOCOL_VERSION,
                 id: i as u64,
                 response,
             };
@@ -1063,16 +1402,39 @@ mod tests {
     }
 
     #[test]
-    fn unknown_version_rejected() {
-        let payload = r#"{"v":2,"id":1,"type":"stats"}"#;
+    fn unknown_version_rejected_known_range_accepted() {
+        // Both live versions decode…
+        for v in [1, 2] {
+            let payload = format!(r#"{{"v":{v},"id":1,"type":"stats"}}"#);
+            let env = RequestEnvelope::decode(&payload).unwrap();
+            assert_eq!(env.version, v);
+        }
+        // …anything newer (or missing) is a protocol error.
+        let payload = r#"{"v":3,"id":1,"type":"stats"}"#;
         let e = RequestEnvelope::decode(payload).unwrap_err();
         assert_eq!(e.kind, ErrorKind::Protocol);
-        assert!(e.message.contains("version 2"), "{}", e.message);
+        assert!(e.message.contains("version 3"), "{}", e.message);
         let none = r#"{"id":1,"type":"stats"}"#;
         assert_eq!(
             RequestEnvelope::decode(none).unwrap_err().kind,
             ErrorKind::Protocol
         );
+    }
+
+    #[test]
+    fn key_hex_round_trips() {
+        for key in [
+            0u128,
+            1,
+            u128::MAX,
+            0x36bd_06bc_a277_3179_37d0_2054_da46_d064,
+        ] {
+            let hex = key_to_hex(key);
+            assert_eq!(hex.len(), 2 + 32, "fixed width: {hex}");
+            assert_eq!(key_from_hex(&hex), Some(key));
+        }
+        assert_eq!(key_from_hex("ff"), Some(255), "prefix is optional");
+        assert_eq!(key_from_hex("0xzz"), None);
     }
 
     #[test]

@@ -99,6 +99,123 @@ fn expect_stats(resp: Response) -> StatsReport {
     }
 }
 
+/// The v2 patch path, end to end over the wire: cache an instance,
+/// mutate it in place by content key, chain a second patch off the
+/// returned key, and check the stats ledger kept patch traffic apart
+/// from plain hits.
+#[test]
+fn patch_edits_cached_instance_in_place() {
+    use reclaim_service::proto::PatchReport;
+    use taskgraph::edit::GraphEdit;
+
+    let daemon = Spawned::new("patch", &["--workers", "2"]);
+    let mut client = daemon.client();
+    // Modest size: the structural patch below forces a cold LP, and
+    // this is a debug-build test.
+    let g = {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        generators::random_sp(36, 0.55, 1.0, 5.0, &mut rng).0
+    };
+    let model = EnergyModel::VddHopping(models::DiscreteModes::new(&[0.5, 1.0, 2.0]).unwrap());
+    let deadline = 1.5 * taskgraph::analysis::critical_path_weight(&g);
+
+    let expect_patch = |resp: Response| -> PatchReport {
+        match resp {
+            Response::Patch(p) => p,
+            other => panic!("expected a patch report, got {other:?}"),
+        }
+    };
+
+    // Patching an unknown base is a structured unknown_base error.
+    let missing = client.patch(42, &[], deadline).unwrap().response;
+    match missing {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::UnknownBase),
+        other => panic!("expected unknown_base, got {other:?}"),
+    }
+
+    // Seed the cache, then patch a weight.
+    let seeded = expect_solve(
+        client
+            .roundtrip(Request::Solve {
+                graph: g.clone(),
+                model: model.clone(),
+                deadline,
+            })
+            .unwrap()
+            .response,
+    );
+    assert!(!seeded.cached);
+    let base = reclaim_core::engine::content_key(&g, &model);
+    let edits = [GraphEdit::SetWeight {
+        task: 7,
+        weight: 3.25,
+    }];
+    let p1 = expect_patch(client.patch(base, &edits, deadline).unwrap().response);
+    assert!(p1.report.cached, "the base came from the cache");
+    assert_eq!(p1.report.prep_ns, 0, "weight edits re-prepare nothing");
+    assert!(p1.warm_lp, "weight-only Vdd patch must reuse the LP basis");
+    // The returned key matches an independent rehash of the edited
+    // graph, and the patched result matches a cold solve of it.
+    let (edited, _) = taskgraph::edit::apply_edits(&g, &edits).unwrap();
+    assert_eq!(p1.key, reclaim_core::engine::content_key(&edited, &model));
+    let cold = expect_solve(
+        client
+            .roundtrip(Request::Solve {
+                graph: edited.clone(),
+                model: model.clone(),
+                deadline,
+            })
+            .unwrap()
+            .response,
+    );
+    assert!(
+        cold.cached,
+        "patched entry is addressable under its new key"
+    );
+    assert!(
+        (p1.report.energy - cold.energy).abs() <= 1e-6 * (1.0 + cold.energy),
+        "patched {} vs direct {}",
+        p1.report.energy,
+        cold.energy
+    );
+
+    // Chain a structural edit off the returned key: prep is measured
+    // (caches re-warmed), the LP goes cold again.
+    let p2 = expect_patch(
+        client
+            .patch(
+                p1.key,
+                &[GraphEdit::RemoveTask {
+                    task: edited.n() - 1,
+                }],
+                deadline,
+            )
+            .unwrap()
+            .response,
+    );
+    assert!(!p2.warm_lp, "structural edit spends the warm basis");
+    assert_ne!(p2.key, p1.key);
+
+    // The old base key was re-keyed away: patching it again misses.
+    match client.patch(base, &edits, deadline).unwrap().response {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::UnknownBase),
+        other => panic!("expected unknown_base after re-key, got {other:?}"),
+    }
+
+    let stats = expect_stats(client.roundtrip(Request::Stats).unwrap().response);
+    assert_eq!(stats.cache.patch_hits, 2);
+    assert_eq!(stats.cache.patch_misses, 2);
+    assert_eq!(stats.cache.rekeys, 2);
+    // Patch traffic stayed out of the plain hit/miss ledger: one hit
+    // (the direct re-solve of the edited graph), one miss (the seed
+    // solve) — the unknown-base patches never touched it.
+    assert_eq!(stats.cache.hits, 1);
+    assert_eq!(stats.cache.misses, 1);
+    daemon.shutdown(client);
+}
+
 /// The acceptance path: a repeated solve of the same instance skips
 /// preparation — the hit counter increments and the second report's
 /// solve_ns excludes preparation (prep_ns == 0).

@@ -1,15 +1,18 @@
 //! Property tests for the wire protocol: encode→decode identity over
-//! randomized envelopes, truncated-frame rejection at every cut
-//! point, and unknown-version rejection for every version ≠ 1.
+//! randomized envelopes (patch edits included), truncated-frame
+//! rejection at every cut point, and unknown-version rejection for
+//! every version outside the supported range.
 
 use models::{DiscreteModes, EnergyModel, IncrementalModes};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use reclaim_service::proto::{
-    read_frame, write_frame, ErrorBody, ErrorKind, FrameError, Request, RequestEnvelope, Response,
-    ResponseEnvelope, SolveReport, PROTOCOL_VERSION,
+    read_frame, write_frame, ErrorBody, ErrorKind, FrameError, PatchReport, Request,
+    RequestEnvelope, Response, ResponseEnvelope, SolveReport, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
+use taskgraph::edit::GraphEdit;
 use taskgraph::{generators, TaskGraph};
 
 fn arb_model() -> impl Strategy<Value = EnergyModel> {
@@ -73,8 +76,39 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     .map(|(i, d)| (graph_for(s.wrapping_add(i as u64), 3 + i), d))
                     .collect(),
             }),
+        (
+            any::<u64>(),
+            prop::collection::vec(arb_edit(), 0..5),
+            0.5f64..50.0
+        )
+            .prop_map(|(base_lo, edits, deadline)| Request::Patch {
+                // Spread bits into both halves so the hex round trip
+                // is exercised across the full 128-bit width.
+                base: (base_lo as u128) | ((base_lo.rotate_left(17) as u128) << 64),
+                edits,
+                deadline,
+            }),
         Just(Request::Stats),
         Just(Request::Shutdown),
+    ]
+}
+
+fn arb_edit() -> impl Strategy<Value = GraphEdit> {
+    prop_oneof![
+        (0usize..20, 0.1f64..50.0).prop_map(|(task, weight)| GraphEdit::SetWeight { task, weight }),
+        (0usize..20, 0usize..20).prop_map(|(from, to)| GraphEdit::InsertEdge { from, to }),
+        (0usize..20, 0usize..20).prop_map(|(from, to)| GraphEdit::RemoveEdge { from, to }),
+        (
+            0.1f64..50.0,
+            prop::collection::vec(0usize..20, 0..3),
+            prop::collection::vec(0usize..20, 0..3)
+        )
+            .prop_map(|(weight, preds, succs)| GraphEdit::AddTask {
+                weight,
+                preds,
+                succs
+            }),
+        (0usize..20).prop_map(|task| GraphEdit::RemoveTask { task }),
     ]
 }
 
@@ -89,6 +123,7 @@ fn arb_error() -> impl Strategy<Value = ErrorBody> {
             Just(ErrorKind::Numerical),
             Just(ErrorKind::Unsupported),
             Just(ErrorKind::BadRequest),
+            Just(ErrorKind::UnknownBase),
             Just(ErrorKind::Protocol),
         ],
         "[ -~]{0,40}",
@@ -130,6 +165,13 @@ fn arb_response() -> impl Strategy<Value = Response> {
         arb_report().prop_map(Response::Solve),
         prop::collection::vec(item, 0..5).prop_map(Response::Deadlines),
         prop::collection::vec((0.5f64..50.0, 0.001f64..1e6), 0..6).prop_map(Response::Curve),
+        (arb_report(), any::<u64>(), any::<bool>()).prop_map(|(report, key, warm_lp)| {
+            Response::Patch(PatchReport {
+                report,
+                key: (key as u128) | ((key.rotate_left(29) as u128) << 64),
+                warm_lp,
+            })
+        }),
         Just(Response::Shutdown),
         arb_error().prop_map(Response::Error),
     ]
@@ -138,18 +180,24 @@ fn arb_response() -> impl Strategy<Value = Response> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// encode → decode is the identity on request envelopes.
+    /// encode → decode is the identity on request envelopes (at the
+    /// version the bundled client would pick for the request).
     #[test]
     fn request_roundtrip(id in any::<u32>(), request in arb_request()) {
-        let env = RequestEnvelope { id: id as u64, request };
+        let env = RequestEnvelope::new(id as u64, request);
         let back = RequestEnvelope::decode(&env.encode()).expect("own encoding must decode");
         prop_assert_eq!(back, env);
     }
 
-    /// encode → decode is the identity on response envelopes.
+    /// encode → decode is the identity on response envelopes, at every
+    /// version the build speaks.
     #[test]
-    fn response_roundtrip(id in any::<u32>(), response in arb_response()) {
-        let env = ResponseEnvelope { id: id as u64, response };
+    fn response_roundtrip(
+        id in any::<u32>(),
+        v in MIN_PROTOCOL_VERSION..PROTOCOL_VERSION + 1,
+        response in arb_response(),
+    ) {
+        let env = ResponseEnvelope { version: v, id: id as u64, response };
         let back = ResponseEnvelope::decode(&env.encode()).expect("own encoding must decode");
         prop_assert_eq!(back, env);
     }
@@ -158,7 +206,7 @@ proptest! {
     /// and a cut at the boundary reads back the full payload.
     #[test]
     fn truncated_frames_rejected(request in arb_request(), cut_seed in any::<u64>()) {
-        let payload = RequestEnvelope { id: 1, request }.encode();
+        let payload = RequestEnvelope::new(1, request).encode();
         let mut buf = Vec::new();
         write_frame(&mut buf, &payload).unwrap();
         let cut = 1 + (cut_seed as usize) % (buf.len() - 1);
@@ -168,13 +216,22 @@ proptest! {
         prop_assert_eq!(read_frame(&mut full).unwrap().as_deref(), Some(payload.as_str()));
     }
 
-    /// Every version other than 1 is rejected as a protocol error.
+    /// Every version outside the supported range is rejected as a
+    /// protocol error, and everything inside it is accepted.
     #[test]
     fn unknown_versions_rejected(v in any::<u32>()) {
-        prop_assume!(v as u64 != PROTOCOL_VERSION);
         let payload = format!("{{\"v\":{v},\"id\":1,\"type\":\"stats\"}}");
-        let e = RequestEnvelope::decode(&payload).unwrap_err();
-        prop_assert_eq!(e.kind, ErrorKind::Protocol);
+        let supported = (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&(v as u64));
+        match RequestEnvelope::decode(&payload) {
+            Ok(env) => {
+                prop_assert!(supported);
+                prop_assert_eq!(env.version, v as u64);
+            }
+            Err(e) => {
+                prop_assert!(!supported);
+                prop_assert_eq!(e.kind, ErrorKind::Protocol);
+            }
+        }
     }
 
     /// Arbitrary non-JSON payloads decode to protocol errors, never

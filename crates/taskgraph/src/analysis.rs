@@ -13,6 +13,14 @@ use crate::graph::{TaskGraph, TaskId};
 /// `*_ordered` variants below.
 pub fn topo_order(g: &TaskGraph) -> Vec<TaskId> {
     crate::profiling::bump_topo_order();
+    topo_order_quiet(g)
+}
+
+/// [`topo_order`] without the [`crate::profiling`] bump — for callers
+/// that need an order as an *implementation detail* of something else
+/// (e.g. the edit layer's order-validity check) and must not muddy the
+/// once-only accounting the counters exist to prove.
+pub fn topo_order_quiet(g: &TaskGraph) -> Vec<TaskId> {
     let n = g.n();
     let mut indeg: Vec<usize> = (0..n).map(|i| g.preds(TaskId(i)).len()).collect();
     // Min-heap on id for determinism.
@@ -217,6 +225,7 @@ pub fn transitive_reduction(g: &TaskGraph) -> TaskGraph {
 
 /// [`transitive_reduction`] with a caller-supplied topological order.
 pub fn transitive_reduction_ordered(g: &TaskGraph, order: &[TaskId]) -> TaskGraph {
+    crate::profiling::bump_transitive_reduction();
     let reach = reachability_ordered(g, order);
     let mut kept: Vec<(usize, usize)> = Vec::with_capacity(g.m());
     for &(u, v) in g.edges() {

@@ -1,0 +1,493 @@
+//! Incremental graph edits.
+//!
+//! The paper's whole setting is *re-solving* `MinEnergy(Ĝ, D)` as the
+//! instance evolves: a task's cost estimate is refined, a precedence
+//! constraint appears or goes away, a task is added to or dropped from
+//! the workflow. Rebuilding a [`TaskGraph`] from scratch for every such
+//! change is easy; what is expensive is re-deriving the *analysis*
+//! (topological order, shape classification, SP decomposition,
+//! transitive reduction) that [`crate::PreparedInstance`] has already
+//! paid for.
+//!
+//! This module defines the edit vocabulary — [`GraphEdit`] — and the
+//! pure application function [`apply_edits`], which produces the edited
+//! graph **plus** an [`EditEffect`] describing exactly which cached
+//! analyses the edit batch can have dirtied. The selective cache
+//! carryover itself lives in [`crate::PreparedInstance::apply`]:
+//!
+//! * weight-only batches preserve *every* structural cache (topological
+//!   order, shape class, SP tree, transitive reduction) — only the
+//!   critical-path weight must be re-evaluated, and that re-evaluation
+//!   reuses the cached order;
+//! * edge edits drop the shape/SP/reduction caches but keep the
+//!   topological order whenever it is still valid for the edited edge
+//!   set (always, for pure removals);
+//! * task additions/removals renumber or extend the id space and drop
+//!   everything.
+//!
+//! Edits validate exactly like [`TaskGraph::new`]: bad endpoints,
+//! self-loops, non-positive weights, and introduced cycles are
+//! rejected with an [`EditError`], leaving the original graph
+//! untouched (application is copy-on-write, never in-place).
+
+use std::fmt;
+
+use crate::analysis;
+use crate::graph::{GraphError, TaskGraph, TaskId};
+
+/// One incremental edit to a task graph.
+///
+/// Task ids are the dense `0..n` indices of the graph the edit is
+/// applied to. Within a batch, edits apply **in order**, and each edit
+/// sees the ids as left by the previous one (in particular,
+/// [`GraphEdit::RemoveTask`] renumbers every id above the removed one,
+/// and [`GraphEdit::AddTask`] appends id `n`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphEdit {
+    /// Replace the cost of `task` with `weight` (> 0, finite).
+    SetWeight {
+        /// The task whose cost changes.
+        task: usize,
+        /// The new cost.
+        weight: f64,
+    },
+    /// Add the precedence edge `(from, to)`. Adding an existing edge
+    /// is a no-op (duplicate edges collapse, as in [`TaskGraph::new`]).
+    InsertEdge {
+        /// Edge source.
+        from: usize,
+        /// Edge target.
+        to: usize,
+    },
+    /// Remove the precedence edge `(from, to)`. The edge must exist.
+    RemoveEdge {
+        /// Edge source.
+        from: usize,
+        /// Edge target.
+        to: usize,
+    },
+    /// Append a new task (id `n`) with the given cost and incident
+    /// edges (`preds → new`, `new → succs`).
+    AddTask {
+        /// Cost of the new task.
+        weight: f64,
+        /// Predecessors of the new task.
+        preds: Vec<usize>,
+        /// Successors of the new task.
+        succs: Vec<usize>,
+    },
+    /// Remove `task` and every incident edge; tasks above it shift
+    /// down by one (ids stay dense).
+    RemoveTask {
+        /// The task to remove.
+        task: usize,
+    },
+}
+
+impl GraphEdit {
+    /// Whether this edit touches only task costs, leaving the
+    /// precedence structure (and hence every structural cache) intact.
+    pub fn is_weight_only(&self) -> bool {
+        matches!(self, GraphEdit::SetWeight { .. })
+    }
+
+    /// Whether this edit changes the task set (and hence the id
+    /// space), invalidating anything indexed by `TaskId`.
+    pub fn changes_task_set(&self) -> bool {
+        matches!(
+            self,
+            GraphEdit::AddTask { .. } | GraphEdit::RemoveTask { .. }
+        )
+    }
+}
+
+impl fmt::Display for GraphEdit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphEdit::SetWeight { task, weight } => write!(f, "set w(T{task}) = {weight}"),
+            GraphEdit::InsertEdge { from, to } => write!(f, "insert edge T{from} -> T{to}"),
+            GraphEdit::RemoveEdge { from, to } => write!(f, "remove edge T{from} -> T{to}"),
+            GraphEdit::AddTask {
+                weight,
+                preds,
+                succs,
+            } => {
+                write!(
+                    f,
+                    "add task w = {weight} ({} preds, {} succs)",
+                    preds.len(),
+                    succs.len()
+                )
+            }
+            GraphEdit::RemoveTask { task } => write!(f, "remove task T{task}"),
+        }
+    }
+}
+
+/// Why an edit batch could not be applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EditError {
+    /// The edited edge/weight set is not a valid DAG instance
+    /// (introduced cycle, bad weight, bad endpoint, self-loop).
+    Graph(GraphError),
+    /// [`GraphEdit::RemoveEdge`] named an edge that is not present.
+    MissingEdge {
+        /// Edge source.
+        from: usize,
+        /// Edge target.
+        to: usize,
+    },
+    /// An edit referenced a task id `>= n` (as seen at that point of
+    /// the batch).
+    BadTask(usize),
+    /// [`GraphEdit::RemoveTask`] would leave the graph empty.
+    WouldBeEmpty,
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::Graph(e) => write!(f, "edit produces an invalid graph: {e}"),
+            EditError::MissingEdge { from, to } => {
+                write!(f, "cannot remove absent edge T{from} -> T{to}")
+            }
+            EditError::BadTask(t) => write!(f, "edit references unknown task T{t}"),
+            EditError::WouldBeEmpty => write!(f, "cannot remove the last task"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+impl From<GraphError> for EditError {
+    fn from(e: GraphError) -> Self {
+        EditError::Graph(e)
+    }
+}
+
+/// What an applied edit batch can have dirtied — the contract
+/// [`crate::PreparedInstance::apply`] uses to decide which caches
+/// survive. Computed conservatively from the batch alone (plus one
+/// `O(n + m)` order check for edge insertions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditEffect {
+    /// Every edit was [`GraphEdit::SetWeight`]: the precedence
+    /// structure is untouched, so topological order, shape class, SP
+    /// tree, and transitive reduction all remain valid.
+    pub weight_only: bool,
+    /// The old topological order is still a topological order of the
+    /// edited graph (true for weight-only and pure-removal batches;
+    /// checked explicitly when edges were inserted). Meaningless when
+    /// the task set changed.
+    pub topo_preserved: bool,
+    /// The task set (and hence the id space) changed.
+    pub task_set_changed: bool,
+}
+
+/// Apply an edit batch to a graph, returning the edited graph and the
+/// [`EditEffect`] describing what the batch can have invalidated. The
+/// input graph is never modified; on error nothing is produced.
+pub fn apply_edits(
+    g: &TaskGraph,
+    edits: &[GraphEdit],
+) -> Result<(TaskGraph, EditEffect), EditError> {
+    apply_edits_ordered(g, edits, None)
+}
+
+/// [`apply_edits`] with a caller-supplied topological order of `g`
+/// (must be valid for `g`): the edge-insertion validity check then
+/// reuses it instead of re-deriving one — what
+/// [`crate::PreparedInstance::apply`] does with its cached order.
+pub fn apply_edits_ordered(
+    g: &TaskGraph,
+    edits: &[GraphEdit],
+    old_order: Option<&[TaskId]>,
+) -> Result<(TaskGraph, EditEffect), EditError> {
+    debug_assert!(
+        old_order.is_none_or(|o| analysis::is_topo_order(g, o)),
+        "old_order must be a topological order of the pre-edit graph"
+    );
+    let mut weights: Vec<f64> = g.weights().to_vec();
+    let mut edges: Vec<(usize, usize)> = g.edges().iter().map(|&(u, v)| (u.0, v.0)).collect();
+    let mut weight_only = true;
+    let mut task_set_changed = false;
+    let mut edges_inserted = false;
+
+    for edit in edits {
+        let n = weights.len();
+        match edit {
+            GraphEdit::SetWeight { task, weight } => {
+                if *task >= n {
+                    return Err(EditError::BadTask(*task));
+                }
+                if !(weight.is_finite() && *weight > 0.0) {
+                    return Err(GraphError::BadWeight {
+                        task: *task,
+                        weight: *weight,
+                    }
+                    .into());
+                }
+                weights[*task] = *weight;
+            }
+            GraphEdit::InsertEdge { from, to } => {
+                weight_only = false;
+                if *from >= n {
+                    return Err(EditError::BadTask(*from));
+                }
+                if *to >= n {
+                    return Err(EditError::BadTask(*to));
+                }
+                if from == to {
+                    return Err(GraphError::SelfLoop(*from).into());
+                }
+                if !edges.contains(&(*from, *to)) {
+                    edges.push((*from, *to));
+                    edges_inserted = true;
+                }
+            }
+            GraphEdit::RemoveEdge { from, to } => {
+                weight_only = false;
+                let Some(pos) = edges.iter().position(|e| e == &(*from, *to)) else {
+                    return Err(EditError::MissingEdge {
+                        from: *from,
+                        to: *to,
+                    });
+                };
+                edges.remove(pos);
+            }
+            GraphEdit::AddTask {
+                weight,
+                preds,
+                succs,
+            } => {
+                weight_only = false;
+                task_set_changed = true;
+                for &p in preds.iter().chain(succs) {
+                    if p >= n {
+                        return Err(EditError::BadTask(p));
+                    }
+                }
+                weights.push(*weight);
+                edges.extend(preds.iter().map(|&p| (p, n)));
+                edges.extend(succs.iter().map(|&s| (n, s)));
+            }
+            GraphEdit::RemoveTask { task } => {
+                weight_only = false;
+                task_set_changed = true;
+                if *task >= n {
+                    return Err(EditError::BadTask(*task));
+                }
+                if n == 1 {
+                    return Err(EditError::WouldBeEmpty);
+                }
+                weights.remove(*task);
+                let shift = |i: usize| if i > *task { i - 1 } else { i };
+                edges.retain(|&(u, v)| u != *task && v != *task);
+                for e in &mut edges {
+                    *e = (shift(e.0), shift(e.1));
+                }
+            }
+        }
+    }
+
+    let edited = TaskGraph::new(weights, &edges)?;
+    // An order valid for the old edge set stays valid when edges are
+    // only removed or weights change; insertions require a check (the
+    // inserted edge may point "backwards" in the retained order).
+    let topo_preserved = !task_set_changed
+        && (!edges_inserted || {
+            // Cheap relative to any recomputation the failed carryover
+            // would force; does not bump the profiling counters, and
+            // reuses the caller's order when one was supplied.
+            let computed;
+            let order: &[TaskId] = match old_order {
+                Some(o) => o,
+                None => {
+                    computed = analysis::topo_order_quiet(g);
+                    &computed
+                }
+            };
+            analysis::is_topo_order(&edited, order)
+        });
+    Ok((
+        edited,
+        EditEffect {
+            weight_only,
+            topo_preserved,
+            task_set_changed,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn diamond() -> TaskGraph {
+        generators::diamond([1.0, 2.0, 3.0, 4.0])
+    }
+
+    #[test]
+    fn set_weight_is_weight_only() {
+        let g = diamond();
+        let (edited, eff) = apply_edits(
+            &g,
+            &[
+                GraphEdit::SetWeight {
+                    task: 1,
+                    weight: 5.0,
+                },
+                GraphEdit::SetWeight {
+                    task: 3,
+                    weight: 0.5,
+                },
+            ],
+        )
+        .unwrap();
+        assert!(eff.weight_only && eff.topo_preserved && !eff.task_set_changed);
+        assert_eq!(edited.weights(), &[1.0, 5.0, 3.0, 0.5]);
+        assert_eq!(edited.edges(), g.edges());
+    }
+
+    #[test]
+    fn insert_and_remove_edges() {
+        let g = diamond();
+        let (edited, eff) = apply_edits(&g, &[GraphEdit::InsertEdge { from: 1, to: 2 }]).unwrap();
+        assert!(!eff.weight_only && !eff.task_set_changed);
+        assert!(edited.has_edge(TaskId(1), TaskId(2)));
+        // 0→1→2→3 still respects the canonical diamond order 0,1,2,3.
+        assert!(eff.topo_preserved);
+
+        let (edited, eff) = apply_edits(&g, &[GraphEdit::RemoveEdge { from: 0, to: 2 }]).unwrap();
+        assert!(eff.topo_preserved, "removal never breaks the order");
+        assert!(!edited.has_edge(TaskId(0), TaskId(2)));
+        assert_eq!(edited.m(), 3);
+    }
+
+    #[test]
+    fn backwards_insertion_drops_topo() {
+        // Chain 0→1→2 plus an inserted edge 2→...? that would cycle;
+        // instead build two independent chains where the old order puts
+        // the new edge backwards.
+        let g = TaskGraph::new(vec![1.0; 4], &[(0, 1), (2, 3)]).unwrap();
+        let order = analysis::topo_order(&g);
+        // Find two unordered tasks where `to` precedes `from` in the
+        // retained order, then insert from→to: legal, but the old order
+        // no longer works.
+        let pos = |t: usize| order.iter().position(|&x| x.0 == t).unwrap();
+        let (from, to) = if pos(2) < pos(0) { (0, 2) } else { (2, 0) };
+        let (edited, eff) = apply_edits(&g, &[GraphEdit::InsertEdge { from, to }]).unwrap();
+        assert!(!eff.topo_preserved);
+        assert_eq!(edited.m(), 3);
+    }
+
+    #[test]
+    fn add_and_remove_task() {
+        let g = diamond();
+        let (edited, eff) = apply_edits(
+            &g,
+            &[GraphEdit::AddTask {
+                weight: 2.5,
+                preds: vec![3],
+                succs: vec![],
+            }],
+        )
+        .unwrap();
+        assert!(eff.task_set_changed && !eff.topo_preserved);
+        assert_eq!(edited.n(), 5);
+        assert!(edited.has_edge(TaskId(3), TaskId(4)));
+
+        let (edited, _) = apply_edits(&g, &[GraphEdit::RemoveTask { task: 1 }]).unwrap();
+        assert_eq!(edited.n(), 3);
+        // Old task 2 is now id 1, old task 3 is id 2.
+        assert_eq!(edited.weights(), &[1.0, 3.0, 4.0]);
+        assert!(edited.has_edge(TaskId(0), TaskId(1)));
+        assert!(edited.has_edge(TaskId(1), TaskId(2)));
+        assert_eq!(edited.m(), 2);
+    }
+
+    #[test]
+    fn batch_applies_in_order_across_renumbering() {
+        let g = diamond();
+        // Remove task 0; former task 1 becomes 0 — the SetWeight that
+        // follows must see the new numbering.
+        let (edited, _) = apply_edits(
+            &g,
+            &[
+                GraphEdit::RemoveTask { task: 0 },
+                GraphEdit::SetWeight {
+                    task: 0,
+                    weight: 9.0,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(edited.weights(), &[9.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn errors_reject_whole_batch() {
+        let g = diamond();
+        for (edits, want) in [
+            (
+                vec![GraphEdit::SetWeight {
+                    task: 9,
+                    weight: 1.0,
+                }],
+                EditError::BadTask(9),
+            ),
+            (
+                vec![GraphEdit::RemoveEdge { from: 1, to: 2 }],
+                EditError::MissingEdge { from: 1, to: 2 },
+            ),
+            (
+                vec![GraphEdit::SetWeight {
+                    task: 0,
+                    weight: -1.0,
+                }],
+                EditError::Graph(GraphError::BadWeight {
+                    task: 0,
+                    weight: -1.0,
+                }),
+            ),
+        ] {
+            assert_eq!(apply_edits(&g, &edits).unwrap_err(), want);
+        }
+        // Introduced cycle.
+        assert!(matches!(
+            apply_edits(&g, &[GraphEdit::InsertEdge { from: 3, to: 0 }]),
+            Err(EditError::Graph(GraphError::Cycle(_)))
+        ));
+        // Cannot empty the graph.
+        let single = TaskGraph::single(1.0);
+        assert_eq!(
+            apply_edits(&single, &[GraphEdit::RemoveTask { task: 0 }]).unwrap_err(),
+            EditError::WouldBeEmpty
+        );
+    }
+
+    #[test]
+    fn edit_matches_rebuild_from_scratch() {
+        let g = diamond();
+        let edits = [
+            GraphEdit::SetWeight {
+                task: 2,
+                weight: 7.0,
+            },
+            GraphEdit::InsertEdge { from: 1, to: 2 },
+            GraphEdit::AddTask {
+                weight: 1.5,
+                preds: vec![3],
+                succs: vec![],
+            },
+        ];
+        let (edited, _) = apply_edits(&g, &edits).unwrap();
+        let rebuilt = TaskGraph::new(
+            vec![1.0, 2.0, 7.0, 4.0, 1.5],
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (1, 2), (3, 4)],
+        )
+        .unwrap();
+        assert_eq!(edited, rebuilt);
+    }
+}

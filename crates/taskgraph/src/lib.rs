@@ -17,12 +17,18 @@
 //! * cached analysis for repeated solves on one graph
 //!   ([`PreparedGraph`]), with once-only guarantees observable via
 //!   [`profiling`];
+//! * incremental edits ([`edit`], [`GraphEdit`]) applied through
+//!   [`PreparedInstance::apply`] with **selective cache invalidation**:
+//!   a weight change keeps the topological order, shape class, SP
+//!   tree, and transitive reduction; edge edits keep whatever
+//!   provably survives;
 //! * random and deterministic generators for every graph family used
 //!   by the paper's experiments ([`generators`]);
 //! * DOT export for visual inspection ([`dot`]).
 
 pub mod analysis;
 pub mod dot;
+pub mod edit;
 pub mod generators;
 pub mod graph;
 pub mod metrics;
@@ -32,6 +38,7 @@ pub mod sp;
 pub mod structure;
 pub mod workflows;
 
+pub use edit::{EditError, GraphEdit};
 pub use graph::{GraphError, TaskGraph, TaskId};
 pub use prepared::{PreparedGraph, PreparedInstance};
 pub use sp::SpTree;

@@ -16,6 +16,7 @@
 use std::sync::{Arc, OnceLock};
 
 use crate::analysis;
+use crate::edit::{self, EditError, GraphEdit};
 use crate::graph::{TaskGraph, TaskId};
 use crate::sp::SpTree;
 use crate::structure::{self, Shape};
@@ -209,6 +210,91 @@ impl PreparedInstance {
         self
     }
 
+    /// Apply an edit batch, producing a **new** prepared instance that
+    /// keeps every analysis cache the edits cannot have dirtied
+    /// (copy-on-write: `self` and anything sharing its caches are
+    /// untouched, so a daemon can patch an instance other requests are
+    /// still solving against).
+    ///
+    /// Cache carryover, by edit class (see [`crate::edit::EditEffect`]):
+    ///
+    /// * **weight-only** ([`GraphEdit::SetWeight`] throughout) — the
+    ///   topological order, shape class, SP tree, and transitive
+    ///   reduction all survive (the reduction's weights are refreshed
+    ///   without re-running the reduction); only the critical-path
+    ///   weight is re-evaluated, lazily, against the carried order;
+    /// * **edge edits** — shape/SP/reduction drop; the topological
+    ///   order survives whenever it is still valid for the edited edge
+    ///   set (always, for pure removals);
+    /// * **task additions/removals** — the id space changed; nothing
+    ///   survives.
+    ///
+    /// The once-only promise is observable through
+    /// [`crate::profiling`]: a weight-only patch followed by a solve
+    /// recomputes **zero** structural analyses.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use taskgraph::{edit::GraphEdit, generators, profiling, PreparedInstance};
+    ///
+    /// let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+    /// let inst = PreparedInstance::new(Arc::new(g));
+    /// inst.warm();
+    ///
+    /// let before = profiling::counts();
+    /// let patched = inst
+    ///     .apply(&[GraphEdit::SetWeight { task: 1, weight: 5.0 }])
+    ///     .unwrap();
+    /// assert_eq!(patched.graph().weights()[1], 5.0);
+    /// // Critical path re-evaluates against the carried topo order…
+    /// assert_eq!(patched.view().critical_path_weight(), 10.0);
+    /// assert_eq!(patched.view().shape(), inst.view().shape());
+    /// // …and no structural analysis ran again.
+    /// let delta = profiling::counts() - before;
+    /// assert_eq!(delta.topo_order, 0);
+    /// assert_eq!(delta.classify, 0);
+    /// assert_eq!(delta.sp_from_graph, 0);
+    /// assert_eq!(delta.transitive_reduction, 0);
+    /// ```
+    pub fn apply(&self, edits: &[GraphEdit]) -> Result<PreparedInstance, EditError> {
+        // Feed the cached order (when filled) into the edge-insertion
+        // validity check, so patching never re-derives what the
+        // instance already knows.
+        let cached_order = self.caches.topo.get().map(Vec::as_slice);
+        let (edited, effect) = edit::apply_edits_ordered(&self.g, edits, cached_order)?;
+        let caches = Caches::default();
+        if effect.weight_only {
+            if let Some(t) = self.caches.topo.get() {
+                let _ = caches.topo.set(t.clone());
+            }
+            if let Some(c) = self.caches.class.get() {
+                let _ = caches.class.set(c.clone());
+            }
+            if let Some(r) = self.caches.reduced.get() {
+                // The reduced *edge set* is weight-independent; rebuild
+                // it over the new weights without re-running the
+                // reduction (TaskGraph::new is plain construction — no
+                // profiling bump).
+                let redges: Vec<(usize, usize)> =
+                    r.edges().iter().map(|&(u, v)| (u.0, v.0)).collect();
+                let refreshed = TaskGraph::new(edited.weights().to_vec(), &redges)
+                    .expect("reduction of a DAG stays a valid DAG under new weights");
+                let _ = caches.reduced.set(refreshed);
+            }
+            // cp_weight is deliberately dropped: it depends on the
+            // weights. Its lazy recomputation reuses the carried topo
+            // order, so it costs one O(n + m) pass, not a re-analysis.
+        } else if !effect.task_set_changed && effect.topo_preserved {
+            if let Some(t) = self.caches.topo.get() {
+                let _ = caches.topo.set(t.clone());
+            }
+        }
+        Ok(PreparedInstance {
+            g: Arc::new(edited),
+            caches: Arc::new(caches),
+        })
+    }
+
     /// A coarse estimate of the resident size of the graph plus every
     /// *currently filled* cache, in bytes — the unit the service
     /// cache's byte budget is accounted in. It is an estimate (Vec
@@ -310,6 +396,104 @@ mod tests {
         assert_eq!(delta.sp_from_graph, 1);
         // Warm instance accounts for the filled caches.
         assert!(inst.approx_bytes() > std::mem::size_of::<PreparedInstance>());
+    }
+
+    #[test]
+    fn weight_only_apply_recomputes_no_structure() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let inst = PreparedInstance::new(Arc::new(g));
+        inst.warm();
+        let before = profiling::counts();
+        let patched = inst
+            .apply(&[GraphEdit::SetWeight {
+                task: 2,
+                weight: 6.0,
+            }])
+            .unwrap();
+        // All structural caches answer without recomputation…
+        assert_eq!(patched.view().shape(), Shape::SeriesParallel);
+        assert_eq!(patched.view().topo().len(), 4);
+        assert_eq!(patched.view().reduced().m(), 4);
+        // …the reduction carries the *new* weights…
+        assert_eq!(
+            patched.view().reduced().weights(),
+            patched.graph().weights()
+        );
+        // …and the critical path reflects the edit (1 + 6 + 4).
+        assert_eq!(patched.view().critical_path_weight(), 11.0);
+        let delta = profiling::counts() - before;
+        assert_eq!(delta.topo_order, 0, "topo order must be carried");
+        assert_eq!(delta.classify, 0, "classification must be carried");
+        assert_eq!(delta.sp_from_graph, 0, "SP tree must be carried");
+        assert_eq!(delta.transitive_reduction, 0, "reduction must be carried");
+    }
+
+    #[test]
+    fn edge_removal_keeps_topo_drops_structure() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let inst = PreparedInstance::new(Arc::new(g));
+        inst.warm();
+        let before = profiling::counts();
+        let patched = inst
+            .apply(&[GraphEdit::RemoveEdge { from: 0, to: 2 }])
+            .unwrap();
+        let _ = patched.view().topo();
+        let delta = profiling::counts() - before;
+        assert_eq!(delta.topo_order, 0, "old order is valid after removal");
+        // Structure caches were dropped: using them recomputes.
+        let _ = patched.view().shape();
+        let _ = patched.view().reduced();
+        let delta = profiling::counts() - before;
+        assert_eq!(delta.classify, 1);
+        assert_eq!(delta.transitive_reduction, 1);
+        assert_eq!(delta.topo_order, 0, "recomputation reuses carried order");
+    }
+
+    #[test]
+    fn task_edits_drop_everything() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let inst = PreparedInstance::new(Arc::new(g));
+        inst.warm();
+        let before = profiling::counts();
+        let patched = inst
+            .apply(&[GraphEdit::AddTask {
+                weight: 2.0,
+                preds: vec![3],
+                succs: vec![],
+            }])
+            .unwrap();
+        assert_eq!(patched.graph().n(), 5);
+        let _ = patched.view().topo();
+        let delta = profiling::counts() - before;
+        assert_eq!(delta.topo_order, 1, "id space changed: order recomputed");
+        // The base instance is untouched.
+        assert_eq!(inst.graph().n(), 4);
+        assert_eq!(inst.view().critical_path_weight(), 8.0);
+    }
+
+    #[test]
+    fn apply_equals_rebuild_for_every_view() {
+        let g = generators::fork_join(1.0, &[2.0, 3.0, 1.0], 1.5);
+        let inst = PreparedInstance::new(Arc::new(g.clone()));
+        inst.warm();
+        let edits = [
+            GraphEdit::SetWeight {
+                task: 1,
+                weight: 4.5,
+            },
+            GraphEdit::InsertEdge { from: 1, to: 2 },
+        ];
+        let patched = inst.apply(&edits).unwrap();
+        let (rebuilt, _) = crate::edit::apply_edits(&g, &edits).unwrap();
+        let fresh = PreparedGraph::new(&rebuilt);
+        assert_eq!(patched.graph(), &rebuilt);
+        assert_eq!(patched.view().topo(), fresh.topo());
+        assert_eq!(patched.view().shape(), fresh.shape());
+        assert_eq!(
+            patched.view().critical_path_weight(),
+            fresh.critical_path_weight()
+        );
+        assert_eq!(patched.view().reduced().edges(), fresh.reduced().edges());
     }
 
     #[test]

@@ -17,6 +17,7 @@ thread_local! {
     static TOPO_ORDER: Cell<u64> = const { Cell::new(0) };
     static CLASSIFY: Cell<u64> = const { Cell::new(0) };
     static SP_FROM_GRAPH: Cell<u64> = const { Cell::new(0) };
+    static TRANSITIVE_REDUCTION: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Snapshot of this thread's analysis-pass call counts.
@@ -29,6 +30,11 @@ pub struct Counts {
     pub classify: u64,
     /// Calls to [`crate::SpTree::from_graph`].
     pub sp_from_graph: u64,
+    /// Calls to [`crate::analysis::transitive_reduction`] (and its
+    /// ordered variant). The edit layer's selective invalidation
+    /// promises weight-only edits never re-run the reduction; this
+    /// counter makes that assertable.
+    pub transitive_reduction: u64,
 }
 
 impl std::ops::Sub for Counts {
@@ -38,6 +44,7 @@ impl std::ops::Sub for Counts {
             topo_order: self.topo_order - rhs.topo_order,
             classify: self.classify - rhs.classify,
             sp_from_graph: self.sp_from_graph - rhs.sp_from_graph,
+            transitive_reduction: self.transitive_reduction - rhs.transitive_reduction,
         }
     }
 }
@@ -48,6 +55,7 @@ pub fn counts() -> Counts {
         topo_order: TOPO_ORDER.with(Cell::get),
         classify: CLASSIFY.with(Cell::get),
         sp_from_graph: SP_FROM_GRAPH.with(Cell::get),
+        transitive_reduction: TRANSITIVE_REDUCTION.with(Cell::get),
     }
 }
 
@@ -61,6 +69,10 @@ pub(crate) fn bump_classify() {
 
 pub(crate) fn bump_sp_from_graph() {
     SP_FROM_GRAPH.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn bump_transitive_reduction() {
+    TRANSITIVE_REDUCTION.with(|c| c.set(c.get() + 1));
 }
 
 #[cfg(test)]

@@ -93,6 +93,46 @@ proptest! {
     }
 
     #[test]
+    fn applied_edits_keep_prepared_views_consistent(g in arb_dag(), seed in any::<u64>()) {
+        // Whatever a prepared instance carries across an edit must
+        // agree with a from-scratch analysis of the edited graph.
+        use rand::Rng;
+        use std::sync::Arc;
+        use taskgraph::edit::GraphEdit;
+        use taskgraph::{PreparedGraph, PreparedInstance};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order = topo_order(&g);
+        let edits = vec![
+            GraphEdit::SetWeight {
+                task: rng.gen_range(0..g.n()),
+                weight: rng.gen_range(0.25..4.0),
+            },
+            GraphEdit::InsertEdge {
+                from: order[0].index(),
+                to: order[order.len() - 1].index(),
+            },
+        ];
+        let inst = PreparedInstance::new(Arc::new(g.clone()));
+        inst.warm();
+        let patched = inst.apply(&edits).unwrap();
+        let (rebuilt, _) = taskgraph::edit::apply_edits(&g, &edits).unwrap();
+        let fresh = PreparedGraph::new(&rebuilt);
+        prop_assert_eq!(patched.graph(), &rebuilt);
+        prop_assert!(is_topo_order(&rebuilt, patched.view().topo()));
+        prop_assert_eq!(patched.view().shape(), fresh.shape());
+        prop_assert_eq!(
+            patched.view().critical_path_weight(),
+            fresh.critical_path_weight()
+        );
+        let mut a = patched.view().reduced().edges().to_vec();
+        let mut b = fresh.reduced().edges().to_vec();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
     fn execution_graph_monotone_under_extra_edges(g in arb_dag()) {
         // Adding any valid serialization edge can only increase the
         // critical path weight.

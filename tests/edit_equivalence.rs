@@ -1,0 +1,210 @@
+//! The edit layer's correctness contract, as properties:
+//!
+//! 1. **apply ≡ rebuild** — `PreparedInstance::apply(edits)` produces
+//!    the same graph, the same content key (incrementally derived
+//!    where possible), and the same solve result as rebuilding the
+//!    edited instance from scratch, across all four energy models.
+//! 2. **selective invalidation is real** — a weight-only batch
+//!    followed by a solve recomputes *zero* structural analyses
+//!    (topological order, classification, SP recognition, transitive
+//!    reduction), observable through `taskgraph::profiling`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reclaim::core::engine::{content_key, patched_key};
+use reclaim::core::Engine;
+use reclaim::models::{DiscreteModes, EnergyModel, IncrementalModes, PowerLaw};
+use reclaim::taskgraph::edit::{apply_edits, GraphEdit};
+use reclaim::taskgraph::{analysis, generators, profiling, PreparedInstance, TaskGraph};
+use std::sync::Arc;
+
+const P: PowerLaw = PowerLaw::CUBIC;
+
+fn all_models() -> Vec<EnergyModel> {
+    let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0]).unwrap();
+    vec![
+        EnergyModel::continuous_unbounded(),
+        EnergyModel::VddHopping(modes.clone()),
+        EnergyModel::Discrete(modes),
+        EnergyModel::Incremental(IncrementalModes::new(0.5, 2.0, 0.5).unwrap()),
+    ]
+}
+
+/// A random batch of `k` edits, each valid for the graph as left by
+/// its predecessors (insertions follow the current topological order,
+/// so they never introduce cycles; task additions attach forward).
+fn random_edits(g: &TaskGraph, k: usize, rng: &mut StdRng) -> Vec<GraphEdit> {
+    let mut cur = g.clone();
+    let mut edits = Vec::with_capacity(k);
+    for _ in 0..k {
+        let order = analysis::topo_order_quiet(&cur);
+        let n = cur.n();
+        let candidate = match rng.gen_range(0..10) {
+            // Weight edits dominate the mix — they are the hot case.
+            0..=4 => GraphEdit::SetWeight {
+                task: rng.gen_range(0..n),
+                weight: rng.gen_range(0.25..4.0),
+            },
+            5 | 6 if n >= 2 => {
+                let i = rng.gen_range(0..n - 1);
+                let j = rng.gen_range(i + 1..n);
+                GraphEdit::InsertEdge {
+                    from: order[i].index(),
+                    to: order[j].index(),
+                }
+            }
+            7 if cur.m() > 0 => {
+                let (u, v) = cur.edges()[rng.gen_range(0..cur.m())];
+                GraphEdit::RemoveEdge {
+                    from: u.index(),
+                    to: v.index(),
+                }
+            }
+            8 => {
+                let cut = rng.gen_range(0..n + 1);
+                let pick = |rng: &mut StdRng, lo: usize, hi: usize, cap: usize| {
+                    let mut out: Vec<usize> = Vec::new();
+                    for _ in 0..rng.gen_range(0..cap + 1) {
+                        if lo < hi {
+                            let p = order[rng.gen_range(lo..hi)].index();
+                            if !out.contains(&p) {
+                                out.push(p);
+                            }
+                        }
+                    }
+                    out
+                };
+                GraphEdit::AddTask {
+                    weight: rng.gen_range(0.25..4.0),
+                    preds: pick(rng, 0, cut, 2),
+                    succs: pick(rng, cut, n, 2),
+                }
+            }
+            _ if n > 1 => GraphEdit::RemoveTask {
+                task: rng.gen_range(0..n),
+            },
+            _ => continue,
+        };
+        match apply_edits(&cur, std::slice::from_ref(&candidate)) {
+            Ok((next, _)) => {
+                cur = next;
+                edits.push(candidate);
+            }
+            Err(e) => panic!("constructed edit must be valid: {candidate:?}: {e}"),
+        }
+    }
+    edits
+}
+
+fn base_graph(seed: u64) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if seed.is_multiple_of(2) {
+        generators::random_sp(10, 0.5, 0.5, 3.0, &mut rng).0
+    } else {
+        generators::random_dag(9, 0.35, 0.5, 3.0, &mut rng)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// apply(edits) ≡ rebuild-from-scratch: same graph, same content
+    /// key (with the incremental delta agreeing whenever it applies),
+    /// same solve result under every model.
+    #[test]
+    fn apply_equals_rebuild_across_models(seed in any::<u64>(), k in 1usize..6) {
+        let g = base_graph(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let edits = random_edits(&g, k, &mut rng);
+
+        let inst = PreparedInstance::new(Arc::new(g.clone()));
+        inst.warm();
+        let patched = inst.apply(&edits).expect("edits were validated");
+        let (rebuilt, _) = apply_edits(&g, &edits).unwrap();
+        prop_assert_eq!(patched.graph(), &rebuilt);
+
+        let engine = Engine::new(P).threads(1);
+        for model in all_models() {
+            // Same content identity…
+            let full = content_key(&rebuilt, &model);
+            prop_assert_eq!(content_key(patched.graph(), &model), full);
+            // …and the incremental delta agrees whenever it applies
+            // (task-set edits legitimately fall back to a full hash).
+            if let Some(delta) = patched_key(content_key(&g, &model), &g, &edits) {
+                prop_assert_eq!(delta, full);
+            }
+            // Same solve result as a from-scratch instance.
+            let d = match model.top_speed() {
+                Some(s) => 1.5 * analysis::critical_path_weight(&rebuilt) / s,
+                None => analysis::critical_path_weight(&rebuilt),
+            };
+            let via_apply = engine.solve(&patched.view(), &model, d).unwrap();
+            let fresh = PreparedInstance::new(Arc::new(rebuilt.clone()));
+            let via_rebuild = engine.solve(&fresh.view(), &model, d).unwrap();
+            prop_assert_eq!(via_apply.algorithm, via_rebuild.algorithm);
+            prop_assert!(
+                (via_apply.energy - via_rebuild.energy).abs()
+                    <= 1e-6 * (1.0 + via_rebuild.energy),
+                "model {}: {} vs {}", model.name(), via_apply.energy, via_rebuild.energy
+            );
+        }
+    }
+
+    /// Weight-only batches recompute zero structural analyses:
+    ///
+    /// * `apply` itself (plus reading the re-evaluated critical path)
+    ///   runs no analysis pass at all;
+    /// * a full solve of the patched instance runs exactly the passes
+    ///   a *repeat* solve of the already-warm base runs — the edit
+    ///   adds nothing. (Discrete/Incremental solvers derive some
+    ///   per-solve orders internally; that cost is per solve, not per
+    ///   edit, and the comparison cancels it out.)
+    #[test]
+    fn weight_only_edits_recompute_no_structure(seed in any::<u64>(), k in 1usize..5) {
+        let g = base_graph(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let edits: Vec<GraphEdit> = (0..k)
+            .map(|_| GraphEdit::SetWeight {
+                task: rng.gen_range(0..g.n()),
+                weight: rng.gen_range(0.25..4.0),
+            })
+            .collect();
+        let inst = PreparedInstance::new(Arc::new(g.clone()));
+        inst.warm();
+        let engine = Engine::new(P).threads(1);
+        let solve_all = |inst: &PreparedInstance| {
+            let cp = inst.view().critical_path_weight();
+            for model in all_models() {
+                let d = match model.top_speed() {
+                    Some(s) => 1.5 * cp / s,
+                    None => cp,
+                };
+                engine.solve(&inst.view(), &model, d).unwrap();
+            }
+        };
+
+        // Baseline: what a repeat solve of the warm base costs.
+        let before = profiling::counts();
+        solve_all(&inst);
+        let baseline = profiling::counts() - before;
+
+        // The apply itself — and the re-evaluated critical path — run
+        // zero analysis passes.
+        let before = profiling::counts();
+        let patched = inst.apply(&edits).unwrap();
+        let _ = patched.view().critical_path_weight();
+        let apply_delta = profiling::counts() - before;
+        prop_assert_eq!(apply_delta.topo_order, 0, "apply must not re-derive the order");
+        prop_assert_eq!(apply_delta.classify, 0, "apply must not re-classify");
+        prop_assert_eq!(apply_delta.sp_from_graph, 0, "apply must not re-recognize SP");
+        prop_assert_eq!(apply_delta.transitive_reduction, 0, "apply must not re-reduce");
+
+        // Solving the patched instance costs exactly the baseline:
+        // the weight edit invalidated nothing a solve would rebuild.
+        let before = profiling::counts();
+        solve_all(&patched);
+        let patched_delta = profiling::counts() - before;
+        prop_assert_eq!(patched_delta, baseline, "edit must add zero analysis passes");
+    }
+}
