@@ -35,7 +35,13 @@ fn bench_json(o: &Outcome, mean_ns: u128) -> String {
             if k > 0 {
                 s.push_str(", ");
             }
-            s.push_str(&format!("\"{name}\": {value:.0}"));
+            // Full float precision: gate steps (e.g. `speedup >= 8`
+            // for X9) must not be flattered or failed by rounding.
+            if value.fract() == 0.0 && value.abs() < 1e15 {
+                s.push_str(&format!("\"{name}\": {value:.0}"));
+            } else {
+                s.push_str(&format!("\"{name}\": {value:e}"));
+            }
         }
         s.push('}');
     }

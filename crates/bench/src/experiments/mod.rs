@@ -23,6 +23,7 @@ pub mod x5;
 pub mod x6;
 pub mod x7;
 pub mod x8;
+pub mod x9;
 
 use models::PowerLaw;
 use reclaim_core::continuous;
@@ -110,6 +111,7 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
     ("x6", x6::run),
     ("x7", x7::run),
     ("x8", x8::run),
+    ("x9", x9::run),
 ];
 
 /// Run every experiment in order.

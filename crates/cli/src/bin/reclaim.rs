@@ -31,6 +31,9 @@ fn usage() -> ! {
            simulate — solve, then replay in the discrete-event simulator\n\
            gantt    — per-processor Gantt chart (needs proc lines) [--width N]\n\
            sweep    — energy–deadline curve [--points N] [--lo F] [--hi F]\n\
+           pareto   — the whole trade-off curve as closed-form segments\n\
+                      [--lo F] [--hi F] [--exact] (without --exact:\n\
+                      alias of sweep)\n\
            dmin     — minimum feasible deadline at top speed\n\
            check    — parse and validate the instance only\n\
            gen      — generate an instance: reclaim gen <family> [params…]\n\
@@ -195,10 +198,11 @@ fn ask_command(args: &[String]) {
                 );
                 for (i, w) in s.workers.iter().enumerate() {
                     println!(
-                        "worker {i}: {} requests | {} solves | {} µs solving",
+                        "worker {i}: {} requests | {} solves | {} µs solving | {} warm lost",
                         w.requests,
                         w.solves,
-                        w.solve_ns / 1_000
+                        w.solve_ns / 1_000,
+                        w.warm_lost
                     );
                 }
             }
@@ -518,7 +522,7 @@ fn main() {
             let sol = solve_or_die();
             println!("{}", sim::gantt(&inst.graph, &sol.schedule, m, width));
         }
-        "sweep" => {
+        "sweep" | "pareto" => {
             let points: usize = flag_value("--points")
                 .map(|v| v.parse().expect("--points N"))
                 .unwrap_or(8);
@@ -528,19 +532,58 @@ fn main() {
             let hi: f64 = flag_value("--hi")
                 .map(|v| v.parse().expect("--hi F"))
                 .unwrap_or(4.0);
-            let curve = engine
-                .energy_curve(&prep, &inst.model, points, lo, hi)
-                .unwrap_or_else(|e| {
-                    eprintln!("sweep failed: {e}");
-                    std::process::exit(1);
-                });
-            let mut t = Table::new(&["deadline", "energy"]);
-            for pt in &curve {
-                t.row(&[format!("{:.4}", pt.deadline), format!("{:.6}", pt.energy)]);
+            if cmd == "pareto" && flags.iter().any(|a| a == "--exact") {
+                let curve = engine
+                    .energy_curve_exact(&prep, &inst.model, lo, hi)
+                    .unwrap_or_else(|e| {
+                        eprintln!("pareto failed: {e}");
+                        std::process::exit(1);
+                    });
+                let mut t = Table::new(&["from D", "to D", "energy E(D)", "E(from)", "E(to)"]);
+                for s in &curve.segments {
+                    let form = match s.energy {
+                        reclaim_core::CurveEnergy::Affine { a, b } => {
+                            format!("{a:.4} {b:+.4}·D")
+                        }
+                        reclaim_core::CurveEnergy::Power { c, p } => {
+                            format!("{c:.4}/D^{p:.2}")
+                        }
+                    };
+                    t.row(&[
+                        format!("{:.4}", s.deadline_lo),
+                        format!("{:.4}", s.deadline_hi),
+                        form,
+                        format!("{:.6}", s.energy_at(s.deadline_lo)),
+                        format!("{:.6}", s.energy_at(s.deadline_hi)),
+                    ]);
+                }
+                println!("{}", t.render());
+                println!(
+                    "{} segments ({}) | {} LP breakpoints | {} samples",
+                    curve.segments.len(),
+                    if curve.exact {
+                        "exact closed form"
+                    } else {
+                        "adaptively refined"
+                    },
+                    curve.stats.lp_breakpoints,
+                    curve.stats.samples,
+                );
+            } else {
+                let curve = engine
+                    .energy_curve(&prep, &inst.model, points, lo, hi)
+                    .unwrap_or_else(|e| {
+                        eprintln!("sweep failed: {e}");
+                        std::process::exit(1);
+                    });
+                let mut t = Table::new(&["deadline", "energy"]);
+                for pt in &curve {
+                    t.row(&[format!("{:.4}", pt.deadline), format!("{:.6}", pt.energy)]);
+                }
+                println!("{}", t.render());
+                let energies: Vec<f64> = curve.iter().map(|p| p.energy).collect();
+                println!("shape: {}", report::sparkline(&energies));
             }
-            println!("{}", t.render());
-            let energies: Vec<f64> = curve.iter().map(|p| p.energy).collect();
-            println!("shape: {}", report::sparkline(&energies));
         }
         _ => usage(),
     }

@@ -26,5 +26,7 @@
 pub mod barrier;
 pub mod linalg;
 
-pub use barrier::{BarrierSolution, BarrierSolver, ConvexError, LinearConstraint, Objective};
+pub use barrier::{
+    BarrierSolution, BarrierSolver, ConvexError, LinearConstraint, Objective, WarmStart,
+};
 pub use linalg::Matrix;

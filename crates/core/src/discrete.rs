@@ -494,18 +494,36 @@ pub fn round_up_prepared(
     p: PowerLaw,
     precision_k: Option<u32>,
 ) -> Result<Vec<f64>, SolveError> {
+    let mut cold = continuous::SweepWarm::new();
+    round_up_warm(prep, deadline, modes, p, precision_k, &mut cold)
+}
+
+/// [`round_up_prepared`] with a [`continuous::SweepWarm`] chain
+/// threaded through the boxed relaxation: a deadline sweep seeds each
+/// barrier solve from the previous point's primal (see
+/// `continuous::solve_general_warm`), which is what makes sampled
+/// Discrete energy–deadline curves cheap.
+pub fn round_up_warm(
+    prep: &PreparedGraph<'_>,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+    precision_k: Option<u32>,
+    warm: &mut continuous::SweepWarm,
+) -> Result<Vec<f64>, SolveError> {
     let g = prep.graph();
     let relaxed = if modes.m() == 1 {
         // Degenerate box: the only choice is the single mode.
         vec![modes.s_min(); g.n()]
     } else {
-        continuous::solve_general_prepared(
+        continuous::solve_general_warm(
             prep,
             deadline,
             Some(modes.s_min()),
             Some(modes.s_max()),
             p,
             precision_k,
+            warm,
         )?
     };
     let mut speeds = Vec::with_capacity(g.n());

@@ -51,8 +51,18 @@ pub fn registry() -> &'static [&'static dyn Algorithm] {
 /// Whether exhaustive per-task mode search is plausibly tractable
 /// (Theorem 4: it is exponential in general).
 fn bnb_tractable(ctx: &Ctx<'_>, n_modes: usize) -> bool {
-    let n = ctx.prep.graph().n();
-    n <= ctx.opts.exact_discrete_limit && (n_modes as f64).powi(n as i32) <= 5e9
+    bnb_tractable_for(ctx.prep.graph().n(), ctx.opts, n_modes)
+}
+
+/// [`bnb_tractable`] without a [`Ctx`] — the engine's exact-curve
+/// sampler mirrors the registry's Discrete/Incremental routing and
+/// needs the same predicate.
+pub(crate) fn bnb_tractable_for(
+    n: usize,
+    opts: &crate::solver::SolveOptions,
+    n_modes: usize,
+) -> bool {
+    n <= opts.exact_discrete_limit && (n_modes as f64).powi(n as i32) <= 5e9
 }
 
 /// Continuous model: Theorem 1/2 closed forms on recognized shapes,

@@ -27,10 +27,12 @@
 
 mod algorithms;
 mod key;
+pub mod profiling;
 
 pub use algorithms::{registry, Algorithm, Step};
 pub use key::{content_key, patched_key};
 
+use crate::continuous;
 use crate::error::SolveError;
 use crate::solver::{Solution, SolveOptions};
 use crate::vdd;
@@ -49,6 +51,127 @@ pub struct CurvePoint {
     pub deadline: f64,
     /// The optimal (or approximated, per the model's solver) energy.
     pub energy: f64,
+}
+
+/// Closed-form energy of one [`CurveSegment`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CurveEnergy {
+    /// `E(D) = a + b·D`. Exact for Vdd-Hopping (LP optima are
+    /// piecewise affine in the deadline — Theorem 3's LP under a
+    /// parametric RHS); also the interpolation form of the
+    /// adaptively-sampled fallback.
+    Affine {
+        /// Intercept.
+        a: f64,
+        /// Slope (non-positive along a Pareto front).
+        b: f64,
+    },
+    /// `E(D) = c / D^p`. Exact for unbounded Continuous, where the
+    /// scaling law `E*(D) = E*(D₀)·(D₀/D)^{α−1}` gives `p = α − 1`.
+    Power {
+        /// Coefficient.
+        c: f64,
+        /// Exponent (positive).
+        p: f64,
+    },
+}
+
+impl CurveEnergy {
+    /// Evaluate the closed form at deadline `d`.
+    pub fn at(&self, d: f64) -> f64 {
+        match *self {
+            CurveEnergy::Affine { a, b } => a + b * d,
+            CurveEnergy::Power { c, p } => c / d.powf(p),
+        }
+    }
+}
+
+/// One maximal deadline interval of an exact (or refined-sampled)
+/// energy–deadline curve with a single closed-form energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurveSegment {
+    /// Interval start.
+    pub deadline_lo: f64,
+    /// Interval end (segments of one curve are contiguous:
+    /// each `deadline_hi` equals the next segment's `deadline_lo`).
+    pub deadline_hi: f64,
+    /// The energy on the interval, in closed form.
+    pub energy: CurveEnergy,
+}
+
+impl CurveSegment {
+    /// Energy at deadline `d` (exact for `d` inside the segment).
+    pub fn energy_at(&self, d: f64) -> f64 {
+        self.energy.at(d)
+    }
+}
+
+/// Cost counters of one [`Engine::energy_curve_exact`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CurveStats {
+    /// Dual-simplex basis changes the parametric LP walk crossed
+    /// (Vdd path; the whole curve costs `O(breakpoints)` pivots).
+    pub lp_breakpoints: usize,
+    /// Point solves performed by the adaptive-sampling fallback.
+    pub samples: usize,
+    /// Newton steps spent in barrier solves (Discrete/Incremental
+    /// round-up path).
+    pub barrier_newton_steps: u64,
+    /// Barrier solves that were warm-seeded from the previous sweep
+    /// point's primal.
+    pub barrier_warm_seeded: u64,
+}
+
+/// A whole energy–deadline curve in closed form: the result of
+/// [`Engine::energy_curve_exact`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactCurve {
+    /// Contiguous segments covering `[deadline_lo(), deadline_hi()]`
+    /// in increasing deadline order.
+    pub segments: Vec<CurveSegment>,
+    /// `true` when every segment is an exact closed form (Vdd,
+    /// unbounded Continuous); `false` when the curve was adaptively
+    /// sampled and the segments interpolate (Discrete / Incremental /
+    /// capped Continuous).
+    pub exact: bool,
+    /// What the curve cost to build.
+    pub stats: CurveStats,
+}
+
+impl ExactCurve {
+    /// First covered deadline.
+    pub fn deadline_lo(&self) -> f64 {
+        self.segments.first().map_or(f64::NAN, |s| s.deadline_lo)
+    }
+
+    /// Last covered deadline.
+    pub fn deadline_hi(&self) -> f64 {
+        self.segments.last().map_or(f64::NAN, |s| s.deadline_hi)
+    }
+
+    /// Energy at deadline `d`, or `None` outside the covered range.
+    pub fn energy_at(&self, d: f64) -> Option<f64> {
+        if self.segments.is_empty()
+            || d < self.deadline_lo() * (1.0 - 1e-12)
+            || d > self.deadline_hi() * (1.0 + 1e-12)
+        {
+            return None;
+        }
+        let seg = self
+            .segments
+            .iter()
+            .rev()
+            .find(|s| d >= s.deadline_lo)
+            .unwrap_or(&self.segments[0]);
+        Some(seg.energy_at(d.clamp(seg.deadline_lo, seg.deadline_hi)))
+    }
+
+    /// The segment covering deadline `d`, if any.
+    pub fn segment_at(&self, d: f64) -> Option<&CurveSegment> {
+        self.segments
+            .iter()
+            .find(|s| d >= s.deadline_lo * (1.0 - 1e-12) && d <= s.deadline_hi * (1.0 + 1e-12))
+    }
 }
 
 /// Everything an [`Algorithm`] needs to attempt one instance.
@@ -241,6 +364,7 @@ impl Engine {
                     });
                 }
             }
+            profiling::bump_warm_lost();
             *warm = None;
         }
         let (sched, handle) = vdd::solve_lp_warm(prep, deadline, modes, self.power)?;
@@ -334,15 +458,45 @@ impl Engine {
         })
     }
 
-    /// Solve one prepared graph at many deadlines, in parallel. The
-    /// analysis cache is shared across the worker threads (first one
-    /// to need a pass fills it for everyone).
+    /// Solve one prepared graph at many deadlines. Results come back
+    /// in caller order, identical to independent [`Engine::solve`]
+    /// calls up to solver tolerance.
+    ///
+    /// Vdd-Hopping requests are sorted, deduplicated, and threaded
+    /// through **one** [`VddWarm`] chain in increasing-deadline order
+    /// (each point re-optimizes the previous optimal basis instead of
+    /// re-running the two-phase simplex; duplicates share one solve).
+    /// Every other model fans the independent solves out over scoped
+    /// worker threads, with the analysis cache shared (first one to
+    /// need a pass fills it for everyone).
     pub fn solve_deadlines(
         &self,
         prep: &PreparedGraph<'_>,
         model: &EnergyModel,
         deadlines: &[f64],
     ) -> Vec<Result<Solution, SolveError>> {
+        if matches!(model, EnergyModel::VddHopping(_)) {
+            let mut order: Vec<usize> = (0..deadlines.len()).collect();
+            order.sort_by(|&a, &b| deadlines[a].total_cmp(&deadlines[b]));
+            let mut warm: Option<VddWarm> = None;
+            let mut out: Vec<Option<Result<Solution, SolveError>>> = vec![None; deadlines.len()];
+            let mut prev: Option<usize> = None;
+            for &i in &order {
+                // Dedup: an equal deadline reuses the previous result.
+                if let Some(pi) = prev {
+                    if deadlines[pi].total_cmp(&deadlines[i]).is_eq() {
+                        out[i] = out[pi].clone();
+                        continue;
+                    }
+                }
+                out[i] = Some(self.solve_warm(prep, model, deadlines[i], &mut warm));
+                prev = Some(i);
+            }
+            return out
+                .into_iter()
+                .map(|r| r.expect("every index visited"))
+                .collect();
+        }
         self.run_ordered(deadlines.len(), |i| self.solve(prep, model, deadlines[i]))
     }
 
@@ -422,11 +576,18 @@ impl Engine {
             {
                 let energy = match sched {
                     Ok(s) if s.validate(g, model, d).is_ok() => s.energy(g, self.power),
-                    Ok(_) => match self.solve(prep, model, d) {
-                        Ok(sol) => sol.energy,
-                        Err(SolveError::Infeasible { .. }) => continue,
-                        Err(e) => return Err(e),
-                    },
+                    Ok(_) => {
+                        // A warm re-optimization produced a schedule
+                        // that failed validation: the basis is not
+                        // trustworthy at this point — ledger the loss
+                        // and re-solve cold.
+                        profiling::bump_warm_lost();
+                        match self.solve(prep, model, d) {
+                            Ok(sol) => sol.energy,
+                            Err(SolveError::Infeasible { .. }) => continue,
+                            Err(e) => return Err(e),
+                        }
+                    }
                     Err(SolveError::Infeasible { .. }) => continue,
                     Err(e) => return Err(e),
                 };
@@ -452,6 +613,337 @@ impl Engine {
             }
         }
         Ok(out)
+    }
+
+    /// The **whole** energy–deadline curve between `lo_factor` and
+    /// `hi_factor` times the reference deadline (see
+    /// [`Engine::energy_curve`] for the reference), as contiguous
+    /// [`CurveSegment`]s with closed-form energies — not samples.
+    ///
+    /// Per model:
+    ///
+    /// * **Vdd-Hopping** — exact. The Theorem-3 LP's deadline rows are
+    ///   a parametric RHS ray, so one breakpoint-walking dual-simplex
+    ///   pass ([`vdd::VddWarm::deadline_ray`]) yields the optimum as
+    ///   piecewise-affine segments in `O(breakpoints)` pivots, with no
+    ///   per-sample work at all.
+    /// * **unbounded Continuous** — exact: one solve plus the scaling
+    ///   law `E*(D) = E*(D₀)·(D₀/D)^{α−1}` gives a single
+    ///   [`CurveEnergy::Power`] segment.
+    /// * **Discrete / Incremental / capped Continuous** — adaptive
+    ///   sampling (`exact: false`): a coarse grid is refined only
+    ///   where linear interpolation disagrees with a midpoint solve,
+    ///   and the round-up paths thread one barrier warm-start chain
+    ///   ([`continuous::SweepWarm`]) through each ascending round, so
+    ///   sweep points reuse the previous point's interior primal.
+    ///
+    /// Deadlines below the instance's minimum makespan are clamped
+    /// away (like the sampled curve's infeasible-point skipping); an
+    /// entirely infeasible range is [`SolveError::Infeasible`].
+    pub fn energy_curve_exact(
+        &self,
+        prep: &PreparedGraph<'_>,
+        model: &EnergyModel,
+        lo_factor: f64,
+        hi_factor: f64,
+    ) -> Result<ExactCurve, SolveError> {
+        let mut warm = None;
+        self.energy_curve_exact_warm(prep, model, lo_factor, hi_factor, &mut warm)
+    }
+
+    /// [`Engine::energy_curve_exact`] reusing (and refreshing) a
+    /// retained Vdd warm-start handle: when `warm` holds the basis of
+    /// a previous solve of this instance, the exact Vdd curve skips
+    /// the cold two-phase LP entirely — the daemon's cached instances
+    /// ride this path. For other models `warm` is left untouched.
+    pub fn energy_curve_exact_warm(
+        &self,
+        prep: &PreparedGraph<'_>,
+        model: &EnergyModel,
+        lo_factor: f64,
+        hi_factor: f64,
+        warm: &mut Option<VddWarm>,
+    ) -> Result<ExactCurve, SolveError> {
+        if !(lo_factor > 0.0 && hi_factor > lo_factor) {
+            return Err(SolveError::Unsupported(
+                "need 0 < lo_factor < hi_factor".into(),
+            ));
+        }
+        let cp = prep.critical_path_weight();
+        let (base, dmin) = match model.top_speed() {
+            Some(sm) => (cp / sm, Some(cp / sm)),
+            None => (cp, None),
+        };
+        let mut d_lo = lo_factor * base;
+        if let Some(dm) = dmin {
+            // Clamp the infeasible prefix away, mirroring the sampled
+            // curve's infeasible-point skipping.
+            d_lo = d_lo.max(dm);
+        }
+        let d_hi = hi_factor * base;
+        if d_hi <= d_lo {
+            return Err(SolveError::Infeasible {
+                deadline: d_hi,
+                min_makespan: dmin.unwrap_or(d_lo),
+            });
+        }
+        let mut stats = CurveStats::default();
+
+        // Unbounded Continuous: the scaling law pins the whole curve.
+        if matches!(model, EnergyModel::Continuous { s_max: None }) {
+            let e0 = self.solve(prep, model, d_lo)?.energy;
+            let p = self.power.alpha() - 1.0;
+            stats.samples = 1;
+            return Ok(ExactCurve {
+                segments: vec![CurveSegment {
+                    deadline_lo: d_lo,
+                    deadline_hi: d_hi,
+                    energy: CurveEnergy::Power {
+                        c: e0 * d_lo.powf(p),
+                        p,
+                    },
+                }],
+                exact: true,
+                stats,
+            });
+        }
+
+        // Vdd-Hopping: the parametric ray, warm when possible.
+        if let EnergyModel::VddHopping(modes) = model {
+            if warm
+                .as_ref()
+                .is_some_and(|w| w.modes().speeds() != modes.speeds())
+            {
+                *warm = None;
+            }
+            let ray = match warm.as_mut() {
+                Some(w) => match w.deadline_ray(prep, d_lo, d_hi) {
+                    Ok(ray) => Ok(ray),
+                    Err(e @ SolveError::Infeasible { .. }) => return Err(e),
+                    Err(_) => {
+                        // Spent basis: ledger it and rebuild cold.
+                        profiling::bump_warm_lost();
+                        *warm = None;
+                        vdd::deadline_ray_prepared(prep, d_lo, d_hi, modes, self.power).map(
+                            |(ray, handle)| {
+                                *warm = Some(handle);
+                                ray
+                            },
+                        )
+                    }
+                },
+                None => vdd::deadline_ray_prepared(prep, d_lo, d_hi, modes, self.power).map(
+                    |(ray, handle)| {
+                        *warm = Some(handle);
+                        ray
+                    },
+                ),
+            };
+            match ray {
+                Ok(ray) => {
+                    stats.lp_breakpoints = ray.breakpoints();
+                    let segments = ray
+                        .segments
+                        .iter()
+                        .map(|s| CurveSegment {
+                            deadline_lo: s.t_lo,
+                            deadline_hi: s.t_hi.min(d_hi),
+                            energy: CurveEnergy::Affine {
+                                a: s.value_lo - s.slope * s.t_lo,
+                                b: s.slope,
+                            },
+                        })
+                        .collect();
+                    return Ok(ExactCurve {
+                        segments,
+                        exact: true,
+                        stats,
+                    });
+                }
+                Err(e @ SolveError::Infeasible { .. }) => return Err(e),
+                Err(_) => {
+                    // The walk itself degenerated (iteration cap,
+                    // blocked artificial): degrade to the sampled
+                    // fallback rather than failing the request.
+                }
+            }
+        }
+
+        // Adaptive sampling: Discrete / Incremental / capped
+        // Continuous (and the rare degenerate Vdd walk).
+        let segments = self.adaptive_curve(prep, model, d_lo, d_hi, &mut stats)?;
+        Ok(ExactCurve {
+            segments,
+            exact: false,
+            stats,
+        })
+    }
+
+    /// One point solve for the adaptive-sampling curve, mirroring the
+    /// registry's Discrete/Incremental routing but threading the
+    /// barrier warm-start chain through the round-up paths.
+    fn curve_sample(
+        &self,
+        prep: &PreparedGraph<'_>,
+        model: &EnergyModel,
+        d: f64,
+        chain: &mut continuous::SweepWarm,
+    ) -> Result<f64, SolveError> {
+        let n = prep.graph().n();
+        match model {
+            EnergyModel::Discrete(modes)
+                if !algorithms::bnb_tractable_for(n, &self.opts, modes.m()) =>
+            {
+                let speeds = crate::discrete::round_up_warm(
+                    prep,
+                    d,
+                    modes,
+                    self.power,
+                    Some(self.opts.precision_k),
+                    chain,
+                )?;
+                Ok(continuous::energy_of_speeds(
+                    prep.graph(),
+                    &speeds,
+                    self.power,
+                ))
+            }
+            EnergyModel::Incremental(modes)
+                if !(self.opts.exact_incremental
+                    && algorithms::bnb_tractable_for(n, &self.opts, modes.m())) =>
+            {
+                let speeds = crate::incremental::approx_warm(
+                    prep,
+                    d,
+                    modes,
+                    self.power,
+                    self.opts.precision_k,
+                    chain,
+                )?;
+                Ok(continuous::energy_of_speeds(
+                    prep.graph(),
+                    &speeds,
+                    self.power,
+                ))
+            }
+            // Capped Continuous on a general DAG: the dispatch would
+            // run the same barrier solve cold; thread the chain
+            // through it. (Recognized shapes keep their closed forms —
+            // cheaper than any warm-started barrier.)
+            EnergyModel::Continuous { s_max: Some(sm) }
+                if matches!(prep.shape(), taskgraph::structure::Shape::General) =>
+            {
+                let speeds = continuous::solve_general_warm(
+                    prep,
+                    d,
+                    None,
+                    Some(*sm),
+                    self.power,
+                    None,
+                    chain,
+                )?;
+                Ok(continuous::energy_of_speeds(
+                    prep.graph(),
+                    &speeds,
+                    self.power,
+                ))
+            }
+            _ => Ok(self.solve(prep, model, d)?.energy),
+        }
+    }
+
+    /// The sampled fallback of [`Engine::energy_curve_exact`]: a
+    /// geometric starter grid, then rounds of midpoint refinement
+    /// wherever linear interpolation disagrees with a real solve.
+    /// Every round solves its new points in ascending-deadline order
+    /// through one fresh barrier warm-start chain.
+    fn adaptive_curve(
+        &self,
+        prep: &PreparedGraph<'_>,
+        model: &EnergyModel,
+        d_lo: f64,
+        d_hi: f64,
+        stats: &mut CurveStats,
+    ) -> Result<Vec<CurveSegment>, SolveError> {
+        const INIT_POINTS: usize = 9;
+        const REL_TOL: f64 = 1e-3;
+        const MAX_SAMPLES: usize = 65;
+
+        let record = |stats: &mut CurveStats, chain: &continuous::SweepWarm| {
+            stats.barrier_newton_steps += chain.stats.newton_steps;
+            stats.barrier_warm_seeded += chain.stats.warm_seeded;
+        };
+        // Starter grid (geometric, ascending) through one warm chain.
+        let ratio = (d_hi / d_lo).powf(1.0 / (INIT_POINTS - 1) as f64);
+        let mut samples: Vec<(f64, f64)> = Vec::with_capacity(MAX_SAMPLES);
+        let mut chain = continuous::SweepWarm::new();
+        let mut d = d_lo;
+        for k in 0..INIT_POINTS {
+            // Pin the endpoints exactly despite powf drift.
+            let dk = if k == INIT_POINTS - 1 { d_hi } else { d };
+            samples.push((dk, self.curve_sample(prep, model, dk, &mut chain)?));
+            d *= ratio;
+        }
+        stats.samples += INIT_POINTS;
+        record(stats, &chain);
+
+        // Refinement rounds: split every interval whose midpoint
+        // disagrees with interpolation, until all agree or the sample
+        // budget is gone.
+        let mut suspect: Vec<(f64, f64)> = samples.windows(2).map(|w| (w[0].0, w[1].0)).collect();
+        while !suspect.is_empty() && samples.len() < MAX_SAMPLES {
+            suspect.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut next = Vec::new();
+            let mut chain = continuous::SweepWarm::new();
+            let mut solved = 0usize;
+            for (lo, hi) in suspect.drain(..) {
+                if samples.len() + solved >= MAX_SAMPLES {
+                    break;
+                }
+                let mid = (lo * hi).sqrt();
+                if mid <= lo || mid >= hi {
+                    continue; // interval at float resolution
+                }
+                let e_mid = self.curve_sample(prep, model, mid, &mut chain)?;
+                solved += 1;
+                let (e_lo, e_hi) = (
+                    samples
+                        .iter()
+                        .find(|s| s.0 == lo)
+                        .expect("interval endpoint solved")
+                        .1,
+                    samples
+                        .iter()
+                        .find(|s| s.0 == hi)
+                        .expect("interval endpoint solved")
+                        .1,
+                );
+                let interp = e_lo + (e_hi - e_lo) * (mid - lo) / (hi - lo);
+                samples.push((mid, e_mid));
+                if (interp - e_mid).abs() > REL_TOL * (1.0 + e_mid.abs()) {
+                    next.push((lo, mid));
+                    next.push((mid, hi));
+                }
+            }
+            stats.samples += solved;
+            record(stats, &chain);
+            samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+            suspect = next;
+        }
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let segments = samples
+            .windows(2)
+            .map(|w| {
+                let ((d0, e0), (d1, e1)) = (w[0], w[1]);
+                let b = (e1 - e0) / (d1 - d0);
+                CurveSegment {
+                    deadline_lo: d0,
+                    deadline_hi: d1,
+                    energy: CurveEnergy::Affine { a: e0 - b * d0, b },
+                }
+            })
+            .collect();
+        Ok(segments)
     }
 
     /// Run `f(0..n)` across scoped worker threads, returning results
@@ -783,6 +1275,234 @@ mod tests {
         for w in curve.windows(2) {
             assert!(w[1].energy <= w[0].energy * (1.0 + 1e-6));
         }
+    }
+
+    #[test]
+    fn exact_vdd_curve_matches_sampled_curve_pointwise() {
+        let g = generators::fork_join(1.0, &[2.0, 3.0, 1.0], 1.5);
+        let engine = Engine::new(P);
+        let prep = PreparedGraph::new(&g);
+        let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0]).unwrap();
+        let model = EnergyModel::VddHopping(modes);
+        let curve = engine.energy_curve_exact(&prep, &model, 1.05, 4.0).unwrap();
+        assert!(curve.exact);
+        assert!(!curve.segments.is_empty());
+        // Contiguous, monotone boundaries; non-increasing energy.
+        for w in curve.segments.windows(2) {
+            assert!((w[0].deadline_hi - w[1].deadline_lo).abs() < 1e-9 * w[0].deadline_hi);
+            assert!(w[0].deadline_lo < w[0].deadline_hi);
+        }
+        let sampled = engine.energy_curve(&prep, &model, 16, 1.05, 4.0).unwrap();
+        for pt in &sampled {
+            let exact = curve.energy_at(pt.deadline).unwrap();
+            assert!(
+                (exact - pt.energy).abs() <= 1e-6 * (1.0 + pt.energy),
+                "exact {exact} vs sampled {} at D = {}",
+                pt.energy,
+                pt.deadline
+            );
+        }
+    }
+
+    #[test]
+    fn exact_vdd_curve_warm_handle_skips_cold_lp() {
+        let g = generators::fork_join(1.0, &[2.0, 3.0, 1.0], 1.5);
+        let engine = Engine::new(P);
+        let prep = PreparedGraph::new(&g);
+        let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0]).unwrap();
+        let model = EnergyModel::VddHopping(modes);
+        // Seed a warm handle the way the daemon does.
+        let mut warm = None;
+        engine.solve_warm(&prep, &model, 6.0, &mut warm).unwrap();
+        assert!(warm.is_some());
+        let a = engine
+            .energy_curve_exact_warm(&prep, &model, 1.05, 4.0, &mut warm)
+            .unwrap();
+        assert!(warm.is_some(), "handle survives the walk");
+        // A repeat request through the retained handle gives the same
+        // value function (segment boundaries may differ at degenerate
+        // ties between alternate optimal bases — the values may not).
+        let b = engine
+            .energy_curve_exact_warm(&prep, &model, 1.05, 4.0, &mut warm)
+            .unwrap();
+        assert!((a.deadline_lo() - b.deadline_lo()).abs() < 1e-9 * (1.0 + a.deadline_lo()));
+        assert!((a.deadline_hi() - b.deadline_hi()).abs() < 1e-9 * (1.0 + a.deadline_hi()));
+        for k in 0..=32 {
+            let d = a.deadline_lo() + (a.deadline_hi() - a.deadline_lo()) * k as f64 / 32.0;
+            let (ea, eb) = (a.energy_at(d).unwrap(), b.energy_at(d).unwrap());
+            assert!(
+                (ea - eb).abs() <= 1e-6 * (1.0 + ea),
+                "repeat walk diverged at D = {d}: {ea} vs {eb}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_continuous_curve_is_the_scaling_law() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let engine = Engine::new(P);
+        let prep = PreparedGraph::new(&g);
+        let model = EnergyModel::continuous_unbounded();
+        let curve = engine.energy_curve_exact(&prep, &model, 0.8, 3.0).unwrap();
+        assert!(curve.exact);
+        assert_eq!(curve.segments.len(), 1);
+        for k in 0..8 {
+            let d =
+                curve.deadline_lo() + (curve.deadline_hi() - curve.deadline_lo()) * k as f64 / 7.0;
+            let direct = engine.solve(&prep, &model, d).unwrap().energy;
+            let exact = curve.energy_at(d).unwrap();
+            assert!((exact - direct).abs() <= 1e-9 * (1.0 + direct));
+        }
+    }
+
+    #[test]
+    fn exact_discrete_curve_brackets_pointwise_solves() {
+        // Discrete (bnb-tractable here): the adaptive fallback samples
+        // real solves, so any deadline's interpolated energy must lie
+        // between the true energies at its segment's endpoints
+        // (monotone non-increasing curve).
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let engine = Engine::new(P);
+        let prep = PreparedGraph::new(&g);
+        let modes = DiscreteModes::new(&[0.5, 1.0, 2.0]).unwrap();
+        let model = EnergyModel::Discrete(modes);
+        let curve = engine.energy_curve_exact(&prep, &model, 1.05, 3.0).unwrap();
+        assert!(!curve.exact);
+        assert!(curve.stats.samples >= 9);
+        for k in 1..8 {
+            let d = curve.deadline_lo()
+                * (curve.deadline_hi() / curve.deadline_lo()).powf(k as f64 / 8.0);
+            let seg = curve.segment_at(d).unwrap();
+            let e = curve.energy_at(d).unwrap();
+            let hi_true = engine.solve(&prep, &model, seg.deadline_lo).unwrap().energy;
+            let lo_true = engine.solve(&prep, &model, seg.deadline_hi).unwrap().energy;
+            assert!(
+                e <= hi_true * (1.0 + 1e-6) && e >= lo_true * (1.0 - 1e-6),
+                "interpolated {e} outside [{lo_true}, {hi_true}] at D = {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_curve_rejects_structurally_stale_warm_handle() {
+        use taskgraph::edit::GraphEdit;
+
+        // A handle built over one precedence structure must not walk
+        // a curve for a structurally different (same-n) graph: the
+        // engine has to detect the stale basis, ledger it, and rebuild
+        // cold — matching the edited graph's true optimum.
+        let g = generators::fork_join(1.0, &[2.0, 3.0, 1.0], 1.5);
+        let engine = Engine::new(P);
+        let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0]).unwrap();
+        let model = EnergyModel::VddHopping(modes);
+        let inst = PreparedInstance::new(std::sync::Arc::new(g));
+        let mut warm = None;
+        engine
+            .solve_warm(&inst.view(), &model, 6.0, &mut warm)
+            .unwrap();
+        let patched = inst
+            .apply(&[GraphEdit::InsertEdge { from: 1, to: 2 }])
+            .unwrap();
+        let before = super::profiling::counts();
+        let curve = engine
+            .energy_curve_exact_warm(&patched.view(), &model, 1.05, 3.0, &mut warm)
+            .unwrap();
+        let delta = super::profiling::counts() - before;
+        assert_eq!(delta.warm_lost, 1, "stale handle must be ledgered");
+        // The curve must describe the *edited* graph.
+        for k in 0..6 {
+            let d =
+                curve.deadline_lo() + (curve.deadline_hi() - curve.deadline_lo()) * k as f64 / 5.0;
+            let cold = engine.solve(&patched.view(), &model, d).unwrap().energy;
+            let exact = curve.energy_at(d).unwrap();
+            assert!(
+                (exact - cold).abs() <= 1e-6 * (1.0 + cold),
+                "stale-handle curve wrong at D = {d}: {exact} vs {cold}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_curve_clamps_infeasible_prefix_and_rejects_empty_range() {
+        let g = generators::chain(&[4.0]);
+        let engine = Engine::new(P);
+        let prep = PreparedGraph::new(&g);
+        let modes = DiscreteModes::new(&[1.0, 2.0]).unwrap();
+        let model = EnergyModel::VddHopping(modes);
+        // dmin = 2; lo_factor 0.5 starts below it: clamped, not fatal.
+        let curve = engine.energy_curve_exact(&prep, &model, 0.5, 3.0).unwrap();
+        assert!((curve.deadline_lo() - 2.0).abs() < 1e-9);
+        // A range entirely below dmin is infeasible.
+        assert!(matches!(
+            engine.energy_curve_exact(&prep, &model, 0.2, 0.5),
+            Err(SolveError::Infeasible { .. })
+        ));
+        assert!(matches!(
+            engine.energy_curve_exact(&prep, &model, 2.0, 1.0),
+            Err(SolveError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn solve_deadlines_vdd_warm_chain_keeps_caller_order() {
+        let g = generators::fork_join(1.0, &[2.0, 3.0, 1.0], 1.5);
+        let engine = Engine::new(P);
+        let prep = PreparedGraph::new(&g);
+        let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0]).unwrap();
+        let model = EnergyModel::VddHopping(modes);
+        // Unsorted, with duplicates and an infeasible entry.
+        let deadlines = [8.0, 5.0, 1.0, 6.5, 5.0, 12.0];
+        let results = engine.solve_deadlines(&prep, &model, &deadlines);
+        assert_eq!(results.len(), deadlines.len());
+        assert!(matches!(results[2], Err(SolveError::Infeasible { .. })));
+        for (i, &d) in deadlines.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            let sol = results[i].as_ref().unwrap();
+            let cold = engine.solve(&prep, &model, d).unwrap();
+            assert!(
+                (sol.energy - cold.energy).abs() <= 1e-6 * (1.0 + cold.energy),
+                "order-restored result at index {i} (D = {d})"
+            );
+        }
+        // The duplicate pair shares one solve (identical results).
+        let (a, b) = (results[1].as_ref().unwrap(), results[4].as_ref().unwrap());
+        assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+        // Only the smallest feasible deadline runs cold; the rest of
+        // the chain re-optimizes the retained basis.
+        let warm_tags = results
+            .iter()
+            .filter(|r| r.as_ref().is_ok_and(|s| s.algorithm == "vdd-lp-warm"))
+            .count();
+        assert!(warm_tags >= 3, "warm chain must carry the sweep");
+    }
+
+    #[test]
+    fn warm_lost_counter_ledgers_spent_handles() {
+        use taskgraph::edit::GraphEdit;
+
+        let g = generators::fork_join(1.0, &[2.0, 3.0, 1.0], 1.5);
+        let engine = Engine::new(P);
+        let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0]).unwrap();
+        let model = EnergyModel::VddHopping(modes);
+        let inst = PreparedInstance::new(std::sync::Arc::new(g));
+        let mut warm = None;
+        engine
+            .solve_warm(&inst.view(), &model, 6.0, &mut warm)
+            .unwrap();
+        assert!(warm.is_some());
+        // A structural edit invalidates the basis; feeding the stale
+        // handle a structurally different instance must be ledgered.
+        let patched = inst
+            .apply(&[GraphEdit::InsertEdge { from: 1, to: 2 }])
+            .unwrap();
+        let before = super::profiling::counts();
+        engine
+            .solve_warm(&patched.view(), &model, 6.0, &mut warm)
+            .unwrap();
+        let delta = super::profiling::counts() - before;
+        assert_eq!(delta.warm_lost, 1, "spent handle must be counted");
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Thread-local counters for engine-level warm-start events, in the
+//! style of [`taskgraph::profiling`].
+//!
+//! The engine's warm paths (the Vdd LP basis chain, the barrier sweep
+//! chain) all promise "fall back to a cold solve on any warm failure,
+//! never fail where a cold solve would succeed". That fallback used to
+//! be invisible: a sweep could silently lose its basis at every point
+//! and re-solve cold without anyone noticing the regression. These
+//! counters make the event observable — tests assert deltas, and the
+//! daemon surfaces per-worker totals in `stats`.
+
+use std::cell::Cell;
+
+thread_local! {
+    static WARM_LOST: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Snapshot of this thread's engine warm-start counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counts {
+    /// Times a retained warm state (Vdd LP basis or validated warm
+    /// solution) was lost and the solve fell back to a cold path:
+    /// `resolve_rhs` failures inside sweeps, warm schedules failing
+    /// validation, spent [`crate::engine::VddWarm`] handles.
+    pub warm_lost: u64,
+}
+
+impl std::ops::Sub for Counts {
+    type Output = Counts;
+    fn sub(self, rhs: Counts) -> Counts {
+        Counts {
+            warm_lost: self.warm_lost - rhs.warm_lost,
+        }
+    }
+}
+
+/// This thread's current counts.
+pub fn counts() -> Counts {
+    Counts {
+        warm_lost: WARM_LOST.with(Cell::get),
+    }
+}
+
+pub(crate) fn bump_warm_lost() {
+    WARM_LOST.with(|c| c.set(c.get() + 1));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_bumps_and_subtracts() {
+        let before = counts();
+        bump_warm_lost();
+        bump_warm_lost();
+        let delta = counts() - before;
+        assert_eq!(delta.warm_lost, 2);
+    }
+}

@@ -39,6 +39,22 @@ pub fn approx_prepared(
     p: PowerLaw,
     k: u32,
 ) -> Result<Vec<f64>, SolveError> {
+    let mut cold = continuous::SweepWarm::new();
+    approx_warm(prep, deadline, modes, p, k, &mut cold)
+}
+
+/// [`approx_prepared`] with a [`continuous::SweepWarm`] chain threaded
+/// through the boxed relaxation — the Incremental twin of
+/// `discrete::round_up_warm`, for cheap sampled energy–deadline
+/// curves.
+pub fn approx_warm(
+    prep: &PreparedGraph<'_>,
+    deadline: f64,
+    modes: &IncrementalModes,
+    p: PowerLaw,
+    k: u32,
+    warm: &mut continuous::SweepWarm,
+) -> Result<Vec<f64>, SolveError> {
     if k == 0 {
         // Library code must not panic on bad user input (the CLI feeds
         // this straight through).
@@ -50,13 +66,14 @@ pub fn approx_prepared(
     let relaxed = if modes.m() == 1 {
         vec![modes.s_min(); g.n()]
     } else {
-        continuous::solve_general_prepared(
+        continuous::solve_general_warm(
             prep,
             deadline,
             Some(modes.s_min()),
             Some(modes.top_mode()),
             p,
             Some(k),
+            warm,
         )?
     };
     let mut speeds = Vec::with_capacity(g.n());

@@ -33,6 +33,6 @@ pub mod incremental;
 pub mod solver;
 pub mod vdd;
 
-pub use engine::{CurvePoint, Engine};
+pub use engine::{CurveEnergy, CurvePoint, CurveSegment, CurveStats, Engine, ExactCurve};
 pub use error::SolveError;
 pub use solver::{solve, solve_with, Solution, SolveOptions};

@@ -93,7 +93,15 @@ pub fn solve_lp_sweep(
         let warm_sol = match &mut warm {
             Some((lp, rows)) => {
                 let changes: Vec<(usize, f64)> = rows.iter().map(|&r| (r, d)).collect();
-                lp.resolve_rhs(&changes).ok()
+                match lp.resolve_rhs(&changes) {
+                    Ok(sol) => Some(sol),
+                    Err(_) => {
+                        // The retained basis could not be re-optimized;
+                        // ledger the loss and restart cold below.
+                        crate::engine::profiling::bump_warm_lost();
+                        None
+                    }
+                }
             }
             None => None,
         };
@@ -215,6 +223,98 @@ impl VddWarm {
     pub fn modes(&self) -> &DiscreteModes {
         &self.modes
     }
+
+    /// Walk the **exact** energy–deadline curve `E*(D)` for
+    /// `D ∈ [d_lo, d_hi]` by parametric-RHS dual simplex
+    /// ([`lp::PreparedLp::parametric_rhs`]): the Theorem-3 LP's
+    /// deadline rows `t_i ≤ D` are exactly the ray `b + t·𝟙`, so the
+    /// optimal energy is piecewise **affine in `D`** and the whole
+    /// curve costs one basis walk — one dual pivot per breakpoint, no
+    /// per-sample work at all.
+    ///
+    /// The returned ray's segments carry `t` in **absolute deadline
+    /// units** (`t_lo`/`t_hi` are deadlines, `value_*` are energies).
+    /// The handle is first re-positioned at `d_lo` (refreshing the
+    /// work rows from `prep`'s weights, like [`VddWarm::resolve`]) and
+    /// is left positioned at the end of the walk, still usable.
+    ///
+    /// Errors: [`SolveError::Infeasible`] when `d_lo` is below the
+    /// instance's minimum makespan; [`SolveError::Numerical`] when the
+    /// warm basis cannot drive the walk (callers fall back to the
+    /// sampled sweep).
+    pub fn deadline_ray(
+        &mut self,
+        prep: &PreparedGraph<'_>,
+        d_lo: f64,
+        d_hi: f64,
+    ) -> Result<lp::RhsRay, SolveError> {
+        let g = prep.graph();
+        assert_eq!(
+            g.n(),
+            self.n,
+            "VddWarm is per graph structure; task set changed"
+        );
+        continuous::check_feasible_prepared(prep, d_lo, Some(self.modes.s_max()))?;
+        // Reposition at d_lo (work rows refreshed so edited weights are
+        // honored, exactly as `resolve` does).
+        let mut changes: Vec<(usize, f64)> = g
+            .weights()
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i, w))
+            .collect();
+        changes.extend(self.deadline_rows.iter().map(|&r| (r, d_lo)));
+        let sol = self.lp.resolve_rhs(&changes).map_err(|e| match e {
+            lp::LpError::Infeasible => SolveError::Infeasible {
+                deadline: d_lo,
+                min_makespan: prep.critical_path_weight() / self.modes.s_max(),
+            },
+            other => SolveError::Numerical(format!("deadline ray reposition: {other}")),
+        })?;
+        // The handle carries the *matrix* it was built over. A stale
+        // handle — same task count, different precedence — would walk
+        // a curve for the wrong constraint set and label it exact, so
+        // validate the repositioned optimum against the caller's graph
+        // exactly as the warm solve paths do; a stale basis fails the
+        // precedence check and routes the caller to a cold rebuild.
+        let sched = extract_schedule(g, &self.modes, &sol);
+        sched
+            .validate(
+                g,
+                &models::EnergyModel::VddHopping(self.modes.clone()),
+                d_lo,
+            )
+            .map_err(|e| SolveError::Numerical(format!("warm basis stale for this graph: {e}")))?;
+        let dir: Vec<(usize, f64)> = self.deadline_rows.iter().map(|&r| (r, 1.0)).collect();
+        let mut ray = self
+            .lp
+            .parametric_rhs(&dir, d_hi - d_lo)
+            .map_err(|e| SolveError::Numerical(format!("deadline ray walk: {e}")))?;
+        // Shift the ray parameter into absolute deadline units.
+        for s in &mut ray.segments {
+            s.t_lo += d_lo;
+            if s.t_hi.is_finite() {
+                s.t_hi += d_lo;
+            }
+        }
+        Ok(ray)
+    }
+}
+
+/// Build the Theorem-3 LP at `d_lo` and walk the exact energy curve up
+/// to `d_hi` in one go (cold entry point of [`VddWarm::deadline_ray`]).
+/// The warm handle rides back so the caller can keep re-solving — or
+/// re-walking — without another cold LP.
+pub fn deadline_ray_prepared(
+    prep: &PreparedGraph<'_>,
+    d_lo: f64,
+    d_hi: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+) -> Result<(lp::RhsRay, VddWarm), SolveError> {
+    let (_, mut warm) = solve_lp_warm(prep, d_lo, modes, p)?;
+    let ray = warm.deadline_ray(prep, d_lo, d_hi)?;
+    Ok((ray, warm))
 }
 
 /// Build the Theorem 3 LP. Returns the problem and the row indices of
@@ -541,6 +641,50 @@ mod tests {
             warm.resolve(&hp, 2.0),
             Err(SolveError::Infeasible { .. })
         ));
+    }
+
+    #[test]
+    fn deadline_ray_matches_cold_solves_pointwise() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let ms = modes(&[0.8, 1.6, 2.4]);
+        let prep = PreparedGraph::new(&g);
+        let cp = taskgraph::analysis::critical_path_weight(&g);
+        let (d_lo, d_hi) = (1.05 * cp / ms.s_max(), 3.0 * cp / ms.s_max());
+        let (ray, _warm) = deadline_ray_prepared(&prep, d_lo, d_hi, &ms, P).unwrap();
+        assert!(!ray.segments.is_empty());
+        // Contiguous, monotone segment boundaries spanning [d_lo, d_hi].
+        assert!((ray.segments[0].t_lo - d_lo).abs() < 1e-9 * d_lo);
+        for w in ray.segments.windows(2) {
+            assert!((w[0].t_hi - w[1].t_lo).abs() < 1e-9 * (1.0 + w[0].t_hi.abs()));
+        }
+        // Energy non-increasing in D, and pointwise equal to cold LPs.
+        for k in 0..=16 {
+            let d = d_lo + (d_hi - d_lo) * k as f64 / 16.0;
+            let exact = ray.value_at(d).unwrap();
+            let cold = solve_lp_prepared(&prep, d, &ms, P).unwrap().energy(&g, P);
+            assert!(
+                (exact - cold).abs() <= 1e-6 * (1.0 + cold),
+                "ray {exact} vs cold {cold} at D = {d}"
+            );
+        }
+        for w in ray.segments.windows(2) {
+            assert!(w[1].value_lo <= w[0].value_lo * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn deadline_ray_rejects_infeasible_lo() {
+        let g = generators::chain(&[4.0]);
+        let ms = modes(&[1.0, 2.0]);
+        let prep = PreparedGraph::new(&g);
+        let (_, mut warm) = solve_lp_warm(&prep, 3.0, &ms, P).unwrap();
+        assert!(matches!(
+            warm.deadline_ray(&prep, 1.0, 5.0),
+            Err(SolveError::Infeasible { .. })
+        ));
+        // The handle survives the rejection (feasibility pre-check
+        // fires before any tableau work).
+        assert!(warm.resolve(&prep, 3.0).is_ok());
     }
 
     #[test]

@@ -21,4 +21,6 @@
 
 mod simplex;
 
-pub use simplex::{Constraint, LpError, LpSolution, PreparedLp, Problem, Relation};
+pub use simplex::{
+    Constraint, LpError, LpSolution, PreparedLp, Problem, RayEnd, RaySegment, Relation, RhsRay,
+};

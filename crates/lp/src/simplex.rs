@@ -202,6 +202,110 @@ impl PreparedLp {
     pub fn solution(&self) -> LpSolution {
         self.tab.extract(&self.costs, self.nvars)
     }
+
+    /// Walk the optimal objective along the right-hand-side **ray**
+    /// `b(t) = b + t·dir` for `t ∈ [0, t_max]`, one dual-simplex pivot
+    /// per basis change, and return the exact piecewise-affine value
+    /// function as [`RaySegment`]s.
+    ///
+    /// This is classic parametric-RHS programming: for a fixed optimal
+    /// basis `B`, the basic solution `x_B(t) = B⁻¹(b + t·dir)` and the
+    /// objective `z(t) = c_Bᵀ x_B(t)` are **affine in `t`**, and the
+    /// basis stays optimal until some basic value hits zero. At that
+    /// breakpoint one dual pivot (leaving row = the vanishing basic,
+    /// entering column by the dual ratio test) restores optimality for
+    /// the next interval. The cost is `O(breakpoints)` pivots for the
+    /// whole ray — there is no per-sample work at all, which is what
+    /// makes exact energy–deadline curves cheaper than sampled sweeps.
+    ///
+    /// `dir` holds `(original_row, direction)` pairs (rows absent from
+    /// `dir` keep their RHS). The walk starts from the handle's
+    /// *current* RHS (`t = 0`), which must be primal feasible — call
+    /// [`PreparedLp::resolve_rhs`] first if it may not be. On success
+    /// the tableau is left positioned at the end of the walk (`t_max`
+    /// when [`RayEnd::Capped`], the last breakpoint otherwise), so the
+    /// handle remains usable for further re-solves.
+    ///
+    /// Errors: `WarmStartLost` when a degenerate basic artificial
+    /// blocks the walk (fall back to sampling), `IterationLimit` on a
+    /// blown pivot budget.
+    pub fn parametric_rhs(&mut self, dir: &[(usize, f64)], t_max: f64) -> Result<RhsRay, LpError> {
+        if self.tab.artificial_active() {
+            return Err(LpError::WarmStartLost);
+        }
+        self.tab
+            .parametric_walk(&self.costs, self.nvars, dir, t_max)
+    }
+}
+
+/// One maximal interval of a [`PreparedLp::parametric_rhs`] walk on
+/// which the optimal basis — hence the objective as an affine function
+/// of the ray parameter — is constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaySegment {
+    /// Interval start (ray parameter).
+    pub t_lo: f64,
+    /// Interval end; `f64::INFINITY` when the final basis stays
+    /// optimal for every larger `t`.
+    pub t_hi: f64,
+    /// Optimal objective at `t_lo`.
+    pub value_lo: f64,
+    /// `d(objective)/dt` on the interval: the optimum at `t` is
+    /// `value_lo + slope · (t − t_lo)`.
+    pub slope: f64,
+}
+
+impl RaySegment {
+    /// The objective value at `t` (exact for `t` inside the segment).
+    pub fn value_at(&self, t: f64) -> f64 {
+        self.value_lo + self.slope * (t - self.t_lo)
+    }
+}
+
+/// How a [`PreparedLp::parametric_rhs`] walk ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RayEnd {
+    /// The walk reached the caller's `t_max` with a live basis.
+    Capped,
+    /// The final basis is optimal for every `t` beyond the last
+    /// breakpoint (the last segment's `t_hi` is `+∞`).
+    Unbounded,
+    /// The problem is infeasible for `t` greater than the last
+    /// segment's `t_hi`.
+    Infeasible,
+}
+
+/// The exact value function along an RHS ray: contiguous affine
+/// segments covering `[0, …]` from the walk's start to its end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RhsRay {
+    /// The segments, in increasing `t`, contiguous
+    /// (`segments[k].t_hi == segments[k+1].t_lo`).
+    pub segments: Vec<RaySegment>,
+    /// Why the walk stopped.
+    pub end: RayEnd,
+    /// Dual pivots the walk performed — at least `breakpoints()`, and
+    /// more when degenerate vertices forced zero-length steps.
+    pub pivots: usize,
+}
+
+impl RhsRay {
+    /// Number of basis changes the walk crossed.
+    pub fn breakpoints(&self) -> usize {
+        self.segments.len().saturating_sub(1)
+    }
+
+    /// Evaluate the value function at `t` (clamped to the covered
+    /// range; `None` when the ray has no segments).
+    pub fn value_at(&self, t: f64) -> Option<f64> {
+        let seg = self
+            .segments
+            .iter()
+            .rev()
+            .find(|s| t >= s.t_lo)
+            .or_else(|| self.segments.first())?;
+        Some(seg.value_at(t.max(seg.t_lo).min(seg.t_hi)))
+    }
 }
 
 /// Dense simplex tableau: `m` constraint rows over `ncols` structural +
@@ -323,9 +427,22 @@ impl Tableau {
     /// Gaussian pivot on `(r, c)`: make column `c` the unit vector
     /// `e_r` across all rows and the z-row.
     fn pivot(&mut self, r: usize, c: usize) {
+        self.pivot_capture(r, c, None);
+    }
+
+    /// [`Tableau::pivot`], optionally writing the **pre-pivot** values
+    /// of column `c` into `capture` (length `m`). The parametric walk
+    /// needs that column to push its side vectors through the same row
+    /// operations; capturing inside the pivot loop reuses the column
+    /// reads the elimination performs anyway instead of paying a
+    /// second strided scan.
+    fn pivot_capture(&mut self, r: usize, c: usize, mut capture: Option<&mut [f64]>) {
         let stride = self.ncols + 1;
         let piv = self.a[r * stride + c];
         debug_assert!(piv.abs() > EPS);
+        if let Some(cap) = capture.as_deref_mut() {
+            cap[r] = piv;
+        }
         let inv = 1.0 / piv;
         for v in &mut self.a[r * stride..(r + 1) * stride] {
             *v *= inv;
@@ -335,6 +452,12 @@ impl Tableau {
                 continue;
             }
             let f = self.a[i * stride + c];
+            if let Some(cap) = capture.as_deref_mut() {
+                // Record the *effective* multiplier: rows the
+                // elimination skips as numerically zero must be
+                // skipped identically by side-vector followers.
+                cap[i] = if f.abs() > EPS { f } else { 0.0 };
+            }
             if f.abs() > EPS {
                 for j in 0..stride {
                     self.a[i * stride + j] -= f * self.a[r * stride + j];
@@ -514,13 +637,246 @@ impl Tableau {
         }
     }
 
+    /// The engine of [`PreparedLp::parametric_rhs`]: walk `b + t·dir`
+    /// from the current RHS (`t = 0`) to `t_max`, pivoting exactly
+    /// once per breakpoint. See the public method for the contract.
+    fn parametric_walk(
+        &mut self,
+        costs: &[f64],
+        nvars: usize,
+        dir: &[(usize, f64)],
+        t_max: f64,
+    ) -> Result<RhsRay, LpError> {
+        let stride = self.ncols + 1;
+        // Internal (post-flip) per-row direction.
+        let mut d_int = vec![0.0; self.m];
+        for &(r, v) in dir {
+            assert!(r < self.m, "ray direction for nonexistent row {r}");
+            d_int[r] += if self.row_flipped[r] { -v } else { v };
+        }
+        let mut segments: Vec<RaySegment> = Vec::new();
+        let mut t = 0.0f64;
+        let max_pivots = 50 * (self.m + self.ncols).max(100);
+        let mut pivots = 0usize;
+        // Merge-aware segment emitter: zero-length intervals from
+        // degenerate pivots are dropped, and adjacent intervals that
+        // happen to share a slope fuse into one.
+        let push = |segments: &mut Vec<RaySegment>, t_lo: f64, t_hi: f64, v: f64, s: f64| {
+            if t_hi <= t_lo + 1e-12 * (1.0 + t_lo.abs()) && !segments.is_empty() {
+                // A zero-width (or float-noise-width) sliver: absorb
+                // it into the previous segment so callers never see
+                // empty intervals.
+                if let Some(last) = segments.last_mut() {
+                    last.t_hi = last.t_hi.max(t_hi);
+                }
+                return;
+            }
+            if let Some(last) = segments.last_mut() {
+                if last.t_hi <= last.t_lo {
+                    // A zero-length placeholder from a degenerate start
+                    // is superseded by the first real interval.
+                    *last = RaySegment {
+                        t_lo,
+                        t_hi,
+                        value_lo: v,
+                        slope: s,
+                    };
+                    return;
+                }
+                if (last.slope - s).abs() <= 1e-9 * (1.0 + s.abs()) {
+                    last.t_hi = t_hi;
+                    return;
+                }
+            }
+            segments.push(RaySegment {
+                t_lo,
+                t_hi,
+                value_lo: v,
+                slope: s,
+            });
+        };
+        // Dense side vectors maintained across pivots so the hot loop
+        // never scans a tableau *column* (strided access = one cache
+        // miss per row):
+        //
+        // * `beta = B⁻¹·d` — derived from the per-row unit columns
+        //   (same identity as `update_rhs`) once here and at a
+        //   periodic refresh, and otherwise pushed through each pivot
+        //   in O(m) (it transforms exactly like a tableau column);
+        // * `rhs` — a mirror of the basic values, advanced by
+        //   `step·β` per breakpoint and pivoted alongside. The real
+        //   RHS column in `a` receives the same updates (pivots touch
+        //   it as part of their row ops; step advances write it
+        //   explicitly) so the handle stays usable after the walk.
+        //
+        // The refresh bounds round-off accumulation in both vectors.
+        const REFRESH: usize = 50;
+        let recompute_beta = |tab: &Tableau, beta: &mut Vec<f64>| {
+            beta.clear();
+            beta.resize(tab.m, 0.0);
+            let active: Vec<(f64, usize)> = d_int
+                .iter()
+                .enumerate()
+                .filter(|&(_, &dr)| dr != 0.0)
+                .map(|(r, &dr)| (dr, tab.row_unit_col[r]))
+                .collect();
+            for (i, b) in beta.iter_mut().enumerate() {
+                let row = &tab.a[i * stride..(i + 1) * stride];
+                *b = active.iter().map(|&(dr, unit)| dr * row[unit]).sum();
+            }
+        };
+        let mirror_rhs = |tab: &Tableau, rhs: &mut Vec<f64>| {
+            rhs.clear();
+            rhs.extend((0..tab.m).map(|i| tab.a[i * stride + tab.ncols]));
+        };
+        let mut beta = Vec::new();
+        recompute_beta(self, &mut beta);
+        let mut rhs = Vec::new();
+        mirror_rhs(self, &mut rhs);
+        let mut col_c = vec![0.0; self.m];
+        // The objective is continuous and piecewise affine along the
+        // ray: track its value by continuity (`value += slope·step`),
+        // recomputing only the slope (dense, O(m)) after each pivot.
+        let slope_of = |tab: &Tableau, beta: &[f64]| -> f64 {
+            tab.basis
+                .iter()
+                .zip(beta)
+                .filter(|&(&b, _)| b < nvars)
+                .map(|(&b, &be)| costs[b] * be)
+                .sum()
+        };
+        let mut value: f64 = self
+            .basis
+            .iter()
+            .zip(&rhs)
+            .filter(|&(&b, _)| b < nvars)
+            .map(|(&b, &v)| costs[b] * v)
+            .sum();
+        let mut slope = slope_of(self, &beta);
+        loop {
+            // Largest step keeping every basic value non-negative,
+            // plus the degenerate-artificial guard: a basic artificial
+            // whose value would *rise* along the ray means the basis
+            // stops representing the real constraint set.
+            let mut step = f64::INFINITY;
+            let mut leave: Option<usize> = None;
+            for i in 0..self.m {
+                let be = beta[i];
+                if self.basis[i] >= self.art_start && be > EPS {
+                    return Err(LpError::WarmStartLost);
+                }
+                if be < -EPS {
+                    let ratio = (rhs[i] / -be).max(0.0);
+                    if ratio < step - EPS
+                        || (ratio < step + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]))
+                    {
+                        step = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let t_break = t + step;
+            if leave.is_none() || t_break >= t_max {
+                // The basis survives to the end of the requested range
+                // (or forever). Advance the RHS to t_max when finite.
+                let (t_hi, end) = if leave.is_none() && t_max.is_infinite() {
+                    (f64::INFINITY, RayEnd::Unbounded)
+                } else {
+                    (t_max, RayEnd::Capped)
+                };
+                if t_max.is_finite() {
+                    let dt = t_max - t;
+                    for (i, &be) in beta.iter().enumerate() {
+                        self.a[i * stride + self.ncols] =
+                            (self.a[i * stride + self.ncols] + dt * be).max(0.0);
+                    }
+                    for (r, &dr) in d_int.iter().enumerate() {
+                        self.b_int[r] += dt * dr;
+                    }
+                }
+                push(&mut segments, t, t_hi, value, slope);
+                return Ok(RhsRay {
+                    segments,
+                    end,
+                    pivots,
+                });
+            }
+            let r = leave.expect("checked above");
+            // Emit the segment ending at this breakpoint and advance
+            // the RHS (real column and mirror) to it, clamping the
+            // leaving row to exactly 0. Degenerate breakpoints
+            // (`step = 0`, common in chains of ties) advance nothing.
+            push(&mut segments, t, t_break, value, slope);
+            if step > 0.0 {
+                for i in 0..self.m {
+                    self.a[i * stride + self.ncols] += step * beta[i];
+                    rhs[i] += step * beta[i];
+                }
+                for (row, &dr) in d_int.iter().enumerate() {
+                    self.b_int[row] += step * dr;
+                }
+                value += slope * step;
+            }
+            self.a[r * stride + self.ncols] = 0.0;
+            rhs[r] = 0.0;
+            // Dual ratio test on the leaving row (artificials never
+            // re-enter). Row access is contiguous — cheap.
+            let mut enter: Option<(usize, f64)> = None;
+            for j in 0..self.art_start {
+                let arj = self.a[r * stride + j];
+                if arj < -EPS {
+                    let ratio = self.z[j] / -arj;
+                    if enter.is_none_or(|(_, best)| ratio < best - EPS) {
+                        enter = Some((j, ratio));
+                    }
+                }
+            }
+            let Some((c, _)) = enter else {
+                // No column can absorb the vanishing basic: the ray
+                // leaves the feasible region at this breakpoint.
+                return Ok(RhsRay {
+                    segments,
+                    end: RayEnd::Infeasible,
+                    pivots,
+                });
+            };
+            // Pivot, capturing the entering column on the way (the
+            // elimination reads it anyway), then push β and the RHS
+            // mirror through the same row operations.
+            self.pivot_capture(r, c, Some(&mut col_c));
+            t = t_break;
+            pivots += 1;
+            if pivots.is_multiple_of(REFRESH) {
+                recompute_beta(self, &mut beta);
+                mirror_rhs(self, &mut rhs);
+            } else {
+                let piv_inv = 1.0 / col_c[r];
+                let beta_r = beta[r] * piv_inv;
+                let rhs_r = rhs[r] * piv_inv;
+                for i in 0..self.m {
+                    if i != r && col_c[i] != 0.0 {
+                        beta[i] -= col_c[i] * beta_r;
+                        rhs[i] -= col_c[i] * rhs_r;
+                    }
+                }
+                beta[r] = beta_r;
+                rhs[r] = rhs_r;
+            }
+            slope = slope_of(self, &beta);
+            if pivots >= max_pivots {
+                return Err(LpError::IterationLimit);
+            }
+        }
+    }
+
     /// Dual simplex: restore primal feasibility of a dual-feasible
     /// basis (reduced costs ≥ 0) after an RHS perturbation. Usually a
     /// handful of pivots; no-op when the basis is still feasible.
     fn dual_simplex(&mut self, costs: &[f64]) -> Result<(), LpError> {
         let stride = self.ncols + 1;
         let max_iters = 50 * (self.m + self.ncols).max(100);
-        for _ in 0..max_iters {
+        for it in 0..max_iters {
             // Leaving row: most negative basic value.
             let mut leave: Option<(usize, f64)> = None;
             for i in 0..self.m {
@@ -530,6 +886,13 @@ impl Tableau {
                 }
             }
             let Some((r, _)) = leave else {
+                if it == 0 {
+                    // No pivot was needed at all: the basis, and with
+                    // it the reduced-cost row, is exactly what the
+                    // previous optimization left — still optimal. The
+                    // clean-up below would be a provable no-op.
+                    return Ok(());
+                }
                 // Primal feasible again. Reduced costs were kept
                 // non-negative by the ratio test, so this basis is
                 // optimal; a primal clean-up pass costs nothing when
@@ -801,6 +1164,108 @@ mod tests {
                 LpError::WarmStartLost | LpError::IterationLimit
             )),
         }
+    }
+
+    #[test]
+    fn parametric_ray_matches_pointwise_resolves() {
+        // min x + 2y s.t. x + y = 4, x ≤ cap: sweep cap = 1 + t.
+        // For cap ≤ 4 the optimum is cap·1 + (4−cap)·2 = 8 − cap
+        // (slope −1); beyond cap = 4 the cap row goes slack and the
+        // optimum is flat at 4 (slope 0). One breakpoint at t = 3.
+        let mut p = Problem::new(2);
+        p.set_objective(&[(0, 1.0), (1, 2.0)]);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 4.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        let (sol, mut prep) = p.solve_prepared().unwrap();
+        approx(sol.objective, 7.0);
+        let ray = prep.parametric_rhs(&[(1, 1.0)], f64::INFINITY).unwrap();
+        assert_eq!(ray.end, RayEnd::Unbounded);
+        assert_eq!(ray.segments.len(), 2, "{:?}", ray.segments);
+        approx(ray.segments[0].t_lo, 0.0);
+        approx(ray.segments[0].t_hi, 3.0);
+        approx(ray.segments[0].value_lo, 7.0);
+        approx(ray.segments[0].slope, -1.0);
+        approx(ray.segments[1].t_lo, 3.0);
+        assert_eq!(ray.segments[1].t_hi, f64::INFINITY);
+        approx(ray.segments[1].value_lo, 4.0);
+        approx(ray.segments[1].slope, 0.0);
+        // Pointwise agreement with independent cold solves.
+        for t in [0.0, 0.5, 1.5, 2.999, 3.0, 5.0, 40.0] {
+            let mut q = Problem::new(2);
+            q.set_objective(&[(0, 1.0), (1, 2.0)]);
+            q.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 4.0);
+            q.add_constraint(&[(0, 1.0)], Relation::Le, 1.0 + t);
+            approx(ray.value_at(t).unwrap(), q.solve().unwrap().objective);
+        }
+    }
+
+    #[test]
+    fn parametric_ray_detects_infeasible_end() {
+        // x ≥ 2, x ≤ 5 − t: infeasible once 5 − t < 2, i.e. t > 3.
+        let mut p = Problem::new(1);
+        p.set_objective(&[(0, 1.0)]);
+        p.add_constraint(&[(0, 1.0)], Relation::Ge, 2.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 5.0);
+        let (_, mut prep) = p.solve_prepared().unwrap();
+        let ray = prep.parametric_rhs(&[(1, -1.0)], f64::INFINITY).unwrap();
+        assert_eq!(ray.end, RayEnd::Infeasible);
+        let last = ray.segments.last().unwrap();
+        approx(last.t_hi, 3.0);
+        // The optimum is flat at 2 until the cap collides with the floor.
+        approx(ray.value_at(0.0).unwrap(), 2.0);
+        approx(ray.value_at(3.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn parametric_ray_capped_leaves_handle_usable() {
+        // Same LP as the pointwise test, capped at t = 1.5 (inside the
+        // first segment): the handle must end positioned at t_max and
+        // keep answering resolve_rhs correctly.
+        let mut p = Problem::new(2);
+        p.set_objective(&[(0, 1.0), (1, 2.0)]);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 4.0);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        let (_, mut prep) = p.solve_prepared().unwrap();
+        let ray = prep.parametric_rhs(&[(1, 1.0)], 1.5).unwrap();
+        assert_eq!(ray.end, RayEnd::Capped);
+        assert_eq!(ray.segments.len(), 1);
+        approx(ray.segments[0].t_hi, 1.5);
+        // Positioned at cap = 2.5 now; a further warm re-solve works.
+        approx(prep.solution().objective, 8.0 - 2.5);
+        let warm = prep.resolve_rhs(&[(1, 4.0)]).unwrap();
+        approx(warm.objective, 4.0);
+    }
+
+    #[test]
+    fn parametric_ray_multi_row_direction() {
+        // Two independent caps moving together: min x + y with
+        // x ≥ 3 − t? Use: min −x − y, x ≤ 1 + t, y ≤ 2 + 2t → optimum
+        // −(3 + 3t), single segment, slope −3.
+        let mut p = Problem::new(2);
+        p.set_objective(&[(0, -1.0), (1, -1.0)]);
+        p.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(&[(1, 1.0)], Relation::Le, 2.0);
+        let (sol, mut prep) = p.solve_prepared().unwrap();
+        approx(sol.objective, -3.0);
+        let ray = prep.parametric_rhs(&[(0, 1.0), (1, 2.0)], 10.0).unwrap();
+        assert_eq!(ray.end, RayEnd::Capped);
+        assert_eq!(ray.segments.len(), 1);
+        approx(ray.segments[0].slope, -3.0);
+        approx(ray.value_at(10.0).unwrap(), -33.0);
+    }
+
+    #[test]
+    fn parametric_ray_on_flipped_row() {
+        // −x ≤ −3 ⇔ x ≥ 3; raise the floor parametrically: min x with
+        // floor 3 + t → optimum 3 + t, slope +1.
+        let mut p = Problem::new(1);
+        p.set_objective(&[(0, 1.0)]);
+        p.add_constraint(&[(0, -1.0)], Relation::Le, -3.0);
+        let (_, mut prep) = p.solve_prepared().unwrap();
+        let ray = prep.parametric_rhs(&[(0, -1.0)], 4.0).unwrap();
+        assert_eq!(ray.segments.len(), 1);
+        approx(ray.segments[0].slope, 1.0);
+        approx(ray.value_at(4.0).unwrap(), 7.0);
     }
 
     #[test]

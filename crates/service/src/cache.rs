@@ -76,10 +76,30 @@ impl Default for CacheConfig {
 /// a re-keyed patch chain keeps one slot alive across entries.
 pub type WarmSlot = Arc<Mutex<Option<VddWarm>>>;
 
+/// A retained exact energy–deadline curve (protocol v3): the segments
+/// of the last `energy_curve {exact}` request against this entry, with
+/// the deadline factors they were computed for. A repeat request with
+/// the same factors is answered from here without touching the LP.
+#[derive(Debug, Clone)]
+pub struct CachedCurve {
+    /// The `lo` factor of the request that built the curve.
+    pub lo: f64,
+    /// The `hi` factor of the request that built the curve.
+    pub hi: f64,
+    /// The curve itself.
+    pub curve: Arc<reclaim_core::ExactCurve>,
+}
+
+/// The per-entry retained-curve slot. Unlike [`WarmSlot`], this never
+/// travels across patches — the curve's energies depend on the task
+/// weights, so **any** edit invalidates it.
+pub type CurveSlot = Arc<Mutex<Option<CachedCurve>>>;
+
 struct Entry {
     inst: Arc<PreparedInstance>,
     model: EnergyModel,
     warm: WarmSlot,
+    curve: CurveSlot,
     bytes: usize,
     last_used: u64,
 }
@@ -194,6 +214,7 @@ impl InstanceCache {
                         inst: Arc::clone(&built),
                         model: model.clone(),
                         warm: Arc::new(Mutex::new(None)),
+                        curve: Arc::new(Mutex::new(None)),
                         bytes,
                         last_used: tick,
                     },
@@ -211,6 +232,14 @@ impl InstanceCache {
     pub fn warm_slot(&self, key: u128) -> Option<WarmSlot> {
         let inner = self.inner.lock().expect("cache lock poisoned");
         inner.map.get(&key).map(|e| Arc::clone(&e.warm))
+    }
+
+    /// The retained-curve slot of an entry, if the entry is live. The
+    /// daemon parks the last exact energy–deadline curve here so
+    /// repeat requests are answered without re-walking the LP.
+    pub fn curve_slot(&self, key: u128) -> Option<CurveSlot> {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        inner.map.get(&key).map(|e| Arc::clone(&e.curve))
     }
 
     /// Apply an edit batch to the cached instance `base`, re-keying
@@ -283,6 +312,9 @@ impl InstanceCache {
                         inst: Arc::clone(&inst),
                         model: model.clone(),
                         warm: Arc::clone(&warm),
+                        // Never carried over: curve energies depend on
+                        // the weights every patch may have changed.
+                        curve: Arc::new(Mutex::new(None)),
                         bytes,
                         last_used: tick,
                     },

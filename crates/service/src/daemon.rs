@@ -27,10 +27,11 @@
 //! after shutdown keep their reader thread alive until they close —
 //! send `shutdown` last, as `reclaim ask --shutdown` does.
 
-use crate::cache::{CacheConfig, InstanceCache, PatchError};
+use crate::cache::{CacheConfig, CachedCurve, InstanceCache, PatchError};
 use crate::proto::{
-    read_frame, write_frame, ErrorBody, ErrorKind, PatchReport, Request, RequestEnvelope, Response,
-    ResponseEnvelope, SolveReport, StatsReport, WorkerStatsReport, MIN_PROTOCOL_VERSION,
+    read_frame, write_frame, CurveExactReport, ErrorBody, ErrorKind, PatchReport, Request,
+    RequestEnvelope, Response, ResponseEnvelope, SolveReport, StatsReport, WorkerStatsReport,
+    MIN_PROTOCOL_VERSION,
 };
 use models::{EnergyModel, PowerLaw};
 use reclaim_core::engine::content_key;
@@ -212,6 +213,7 @@ struct WorkerCounters {
     requests: AtomicU64,
     solves: AtomicU64,
     solve_ns: AtomicU64,
+    warm_lost: AtomicU64,
 }
 
 struct State {
@@ -405,7 +407,15 @@ fn worker_loop(
         state.workers[worker_id]
             .requests
             .fetch_add(1, Ordering::Relaxed);
+        // The engine's warm-loss counter is thread-local and this
+        // worker is one thread: the delta across the request is
+        // exactly this request's cold retries.
+        let warm_before = reclaim_core::engine::profiling::counts();
         let (resp, stop) = handle_payload(&job.payload, worker_id, state, &engine);
+        let warm_delta = reclaim_core::engine::profiling::counts() - warm_before;
+        state.workers[worker_id]
+            .warm_lost
+            .fetch_add(warm_delta.warm_lost, Ordering::Relaxed);
         if let Ok(mut w) = job.writer.lock() {
             // A vanished client is not a daemon error.
             let _ = write_frame(&mut *w, &resp.encode());
@@ -486,20 +496,25 @@ fn handle_payload(
             points,
             lo,
             hi,
+            exact,
         } => {
-            let (inst, _, _, _) = prepare(state, graph, &model);
+            let (inst, _, _, key) = prepare(state, graph, &model);
             let t0 = Instant::now();
-            let result = engine.energy_curve(&inst.view(), &model, points, lo, hi);
+            let result = if exact {
+                curve_exact_one(state, engine, &inst, &model, lo, hi, key)
+            } else {
+                engine
+                    .energy_curve(&inst.view(), &model, points, lo, hi)
+                    .map(|curve| {
+                        Response::Curve(curve.iter().map(|p| (p.deadline, p.energy)).collect())
+                    })
+                    .unwrap_or_else(|e| Response::Error(ErrorBody::from(&e)))
+            };
             counters
                 .solve_ns
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             counters.solves.fetch_add(1, Ordering::Relaxed);
-            match result {
-                Ok(curve) => {
-                    Response::Curve(curve.iter().map(|p| (p.deadline, p.energy)).collect())
-                }
-                Err(e) => Response::Error(ErrorBody::from(&e)),
-            }
+            result
         }
         Request::Batch { model, jobs } => Response::Batch(
             jobs.into_iter()
@@ -517,6 +532,7 @@ fn handle_payload(
                     requests: w.requests.load(Ordering::Relaxed),
                     solves: w.solves.load(Ordering::Relaxed),
                     solve_ns: w.solve_ns.load(Ordering::Relaxed),
+                    warm_lost: w.warm_lost.load(Ordering::Relaxed),
                 })
                 .collect(),
         }),
@@ -620,13 +636,33 @@ fn prepare(
     (inst, hit, prep_ns, key)
 }
 
-/// Solve with the entry's Vdd warm slot, **without** holding its lock
-/// across the solve: the handle is taken under a short lock, the LP
-/// runs unlocked (a concurrent solve of the same key just runs cold —
-/// wasted work, never serialization), and the refreshed handle is put
-/// back afterwards (last writer wins). A poisoned slot is reclaimed
-/// rather than propagated — the handle inside is either intact or
-/// `None`, and either is a valid starting point.
+/// Run `f` with the entry's Vdd warm handle taken out of its slot,
+/// **without** holding the lock across the work: the handle is taken
+/// under a short lock, the LP runs unlocked (a concurrent solve of the
+/// same key just runs cold — wasted work, never serialization), and
+/// the refreshed handle is put back afterwards (last writer wins). A
+/// poisoned slot is reclaimed rather than propagated — the handle
+/// inside is either intact or `None`, and either is a valid starting
+/// point.
+fn with_warm_slot<T>(
+    slot: &crate::cache::WarmSlot,
+    f: impl FnOnce(&mut Option<reclaim_core::engine::VddWarm>) -> T,
+) -> T {
+    let mut warm = match slot.lock() {
+        Ok(mut guard) => guard.take(),
+        Err(poisoned) => poisoned.into_inner().take(),
+    };
+    let out = f(&mut warm);
+    if let Some(handle) = warm {
+        match slot.lock() {
+            Ok(mut guard) => *guard = Some(handle),
+            Err(poisoned) => *poisoned.into_inner() = Some(handle),
+        }
+    }
+    out
+}
+
+/// Solve through the entry's Vdd warm slot (see [`with_warm_slot`]).
 fn solve_with_slot(
     engine: &Engine,
     inst: &PreparedInstance,
@@ -634,18 +670,71 @@ fn solve_with_slot(
     deadline: f64,
     slot: &crate::cache::WarmSlot,
 ) -> Result<reclaim_core::Solution, reclaim_core::SolveError> {
-    let mut warm = match slot.lock() {
-        Ok(mut guard) => guard.take(),
-        Err(poisoned) => poisoned.into_inner().take(),
-    };
-    let result = engine.solve_warm(&inst.view(), model, deadline, &mut warm);
-    if let Some(handle) = warm {
-        match slot.lock() {
-            Ok(mut guard) => *guard = Some(handle),
-            Err(poisoned) => *poisoned.into_inner() = Some(handle),
+    with_warm_slot(slot, |warm| {
+        engine.solve_warm(&inst.view(), model, deadline, warm)
+    })
+}
+
+/// Handle one v3 exact `energy_curve`: serve the cached instance's
+/// retained curve when the deadline factors match (near-free repeat),
+/// otherwise walk it — through the entry's retained Vdd LP basis, so
+/// an instance the daemon has solved before skips the cold two-phase
+/// LP — and retain the result in the entry's curve slot.
+fn curve_exact_one(
+    state: &State,
+    engine: &Engine,
+    inst: &PreparedInstance,
+    model: &EnergyModel,
+    lo: f64,
+    hi: f64,
+    key: u128,
+) -> Response {
+    let slot = state.cache.curve_slot(key);
+    if let Some(slot) = &slot {
+        let guard = match slot.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(c) = guard.as_ref() {
+            if c.lo == lo && c.hi == hi {
+                return Response::CurveExact(CurveExactReport {
+                    segments: c.curve.segments.clone(),
+                    exact: c.curve.exact,
+                    cached_curve: true,
+                });
+            }
         }
     }
-    result
+    let result = match state.cache.warm_slot(key) {
+        Some(warm_slot) if matches!(model, EnergyModel::VddHopping(_)) => {
+            with_warm_slot(&warm_slot, |warm| {
+                engine.energy_curve_exact_warm(&inst.view(), model, lo, hi, warm)
+            })
+        }
+        _ => engine.energy_curve_exact(&inst.view(), model, lo, hi),
+    };
+    match result {
+        Ok(curve) => {
+            let curve = Arc::new(curve);
+            if let Some(slot) = &slot {
+                let cached = CachedCurve {
+                    lo,
+                    hi,
+                    curve: Arc::clone(&curve),
+                };
+                match slot.lock() {
+                    Ok(mut guard) => *guard = Some(cached),
+                    Err(poisoned) => *poisoned.into_inner() = Some(cached),
+                }
+            }
+            Response::CurveExact(CurveExactReport {
+                segments: curve.segments.clone(),
+                exact: curve.exact,
+                cached_curve: false,
+            })
+        }
+        Err(e) => Response::Error(ErrorBody::from(&e)),
+    }
 }
 
 fn solve_one(

@@ -23,14 +23,16 @@
 //! out of order), and a `"type"` tag. Responses carry `"ok"` plus
 //! either a typed `"result"` or an `"error"` object.
 //!
-//! This build speaks versions **1 and 2** ([`MIN_PROTOCOL_VERSION`]
+//! This build speaks versions **1 through 3** ([`MIN_PROTOCOL_VERSION`]
 //! ..= [`PROTOCOL_VERSION`]). Negotiation is per request: the server
 //! accepts any version in that range, answers with the version the
 //! request used, and rejects anything else with an
 //! [`ErrorKind::Protocol`] error naming the supported range. The only
-//! v2 request is `patch` — sending it under `"v": 1` is a protocol
-//! error, so a v1-only intermediary never sees half-understood
-//! traffic.
+//! v2 request is `patch`, and the only v3 feature is the
+//! `"exact": true` flag on `energy_curve` (closed-form segments
+//! instead of samples) — sending either under an older `"v"` is a
+//! protocol error, so an old-only intermediary never sees
+//! half-understood traffic.
 //!
 //! A worked request/response pair (docs/PROTOCOL.md walks the same
 //! exchange byte by byte):
@@ -60,7 +62,7 @@ use taskgraph::edit::GraphEdit;
 use taskgraph::TaskGraph;
 
 /// The newest protocol version this build speaks.
-pub const PROTOCOL_VERSION: u64 = 2;
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// The oldest protocol version this build still accepts.
 pub const MIN_PROTOCOL_VERSION: u64 = 1;
@@ -301,18 +303,27 @@ pub enum Request {
         /// The deadlines, solved in order.
         deadlines: Vec<f64>,
     },
-    /// Sample the energy–deadline curve (see `Engine::energy_curve`).
+    /// Sample the energy–deadline curve (see `Engine::energy_curve`),
+    /// or — with `exact` set, **v3** — return it as closed-form
+    /// segments (`Engine::energy_curve_exact`): the daemon keeps the
+    /// computed ray with the cached instance, so repeat exact-curve
+    /// requests are near-free.
     EnergyCurve {
         /// The execution graph.
         graph: TaskGraph,
         /// The energy model.
         model: EnergyModel,
         /// Number of geometrically spaced sample points (≥ 2).
+        /// Ignored when `exact` is set (the breakpoint walk picks its
+        /// own resolution).
         points: usize,
         /// Low deadline factor.
         lo: f64,
         /// High deadline factor.
         hi: f64,
+        /// Request exact closed-form segments instead of samples
+        /// (protocol v3).
+        exact: bool,
     },
     /// Solve many `(graph, deadline)` jobs under one model.
     Batch {
@@ -347,6 +358,7 @@ impl Request {
     pub fn min_version(&self) -> u64 {
         match self {
             Request::Patch { .. } => 2,
+            Request::EnergyCurve { exact: true, .. } => 3,
             _ => MIN_PROTOCOL_VERSION,
         }
     }
@@ -645,6 +657,7 @@ impl RequestEnvelope {
                 points,
                 lo,
                 hi,
+                exact,
             } => {
                 pairs.push(("type".into(), Json::str("energy_curve")));
                 pairs.push(("graph".into(), graph_to_json(graph)));
@@ -652,6 +665,11 @@ impl RequestEnvelope {
                 pairs.push(("points".into(), Json::num(*points as f64)));
                 pairs.push(("lo".into(), Json::num(*lo)));
                 pairs.push(("hi".into(), Json::num(*hi)));
+                if *exact {
+                    // Omitted when false so v1/v2 wire bytes are
+                    // unchanged.
+                    pairs.push(("exact".into(), Json::Bool(true)));
+                }
             }
             Request::Batch { model, jobs } => {
                 pairs.push(("type".into(), Json::str("batch")));
@@ -757,6 +775,7 @@ impl RequestEnvelope {
                     as usize,
                 lo: num("lo")?,
                 hi: num("hi")?,
+                exact: v.get("exact").and_then(Json::as_bool).unwrap_or(false),
             },
             "batch" => Request::Batch {
                 model: model()?,
@@ -838,6 +857,20 @@ pub struct SolveReport {
     pub worker: u64,
 }
 
+/// An exact energy–deadline curve, as reported on the wire (v3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurveExactReport {
+    /// Contiguous closed-form segments in increasing deadline order
+    /// ([`reclaim_core::CurveSegment`]).
+    pub segments: Vec<reclaim_core::CurveSegment>,
+    /// Whether every segment is an exact closed form (Vdd, unbounded
+    /// Continuous) as opposed to adaptively refined interpolation.
+    pub exact: bool,
+    /// Whether the daemon served the curve from the cached instance's
+    /// retained ray (a repeat request — near-free).
+    pub cached_curve: bool,
+}
+
 /// The result of one `patch`, as reported on the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PatchReport {
@@ -888,6 +921,10 @@ pub struct WorkerStatsReport {
     pub solves: u64,
     /// Total nanoseconds in `Engine::solve`-family calls.
     pub solve_ns: u64,
+    /// Warm-start states (Vdd LP bases) this worker lost to cold
+    /// retries ([`reclaim_core::engine::profiling`]): non-zero means
+    /// sweeps or patches silently paid for cold re-solves.
+    pub warm_lost: u64,
 }
 
 /// The `stats` response body.
@@ -910,6 +947,9 @@ pub enum Response {
     /// Answer to [`Request::EnergyCurve`]: `(deadline, energy)`
     /// samples (infeasible points are skipped, as in the engine).
     Curve(Vec<(f64, f64)>),
+    /// Answer to a v3 [`Request::EnergyCurve`] with `exact` set:
+    /// closed-form segments.
+    CurveExact(CurveExactReport),
     /// Answer to [`Request::Batch`]: one entry per job, in order.
     Batch(Vec<Result<SolveReport, ErrorBody>>),
     /// Answer to [`Request::Patch`] (v2).
@@ -971,6 +1011,83 @@ fn report_from_json(v: &Json) -> Result<SolveReport, ErrorBody> {
             .and_then(Json::as_bool)
             .ok_or_else(|| bad("solve report missing \"cached\""))?,
         worker: u("worker")?,
+    })
+}
+
+fn segment_to_json(s: &reclaim_core::CurveSegment) -> Json {
+    use reclaim_core::CurveEnergy;
+    let mut pairs = vec![
+        ("lo".into(), Json::num(s.deadline_lo)),
+        ("hi".into(), Json::num(s.deadline_hi)),
+    ];
+    match s.energy {
+        CurveEnergy::Affine { a, b } => {
+            pairs.push(("form".into(), Json::str("affine")));
+            pairs.push(("a".into(), Json::num(a)));
+            pairs.push(("b".into(), Json::num(b)));
+        }
+        CurveEnergy::Power { c, p } => {
+            pairs.push(("form".into(), Json::str("power")));
+            pairs.push(("c".into(), Json::num(c)));
+            pairs.push(("p".into(), Json::num(p)));
+        }
+    }
+    Json::Obj(pairs)
+}
+
+fn segment_from_json(v: &Json) -> Result<reclaim_core::CurveSegment, ErrorBody> {
+    use reclaim_core::CurveEnergy;
+    let f = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad(format!("curve segment missing \"{name}\"")))
+    };
+    let energy = match v.get("form").and_then(Json::as_str) {
+        Some("affine") => CurveEnergy::Affine {
+            a: f("a")?,
+            b: f("b")?,
+        },
+        Some("power") => CurveEnergy::Power {
+            c: f("c")?,
+            p: f("p")?,
+        },
+        other => return Err(bad(format!("unknown segment form {other:?}"))),
+    };
+    Ok(reclaim_core::CurveSegment {
+        deadline_lo: f("lo")?,
+        deadline_hi: f("hi")?,
+        energy,
+    })
+}
+
+fn curve_exact_to_json(c: &CurveExactReport) -> Json {
+    Json::Obj(vec![
+        ("exact".into(), Json::Bool(c.exact)),
+        ("cached_curve".into(), Json::Bool(c.cached_curve)),
+        (
+            "segments".into(),
+            Json::Arr(c.segments.iter().map(segment_to_json).collect()),
+        ),
+    ])
+}
+
+fn curve_exact_from_json(v: &Json) -> Result<CurveExactReport, ErrorBody> {
+    Ok(CurveExactReport {
+        segments: v
+            .get("segments")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("exact curve missing \"segments\""))?
+            .iter()
+            .map(segment_from_json)
+            .collect::<Result<_, _>>()?,
+        exact: v
+            .get("exact")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| bad("exact curve missing \"exact\""))?,
+        cached_curve: v
+            .get("cached_curve")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
     })
 }
 
@@ -1066,6 +1183,7 @@ impl ResponseEnvelope {
                                 .collect(),
                         ),
                     ),
+                    Response::CurveExact(c) => ("energy_curve", curve_exact_to_json(c)),
                     Response::Batch(items) => {
                         ("batch", Json::Arr(items.iter().map(item_to_json).collect()))
                     }
@@ -1140,6 +1258,11 @@ impl ResponseEnvelope {
                     Response::Deadlines(items)
                 }
             }
+            // A sampled curve is an array of points; an exact curve is
+            // an object carrying closed-form segments (v3).
+            "energy_curve" if result.as_arr().is_none() => {
+                Response::CurveExact(curve_exact_from_json(result)?)
+            }
             "energy_curve" => Response::Curve(
                 result
                     .as_arr()
@@ -1207,6 +1330,7 @@ fn stats_to_json(s: &StatsReport) -> Json {
                             ("requests".into(), Json::num(w.requests as f64)),
                             ("solves".into(), Json::num(w.solves as f64)),
                             ("solve_ns".into(), Json::num(w.solve_ns as f64)),
+                            ("warm_lost".into(), Json::num(w.warm_lost as f64)),
                         ])
                     })
                     .collect(),
@@ -1252,6 +1376,8 @@ fn stats_from_json(v: &Json) -> Result<StatsReport, ErrorBody> {
                     requests: wu("requests")?,
                     solves: wu("solves")?,
                     solve_ns: wu("solve_ns")?,
+                    // Absent from pre-v3 daemons: default to zero.
+                    warm_lost: w.get("warm_lost").and_then(Json::as_u64).unwrap_or(0),
                 })
             })
             .collect::<Result<_, ErrorBody>>()?,
@@ -1285,6 +1411,15 @@ mod tests {
                 points: 8,
                 lo: 1.05,
                 hi: 4.0,
+                exact: false,
+            },
+            Request::EnergyCurve {
+                graph: graph(),
+                model: EnergyModel::VddHopping(DiscreteModes::new(&[1.0, 2.0]).unwrap()),
+                points: 8,
+                lo: 1.05,
+                hi: 4.0,
+                exact: true,
             },
             Request::Batch {
                 model: EnergyModel::VddHopping(DiscreteModes::new(&[0.5, 1.5]).unwrap()),
@@ -1361,6 +1496,22 @@ mod tests {
             Response::Solve(report.clone()),
             Response::Deadlines(vec![Ok(report.clone()), Err(infeasible.clone())]),
             Response::Curve(vec![(4.0, 10.0), (8.0, 2.5)]),
+            Response::CurveExact(CurveExactReport {
+                segments: vec![
+                    reclaim_core::CurveSegment {
+                        deadline_lo: 2.0,
+                        deadline_hi: 3.5,
+                        energy: reclaim_core::CurveEnergy::Affine { a: 40.0, b: -8.0 },
+                    },
+                    reclaim_core::CurveSegment {
+                        deadline_lo: 3.5,
+                        deadline_hi: 8.0,
+                        energy: reclaim_core::CurveEnergy::Power { c: 96.0, p: 2.0 },
+                    },
+                ],
+                exact: true,
+                cached_curve: true,
+            }),
             Response::Patch(PatchReport {
                 report: report.clone(),
                 key: 0xdead_beef_0123_4567_89ab_cdef_0000_0001,
@@ -1383,6 +1534,7 @@ mod tests {
                         requests: 5,
                         solves: 9,
                         solve_ns: 777,
+                        warm_lost: 2,
                     },
                     WorkerStatsReport::default(),
                 ],
@@ -1403,22 +1555,55 @@ mod tests {
 
     #[test]
     fn unknown_version_rejected_known_range_accepted() {
-        // Both live versions decode…
-        for v in [1, 2] {
+        // All live versions decode…
+        for v in [1, 2, 3] {
             let payload = format!(r#"{{"v":{v},"id":1,"type":"stats"}}"#);
             let env = RequestEnvelope::decode(&payload).unwrap();
             assert_eq!(env.version, v);
         }
         // …anything newer (or missing) is a protocol error.
-        let payload = r#"{"v":3,"id":1,"type":"stats"}"#;
+        let payload = r#"{"v":4,"id":1,"type":"stats"}"#;
         let e = RequestEnvelope::decode(payload).unwrap_err();
         assert_eq!(e.kind, ErrorKind::Protocol);
-        assert!(e.message.contains("version 3"), "{}", e.message);
+        assert!(e.message.contains("version 4"), "{}", e.message);
         let none = r#"{"id":1,"type":"stats"}"#;
         assert_eq!(
             RequestEnvelope::decode(none).unwrap_err().kind,
             ErrorKind::Protocol
         );
+    }
+
+    #[test]
+    fn exact_curve_needs_v3_plain_curve_rides_v1() {
+        let plain = Request::EnergyCurve {
+            graph: graph(),
+            model: EnergyModel::continuous_unbounded(),
+            points: 8,
+            lo: 1.05,
+            hi: 4.0,
+            exact: false,
+        };
+        assert_eq!(RequestEnvelope::new(1, plain.clone()).version, 1);
+        // The false flag is omitted on the wire: v1 bytes unchanged.
+        assert!(!RequestEnvelope::new(1, plain).encode().contains("exact"));
+        let exact = Request::EnergyCurve {
+            graph: graph(),
+            model: EnergyModel::continuous_unbounded(),
+            points: 8,
+            lo: 1.05,
+            hi: 4.0,
+            exact: true,
+        };
+        assert_eq!(RequestEnvelope::new(1, exact.clone()).version, 3);
+        // An exact request forced into an older envelope is rejected.
+        let bogus = RequestEnvelope {
+            version: 2,
+            id: 1,
+            request: exact,
+        };
+        let e = RequestEnvelope::decode(&bogus.encode()).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Protocol);
+        assert!(e.message.contains("requires protocol version 3"), "{e}");
     }
 
     #[test]

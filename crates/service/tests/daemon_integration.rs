@@ -312,6 +312,7 @@ fn sweep_batch_and_structured_errors() {
             points: 6,
             lo: 1.1,
             hi: 3.0,
+            exact: false,
         })
         .unwrap()
         .response;
@@ -335,6 +336,118 @@ fn sweep_batch_and_structured_errors() {
     assert_eq!(items.len(), 3);
     assert!(items[0].is_ok() && items[2].is_ok());
     assert_eq!(items[1].as_ref().unwrap_err().kind, ErrorKind::Infeasible);
+
+    daemon.shutdown(client);
+}
+
+/// The v3 exact energy_curve path, end to end: closed-form segments
+/// that agree with the sampled curve pointwise, a retained ray that
+/// answers the repeat request as `cached_curve`, and a patch that
+/// invalidates it (the weights changed, so the old curve is wrong).
+#[test]
+fn exact_curve_over_the_wire_with_retained_ray() {
+    use models::DiscreteModes;
+    use reclaim_core::engine::content_key;
+    use reclaim_service::proto::CurveExactReport;
+    use taskgraph::edit::GraphEdit;
+
+    let daemon = Spawned::new("exactcurve", &[]);
+    let mut client = daemon.client();
+    let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+    let modes = DiscreteModes::new(&[0.8, 1.6, 2.4]).unwrap();
+    let model = EnergyModel::VddHopping(modes);
+    let (lo, hi) = (1.05, 3.0);
+    let curve_req = |exact: bool| Request::EnergyCurve {
+        graph: g.clone(),
+        model: model.clone(),
+        points: 8,
+        lo,
+        hi,
+        exact,
+    };
+    let expect_exact = |resp: Response| -> CurveExactReport {
+        match resp {
+            Response::CurveExact(c) => c,
+            other => panic!("expected an exact curve, got {other:?}"),
+        }
+    };
+
+    let first = expect_exact(client.roundtrip(curve_req(true)).unwrap().response);
+    assert!(first.exact, "Vdd curves are exact closed forms");
+    assert!(!first.cached_curve, "first request computes");
+    assert!(!first.segments.is_empty());
+    for w in first.segments.windows(2) {
+        assert!(
+            (w[0].deadline_hi - w[1].deadline_lo).abs() <= 1e-9 * (1.0 + w[0].deadline_hi),
+            "segments must be contiguous"
+        );
+    }
+
+    // The sampled curve (same instance, same range) agrees pointwise.
+    let resp = client.roundtrip(curve_req(false)).unwrap().response;
+    let Response::Curve(points) = resp else {
+        panic!("expected a sampled curve");
+    };
+    let curve = reclaim_core::ExactCurve {
+        segments: first.segments.clone(),
+        exact: first.exact,
+        stats: Default::default(),
+    };
+    for &(d, e) in &points {
+        let exact = curve.energy_at(d).expect("sampled point inside range");
+        assert!(
+            (exact - e).abs() <= 1e-6 * (1.0 + e),
+            "exact {exact} vs sampled {e} at D = {d}"
+        );
+    }
+
+    // Repeat request: served from the retained ray.
+    let again = expect_exact(client.roundtrip(curve_req(true)).unwrap().response);
+    assert!(again.cached_curve, "repeat must be served from the slot");
+    assert_eq!(again.segments, first.segments);
+
+    // A weight patch re-keys the entry; the retained curve must not
+    // survive onto the patched instance.
+    let base = content_key(&g, &model);
+    let resp = client
+        .patch(
+            base,
+            &[GraphEdit::SetWeight {
+                task: 1,
+                weight: 4.0,
+            }],
+            6.0,
+        )
+        .unwrap()
+        .response;
+    let Response::Patch(_) = resp else {
+        panic!("expected a patch response, got {resp:?}");
+    };
+    let (g2, _) = taskgraph::edit::apply_edits(
+        &g,
+        &[GraphEdit::SetWeight {
+            task: 1,
+            weight: 4.0,
+        }],
+    )
+    .unwrap();
+    let fresh = expect_exact(
+        client
+            .roundtrip(Request::EnergyCurve {
+                graph: g2,
+                model: model.clone(),
+                points: 8,
+                lo,
+                hi,
+                exact: true,
+            })
+            .unwrap()
+            .response,
+    );
+    assert!(
+        !fresh.cached_curve,
+        "patched instance must recompute its curve"
+    );
 
     daemon.shutdown(client);
 }

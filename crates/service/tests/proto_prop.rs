@@ -61,6 +61,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 points,
                 lo: 1.05,
                 hi: 4.0,
+                exact: points % 2 == 0,
             }
         }),
         (

@@ -1,0 +1,165 @@
+//! Property tests for `Engine::energy_curve_exact`: the closed-form
+//! curve must agree with the sampled `Engine::energy_curve` / pointwise
+//! solves across all four energy models × chain/fork/SP shapes, and
+//! its segments must tile the deadline range monotonically.
+//!
+//! Tolerances per model:
+//!
+//! * Vdd-Hopping and unbounded Continuous are **exact** paths
+//!   (parametric LP ray, scaling law): pointwise equality to 1e-6.
+//! * Discrete / Incremental / capped Continuous are adaptively
+//!   sampled: any deadline's interpolated energy provably lies
+//!   between the true energies at its segment's endpoints (the curve
+//!   is non-increasing), up to the model's approximation ratio `ρ`
+//!   when the round-up paths are in play (warm- and cold-started
+//!   relaxations may round a borderline speed to different grid
+//!   modes): `E(seg.hi)/ρ ≤ value ≤ E(seg.lo)·ρ`.
+
+use proptest::prelude::*;
+use reclaim::core::{incremental, Engine};
+use reclaim::models::{DiscreteModes, EnergyModel, IncrementalModes, PowerLaw};
+use reclaim::taskgraph::{generators, PreparedGraph, TaskGraph};
+
+const P: PowerLaw = PowerLaw::CUBIC;
+const LO: f64 = 1.05;
+const HI: f64 = 3.0;
+
+/// All four models over a 2.0 top speed; each with the tolerance ratio
+/// `ρ` its curve values are certified to.
+fn models_with_ratio() -> Vec<(EnergyModel, f64)> {
+    let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0]).unwrap();
+    let inc = IncrementalModes::new(0.5, 2.0, 0.5).unwrap();
+    let k = reclaim::core::SolveOptions::default().precision_k;
+    let rho_inc = incremental::approx_bound(&inc, P, k);
+    vec![
+        (EnergyModel::continuous_unbounded(), 1.0 + 1e-6),
+        (EnergyModel::VddHopping(modes.clone()), 1.0 + 1e-6),
+        // Small graphs take the exact BnB path in both worlds.
+        (EnergyModel::Discrete(modes), 1.0 + 1e-6),
+        (EnergyModel::Incremental(inc), rho_inc),
+    ]
+}
+
+/// Chain, fork, or series–parallel — the shapes the issue names.
+fn shape(family: usize, seed: u64) -> TaskGraph {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    match family {
+        0 => generators::chain(&generators::random_weights(5, 0.5, 3.0, &mut rng)),
+        1 => generators::fork(1.0, &generators::random_weights(4, 0.5, 3.0, &mut rng)),
+        _ => generators::random_sp(7, 0.5, 0.5, 3.0, &mut rng).0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// 32 random deadlines per (model × shape): the exact curve's value
+    /// matches a pointwise engine solve within the model's ratio.
+    #[test]
+    fn exact_curve_matches_pointwise_solves(family in 0usize..3, seed in any::<u64>()) {
+        let g = shape(family, seed);
+        let engine = Engine::new(P);
+        for (model, rho) in models_with_ratio() {
+            let prep = PreparedGraph::new(&g);
+            let curve = engine.energy_curve_exact(&prep, &model, LO, HI).unwrap();
+            let (d0, d1) = (curve.deadline_lo(), curve.deadline_hi());
+            prop_assert!(d0 < d1, "{}", model.name());
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+            for _ in 0..32 {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let d = d0 * (d1 / d0).powf(u);
+                let val = curve.energy_at(d).expect("inside the covered range");
+                if rho <= 1.0 + 1e-5 && curve.exact {
+                    // Exact paths: direct pointwise equality.
+                    let direct = engine.solve(&prep, &model, d).unwrap().energy;
+                    prop_assert!(
+                        (val - direct).abs() <= 1e-6 * (1.0 + direct),
+                        "{}: exact {val} vs solve {direct} at D = {d}", model.name()
+                    );
+                } else {
+                    // Sampled fallback: sandwich between the true
+                    // energies at the covering segment's endpoints
+                    // (the optimum is non-increasing in D), widened by
+                    // the model's approximation ratio.
+                    let seg = curve.segment_at(d).expect("segment covers d");
+                    let hi_true = engine.solve(&prep, &model, seg.deadline_lo).unwrap().energy;
+                    let lo_true = engine.solve(&prep, &model, seg.deadline_hi).unwrap().energy;
+                    prop_assert!(
+                        val <= hi_true * rho * (1.0 + 1e-6)
+                            && val >= lo_true / rho * (1.0 - 1e-6),
+                        "{}: {val} outside [{lo_true}/ρ, {hi_true}·ρ] (ρ = {rho}) at D = {d}",
+                        model.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The exact Vdd curve equals the sampled `energy_curve` at every
+    /// one of its grid points (the satellite's literal statement), and
+    /// so does the unbounded-Continuous scaling-law segment.
+    #[test]
+    fn exact_curve_matches_energy_curve_grid(family in 0usize..3, seed in any::<u64>()) {
+        let g = shape(family, seed);
+        let engine = Engine::new(P);
+        let modes = DiscreteModes::new(&[0.5, 1.0, 1.5, 2.0]).unwrap();
+        for model in [
+            EnergyModel::continuous_unbounded(),
+            EnergyModel::VddHopping(modes),
+        ] {
+            let prep = PreparedGraph::new(&g);
+            let curve = engine.energy_curve_exact(&prep, &model, LO, HI).unwrap();
+            prop_assert!(curve.exact, "{}", model.name());
+            let sampled = engine.energy_curve(&prep, &model, 16, LO, HI).unwrap();
+            for pt in &sampled {
+                let Some(val) = curve.energy_at(pt.deadline) else { continue };
+                prop_assert!(
+                    (val - pt.energy).abs() <= 1e-6 * (1.0 + pt.energy),
+                    "{}: exact {val} vs sampled {} at D = {}",
+                    model.name(), pt.energy, pt.deadline
+                );
+            }
+        }
+    }
+
+    /// Structural invariants for every model: segments tile the range
+    /// contiguously with strictly increasing boundaries, and the curve
+    /// is non-increasing across segment boundaries.
+    #[test]
+    fn segments_are_monotone_and_contiguous(family in 0usize..3, seed in any::<u64>()) {
+        let g = shape(family, seed);
+        let engine = Engine::new(P);
+        for (model, rho) in models_with_ratio() {
+            let prep = PreparedGraph::new(&g);
+            let curve = engine.energy_curve_exact(&prep, &model, LO, HI).unwrap();
+            prop_assert!(!curve.segments.is_empty(), "{}", model.name());
+            for s in &curve.segments {
+                prop_assert!(
+                    s.deadline_lo < s.deadline_hi,
+                    "{}: empty segment [{}, {}]", model.name(), s.deadline_lo, s.deadline_hi
+                );
+            }
+            for w in curve.segments.windows(2) {
+                prop_assert!(
+                    (w[0].deadline_hi - w[1].deadline_lo).abs()
+                        <= 1e-9 * (1.0 + w[0].deadline_hi),
+                    "{}: gap between segments", model.name()
+                );
+                // Non-increasing energy across the boundary (ρ slack
+                // for the round-up paths' grid snapping).
+                let (a, b) = (
+                    w[0].energy_at(w[0].deadline_lo),
+                    w[1].energy_at(w[1].deadline_lo),
+                );
+                prop_assert!(
+                    b <= a * rho * (1.0 + 1e-6),
+                    "{}: energy rose across boundary: {a} -> {b}", model.name()
+                );
+            }
+        }
+    }
+}
