@@ -16,6 +16,7 @@ pub mod t5;
 pub mod t6;
 pub mod t7;
 pub mod x1;
+pub mod x10;
 pub mod x2;
 pub mod x3;
 pub mod x4;
@@ -112,6 +113,7 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
     ("x7", x7::run),
     ("x8", x8::run),
     ("x9", x9::run),
+    ("x10", x10::run),
 ];
 
 /// Run every experiment in order.

@@ -198,11 +198,15 @@ fn ask_command(args: &[String]) {
                 );
                 for (i, w) in s.workers.iter().enumerate() {
                     println!(
-                        "worker {i}: {} requests | {} solves | {} µs solving | {} warm lost",
+                        "worker {i}: {} requests | {} solves | {} µs solving | {} warm lost | \
+                         {} bnb nodes | {} steals | {} cancelled",
                         w.requests,
                         w.solves,
                         w.solve_ns / 1_000,
-                        w.warm_lost
+                        w.warm_lost,
+                        w.bnb_nodes,
+                        w.bnb_steals,
+                        w.bnb_cancelled
                     );
                 }
             }

@@ -4,6 +4,11 @@
 //! * [`exact`] — branch-and-bound over per-task mode choices. Worst
 //!   case exponential, as Theorem 4's NP-completeness predicts;
 //!   experiment T4 measures the blow-up on PARTITION-style instances.
+//!   On a node-budget trip with a feasible incumbent in hand the
+//!   search returns the incumbent as an **anytime** result
+//!   ([`ExactSolution::complete`] is `false` and
+//!   [`ExactSolution::lower_bound`] certifies the optimality gap)
+//!   instead of discarding it.
 //! * [`chain_dp`] — pseudo-polynomial dynamic program for chains with
 //!   a discretized time budget (NP-completeness is *weak* for chains).
 //! * [`round_up`] — Proposition 1(b): solve the Continuous relaxation
@@ -12,15 +17,22 @@
 //!   `(1 + α/s_1)^{α_pow−1} · (1 + 1/K)^{α_pow−1}` where
 //!   `α = max_i (s_{i+1} − s_i)` (for the paper's cubic power law the
 //!   exponent is 2, matching the stated `(1+α/s₁)²(1+1/K)²`).
+//!
+//! The search core is factored into a `SearchCtx` (all precomputed
+//! bounds) plus a subtree DFS that can start from a fixed assignment
+//! prefix — the building block `engine::par_bnb` partitions across
+//! worker threads Bobpp-style.
 
 use crate::continuous;
 use crate::error::SolveError;
 use models::{DiscreteModes, PowerLaw};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use taskgraph::analysis::{critical_path_weight, topo_order};
-use taskgraph::{PreparedGraph, TaskGraph};
+use taskgraph::{PreparedGraph, TaskGraph, TaskId};
 
 /// Branch-and-bound search statistics (experiment T4 evidence).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BnbStats {
     /// Search-tree nodes expanded.
     pub nodes: u64,
@@ -30,15 +42,47 @@ pub struct BnbStats {
     pub pruned_bound: u64,
 }
 
+impl BnbStats {
+    /// Accumulate another counter set (partition merges).
+    pub fn absorb(&mut self, other: BnbStats) {
+        self.nodes += other.nodes;
+        self.pruned_infeasible += other.pruned_infeasible;
+        self.pruned_bound += other.pruned_bound;
+    }
+}
+
 /// Result of an exact Discrete solve.
 #[derive(Debug, Clone)]
 pub struct ExactSolution {
-    /// Optimal per-task speeds (each one of the modes).
+    /// Best per-task speeds found (each one of the modes). Optimal
+    /// when [`ExactSolution::complete`]; otherwise the best feasible
+    /// incumbent at the node-budget trip.
     pub speeds: Vec<f64>,
-    /// Optimal energy.
+    /// Energy of `speeds`.
     pub energy: f64,
     /// Search statistics.
     pub stats: BnbStats,
+    /// Whether the search ran to completion, proving `energy` optimal.
+    /// `false` means the node budget tripped and this is an anytime
+    /// result: `speeds` is still feasible, `energy` is an upper bound
+    /// on the optimum, and [`ExactSolution::lower_bound`] is a
+    /// certified lower bound.
+    pub complete: bool,
+    /// Certified lower bound on the true optimum: `energy` itself when
+    /// `complete`; otherwise the best of the boxed-relaxation bound
+    /// (Proposition 1(b)) and the root combinatorial bound.
+    pub lower_bound: f64,
+}
+
+impl ExactSolution {
+    /// Relative optimality gap `(energy − lower_bound) / lower_bound`:
+    /// `0` for complete (proven optimal) solves.
+    pub fn gap(&self) -> f64 {
+        if self.complete || self.lower_bound <= 0.0 {
+            return 0.0;
+        }
+        ((self.energy - self.lower_bound) / self.lower_bound).max(0.0)
+    }
 }
 
 /// Hard cap on explored nodes before giving up (exponential searches
@@ -68,6 +112,628 @@ impl Default for BnbConfig {
     }
 }
 
+/// Candidate-mode order within each task — the portfolio's branching
+/// axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BranchOrder {
+    /// Slowest admissible (cheapest) mode first: the sequential
+    /// default. With the static bound this order lets a bound failure
+    /// backtrack (faster candidates only cost more).
+    SlowestFirst,
+    /// Fastest (most expensive) mode first: the alternate portfolio
+    /// arm — reaches feasible leaves quickly on tight deadlines.
+    FastestFirst,
+}
+
+/// A search incumbent: best energy seen plus the mode assignment that
+/// achieved it (`None` while only an externally seeded bound exists).
+#[derive(Debug, Clone)]
+pub(crate) struct Incumbent {
+    pub(crate) energy: f64,
+    pub(crate) modes: Option<Vec<usize>>,
+}
+
+impl Incumbent {
+    pub(crate) fn new() -> Incumbent {
+        Incumbent {
+            energy: f64::INFINITY,
+            modes: None,
+        }
+    }
+}
+
+/// How one subtree search ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SubtreeOutcome {
+    /// The subtree was exhausted: its part of the space is proven.
+    Complete,
+    /// The per-subtree node budget tripped.
+    Budget,
+    /// A shared stop flag cancelled the search (portfolio racing).
+    Stopped,
+}
+
+/// The incumbent bound shared across parallel subtree searches: the
+/// energy lives in an `AtomicU64` as `f64` bits maintained by a
+/// CAS-min loop (readable every node without a lock), and the
+/// assignment that achieved it is stored at the same time under a
+/// mutex touched only on improvements (rare).
+pub(crate) struct SharedIncumbent {
+    bits: AtomicU64,
+    best: Mutex<Option<(f64, Vec<usize>)>>,
+}
+
+impl SharedIncumbent {
+    pub(crate) fn new() -> SharedIncumbent {
+        SharedIncumbent {
+            bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            best: Mutex::new(None),
+        }
+    }
+
+    /// The current bound (∞ until the first publish).
+    pub(crate) fn bound(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// CAS-min the bound and record the assignment when it improves.
+    pub(crate) fn publish(&self, energy: f64, modes: &[usize]) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            if energy >= f64::from_bits(cur) {
+                return;
+            }
+            match self.bits.compare_exchange_weak(
+                cur,
+                energy.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut guard = match self.best.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if guard.as_ref().is_none_or(|(e, _)| energy < *e) {
+            *guard = Some((energy, modes.to_vec()));
+        }
+    }
+
+    /// The best published assignment, if any improvement was found.
+    pub(crate) fn take_best(&self) -> Option<(f64, Vec<usize>)> {
+        match self.best.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+}
+
+/// All precomputed state of one branch-and-bound instance: bounds,
+/// chain cover, candidate orders. Immutable during the search, so one
+/// `SearchCtx` is shared by every parallel subtree worker.
+pub(crate) struct SearchCtx<'a> {
+    g: &'a TaskGraph,
+    pub(crate) deadline: f64,
+    p: PowerLaw,
+    pub(crate) speeds_list: Vec<f64>,
+    pub(crate) n: usize,
+    m: usize,
+    order: Vec<TaskId>,
+    pos: Vec<usize>,
+    tail: Vec<f64>,
+    est: Vec<f64>,
+    suffix_lb: Vec<f64>,
+    chains: Vec<Vec<usize>>,
+    chain_w_suffix: Vec<Vec<f64>>,
+    chain_lb_suffix: Vec<Vec<f64>>,
+    chain_frontier: Vec<Vec<usize>>,
+    s_top: f64,
+    s_bottom: f64,
+    chain_bound: bool,
+    branch: BranchOrder,
+    cand: Vec<Vec<usize>>,
+}
+
+impl<'a> SearchCtx<'a> {
+    /// Precompute every bound for `(g, deadline, modes)`. Fails with
+    /// [`SolveError::Infeasible`] when even top speed misses the
+    /// deadline.
+    pub(crate) fn new(
+        g: &'a TaskGraph,
+        deadline: f64,
+        modes: &DiscreteModes,
+        p: PowerLaw,
+        chain_bound: bool,
+        branch: BranchOrder,
+    ) -> Result<SearchCtx<'a>, SolveError> {
+        continuous::check_feasible(g, deadline, Some(modes.s_max()))?;
+        let n = g.n();
+        let order = topo_order(g);
+        let speeds_list = modes.speeds().to_vec();
+        let m = speeds_list.len();
+
+        // Position of each task in the topological order.
+        let mut pos = vec![0usize; n];
+        for (k, &t) in order.iter().enumerate() {
+            pos[t.0] = k;
+        }
+
+        // Top-speed tail below each task: heaviest path weight from the
+        // task (exclusive) to a sink, divided by s_m.
+        let s_top = modes.s_max();
+        let mut tail = vec![0.0f64; n];
+        for &t in order.iter().rev() {
+            tail[t.0] = g
+                .succs(t)
+                .iter()
+                .map(|&s| tail[s.0] + g.weight(s) / s_top)
+                .fold(0.0f64, f64::max);
+        }
+        // Earliest possible start (everything at top speed) per task.
+        let mut est = vec![0.0f64; n];
+        for &t in &order {
+            est[t.0] = g
+                .preds(t)
+                .iter()
+                .map(|&q| est[q.0] + g.weight(q) / s_top)
+                .fold(0.0f64, f64::max);
+        }
+
+        // Per-task energy lower bound: the slowest mode that fits the
+        // task's widest possible window [est, D − tail].
+        let mut task_lb = vec![0.0f64; n];
+        let mut min_mode_idx = vec![0usize; n];
+        for i in 0..n {
+            let window = deadline - tail[i] - est[i];
+            if window <= 0.0 {
+                return Err(SolveError::Infeasible {
+                    deadline,
+                    min_makespan: critical_path_weight(g) / s_top,
+                });
+            }
+            let need = g.weights()[i] / window;
+            let s_lb = modes.round_up(need).ok_or(SolveError::Infeasible {
+                deadline,
+                min_makespan: critical_path_weight(g) / s_top,
+            })?;
+            min_mode_idx[i] = speeds_list.iter().position(|&s| s >= s_lb - 1e-12).unwrap();
+            task_lb[i] = p.energy_at_speed(g.weights()[i], s_lb);
+        }
+        // Suffix sums of the per-task lower bounds along the topo order.
+        let mut suffix_lb = vec![0.0f64; n + 1];
+        for k in (0..n).rev() {
+            suffix_lb[k] = suffix_lb[k + 1] + task_lb[order[k].0];
+        }
+
+        // Greedy chain cover: disjoint directed paths covering every
+        // task, each following graph edges (so topo positions increase
+        // along a chain and the assigned members of a chain are always
+        // a prefix).
+        let mut chain_of = vec![usize::MAX; n];
+        let mut chains: Vec<Vec<usize>> = Vec::new();
+        for &t in &order {
+            if chain_of[t.0] != usize::MAX {
+                continue;
+            }
+            let id = chains.len();
+            let mut chain = vec![t.0];
+            chain_of[t.0] = id;
+            let mut cur = t;
+            'extend: loop {
+                for &s in g.succs(cur) {
+                    if chain_of[s.0] == usize::MAX {
+                        chain_of[s.0] = id;
+                        chain.push(s.0);
+                        cur = s;
+                        continue 'extend;
+                    }
+                }
+                break;
+            }
+            chains.push(chain);
+        }
+        // Per-chain suffix sums of work and static per-task bounds, and
+        // per-depth frontiers (index of the chain's first unassigned
+        // member when the topo prefix of length k is assigned).
+        let nc = chains.len();
+        let mut chain_w_suffix: Vec<Vec<f64>> = Vec::with_capacity(nc);
+        let mut chain_lb_suffix: Vec<Vec<f64>> = Vec::with_capacity(nc);
+        for chain in &chains {
+            let len = chain.len();
+            let mut ws = vec![0.0f64; len + 1];
+            let mut lbs = vec![0.0f64; len + 1];
+            for j in (0..len).rev() {
+                ws[j] = ws[j + 1] + g.weights()[chain[j]];
+                lbs[j] = lbs[j + 1] + task_lb[chain[j]];
+            }
+            chain_w_suffix.push(ws);
+            chain_lb_suffix.push(lbs);
+        }
+        let mut chain_frontier: Vec<Vec<usize>> = vec![vec![0usize; n + 2]; nc];
+        for (c, chain) in chains.iter().enumerate() {
+            let mut j = 0usize;
+            for (k, slot) in chain_frontier[c].iter_mut().enumerate() {
+                while j < chain.len() && pos[chain[j]] < k {
+                    j += 1;
+                }
+                *slot = j;
+            }
+        }
+
+        // Candidate mode order per task: the slowest possibly feasible
+        // mode up to the fastest, in the arm's branching order.
+        let mut cand: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for &lo in &min_mode_idx {
+            let asc: Vec<usize> = (lo..m).collect();
+            cand.push(match branch {
+                BranchOrder::SlowestFirst => asc,
+                BranchOrder::FastestFirst => asc.into_iter().rev().collect(),
+            });
+        }
+
+        Ok(SearchCtx {
+            g,
+            deadline,
+            p,
+            speeds_list,
+            n,
+            m,
+            order,
+            pos,
+            tail,
+            est,
+            suffix_lb,
+            chains,
+            chain_w_suffix,
+            chain_lb_suffix,
+            chain_frontier,
+            s_top,
+            s_bottom: modes.s_min(),
+            chain_bound,
+            branch,
+            cand,
+        })
+    }
+
+    /// Minimum achievable makespan (for [`SolveError::Infeasible`]).
+    pub(crate) fn min_makespan(&self) -> f64 {
+        critical_path_weight(self.g) / self.s_top
+    }
+
+    /// Map mode speeds back to mode indices (warm-start seeding).
+    pub(crate) fn modes_of_speeds(&self, speeds: &[f64]) -> Vec<usize> {
+        speeds
+            .iter()
+            .map(|&s| {
+                self.speeds_list
+                    .iter()
+                    .position(|&v| (v - s).abs() <= 1e-9 * (1.0 + v.abs()))
+                    .expect("warm-start speed is one of the modes")
+            })
+            .collect()
+    }
+
+    /// Per-task speeds of a mode-index assignment.
+    pub(crate) fn speeds_of(&self, modes_idx: &[usize]) -> Vec<f64> {
+        modes_idx.iter().map(|&j| self.speeds_list[j]).collect()
+    }
+
+    /// Energy lower bound for the unassigned suffix once the topo
+    /// prefix of length `d1` is assigned (`ecl` holds the completion
+    /// of every assigned task).
+    fn rem_lb(&self, d1: usize, ecl: &[f64]) -> f64 {
+        if !self.chain_bound {
+            return self.suffix_lb[d1];
+        }
+        let mut b = 0.0f64;
+        for c in 0..self.chains.len() {
+            let j = self.chain_frontier[c][d1];
+            let chain = &self.chains[c];
+            if j >= chain.len() {
+                continue;
+            }
+            let w_rem = self.chain_w_suffix[c][j];
+            let lb_static = self.chain_lb_suffix[c][j];
+            let f = chain[j];
+            let mut start_f = self.est[f];
+            for &q in self.g.preds(TaskId(f)) {
+                if self.pos[q.0] < d1 {
+                    start_f = start_f.max(ecl[q.0]);
+                }
+            }
+            let window = self.deadline - start_f;
+            let lb_chain = if window <= 0.0 {
+                f64::INFINITY
+            } else {
+                self.p
+                    .energy_at_speed(w_rem, (w_rem / window).max(self.s_bottom))
+            };
+            b += lb_static.max(lb_chain);
+        }
+        b
+    }
+
+    /// Admissible lower bound on *any* complete assignment (depth 0):
+    /// the chain-cover bound when enabled, the static suffix sum
+    /// otherwise. Used as the open bound of anytime results.
+    pub(crate) fn root_lower_bound(&self) -> f64 {
+        let ecl = vec![0.0f64; self.n];
+        self.rem_lb(0, &ecl)
+    }
+
+    /// The Bobpp-style deterministic partition frontier: iteratively
+    /// deepen a breadth-first expansion of the search tree — children
+    /// in candidate order, prefixes in lexicographic order — until at
+    /// least `target` live prefixes exist (or the tree is shallower).
+    /// The result is a pure function of the instance, the branching
+    /// order, and `incumbent_energy`, so two runs with the same
+    /// partition target enumerate byte-identical partitions.
+    ///
+    /// Returns `(depth, prefixes)`; an empty frontier means the whole
+    /// tree was pruned against `incumbent_energy` (the seed is
+    /// optimal). Enumeration work is charged to `stats`.
+    pub(crate) fn enumerate_frontier(
+        &self,
+        target: usize,
+        incumbent_energy: f64,
+        stats: &mut BnbStats,
+    ) -> (usize, Vec<Vec<usize>>) {
+        // Frontier growth is capped so a wide ladder cannot explode
+        // the prefix list; `n − 1` keeps every partition a real
+        // subtree (at least one free task below the split).
+        const MAX_FRONTIER: usize = 4096;
+        let max_depth = self.n.saturating_sub(1);
+        let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut depth = 0usize;
+        while depth < max_depth
+            && !frontier.is_empty()
+            && frontier.len() < target
+            && frontier.len().saturating_mul(self.m) <= MAX_FRONTIER
+        {
+            let mut next = Vec::with_capacity(frontier.len() * 2);
+            for prefix in &frontier {
+                self.expand_prefix(prefix, incumbent_energy, &mut next, stats);
+            }
+            frontier = next;
+            depth += 1;
+        }
+        (depth, frontier)
+    }
+
+    /// Expand one frontier prefix by one level, pruning children
+    /// exactly as the subtree search would.
+    fn expand_prefix(
+        &self,
+        prefix: &[usize],
+        incumbent_energy: f64,
+        out: &mut Vec<Vec<usize>>,
+        stats: &mut BnbStats,
+    ) {
+        let g = self.g;
+        let depth = prefix.len();
+        let mut ecl = vec![0.0f64; self.n];
+        let mut energy = 0.0f64;
+        for (k, &mode_idx) in prefix.iter().enumerate() {
+            let task = self.order[k];
+            let i = task.0;
+            let s = self.speeds_list[mode_idx];
+            let start = g
+                .preds(task)
+                .iter()
+                .map(|&q| ecl[q.0])
+                .fold(0.0f64, f64::max);
+            ecl[i] = start + g.weights()[i] / s;
+            energy += self.p.energy_at_speed(g.weights()[i], s);
+        }
+        let task = self.order[depth];
+        let i = task.0;
+        let start = g
+            .preds(task)
+            .iter()
+            .map(|&q| ecl[q.0])
+            .fold(0.0f64, f64::max);
+        for &mode_idx in &self.cand[i] {
+            stats.nodes += 1;
+            let s = self.speeds_list[mode_idx];
+            let completion = start + g.weights()[i] / s;
+            if completion + self.tail[i] > self.deadline * (1.0 + 1e-12) {
+                stats.pruned_infeasible += 1;
+                continue;
+            }
+            let e = energy + self.p.energy_at_speed(g.weights()[i], s);
+            ecl[i] = completion;
+            let rem_lb = self.rem_lb(depth + 1, &ecl);
+            if e + rem_lb >= incumbent_energy * (1.0 - 1e-12) {
+                stats.pruned_bound += 1;
+                continue;
+            }
+            let mut child = Vec::with_capacity(depth + 1);
+            child.extend_from_slice(prefix);
+            child.push(mode_idx);
+            out.push(child);
+        }
+    }
+
+    /// Depth-first search of the subtree rooted at `prefix` (mode
+    /// indices for the first `prefix.len()` tasks in topological
+    /// order; empty = the whole tree).
+    ///
+    /// * `incumbent` — in/out: pruning bound and best assignment. Seed
+    ///   `energy` with a known feasible value (round-up) to start with
+    ///   a strong bound.
+    /// * `shared` — optional cross-thread incumbent cell: improvements
+    ///   are always published; the cell's bound additionally joins the
+    ///   pruning bound only when `prune_shared` is set. Deterministic
+    ///   partitioned search leaves `prune_shared` off — each subtree's
+    ///   node count then depends only on `(prefix, seed, budget)`, not
+    ///   on scheduling — while racing arms turn it on.
+    /// * `stop` — optional cancellation flag, polled every 64 nodes.
+    /// * `node_budget` — cap on nodes charged to `stats` by this call.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn search_subtree(
+        &self,
+        prefix: &[usize],
+        node_budget: u64,
+        incumbent: &mut Incumbent,
+        shared: Option<&SharedIncumbent>,
+        prune_shared: bool,
+        stop: Option<&AtomicBool>,
+        stats: &mut BnbStats,
+    ) -> SubtreeOutcome {
+        let g = self.g;
+        let n = self.n;
+        let base = prefix.len();
+        let mut assign = vec![usize::MAX; n]; // mode index per task
+        let mut ecl = vec![0.0f64; n]; // completion of assigned tasks
+        let mut energy_prefix = vec![0.0f64; n + 1];
+        // Replay the fixed prefix (already vetted by enumeration).
+        for (k, &mode_idx) in prefix.iter().enumerate() {
+            let task = self.order[k];
+            let i = task.0;
+            let s = self.speeds_list[mode_idx];
+            let start = g
+                .preds(task)
+                .iter()
+                .map(|&q| ecl[q.0])
+                .fold(0.0f64, f64::max);
+            ecl[i] = start + g.weights()[i] / s;
+            assign[i] = mode_idx;
+            energy_prefix[k + 1] = energy_prefix[k] + self.p.energy_at_speed(g.weights()[i], s);
+        }
+
+        struct Frame {
+            /// Index into `cand[task]` tried next.
+            next: usize,
+        }
+        let mut frames: Vec<Frame> = vec![Frame { next: 0 }];
+        'search: while let Some(rel) = frames.len().checked_sub(1) {
+            let depth = base + rel;
+            if depth == n {
+                // Complete assignment: record incumbent.
+                if energy_prefix[n] < incumbent.energy {
+                    incumbent.energy = energy_prefix[n];
+                    incumbent.modes = Some(assign.clone());
+                    if let Some(cell) = shared {
+                        cell.publish(energy_prefix[n], &assign);
+                    }
+                }
+                frames.pop();
+                continue;
+            }
+            let task = self.order[depth];
+            let i = task.0;
+            loop {
+                let frame = frames.last_mut().unwrap();
+                let Some(&mode_idx) = self.cand[i].get(frame.next) else {
+                    // Exhausted this task's modes: backtrack.
+                    assign[i] = usize::MAX;
+                    frames.pop();
+                    continue 'search;
+                };
+                frame.next += 1;
+                stats.nodes += 1;
+                if stats.nodes > node_budget {
+                    return SubtreeOutcome::Budget;
+                }
+                if let Some(flag) = stop {
+                    if stats.nodes & 0x3F == 0 && flag.load(Ordering::Relaxed) {
+                        return SubtreeOutcome::Stopped;
+                    }
+                }
+                let s = self.speeds_list[mode_idx];
+                let d = g.weights()[i] / s;
+                let start = g
+                    .preds(task)
+                    .iter()
+                    .map(|&q| ecl[q.0])
+                    .fold(0.0f64, f64::max);
+                let completion = start + d;
+                // Deadline prune: this task's completion plus the
+                // fastest possible tail must fit.
+                if completion + self.tail[i] > self.deadline * (1.0 + 1e-12) {
+                    stats.pruned_infeasible += 1;
+                    continue;
+                }
+                let e = energy_prefix[depth] + self.p.energy_at_speed(g.weights()[i], s);
+                // Energy lower bound for the unassigned suffix.
+                ecl[i] = completion; // chain frontiers read it
+                let rem_lb = self.rem_lb(depth + 1, &ecl);
+                let bound = if prune_shared {
+                    match shared {
+                        Some(cell) => incumbent.energy.min(cell.bound()),
+                        None => incumbent.energy,
+                    }
+                } else {
+                    incumbent.energy
+                };
+                if e + rem_lb >= bound * (1.0 - 1e-12) {
+                    stats.pruned_bound += 1;
+                    if self.chain_bound || self.branch == BranchOrder::FastestFirst {
+                        // The dynamic chain bound is not monotone in
+                        // the mode index (a faster mode frees the
+                        // chain windows), and fastest-first candidates
+                        // get *cheaper* as the index advances: in both
+                        // cases try the next candidate.
+                        continue;
+                    }
+                    // Static bound, slowest-first: candidates are
+                    // ordered by increasing speed, hence increasing
+                    // energy — once a mode's bound fails, all faster
+                    // modes fail too.
+                    assign[i] = usize::MAX;
+                    frames.pop();
+                    continue 'search;
+                }
+                assign[i] = mode_idx;
+                energy_prefix[depth + 1] = e;
+                frames.push(Frame { next: 0 });
+                continue 'search;
+            }
+        }
+        SubtreeOutcome::Complete
+    }
+
+    /// Package a finished (or budget-tripped) search into the public
+    /// result type.
+    pub(crate) fn conclude(
+        &self,
+        incumbent: Incumbent,
+        complete: bool,
+        stats: BnbStats,
+        relax_lb: f64,
+        budget: u64,
+    ) -> Result<ExactSolution, SolveError> {
+        match incumbent.modes {
+            Some(mi) => {
+                let energy = incumbent.energy;
+                let lower_bound = if complete {
+                    energy
+                } else {
+                    relax_lb.max(self.root_lower_bound()).min(energy)
+                };
+                Ok(ExactSolution {
+                    speeds: self.speeds_of(&mi),
+                    energy,
+                    stats,
+                    complete,
+                    lower_bound,
+                })
+            }
+            None if complete => Err(SolveError::Infeasible {
+                deadline: self.deadline,
+                min_makespan: self.min_makespan(),
+            }),
+            None => Err(SolveError::BudgetExhausted {
+                nodes: stats.nodes,
+                budget,
+            }),
+        }
+    }
+}
+
 /// Exact branch-and-bound (Theorem 4's problem).
 ///
 /// Tasks are assigned in topological order, so each task's earliest
@@ -80,7 +746,10 @@ impl Default for BnbConfig {
 ///    possibly meet its window) must beat the incumbent.
 ///
 /// The initial incumbent is the [`round_up`] approximation, so the
-/// search starts with a provably near-optimal bound.
+/// search starts with a provably near-optimal bound — and a
+/// node-budget trip degrades to an **anytime** result carrying that
+/// incumbent (or any improvement found before the trip) rather than
+/// an error; see [`ExactSolution::complete`].
 pub fn exact(
     g: &TaskGraph,
     deadline: f64,
@@ -124,6 +793,11 @@ pub fn exact_with_budget(
 /// prefix) and the deadline — by convexity their energy is at least
 /// `W·max(W/window, s₁)^{α−1}` for total remaining work `W`. This is
 /// much tighter than per-task windows on serialized workloads.
+///
+/// A node-budget trip returns `Ok` with the feasible incumbent when
+/// one exists (`complete == false`, `lower_bound` certifying the
+/// gap); only a trip with **no** incumbent — no warm start and no
+/// leaf reached — is [`SolveError::BudgetExhausted`].
 pub fn exact_with_config(
     g: &TaskGraph,
     deadline: f64,
@@ -131,266 +805,43 @@ pub fn exact_with_config(
     p: PowerLaw,
     cfg: BnbConfig,
 ) -> Result<ExactSolution, SolveError> {
-    continuous::check_feasible(g, deadline, Some(modes.s_max()))?;
-    let n = g.n();
-    let order = topo_order(g);
-    let speeds_list = modes.speeds();
-    let m = speeds_list.len();
-
-    // Position of each task in the topological order.
-    let mut pos = vec![0usize; n];
-    for (k, &t) in order.iter().enumerate() {
-        pos[t.0] = k;
-    }
-
-    // Top-speed tail below each task: heaviest path weight from the
-    // task (exclusive) to a sink, divided by s_m.
-    let s_top = modes.s_max();
-    let mut tail = vec![0.0f64; n];
-    for &t in order.iter().rev() {
-        tail[t.0] = g
-            .succs(t)
-            .iter()
-            .map(|&s| tail[s.0] + g.weight(s) / s_top)
-            .fold(0.0f64, f64::max);
-    }
-    // Earliest possible start (everything at top speed) per task.
-    let mut est = vec![0.0f64; n];
-    for &t in &order {
-        est[t.0] = g
-            .preds(t)
-            .iter()
-            .map(|&q| est[q.0] + g.weight(q) / s_top)
-            .fold(0.0f64, f64::max);
-    }
-
-    // Per-task energy lower bound: the slowest mode that fits the
-    // task's widest possible window [est, D − tail].
-    let mut task_lb = vec![0.0f64; n];
-    let mut min_mode_idx = vec![0usize; n];
-    for i in 0..n {
-        let window = deadline - tail[i] - est[i];
-        if window <= 0.0 {
-            return Err(SolveError::Infeasible {
-                deadline,
-                min_makespan: critical_path_weight(g) / s_top,
-            });
-        }
-        let need = g.weights()[i] / window;
-        let s_lb = modes.round_up(need).ok_or(SolveError::Infeasible {
-            deadline,
-            min_makespan: critical_path_weight(g) / s_top,
-        })?;
-        min_mode_idx[i] = speeds_list.iter().position(|&s| s >= s_lb - 1e-12).unwrap();
-        task_lb[i] = p.energy_at_speed(g.weights()[i], s_lb);
-    }
-    // Suffix sums of the per-task lower bounds along the topo order.
-    let mut suffix_lb = vec![0.0f64; n + 1];
-    for k in (0..n).rev() {
-        suffix_lb[k] = suffix_lb[k + 1] + task_lb[order[k].0];
-    }
-
-    // Greedy chain cover: disjoint directed paths covering every task,
-    // each following graph edges (so topo positions increase along a
-    // chain and the assigned members of a chain are always a prefix).
-    let mut chain_of = vec![usize::MAX; n];
-    let mut chains: Vec<Vec<usize>> = Vec::new();
-    for &t in &order {
-        if chain_of[t.0] != usize::MAX {
-            continue;
-        }
-        let id = chains.len();
-        let mut chain = vec![t.0];
-        chain_of[t.0] = id;
-        let mut cur = t;
-        'extend: loop {
-            for &s in g.succs(cur) {
-                if chain_of[s.0] == usize::MAX {
-                    chain_of[s.0] = id;
-                    chain.push(s.0);
-                    cur = s;
-                    continue 'extend;
-                }
-            }
-            break;
-        }
-        chains.push(chain);
-    }
-    // Per-chain suffix sums of work and static per-task bounds, and
-    // per-depth frontiers (index of the chain's first unassigned
-    // member when the topo prefix of length k is assigned).
-    let nc = chains.len();
-    let mut chain_w_suffix: Vec<Vec<f64>> = Vec::with_capacity(nc);
-    let mut chain_lb_suffix: Vec<Vec<f64>> = Vec::with_capacity(nc);
-    for chain in &chains {
-        let len = chain.len();
-        let mut ws = vec![0.0f64; len + 1];
-        let mut lbs = vec![0.0f64; len + 1];
-        for j in (0..len).rev() {
-            ws[j] = ws[j + 1] + g.weights()[chain[j]];
-            lbs[j] = lbs[j + 1] + task_lb[chain[j]];
-        }
-        chain_w_suffix.push(ws);
-        chain_lb_suffix.push(lbs);
-    }
-    let mut chain_frontier: Vec<Vec<usize>> = vec![vec![0usize; n + 2]; nc];
-    for (c, chain) in chains.iter().enumerate() {
-        let mut j = 0usize;
-        for (k, slot) in chain_frontier[c].iter_mut().enumerate() {
-            while j < chain.len() && pos[chain[j]] < k {
-                j += 1;
-            }
-            *slot = j;
-        }
-    }
-    let s_bottom = modes.s_min();
-
-    // Warm start: the Proposition 1(b) rounding (guaranteed feasible).
-    let mut best_energy = f64::INFINITY;
-    let mut best_speeds: Option<Vec<f64>> = None;
+    let ctx = SearchCtx::new(
+        g,
+        deadline,
+        modes,
+        p,
+        cfg.chain_bound,
+        BranchOrder::SlowestFirst,
+    )?;
+    let mut stats = BnbStats::default();
+    let mut incumbent = Incumbent::new();
+    let mut relax_lb = 0.0f64;
     if cfg.warm_start {
-        if let Ok(speeds) = round_up(g, deadline, modes, p, None) {
-            best_energy = continuous::energy_of_speeds(g, &speeds, p);
-            best_speeds = Some(speeds);
+        // Warm start: the Proposition 1(b) rounding (guaranteed
+        // feasible), whose boxed relaxation also certifies a lower
+        // bound for the anytime gap.
+        if let Ok((speeds, lb)) = round_up_with_bound(g, deadline, modes, p, None) {
+            incumbent.energy = continuous::energy_of_speeds(g, &speeds, p);
+            incumbent.modes = Some(ctx.modes_of_speeds(&speeds));
+            relax_lb = lb;
         }
     }
-
-    // Candidate mode order per task: start from the cheapest possibly
-    // feasible mode (slowest that fits the widest window), faster ones
-    // after.
-    let mut cand: Vec<Vec<usize>> = Vec::with_capacity(n);
-    for &lo in &min_mode_idx {
-        cand.push((lo..m).collect());
-    }
-
-    // Iterative DFS over (depth, mode-choice) with explicit stacks to
-    // allow deep graphs.
-    struct Frame {
-        /// Index into `cand[task]` tried next.
-        next: usize,
-    }
-    let mut stats = BnbStats {
-        nodes: 0,
-        pruned_infeasible: 0,
-        pruned_bound: 0,
-    };
-    let mut assign = vec![usize::MAX; n]; // mode index per task
-    let mut ecl = vec![0.0f64; n]; // completion of assigned tasks
-    let mut energy_prefix = vec![0.0f64; n + 1];
-    let mut frames: Vec<Frame> = vec![Frame { next: 0 }];
-
-    'search: while let Some(depth) = frames.len().checked_sub(1) {
-        if depth == n {
-            // Complete assignment: record incumbent.
-            if energy_prefix[n] < best_energy {
-                best_energy = energy_prefix[n];
-                let mut speeds = vec![0.0; n];
-                for i in 0..n {
-                    speeds[i] = speeds_list[assign[i]];
-                }
-                best_speeds = Some(speeds);
-            }
-            frames.pop();
-            continue;
-        }
-        let task = order[depth];
-        let i = task.0;
-        loop {
-            let frame = frames.last_mut().unwrap();
-            let Some(&mode_idx) = cand[i].get(frame.next) else {
-                // Exhausted this task's modes: backtrack.
-                assign[i] = usize::MAX;
-                frames.pop();
-                continue 'search;
-            };
-            frame.next += 1;
-            stats.nodes += 1;
-            if stats.nodes > cfg.node_budget {
-                return Err(SolveError::Numerical(format!(
-                    "branch-and-bound node budget {} exhausted",
-                    cfg.node_budget
-                )));
-            }
-            let s = speeds_list[mode_idx];
-            let d = g.weights()[i] / s;
-            let start = g
-                .preds(task)
-                .iter()
-                .map(|&q| ecl[q.0])
-                .fold(0.0f64, f64::max);
-            let completion = start + d;
-            // Deadline prune: this task's completion plus the fastest
-            // possible tail must fit.
-            if completion + tail[i] > deadline * (1.0 + 1e-12) {
-                stats.pruned_infeasible += 1;
-                continue;
-            }
-            let e = energy_prefix[depth] + p.energy_at_speed(g.weights()[i], s);
-            // Energy lower bound for the unassigned suffix.
-            ecl[i] = completion; // chain frontiers read it
-            let rem_lb = if cfg.chain_bound {
-                let d1 = depth + 1;
-                let mut b = 0.0f64;
-                for c in 0..nc {
-                    let j = chain_frontier[c][d1];
-                    let chain = &chains[c];
-                    if j >= chain.len() {
-                        continue;
-                    }
-                    let w_rem = chain_w_suffix[c][j];
-                    let lb_static = chain_lb_suffix[c][j];
-                    let f = chain[j];
-                    let mut start_f = est[f];
-                    for &q in g.preds(taskgraph::TaskId(f)) {
-                        if pos[q.0] < d1 {
-                            start_f = start_f.max(ecl[q.0]);
-                        }
-                    }
-                    let window = deadline - start_f;
-                    let lb_chain = if window <= 0.0 {
-                        f64::INFINITY
-                    } else {
-                        p.energy_at_speed(w_rem, (w_rem / window).max(s_bottom))
-                    };
-                    b += lb_static.max(lb_chain);
-                }
-                b
-            } else {
-                suffix_lb[depth + 1]
-            };
-            if e + rem_lb >= best_energy * (1.0 - 1e-12) {
-                stats.pruned_bound += 1;
-                if cfg.chain_bound {
-                    // A faster mode frees the chain windows, so the
-                    // dynamic bound is not monotone in the mode index:
-                    // try the next candidate instead of backtracking.
-                    continue;
-                }
-                // Static bound: candidates are ordered by increasing
-                // speed, hence increasing energy — once a mode's bound
-                // fails, all faster modes fail too.
-                assign[i] = usize::MAX;
-                frames.pop();
-                continue 'search;
-            }
-            assign[i] = mode_idx;
-            energy_prefix[depth + 1] = e;
-            frames.push(Frame { next: 0 });
-            continue 'search;
-        }
-    }
-
-    match best_speeds {
-        Some(speeds) => Ok(ExactSolution {
-            speeds,
-            energy: best_energy,
-            stats,
-        }),
-        None => Err(SolveError::Infeasible {
-            deadline,
-            min_makespan: critical_path_weight(g) / s_top,
-        }),
-    }
+    let outcome = ctx.search_subtree(
+        &[],
+        cfg.node_budget,
+        &mut incumbent,
+        None,
+        false,
+        None,
+        &mut stats,
+    );
+    ctx.conclude(
+        incumbent,
+        outcome == SubtreeOutcome::Complete,
+        stats,
+        relax_lb,
+        cfg.node_budget,
+    )
 }
 
 /// Pseudo-polynomial DP for **chains** (single processor): discretize
@@ -485,6 +936,26 @@ pub fn round_up(
     round_up_prepared(&PreparedGraph::new(g), deadline, modes, p, precision_k)
 }
 
+/// [`round_up`] additionally returning a certified lower bound on the
+/// Discrete optimum, derived from the boxed relaxation: every discrete
+/// assignment is feasible for the boxed Continuous relaxation, so the
+/// relaxation optimum lower-bounds the discrete optimum, and the
+/// barrier solve is within `(1 + 1/K)^{α−1}` of the relaxation
+/// optimum — `E_relaxed / (1 + 1/K)^{α−1}` is therefore a valid
+/// bound. This is what prices the optimality gap of anytime
+/// branch-and-bound results.
+pub fn round_up_with_bound(
+    g: &TaskGraph,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+    precision_k: Option<u32>,
+) -> Result<(Vec<f64>, f64), SolveError> {
+    let prep = PreparedGraph::new(g);
+    let mut cold = continuous::SweepWarm::new();
+    round_up_warm_inner(&prep, deadline, modes, p, precision_k, &mut cold)
+}
+
 /// [`round_up`] on a prepared graph (cached analysis for the boxed
 /// Continuous relaxation underneath).
 pub fn round_up_prepared(
@@ -498,8 +969,8 @@ pub fn round_up_prepared(
     round_up_warm(prep, deadline, modes, p, precision_k, &mut cold)
 }
 
-/// [`round_up_prepared`] with a [`continuous::SweepWarm`] chain
-/// threaded through the boxed relaxation: a deadline sweep seeds each
+/// [`round_up_prepared`] with a [`continuous::SweepWarm`] chain threaded
+/// through the boxed relaxation: a deadline sweep seeds each
 /// barrier solve from the previous point's primal (see
 /// `continuous::solve_general_warm`), which is what makes sampled
 /// Discrete energy–deadline curves cheap.
@@ -511,6 +982,17 @@ pub fn round_up_warm(
     precision_k: Option<u32>,
     warm: &mut continuous::SweepWarm,
 ) -> Result<Vec<f64>, SolveError> {
+    round_up_warm_inner(prep, deadline, modes, p, precision_k, warm).map(|(speeds, _)| speeds)
+}
+
+fn round_up_warm_inner(
+    prep: &PreparedGraph<'_>,
+    deadline: f64,
+    modes: &DiscreteModes,
+    p: PowerLaw,
+    precision_k: Option<u32>,
+    warm: &mut continuous::SweepWarm,
+) -> Result<(Vec<f64>, f64), SolveError> {
     let g = prep.graph();
     let relaxed = if modes.m() == 1 {
         // Degenerate box: the only choice is the single mode.
@@ -526,6 +1008,12 @@ pub fn round_up_warm(
             warm,
         )?
     };
+    let relax_energy = continuous::energy_of_speeds(g, &relaxed, p);
+    // Discount the barrier's relative precision so the bound stays
+    // below the relaxation optimum (conservative default when the
+    // caller did not pin `K`).
+    let k = precision_k.unwrap_or(1_000).max(1) as f64;
+    let relax_lb = relax_energy / (1.0 + 1.0 / k).powf(p.alpha() - 1.0);
     let mut speeds = Vec::with_capacity(g.n());
     for &s in &relaxed {
         let rounded = modes.round_up(s).unwrap_or(modes.s_max());
@@ -545,7 +1033,7 @@ pub fn round_up_warm(
             "rounded schedule misses the deadline ({mk} > {deadline})"
         )));
     }
-    Ok(speeds)
+    Ok((speeds, relax_lb))
 }
 
 /// Classic DVFS greedy-slowdown baseline (not from the paper — a
@@ -635,6 +1123,8 @@ mod tests {
         let sol = exact(&g, 2.5, &ms, P).unwrap();
         assert_eq!(sol.speeds, vec![2.0]);
         assert!((sol.energy - 16.0).abs() < 1e-9);
+        assert!(sol.complete);
+        assert_eq!(sol.gap(), 0.0);
     }
 
     #[test]
@@ -725,6 +1215,19 @@ mod tests {
             e_alg / opt
         );
         assert!(e_alg >= opt * (1.0 - 1e-9), "cannot beat the optimum");
+    }
+
+    #[test]
+    fn round_up_bound_lower_bounds_the_optimum() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let ms = modes(&[0.8, 1.4, 2.0, 2.6]);
+        let d = 5.0;
+        let (speeds, lb) = round_up_with_bound(&g, d, &ms, P, Some(1000)).unwrap();
+        let opt = exact(&g, d, &ms, P).unwrap().energy;
+        assert!(lb <= opt * (1.0 + 1e-9), "bound {lb} exceeds optimum {opt}");
+        let e_alg = continuous::energy_of_speeds(&g, &speeds, P);
+        assert!(lb <= e_alg, "bound must not exceed its own rounding");
+        assert!(lb > 0.0);
     }
 
     #[test]
@@ -821,13 +1324,81 @@ mod tests {
     }
 
     #[test]
-    fn node_budget_respected() {
-        // A partition chain large enough to exceed a tiny budget.
+    fn node_budget_trip_without_incumbent_is_budget_exhausted() {
+        // A partition chain large enough to exceed a tiny budget; no
+        // warm start and no leaf reachable in 10 nodes → the search
+        // holds nothing to return, and says so structurally (not as a
+        // misclassified Numerical failure).
         let values: Vec<f64> = (0..14).map(|i| 1.0 + (i as f64) * 0.37).collect();
         let (g, d) = generators::partition_chain(&values);
         let ms = modes(&[1.0, 2.0]);
         let res = exact_with_budget(&g, d, &ms, P, 10, false);
-        assert!(matches!(res, Err(SolveError::Numerical(_))));
+        assert!(matches!(
+            res,
+            Err(SolveError::BudgetExhausted {
+                nodes: 11,
+                budget: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn node_budget_trip_with_warm_start_returns_anytime_incumbent() {
+        // Same instance, warm-started: the round-up incumbent is a
+        // feasible schedule the budget trip must NOT discard.
+        let values: Vec<f64> = (0..14).map(|i| 1.0 + (i as f64) * 0.37).collect();
+        let (g, d) = generators::partition_chain(&values);
+        let ms = modes(&[1.0, 2.0]);
+        let sol = exact_with_budget(&g, d, &ms, P, 10, true).unwrap();
+        assert!(!sol.complete);
+        // Feasible, and no worse than the round-up seed.
+        let durations: Vec<f64> = g
+            .weights()
+            .iter()
+            .zip(&sol.speeds)
+            .map(|(&w, &s)| w / s)
+            .collect();
+        assert!(taskgraph::analysis::makespan(&g, &durations) <= d * (1.0 + 1e-9));
+        let seed = round_up(&g, d, &ms, P, None).unwrap();
+        let e_seed = continuous::energy_of_speeds(&g, &seed, P);
+        assert!(sol.energy <= e_seed * (1.0 + 1e-12));
+        // The gap is certified: lower bound below the incumbent, and
+        // below the true optimum.
+        assert!(sol.lower_bound <= sol.energy);
+        assert!(sol.gap() >= 0.0);
+        let opt = exact(&g, d, &ms, P).unwrap();
+        assert!(opt.complete);
+        assert!(sol.lower_bound <= opt.energy * (1.0 + 1e-9));
+        assert!(sol.energy >= opt.energy * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn frontier_enumeration_is_deterministic_and_partitions_the_space() {
+        // The Bobpp-style frontier: two enumerations agree exactly,
+        // and searching every subtree reproduces the sequential
+        // optimum.
+        let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+        let ms = modes(&[0.8, 1.6, 2.4]);
+        let d = 5.0;
+        let ctx = SearchCtx::new(&g, d, &ms, P, true, BranchOrder::SlowestFirst).unwrap();
+        let mut s1 = BnbStats::default();
+        let mut s2 = BnbStats::default();
+        let (d1, f1) = ctx.enumerate_frontier(4, f64::INFINITY, &mut s1);
+        let (d2, f2) = ctx.enumerate_frontier(4, f64::INFINITY, &mut s2);
+        assert_eq!(d1, d2);
+        assert_eq!(f1, f2);
+        assert_eq!(s1, s2);
+        assert!(f1.len() >= 4 || d1 == g.n() - 1);
+
+        let mut best = Incumbent::new();
+        let mut stats = BnbStats::default();
+        for prefix in &f1 {
+            let out =
+                ctx.search_subtree(prefix, u64::MAX, &mut best, None, false, None, &mut stats);
+            assert_eq!(out, SubtreeOutcome::Complete);
+        }
+        let seq = exact(&g, d, &ms, P).unwrap();
+        assert!((best.energy - seq.energy).abs() < 1e-12 * seq.energy);
     }
 
     #[test]
@@ -877,5 +1448,18 @@ mod tests {
         let sol = exact(&g, d, &ms, P).unwrap();
         // Optimal: fast set of weight exactly 5 → energy 4·5 + 1·5 = 25.
         assert!((sol.energy - 25.0).abs() < 1e-9, "energy {}", sol.energy);
+    }
+
+    #[test]
+    fn shared_incumbent_cas_min_keeps_the_best() {
+        let cell = SharedIncumbent::new();
+        assert!(cell.bound().is_infinite());
+        cell.publish(5.0, &[1, 1]);
+        cell.publish(7.0, &[2, 2]); // worse: ignored
+        cell.publish(4.0, &[0, 1]);
+        assert_eq!(cell.bound(), 4.0);
+        let (e, m) = cell.take_best().unwrap();
+        assert_eq!(e, 4.0);
+        assert_eq!(m, vec![0, 1]);
     }
 }

@@ -6,19 +6,25 @@
 //! provenance tag on [`crate::Solution`] is simply the name of
 //! whichever entry solved the instance.
 
-use crate::engine::Ctx;
+use crate::engine::par_bnb::{self, ParBnbConfig};
+use crate::engine::{profiling, Ctx};
 use crate::error::SolveError;
 use crate::{continuous, discrete, incremental, vdd};
-use models::{EnergyModel, Schedule};
+use models::{DiscreteModes, EnergyModel, Schedule};
 
 /// What one algorithm attempt produced.
 pub enum Step {
     /// A candidate schedule (validated by the engine before it is
     /// handed back).
     Solved(Schedule),
+    /// A candidate schedule whose provenance tag differs from the
+    /// registry entry's name — e.g. an anytime incumbent from a
+    /// budget-tripped exact search (`"discrete-bnb-anytime"`), or a
+    /// parallel-search solve (`"discrete-bnb-par"`).
+    Tagged(&'static str, Schedule),
     /// The algorithm applies in principle but declined this instance
-    /// (e.g. branch-and-bound tripped its node budget); the engine
-    /// moves on to the next applicable entry.
+    /// (e.g. branch-and-bound tripped its node budget with no
+    /// incumbent); the engine moves on to the next applicable entry.
     Deferred,
 }
 
@@ -104,9 +110,61 @@ impl Algorithm for VddLp {
     }
 }
 
+/// Shared body of the two exact branch-and-bound entries: sequential
+/// at one worker, `par_bnb` when the solve's thread share allows
+/// ([`Ctx::workers`] ≥ 2, set only via `Engine::threads`). A complete
+/// solve keeps the entry's own name (or `par_tag` for the parallel
+/// path); a budget trip **with** an incumbent comes back as an
+/// anytime schedule under `anytime_tag`; a trip with no incumbent
+/// defers to the rounding entry — matched structurally on
+/// [`SolveError::BudgetExhausted`], never on message strings.
+fn run_exact_bnb(
+    ctx: &Ctx<'_>,
+    modes: &DiscreteModes,
+    par_tag: &'static str,
+    anytime_tag: &'static str,
+) -> Result<Step, SolveError> {
+    let g = ctx.prep.graph();
+    if ctx.workers >= 2 {
+        let cfg = ParBnbConfig {
+            workers: ctx.workers,
+            racing: ctx.opts.bnb_racing,
+            ..Default::default()
+        };
+        // par_bnb folds its own node/steal/cancel totals into this
+        // thread's profiling counters.
+        return match par_bnb::exact_par(g, ctx.deadline, modes, ctx.power, &cfg) {
+            Ok(sol) => {
+                let tag = if sol.complete { par_tag } else { anytime_tag };
+                Ok(Step::Tagged(tag, ctx.schedule_from_speeds(&sol.speeds)))
+            }
+            Err(SolveError::BudgetExhausted { .. }) => Ok(Step::Deferred),
+            Err(e) => Err(e),
+        };
+    }
+    match discrete::exact(g, ctx.deadline, modes, ctx.power) {
+        Ok(sol) => {
+            profiling::add_bnb(sol.stats.nodes, 0, 0);
+            let sched = ctx.schedule_from_speeds(&sol.speeds);
+            if sol.complete {
+                Ok(Step::Solved(sched))
+            } else {
+                Ok(Step::Tagged(anytime_tag, sched))
+            }
+        }
+        // Budget trip with nothing in hand: degrade gracefully to the
+        // rounding entry.
+        Err(SolveError::BudgetExhausted { nodes, .. }) => {
+            profiling::add_bnb(nodes, 0, 0);
+            Ok(Step::Deferred)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// Discrete, exact: branch-and-bound over mode assignments (Theorem
-/// 4). Defers on a node-budget trip so the rounding approximation can
-/// take over.
+/// 4). Budget trips return the anytime incumbent when one exists and
+/// defer to the rounding approximation otherwise.
 struct DiscreteBnb;
 
 impl Algorithm for DiscreteBnb {
@@ -123,12 +181,7 @@ impl Algorithm for DiscreteBnb {
         let EnergyModel::Discrete(modes) = ctx.model else {
             unreachable!("applies() gates on the model")
         };
-        match discrete::exact(ctx.prep.graph(), ctx.deadline, modes, ctx.power) {
-            Ok(sol) => Ok(Step::Solved(ctx.schedule_from_speeds(&sol.speeds))),
-            // Budget trip: degrade gracefully to the rounding entry.
-            Err(SolveError::Numerical(_)) => Ok(Step::Deferred),
-            Err(e) => Err(e),
-        }
+        run_exact_bnb(ctx, modes, "discrete-bnb-par", "discrete-bnb-anytime")
     }
 }
 
@@ -178,11 +231,10 @@ impl Algorithm for IncrementalBnb {
         let EnergyModel::Incremental(modes) = ctx.model else {
             unreachable!("applies() gates on the model")
         };
-        match incremental::exact(ctx.prep.graph(), ctx.deadline, modes, ctx.power) {
-            Ok(sol) => Ok(Step::Solved(ctx.schedule_from_speeds(&sol.speeds))),
-            Err(SolveError::Numerical(_)) => Ok(Step::Deferred),
-            Err(e) => Err(e),
-        }
+        // Same search as `incremental::exact`: branch-and-bound over
+        // the materialized grid.
+        let grid = modes.to_discrete();
+        run_exact_bnb(ctx, &grid, "incremental-bnb-par", "incremental-bnb-anytime")
     }
 }
 

@@ -27,6 +27,7 @@
 
 mod algorithms;
 mod key;
+pub mod par_bnb;
 pub mod profiling;
 
 pub use algorithms::{registry, Algorithm, Step};
@@ -186,6 +187,10 @@ pub struct Ctx<'a> {
     pub power: PowerLaw,
     /// Engine tuning knobs.
     pub opts: &'a SolveOptions,
+    /// Worker threads this solve may use (≥ 2 opts exact searches into
+    /// `par_bnb`; the engine's fan-out entry points split their thread
+    /// cap across concurrent jobs so a batch never oversubscribes).
+    pub workers: usize,
 }
 
 impl Ctx<'_> {
@@ -274,6 +279,31 @@ impl Engine {
         model: &EnergyModel,
         deadline: f64,
     ) -> Result<Solution, SolveError> {
+        self.solve_inner(prep, model, deadline, self.ctx_workers())
+    }
+
+    /// Worker threads a single top-level solve may use. Parallel
+    /// branch-and-bound is strictly opt-in: it engages only when the
+    /// caller set [`Engine::threads`] to 2 or more (never from
+    /// ambient parallelism), so default engines keep bitwise-stable
+    /// sequential behavior.
+    fn ctx_workers(&self) -> usize {
+        self.threads.unwrap_or(1)
+    }
+
+    /// Per-job worker share for a fan-out over `n` concurrent jobs:
+    /// the thread cap divided among them, at least 1.
+    fn job_share(&self, n: usize) -> usize {
+        (self.ctx_workers() / n.max(1)).max(1)
+    }
+
+    fn solve_inner(
+        &self,
+        prep: &PreparedGraph<'_>,
+        model: &EnergyModel,
+        deadline: f64,
+        workers: usize,
+    ) -> Result<Solution, SolveError> {
         crate::continuous::check_feasible_prepared(prep, deadline, model.top_speed())?;
         let ctx = Ctx {
             prep,
@@ -281,6 +311,7 @@ impl Engine {
             deadline,
             power: self.power,
             opts: &self.opts,
+            workers,
         };
         for alg in registry() {
             if !alg.applies(&ctx) {
@@ -288,6 +319,7 @@ impl Engine {
             }
             match alg.run(&ctx)? {
                 Step::Solved(schedule) => return self.finish(&ctx, schedule, alg.name()),
+                Step::Tagged(tag, schedule) => return self.finish(&ctx, schedule, tag),
                 Step::Deferred => continue,
             }
         }
@@ -453,8 +485,9 @@ impl Engine {
                 })
             })
             .collect();
+        let share = self.job_share(jobs.len());
         self.run_ordered(jobs.len(), |i| {
-            self.solve(&preps[prep_of[i]], model, jobs[i].1)
+            self.solve_inner(&preps[prep_of[i]], model, jobs[i].1, share)
         })
     }
 
@@ -497,7 +530,10 @@ impl Engine {
                 .map(|r| r.expect("every index visited"))
                 .collect();
         }
-        self.run_ordered(deadlines.len(), |i| self.solve(prep, model, deadlines[i]))
+        let share = self.job_share(deadlines.len());
+        self.run_ordered(deadlines.len(), |i| {
+            self.solve_inner(prep, model, deadlines[i], share)
+        })
     }
 
     /// Sample the energy–deadline curve at `points ≥ 2` geometrically

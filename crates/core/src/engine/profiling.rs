@@ -8,11 +8,21 @@
 //! and re-solve cold without anyone noticing the regression. These
 //! counters make the event observable — tests assert deltas, and the
 //! daemon surfaces per-worker totals in `stats`.
+//!
+//! The branch-and-bound counters follow the same discipline for the
+//! parallel search: `engine::par_bnb` aggregates its subtree workers'
+//! statistics internally and the *calling* thread bumps the totals
+//! exactly once per solve (scoped worker threads have their own
+//! thread-locals that die with them), so a daemon worker's counter
+//! deltas around a request capture the whole parallel solve.
 
 use std::cell::Cell;
 
 thread_local! {
     static WARM_LOST: Cell<u64> = const { Cell::new(0) };
+    static BNB_NODES: Cell<u64> = const { Cell::new(0) };
+    static BNB_STEALS: Cell<u64> = const { Cell::new(0) };
+    static BNB_CANCELLED: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Snapshot of this thread's engine warm-start counters.
@@ -23,6 +33,15 @@ pub struct Counts {
     /// `resolve_rhs` failures inside sweeps, warm schedules failing
     /// validation, spent [`crate::engine::VddWarm`] handles.
     pub warm_lost: u64,
+    /// Branch-and-bound nodes expanded by exact Discrete/Incremental
+    /// solves issued from this thread (parallel subtree workers are
+    /// folded into the issuing thread's total).
+    pub bnb_nodes: u64,
+    /// Subtree pickups beyond each parallel worker's first — how much
+    /// the atomic work-queue rebalanced beyond the static split.
+    pub bnb_steals: u64,
+    /// Subtrees cancelled mid-search by a portfolio race's stop flag.
+    pub bnb_cancelled: u64,
 }
 
 impl std::ops::Sub for Counts {
@@ -30,6 +49,9 @@ impl std::ops::Sub for Counts {
     fn sub(self, rhs: Counts) -> Counts {
         Counts {
             warm_lost: self.warm_lost - rhs.warm_lost,
+            bnb_nodes: self.bnb_nodes - rhs.bnb_nodes,
+            bnb_steals: self.bnb_steals - rhs.bnb_steals,
+            bnb_cancelled: self.bnb_cancelled - rhs.bnb_cancelled,
         }
     }
 }
@@ -38,11 +60,23 @@ impl std::ops::Sub for Counts {
 pub fn counts() -> Counts {
     Counts {
         warm_lost: WARM_LOST.with(Cell::get),
+        bnb_nodes: BNB_NODES.with(Cell::get),
+        bnb_steals: BNB_STEALS.with(Cell::get),
+        bnb_cancelled: BNB_CANCELLED.with(Cell::get),
     }
 }
 
 pub(crate) fn bump_warm_lost() {
     WARM_LOST.with(|c| c.set(c.get() + 1));
+}
+
+/// Fold one exact solve's branch-and-bound totals into this thread's
+/// counters (called once per solve by the sequential and parallel
+/// entry points).
+pub(crate) fn add_bnb(nodes: u64, steals: u64, cancelled: u64) {
+    BNB_NODES.with(|c| c.set(c.get() + nodes));
+    BNB_STEALS.with(|c| c.set(c.get() + steals));
+    BNB_CANCELLED.with(|c| c.set(c.get() + cancelled));
 }
 
 #[cfg(test)]
@@ -54,7 +88,11 @@ mod tests {
         let before = counts();
         bump_warm_lost();
         bump_warm_lost();
+        add_bnb(100, 3, 1);
         let delta = counts() - before;
         assert_eq!(delta.warm_lost, 2);
+        assert_eq!(delta.bnb_nodes, 100);
+        assert_eq!(delta.bnb_steals, 3);
+        assert_eq!(delta.bnb_cancelled, 1);
     }
 }

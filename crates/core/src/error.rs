@@ -17,6 +17,16 @@ pub enum SolveError {
     /// The numerical substrate failed (barrier stall, LP iteration
     /// cap). Carries a human-readable reason.
     Numerical(String),
+    /// An exact search ran out of its node budget before finding any
+    /// feasible incumbent to return. A budget trip *with* an incumbent
+    /// is not an error — the solver returns the incumbent as an
+    /// anytime result instead (see `discrete::ExactSolution::complete`).
+    BudgetExhausted {
+        /// Nodes expanded when the search gave up.
+        nodes: u64,
+        /// The budget that was exhausted.
+        budget: u64,
+    },
     /// The model/graph combination is not supported by the requested
     /// specialized algorithm (e.g. asking the SP closed form for a
     /// non-SP graph).
@@ -34,6 +44,10 @@ impl fmt::Display for SolveError {
                 "infeasible: deadline {deadline} < minimum makespan {min_makespan} at top speed"
             ),
             SolveError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            SolveError::BudgetExhausted { nodes, budget } => write!(
+                f,
+                "branch-and-bound node budget {budget} exhausted after {nodes} nodes with no incumbent"
+            ),
             SolveError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
@@ -53,6 +67,12 @@ mod tests {
         };
         assert!(e.to_string().contains("infeasible"));
         assert!(SolveError::Numerical("x".into()).to_string().contains("x"));
+        let b = SolveError::BudgetExhausted {
+            nodes: 11,
+            budget: 10,
+        };
+        assert!(b.to_string().contains("budget 10"));
+        assert!(b.to_string().contains("11 nodes"));
         assert!(SolveError::Unsupported("y".into())
             .to_string()
             .contains("y"));

@@ -37,6 +37,13 @@ pub struct SolveOptions {
     /// instead of the Theorem 5 approximation, subject to the same
     /// task-count limit.
     pub exact_incremental: bool,
+    /// When an exact search runs in parallel (an
+    /// [`crate::engine::Engine`] with `threads ≥ 2`), race
+    /// heterogeneous portfolio arms (warm/slowest-first vs.
+    /// cold/fastest-first) instead of the deterministic partition
+    /// sweep. Values stay exact; node counts stop being reproducible
+    /// (see [`crate::engine::par_bnb`]).
+    pub bnb_racing: bool,
 }
 
 impl Default for SolveOptions {
@@ -45,6 +52,7 @@ impl Default for SolveOptions {
             precision_k: 10_000,
             exact_discrete_limit: 24,
             exact_incremental: false,
+            bnb_racing: false,
         }
     }
 }
@@ -120,21 +128,30 @@ pub mod reference {
             EnergyModel::Discrete(modes) => {
                 // Exact only when the search space is plausibly tractable
                 // (Theorem 4: it is exponential); if the node budget still
-                // trips, degrade gracefully to the Proposition 1(b)
-                // rounding rather than failing.
+                // trips, return the anytime incumbent when the search holds
+                // one, and degrade gracefully to the Proposition 1(b)
+                // rounding otherwise.
                 let tractable = g.n() <= opts.exact_discrete_limit
                     && (modes.m() as f64).powi(g.n() as i32) <= 5e9;
                 let exact_result = if tractable {
                     match discrete::exact(g, deadline, modes, p) {
                         Ok(sol) => Some(sol),
-                        Err(SolveError::Numerical(_)) => None, // budget trip
+                        // Budget trip with no incumbent.
+                        Err(SolveError::BudgetExhausted { .. }) => None,
                         Err(e) => return Err(e),
                     }
                 } else {
                     None
                 };
                 match exact_result {
-                    Some(sol) => (Schedule::asap_from_speeds(g, &sol.speeds), "discrete-bnb"),
+                    Some(sol) => (
+                        Schedule::asap_from_speeds(g, &sol.speeds),
+                        if sol.complete {
+                            "discrete-bnb"
+                        } else {
+                            "discrete-bnb-anytime"
+                        },
+                    ),
                     None => {
                         let speeds =
                             discrete::round_up(g, deadline, modes, p, Some(opts.precision_k))?;
@@ -148,7 +165,7 @@ pub mod reference {
                 let exact_result = if opts.exact_incremental && tractable {
                     match incremental::exact(g, deadline, modes, p) {
                         Ok(sol) => Some(sol),
-                        Err(SolveError::Numerical(_)) => None,
+                        Err(SolveError::BudgetExhausted { .. }) => None,
                         Err(e) => return Err(e),
                     }
                 } else {
@@ -157,7 +174,11 @@ pub mod reference {
                 match exact_result {
                     Some(sol) => (
                         Schedule::asap_from_speeds(g, &sol.speeds),
-                        "incremental-bnb",
+                        if sol.complete {
+                            "incremental-bnb"
+                        } else {
+                            "incremental-bnb-anytime"
+                        },
                     ),
                     None => {
                         let speeds = incremental::approx(g, deadline, modes, p, opts.precision_k)?;

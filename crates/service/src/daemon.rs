@@ -19,7 +19,12 @@
 //! connections interleave freely; responses echo the request `id`, and
 //! a pipelined client must match on it (two requests on one connection
 //! may complete out of order). Each worker owns a single-threaded
-//! [`Engine`], making the pool size the daemon's one parallelism knob.
+//! [`Engine`], making the pool size the daemon's one parallelism knob:
+//! a worker that pulls a job while the rest of the pool is idle
+//! borrows the spare slots and runs that request on a boosted engine
+//! (`threads = 1 + spares`), so exact branch-and-bound solves use the
+//! parallel partition sweep when the daemon has capacity — total
+//! solving threads stay bounded by `--workers` at reservation time.
 //!
 //! `shutdown` stops the accept loop (nudging it with a self-
 //! connection), drops the job queue, and joins the workers once every
@@ -214,6 +219,9 @@ struct WorkerCounters {
     solves: AtomicU64,
     solve_ns: AtomicU64,
     warm_lost: AtomicU64,
+    bnb_nodes: AtomicU64,
+    bnb_steals: AtomicU64,
+    bnb_cancelled: AtomicU64,
 }
 
 struct State {
@@ -221,6 +229,30 @@ struct State {
     power: PowerLaw,
     shutdown: AtomicBool,
     workers: Vec<WorkerCounters>,
+    /// Thread slots currently in use across the pool: each busy
+    /// worker holds one, plus any spare slots it borrowed for a
+    /// parallel exact search. The invariant `active ≤ workers.len()`
+    /// keeps the daemon's total solving threads bounded by
+    /// `--workers` no matter how solves and borrows interleave.
+    active: AtomicU64,
+}
+
+/// Reserve every currently-idle pool slot for one request's parallel
+/// search. Returns how many extra slots were borrowed (0 when the
+/// pool is saturated); the caller must release `1 + extra` slots when
+/// the request completes.
+fn reserve_spares(active: &AtomicU64, pool: u64) -> u64 {
+    let mut cur = active.load(Ordering::Relaxed);
+    loop {
+        if cur >= pool {
+            return 0;
+        }
+        let extra = pool - cur;
+        match active.compare_exchange_weak(cur, cur + extra, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return extra,
+            Err(observed) => cur = observed,
+        }
+    }
 }
 
 struct Job {
@@ -271,6 +303,7 @@ impl Daemon {
             power: cfg.power,
             shutdown: AtomicBool::new(false),
             workers: (0..workers).map(|_| WorkerCounters::default()).collect(),
+            active: AtomicU64::new(0),
         });
         Ok(Daemon {
             listener,
@@ -399,6 +432,7 @@ fn worker_loop(
     ep: &Endpoint,
 ) {
     let engine = Engine::new(state.power).threads(1);
+    let pool = state.workers.len() as u64;
     loop {
         let job = match rx.lock().expect("job queue lock poisoned").recv() {
             Ok(job) => job,
@@ -407,15 +441,46 @@ fn worker_loop(
         state.workers[worker_id]
             .requests
             .fetch_add(1, Ordering::Relaxed);
-        // The engine's warm-loss counter is thread-local and this
-        // worker is one thread: the delta across the request is
-        // exactly this request's cold retries.
-        let warm_before = reclaim_core::engine::profiling::counts();
-        let (resp, stop) = handle_payload(&job.payload, worker_id, state, &engine);
-        let warm_delta = reclaim_core::engine::profiling::counts() - warm_before;
-        state.workers[worker_id]
+        // Go active, then borrow whatever is left of the pool for this
+        // request: an exact search on a boosted engine (`threads ≥ 2`)
+        // runs the parallel partition sweep on the borrowed slots.
+        // The borrow is sized so the pool's slot count is respected at
+        // reservation time; jobs arriving mid-solve still get served
+        // (they time-share rather than wait).
+        state.active.fetch_add(1, Ordering::AcqRel);
+        let extra = reserve_spares(&state.active, pool);
+        // The engine's profiling counters are thread-local, and the
+        // parallel search folds its subtree workers' totals into the
+        // calling thread — this one. The delta across the request is
+        // exactly this request's events.
+        let before = reclaim_core::engine::profiling::counts();
+        let (resp, stop) = if extra > 0 {
+            let boosted = engine.clone().threads(1 + extra as usize);
+            handle_payload(&job.payload, worker_id, state, &boosted)
+        } else {
+            handle_payload(&job.payload, worker_id, state, &engine)
+        };
+        let delta = reclaim_core::engine::profiling::counts() - before;
+        // Flush the deltas into the shared counters strictly before
+        // the response frame goes out: a client that has seen this
+        // response and then asks for `stats` (even as the last
+        // request before `shutdown`) must see this solve's counters,
+        // exactly once — no flush may ride on a worker surviving past
+        // the drain.
+        let counters = &state.workers[worker_id];
+        counters
             .warm_lost
-            .fetch_add(warm_delta.warm_lost, Ordering::Relaxed);
+            .fetch_add(delta.warm_lost, Ordering::Relaxed);
+        counters
+            .bnb_nodes
+            .fetch_add(delta.bnb_nodes, Ordering::Relaxed);
+        counters
+            .bnb_steals
+            .fetch_add(delta.bnb_steals, Ordering::Relaxed);
+        counters
+            .bnb_cancelled
+            .fetch_add(delta.bnb_cancelled, Ordering::Relaxed);
+        state.active.fetch_sub(1 + extra, Ordering::AcqRel);
         if let Ok(mut w) = job.writer.lock() {
             // A vanished client is not a daemon error.
             let _ = write_frame(&mut *w, &resp.encode());
@@ -533,6 +598,9 @@ fn handle_payload(
                     solves: w.solves.load(Ordering::Relaxed),
                     solve_ns: w.solve_ns.load(Ordering::Relaxed),
                     warm_lost: w.warm_lost.load(Ordering::Relaxed),
+                    bnb_nodes: w.bnb_nodes.load(Ordering::Relaxed),
+                    bnb_steals: w.bnb_steals.load(Ordering::Relaxed),
+                    bnb_cancelled: w.bnb_cancelled.load(Ordering::Relaxed),
                 })
                 .collect(),
         }),

@@ -182,6 +182,10 @@ pub enum ErrorKind {
     /// The model/graph/parameter combination is not supported
     /// ([`SolveError::Unsupported`]).
     Unsupported,
+    /// An exact search exhausted its node budget with no incumbent in
+    /// hand ([`SolveError::BudgetExhausted`]); the solve produced
+    /// nothing usable but the instance is not known infeasible.
+    BudgetExhausted,
     /// The request decoded as JSON but its content is invalid
     /// (unknown type, malformed graph, bad field).
     BadRequest,
@@ -200,6 +204,7 @@ impl ErrorKind {
             ErrorKind::Infeasible => "infeasible",
             ErrorKind::Numerical => "numerical",
             ErrorKind::Unsupported => "unsupported",
+            ErrorKind::BudgetExhausted => "budget_exhausted",
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::UnknownBase => "unknown_base",
             ErrorKind::Protocol => "protocol",
@@ -211,6 +216,7 @@ impl ErrorKind {
             "infeasible" => ErrorKind::Infeasible,
             "numerical" => ErrorKind::Numerical,
             "unsupported" => ErrorKind::Unsupported,
+            "budget_exhausted" => ErrorKind::BudgetExhausted,
             "bad_request" => ErrorKind::BadRequest,
             "unknown_base" => ErrorKind::UnknownBase,
             "protocol" => ErrorKind::Protocol,
@@ -264,6 +270,9 @@ impl From<&SolveError> for ErrorBody {
             },
             SolveError::Numerical(_) => ErrorBody::new(ErrorKind::Numerical, e.to_string()),
             SolveError::Unsupported(_) => ErrorBody::new(ErrorKind::Unsupported, e.to_string()),
+            SolveError::BudgetExhausted { .. } => {
+                ErrorBody::new(ErrorKind::BudgetExhausted, e.to_string())
+            }
         }
     }
 }
@@ -925,6 +934,16 @@ pub struct WorkerStatsReport {
     /// retries ([`reclaim_core::engine::profiling`]): non-zero means
     /// sweeps or patches silently paid for cold re-solves.
     pub warm_lost: u64,
+    /// Branch-and-bound nodes expanded by exact Discrete/Incremental
+    /// solves (parallel subtree workers fold into the issuing
+    /// worker's total).
+    pub bnb_nodes: u64,
+    /// Parallel-search subtree pickups beyond each worker's first —
+    /// how much the atomic work-queue rebalanced past the static
+    /// split.
+    pub bnb_steals: u64,
+    /// Subtrees cancelled mid-search by a portfolio race's stop flag.
+    pub bnb_cancelled: u64,
 }
 
 /// The `stats` response body.
@@ -1331,6 +1350,9 @@ fn stats_to_json(s: &StatsReport) -> Json {
                             ("solves".into(), Json::num(w.solves as f64)),
                             ("solve_ns".into(), Json::num(w.solve_ns as f64)),
                             ("warm_lost".into(), Json::num(w.warm_lost as f64)),
+                            ("bnb_nodes".into(), Json::num(w.bnb_nodes as f64)),
+                            ("bnb_steals".into(), Json::num(w.bnb_steals as f64)),
+                            ("bnb_cancelled".into(), Json::num(w.bnb_cancelled as f64)),
                         ])
                     })
                     .collect(),
@@ -1372,12 +1394,17 @@ fn stats_from_json(v: &Json) -> Result<StatsReport, ErrorBody> {
                         .and_then(Json::as_u64)
                         .ok_or_else(|| bad(format!("worker stats missing \"{name}\"")))
                 };
+                // Counters newer than a peer's protocol build decode
+                // as zero rather than erroring.
+                let wu0 = |name: &str| w.get(name).and_then(Json::as_u64).unwrap_or(0);
                 Ok(WorkerStatsReport {
                     requests: wu("requests")?,
                     solves: wu("solves")?,
                     solve_ns: wu("solve_ns")?,
-                    // Absent from pre-v3 daemons: default to zero.
-                    warm_lost: w.get("warm_lost").and_then(Json::as_u64).unwrap_or(0),
+                    warm_lost: wu0("warm_lost"),
+                    bnb_nodes: wu0("bnb_nodes"),
+                    bnb_steals: wu0("bnb_steals"),
+                    bnb_cancelled: wu0("bnb_cancelled"),
                 })
             })
             .collect::<Result<_, ErrorBody>>()?,
@@ -1535,6 +1562,9 @@ mod tests {
                         solves: 9,
                         solve_ns: 777,
                         warm_lost: 2,
+                        bnb_nodes: 123_456,
+                        bnb_steals: 7,
+                        bnb_cancelled: 3,
                     },
                     WorkerStatsReport::default(),
                 ],

@@ -504,3 +504,60 @@ fn tcp_endpoint_works_in_process() {
     drop(client);
     handle.join().unwrap().unwrap();
 }
+
+/// Exact branch-and-bound through the daemon: a lone request on a
+/// 4-worker pool borrows the idle slots and runs the parallel
+/// partition sweep (`discrete-bnb-par`), and every worker's
+/// branch-and-bound counters are flushed before the response frame —
+/// so a `stats` issued right after a solve's answer already accounts
+/// for that solve, exactly once.
+#[test]
+fn parallel_bnb_borrows_spare_workers_and_flushes_counters() {
+    let daemon = Spawned::new("parbnb", &["--workers", "4"]);
+    let mut client = daemon.client();
+
+    let g = {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        generators::random_sp(12, 0.55, 1.0, 4.0, &mut rng).0
+    };
+    let modes = models::DiscreteModes::new(&[0.5, 1.0, 2.0]).unwrap();
+    let cp = taskgraph::analysis::critical_path_weight(&g);
+    let req = Request::Solve {
+        graph: g.clone(),
+        model: EnergyModel::Discrete(modes),
+        deadline: 1.15 * cp / 2.0,
+    };
+
+    // Request 1: the solve. One client means the other three workers
+    // are idle, so the serving worker boosts to threads = 4 and the
+    // provenance tag records the parallel path.
+    let r = expect_solve(client.roundtrip(req.clone()).unwrap().response);
+    assert_eq!(r.algorithm, "discrete-bnb-par", "spare slots not borrowed");
+
+    // Request 2: stats. The solve's response preceded this request,
+    // so its node total must already be in the ledger.
+    let s1 = expect_stats(client.roundtrip(Request::Stats).unwrap().response);
+    let nodes1: u64 = s1.workers.iter().map(|w| w.bnb_nodes).sum();
+    assert!(nodes1 > 0, "bnb nodes not flushed before the response");
+    assert_eq!(
+        s1.workers.iter().map(|w| w.bnb_cancelled).sum::<u64>(),
+        0,
+        "no racing configured, nothing may be cancelled"
+    );
+
+    // Requests 3 and 4: a second identical solve must add its own
+    // node count once — the ledger grows, it never double-drains.
+    let _ = expect_solve(client.roundtrip(req).unwrap().response);
+    let s2 = expect_stats(client.roundtrip(Request::Stats).unwrap().response);
+    let nodes2: u64 = s2.workers.iter().map(|w| w.bnb_nodes).sum();
+    assert_eq!(nodes2, 2 * nodes1, "deterministic sweep: same count again");
+    assert_eq!(
+        s2.workers.iter().map(|w| w.requests).sum::<u64>(),
+        4,
+        "each request counted exactly once"
+    );
+
+    daemon.shutdown(client);
+}

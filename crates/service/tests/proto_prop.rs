@@ -123,6 +123,7 @@ fn arb_error() -> impl Strategy<Value = ErrorBody> {
             Just(ErrorKind::Infeasible),
             Just(ErrorKind::Numerical),
             Just(ErrorKind::Unsupported),
+            Just(ErrorKind::BudgetExhausted),
             Just(ErrorKind::BadRequest),
             Just(ErrorKind::UnknownBase),
             Just(ErrorKind::Protocol),
