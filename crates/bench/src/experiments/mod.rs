@@ -17,6 +17,7 @@ pub mod t6;
 pub mod t7;
 pub mod x1;
 pub mod x10;
+pub mod x11;
 pub mod x2;
 pub mod x3;
 pub mod x4;
@@ -114,6 +115,7 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
     ("x8", x8::run),
     ("x9", x9::run),
     ("x10", x10::run),
+    ("x11", x11::run),
 ];
 
 /// Run every experiment in order.

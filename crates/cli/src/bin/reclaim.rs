@@ -8,7 +8,9 @@
 //! reclaim serve  [--socket PATH] [--tcp ADDR] [--workers N] …
 //! reclaim ask    [<instance-file>] [--socket PATH|--tcp ADDR]
 //!                [--patch SPEC] [--stats] [--shutdown]
+//!                [--pipeline K] [--timeout MS]
 //! reclaim corpus <dir> [--shards N] [--json DIR]
+//!                [--socket PATH|--tcp ADDR]
 //! ```
 //!
 //! See `crates/cli/src/instance.rs` for the instance format,
@@ -42,13 +44,16 @@ fn usage() -> ! {
            serve    — run the reclaimd daemon in the foreground\n\
                       [--socket PATH] [--tcp ADDR] [--workers N]\n\
                       [--cache-entries N] [--cache-bytes B] [--alpha A]\n\
+                      [--max-connections N] [--max-inflight N]\n\
            ask      — send requests to a running daemon\n\
                       reclaim ask [<file>] [--socket PATH|--tcp ADDR]\n\
                       [--patch SPEC] [--stats] [--shutdown]\n\
+                      [--pipeline K] [--timeout MS]\n\
                       SPEC: ';'-separated edits — set:T:W link:U:V\n\
                       unlink:U:V add:W[:pA.B][:sC.D] drop:T\n\
            corpus   — shard a directory of .inst files across engines\n\
-                      reclaim corpus <dir> [--shards N] [--json DIR]"
+                      reclaim corpus <dir> [--shards N] [--json DIR]\n\
+                      [--socket PATH|--tcp ADDR]  (run through a daemon)"
     );
     std::process::exit(2);
 }
@@ -105,11 +110,89 @@ fn ask_command(args: &[String]) {
         eprintln!("--patch needs the instance file the patch is based on");
         std::process::exit(2);
     }
+    let flag_value = |name: &str| {
+        flags
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| flags.get(i + 1))
+            .cloned()
+    };
+    let pipeline_k: usize = flag_value("--pipeline")
+        .map(|v| {
+            v.parse().ok().filter(|&k| k >= 1).unwrap_or_else(|| {
+                eprintln!("--pipeline needs an integer ≥ 1, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1);
+    let timeout_ms: Option<u64> = flag_value("--timeout").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--timeout needs milliseconds, got {v:?}");
+            std::process::exit(2);
+        })
+    });
     let ep = endpoint_from_flags(&flags);
     let mut client = Client::connect(&ep).unwrap_or_else(|e| {
         eprintln!("cannot connect to {ep}: {e} (is reclaimd running?)");
         std::process::exit(1);
     });
+    client.set_timeout_ms(timeout_ms);
+    // Pipelined mode: send the file's solve K times in one window
+    // (responses matched by id, completion order) — a quick way to
+    // drive the daemon cache and the out-of-order write path from the
+    // shell.
+    if pipeline_k > 1 {
+        let Some(path) = file else {
+            eprintln!("--pipeline needs an instance file");
+            std::process::exit(2);
+        };
+        let inst = load(path);
+        let req = Request::Solve {
+            graph: inst.graph.clone(),
+            model: inst.model.clone(),
+            deadline: inst.deadline,
+        };
+        let t0 = std::time::Instant::now();
+        let mut pipe = client.pipeline(pipeline_k);
+        for _ in 0..pipeline_k {
+            pipe.send(req.clone()).unwrap_or_else(|e| {
+                eprintln!("pipelined send failed: {e}");
+                std::process::exit(1);
+            });
+        }
+        let responses = pipe.drain().unwrap_or_else(|e| {
+            eprintln!("pipelined exchange failed: {e}");
+            std::process::exit(1);
+        });
+        let elapsed = t0.elapsed();
+        let mut hits = 0usize;
+        for r in &responses {
+            match &r.response {
+                Response::Solve(s) => hits += usize::from(s.cached),
+                Response::Error(e) => {
+                    eprintln!("daemon error: {e}");
+                    std::process::exit(1);
+                }
+                other => {
+                    eprintln!("unexpected response: {other:?}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!(
+            "pipelined {} solves | window {} | {} cache hits | {:.3} ms total | {:.1} µs/request",
+            responses.len(),
+            pipeline_k,
+            hits,
+            elapsed.as_secs_f64() * 1e3,
+            elapsed.as_secs_f64() * 1e6 / responses.len() as f64,
+        );
+        if stats || shutdown {
+            // Fall through to the serial paths below.
+        } else {
+            return;
+        }
+    }
     let mut roundtrip = |req: Request| {
         client
             .roundtrip(req)
@@ -119,7 +202,8 @@ fn ask_command(args: &[String]) {
             })
             .response
     };
-    if let Some(path) = file {
+    // (In pipelined mode the file was already solved above.)
+    if let Some(path) = file.filter(|_| pipeline_k == 1) {
         let inst = load(path);
         match roundtrip(Request::Solve {
             graph: inst.graph.clone(),
@@ -209,6 +293,15 @@ fn ask_command(args: &[String]) {
                         w.bnb_cancelled
                     );
                 }
+                println!(
+                    "net: {} connections | {} queue depth | {} inflight | \
+                     {} rejected | {} timeouts",
+                    s.net.connections,
+                    s.net.queue_depth,
+                    s.net.inflight,
+                    s.net.rejected,
+                    s.net.timeouts
+                );
             }
             other => {
                 eprintln!("unexpected response: {other:?}");
@@ -283,7 +376,36 @@ fn corpus_command(args: &[String]) {
         })
         .collect();
 
-    let outcomes = corpus::run_corpus(jobs, shards, PowerLaw::CUBIC);
+    // Daemon mode: ship the whole sharded corpus to a running
+    // reclaimd as one protocol-v4 request. The daemon partitions with
+    // the same content-key rule, so the table and JSON outputs are
+    // byte-identical to a local run.
+    let outcomes = if flags.iter().any(|a| a == "--socket" || a == "--tcp") {
+        let ep = endpoint_from_flags(flags);
+        let mut client = Client::connect(&ep).unwrap_or_else(|e| {
+            eprintln!("cannot connect to {ep}: {e} (is reclaimd running?)");
+            std::process::exit(1);
+        });
+        match client.roundtrip(Request::Corpus { shards, jobs }) {
+            Ok(resp) => match resp.response {
+                Response::Corpus(outcomes) => outcomes,
+                Response::Error(e) => {
+                    eprintln!("daemon error: {e}");
+                    std::process::exit(1);
+                }
+                other => {
+                    eprintln!("unexpected response: {other:?}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("corpus request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        corpus::run_corpus(jobs, shards, PowerLaw::CUBIC)
+    };
     let mut t = Table::new(&[
         "shard",
         "files",

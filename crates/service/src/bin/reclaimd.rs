@@ -3,6 +3,7 @@
 //! ```text
 //! reclaimd [--socket PATH] [--tcp ADDR] [--workers N]
 //!          [--cache-entries N] [--cache-bytes B] [--alpha A]
+//!          [--max-connections N] [--max-inflight N]
 //! ```
 //!
 //! Serves the length-prefixed JSON-line protocol (see
@@ -17,7 +18,11 @@ fn main() {
         eprintln!(
             "usage: reclaimd [--socket PATH] [--tcp ADDR] [--workers N]\n\
              \x20               [--cache-entries N] [--cache-bytes B] [--alpha A]\n\
+             \x20               [--max-connections N] [--max-inflight N]\n\
              default socket: reclaimd.sock (unix domain); --tcp overrides.\n\
+             --max-inflight bounds admitted-but-unanswered requests per\n\
+             connection (backpressure); --max-connections bounds accepted\n\
+             sockets.\n\
              Stop it with: reclaim ask --shutdown --socket PATH"
         );
         std::process::exit(2);

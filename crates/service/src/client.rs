@@ -1,9 +1,14 @@
-//! A blocking client for `reclaimd`.
+//! A blocking client for `reclaimd`: serial [`Client::roundtrip`] or
+//! pipelined [`Client::pipeline`] (up to a window of requests in
+//! flight, responses matched by `id` in whatever order the daemon
+//! finishes them).
 
 use crate::daemon::{Endpoint, Stream};
 use crate::proto::{
-    read_frame, write_frame, ErrorBody, FrameError, Request, RequestEnvelope, ResponseEnvelope,
+    read_frame, write_frame, ErrorBody, ErrorKind, FrameError, Request, RequestEnvelope,
+    ResponseEnvelope,
 };
+use std::collections::HashSet;
 use std::fmt;
 use std::io;
 use std::time::{Duration, Instant};
@@ -45,6 +50,7 @@ impl From<io::Error> for ClientError {
 pub struct Client {
     stream: Stream,
     next_id: u64,
+    timeout_ms: Option<u64>,
 }
 
 impl Client {
@@ -53,7 +59,27 @@ impl Client {
         Ok(Client {
             stream: Stream::connect(ep)?,
             next_id: 1,
+            timeout_ms: None,
         })
+    }
+
+    /// Wrap an already-connected Unix stream (tests drive the client
+    /// against a scripted in-process peer this way).
+    pub fn from_unix(stream: std::os::unix::net::UnixStream) -> Client {
+        Client {
+            stream: Stream::Unix(stream),
+            next_id: 1,
+            timeout_ms: None,
+        }
+    }
+
+    /// Attach a per-request queue-wait budget to every subsequent
+    /// request (`None` clears it). A request still queued when the
+    /// budget elapses is answered with the structured
+    /// [`ErrorKind::Timeout`] error instead of being solved. Carrying
+    /// the field bumps the envelope to protocol v4.
+    pub fn set_timeout_ms(&mut self, timeout_ms: Option<u64>) {
+        self.timeout_ms = timeout_ms;
     }
 
     /// Connect, retrying until `timeout` elapses — for racing a daemon
@@ -80,13 +106,28 @@ impl Client {
     ) -> Result<ResponseEnvelope, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let env = RequestEnvelope::new(id, request);
+        let env = RequestEnvelope::new(id, request).with_timeout_ms(self.timeout_ms);
         write_frame(&mut self.stream, &env.encode())?;
         let payload = read_frame(&mut self.stream)
             .map_err(ClientError::Frame)?
             .ok_or(ClientError::Closed)?;
         let resp = ResponseEnvelope::decode(&payload).map_err(ClientError::Protocol)?;
         Ok(resp)
+    }
+
+    /// Start a pipelined exchange: up to `window` requests in flight
+    /// before [`Pipeline::send`] blocks to collect a response.
+    /// Responses are matched to requests by `id` — the daemon answers
+    /// in completion order, not send order, so out-of-order arrival is
+    /// normal and handled. Call [`Pipeline::drain`] to collect every
+    /// outstanding response at the end.
+    pub fn pipeline(&mut self, window: usize) -> Pipeline<'_> {
+        Pipeline {
+            client: self,
+            window: window.max(1),
+            pending: HashSet::new(),
+            ready: Vec::new(),
+        }
     }
 
     /// Send a v2 `patch`: edit the instance the daemon already caches
@@ -134,5 +175,84 @@ impl Client {
             edits: edits.to_vec(),
             deadline,
         })
+    }
+}
+
+/// A pipelined exchange over one connection (see
+/// [`Client::pipeline`]). Dropping a pipeline with responses still in
+/// flight leaves them on the stream; the next serial `roundtrip`
+/// would mis-match, so [`Pipeline::drain`] first.
+pub struct Pipeline<'a> {
+    client: &'a mut Client,
+    window: usize,
+    /// Ids sent but not yet answered.
+    pending: HashSet<u64>,
+    /// Responses read while waiting for window space, not yet handed
+    /// to the caller.
+    ready: Vec<ResponseEnvelope>,
+}
+
+impl Pipeline<'_> {
+    /// Send one request, first collecting a response if the window is
+    /// full. Returns the assigned request id.
+    pub fn send(&mut self, request: Request) -> Result<u64, ClientError> {
+        while self.pending.len() >= self.window {
+            let resp = self.recv_matched()?;
+            self.ready.push(resp);
+        }
+        let id = self.client.next_id;
+        self.client.next_id += 1;
+        let env = RequestEnvelope::new(id, request).with_timeout_ms(self.client.timeout_ms);
+        write_frame(&mut self.client.stream, &env.encode())?;
+        self.pending.insert(id);
+        Ok(id)
+    }
+
+    /// Collect the next response, in daemon completion order: a
+    /// response buffered while `send` waited for window space, or the
+    /// next one off the stream. Errors with a structured protocol
+    /// error if the daemon answers an id this pipeline never sent.
+    pub fn recv(&mut self) -> Result<ResponseEnvelope, ClientError> {
+        if !self.ready.is_empty() {
+            return Ok(self.ready.remove(0));
+        }
+        self.recv_matched()
+    }
+
+    /// Take the responses that were read off the stream while `send`
+    /// waited for window space, without blocking. Useful for latency
+    /// accounting: callers that timestamp arrivals can collect these
+    /// right after each `send` instead of discovering them in a final
+    /// `drain`.
+    pub fn take_ready(&mut self) -> Vec<ResponseEnvelope> {
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Number of requests sent but not yet collected.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len() + self.ready.len()
+    }
+
+    /// Collect every outstanding response.
+    pub fn drain(&mut self) -> Result<Vec<ResponseEnvelope>, ClientError> {
+        let mut out = std::mem::take(&mut self.ready);
+        while !self.pending.is_empty() {
+            out.push(self.recv_matched()?);
+        }
+        Ok(out)
+    }
+
+    fn recv_matched(&mut self) -> Result<ResponseEnvelope, ClientError> {
+        let payload = read_frame(&mut self.client.stream)
+            .map_err(ClientError::Frame)?
+            .ok_or(ClientError::Closed)?;
+        let resp = ResponseEnvelope::decode(&payload).map_err(ClientError::Protocol)?;
+        if !self.pending.remove(&resp.id) {
+            return Err(ClientError::Protocol(ErrorBody::new(
+                ErrorKind::Protocol,
+                format!("response id {} matches no pending request", resp.id),
+            )));
+        }
+        Ok(resp)
     }
 }

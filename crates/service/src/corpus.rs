@@ -29,8 +29,11 @@ use std::path::{Path, PathBuf};
 use crate::json::Json;
 use crate::proto::ErrorBody;
 
-/// One corpus entry: a named, parsed instance.
-#[derive(Debug, Clone)]
+/// One corpus entry: a named, parsed instance. Also the job unit of
+/// the protocol-v4 `corpus` request ([`crate::proto::Request::Corpus`]),
+/// where the daemon runs the same sharded loop through its
+/// content-addressed cache.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorpusJob {
     /// Display name (file name relative to the corpus root).
     pub name: String,
@@ -43,7 +46,7 @@ pub struct CorpusJob {
 }
 
 /// The solved result of one corpus entry, as it lands in the manifest.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorpusEntry {
     /// Display name.
     pub name: String,
@@ -53,14 +56,15 @@ pub struct CorpusEntry {
     pub tasks: usize,
     /// The deadline.
     pub deadline: f64,
-    /// Model name.
-    pub model: &'static str,
+    /// Model name (owned so entries can cross the wire in a v4
+    /// `corpus` response).
+    pub model: String,
     /// Energy + algorithm, or the structured error.
-    pub result: Result<(f64, &'static str), ErrorBody>,
+    pub result: Result<(f64, String), ErrorBody>,
 }
 
 /// One shard's outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardOutcome {
     /// This shard's index (`0..shards`).
     pub shard: usize,
@@ -100,12 +104,12 @@ impl ShardOutcome {
                     ("key".into(), Json::str(format!("{:032x}", e.key))),
                     ("tasks".into(), Json::num(e.tasks as f64)),
                     ("deadline".into(), Json::num(e.deadline)),
-                    ("model".into(), Json::str(e.model)),
+                    ("model".into(), Json::str(e.model.clone())),
                 ];
                 match &e.result {
                     Ok((energy, algorithm)) => {
                         pairs.push(("energy".into(), Json::num(*energy)));
-                        pairs.push(("algorithm".into(), Json::str(*algorithm)));
+                        pairs.push(("algorithm".into(), Json::str(algorithm.clone())));
                     }
                     Err(err) => pairs.push((
                         "error".into(),
@@ -180,14 +184,14 @@ pub fn run_corpus(jobs: Vec<CorpusJob>, shards: usize, power: PowerLaw) -> Vec<S
                         .map(|(key, job)| {
                             let result = engine
                                 .solve_graph(&job.graph, &job.model, job.deadline)
-                                .map(|sol| (sol.energy, sol.algorithm))
+                                .map(|sol| (sol.energy, sol.algorithm.to_string()))
                                 .map_err(|e: SolveError| ErrorBody::from(&e));
                             CorpusEntry {
                                 name: job.name,
                                 key,
                                 tasks: job.graph.n(),
                                 deadline: job.deadline,
-                                model: job.model.name(),
+                                model: job.model.name().to_string(),
                                 result,
                             }
                         })

@@ -1,53 +1,65 @@
 //! `reclaimd` — the long-lived solve daemon.
 //!
-//! Architecture (std only — no async runtime; the engine is `Sync`
-//! and thread-scoped, so the remaining work really is protocol plus
-//! cache eviction, as the roadmap predicted):
+//! Architecture (std plus a thin epoll shim in `crate::net` — no
+//! async runtime, no FFI crates; the engine is `Sync` and
+//! thread-scoped, so the remaining work really is protocol plus cache
+//! eviction, as the roadmap predicted):
 //!
 //! ```text
-//!            accept loop (Daemon::run, caller's thread)
-//!                 │ one reader thread per connection
-//!                 ▼
+//!        nonblocking poll loop (Daemon::run, caller's thread)
+//!        owns the listener and every connection socket (epoll)
+//!           │ per-connection read buffer → complete frames
+//!           │ (admission stops at --max-inflight: backpressure,
+//!           │  not unbounded buffering; stats/shutdown answered
+//!           │  inline, never consuming a worker slot)
+//!           ▼
 //!   frames ──► mpsc job queue ──► fixed worker pool (N std threads)
 //!                                    │  content-addressed cache
 //!                                    │  (Arc<PreparedInstance>, LRU)
 //!                                    ▼
-//!                       response frame → per-connection writer lock
+//!              completion queue (worker → poll loop, wake via pipe)
+//!                                    ▼
+//!              per-connection write queue → nonblocking writes
 //! ```
 //!
 //! Workers pull jobs from one shared queue, so requests from all
 //! connections interleave freely; responses echo the request `id`, and
 //! a pipelined client must match on it (two requests on one connection
-//! may complete out of order). Each worker owns a single-threaded
-//! [`Engine`], making the pool size the daemon's one parallelism knob:
-//! a worker that pulls a job while the rest of the pool is idle
-//! borrows the spare slots and runs that request on a boosted engine
-//! (`threads = 1 + spares`), so exact branch-and-bound solves use the
-//! parallel partition sweep when the daemon has capacity — total
-//! solving threads stay bounded by `--workers` at reservation time.
+//! may complete out of order — completions are written back in the
+//! order workers finish them, not the order frames arrived). Each
+//! worker owns a single-threaded [`Engine`], making the pool size the
+//! daemon's one parallelism knob: a worker that pulls a job while the
+//! rest of the pool is idle borrows the spare slots and runs that
+//! request on a boosted engine (`threads = 1 + spares`), so exact
+//! branch-and-bound solves use the parallel partition sweep when the
+//! daemon has capacity — total solving threads stay bounded by
+//! `--workers` at reservation time.
 //!
-//! `shutdown` stops the accept loop (nudging it with a self-
-//! connection), drops the job queue, and joins the workers once every
-//! open connection has drained. Clients that hold a connection open
-//! after shutdown keep their reader thread alive until they close —
-//! send `shutdown` last, as `reclaim ask --shutdown` does.
+//! `shutdown` closes the listener at once, answers every admitted
+//! request, flushes every write queue, closes **all** registered
+//! sockets (idle connections included — nothing lingers waiting for
+//! the peer), and joins the workers. A connection that sends bytes
+//! mid-drain is not admitted; its socket is closed with the rest.
 
 use crate::cache::{CacheConfig, CachedCurve, InstanceCache, PatchError};
+use crate::net::{Poller, WAKE_TOKEN};
 use crate::proto::{
-    read_frame, write_frame, CurveExactReport, ErrorBody, ErrorKind, PatchReport, Request,
-    RequestEnvelope, Response, ResponseEnvelope, SolveReport, StatsReport, WorkerStatsReport,
-    MIN_PROTOCOL_VERSION,
+    write_frame, CurveExactReport, ErrorBody, ErrorKind, FrameBuffer, NetStatsReport, PatchReport,
+    Request, RequestEnvelope, Response, ResponseEnvelope, SolveReport, StatsReport,
+    WorkerStatsReport, MIN_PROTOCOL_VERSION,
 };
 use models::{EnergyModel, PowerLaw};
 use reclaim_core::engine::content_key;
 use reclaim_core::Engine;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use taskgraph::{PreparedInstance, TaskGraph};
 
 /// Where a daemon listens / where a client connects.
@@ -82,6 +94,15 @@ pub struct DaemonConfig {
     pub cache: CacheConfig,
     /// The power law every solve uses.
     pub power: PowerLaw,
+    /// Accept cap: connections past this are answered with one
+    /// `protocol` error frame and closed (counted in `rejected`).
+    pub max_connections: usize,
+    /// Per-connection admission bound: at most this many requests from
+    /// one connection may sit in the job queue / workers at once.
+    /// Past it the poll loop stops reading the socket (backpressure —
+    /// the peer's sends back up in the kernel buffer) instead of
+    /// buffering frames unboundedly.
+    pub max_inflight: usize,
 }
 
 impl Default for DaemonConfig {
@@ -94,6 +115,8 @@ impl Default for DaemonConfig {
                 .unwrap_or(1),
             cache: CacheConfig::default(),
             power: PowerLaw::CUBIC,
+            max_connections: 1024,
+            max_inflight: 32,
         }
     }
 }
@@ -108,6 +131,8 @@ impl Default for DaemonConfig {
 /// --cache-entries N    cache entry budget (default 64)
 /// --cache-bytes B      cache byte budget  (default 256 MiB)
 /// --alpha A            power-law exponent (default 3)
+/// --max-connections N  accept cap         (default 1024)
+/// --max-inflight N     per-connection admission bound (default 32)
 /// ```
 pub fn config_from_args(args: &[String]) -> Result<DaemonConfig, String> {
     let mut cfg = DaemonConfig::default();
@@ -147,6 +172,20 @@ pub fn config_from_args(args: &[String]) -> Result<DaemonConfig, String> {
                 }
                 cfg.power = PowerLaw::new(a);
             }
+            "--max-connections" => {
+                cfg.max_connections = value()?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--max-connections needs an integer ≥ 1")?;
+            }
+            "--max-inflight" => {
+                cfg.max_inflight = value()?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--max-inflight needs an integer ≥ 1")?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -167,11 +206,18 @@ pub(crate) enum Stream {
 }
 
 impl Stream {
-    fn try_clone(&self) -> io::Result<Stream> {
-        Ok(match self {
-            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
-            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
-        })
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_nonblocking(nonblocking),
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Stream::Unix(s) => s.as_raw_fd(),
+            Stream::Tcp(s) => s.as_raw_fd(),
+        }
     }
 
     pub(crate) fn connect(ep: &Endpoint) -> io::Result<Stream> {
@@ -224,10 +270,41 @@ struct WorkerCounters {
     bnb_cancelled: AtomicU64,
 }
 
+/// Socket-layer counters, shared between the poll loop (which owns
+/// the sockets) and the workers (which answer `stats` and count
+/// timeouts) — see [`NetStatsReport`] for the wire shape.
+#[derive(Default)]
+struct NetCounters {
+    /// Open registered connections (gauge).
+    connections: AtomicU64,
+    /// Admitted jobs not yet pulled by a worker (gauge).
+    queue_depth: AtomicU64,
+    /// Admitted jobs not yet answered (gauge; queued + in a worker).
+    inflight: AtomicU64,
+    /// Connections refused at the `--max-connections` accept cap.
+    rejected: AtomicU64,
+    /// Requests answered with the `timeout` error kind because they
+    /// out-waited their `timeout_ms` budget in the queue.
+    timeouts: AtomicU64,
+}
+
+impl NetCounters {
+    fn report(&self) -> NetStatsReport {
+        NetStatsReport {
+            connections: self.connections.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
 struct State {
     cache: InstanceCache,
     power: PowerLaw,
     shutdown: AtomicBool,
+    net: NetCounters,
     workers: Vec<WorkerCounters>,
     /// Thread slots currently in use across the pool: each busy
     /// worker holds one, plus any spare slots it borrowed for a
@@ -255,9 +332,24 @@ fn reserve_spares(active: &AtomicU64, pool: u64) -> u64 {
     }
 }
 
+/// One admitted frame, queued for the worker pool. `token` names the
+/// connection it arrived on; the worker's answer travels back to the
+/// poll loop as a [`Completion`] under the same token.
 struct Job {
+    token: u64,
     payload: String,
-    writer: Arc<Mutex<Stream>>,
+    /// When the frame was admitted — per-request `timeout_ms` budgets
+    /// are measured from here, so queue wait counts against them.
+    enqueued: Instant,
+}
+
+/// A finished job on its way back to the poll loop.
+struct Completion {
+    token: u64,
+    /// The already-encoded response payload.
+    payload: String,
+    /// The job was `shutdown`: the loop starts draining.
+    stop: bool,
 }
 
 /// A bound-but-not-yet-running daemon. Binding and running are split
@@ -302,6 +394,7 @@ impl Daemon {
             cache: InstanceCache::new(cfg.cache),
             power: cfg.power,
             shutdown: AtomicBool::new(false),
+            net: NetCounters::default(),
             workers: (0..workers).map(|_| WorkerCounters::default()).collect(),
             active: AtomicU64::new(0),
         });
@@ -320,7 +413,7 @@ impl Daemon {
 
     /// Serve until a `shutdown` request arrives, then drain and
     /// return. Consumes the daemon; the socket file (Unix) is removed
-    /// on the way out.
+    /// as soon as the drain starts.
     pub fn run(self) -> io::Result<()> {
         let Daemon {
             listener,
@@ -328,54 +421,45 @@ impl Daemon {
             cfg,
             state,
         } = self;
+        let poller = Arc::new(Poller::new()?);
+        listener.set_nonblocking()?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, true, false)?;
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
         let worker_handles: Vec<_> = (0..state.workers.len())
             .map(|worker_id| {
                 let rx = Arc::clone(&rx);
                 let state = Arc::clone(&state);
-                let endpoint = endpoint.clone();
-                std::thread::spawn(move || worker_loop(worker_id, &rx, &state, &endpoint))
+                let completions = Arc::clone(&completions);
+                let poller = Arc::clone(&poller);
+                std::thread::spawn(move || {
+                    worker_loop(worker_id, &rx, &state, &completions, &poller)
+                })
             })
             .collect();
-
-        let mut conn_handles = Vec::new();
-        loop {
-            let stream = match &listener {
-                Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
-                Listener::Tcp(l) => l.accept().map(|(s, _)| {
-                    let _ = s.set_nodelay(true);
-                    Stream::Tcp(s)
-                }),
-            };
-            if state.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            match stream {
-                Ok(stream) => {
-                    let tx = tx.clone();
-                    conn_handles.push(std::thread::spawn(move || connection_loop(stream, &tx)));
-                }
-                Err(e) => {
-                    // A transient accept failure is not fatal.
-                    eprintln!("reclaimd: accept failed: {e}");
-                }
-            }
-        }
-        drop(listener);
-        if let Endpoint::Unix(_) = endpoint {
-            let _ = std::fs::remove_file(&cfg.socket);
-        }
-        // The queue closes once the last reader thread exits; workers
-        // then drain and stop.
-        drop(tx);
-        for h in conn_handles {
-            let _ = h.join();
-        }
+        let mut el = EventLoop {
+            poller,
+            listener: Some(listener),
+            unlink: matches!(endpoint, Endpoint::Unix(_)).then(|| cfg.socket.clone()),
+            conns: HashMap::new(),
+            next_token: 0,
+            tx,
+            completions,
+            state,
+            max_connections: cfg.max_connections.max(1),
+            max_inflight: cfg.max_inflight.max(1),
+            draining: false,
+            drain_deadline: None,
+        };
+        let result = el.run();
+        // Dropping the loop drops the job-queue sender: workers finish
+        // what they pulled and exit on the closed channel.
+        drop(el);
         for h in worker_handles {
             let _ = h.join();
         }
-        Ok(())
+        result
     }
 }
 
@@ -384,43 +468,459 @@ pub fn run(cfg: DaemonConfig) -> io::Result<()> {
     Daemon::bind(cfg)?.run()
 }
 
-/// Read frames off one connection and enqueue them for the pool.
-fn connection_loop(stream: Stream, tx: &mpsc::Sender<Job>) {
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(e) => {
-            eprintln!("reclaimd: cannot clone stream: {e}");
+impl Listener {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Unix(l) => l.as_raw_fd(),
+            Listener::Tcp(l) => l.as_raw_fd(),
+        }
+    }
+
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(true),
+            Listener::Tcp(l) => l.set_nonblocking(true),
+        }
+    }
+}
+
+/// Token the listener is registered under (connection tokens count up
+/// from zero and can never collide with it in one daemon lifetime).
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+/// Payloads at or under this size are decoded inline by the poll
+/// loop, so `stats` and `shutdown` are answered without consuming a
+/// worker slot (or waiting behind queued solves). Solve payloads —
+/// always larger — skip the inline attempt entirely.
+const INLINE_MAX: usize = 512;
+
+/// How long the drain waits for peers to read their final responses
+/// once every admitted request is answered.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// One registered connection, owned by the poll loop.
+struct Conn {
+    stream: Stream,
+    /// Bytes read but not yet admitted as frames.
+    rbuf: FrameBuffer,
+    /// Encoded response frames awaiting a writable socket.
+    wqueue: VecDeque<Vec<u8>>,
+    /// Progress into the front of `wqueue`.
+    wpos: usize,
+    /// Admitted-but-unanswered requests from this connection.
+    inflight: usize,
+    /// No more reads: EOF, a framing violation, or a drain.
+    read_closed: bool,
+    /// Interest currently registered with the poller.
+    reg_read: bool,
+    reg_write: bool,
+}
+
+impl Conn {
+    fn new(stream: Stream) -> Conn {
+        Conn {
+            stream,
+            rbuf: FrameBuffer::new(),
+            wqueue: VecDeque::new(),
+            wpos: 0,
+            inflight: 0,
+            read_closed: false,
+            reg_read: true,
+            reg_write: false,
+        }
+    }
+}
+
+/// A response payload as wire bytes (the same framing
+/// [`write_frame`] emits).
+fn frame_bytes(payload: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(payload.len().to_string().as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(payload.as_bytes());
+    out.push(b'\n');
+    out
+}
+
+/// The daemon's poll loop: owns the listener, every connection socket,
+/// and the job-queue sender. See the module docs for the flow.
+struct EventLoop {
+    poller: Arc<Poller>,
+    listener: Option<Listener>,
+    /// Unix socket path to unlink when the drain starts.
+    unlink: Option<PathBuf>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    tx: mpsc::Sender<Job>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    state: Arc<State>,
+    max_connections: usize,
+    max_inflight: usize,
+    draining: bool,
+    /// Set once the drain has answered everything; force-closes
+    /// unflushed peers after [`DRAIN_GRACE`].
+    drain_deadline: Option<Instant>,
+}
+
+impl EventLoop {
+    fn run(&mut self) -> io::Result<()> {
+        loop {
+            // Block indefinitely while serving; poll on a short tick
+            // while draining so the grace deadline is observed.
+            let timeout_ms = if self.draining { 50 } else { -1 };
+            let events = self.poller.wait(timeout_ms)?;
+            for ev in events {
+                match ev.token {
+                    // The wake pipe: completions are drained below.
+                    WAKE_TOKEN => {}
+                    LISTENER_TOKEN => self.accept_ready(),
+                    // A writable event just re-drives the connection:
+                    // drive_conn flushes whatever is queued.
+                    token if ev.readable || ev.writable => {
+                        self.handle_conn_event(token, ev.readable);
+                    }
+                    _ => {}
+                }
+            }
+            self.drain_completions();
+            if self.draining && self.sweep_drain() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Accept until the listener would block.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            let accepted = match listener {
+                Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+                Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                    let _ = s.set_nodelay(true);
+                    Stream::Tcp(s)
+                }),
+            };
+            match accepted {
+                Ok(stream) => {
+                    if self.conns.len() >= self.max_connections {
+                        self.state.net.rejected.fetch_add(1, Ordering::Relaxed);
+                        // Best-effort diagnostic before the close; the
+                        // peer's version is unknowable, so answer at
+                        // the minimum every supported client accepts.
+                        let resp = ResponseEnvelope {
+                            version: MIN_PROTOCOL_VERSION,
+                            id: 0,
+                            response: Response::Error(ErrorBody::new(
+                                ErrorKind::Protocol,
+                                format!(
+                                    "connection limit reached ({} open, --max-connections {})",
+                                    self.conns.len(),
+                                    self.max_connections
+                                ),
+                            )),
+                        };
+                        let mut stream = stream;
+                        let _ = write_frame(&mut stream, &resp.encode());
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, true, false)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.state.net.connections.fetch_add(1, Ordering::Relaxed);
+                    self.conns.insert(token, Conn::new(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // A transient accept failure is not fatal.
+                    eprintln!("reclaimd: accept failed: {e}");
+                    return;
+                }
+            }
+        }
+    }
+
+    fn handle_conn_event(&mut self, token: u64, readable: bool) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        if self.drive_conn(token, &mut conn, readable) {
+            self.conns.insert(token, conn);
+        } else {
+            self.close_conn(conn);
+        }
+    }
+
+    /// Advance one connection: read what's there, admit frames, flush
+    /// responses, refresh poller interest. Returns whether the
+    /// connection stays registered.
+    fn drive_conn(&mut self, token: u64, conn: &mut Conn, readable: bool) -> bool {
+        if readable && !self.read_into(token, conn) {
+            return false;
+        }
+        // Admission may have been blocked at --max-inflight earlier;
+        // parked frames in the read buffer get another chance whenever
+        // the connection is driven (in particular after completions).
+        self.admit_frames(token, conn);
+        if !flush(conn) {
+            return false;
+        }
+        // Close once nothing more can arrive or depart: read side
+        // done, every admitted request answered, every answer flushed.
+        if conn.read_closed && conn.inflight == 0 && conn.wqueue.is_empty() {
+            return false;
+        }
+        let want_read = !conn.read_closed && !self.draining && conn.inflight < self.max_inflight;
+        let want_write = !conn.wqueue.is_empty();
+        if (want_read, want_write) != (conn.reg_read, conn.reg_write) {
+            let _ = self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, want_read, want_write);
+            conn.reg_read = want_read;
+            conn.reg_write = want_write;
+        }
+        true
+    }
+
+    /// Nonblocking reads into the connection's frame buffer, admitting
+    /// frames between chunks so `--max-inflight` bounds how much one
+    /// burst can buffer. Returns false when the socket errored.
+    fn read_into(&mut self, token: u64, conn: &mut Conn) -> bool {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            if conn.read_closed || self.draining || conn.inflight >= self.max_inflight {
+                return true;
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    if !conn.rbuf.is_empty() {
+                        // Mid-frame EOF: same one-frame diagnostic the
+                        // framing-violation path produces.
+                        self.queue_inline_error(
+                            conn,
+                            ErrorBody::new(
+                                ErrorKind::Protocol,
+                                "connection closed mid-frame".to_string(),
+                            ),
+                        );
+                    }
+                    return true;
+                }
+                Ok(n) => {
+                    conn.rbuf.push(&buf[..n]);
+                    self.admit_frames(token, conn);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Move complete frames out of the read buffer and dispatch them,
+    /// stopping at the admission bound (backpressure) or a drain.
+    fn admit_frames(&mut self, token: u64, conn: &mut Conn) {
+        while !self.draining && !conn.read_closed && conn.inflight < self.max_inflight {
+            match conn.rbuf.next_frame() {
+                Ok(Some(payload)) => self.dispatch(token, conn, payload),
+                Ok(None) => return,
+                Err(e) => {
+                    // Framing violation: report once, then stop
+                    // reading — resynchronization is not possible.
+                    self.queue_inline_error(
+                        conn,
+                        ErrorBody::new(ErrorKind::Protocol, e.to_string()),
+                    );
+                    conn.read_closed = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Route one admitted frame: `stats`/`shutdown` (and undecodable
+    /// small payloads) are answered inline by the poll loop; real work
+    /// goes to the worker pool.
+    fn dispatch(&mut self, token: u64, conn: &mut Conn, payload: String) {
+        if payload.len() <= INLINE_MAX {
+            match RequestEnvelope::decode(&payload) {
+                Ok(env) => match env.request {
+                    Request::Stats => {
+                        let resp = ResponseEnvelope {
+                            version: env.version,
+                            id: env.id,
+                            response: Response::Stats(stats_report(&self.state)),
+                        };
+                        conn.wqueue.push_back(frame_bytes(&resp.encode()));
+                        return;
+                    }
+                    Request::Shutdown => {
+                        let resp = ResponseEnvelope {
+                            version: env.version,
+                            id: env.id,
+                            response: Response::Shutdown,
+                        };
+                        conn.wqueue.push_back(frame_bytes(&resp.encode()));
+                        self.start_drain();
+                        return;
+                    }
+                    _ => {} // worker-pool work; the worker re-decodes
+                },
+                Err(e) => {
+                    self.queue_inline_error(conn, e);
+                    return;
+                }
+            }
+        }
+        conn.inflight += 1;
+        self.state.net.inflight.fetch_add(1, Ordering::Relaxed);
+        self.state.net.queue_depth.fetch_add(1, Ordering::Relaxed);
+        // Send can only fail after the workers exited, i.e. never
+        // while frames are still being admitted.
+        let _ = self.tx.send(Job {
+            token,
+            payload,
+            enqueued: Instant::now(),
+        });
+    }
+
+    /// Queue an error the poll loop produced itself (framing or
+    /// decode): answered at the minimum version every supported
+    /// client accepts, under id 0 — byte-identical to what the worker
+    /// path answered for the same violations before the poll loop
+    /// existed.
+    fn queue_inline_error(&mut self, conn: &mut Conn, e: ErrorBody) {
+        let resp = ResponseEnvelope {
+            version: MIN_PROTOCOL_VERSION,
+            id: 0,
+            response: Response::Error(e),
+        };
+        conn.wqueue.push_back(frame_bytes(&resp.encode()));
+    }
+
+    /// Move finished jobs from the workers into their connections'
+    /// write queues and drive those connections.
+    fn drain_completions(&mut self) {
+        let completed = {
+            let mut q = self
+                .completions
+                .lock()
+                .expect("completion queue lock poisoned");
+            std::mem::take(&mut *q)
+        };
+        for c in completed {
+            self.state.net.inflight.fetch_sub(1, Ordering::Relaxed);
+            if c.stop {
+                self.start_drain();
+            }
+            // The connection may already be gone (peer vanished
+            // mid-solve): the answer is dropped, as it was when the
+            // per-connection writer hit a broken pipe.
+            let Some(mut conn) = self.conns.remove(&c.token) else {
+                continue;
+            };
+            conn.inflight -= 1;
+            conn.wqueue.push_back(frame_bytes(&c.payload));
+            if self.drive_conn(c.token, &mut conn, false) {
+                self.conns.insert(c.token, conn);
+            } else {
+                self.close_conn(conn);
+            }
+        }
+    }
+
+    /// Begin draining: stop accepting at once (the socket file goes
+    /// away with the listener), answer what was admitted, then close
+    /// everything.
+    fn start_drain(&mut self) {
+        if self.draining {
             return;
         }
-    };
-    let mut reader = stream;
+        self.draining = true;
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+            drop(listener);
+        }
+        if let Some(path) = self.unlink.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// One drain step: close every connection with nothing left to
+    /// deliver (idle peers included — nothing lingers), and decide
+    /// whether the loop can exit.
+    fn sweep_drain(&mut self) -> bool {
+        let done: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.inflight == 0 && c.wqueue.is_empty())
+            .map(|(t, _)| *t)
+            .collect();
+        for token in done {
+            if let Some(conn) = self.conns.remove(&token) {
+                self.close_conn(conn);
+            }
+        }
+        let inflight = self.state.net.inflight.load(Ordering::Relaxed);
+        if inflight == 0 && self.conns.is_empty() {
+            return true;
+        }
+        if inflight == 0 {
+            // Everything is answered; only unflushed peers remain.
+            let deadline = *self
+                .drain_deadline
+                .get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+            if Instant::now() >= deadline {
+                for (_, conn) in std::mem::take(&mut self.conns) {
+                    self.close_conn(conn);
+                }
+                return true;
+            }
+        } else {
+            self.drain_deadline = None;
+        }
+        false
+    }
+
+    fn close_conn(&mut self, conn: Conn) {
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        self.state.net.connections.fetch_sub(1, Ordering::Relaxed);
+        // Dropping the stream closes the socket.
+    }
+}
+
+/// Flush the write queue until empty or the socket would block.
+/// Returns false when the peer is gone.
+fn flush(conn: &mut Conn) -> bool {
     loop {
-        match read_frame(&mut reader) {
-            Ok(Some(payload)) => {
-                let job = Job {
-                    payload,
-                    writer: Arc::clone(&writer),
-                };
-                if tx.send(job).is_err() {
-                    return; // daemon shutting down
+        let Some(front) = conn.wqueue.front() else {
+            return true;
+        };
+        match conn.stream.write(&front[conn.wpos..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.wpos += n;
+                if conn.wpos == front.len() {
+                    conn.wqueue.pop_front();
+                    conn.wpos = 0;
                 }
             }
-            Ok(None) => return, // client closed cleanly
-            Err(e) => {
-                // Framing violation: report once, then drop the
-                // connection — resynchronization is not possible. The
-                // peer's version is unknowable here, so answer at the
-                // minimum version every supported client accepts.
-                let resp = ResponseEnvelope {
-                    version: MIN_PROTOCOL_VERSION,
-                    id: 0,
-                    response: Response::Error(ErrorBody::new(ErrorKind::Protocol, e.to_string())),
-                };
-                if let Ok(mut w) = writer.lock() {
-                    let _ = write_frame(&mut *w, &resp.encode());
-                }
-                return;
-            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
         }
     }
 }
@@ -429,7 +929,8 @@ fn worker_loop(
     worker_id: usize,
     rx: &Arc<Mutex<mpsc::Receiver<Job>>>,
     state: &State,
-    ep: &Endpoint,
+    completions: &Arc<Mutex<Vec<Completion>>>,
+    poller: &Arc<Poller>,
 ) {
     let engine = Engine::new(state.power).threads(1);
     let pool = state.workers.len() as u64;
@@ -438,6 +939,7 @@ fn worker_loop(
             Ok(job) => job,
             Err(_) => return, // queue closed: daemon is draining
         };
+        state.net.queue_depth.fetch_sub(1, Ordering::Relaxed);
         state.workers[worker_id]
             .requests
             .fetch_add(1, Ordering::Relaxed);
@@ -456,17 +958,17 @@ fn worker_loop(
         let before = reclaim_core::engine::profiling::counts();
         let (resp, stop) = if extra > 0 {
             let boosted = engine.clone().threads(1 + extra as usize);
-            handle_payload(&job.payload, worker_id, state, &boosted)
+            handle_payload(&job.payload, worker_id, state, &boosted, job.enqueued)
         } else {
-            handle_payload(&job.payload, worker_id, state, &engine)
+            handle_payload(&job.payload, worker_id, state, &engine, job.enqueued)
         };
         let delta = reclaim_core::engine::profiling::counts() - before;
         // Flush the deltas into the shared counters strictly before
-        // the response frame goes out: a client that has seen this
-        // response and then asks for `stats` (even as the last
-        // request before `shutdown`) must see this solve's counters,
-        // exactly once — no flush may ride on a worker surviving past
-        // the drain.
+        // the response is handed to the poll loop: a client that has
+        // seen this response and then asks for `stats` (even as the
+        // last request before `shutdown`) must see this solve's
+        // counters, exactly once — no flush may ride on a worker
+        // surviving past the drain.
         let counters = &state.workers[worker_id];
         counters
             .warm_lost
@@ -481,29 +983,52 @@ fn worker_loop(
             .bnb_cancelled
             .fetch_add(delta.bnb_cancelled, Ordering::Relaxed);
         state.active.fetch_sub(1 + extra, Ordering::AcqRel);
-        if let Ok(mut w) = job.writer.lock() {
-            // A vanished client is not a daemon error.
-            let _ = write_frame(&mut *w, &resp.encode());
-        }
-        if stop {
-            state.shutdown.store(true, Ordering::SeqCst);
-            // Nudge the accept loop so it observes the flag — but keep
-            // pulling jobs: requests racing the shutdown (or arriving
-            // on connections that haven't closed yet) must still be
-            // answered, or their clients would hang and the drain in
-            // `Daemon::run` would never finish. The loop ends when the
-            // last connection thread drops its sender.
-            let _ = Stream::connect(ep);
-        }
+        completions
+            .lock()
+            .expect("completion queue lock poisoned")
+            .push(Completion {
+                token: job.token,
+                payload: resp.encode(),
+                stop,
+            });
+        // Wake the poll loop so the answer reaches its write queue.
+        poller.notify();
     }
 }
 
-/// Decode, dispatch, and answer one frame payload.
+/// The live stats snapshot, shared by the poll loop's inline `stats`
+/// path and the worker path (a `stats` payload an odd client padded
+/// past [`INLINE_MAX`] still answers identically).
+fn stats_report(state: &State) -> StatsReport {
+    StatsReport {
+        cache: state.cache.stats(),
+        net: state.net.report(),
+        workers: state
+            .workers
+            .iter()
+            .map(|w| WorkerStatsReport {
+                requests: w.requests.load(Ordering::Relaxed),
+                solves: w.solves.load(Ordering::Relaxed),
+                solve_ns: w.solve_ns.load(Ordering::Relaxed),
+                warm_lost: w.warm_lost.load(Ordering::Relaxed),
+                bnb_nodes: w.bnb_nodes.load(Ordering::Relaxed),
+                bnb_steals: w.bnb_steals.load(Ordering::Relaxed),
+                bnb_cancelled: w.bnb_cancelled.load(Ordering::Relaxed),
+            })
+            .collect(),
+    }
+}
+
+/// Decode, dispatch, and answer one frame payload. `enqueued` is when
+/// the poll loop admitted the frame: a request carrying a
+/// `timeout_ms` budget that already out-waited it in the queue is
+/// answered with the `timeout` error kind instead of being solved.
 fn handle_payload(
     payload: &str,
     worker_id: usize,
     state: &State,
     engine: &Engine,
+    enqueued: Instant,
 ) -> (ResponseEnvelope, bool) {
     let env = match RequestEnvelope::decode(payload) {
         Ok(env) => env,
@@ -524,6 +1049,26 @@ fn handle_payload(
     };
     let id = env.id;
     let version = env.version;
+    if let Some(budget_ms) = env.timeout_ms {
+        let waited = enqueued.elapsed();
+        if waited >= Duration::from_millis(budget_ms) {
+            state.net.timeouts.fetch_add(1, Ordering::Relaxed);
+            return (
+                ResponseEnvelope {
+                    version,
+                    id,
+                    response: Response::Error(ErrorBody::new(
+                        ErrorKind::Timeout,
+                        format!(
+                            "request waited {} ms in queue, over its timeout_ms budget of {budget_ms} ms; not solved",
+                            waited.as_millis()
+                        ),
+                    )),
+                },
+                false,
+            );
+        }
+    }
     let counters = &state.workers[worker_id];
     let mut stop = false;
     let response = match env.request {
@@ -588,22 +1133,10 @@ fn handle_payload(
                 })
                 .collect(),
         ),
-        Request::Stats => Response::Stats(StatsReport {
-            cache: state.cache.stats(),
-            workers: state
-                .workers
-                .iter()
-                .map(|w| WorkerStatsReport {
-                    requests: w.requests.load(Ordering::Relaxed),
-                    solves: w.solves.load(Ordering::Relaxed),
-                    solve_ns: w.solve_ns.load(Ordering::Relaxed),
-                    warm_lost: w.warm_lost.load(Ordering::Relaxed),
-                    bnb_nodes: w.bnb_nodes.load(Ordering::Relaxed),
-                    bnb_steals: w.bnb_steals.load(Ordering::Relaxed),
-                    bnb_cancelled: w.bnb_cancelled.load(Ordering::Relaxed),
-                })
-                .collect(),
-        }),
+        // Normally answered inline by the poll loop; kept here so a
+        // padded (>INLINE_MAX) stats payload still answers correctly.
+        Request::Stats => Response::Stats(stats_report(state)),
+        Request::Corpus { shards, jobs } => corpus_one(state, engine, counters, shards, jobs),
         Request::Patch {
             base,
             edits,
@@ -622,6 +1155,86 @@ fn handle_payload(
         },
         stop,
     )
+}
+
+/// Handle one v4 `corpus` request: the same deterministic
+/// content-addressed sharding as [`crate::corpus::run_corpus`]
+/// (`shard = content_key mod N`, entries sorted by name within a
+/// shard), but solved through the daemon's content-addressed cache —
+/// repeat instances skip preparation, and Vdd-Hopping solves ride the
+/// entry's retained LP basis. Shards run sequentially on this worker;
+/// cross-shard parallelism comes from the pool, not from nested
+/// threads — the solves are pinned to one thread (never the borrowed
+/// spare slots) so algorithm tags, and therefore shard manifests, are
+/// byte-identical to a local `reclaim corpus` run of the same jobs
+/// regardless of how busy the daemon happens to be.
+fn corpus_one(
+    state: &State,
+    engine: &Engine,
+    counters: &WorkerCounters,
+    shards: usize,
+    jobs: Vec<crate::corpus::CorpusJob>,
+) -> Response {
+    use crate::corpus::{CorpusEntry, CorpusJob, ShardOutcome};
+    let engine = &engine.clone().threads(1);
+    let shards = shards.max(1);
+    let mut buckets: Vec<Vec<(u128, CorpusJob)>> = (0..shards).map(|_| Vec::new()).collect();
+    for job in jobs {
+        let key = content_key(&job.graph, &job.model);
+        buckets[(key % shards as u128) as usize].push((key, job));
+    }
+    for bucket in &mut buckets {
+        bucket.sort_by(|a, b| a.1.name.cmp(&b.1.name));
+    }
+    let outcomes = buckets
+        .into_iter()
+        .enumerate()
+        .map(|(shard, bucket)| {
+            let t0 = Instant::now();
+            let entries: Vec<CorpusEntry> = bucket
+                .into_iter()
+                .map(|(key, job)| {
+                    let CorpusJob {
+                        name,
+                        graph,
+                        model,
+                        deadline,
+                    } = job;
+                    let tasks = graph.n();
+                    let (inst, _, _, cache_key) = prepare(state, graph, &model);
+                    debug_assert_eq!(key, cache_key);
+                    let result = match state.cache.warm_slot(cache_key) {
+                        Some(slot) if matches!(model, EnergyModel::VddHopping(_)) => {
+                            solve_with_slot(engine, &inst, &model, deadline, &slot)
+                        }
+                        _ => engine.solve(&inst.view(), &model, deadline),
+                    }
+                    .map(|sol| (sol.energy, sol.algorithm.to_string()))
+                    .map_err(|e| ErrorBody::from(&e));
+                    counters.solves.fetch_add(1, Ordering::Relaxed);
+                    CorpusEntry {
+                        name,
+                        key,
+                        tasks,
+                        deadline,
+                        model: model.name().to_string(),
+                        result,
+                    }
+                })
+                .collect();
+            let elapsed = t0.elapsed();
+            counters
+                .solve_ns
+                .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+            ShardOutcome {
+                shard,
+                shards,
+                entries,
+                elapsed_ns: elapsed.as_nanos(),
+            }
+        })
+        .collect();
+    Response::Corpus(outcomes)
 }
 
 /// Handle one v2 `patch`: edit the cached base instance in place

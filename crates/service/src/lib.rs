@@ -5,15 +5,20 @@
 //! instance [`reclaim_core::Engine`] into a **long-lived system**:
 //!
 //! * [`daemon`] — `reclaimd`, a socket daemon (Unix-domain by
-//!   default, TCP optional) holding a **content-addressed cache** of
-//!   [`taskgraph::PreparedInstance`]s keyed by
+//!   default, TCP optional) built on a single nonblocking epoll poll
+//!   loop (the crate-private `net` module — raw FFI against the
+//!   system C library; the workspace vendors no FFI crates) that
+//!   owns every socket, applies `--max-inflight`
+//!   admission backpressure per connection, and feeds a fixed worker
+//!   pool of single-threaded engines over a **content-addressed
+//!   cache** of [`taskgraph::PreparedInstance`]s keyed by
 //!   [`reclaim_core::engine::content_key`], with LRU eviction under
-//!   byte/entry budgets and a fixed worker pool of single-threaded
-//!   engines;
+//!   byte/entry budgets;
 //! * [`proto`] — the versioned, length-prefixed JSON-line wire
 //!   protocol (v1: `solve` / `solve_deadlines` / `energy_curve` /
-//!   `batch` / `stats` / `shutdown`; v2 adds `patch`) with structured
-//!   error mapping from [`reclaim_core::SolveError`] and
+//!   `batch` / `stats` / `shutdown`; v2 adds `patch`; v3 exact
+//!   curves; v4 adds `corpus` and per-request `timeout_ms`) with
+//!   structured error mapping from [`reclaim_core::SolveError`] and
 //!   [`lp::LpError`] — the full wire specification lives in
 //!   `docs/PROTOCOL.md`;
 //! * [`cache`] — the cache itself, usable without the daemon, with
@@ -22,7 +27,9 @@
 //!   invalidation, keeping its Vdd warm-start basis across
 //!   weight-only edits;
 //! * [`client`] — a blocking client (used by `reclaim ask` and the
-//!   integration tests), including the v2 [`Client::patch`] call;
+//!   integration tests), including the v2 [`Client::patch`] call and
+//!   the pipelined [`Client::pipeline`] mode (a window of requests in
+//!   flight, responses matched by `id` out of order);
 //! * [`corpus`] — deterministic sharding of whole instance
 //!   directories across engine shards, with byte-identical manifests
 //!   and per-shard `BENCH_corpus_<k>.json` perf records;
@@ -60,10 +67,11 @@ pub mod client;
 pub mod corpus;
 pub mod daemon;
 pub mod json;
+pub(crate) mod net;
 pub mod proto;
 
 pub use cache::{CacheConfig, InstanceCache};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, Pipeline};
 pub use corpus::{run_corpus, CorpusJob, ShardOutcome};
 pub use daemon::{config_from_args, Daemon, DaemonConfig, Endpoint};
 pub use proto::{ErrorBody, ErrorKind, Request, RequestEnvelope, Response, ResponseEnvelope};

@@ -23,16 +23,18 @@
 //! out of order), and a `"type"` tag. Responses carry `"ok"` plus
 //! either a typed `"result"` or an `"error"` object.
 //!
-//! This build speaks versions **1 through 3** ([`MIN_PROTOCOL_VERSION`]
+//! This build speaks versions **1 through 4** ([`MIN_PROTOCOL_VERSION`]
 //! ..= [`PROTOCOL_VERSION`]). Negotiation is per request: the server
 //! accepts any version in that range, answers with the version the
 //! request used, and rejects anything else with an
 //! [`ErrorKind::Protocol`] error naming the supported range. The only
-//! v2 request is `patch`, and the only v3 feature is the
-//! `"exact": true` flag on `energy_curve` (closed-form segments
-//! instead of samples) — sending either under an older `"v"` is a
-//! protocol error, so an old-only intermediary never sees
-//! half-understood traffic.
+//! v2 request is `patch`; the only v3 feature is the `"exact": true`
+//! flag on `energy_curve` (closed-form segments instead of samples);
+//! v4 adds the `corpus` request (a sharded job bundle solved through
+//! the daemon cache) and the optional `"timeout_ms"` envelope field
+//! (a queue-time bound answered with [`ErrorKind::Timeout`]) — sending
+//! any of them under an older `"v"` is a protocol error, so an
+//! old-only intermediary never sees half-understood traffic.
 //!
 //! A worked request/response pair (docs/PROTOCOL.md walks the same
 //! exchange byte by byte):
@@ -62,7 +64,7 @@ use taskgraph::edit::GraphEdit;
 use taskgraph::TaskGraph;
 
 /// The newest protocol version this build speaks.
-pub const PROTOCOL_VERSION: u64 = 3;
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// The oldest protocol version this build still accepts.
 pub const MIN_PROTOCOL_VERSION: u64 = 1;
@@ -166,6 +168,84 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, FrameError> {
         .map_err(|_| FrameError::Truncated("payload is not UTF-8".into()))
 }
 
+/// An incremental frame decoder for nonblocking transports: bytes go
+/// in as they arrive (in chunks of any size, split or coalesced at
+/// arbitrary boundaries), complete frames come out. The event-driven
+/// daemon keeps one per connection; [`FrameBuffer::next_frame`]
+/// applies exactly the [`read_frame`] grammar — decimal length header
+/// (at most 20 digits), `'\n'`, payload, `'\n'` — and reports the
+/// same violations as [`FrameError`]s. A framing error is not
+/// recoverable: the stream has no resynchronization point, so the
+/// caller should answer once and drop the connection.
+#[derive(Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Bytes before `pos` are consumed; compacted opportunistically so
+    /// a long-lived connection doesn't grow its buffer forever.
+    pos: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Append freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether any unconsumed bytes remain (a nonempty buffer at EOF
+    /// means the peer died mid-frame).
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Extract the next complete frame, if the buffered bytes hold
+    /// one. `Ok(None)` means "need more bytes"; errors mirror
+    /// [`read_frame`] and poison the stream.
+    pub fn next_frame(&mut self) -> Result<Option<String>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        // Length header: decimal digits up to '\n', at most 20 digits.
+        let header_end = match avail.iter().take(21).position(|&b| b == b'\n') {
+            Some(i) => i,
+            None if avail.len() > 20 => {
+                return Err(FrameError::Truncated("length header too long".into()))
+            }
+            None => return Ok(None),
+        };
+        let len: usize = std::str::from_utf8(&avail[..header_end])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                FrameError::Truncated(format!(
+                    "bad length header {:?}",
+                    String::from_utf8_lossy(&avail[..header_end])
+                ))
+            })?;
+        if len > MAX_FRAME {
+            return Err(FrameError::TooLarge(len));
+        }
+        let body = header_end + 1;
+        if avail.len() < body + len + 1 {
+            return Ok(None);
+        }
+        if avail[body + len] != b'\n' {
+            return Err(FrameError::Truncated("missing frame terminator".into()));
+        }
+        let payload = std::str::from_utf8(&avail[body..body + len])
+            .map_err(|_| FrameError::Truncated("payload is not UTF-8".into()))?
+            .to_string();
+        self.pos += body + len + 1;
+        if self.pos == self.buf.len() || self.pos >= 64 * 1024 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(payload))
+    }
+}
+
 // ---------------------------------------------------------------
 // Errors
 // ---------------------------------------------------------------
@@ -196,6 +276,10 @@ pub enum ErrorKind {
     /// The envelope itself is unusable: not JSON, wrong version,
     /// framing violation.
     Protocol,
+    /// **v4.** The request's `timeout_ms` budget elapsed before a
+    /// worker reached it (the daemon answers without solving). The
+    /// work was *not* performed; retry, raise the bound, or shed load.
+    Timeout,
 }
 
 impl ErrorKind {
@@ -208,6 +292,7 @@ impl ErrorKind {
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::UnknownBase => "unknown_base",
             ErrorKind::Protocol => "protocol",
+            ErrorKind::Timeout => "timeout",
         }
     }
 
@@ -220,6 +305,7 @@ impl ErrorKind {
             "bad_request" => ErrorKind::BadRequest,
             "unknown_base" => ErrorKind::UnknownBase,
             "protocol" => ErrorKind::Protocol,
+            "timeout" => ErrorKind::Timeout,
             _ => return None,
         })
     }
@@ -356,6 +442,19 @@ pub enum Request {
         /// The deadline to solve the edited instance at.
         deadline: f64,
     },
+    /// **v4.** Solve a sharded corpus bundle through the daemon's
+    /// content-addressed cache: jobs are partitioned by
+    /// `content_key mod shards` (the same pure-content discipline as
+    /// the local [`crate::corpus::run_corpus`]), solved shard by
+    /// shard, and answered as one [`Response::Corpus`] whose manifests
+    /// are byte-identical to a local run — but instances the daemon
+    /// has seen before skip preparation entirely.
+    Corpus {
+        /// Shard count (clamped to ≥ 1).
+        shards: usize,
+        /// The corpus jobs.
+        jobs: Vec<crate::corpus::CorpusJob>,
+    },
     /// Read cache and worker counters.
     Stats,
     /// Stop accepting connections and exit once drained.
@@ -368,6 +467,7 @@ impl Request {
         match self {
             Request::Patch { .. } => 2,
             Request::EnergyCurve { exact: true, .. } => 3,
+            Request::Corpus { .. } => 4,
             _ => MIN_PROTOCOL_VERSION,
         }
     }
@@ -380,6 +480,10 @@ pub struct RequestEnvelope {
     pub version: u64,
     /// Client-chosen correlation id, echoed in the response.
     pub id: u64,
+    /// **v4.** Optional queue-time bound, in milliseconds: if the
+    /// request waits longer than this before a worker picks it up, the
+    /// daemon answers [`ErrorKind::Timeout`] without solving.
+    pub timeout_ms: Option<u64>,
     /// The request body.
     pub request: Request,
 }
@@ -392,8 +496,20 @@ impl RequestEnvelope {
         RequestEnvelope {
             version: request.min_version(),
             id,
+            timeout_ms: None,
             request,
         }
+    }
+
+    /// Attach a v4 queue-time bound (bumping the envelope to v4 —
+    /// the field does not exist in older versions). `None` leaves the
+    /// envelope untouched.
+    pub fn with_timeout_ms(mut self, timeout_ms: Option<u64>) -> RequestEnvelope {
+        if timeout_ms.is_some() {
+            self.timeout_ms = timeout_ms;
+            self.version = self.version.max(4);
+        }
+        self
     }
 }
 
@@ -636,6 +752,10 @@ impl RequestEnvelope {
             ("v".into(), Json::num(self.version as f64)),
             ("id".into(), Json::num(self.id as f64)),
         ];
+        if let Some(t) = self.timeout_ms {
+            // Omitted when unset so v1–v3 wire bytes are unchanged.
+            pairs.push(("timeout_ms".into(), Json::num(t as f64)));
+        }
         match &self.request {
             Request::Solve {
                 graph,
@@ -709,6 +829,25 @@ impl RequestEnvelope {
                     Json::Arr(edits.iter().map(edit_to_json).collect()),
                 ));
                 pairs.push(("deadline".into(), Json::num(*deadline)));
+            }
+            Request::Corpus { shards, jobs } => {
+                pairs.push(("type".into(), Json::str("corpus")));
+                pairs.push(("shards".into(), Json::num(*shards as f64)));
+                pairs.push((
+                    "jobs".into(),
+                    Json::Arr(
+                        jobs.iter()
+                            .map(|j| {
+                                Json::Obj(vec![
+                                    ("name".into(), Json::str(j.name.clone())),
+                                    ("graph".into(), graph_to_json(&j.graph)),
+                                    ("model".into(), model_to_json(&j.model)),
+                                    ("deadline".into(), Json::num(j.deadline)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
             }
             Request::Stats => pairs.push(("type".into(), Json::str("stats"))),
             Request::Shutdown => pairs.push(("type".into(), Json::str("shutdown"))),
@@ -820,6 +959,38 @@ impl RequestEnvelope {
                     .collect::<Result<_, _>>()?,
                 deadline: num("deadline")?,
             },
+            "corpus" => Request::Corpus {
+                shards: v
+                    .get("shards")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("missing integer \"shards\""))?
+                    as usize,
+                jobs: v
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("missing \"jobs\" array"))?
+                    .iter()
+                    .map(|j| {
+                        Ok(crate::corpus::CorpusJob {
+                            name: j
+                                .get("name")
+                                .and_then(Json::as_str)
+                                .ok_or_else(|| bad("corpus job missing \"name\""))?
+                                .to_string(),
+                            graph: graph_from_json(
+                                j.get("graph").ok_or_else(|| bad("job missing \"graph\""))?,
+                            )?,
+                            model: model_from_json(
+                                j.get("model").ok_or_else(|| bad("job missing \"model\""))?,
+                            )?,
+                            deadline: j
+                                .get("deadline")
+                                .and_then(Json::as_f64)
+                                .ok_or_else(|| bad("job missing \"deadline\""))?,
+                        })
+                    })
+                    .collect::<Result<_, ErrorBody>>()?,
+            },
             "stats" => Request::Stats,
             "shutdown" => Request::Shutdown,
             other => return Err(bad(format!("unknown request type {other:?}"))),
@@ -834,9 +1005,17 @@ impl RequestEnvelope {
                 ),
             ));
         }
+        let timeout_ms = v.get("timeout_ms").and_then(Json::as_u64);
+        if timeout_ms.is_some() && version < 4 {
+            return Err(ErrorBody::new(
+                ErrorKind::Protocol,
+                format!("\"timeout_ms\" requires protocol version 4 (request used {version})"),
+            ));
+        }
         Ok(RequestEnvelope {
             version,
             id,
+            timeout_ms,
             request,
         })
     }
@@ -946,6 +1125,24 @@ pub struct WorkerStatsReport {
     pub bnb_cancelled: u64,
 }
 
+/// Event-loop admission counters (v4; older daemons report zeros).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetStatsReport {
+    /// Currently open connections.
+    pub connections: u64,
+    /// Admitted requests sitting in the worker queue right now.
+    pub queue_depth: u64,
+    /// Admitted requests not yet answered (queued + solving +
+    /// completion not yet written back).
+    pub inflight: u64,
+    /// Connections refused at accept because `--max-connections` was
+    /// reached.
+    pub rejected: u64,
+    /// Requests answered with [`ErrorKind::Timeout`] because their
+    /// `timeout_ms` budget elapsed in the queue.
+    pub timeouts: u64,
+}
+
 /// The `stats` response body.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsReport {
@@ -953,6 +1150,8 @@ pub struct StatsReport {
     pub cache: CacheStatsReport,
     /// Per-worker counters, indexed by worker id.
     pub workers: Vec<WorkerStatsReport>,
+    /// Event-loop admission counters (v4).
+    pub net: NetStatsReport,
 }
 
 /// One response body.
@@ -973,6 +1172,9 @@ pub enum Response {
     Batch(Vec<Result<SolveReport, ErrorBody>>),
     /// Answer to [`Request::Patch`] (v2).
     Patch(PatchReport),
+    /// Answer to [`Request::Corpus`] (v4): one outcome per shard, in
+    /// shard order, manifest-compatible with a local corpus run.
+    Corpus(Vec<crate::corpus::ShardOutcome>),
     /// Answer to [`Request::Stats`].
     Stats(StatsReport),
     /// Answer to [`Request::Shutdown`].
@@ -1168,6 +1370,102 @@ fn item_from_json(v: &Json) -> Result<Result<SolveReport, ErrorBody>, ErrorBody>
     }
 }
 
+fn shard_to_json(o: &crate::corpus::ShardOutcome) -> Json {
+    let entries = o
+        .entries
+        .iter()
+        .map(|e| {
+            let mut pairs = vec![
+                ("file".into(), Json::str(e.name.clone())),
+                ("key".into(), Json::str(key_to_hex(e.key))),
+                ("tasks".into(), Json::num(e.tasks as f64)),
+                ("deadline".into(), Json::num(e.deadline)),
+                ("model".into(), Json::str(e.model.clone())),
+            ];
+            match &e.result {
+                Ok((energy, algorithm)) => {
+                    pairs.push(("energy".into(), Json::num(*energy)));
+                    pairs.push(("algorithm".into(), Json::str(algorithm.clone())));
+                }
+                Err(err) => pairs.push(("error".into(), error_to_json(err))),
+            }
+            Json::Obj(pairs)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("shard".into(), Json::num(o.shard as f64)),
+        ("shards".into(), Json::num(o.shards as f64)),
+        ("elapsed_ns".into(), Json::num(o.elapsed_ns as f64)),
+        ("entries".into(), Json::Arr(entries)),
+    ])
+}
+
+fn shard_from_json(v: &Json) -> Result<crate::corpus::ShardOutcome, ErrorBody> {
+    let u = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad(format!("corpus shard missing \"{name}\"")))
+    };
+    Ok(crate::corpus::ShardOutcome {
+        shard: u("shard")? as usize,
+        shards: u("shards")? as usize,
+        // Wall-clock survives the wire at f64 resolution — plenty for
+        // a throughput figure, and `Json::as_u64` would reject totals
+        // past 2^53 ns (~104 days) anyway.
+        elapsed_ns: v
+            .get("elapsed_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad("corpus shard missing \"elapsed_ns\""))? as u128,
+        entries: v
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("corpus shard missing \"entries\""))?
+            .iter()
+            .map(|e| {
+                let result = match e.get("error") {
+                    Some(err) => Err(error_from_json(err)?),
+                    None => Ok((
+                        e.get("energy")
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| bad("corpus entry missing \"energy\""))?,
+                        e.get("algorithm")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| bad("corpus entry missing \"algorithm\""))?
+                            .to_string(),
+                    )),
+                };
+                Ok(crate::corpus::CorpusEntry {
+                    name: e
+                        .get("file")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("corpus entry missing \"file\""))?
+                        .to_string(),
+                    key: e
+                        .get("key")
+                        .and_then(Json::as_str)
+                        .and_then(key_from_hex)
+                        .ok_or_else(|| bad("corpus entry missing \"key\""))?,
+                    tasks: e
+                        .get("tasks")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("corpus entry missing \"tasks\""))?
+                        as usize,
+                    deadline: e
+                        .get("deadline")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad("corpus entry missing \"deadline\""))?,
+                    model: e
+                        .get("model")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("corpus entry missing \"model\""))?
+                        .to_string(),
+                    result,
+                })
+            })
+            .collect::<Result<_, ErrorBody>>()?,
+    })
+}
+
 impl ResponseEnvelope {
     /// Encode to the one-line JSON payload (framing is separate).
     pub fn encode(&self) -> String {
@@ -1215,6 +1513,10 @@ impl ResponseEnvelope {
                         fields.push(("warm_lp".into(), Json::Bool(p.warm_lp)));
                         ("patch", Json::Obj(fields))
                     }
+                    Response::Corpus(shards) => (
+                        "corpus",
+                        Json::Arr(shards.iter().map(shard_to_json).collect()),
+                    ),
                     Response::Stats(s) => ("stats", stats_to_json(s)),
                     Response::Shutdown => (
                         "shutdown",
@@ -1309,6 +1611,14 @@ impl ResponseEnvelope {
                     .and_then(Json::as_bool)
                     .ok_or_else(|| bad("patch result missing \"warm_lp\""))?,
             }),
+            "corpus" => Response::Corpus(
+                result
+                    .as_arr()
+                    .ok_or_else(|| bad("result must be an array"))?
+                    .iter()
+                    .map(shard_from_json)
+                    .collect::<Result<_, _>>()?,
+            ),
             "stats" => Response::Stats(stats_from_json(result)?),
             "shutdown" => Response::Shutdown,
             other => return Err(bad(format!("unknown response type {other:?}"))),
@@ -1357,6 +1667,16 @@ fn stats_to_json(s: &StatsReport) -> Json {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "net".into(),
+            Json::Obj(vec![
+                ("connections".into(), Json::num(s.net.connections as f64)),
+                ("queue_depth".into(), Json::num(s.net.queue_depth as f64)),
+                ("inflight".into(), Json::num(s.net.inflight as f64)),
+                ("rejected".into(), Json::num(s.net.rejected as f64)),
+                ("timeouts".into(), Json::num(s.net.timeouts as f64)),
+            ]),
         ),
     ])
 }
@@ -1408,6 +1728,22 @@ fn stats_from_json(v: &Json) -> Result<StatsReport, ErrorBody> {
                 })
             })
             .collect::<Result<_, ErrorBody>>()?,
+        // Pre-v4 daemons report no "net" section: zeros, not errors.
+        net: {
+            let net = v.get("net");
+            let nu = |name: &str| {
+                net.and_then(|n| n.get(name))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            };
+            NetStatsReport {
+                connections: nu("connections"),
+                queue_depth: nu("queue_depth"),
+                inflight: nu("inflight"),
+                rejected: nu("rejected"),
+                timeouts: nu("timeouts"),
+            }
+        },
     })
 }
 
@@ -1495,6 +1831,7 @@ mod tests {
         let bogus = RequestEnvelope {
             version: 1,
             id: 1,
+            timeout_ms: None,
             request: patch,
         };
         let e = RequestEnvelope::decode(&bogus.encode()).unwrap_err();
@@ -1568,6 +1905,13 @@ mod tests {
                     },
                     WorkerStatsReport::default(),
                 ],
+                net: NetStatsReport {
+                    connections: 4,
+                    queue_depth: 1,
+                    inflight: 3,
+                    rejected: 2,
+                    timeouts: 1,
+                },
             }),
             Response::Shutdown,
             Response::Error(infeasible),
@@ -1586,21 +1930,155 @@ mod tests {
     #[test]
     fn unknown_version_rejected_known_range_accepted() {
         // All live versions decode…
-        for v in [1, 2, 3] {
+        for v in [1, 2, 3, 4] {
             let payload = format!(r#"{{"v":{v},"id":1,"type":"stats"}}"#);
             let env = RequestEnvelope::decode(&payload).unwrap();
             assert_eq!(env.version, v);
         }
         // …anything newer (or missing) is a protocol error.
-        let payload = r#"{"v":4,"id":1,"type":"stats"}"#;
+        let payload = r#"{"v":5,"id":1,"type":"stats"}"#;
         let e = RequestEnvelope::decode(payload).unwrap_err();
         assert_eq!(e.kind, ErrorKind::Protocol);
-        assert!(e.message.contains("version 4"), "{}", e.message);
+        assert!(e.message.contains("version 5"), "{}", e.message);
         let none = r#"{"id":1,"type":"stats"}"#;
         assert_eq!(
             RequestEnvelope::decode(none).unwrap_err().kind,
             ErrorKind::Protocol
         );
+    }
+
+    #[test]
+    fn timeout_needs_v4_and_rides_the_envelope() {
+        // Attaching a timeout bumps the envelope to v4, even on a
+        // request type that itself rides v1.
+        let env = RequestEnvelope::new(9, Request::Stats).with_timeout_ms(Some(250));
+        assert_eq!(env.version, 4);
+        let back = RequestEnvelope::decode(&env.encode()).unwrap();
+        assert_eq!(back.timeout_ms, Some(250));
+        assert_eq!(back, env);
+        // `None` changes nothing — v1 bytes stay v1.
+        let plain = RequestEnvelope::new(9, Request::Stats).with_timeout_ms(None);
+        assert_eq!(plain.version, 1);
+        assert!(!plain.encode().contains("timeout_ms"));
+        // A timeout smuggled into an older envelope is rejected.
+        let smuggled = r#"{"v":3,"id":1,"type":"stats","timeout_ms":250}"#;
+        let e = RequestEnvelope::decode(smuggled).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Protocol);
+        assert!(e.message.contains("timeout_ms"), "{}", e.message);
+    }
+
+    #[test]
+    fn corpus_request_and_response_round_trip_at_v4() {
+        use crate::corpus::{CorpusEntry, CorpusJob, ShardOutcome};
+        let req = Request::Corpus {
+            shards: 2,
+            jobs: vec![
+                CorpusJob {
+                    name: "a.inst".into(),
+                    graph: graph(),
+                    model: EnergyModel::continuous_unbounded(),
+                    deadline: 6.0,
+                },
+                CorpusJob {
+                    name: "b.inst".into(),
+                    graph: graph(),
+                    model: EnergyModel::VddHopping(DiscreteModes::new(&[1.0, 2.0]).unwrap()),
+                    deadline: 4.5,
+                },
+            ],
+        };
+        let env = RequestEnvelope::new(3, req);
+        assert_eq!(env.version, 4, "corpus is a v4 request");
+        assert_eq!(RequestEnvelope::decode(&env.encode()).unwrap(), env);
+        // Forcing it into v3 is a protocol error.
+        let mut bogus = env.clone();
+        bogus.version = 3;
+        let e = RequestEnvelope::decode(&bogus.encode()).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Protocol);
+
+        let resp = Response::Corpus(vec![
+            ShardOutcome {
+                shard: 0,
+                shards: 2,
+                entries: vec![CorpusEntry {
+                    name: "a.inst".into(),
+                    key: 0xabc,
+                    tasks: 3,
+                    deadline: 6.0,
+                    model: "continuous".into(),
+                    result: Ok((12.5, "continuous".into())),
+                }],
+                elapsed_ns: 1_234_567,
+            },
+            ShardOutcome {
+                shard: 1,
+                shards: 2,
+                entries: vec![CorpusEntry {
+                    name: "b.inst".into(),
+                    key: 0xdef,
+                    tasks: 3,
+                    deadline: 4.5,
+                    model: "vdd".into(),
+                    result: Err(ErrorBody {
+                        kind: ErrorKind::Infeasible,
+                        message: "too tight".into(),
+                        deadline: Some(4.5),
+                        min_makespan: Some(5.0),
+                    }),
+                }],
+                elapsed_ns: 0,
+            },
+        ]);
+        let env = ResponseEnvelope {
+            version: 4,
+            id: 3,
+            response: resp,
+        };
+        assert_eq!(ResponseEnvelope::decode(&env.encode()).unwrap(), env);
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_arbitrary_chunking() {
+        // Three frames, pushed one byte at a time: every frame comes
+        // out intact, in order, regardless of chunk boundaries.
+        let payloads = ["hello", r#"{"v":4}"#, ""];
+        let mut wire = Vec::new();
+        for p in payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for chunk in wire.chunks(1) {
+            fb.push(chunk);
+            while let Some(frame) = fb.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, payloads);
+        assert!(fb.is_empty());
+
+        // Coalesced in one push: same result.
+        let mut fb = FrameBuffer::new();
+        fb.push(&wire);
+        for p in payloads {
+            assert_eq!(fb.next_frame().unwrap().as_deref(), Some(p));
+        }
+        assert_eq!(fb.next_frame().unwrap(), None);
+
+        // A violated grammar poisons the stream exactly like
+        // `read_frame`: bad header, bad terminator, oversized length.
+        let mut fb = FrameBuffer::new();
+        fb.push(b"abc\nxyz\n");
+        assert!(matches!(fb.next_frame(), Err(FrameError::Truncated(_))));
+        let mut fb = FrameBuffer::new();
+        fb.push(b"2\nhiX");
+        assert!(matches!(fb.next_frame(), Err(FrameError::Truncated(_))));
+        let mut fb = FrameBuffer::new();
+        fb.push(format!("{}\n", MAX_FRAME + 1).as_bytes());
+        assert!(matches!(fb.next_frame(), Err(FrameError::TooLarge(_))));
+        let mut fb = FrameBuffer::new();
+        fb.push(b"999999999999999999999"); // 21 digits, no newline
+        assert!(matches!(fb.next_frame(), Err(FrameError::Truncated(_))));
     }
 
     #[test]
@@ -1629,6 +2107,7 @@ mod tests {
         let bogus = RequestEnvelope {
             version: 2,
             id: 1,
+            timeout_ms: None,
             request: exact,
         };
         let e = RequestEnvelope::decode(&bogus.encode()).unwrap_err();

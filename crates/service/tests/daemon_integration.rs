@@ -553,11 +553,153 @@ fn parallel_bnb_borrows_spare_workers_and_flushes_counters() {
     let s2 = expect_stats(client.roundtrip(Request::Stats).unwrap().response);
     let nodes2: u64 = s2.workers.iter().map(|w| w.bnb_nodes).sum();
     assert_eq!(nodes2, 2 * nodes1, "deterministic sweep: same count again");
+    // Only the two solves reach the pool: `stats` is answered inline
+    // by the poll loop and must never consume a worker slot.
     assert_eq!(
         s2.workers.iter().map(|w| w.requests).sum::<u64>(),
-        4,
-        "each request counted exactly once"
+        2,
+        "each pool request counted exactly once, stats served inline"
     );
 
+    daemon.shutdown(client);
+}
+
+/// Satellite: a connection held open and idle across `shutdown` must
+/// not stall the exit. The old thread-per-connection daemon parked a
+/// blocking reader on the idle socket until the peer closed; the poll
+/// loop owns every socket and closes them all at drain.
+#[test]
+fn shutdown_closes_idle_connections_within_a_bound() {
+    let mut daemon = Spawned::new("drain", &["--workers", "2"]);
+    // Connects and never sends a byte.
+    let idle = daemon.client();
+    let mut driver = daemon.client();
+    expect_solve(
+        driver
+            .roundtrip(solve_req(&big_graph(77)))
+            .unwrap()
+            .response,
+    );
+    match driver.roundtrip(Request::Shutdown).unwrap().response {
+        Response::Shutdown => {}
+        other => panic!("unexpected shutdown response: {other:?}"),
+    }
+    drop(driver);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let status = loop {
+        if let Some(status) = daemon.child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon did not exit while an idle connection was held open"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.success(), "daemon must exit cleanly: {status:?}");
+    assert!(!daemon.socket.exists(), "socket removed at drain start");
+    drop(idle);
+}
+
+/// Satellite: `stats` is answered inline by the poll loop, never
+/// consuming a worker slot — so it returns while the lone worker is
+/// deep in a long batch, and the net gauges prove the overlap.
+#[test]
+fn stats_answers_inline_while_the_lone_worker_is_busy() {
+    let daemon = Spawned::new("inline-stats", &["--workers", "1"]);
+    let mut busy = daemon.client();
+    let mut prober = daemon.client();
+
+    // Every graph is unique, so each entry pays preparation + solve:
+    // the single worker is busy for a while.
+    let jobs: Vec<(TaskGraph, f64)> = (0..200)
+        .map(|i| {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(1000 + i);
+            let g = generators::random_sp(50, 0.55, 1.0, 5.0, &mut rng).0;
+            let d = 1.5 * taskgraph::analysis::critical_path_weight(&g);
+            (g, d)
+        })
+        .collect();
+    let batch = Request::Batch {
+        model: EnergyModel::continuous_unbounded(),
+        jobs,
+    };
+
+    // Send without collecting the response, then probe from a second
+    // connection while the batch occupies the worker.
+    let mut pipe = busy.pipeline(2);
+    pipe.send(batch).unwrap();
+    let stats = expect_stats(prober.roundtrip(Request::Stats).unwrap().response);
+    assert!(
+        stats.net.inflight >= 1,
+        "stats answered after the batch finished — not inline: {:?}",
+        stats.net
+    );
+    assert_eq!(stats.net.connections, 2, "both connections registered");
+
+    let responses = pipe.drain().unwrap();
+    assert_eq!(responses.len(), 1);
+    match &responses[0].response {
+        Response::Batch(items) => assert_eq!(items.len(), 200),
+        other => panic!("expected a batch response, got {other:?}"),
+    }
+    drop(busy);
+    daemon.shutdown(prober);
+}
+
+/// The v4 `corpus` request end to end: the daemon's cache-backed
+/// sharded loop produces byte-identical manifests to the local
+/// runner, and a zero `timeout_ms` budget comes back as the
+/// structured `timeout` error (counted in the net stats).
+#[test]
+fn corpus_over_the_wire_matches_local_and_timeouts_are_structured() {
+    use models::PowerLaw;
+    use reclaim_service::corpus::{run_corpus, CorpusJob};
+
+    let daemon = Spawned::new("corpus-v4", &["--workers", "2"]);
+    let mut client = daemon.client();
+
+    let jobs: Vec<CorpusJob> = (0..6)
+        .map(|i| CorpusJob {
+            name: format!("inst_{i}.inst"),
+            graph: generators::chain(&[1.0 + i as f64, 2.0, 0.5]),
+            model: EnergyModel::continuous_unbounded(),
+            deadline: 8.0,
+        })
+        .collect();
+    let local = run_corpus(jobs.clone(), 3, PowerLaw::CUBIC);
+
+    let reply = client
+        .roundtrip(Request::Corpus {
+            shards: 3,
+            jobs: jobs.clone(),
+        })
+        .unwrap();
+    assert_eq!(reply.version, 4, "corpus needs protocol v4");
+    let remote = match reply.response {
+        Response::Corpus(shards) => shards,
+        other => panic!("expected corpus shards, got {other:?}"),
+    };
+    assert_eq!(remote.len(), 3);
+    for (r, l) in remote.iter().zip(local.iter()) {
+        assert_eq!(
+            r.manifest_json(),
+            l.manifest_json(),
+            "daemon corpus must reproduce the local manifest byte-for-byte"
+        );
+    }
+
+    // A queue-wait budget of zero always expires before the worker
+    // picks the job up: structured timeout, solve skipped.
+    client.set_timeout_ms(Some(0));
+    match client.roundtrip(solve_req(&big_graph(5))).unwrap().response {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::Timeout),
+        other => panic!("expected a timeout error, got {other:?}"),
+    }
+    client.set_timeout_ms(None);
+    let stats = expect_stats(client.roundtrip(Request::Stats).unwrap().response);
+    assert_eq!(stats.net.timeouts, 1, "the timeout is counted");
     daemon.shutdown(client);
 }

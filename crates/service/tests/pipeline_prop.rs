@@ -1,0 +1,150 @@
+//! Property tests for the pipelined client and the per-connection
+//! frame buffer: a scripted in-process peer answers a window of
+//! requests in an arbitrary shuffled order and the client must
+//! reassociate every response by `id` (surfacing an unknown id as a
+//! structured protocol error), and frames split or coalesced across
+//! arbitrary read-chunk boundaries must reassemble exactly.
+
+use proptest::prelude::*;
+use reclaim_service::client::{Client, ClientError};
+use reclaim_service::proto::{
+    read_frame, write_frame, ErrorKind, FrameBuffer, Request, RequestEnvelope, Response,
+    ResponseEnvelope,
+};
+use std::os::unix::net::UnixStream;
+
+/// Answer `n` requests read off `peer` in the given shuffled order,
+/// tagging each response body with the request id it answers (so the
+/// test can check content, not just envelope ids).
+fn scripted_peer(mut peer: UnixStream, n: usize, order: Vec<usize>) {
+    let mut envs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let payload = read_frame(&mut peer).unwrap().expect("peer closed early");
+        envs.push(RequestEnvelope::decode(&payload).unwrap());
+    }
+    for k in order {
+        let env = &envs[k];
+        let resp = ResponseEnvelope {
+            version: env.version,
+            id: env.id,
+            response: Response::Curve(vec![(env.id as f64, 1.0)]),
+        };
+        write_frame(&mut peer, &resp.encode()).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shuffled responses are reassociated: every request gets the
+    /// response carrying its id, in the peer's completion order.
+    #[test]
+    fn pipeline_matches_shuffled_responses_by_id(
+        n in 1usize..12,
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Seeded Fisher–Yates: every permutation of the n responses is
+        // reachable across cases.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut xs = shuffle_seed | 1;
+        for i in (1..order.len()).rev() {
+            xs ^= xs << 13;
+            xs ^= xs >> 7;
+            xs ^= xs << 17;
+            order.swap(i, (xs as usize) % (i + 1));
+        }
+        let (ours, theirs) = UnixStream::pair().unwrap();
+        let peer_order = order.clone();
+        let peer = std::thread::spawn(move || scripted_peer(theirs, n, peer_order));
+
+        let mut client = Client::from_unix(ours);
+        let mut pipe = client.pipeline(n);
+        let mut sent = Vec::new();
+        for _ in 0..n {
+            sent.push(pipe.send(Request::Stats).unwrap());
+        }
+        let responses = pipe.drain().unwrap();
+        peer.join().unwrap();
+
+        prop_assert_eq!(responses.len(), n);
+        // Arrival order is the peer's completion order...
+        let got: Vec<u64> = responses.iter().map(|r| r.id).collect();
+        let expected: Vec<u64> = order.iter().map(|&k| sent[k]).collect();
+        prop_assert_eq!(got, expected);
+        // ...and every body is the one minted for that id.
+        for r in &responses {
+            match &r.response {
+                Response::Curve(points) => prop_assert_eq!(points[0].0, r.id as f64),
+                other => panic!("unexpected body {other:?}"),
+            }
+        }
+    }
+
+    /// A response whose id was never sent is a structured protocol
+    /// error, not a hang or a misdelivery.
+    #[test]
+    fn unknown_response_id_is_a_structured_error(n in 1usize..8, bogus in 1000u64..2000) {
+        let (ours, theirs) = UnixStream::pair().unwrap();
+        let peer = std::thread::spawn(move || {
+            let mut peer = theirs;
+            let mut envs = Vec::new();
+            for _ in 0..n {
+                let payload = read_frame(&mut peer).unwrap().expect("peer closed early");
+                envs.push(RequestEnvelope::decode(&payload).unwrap());
+            }
+            // Answer an id nobody asked for.
+            let resp = ResponseEnvelope {
+                version: envs[0].version,
+                id: bogus,
+                response: Response::Shutdown,
+            };
+            write_frame(&mut peer, &resp.encode()).unwrap();
+        });
+
+        let mut client = Client::from_unix(ours);
+        let mut pipe = client.pipeline(n);
+        for _ in 0..n {
+            pipe.send(Request::Stats).unwrap();
+        }
+        match pipe.drain() {
+            Err(ClientError::Protocol(e)) => {
+                prop_assert_eq!(e.kind, ErrorKind::Protocol);
+                prop_assert!(e.message.contains("matches no pending request"));
+            }
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+        peer.join().unwrap();
+    }
+
+    /// Frames pushed through the per-connection buffer in arbitrary
+    /// chunk sizes (splitting headers, bodies, and terminators at
+    /// every boundary, and coalescing adjacent frames) reassemble to
+    /// exactly the payload sequence that was framed.
+    #[test]
+    fn frame_buffer_survives_arbitrary_chunking(
+        payloads in prop::collection::vec("[ -~]{0,60}", 0..8),
+        chunk_seed in any::<u64>(),
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        let mut buf = FrameBuffer::new();
+        let mut out = Vec::new();
+        let mut xs = chunk_seed | 1;
+        let mut i = 0;
+        while i < wire.len() {
+            xs ^= xs << 13;
+            xs ^= xs >> 7;
+            xs ^= xs << 17;
+            let end = (i + 1 + (xs as usize) % 7).min(wire.len());
+            buf.push(&wire[i..end]);
+            while let Some(p) = buf.next_frame().unwrap() {
+                out.push(p);
+            }
+            i = end;
+        }
+        prop_assert_eq!(out, payloads);
+        prop_assert!(buf.is_empty(), "no residual bytes after the last frame");
+    }
+}

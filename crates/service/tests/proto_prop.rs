@@ -127,6 +127,7 @@ fn arb_error() -> impl Strategy<Value = ErrorBody> {
             Just(ErrorKind::BadRequest),
             Just(ErrorKind::UnknownBase),
             Just(ErrorKind::Protocol),
+            Just(ErrorKind::Timeout),
         ],
         "[ -~]{0,40}",
         arb_opt_f64(),
