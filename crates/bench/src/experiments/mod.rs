@@ -18,6 +18,7 @@ pub mod t7;
 pub mod x1;
 pub mod x10;
 pub mod x11;
+pub mod x12;
 pub mod x2;
 pub mod x3;
 pub mod x4;
@@ -116,6 +117,7 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
     ("x9", x9::run),
     ("x10", x10::run),
     ("x11", x11::run),
+    ("x12", x12::run),
 ];
 
 /// Run every experiment in order.

@@ -5,10 +5,12 @@
 //! reclaim sweep <instance-file> [--points N] [--lo F] [--hi F]
 //! reclaim dmin  <instance-file>
 //! reclaim check <instance-file>
-//! reclaim serve  [--socket PATH] [--tcp ADDR] [--workers N] …
+//! reclaim serve  [--socket PATH] [--tcp ADDR] [--workers N]
+//!                [--store DIR] [--store-fsync] …
 //! reclaim ask    [<instance-file>] [--socket PATH|--tcp ADDR]
 //!                [--patch SPEC] [--stats] [--shutdown]
-//!                [--pipeline K] [--timeout MS]
+//!                [--pipeline K] [--timeout MS] [--as-of N]
+//! reclaim lineage <key> [--socket PATH|--tcp ADDR]
 //! reclaim corpus <dir> [--shards N] [--json DIR]
 //!                [--socket PATH|--tcp ADDR]
 //! ```
@@ -45,12 +47,17 @@ fn usage() -> ! {
                       [--socket PATH] [--tcp ADDR] [--workers N]\n\
                       [--cache-entries N] [--cache-bytes B] [--alpha A]\n\
                       [--max-connections N] [--max-inflight N]\n\
+                      [--store DIR] [--store-fsync]\n\
            ask      — send requests to a running daemon\n\
                       reclaim ask [<file>] [--socket PATH|--tcp ADDR]\n\
                       [--patch SPEC] [--stats] [--shutdown]\n\
-                      [--pipeline K] [--timeout MS]\n\
+                      [--pipeline K] [--timeout MS] [--as-of N]\n\
                       SPEC: ';'-separated edits — set:T:W link:U:V\n\
                       unlink:U:V add:W[:pA.B][:sC.D] drop:T\n\
+                      --as-of N solves the version N recorded patches\n\
+                      back up the store's lineage chain (needs --store)\n\
+           lineage  — recorded patch history of a stored instance\n\
+                      reclaim lineage <key> [--socket PATH|--tcp ADDR]\n\
            corpus   — shard a directory of .inst files across engines\n\
                       reclaim corpus <dir> [--shards N] [--json DIR]\n\
                       [--socket PATH|--tcp ADDR]  (run through a daemon)"
@@ -131,12 +138,23 @@ fn ask_command(args: &[String]) {
             std::process::exit(2);
         })
     });
+    let as_of: Option<u64> = flag_value("--as-of").map(|v| {
+        v.parse().ok().filter(|&d| d >= 1).unwrap_or_else(|| {
+            eprintln!("--as-of needs a patch depth ≥ 1, got {v:?}");
+            std::process::exit(2);
+        })
+    });
+    if as_of.is_some() && file.is_none() {
+        eprintln!("--as-of needs the instance file whose lineage to rewind");
+        std::process::exit(2);
+    }
     let ep = endpoint_from_flags(&flags);
     let mut client = Client::connect(&ep).unwrap_or_else(|e| {
         eprintln!("cannot connect to {ep}: {e} (is reclaimd running?)");
         std::process::exit(1);
     });
     client.set_timeout_ms(timeout_ms);
+    client.set_as_of(as_of);
     // Pipelined mode: send the file's solve K times in one window
     // (responses matched by id, completion order) — a quick way to
     // drive the daemon cache and the out-of-order write path from the
@@ -194,6 +212,11 @@ fn ask_command(args: &[String]) {
         }
     }
     let mut roundtrip = |req: Request| {
+        // `--as-of` applies to the solve only; the same invocation's
+        // follow-ups (patch, stats, shutdown) run at the present.
+        if !matches!(req, Request::Solve { .. }) {
+            client.set_as_of(None);
+        }
         client
             .roundtrip(req)
             .unwrap_or_else(|e| {
@@ -279,6 +302,15 @@ fn ask_command(args: &[String]) {
                     s.cache.patch_hits,
                     s.cache.patch_misses,
                     s.cache.rekeys
+                );
+                println!(
+                    "store: {} entries | {} bytes | {} recovered | \
+                     {} corrupt skipped | {} replays",
+                    s.store.entries,
+                    s.store.bytes,
+                    s.store.recovered,
+                    s.store.corrupt_skipped,
+                    s.store.replays
                 );
                 for (i, w) in s.workers.iter().enumerate() {
                     println!(
@@ -476,6 +508,56 @@ fn generate_command(args: &[String]) {
     }
 }
 
+/// `reclaim lineage <key>` — print the recorded patch history of the
+/// instance stored under `key` (a `0x`-prefixed 32-hex content key,
+/// as printed by `ask --patch`), oldest hop first. Needs a daemon
+/// started with `--store`.
+fn lineage_command(args: &[String]) {
+    let Some(raw) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("lineage needs a content key (0x-prefixed 32 hex digits)");
+        std::process::exit(2);
+    };
+    let key = reclaim_service::proto::key_from_hex(raw).unwrap_or_else(|| {
+        eprintln!("malformed content key {raw:?} (want 0x-prefixed 32 hex digits)");
+        std::process::exit(2);
+    });
+    let ep = endpoint_from_flags(&args[1..]);
+    let mut client = Client::connect(&ep).unwrap_or_else(|e| {
+        eprintln!("cannot reach daemon at {ep}: {e}");
+        std::process::exit(1);
+    });
+    let reply = client.lineage(key).unwrap_or_else(|e| {
+        eprintln!("request failed: {e}");
+        std::process::exit(1);
+    });
+    match reply.response {
+        Response::Lineage(report) => {
+            println!(
+                "lineage of {}: {} recorded patches",
+                reclaim_service::proto::key_to_hex(report.key),
+                report.depth
+            );
+            for (i, hop) in report.hops.iter().enumerate() {
+                println!(
+                    "  #{}: {} --[{} edits]--> {}",
+                    i + 1,
+                    reclaim_service::proto::key_to_hex(hop.parent),
+                    hop.edits.len(),
+                    reclaim_service::proto::key_to_hex(hop.child)
+                );
+            }
+        }
+        Response::Error(e) => {
+            eprintln!("daemon error: {e}");
+            std::process::exit(1);
+        }
+        other => {
+            eprintln!("unexpected response: {other:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn load(path: &str) -> Instance {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
@@ -511,6 +593,7 @@ fn main() {
             return;
         }
         Some("ask") => return ask_command(&args[1..]),
+        Some("lineage") => return lineage_command(&args[1..]),
         Some("corpus") => return corpus_command(&args[1..]),
         _ => {}
     }

@@ -4,6 +4,7 @@
 //! reclaimd [--socket PATH] [--tcp ADDR] [--workers N]
 //!          [--cache-entries N] [--cache-bytes B] [--alpha A]
 //!          [--max-connections N] [--max-inflight N]
+//!          [--store DIR] [--store-fsync]
 //! ```
 //!
 //! Serves the length-prefixed JSON-line protocol (see
@@ -19,10 +20,15 @@ fn main() {
             "usage: reclaimd [--socket PATH] [--tcp ADDR] [--workers N]\n\
              \x20               [--cache-entries N] [--cache-bytes B] [--alpha A]\n\
              \x20               [--max-connections N] [--max-inflight N]\n\
+             \x20               [--store DIR] [--store-fsync]\n\
              default socket: reclaimd.sock (unix domain); --tcp overrides.\n\
              --max-inflight bounds admitted-but-unanswered requests per\n\
              connection (backpressure); --max-connections bounds accepted\n\
              sockets.\n\
+             --store DIR persists instances, curves, and patch lineage to\n\
+             disk (crash-safe, checksummed); a restarted daemon scans it\n\
+             and boots warm. --store-fsync trades write latency for\n\
+             power-failure durability.\n\
              Stop it with: reclaim ask --shutdown --socket PATH"
         );
         std::process::exit(2);

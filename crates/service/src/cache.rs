@@ -34,6 +34,20 @@
 //! over-budget instance still serves its request (and is dropped on
 //! the next insertion instead).
 //!
+//! # The disk store (protocol v5)
+//!
+//! A cache built with [`InstanceCache::with_store`] is **backed by a
+//! [`crate::store::Store`]**: every built or patched instance is
+//! spilled to disk write-through, every patch is recorded in the
+//! store's lineage log, an LRU victim is re-spilled with its retained
+//! curve *before* it is dropped (so eviction downgrades the entry
+//! from RAM to disk instead of destroying it — a re-request is a disk
+//! hit, [`Prepared::StoreHit`], not a cold re-prepare), and a RAM
+//! miss consults the store before building from scratch. Spills run
+//! under the cache lock on the eviction path; records are small
+//! (one JSON line) and the alternative — dropping the victim outside
+//! the lock — would let a racing re-request rebuild cold mid-spill.
+//!
 //! The key deliberately covers graph **and** model, even though the
 //! cached analysis is model-independent: one cache entry *is* one
 //! addressable instance on the wire, so hit/miss/eviction counters
@@ -52,6 +66,7 @@ use taskgraph::edit::{EditError, GraphEdit};
 use taskgraph::PreparedInstance;
 
 use crate::proto::CacheStatsReport;
+use crate::store::Store;
 
 /// Budgets for [`InstanceCache`].
 #[derive(Debug, Clone, Copy)]
@@ -114,12 +129,35 @@ struct Inner {
 pub struct InstanceCache {
     cfg: CacheConfig,
     inner: Mutex<Inner>,
+    /// Disk backing (protocol v5): spill on build/patch/evict, load
+    /// on RAM miss, record patch lineage. `None` without `--store`.
+    store: Option<Arc<Store>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     patch_hits: AtomicU64,
     patch_misses: AtomicU64,
     rekeys: AtomicU64,
+}
+
+/// Where [`InstanceCache::get_or_prepare`] found the instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prepared {
+    /// Live in RAM.
+    Hit,
+    /// RAM miss, re-materialized from the disk store's spilled entry
+    /// (analyses restored from the snapshot — no re-preparation).
+    StoreHit,
+    /// Built and fully warmed from scratch.
+    Built,
+}
+
+impl Prepared {
+    /// Whether the daemon should report the instance as `cached`
+    /// (preparation was not re-paid): everything but a cold build.
+    pub fn cached(self) -> bool {
+        !matches!(self, Prepared::Built)
+    }
 }
 
 /// A successfully applied [`InstanceCache::patch`].
@@ -154,8 +192,14 @@ pub enum PatchError {
 }
 
 impl InstanceCache {
-    /// An empty cache with the given budgets.
+    /// An empty cache with the given budgets (RAM only).
     pub fn new(cfg: CacheConfig) -> InstanceCache {
+        InstanceCache::with_store(cfg, None)
+    }
+
+    /// An empty cache with the given budgets, optionally backed by a
+    /// disk store (see the module docs for the spill/load policy).
+    pub fn with_store(cfg: CacheConfig, store: Option<Arc<Store>>) -> InstanceCache {
         InstanceCache {
             cfg: CacheConfig {
                 max_entries: cfg.max_entries.max(1),
@@ -166,6 +210,7 @@ impl InstanceCache {
                 bytes: 0,
                 tick: 0,
             }),
+            store,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -175,25 +220,41 @@ impl InstanceCache {
         }
     }
 
-    /// Look up the instance for `key`, building (and fully warming)
-    /// it on a miss. `model` must be the model `key` was derived
-    /// under; it is stored with the entry so `patch` can re-key
-    /// without the client resending it. Returns the shared handle and
-    /// whether it was a hit. The builder runs *outside* the lock: two
-    /// racing misses on one key both build, and the first insertion
-    /// wins — wasted work, never a wrong answer.
+    /// Look up the instance for `key`, re-materializing it from the
+    /// disk store (when one is attached) or building (and fully
+    /// warming) it on a miss. `model` must be the model `key` was
+    /// derived under; it is stored with the entry so `patch` can
+    /// re-key without the client resending it. Returns the shared
+    /// handle and where it came from ([`Prepared`]). The builder and
+    /// the store load run *outside* the lock: two racing misses on one
+    /// key both build, and the first insertion wins — wasted work,
+    /// never a wrong answer.
     pub fn get_or_prepare(
         &self,
         key: u128,
         model: &EnergyModel,
         build: impl FnOnce() -> PreparedInstance,
-    ) -> (Arc<PreparedInstance>, bool) {
+    ) -> (Arc<PreparedInstance>, Prepared) {
         if let Some((inst, _)) = self.lookup(key) {
-            return (inst, true);
+            return (inst, Prepared::Hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = build();
-        built.warm();
+        // A RAM miss consults the store first: a spilled (or
+        // recovered-after-restart) entry comes back with its analyses
+        // and retained curve, skipping preparation entirely.
+        let (built, curve, outcome) = match self.store.as_ref().and_then(|s| s.load(key)) {
+            Some(stored) => {
+                // `restore` validated each snapshot field; warm() fills
+                // anything a damaged field degraded to lazy.
+                stored.inst.warm();
+                (stored.inst, stored.curve, Prepared::StoreHit)
+            }
+            None => {
+                let built = build();
+                built.warm();
+                (built, None, Prepared::Built)
+            }
+        };
         let bytes = built.approx_bytes();
         let built = Arc::new(built);
         let mut inner = self.inner.lock().expect("cache lock poisoned");
@@ -214,7 +275,7 @@ impl InstanceCache {
                         inst: Arc::clone(&built),
                         model: model.clone(),
                         warm: Arc::new(Mutex::new(None)),
-                        curve: Arc::new(Mutex::new(None)),
+                        curve: Arc::new(Mutex::new(curve)),
                         bytes,
                         last_used: tick,
                     },
@@ -223,7 +284,24 @@ impl InstanceCache {
                 built
             }
         };
-        (inst, false)
+        drop(inner);
+        if outcome == Prepared::Built {
+            // Write-through: a freshly built instance is on disk
+            // before its first response leaves the daemon, so a crash
+            // right after never forgets it. Spill failures degrade to
+            // a RAM-only entry, never to a wrong answer.
+            if let Some(store) = &self.store {
+                let _ = store.save(key, model, &inst, None);
+            }
+        }
+        (inst, outcome)
+    }
+
+    /// Look up `key` without counting a hit and without building —
+    /// the daemon's `as_of` time-travel path peeks for a live
+    /// ancestor before going to the store.
+    pub fn peek(&self, key: u128) -> Option<Arc<PreparedInstance>> {
+        self.lookup_quiet(key).map(|(inst, _)| inst)
     }
 
     /// The Vdd warm-start slot of an entry, if the entry is live. Used
@@ -243,17 +321,37 @@ impl InstanceCache {
     }
 
     /// Apply an edit batch to the cached instance `base`, re-keying
-    /// the entry in place (see the module docs). On success the cache
-    /// holds the patched instance under [`Patched::key`] and no longer
-    /// holds `base`; in-flight solves against the base handle are
-    /// unaffected (`Arc`).
+    /// the entry in place (see the module docs). A base missing from
+    /// RAM but present in the attached store re-materializes from
+    /// disk first (eviction and restarts don't break patch chains).
+    /// On success the cache holds the patched instance under
+    /// [`Patched::key`] and no longer holds `base`; in-flight solves
+    /// against the base handle are unaffected (`Arc`).
     pub fn patch(&self, base: u128, edits: &[GraphEdit]) -> Result<Patched, PatchError> {
         // Patch traffic is accounted in its own counters, not in the
         // plain hit/miss pair — `stats` must be able to tell them
         // apart.
-        let Some((base_inst, (model, base_warm))) = self.lookup_quiet(base) else {
-            self.patch_misses.fetch_add(1, Ordering::Relaxed);
-            return Err(PatchError::UnknownBase);
+        let (base_inst, model, base_warm) = match self.lookup_quiet(base) {
+            Some((inst, (model, warm))) => (inst, model, warm),
+            // An attached store extends "held" to disk: a base that
+            // was spilled on eviction (or recovered after a restart)
+            // re-materializes and the patch proceeds as a hit — the
+            // Vdd warm slot starts empty (live LP handles are never
+            // persisted) and rebuilds lazily.
+            None => match self.store.as_ref().and_then(|s| s.load(base)) {
+                Some(stored) => {
+                    stored.inst.warm();
+                    (
+                        Arc::new(stored.inst),
+                        stored.model,
+                        Arc::new(Mutex::new(None)),
+                    )
+                }
+                None => {
+                    self.patch_misses.fetch_add(1, Ordering::Relaxed);
+                    return Err(PatchError::UnknownBase);
+                }
+            },
         };
         // Apply (and, for structural batches, re-warm) outside the
         // lock — the expensive part must not serialize other workers.
@@ -294,7 +392,13 @@ impl InstanceCache {
                 e.last_used = tick;
                 let existing = Arc::clone(&e.inst);
                 let warm = Arc::clone(&e.warm);
+                drop(inner);
                 self.patch_hits.fetch_add(1, Ordering::Relaxed);
+                // The content was already cached, but the *edit* is
+                // new history: record it so `as_of` can walk through.
+                if let Some(store) = &self.store {
+                    let _ = store.record_patch(base, edits, key);
+                }
                 return Ok(Patched {
                     inst: existing,
                     model,
@@ -324,6 +428,14 @@ impl InstanceCache {
         }
         drop(inner);
         self.patch_hits.fetch_add(1, Ordering::Relaxed);
+        // Lineage before content: if the daemon dies between the two
+        // writes, a recorded hop whose child file is missing still
+        // re-materializes by replay; a child file with no hop would
+        // strand the edit out of every `as_of` walk.
+        if let Some(store) = &self.store {
+            let _ = store.record_patch(base, edits, key);
+            let _ = store.save(key, &model, &inst, None);
+        }
         Ok(Patched {
             inst,
             model,
@@ -375,7 +487,34 @@ impl InstanceCache {
             if let Some(e) = inner.map.remove(&victim) {
                 inner.bytes -= e.bytes;
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                // Eviction downgrades the entry from RAM to disk: the
+                // latest analyses and the retained curve are
+                // re-spilled before the drop, so a re-request is a
+                // StoreHit (the Vdd warm slot holds a live LP handle
+                // and cannot be serialized; it alone rebuilds lazily).
+                if let Some(store) = &self.store {
+                    let curve = match e.curve.lock() {
+                        Ok(guard) => guard.clone(),
+                        Err(poisoned) => poisoned.into_inner().clone(),
+                    };
+                    let _ = store.save(victim, &e.model, &e.inst, curve.as_ref());
+                }
             }
+        }
+    }
+
+    /// Spill every live entry (with its retained curve) to the store.
+    /// The daemon calls this as its drain completes so a clean
+    /// shutdown persists exactly the state a restart will recover.
+    pub fn spill_all(&self) {
+        let Some(store) = &self.store else { return };
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        for (key, e) in &inner.map {
+            let curve = match e.curve.lock() {
+                Ok(guard) => guard.clone(),
+                Err(poisoned) => poisoned.into_inner().clone(),
+            };
+            let _ = store.save(*key, &e.model, &e.inst, curve.as_ref());
         }
     }
 
@@ -421,10 +560,12 @@ mod tests {
             max_entries: 4,
             max_bytes: usize::MAX,
         });
-        let (_, hit) = cache.get_or_prepare(1, &model(), || prep(1.0));
-        assert!(!hit);
-        let (_, hit) = cache.get_or_prepare(1, &model(), || panic!("must not rebuild"));
-        assert!(hit);
+        let (_, outcome) = cache.get_or_prepare(1, &model(), || prep(1.0));
+        assert_eq!(outcome, Prepared::Built);
+        assert!(!outcome.cached());
+        let (_, outcome) = cache.get_or_prepare(1, &model(), || panic!("must not rebuild"));
+        assert_eq!(outcome, Prepared::Hit);
+        assert!(outcome.cached());
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert!(s.bytes > 0);
@@ -445,12 +586,12 @@ mod tests {
         assert_eq!(s.entries, 2);
         assert_eq!(s.evictions, 1);
         // 2 was evicted; 1 and 3 survive.
-        let (_, hit) = cache.get_or_prepare(1, &model(), || prep(1.0));
-        assert!(hit);
-        let (_, hit) = cache.get_or_prepare(3, &model(), || prep(3.0));
-        assert!(hit);
-        let (_, hit) = cache.get_or_prepare(2, &model(), || prep(2.0));
-        assert!(!hit, "2 must have been evicted");
+        let (_, outcome) = cache.get_or_prepare(1, &model(), || prep(1.0));
+        assert_eq!(outcome, Prepared::Hit);
+        let (_, outcome) = cache.get_or_prepare(3, &model(), || prep(3.0));
+        assert_eq!(outcome, Prepared::Hit);
+        let (_, outcome) = cache.get_or_prepare(2, &model(), || prep(2.0));
+        assert_eq!(outcome, Prepared::Built, "2 must have been evicted");
     }
 
     #[test]
@@ -523,8 +664,8 @@ mod tests {
         // Re-key: one entry, reachable under the new key only.
         let s = cache.stats();
         assert_eq!((s.entries, s.patch_hits, s.rekeys), (1, 1, 1));
-        let (_, hit) = cache.get_or_prepare(patched.key, &m, || panic!("must be live"));
-        assert!(hit);
+        let (_, outcome) = cache.get_or_prepare(patched.key, &m, || panic!("must be live"));
+        assert_eq!(outcome, Prepared::Hit);
         assert!(matches!(
             cache.patch(base_key, &edits),
             Err(PatchError::UnknownBase)
@@ -574,8 +715,103 @@ mod tests {
             Ok(_) => panic!("cycle-introducing edit must fail"),
         }
         // Base entry is untouched.
-        let (_, hit) = cache.get_or_prepare(k0, &m, || panic!("base must survive"));
-        assert!(hit);
+        let (_, outcome) = cache.get_or_prepare(k0, &m, || panic!("base must survive"));
+        assert_eq!(outcome, Prepared::Hit);
         assert_eq!(cache.stats().rekeys, 0);
+    }
+
+    #[test]
+    fn eviction_spills_to_store_and_reloads_with_curve() {
+        let dir = std::env::temp_dir().join(format!("reclaim-cache-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = StdArc::new(crate::store::Store::open(&dir, false).unwrap());
+        let cache = InstanceCache::with_store(
+            CacheConfig {
+                max_entries: 1,
+                max_bytes: usize::MAX,
+            },
+            Some(StdArc::clone(&store)),
+        );
+        let m = model();
+        let g1 = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let k1 = instance_key(&g1, &m);
+        let (held, outcome) =
+            cache.get_or_prepare(k1, &m, || PreparedInstance::new(StdArc::new(g1)));
+        assert_eq!(outcome, Prepared::Built);
+        // Park a retained curve in the entry's slot, as the daemon's
+        // exact-curve path does.
+        let slot = cache.curve_slot(k1).unwrap();
+        *slot.lock().unwrap() = Some(CachedCurve {
+            lo: 1.05,
+            hi: 4.0,
+            curve: StdArc::new(reclaim_core::ExactCurve {
+                segments: vec![reclaim_core::CurveSegment {
+                    deadline_lo: 2.0,
+                    deadline_hi: 8.0,
+                    energy: reclaim_core::CurveEnergy::Power { c: 96.0, p: 2.0 },
+                }],
+                exact: true,
+                stats: Default::default(),
+            }),
+        });
+        drop(slot);
+        // Evict k1 (entry budget 1) — the bugfix: the entry spills
+        // with its curve instead of being destroyed.
+        cache.get_or_prepare(2, &m, || prep(9.0));
+        assert_eq!(cache.stats().evictions, 1);
+        // A re-request is a disk hit, not a cold rebuild…
+        let (reloaded, outcome) =
+            cache.get_or_prepare(k1, &m, || panic!("must reload from the store, not rebuild"));
+        assert_eq!(outcome, Prepared::StoreHit);
+        assert!(outcome.cached());
+        assert_eq!(reloaded.graph(), held.graph());
+        // …and the retained curve came back with it.
+        let slot = cache.curve_slot(k1).unwrap();
+        let curve = slot.lock().unwrap().clone().expect("curve restored");
+        assert_eq!((curve.lo, curve.hi), (1.05, 4.0));
+        assert_eq!(curve.curve.segments.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn patch_miss_falls_back_to_store() {
+        let dir = std::env::temp_dir().join(format!("reclaim-cache-pfb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = StdArc::new(crate::store::Store::open(&dir, false).unwrap());
+        let cache = InstanceCache::with_store(
+            CacheConfig {
+                max_entries: 1,
+                max_bytes: usize::MAX,
+            },
+            Some(StdArc::clone(&store)),
+        );
+        let m = model();
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let base_key = instance_key(&g, &m);
+        cache.get_or_prepare(base_key, &m, || {
+            PreparedInstance::new(StdArc::new(g.clone()))
+        });
+        // Evict the base (entry budget 1): it spills to disk only.
+        cache.get_or_prepare(2, &m, || prep(9.0));
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.peek(base_key).is_none());
+        // Patching the evicted base re-materializes it from the store
+        // instead of erroring UnknownBase.
+        let edits = [GraphEdit::SetWeight {
+            task: 1,
+            weight: 6.0,
+        }];
+        let patched = cache.patch(base_key, &edits).unwrap();
+        assert_eq!(patched.inst.graph().weights()[1], 6.0);
+        let (rebuilt, _) = taskgraph::edit::apply_edits(&g, &edits).unwrap();
+        assert_eq!(patched.key, instance_key(&rebuilt, &m));
+        let s = cache.stats();
+        assert_eq!((s.patch_hits, s.patch_misses), (1, 0));
+        // The patched child is cached and the lineage hop was recorded.
+        assert!(cache.peek(patched.key).is_some());
+        let (parent, hop_edits) = store.parent_of(patched.key).expect("lineage hop recorded");
+        assert_eq!(parent, base_key);
+        assert_eq!(hop_edits.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

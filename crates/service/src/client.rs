@@ -51,6 +51,7 @@ pub struct Client {
     stream: Stream,
     next_id: u64,
     timeout_ms: Option<u64>,
+    as_of: Option<u64>,
 }
 
 impl Client {
@@ -60,6 +61,7 @@ impl Client {
             stream: Stream::connect(ep)?,
             next_id: 1,
             timeout_ms: None,
+            as_of: None,
         })
     }
 
@@ -70,6 +72,7 @@ impl Client {
             stream: Stream::Unix(stream),
             next_id: 1,
             timeout_ms: None,
+            as_of: None,
         }
     }
 
@@ -80,6 +83,22 @@ impl Client {
     /// the field bumps the envelope to protocol v4.
     pub fn set_timeout_ms(&mut self, timeout_ms: Option<u64>) {
         self.timeout_ms = timeout_ms;
+    }
+
+    /// Rewind every subsequent `solve` / `energy_curve` to the version
+    /// `depth` recorded patches up its lineage chain (`None` — or a
+    /// depth of 0 — clears it back to the present). Needs a daemon
+    /// started with `--store`; carrying the field bumps the envelope
+    /// to protocol v5.
+    pub fn set_as_of(&mut self, as_of: Option<u64>) {
+        self.as_of = as_of.filter(|&d| d > 0);
+    }
+
+    /// Send a v5 `lineage` query: the recorded patch history of the
+    /// instance stored under `key`, oldest hop first. Needs a daemon
+    /// started with `--store`.
+    pub fn lineage(&mut self, key: u128) -> Result<ResponseEnvelope, ClientError> {
+        self.roundtrip(Request::Lineage { key })
     }
 
     /// Connect, retrying until `timeout` elapses — for racing a daemon
@@ -106,7 +125,9 @@ impl Client {
     ) -> Result<ResponseEnvelope, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let env = RequestEnvelope::new(id, request).with_timeout_ms(self.timeout_ms);
+        let env = RequestEnvelope::new(id, request)
+            .with_timeout_ms(self.timeout_ms)
+            .with_as_of(self.as_of);
         write_frame(&mut self.stream, &env.encode())?;
         let payload = read_frame(&mut self.stream)
             .map_err(ClientError::Frame)?
@@ -202,7 +223,9 @@ impl Pipeline<'_> {
         }
         let id = self.client.next_id;
         self.client.next_id += 1;
-        let env = RequestEnvelope::new(id, request).with_timeout_ms(self.client.timeout_ms);
+        let env = RequestEnvelope::new(id, request)
+            .with_timeout_ms(self.client.timeout_ms)
+            .with_as_of(self.client.as_of);
         write_frame(&mut self.client.stream, &env.encode())?;
         self.pending.insert(id);
         Ok(id)

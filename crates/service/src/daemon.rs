@@ -44,10 +44,11 @@
 use crate::cache::{CacheConfig, CachedCurve, InstanceCache, PatchError};
 use crate::net::{Poller, WAKE_TOKEN};
 use crate::proto::{
-    write_frame, CurveExactReport, ErrorBody, ErrorKind, FrameBuffer, NetStatsReport, PatchReport,
-    Request, RequestEnvelope, Response, ResponseEnvelope, SolveReport, StatsReport,
-    WorkerStatsReport, MIN_PROTOCOL_VERSION,
+    key_to_hex, write_frame, CurveExactReport, ErrorBody, ErrorKind, FrameBuffer, LineageReport,
+    NetStatsReport, PatchReport, Request, RequestEnvelope, Response, ResponseEnvelope, SolveReport,
+    StatsReport, WorkerStatsReport, MIN_PROTOCOL_VERSION,
 };
+use crate::store::Store;
 use models::{EnergyModel, PowerLaw};
 use reclaim_core::engine::content_key;
 use reclaim_core::Engine;
@@ -103,6 +104,14 @@ pub struct DaemonConfig {
     /// the peer's sends back up in the kernel buffer) instead of
     /// buffering frames unboundedly.
     pub max_inflight: usize,
+    /// Directory of the disk-backed instance store (`--store`). When
+    /// set the daemon boots by scanning it (restarting **warm**) and
+    /// spills instances, curves, and patch lineage write-through.
+    pub store: Option<PathBuf>,
+    /// Fsync every store write (`--store-fsync`). Off by default:
+    /// kill -9 is survived either way (records are checksummed), the
+    /// flag buys power-failure durability at a latency cost.
+    pub store_fsync: bool,
 }
 
 impl Default for DaemonConfig {
@@ -117,6 +126,8 @@ impl Default for DaemonConfig {
             power: PowerLaw::CUBIC,
             max_connections: 1024,
             max_inflight: 32,
+            store: None,
+            store_fsync: false,
         }
     }
 }
@@ -133,6 +144,8 @@ impl Default for DaemonConfig {
 /// --alpha A            power-law exponent (default 3)
 /// --max-connections N  accept cap         (default 1024)
 /// --max-inflight N     per-connection admission bound (default 32)
+/// --store DIR          disk-backed instance store (boots warm)
+/// --store-fsync        fsync every store write (default: OS-buffered)
 /// ```
 pub fn config_from_args(args: &[String]) -> Result<DaemonConfig, String> {
     let mut cfg = DaemonConfig::default();
@@ -186,6 +199,8 @@ pub fn config_from_args(args: &[String]) -> Result<DaemonConfig, String> {
                     .filter(|&n| n >= 1)
                     .ok_or("--max-inflight needs an integer ≥ 1")?;
             }
+            "--store" => cfg.store = Some(PathBuf::from(value()?)),
+            "--store-fsync" => cfg.store_fsync = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -302,6 +317,9 @@ impl NetCounters {
 
 struct State {
     cache: InstanceCache,
+    /// The disk store behind the cache (`--store`), also reachable
+    /// directly for `lineage` / `as_of` walks and curve spills.
+    store: Option<Arc<Store>>,
     power: PowerLaw,
     shutdown: AtomicBool,
     net: NetCounters,
@@ -390,8 +408,15 @@ impl Daemon {
             }
         };
         let workers = cfg.workers.max(1);
+        // Open (and recovery-scan) the store before serving: the very
+        // first request after a restart already sees the warm state.
+        let store = match &cfg.store {
+            Some(dir) => Some(Arc::new(Store::open(dir, cfg.store_fsync)?)),
+            None => None,
+        };
         let state = Arc::new(State {
-            cache: InstanceCache::new(cfg.cache),
+            cache: InstanceCache::with_store(cfg.cache, store.clone()),
+            store,
             power: cfg.power,
             shutdown: AtomicBool::new(false),
             net: NetCounters::default(),
@@ -452,6 +477,7 @@ impl Daemon {
             draining: false,
             drain_deadline: None,
         };
+        let state_for_drain = Arc::clone(&el.state);
         let result = el.run();
         // Dropping the loop drops the job-queue sender: workers finish
         // what they pulled and exit on the closed channel.
@@ -459,6 +485,10 @@ impl Daemon {
         for h in worker_handles {
             let _ = h.join();
         }
+        // A clean shutdown persists exactly what a restart recovers:
+        // every live entry (analyses + retained curve) spills once the
+        // workers can no longer mutate the cache.
+        state_for_drain.cache.spill_all();
         result
     }
 }
@@ -1002,6 +1032,7 @@ fn worker_loop(
 fn stats_report(state: &State) -> StatsReport {
     StatsReport {
         cache: state.cache.stats(),
+        store: state.store.as_ref().map(|s| s.stats()).unwrap_or_default(),
         net: state.net.report(),
         workers: state
             .workers
@@ -1069,6 +1100,28 @@ fn handle_payload(
             );
         }
     }
+    // `as_of` (v5) rewinds a solve/energy_curve to a historical
+    // version; on any other request type it is a client error, not
+    // silence.
+    if env.as_of.is_some()
+        && !matches!(
+            env.request,
+            Request::Solve { .. } | Request::EnergyCurve { .. }
+        )
+    {
+        return (
+            ResponseEnvelope {
+                version,
+                id,
+                response: Response::Error(ErrorBody::new(
+                    ErrorKind::BadRequest,
+                    "\"as_of\" applies only to solve and energy_curve requests".to_string(),
+                )),
+            },
+            false,
+        );
+    }
+    let as_of = env.as_of;
     let counters = &state.workers[worker_id];
     let mut stop = false;
     let response = match env.request {
@@ -1076,10 +1129,21 @@ fn handle_payload(
             graph,
             model,
             deadline,
-        } => match solve_one(state, engine, counters, worker_id, graph, &model, deadline) {
-            Ok(report) => Response::Solve(report),
-            Err(e) => Response::Error(e),
-        },
+        } => {
+            let solved = prepare_maybe_as_of(state, graph, &model, as_of).and_then(
+                |(inst, cached, prep_ns, key)| {
+                    timed_solve(
+                        state, engine, counters, worker_id, &inst, &model, deadline, cached,
+                        prep_ns, key,
+                    )
+                    .map_err(|e| ErrorBody::from(&e))
+                },
+            );
+            match solved {
+                Ok(report) => Response::Solve(report),
+                Err(e) => Response::Error(e),
+            }
+        }
         Request::SolveDeadlines {
             graph,
             model,
@@ -1107,25 +1171,27 @@ fn handle_payload(
             lo,
             hi,
             exact,
-        } => {
-            let (inst, _, _, key) = prepare(state, graph, &model);
-            let t0 = Instant::now();
-            let result = if exact {
-                curve_exact_one(state, engine, &inst, &model, lo, hi, key)
-            } else {
-                engine
-                    .energy_curve(&inst.view(), &model, points, lo, hi)
-                    .map(|curve| {
-                        Response::Curve(curve.iter().map(|p| (p.deadline, p.energy)).collect())
-                    })
-                    .unwrap_or_else(|e| Response::Error(ErrorBody::from(&e)))
-            };
-            counters
-                .solve_ns
-                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            counters.solves.fetch_add(1, Ordering::Relaxed);
-            result
-        }
+        } => match prepare_maybe_as_of(state, graph, &model, as_of) {
+            Err(e) => Response::Error(e),
+            Ok((inst, _, _, key)) => {
+                let t0 = Instant::now();
+                let result = if exact {
+                    curve_exact_one(state, engine, &inst, &model, lo, hi, key)
+                } else {
+                    engine
+                        .energy_curve(&inst.view(), &model, points, lo, hi)
+                        .map(|curve| {
+                            Response::Curve(curve.iter().map(|p| (p.deadline, p.energy)).collect())
+                        })
+                        .unwrap_or_else(|e| Response::Error(ErrorBody::from(&e)))
+                };
+                counters
+                    .solve_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                counters.solves.fetch_add(1, Ordering::Relaxed);
+                result
+            }
+        },
         Request::Batch { model, jobs } => Response::Batch(
             jobs.into_iter()
                 .map(|(graph, deadline)| {
@@ -1142,6 +1208,20 @@ fn handle_payload(
             edits,
             deadline,
         } => patch_one(state, engine, counters, worker_id, base, &edits, deadline),
+        Request::Lineage { key } => match &state.store {
+            Some(store) => {
+                let hops = store.lineage_of(key);
+                Response::Lineage(LineageReport {
+                    key,
+                    depth: hops.len() as u64,
+                    hops,
+                })
+            }
+            None => Response::Error(ErrorBody::new(
+                ErrorKind::BadRequest,
+                "\"lineage\" requires a daemon started with --store".to_string(),
+            )),
+        },
         Request::Shutdown => {
             stop = true;
             Response::Shutdown
@@ -1298,7 +1378,8 @@ fn patch_one(
 
 /// Cache-or-prepare the instance for `(graph, model)`. Returns the
 /// content key alongside so solve paths can reach the entry's warm
-/// slot.
+/// slot. A store re-materialization counts as cached with `prep_ns 0`
+/// — preparation was not re-paid, which is what the field measures.
 fn prepare(
     state: &State,
     graph: TaskGraph,
@@ -1306,15 +1387,79 @@ fn prepare(
 ) -> (Arc<PreparedInstance>, bool, u64, u128) {
     let key = content_key(&graph, model);
     let t0 = Instant::now();
-    let (inst, hit) = state
+    let (inst, outcome) = state
         .cache
         .get_or_prepare(key, model, move || PreparedInstance::new(Arc::new(graph)));
-    let prep_ns = if hit {
+    let prep_ns = if outcome.cached() {
         0
     } else {
         t0.elapsed().as_nanos() as u64
     };
-    (inst, hit, prep_ns, key)
+    (inst, outcome.cached(), prep_ns, key)
+}
+
+/// [`prepare`], or — when the request carried `as_of: depth` (v5) —
+/// the historical version `depth` recorded patches up the lineage
+/// chain from the request's content key.
+fn prepare_maybe_as_of(
+    state: &State,
+    graph: TaskGraph,
+    model: &EnergyModel,
+    as_of: Option<u64>,
+) -> Result<(Arc<PreparedInstance>, bool, u64, u128), ErrorBody> {
+    match as_of {
+        None => Ok(prepare(state, graph, model)),
+        Some(depth) => rewind(state, &graph, model, depth),
+    }
+}
+
+/// Resolve the ancestor `depth` recorded patches up from
+/// `(graph, model)`'s content key and materialize it: from RAM when
+/// live, else from the store (direct file, or O(edits) lineage
+/// replay). The materialized version enters the cache under its own
+/// key, so repeat time-travel queries are plain hits. Historical
+/// versions always report `cached: true`; `prep_ns` is the
+/// materialization cost (0 from RAM).
+fn rewind(
+    state: &State,
+    graph: &TaskGraph,
+    model: &EnergyModel,
+    depth: u64,
+) -> Result<(Arc<PreparedInstance>, bool, u64, u128), ErrorBody> {
+    let Some(store) = &state.store else {
+        return Err(ErrorBody::new(
+            ErrorKind::BadRequest,
+            "\"as_of\" requires a daemon started with --store".to_string(),
+        ));
+    };
+    let key = content_key(graph, model);
+    let Some(ancestor) = store.ancestor_at(key, depth) else {
+        return Err(ErrorBody::new(
+            ErrorKind::BadRequest,
+            format!(
+                "no version {depth} patches before {}: the recorded lineage is shorter",
+                key_to_hex(key)
+            ),
+        ));
+    };
+    if let Some(inst) = state.cache.peek(ancestor) {
+        return Ok((inst, true, 0, ancestor));
+    }
+    let t0 = Instant::now();
+    let Some(entry) = store.materialize(ancestor) else {
+        return Err(ErrorBody::new(
+            ErrorKind::BadRequest,
+            format!(
+                "historical version {} (as_of {depth}) is no longer materializable from the store",
+                key_to_hex(ancestor)
+            ),
+        ));
+    };
+    let stored = entry.inst;
+    let (inst, _) = state
+        .cache
+        .get_or_prepare(ancestor, &entry.model, move || stored);
+    Ok((inst, true, t0.elapsed().as_nanos() as u64, ancestor))
 }
 
 /// Run `f` with the entry's Vdd warm handle taken out of its slot,
@@ -1407,6 +1552,17 @@ fn curve_exact_one(
                     Ok(mut guard) => *guard = Some(cached),
                     Err(poisoned) => *poisoned.into_inner() = Some(cached),
                 }
+            }
+            // Write-through: the walked curve is the expensive
+            // artifact — persist it with the entry so a restarted
+            // daemon answers the repeat request from disk.
+            if let Some(store) = &state.store {
+                let cached = CachedCurve {
+                    lo,
+                    hi,
+                    curve: Arc::clone(&curve),
+                };
+                let _ = store.save(key, model, inst, Some(&cached));
             }
             Response::CurveExact(CurveExactReport {
                 segments: curve.segments.clone(),

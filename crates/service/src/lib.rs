@@ -17,10 +17,15 @@
 //! * [`proto`] — the versioned, length-prefixed JSON-line wire
 //!   protocol (v1: `solve` / `solve_deadlines` / `energy_curve` /
 //!   `batch` / `stats` / `shutdown`; v2 adds `patch`; v3 exact
-//!   curves; v4 adds `corpus` and per-request `timeout_ms`) with
-//!   structured error mapping from [`reclaim_core::SolveError`] and
-//!   [`lp::LpError`] — the full wire specification lives in
-//!   `docs/PROTOCOL.md`;
+//!   curves; v4 adds `corpus` and per-request `timeout_ms`; v5 adds
+//!   the `lineage` query and `as_of` time travel over the store's
+//!   patch lineage) with structured error mapping from
+//!   [`reclaim_core::SolveError`] and [`lp::LpError`] — the full wire
+//!   specification lives in `docs/PROTOCOL.md`;
+//! * [`store`] — the disk-backed, content-addressed instance store
+//!   behind `--store DIR`: crash-safe checksummed records, a patch
+//!   lineage log replayed in O(edits) for `as_of`, and the recovery
+//!   scan that lets a restarted daemon answer its old traffic warm;
 //! * [`cache`] — the cache itself, usable without the daemon, with
 //!   **patch-in-place re-keying**: a cached instance can be mutated
 //!   by a [`taskgraph::edit::GraphEdit`] batch under selective cache
@@ -69,9 +74,11 @@ pub mod daemon;
 pub mod json;
 pub(crate) mod net;
 pub mod proto;
+pub mod store;
 
-pub use cache::{CacheConfig, InstanceCache};
+pub use cache::{CacheConfig, InstanceCache, Prepared};
 pub use client::{Client, ClientError, Pipeline};
 pub use corpus::{run_corpus, CorpusJob, ShardOutcome};
 pub use daemon::{config_from_args, Daemon, DaemonConfig, Endpoint};
 pub use proto::{ErrorBody, ErrorKind, Request, RequestEnvelope, Response, ResponseEnvelope};
+pub use store::{Store, StoredEntry};

@@ -23,7 +23,7 @@
 //! out of order), and a `"type"` tag. Responses carry `"ok"` plus
 //! either a typed `"result"` or an `"error"` object.
 //!
-//! This build speaks versions **1 through 4** ([`MIN_PROTOCOL_VERSION`]
+//! This build speaks versions **1 through 5** ([`MIN_PROTOCOL_VERSION`]
 //! ..= [`PROTOCOL_VERSION`]). Negotiation is per request: the server
 //! accepts any version in that range, answers with the version the
 //! request used, and rejects anything else with an
@@ -32,9 +32,13 @@
 //! flag on `energy_curve` (closed-form segments instead of samples);
 //! v4 adds the `corpus` request (a sharded job bundle solved through
 //! the daemon cache) and the optional `"timeout_ms"` envelope field
-//! (a queue-time bound answered with [`ErrorKind::Timeout`]) — sending
-//! any of them under an older `"v"` is a protocol error, so an
-//! old-only intermediary never sees half-understood traffic.
+//! (a queue-time bound answered with [`ErrorKind::Timeout`]); v5 adds
+//! the `lineage` query and the optional `"as_of"` envelope field
+//! (time travel: answer `solve`/`energy_curve` against the instance as
+//! it stood `as_of` patches ago, re-materialized from the disk store's
+//! lineage log) — sending any of them under an older `"v"` is a
+//! protocol error, so an old-only intermediary never sees
+//! half-understood traffic.
 //!
 //! A worked request/response pair (docs/PROTOCOL.md walks the same
 //! exchange byte by byte):
@@ -64,7 +68,7 @@ use taskgraph::edit::GraphEdit;
 use taskgraph::TaskGraph;
 
 /// The newest protocol version this build speaks.
-pub const PROTOCOL_VERSION: u64 = 4;
+pub const PROTOCOL_VERSION: u64 = 5;
 
 /// The oldest protocol version this build still accepts.
 pub const MIN_PROTOCOL_VERSION: u64 = 1;
@@ -455,6 +459,14 @@ pub enum Request {
         /// The corpus jobs.
         jobs: Vec<crate::corpus::CorpusJob>,
     },
+    /// **v5.** Read the patch lineage of a stored instance: the chain
+    /// of `(parent_key, edits, child_key)` records leading from the
+    /// oldest stored ancestor down to `key`. Requires a daemon running
+    /// with `--store`.
+    Lineage {
+        /// Content key of the instance whose history is wanted.
+        key: u128,
+    },
     /// Read cache and worker counters.
     Stats,
     /// Stop accepting connections and exit once drained.
@@ -468,6 +480,7 @@ impl Request {
             Request::Patch { .. } => 2,
             Request::EnergyCurve { exact: true, .. } => 3,
             Request::Corpus { .. } => 4,
+            Request::Lineage { .. } => 5,
             _ => MIN_PROTOCOL_VERSION,
         }
     }
@@ -484,6 +497,13 @@ pub struct RequestEnvelope {
     /// request waits longer than this before a worker picks it up, the
     /// daemon answers [`ErrorKind::Timeout`] without solving.
     pub timeout_ms: Option<u64>,
+    /// **v5.** Optional time-travel depth: answer a `solve` or
+    /// `energy_curve` against the instance as it stood this many
+    /// patches ago, re-materialized in O(edits) from the disk store's
+    /// lineage log. `Some(0)` means "current" (same as `None`); any
+    /// other request type rejects the field with
+    /// [`ErrorKind::BadRequest`].
+    pub as_of: Option<u64>,
     /// The request body.
     pub request: Request,
 }
@@ -497,6 +517,7 @@ impl RequestEnvelope {
             version: request.min_version(),
             id,
             timeout_ms: None,
+            as_of: None,
             request,
         }
     }
@@ -508,6 +529,20 @@ impl RequestEnvelope {
         if timeout_ms.is_some() {
             self.timeout_ms = timeout_ms;
             self.version = self.version.max(4);
+        }
+        self
+    }
+
+    /// Attach a v5 time-travel depth (bumping the envelope to v5 —
+    /// the field does not exist in older versions). `None` and
+    /// `Some(0)` leave the envelope untouched: depth 0 is the current
+    /// instance, which every version already answers.
+    pub fn with_as_of(mut self, as_of: Option<u64>) -> RequestEnvelope {
+        if let Some(depth) = as_of {
+            if depth > 0 {
+                self.as_of = Some(depth);
+                self.version = self.version.max(5);
+            }
         }
         self
     }
@@ -530,7 +565,7 @@ pub fn key_from_hex(s: &str) -> Option<u128> {
     u128::from_str_radix(digits, 16).ok()
 }
 
-fn graph_to_json(g: &TaskGraph) -> Json {
+pub(crate) fn graph_to_json(g: &TaskGraph) -> Json {
     Json::Obj(vec![
         (
             "weights".into(),
@@ -553,7 +588,7 @@ fn graph_to_json(g: &TaskGraph) -> Json {
     ])
 }
 
-fn model_to_json(m: &EnergyModel) -> Json {
+pub(crate) fn model_to_json(m: &EnergyModel) -> Json {
     let speeds = |m: &DiscreteModes| Json::Arr(m.speeds().iter().map(|&s| Json::num(s)).collect());
     Json::Obj(match m {
         EnergyModel::Continuous { s_max: None } => {
@@ -580,11 +615,11 @@ fn model_to_json(m: &EnergyModel) -> Json {
     })
 }
 
-fn bad(msg: impl Into<String>) -> ErrorBody {
+pub(crate) fn bad(msg: impl Into<String>) -> ErrorBody {
     ErrorBody::new(ErrorKind::BadRequest, msg)
 }
 
-fn edit_to_json(e: &GraphEdit) -> Json {
+pub(crate) fn edit_to_json(e: &GraphEdit) -> Json {
     let ids = |v: &[usize]| Json::Arr(v.iter().map(|&i| Json::num(i as f64)).collect());
     Json::Obj(match e {
         GraphEdit::SetWeight { task, weight } => vec![
@@ -619,7 +654,7 @@ fn edit_to_json(e: &GraphEdit) -> Json {
     })
 }
 
-fn edit_from_json(v: &Json) -> Result<GraphEdit, ErrorBody> {
+pub(crate) fn edit_from_json(v: &Json) -> Result<GraphEdit, ErrorBody> {
     let op = v
         .get("op")
         .and_then(Json::as_str)
@@ -672,7 +707,7 @@ fn edit_from_json(v: &Json) -> Result<GraphEdit, ErrorBody> {
     })
 }
 
-fn graph_from_json(v: &Json) -> Result<TaskGraph, ErrorBody> {
+pub(crate) fn graph_from_json(v: &Json) -> Result<TaskGraph, ErrorBody> {
     let weights: Vec<f64> = v
         .get("weights")
         .and_then(Json::as_arr)
@@ -700,7 +735,7 @@ fn graph_from_json(v: &Json) -> Result<TaskGraph, ErrorBody> {
     TaskGraph::new(weights, &edges).map_err(|e| bad(format!("invalid graph: {e}")))
 }
 
-fn model_from_json(v: &Json) -> Result<EnergyModel, ErrorBody> {
+pub(crate) fn model_from_json(v: &Json) -> Result<EnergyModel, ErrorBody> {
     let kind = v
         .get("kind")
         .and_then(Json::as_str)
@@ -755,6 +790,10 @@ impl RequestEnvelope {
         if let Some(t) = self.timeout_ms {
             // Omitted when unset so v1–v3 wire bytes are unchanged.
             pairs.push(("timeout_ms".into(), Json::num(t as f64)));
+        }
+        if let Some(d) = self.as_of {
+            // Omitted when unset so v1–v4 wire bytes are unchanged.
+            pairs.push(("as_of".into(), Json::num(d as f64)));
         }
         match &self.request {
             Request::Solve {
@@ -848,6 +887,10 @@ impl RequestEnvelope {
                             .collect(),
                     ),
                 ));
+            }
+            Request::Lineage { key } => {
+                pairs.push(("type".into(), Json::str("lineage")));
+                pairs.push(("key".into(), Json::str(key_to_hex(*key))));
             }
             Request::Stats => pairs.push(("type".into(), Json::str("stats"))),
             Request::Shutdown => pairs.push(("type".into(), Json::str("shutdown"))),
@@ -991,6 +1034,13 @@ impl RequestEnvelope {
                     })
                     .collect::<Result<_, ErrorBody>>()?,
             },
+            "lineage" => Request::Lineage {
+                key: v
+                    .get("key")
+                    .and_then(Json::as_str)
+                    .and_then(key_from_hex)
+                    .ok_or_else(|| bad("missing or malformed \"key\" content key"))?,
+            },
             "stats" => Request::Stats,
             "shutdown" => Request::Shutdown,
             other => return Err(bad(format!("unknown request type {other:?}"))),
@@ -1012,10 +1062,18 @@ impl RequestEnvelope {
                 format!("\"timeout_ms\" requires protocol version 4 (request used {version})"),
             ));
         }
+        let as_of = v.get("as_of").and_then(Json::as_u64);
+        if as_of.is_some() && version < 5 {
+            return Err(ErrorBody::new(
+                ErrorKind::Protocol,
+                format!("\"as_of\" requires protocol version 5 (request used {version})"),
+            ));
+        }
         Ok(RequestEnvelope {
             version,
             id,
             timeout_ms,
+            as_of,
             request,
         })
     }
@@ -1125,6 +1183,48 @@ pub struct WorkerStatsReport {
     pub bnb_cancelled: u64,
 }
 
+/// One edge of a patch lineage chain (v5): `parent` was patched with
+/// `edits` to produce `child`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineageHop {
+    /// Content key of the pre-patch instance.
+    pub parent: u128,
+    /// The edit batch that was applied.
+    pub edits: Vec<GraphEdit>,
+    /// Content key of the post-patch instance.
+    pub child: u128,
+}
+
+/// Answer to a v5 [`Request::Lineage`]: the recorded patch history of
+/// one instance, oldest hop first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineageReport {
+    /// The queried content key.
+    pub key: u128,
+    /// Number of recorded hops above `key` (== `hops.len()`).
+    pub depth: u64,
+    /// The chain from the oldest recorded ancestor down to `key`.
+    pub hops: Vec<LineageHop>,
+}
+
+/// Disk-store counters (v5; daemons without `--store`, and older
+/// daemons, report zeros).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StoreStatsReport {
+    /// Instance entries on disk.
+    pub entries: u64,
+    /// Total bytes of instance entries on disk.
+    pub bytes: u64,
+    /// Valid instance records recovered by the boot scan.
+    pub recovered: u64,
+    /// Corrupt or torn records skipped (boot scan plus later loads) —
+    /// every damaged record is accounted here, never lost silently.
+    pub corrupt_skipped: u64,
+    /// Lineage replay steps performed to materialize historical
+    /// versions (`as_of` traffic).
+    pub replays: u64,
+}
+
 /// Event-loop admission counters (v4; older daemons report zeros).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct NetStatsReport {
@@ -1152,6 +1252,8 @@ pub struct StatsReport {
     pub workers: Vec<WorkerStatsReport>,
     /// Event-loop admission counters (v4).
     pub net: NetStatsReport,
+    /// Disk-store counters (v5; zeros without `--store`).
+    pub store: StoreStatsReport,
 }
 
 /// One response body.
@@ -1175,6 +1277,8 @@ pub enum Response {
     /// Answer to [`Request::Corpus`] (v4): one outcome per shard, in
     /// shard order, manifest-compatible with a local corpus run.
     Corpus(Vec<crate::corpus::ShardOutcome>),
+    /// Answer to [`Request::Lineage`] (v5).
+    Lineage(LineageReport),
     /// Answer to [`Request::Stats`].
     Stats(StatsReport),
     /// Answer to [`Request::Shutdown`].
@@ -1235,7 +1339,7 @@ fn report_from_json(v: &Json) -> Result<SolveReport, ErrorBody> {
     })
 }
 
-fn segment_to_json(s: &reclaim_core::CurveSegment) -> Json {
+pub(crate) fn segment_to_json(s: &reclaim_core::CurveSegment) -> Json {
     use reclaim_core::CurveEnergy;
     let mut pairs = vec![
         ("lo".into(), Json::num(s.deadline_lo)),
@@ -1256,7 +1360,7 @@ fn segment_to_json(s: &reclaim_core::CurveSegment) -> Json {
     Json::Obj(pairs)
 }
 
-fn segment_from_json(v: &Json) -> Result<reclaim_core::CurveSegment, ErrorBody> {
+pub(crate) fn segment_from_json(v: &Json) -> Result<reclaim_core::CurveSegment, ErrorBody> {
     use reclaim_core::CurveEnergy;
     let f = |name: &str| {
         v.get(name)
@@ -1466,6 +1570,66 @@ fn shard_from_json(v: &Json) -> Result<crate::corpus::ShardOutcome, ErrorBody> {
     })
 }
 
+fn lineage_to_json(l: &LineageReport) -> Json {
+    Json::Obj(vec![
+        ("key".into(), Json::str(key_to_hex(l.key))),
+        ("depth".into(), Json::num(l.depth as f64)),
+        (
+            "hops".into(),
+            Json::Arr(
+                l.hops
+                    .iter()
+                    .map(|h| {
+                        Json::Obj(vec![
+                            ("parent".into(), Json::str(key_to_hex(h.parent))),
+                            (
+                                "edits".into(),
+                                Json::Arr(h.edits.iter().map(edit_to_json).collect()),
+                            ),
+                            ("child".into(), Json::str(key_to_hex(h.child))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn lineage_from_json(v: &Json) -> Result<LineageReport, ErrorBody> {
+    let key_field = |v: &Json, name: &str| {
+        v.get(name)
+            .and_then(Json::as_str)
+            .and_then(key_from_hex)
+            .ok_or_else(|| bad(format!("lineage missing \"{name}\"")))
+    };
+    Ok(LineageReport {
+        key: key_field(v, "key")?,
+        depth: v
+            .get("depth")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("lineage missing \"depth\""))?,
+        hops: v
+            .get("hops")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("lineage missing \"hops\""))?
+            .iter()
+            .map(|h| {
+                Ok(LineageHop {
+                    parent: key_field(h, "parent")?,
+                    edits: h
+                        .get("edits")
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| bad("lineage hop missing \"edits\""))?
+                        .iter()
+                        .map(edit_from_json)
+                        .collect::<Result<_, _>>()?,
+                    child: key_field(h, "child")?,
+                })
+            })
+            .collect::<Result<_, ErrorBody>>()?,
+    })
+}
+
 impl ResponseEnvelope {
     /// Encode to the one-line JSON payload (framing is separate).
     pub fn encode(&self) -> String {
@@ -1517,6 +1681,7 @@ impl ResponseEnvelope {
                         "corpus",
                         Json::Arr(shards.iter().map(shard_to_json).collect()),
                     ),
+                    Response::Lineage(l) => ("lineage", lineage_to_json(l)),
                     Response::Stats(s) => ("stats", stats_to_json(s)),
                     Response::Shutdown => (
                         "shutdown",
@@ -1619,6 +1784,7 @@ impl ResponseEnvelope {
                     .map(shard_from_json)
                     .collect::<Result<_, _>>()?,
             ),
+            "lineage" => Response::Lineage(lineage_from_json(result)?),
             "stats" => Response::Stats(stats_from_json(result)?),
             "shutdown" => Response::Shutdown,
             other => return Err(bad(format!("unknown response type {other:?}"))),
@@ -1676,6 +1842,19 @@ fn stats_to_json(s: &StatsReport) -> Json {
                 ("inflight".into(), Json::num(s.net.inflight as f64)),
                 ("rejected".into(), Json::num(s.net.rejected as f64)),
                 ("timeouts".into(), Json::num(s.net.timeouts as f64)),
+            ]),
+        ),
+        (
+            "store".into(),
+            Json::Obj(vec![
+                ("entries".into(), Json::num(s.store.entries as f64)),
+                ("bytes".into(), Json::num(s.store.bytes as f64)),
+                ("recovered".into(), Json::num(s.store.recovered as f64)),
+                (
+                    "corrupt_skipped".into(),
+                    Json::num(s.store.corrupt_skipped as f64),
+                ),
+                ("replays".into(), Json::num(s.store.replays as f64)),
             ]),
         ),
     ])
@@ -1744,6 +1923,23 @@ fn stats_from_json(v: &Json) -> Result<StatsReport, ErrorBody> {
                 timeouts: nu("timeouts"),
             }
         },
+        // Pre-v5 daemons report no "store" section: zeros, not errors.
+        store: {
+            let store = v.get("store");
+            let su = |name: &str| {
+                store
+                    .and_then(|s| s.get(name))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            };
+            StoreStatsReport {
+                entries: su("entries"),
+                bytes: su("bytes"),
+                recovered: su("recovered"),
+                corrupt_skipped: su("corrupt_skipped"),
+                replays: su("replays"),
+            }
+        },
     })
 }
 
@@ -1806,6 +2002,9 @@ mod tests {
                 ],
                 deadline: 7.5,
             },
+            Request::Lineage {
+                key: 0x36bd_06bc_a277_3179_37d0_2054_da46_d064,
+            },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -1832,6 +2031,7 @@ mod tests {
             version: 1,
             id: 1,
             timeout_ms: None,
+            as_of: None,
             request: patch,
         };
         let e = RequestEnvelope::decode(&bogus.encode()).unwrap_err();
@@ -1912,6 +2112,25 @@ mod tests {
                     rejected: 2,
                     timeouts: 1,
                 },
+                store: StoreStatsReport {
+                    entries: 7,
+                    bytes: 8192,
+                    recovered: 6,
+                    corrupt_skipped: 1,
+                    replays: 4,
+                },
+            }),
+            Response::Lineage(LineageReport {
+                key: 0xdead_beef_0123_4567_89ab_cdef_0000_0002,
+                depth: 1,
+                hops: vec![LineageHop {
+                    parent: 0xdead_beef_0123_4567_89ab_cdef_0000_0001,
+                    edits: vec![GraphEdit::SetWeight {
+                        task: 1,
+                        weight: 3.5,
+                    }],
+                    child: 0xdead_beef_0123_4567_89ab_cdef_0000_0002,
+                }],
             }),
             Response::Shutdown,
             Response::Error(infeasible),
@@ -1930,16 +2149,16 @@ mod tests {
     #[test]
     fn unknown_version_rejected_known_range_accepted() {
         // All live versions decode…
-        for v in [1, 2, 3, 4] {
+        for v in [1, 2, 3, 4, 5] {
             let payload = format!(r#"{{"v":{v},"id":1,"type":"stats"}}"#);
             let env = RequestEnvelope::decode(&payload).unwrap();
             assert_eq!(env.version, v);
         }
         // …anything newer (or missing) is a protocol error.
-        let payload = r#"{"v":5,"id":1,"type":"stats"}"#;
+        let payload = r#"{"v":6,"id":1,"type":"stats"}"#;
         let e = RequestEnvelope::decode(payload).unwrap_err();
         assert_eq!(e.kind, ErrorKind::Protocol);
-        assert!(e.message.contains("version 5"), "{}", e.message);
+        assert!(e.message.contains("version 6"), "{}", e.message);
         let none = r#"{"id":1,"type":"stats"}"#;
         assert_eq!(
             RequestEnvelope::decode(none).unwrap_err().kind,
@@ -1965,6 +2184,58 @@ mod tests {
         let e = RequestEnvelope::decode(smuggled).unwrap_err();
         assert_eq!(e.kind, ErrorKind::Protocol);
         assert!(e.message.contains("timeout_ms"), "{}", e.message);
+    }
+
+    #[test]
+    fn as_of_needs_v5_and_rides_the_envelope() {
+        // Attaching a time-travel depth bumps the envelope to v5, even
+        // on a request type that itself rides v1.
+        let solve = Request::Solve {
+            graph: graph(),
+            model: EnergyModel::continuous_unbounded(),
+            deadline: 8.0,
+        };
+        let env = RequestEnvelope::new(9, solve.clone()).with_as_of(Some(2));
+        assert_eq!(env.version, 5);
+        let back = RequestEnvelope::decode(&env.encode()).unwrap();
+        assert_eq!(back.as_of, Some(2));
+        assert_eq!(back, env);
+        // `None` and depth 0 change nothing — v1 bytes stay v1.
+        for depth in [None, Some(0)] {
+            let plain = RequestEnvelope::new(9, solve.clone()).with_as_of(depth);
+            assert_eq!(plain.version, 1);
+            assert!(!plain.encode().contains("as_of"));
+        }
+        // A depth smuggled into an older envelope is rejected.
+        let smuggled = r#"{"v":4,"id":1,"type":"stats","as_of":2}"#;
+        let e = RequestEnvelope::decode(smuggled).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Protocol);
+        assert!(e.message.contains("as_of"), "{}", e.message);
+    }
+
+    #[test]
+    fn lineage_needs_v5() {
+        let req = Request::Lineage { key: 0xabc };
+        let env = RequestEnvelope::new(4, req);
+        assert_eq!(env.version, 5, "lineage is a v5 request");
+        assert_eq!(RequestEnvelope::decode(&env.encode()).unwrap(), env);
+        // Forcing it into v4 is a protocol error.
+        let mut bogus = env;
+        bogus.version = 4;
+        let e = RequestEnvelope::decode(&bogus.encode()).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Protocol);
+        assert!(e.message.contains("requires protocol version 5"), "{e}");
+    }
+
+    #[test]
+    fn stats_store_block_defaults_to_zero_for_old_daemons() {
+        // A v4 daemon's stats payload has no "store" section: a v5
+        // client decodes it as zeros instead of erroring.
+        let payload =
+            r#"{"cache":{"entries":1,"bytes":64,"hits":2,"misses":1,"evictions":0},"workers":[]}"#;
+        let v = json::parse(payload).unwrap();
+        let s = stats_from_json(&v).unwrap();
+        assert_eq!(s.store, StoreStatsReport::default());
     }
 
     #[test]
@@ -2108,6 +2379,7 @@ mod tests {
             version: 2,
             id: 1,
             timeout_ms: None,
+            as_of: None,
             request: exact,
         };
         let e = RequestEnvelope::decode(&bogus.encode()).unwrap_err();

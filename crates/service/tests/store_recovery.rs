@@ -1,0 +1,720 @@
+//! The crash-recovery battery for the disk store (protocol v5).
+//!
+//! Four layers, matching the store's promises:
+//!
+//! * **Lossless roundtrip** (property): write → reopen → materialize
+//!   reproduces the in-memory prepared instance — same graph, same
+//!   analysis snapshot, same content key, bit-identical solve — under
+//!   all four energy models.
+//! * **Lineage replay** (property): a k-edit patch chain recorded with
+//!   only its root instance stored re-materializes every child by
+//!   replay, and each hop's key matches the O(edits)
+//!   [`patched_key`] delta exactly.
+//! * **Corruption fuzz** (property): arbitrary truncations and
+//!   single-byte flips anywhere in the store never panic recovery,
+//!   account every lost record in `corrupt_skipped`, and leave a
+//!   canonical store — a second recovery run is clean and
+//!   byte-identical.
+//! * **kill -9 under replay** (integration): a real `reclaimd --store`
+//!   process is SIGKILLed mid-way through a 1,000-request mixed
+//!   solve/patch trace; a restarted daemon answers the whole trace
+//!   warm (zero prepare passes, zero errors) with responses
+//!   byte-identical to the pre-crash run modulo timing fields.
+
+use models::{DiscreteModes, EnergyModel, IncrementalModes, PowerLaw};
+use proptest::prelude::*;
+use reclaim_core::engine::{content_key, patched_key};
+use reclaim_core::Engine;
+use reclaim_service::client::Client;
+use reclaim_service::proto::{key_to_hex, Request, Response, ResponseEnvelope};
+use reclaim_service::Store;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use taskgraph::edit::GraphEdit;
+use taskgraph::{generators, PreparedInstance, TaskGraph};
+
+/// Fresh scratch directory, unique across tests AND proptest cases in
+/// the same process.
+fn tmpdir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "reclaim-recovery-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sp_graph(seed: u64, n: usize) -> TaskGraph {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::random_sp(n, 0.55, 1.0, 5.0, &mut rng).0
+}
+
+/// The four energy models of the paper, on ladders every model can
+/// schedule (top speed 2.0, so `D ≥ cp/2` is feasible everywhere).
+fn four_models() -> Vec<EnergyModel> {
+    let modes = DiscreteModes::new(&[0.5, 1.0, 2.0]).unwrap();
+    vec![
+        EnergyModel::continuous_unbounded(),
+        EnergyModel::Discrete(modes.clone()),
+        EnergyModel::VddHopping(modes),
+        EnergyModel::Incremental(IncrementalModes::new(1.0, 2.0, 0.5).unwrap()),
+    ]
+}
+
+fn solve(inst: &PreparedInstance, model: &EnergyModel, deadline: f64) -> (u64, &'static str) {
+    let sol = Engine::new(PowerLaw::CUBIC)
+        .solve(&inst.view(), model, deadline)
+        .expect("deadline chosen feasible");
+    (sol.energy.to_bits(), sol.algorithm)
+}
+
+/// Every file under `dir`, path-sorted, with its exact bytes — the
+/// `cmp`-style equality the determinism assertions use.
+fn dir_bytes(dir: &Path) -> BTreeMap<PathBuf, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).expect("readable store dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let bytes = fs::read(&path).expect("readable store file");
+                out.insert(path, bytes);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Write → reopen → materialize is lossless under all four models:
+    /// the recovered instance carries the same graph, the same
+    /// analysis snapshot, hashes back to the same content key, and
+    /// solves to the bit-identical energy by the same algorithm.
+    #[test]
+    fn store_roundtrip_is_lossless_across_all_four_models(
+        seed in any::<u64>(),
+        n in 4usize..9,
+    ) {
+        let g = sp_graph(seed, n);
+        let deadline = 1.3 * taskgraph::analysis::critical_path_weight(&g);
+        let dir = tmpdir("roundtrip");
+        for model in four_models() {
+            let key = content_key(&g, &model);
+            let inst = PreparedInstance::new(Arc::new(g.clone()));
+            inst.warm();
+            let direct = solve(&inst, &model, deadline);
+            {
+                let store = Store::open(&dir, false).unwrap();
+                store.save(key, &model, &inst, None).unwrap();
+            }
+            let store = Store::open(&dir, false).unwrap();
+            prop_assert!(store.stats().recovered >= 1);
+            prop_assert_eq!(store.stats().corrupt_skipped, 0);
+            let entry = store.materialize(key).expect("a clean store recovers its entry");
+            prop_assert_eq!(entry.inst.graph(), &g);
+            prop_assert_eq!(entry.inst.snapshot(), inst.snapshot());
+            prop_assert_eq!(content_key(entry.inst.graph(), &entry.model), key);
+            let recovered = solve(&entry.inst, &model, deadline);
+            prop_assert_eq!(direct, recovered,
+                "recovery changed the answer under {}", model.name());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A k-edit chain recorded in the lineage log — with only the ROOT
+    /// instance stored — re-materializes its leaf by replay, in
+    /// exactly k replay steps, and every hop's content key matches the
+    /// O(edits) `patched_key` delta.
+    #[test]
+    fn lineage_replay_reproduces_patched_keys(
+        seed in any::<u64>(),
+        k in 1usize..6,
+    ) {
+        let g = sp_graph(seed, 10);
+        let model = EnergyModel::continuous_unbounded();
+        let dir = tmpdir("lineage");
+        let store = Store::open(&dir, false).unwrap();
+
+        let mut inst = PreparedInstance::new(Arc::new(g.clone()));
+        inst.warm();
+        let root = content_key(&g, &model);
+        store.save(root, &model, &inst, None).unwrap();
+
+        let mut key = root;
+        let mut xs = seed | 1;
+        for step in 0..k {
+            xs ^= xs << 13;
+            xs ^= xs >> 7;
+            xs ^= xs << 17;
+            let task = (xs as usize) % inst.graph().n();
+            // Strictly different weight: an identity patch records no
+            // lineage, which would shorten the chain under test.
+            let weight = inst.graph().weights()[task] + 0.25 + 0.125 * step as f64;
+            let edits = vec![GraphEdit::SetWeight { task, weight }];
+            let delta = patched_key(key, inst.graph(), &edits)
+                .expect("weight edits keep the task set");
+            inst = inst.apply(&edits).unwrap();
+            let child = content_key(inst.graph(), &model);
+            prop_assert_eq!(delta, child, "patched_key must equal a full rehash");
+            store.record_patch(key, &edits, child).unwrap();
+            key = child;
+        }
+
+        let leaf = store.materialize(key).expect("replay from the stored root");
+        prop_assert_eq!(leaf.inst.graph(), inst.graph());
+        prop_assert_eq!(content_key(leaf.inst.graph(), &leaf.model), key);
+        prop_assert!(leaf.curve.is_none(), "curves never survive replay");
+        prop_assert_eq!(store.stats().replays, k as u64);
+        prop_assert_eq!(store.ancestor_at(key, k as u64), Some(root));
+        prop_assert_eq!(store.ancestor_at(key, k as u64 + 1), None);
+        let hops = store.lineage_of(key);
+        prop_assert_eq!(hops.len(), k);
+        prop_assert_eq!(hops.first().unwrap().parent, root);
+        prop_assert_eq!(hops.last().unwrap().child, key);
+
+        // The whole chain survives a restart of the store.
+        drop(store);
+        let store = Store::open(&dir, false).unwrap();
+        prop_assert_eq!(store.stats().corrupt_skipped, 0);
+        prop_assert_eq!(store.lineage_of(key).len(), k);
+        let again = store.materialize(key).expect("replay after reopen");
+        prop_assert_eq!(again.inst.graph(), inst.graph());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fuzz the recovery scan: truncate the lineage log at an
+    /// arbitrary byte, or flip an arbitrary byte anywhere in the store
+    /// (log or instance file). Recovery must never panic, must account
+    /// every record it loses in `corrupt_skipped` (when the file's
+    /// content was damaged rather than cleanly cut at a record
+    /// boundary), and must leave a canonical store: a second recovery
+    /// run reports zero skips and changes nothing on disk.
+    #[test]
+    fn recovery_survives_arbitrary_corruption(
+        target_log in any::<bool>(),
+        truncate in any::<bool>(),
+        frac in 0.0f64..1.0,
+        mask in 1u8..255,
+    ) {
+        let dir = tmpdir("fuzz");
+        let model = EnergyModel::continuous_unbounded();
+        // Three instances and a two-hop lineage chain.
+        let mut keys = Vec::new();
+        let mut log_record_lens = Vec::new();
+        {
+            let store = Store::open(&dir, false).unwrap();
+            for s in 0..3u64 {
+                let g = sp_graph(90 + s, 6);
+                let key = content_key(&g, &model);
+                let inst = PreparedInstance::new(Arc::new(g));
+                inst.warm();
+                store.save(key, &model, &inst, None).unwrap();
+                keys.push(key);
+            }
+            let log_before = fs::metadata(dir.join("lineage.log"))
+                .map(|m| m.len())
+                .unwrap_or(0);
+            prop_assert_eq!(log_before, 0);
+            let mut prev = 0;
+            for w in [7.0, 8.5] {
+                let edits = vec![GraphEdit::SetWeight { task: 0, weight: w }];
+                let child = keys[0] ^ (w.to_bits() as u128); // distinct synthetic child
+                store.record_patch(if prev == 0 { keys[0] } else { prev }, &edits, child).unwrap();
+                let len = fs::metadata(dir.join("lineage.log")).unwrap().len() as usize;
+                log_record_lens.push(len - log_record_lens.iter().sum::<usize>());
+                prev = child;
+            }
+        }
+
+        // Damage one byte position, chosen by `frac` over the target
+        // file's length.
+        let target = if target_log {
+            dir.join("lineage.log")
+        } else {
+            let key = keys[(frac * 3.0) as usize % 3];
+            dir.join("instances").join(format!("{}.inst", key_to_hex(key)))
+        };
+        let mut bytes = fs::read(&target).unwrap();
+        let full = bytes.len();
+        let pos = ((frac * full as f64) as usize).min(full - 1);
+        if truncate {
+            bytes.truncate(pos);
+        } else {
+            bytes[pos] ^= mask;
+        }
+        fs::write(&target, &bytes).unwrap();
+
+        // Recovery run 1: never a panic, never an Err.
+        let store = Store::open(&dir, false).unwrap();
+        let s1 = store.stats();
+        if target_log {
+            prop_assert_eq!(s1.recovered, 3, "instance files untouched");
+            // A truncation exactly at a record boundary is an append
+            // that never durably happened — nothing is damaged,
+            // nothing to account. Any other damage sits inside some
+            // record and must bump the counter.
+            let boundary_cut = truncate && (pos == 0 || pos == log_record_lens[0]);
+            if boundary_cut {
+                prop_assert_eq!(s1.corrupt_skipped, 0);
+            } else {
+                prop_assert!(
+                    s1.corrupt_skipped >= 1,
+                    "damage inside a record must be accounted (pos {pos} of {full})"
+                );
+            }
+            // Records strictly before the damage point always survive
+            // (the first record is intact whenever `pos` is past it).
+            let children = [
+                keys[0] ^ (7.0f64.to_bits() as u128),
+                keys[0] ^ (8.5f64.to_bits() as u128),
+            ];
+            let surviving = children
+                .iter()
+                .filter(|&&c| store.parent_of(c).is_some())
+                .count();
+            prop_assert!(
+                surviving >= usize::from(pos >= log_record_lens[0]),
+                "records before the damage point must be recovered"
+            );
+            // Every instance still loads.
+            for &k in &keys {
+                prop_assert!(store.load(k).is_some());
+            }
+        } else {
+            // Exactly the damaged instance file is skipped (accounted,
+            // removed); the other two recover and load.
+            prop_assert_eq!(s1.recovered, 2);
+            prop_assert_eq!(s1.corrupt_skipped, 1);
+            prop_assert_eq!(s1.entries, 2);
+            prop_assert!(!target.exists(), "damaged file removed after accounting");
+            let damaged = keys
+                .iter()
+                .filter(|&&k| store.load(k).is_none())
+                .count();
+            prop_assert_eq!(damaged, 1);
+        }
+        drop(store);
+
+        // Recovery run 2: clean and byte-identical — recovery is a
+        // fixpoint (the property the CI smoke step `cmp`-checks).
+        let after_first = dir_bytes(&dir);
+        let store = Store::open(&dir, false).unwrap();
+        let s2 = store.stats();
+        prop_assert_eq!(s2.corrupt_skipped, 0, "run 1 left a canonical store");
+        prop_assert_eq!(s2.recovered, s2.entries);
+        drop(store);
+        prop_assert_eq!(dir_bytes(&dir), after_first);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+// ------------------------------------------------------------------
+// kill -9 under a mixed solve/patch replay (the acceptance criterion)
+// ------------------------------------------------------------------
+
+const TRACE_GRAPHS: usize = 20;
+const TRACE_ROUNDS: usize = 500; // × 2 requests per round = 1,000
+const CRASH_AFTER_ROUNDS: usize = 300;
+
+fn trace_graph(i: usize) -> TaskGraph {
+    sp_graph(5000 + i as u64, 24)
+}
+
+/// Round `r` of the trace: solve graph `r % TRACE_GRAPHS` in pristine
+/// form, then patch one task weight (round-dependent, so every round's
+/// child key is distinct).
+fn trace_round(r: usize, graphs: &[TaskGraph], model: &EnergyModel) -> (Request, Request) {
+    let g = &graphs[r % TRACE_GRAPHS];
+    let deadline = 1.5 * taskgraph::analysis::critical_path_weight(g) + 10.0;
+    let solve = Request::Solve {
+        graph: g.clone(),
+        model: model.clone(),
+        deadline,
+    };
+    let edits = vec![GraphEdit::SetWeight {
+        task: (r * 13) % g.n(),
+        weight: 1.0 + ((r * 37) % 80) as f64 / 16.0,
+    }];
+    let patch = Request::Patch {
+        base: content_key(g, model),
+        edits,
+        deadline,
+    };
+    (solve, patch)
+}
+
+/// A response with its timing / provenance fields zeroed, re-encoded:
+/// what "byte-identical modulo volatile fields" means concretely.
+fn canonical_bytes(resp: &Response) -> String {
+    let mut resp = resp.clone();
+    let scrub = |r: &mut reclaim_service::proto::SolveReport| {
+        r.solve_ns = 0;
+        r.prep_ns = 0;
+        r.cached = false;
+        r.worker = 0;
+    };
+    match &mut resp {
+        Response::Solve(r) => scrub(r),
+        Response::Patch(p) => scrub(&mut p.report),
+        other => panic!("trace answers are solves and patches, got {other:?}"),
+    }
+    ResponseEnvelope {
+        version: 1,
+        id: 0,
+        response: resp,
+    }
+    .encode()
+}
+
+struct StoreDaemon {
+    child: std::process::Child,
+    socket: PathBuf,
+}
+
+impl StoreDaemon {
+    fn spawn(tag: &str, store: &Path) -> StoreDaemon {
+        let socket =
+            std::env::temp_dir().join(format!("reclaimd-crash-{}-{tag}.sock", std::process::id()));
+        let _ = fs::remove_file(&socket);
+        let child = std::process::Command::new(env!("CARGO_BIN_EXE_reclaimd"))
+            .arg("--socket")
+            .arg(&socket)
+            .arg("--workers")
+            .arg("2")
+            .arg("--store")
+            .arg(store)
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn reclaimd --store");
+        StoreDaemon { child, socket }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_with_retry(
+            &reclaim_service::Endpoint::Unix(self.socket.clone()),
+            std::time::Duration::from_secs(10),
+        )
+        .expect("daemon must come up")
+    }
+}
+
+impl Drop for StoreDaemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = fs::remove_file(&self.socket);
+    }
+}
+
+/// The acceptance criterion, end to end: SIGKILL a `--store` daemon
+/// mid-way through a 1,000-request mixed solve/patch replay; recovery
+/// is deterministic (two runs, `cmp`-equal bytes); a restarted daemon
+/// answers the full trace with zero errors, zero prepare passes on
+/// solves (every instance re-materializes from disk), `recovered > 0`,
+/// and responses byte-identical to the pre-crash run modulo timing.
+#[test]
+fn kill_nine_mid_replay_then_answer_the_trace_warm() {
+    let store_dir = tmpdir("crash");
+    let model = EnergyModel::continuous_unbounded();
+    let graphs: Vec<TaskGraph> = (0..TRACE_GRAPHS).map(trace_graph).collect();
+
+    // ---- Run A: drive the first 600 requests, then kill -9 with
+    // requests still in flight.
+    let mut pre_crash: Vec<String> = Vec::new();
+    {
+        let daemon = StoreDaemon::spawn("a", &store_dir);
+        let mut client = daemon.client();
+        for r in 0..CRASH_AFTER_ROUNDS {
+            let (solve, patch) = trace_round(r, &graphs, &model);
+            for req in [solve, patch] {
+                let resp = client.roundtrip(req).expect("pre-crash request").response;
+                assert!(
+                    !matches!(resp, Response::Error(_)),
+                    "pre-crash trace must be error-free, round {r}: {resp:?}"
+                );
+                pre_crash.push(canonical_bytes(&resp));
+            }
+        }
+        // Put traffic in flight and kill mid-stream — no drain, no
+        // shutdown handshake.
+        let mut pipe = client.pipeline(8);
+        for r in CRASH_AFTER_ROUNDS..CRASH_AFTER_ROUNDS + 8 {
+            let (solve, _) = trace_round(r, &graphs, &model);
+            pipe.send(solve).expect("in-flight send");
+        }
+        // `Child::kill` is SIGKILL on unix: no drain, no spill_all.
+        // (daemon dropped here; Drop delivers the kill + reap)
+    }
+
+    // ---- Recovery is a deterministic fixpoint: two recovery runs,
+    // byte-identical store (the `cmp` check), nothing lost silently.
+    let recovered_entries = {
+        let store = Store::open(&store_dir, false).unwrap();
+        let s = store.stats();
+        assert!(s.recovered > 0, "the store must come back non-empty");
+        assert!(
+            s.recovered >= TRACE_GRAPHS as u64,
+            "every pristine instance was written through long before the kill"
+        );
+        // All 20 pristine bases survive and load.
+        for g in &graphs {
+            assert!(
+                store.load(content_key(g, &model)).is_some(),
+                "pristine instance lost across kill -9"
+            );
+        }
+        s.recovered
+    };
+    let first = dir_bytes(&store_dir);
+    {
+        let store = Store::open(&store_dir, false).unwrap();
+        let s = store.stats();
+        assert_eq!(
+            s.corrupt_skipped, 0,
+            "run 1 accounted and repaired all damage; run 2 must be clean"
+        );
+        assert_eq!(s.recovered, recovered_entries);
+    }
+    assert_eq!(
+        dir_bytes(&store_dir),
+        first,
+        "two recovery runs must produce byte-identical stores"
+    );
+
+    // ---- Run B: a fresh daemon on the same store answers the ENTIRE
+    // 1,000-request trace — warm.
+    let daemon = StoreDaemon::spawn("b", &store_dir);
+    let mut client = daemon.client();
+    let mut replay: Vec<String> = Vec::new();
+    for r in 0..TRACE_ROUNDS {
+        let (solve, patch) = trace_round(r, &graphs, &model);
+        for (is_solve, req) in [(true, solve), (false, patch)] {
+            let resp = client.roundtrip(req).expect("replay request").response;
+            match &resp {
+                Response::Solve(s) if is_solve => {
+                    assert_eq!(
+                        s.prep_ns, 0,
+                        "round {r}: every solve re-materializes from the store — \
+                         a warm restart performs zero prepare passes"
+                    );
+                    assert!(s.cached, "round {r}: store hits report cached");
+                }
+                Response::Patch(_) if !is_solve => {}
+                other => panic!("round {r}: unexpected response {other:?}"),
+            }
+            replay.push(canonical_bytes(&resp));
+        }
+    }
+    assert_eq!(
+        &replay[..pre_crash.len()],
+        &pre_crash[..],
+        "replayed responses must be byte-identical to pre-crash responses"
+    );
+
+    // The stats ledger agrees: a warm boot, with damage (if any — the
+    // kill may have torn the lineage tail) already accounted by the
+    // in-process recovery runs above, so this boot saw a clean store.
+    let stats = match client.roundtrip(Request::Stats).unwrap().response {
+        Response::Stats(s) => s,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert!(stats.store.recovered > 0, "daemon booted from the store");
+    assert_eq!(
+        stats.store.corrupt_skipped, 0,
+        "no record may be lost silently — damage was repaired pre-boot"
+    );
+    assert_eq!(
+        stats.cache.misses as usize + stats.cache.hits as usize,
+        TRACE_ROUNDS
+    );
+
+    // Clean shutdown for good measure (spills, exits 0).
+    match client.roundtrip(Request::Shutdown).unwrap().response {
+        Response::Shutdown => {}
+        other => panic!("unexpected shutdown response: {other:?}"),
+    }
+    drop(client);
+    let _ = fs::remove_dir_all(&store_dir);
+}
+
+/// Protocol v5 over the wire, in process: `as_of` rewinds a patched
+/// instance to its recorded ancestor, `lineage` reports the chain,
+/// and both are cleanly refused without `--store`.
+#[test]
+fn as_of_and_lineage_over_the_wire() {
+    use reclaim_service::daemon::{Daemon, DaemonConfig};
+    use reclaim_service::proto::ErrorKind;
+
+    let dir = tmpdir("asof");
+    let daemon = Daemon::bind(DaemonConfig {
+        tcp: Some("127.0.0.1:0".into()),
+        workers: 1,
+        store: Some(dir.clone()),
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let endpoint = daemon.endpoint();
+    let handle = std::thread::spawn(move || daemon.run());
+    let mut client =
+        Client::connect_with_retry(&endpoint, std::time::Duration::from_secs(5)).unwrap();
+
+    let g = sp_graph(77, 12);
+    let model = EnergyModel::continuous_unbounded();
+    let deadline = 1.5 * taskgraph::analysis::critical_path_weight(&g) + 10.0;
+    let base = content_key(&g, &model);
+    let solve_of = |graph: TaskGraph| Request::Solve {
+        graph,
+        model: model.clone(),
+        deadline,
+    };
+
+    // Seed, patch twice (a 2-hop chain), remember each version's energy.
+    let e0 = match client.roundtrip(solve_of(g.clone())).unwrap().response {
+        Response::Solve(r) => r.energy,
+        other => panic!("expected solve, got {other:?}"),
+    };
+    let edits1 = vec![GraphEdit::SetWeight {
+        task: 1,
+        weight: 9.0,
+    }];
+    let k1 = match client.patch(base, &edits1, deadline).unwrap().response {
+        Response::Patch(p) => {
+            assert_ne!(p.report.energy, e0);
+            p.key
+        }
+        other => panic!("expected patch, got {other:?}"),
+    };
+    let edits2 = vec![GraphEdit::SetWeight {
+        task: 2,
+        weight: 7.5,
+    }];
+    let (k2, e2) = match client.patch(k1, &edits2, deadline).unwrap().response {
+        Response::Patch(p) => (p.key, p.report.energy),
+        other => panic!("expected patch, got {other:?}"),
+    };
+
+    // The leaf graph, as the client would resend it.
+    let (g1, _) = taskgraph::edit::apply_edits(&g, &edits1).unwrap();
+    let (g2, _) = taskgraph::edit::apply_edits(&g1, &edits2).unwrap();
+    assert_eq!(content_key(&g2, &model), k2);
+
+    // as_of 0 (cleared) answers the present.
+    client.set_as_of(Some(0));
+    let now = match client.roundtrip(solve_of(g2.clone())).unwrap().response {
+        Response::Solve(r) => r.energy,
+        other => panic!("expected solve, got {other:?}"),
+    };
+    assert_eq!(now.to_bits(), e2.to_bits());
+
+    // as_of 2 rewinds the leaf to the pristine root.
+    client.set_as_of(Some(2));
+    match client.roundtrip(solve_of(g2.clone())).unwrap().response {
+        Response::Solve(r) => assert_eq!(
+            r.energy.to_bits(),
+            e0.to_bits(),
+            "as_of 2 must answer the root version"
+        ),
+        other => panic!("expected solve, got {other:?}"),
+    }
+
+    // Deeper than the recorded chain: a structured error, not a guess.
+    client.set_as_of(Some(3));
+    match client.roundtrip(solve_of(g2.clone())).unwrap().response {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::BadRequest),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    client.set_as_of(None);
+
+    // The lineage query reports the chain, oldest hop first.
+    let report = match client.lineage(k2).unwrap().response {
+        Response::Lineage(l) => l,
+        other => panic!("expected lineage, got {other:?}"),
+    };
+    assert_eq!(report.depth, 2);
+    assert_eq!(report.hops[0].parent, base);
+    assert_eq!(report.hops[0].child, k1);
+    assert_eq!(report.hops[1].child, k2);
+    assert_eq!(report.hops[1].edits, edits2);
+
+    match client.roundtrip(Request::Shutdown).unwrap().response {
+        Response::Shutdown => {}
+        other => panic!("unexpected: {other:?}"),
+    }
+    drop(client);
+    handle.join().unwrap().unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Without `--store`, the v5 surfaces refuse cleanly: `as_of` and
+/// `lineage` answer structured bad_request errors, never a crash or a
+/// silent present-time answer.
+#[test]
+fn v5_surfaces_refuse_cleanly_without_a_store() {
+    use reclaim_service::daemon::{Daemon, DaemonConfig};
+    use reclaim_service::proto::ErrorKind;
+
+    let daemon = Daemon::bind(DaemonConfig {
+        tcp: Some("127.0.0.1:0".into()),
+        workers: 1,
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let endpoint = daemon.endpoint();
+    let handle = std::thread::spawn(move || daemon.run());
+    let mut client =
+        Client::connect_with_retry(&endpoint, std::time::Duration::from_secs(5)).unwrap();
+
+    let g = generators::diamond([1.0, 2.0, 3.0, 1.5]);
+    let model = EnergyModel::continuous_unbounded();
+    client.set_as_of(Some(1));
+    let req = Request::Solve {
+        graph: g.clone(),
+        model: model.clone(),
+        deadline: 9.0,
+    };
+    match client.roundtrip(req).unwrap().response {
+        Response::Error(e) => {
+            assert_eq!(e.kind, ErrorKind::BadRequest);
+            assert!(e.message.contains("--store"), "{}", e.message);
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    client.set_as_of(None);
+
+    match client.lineage(content_key(&g, &model)).unwrap().response {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::BadRequest),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+
+    // The stats block reports zeros, and the daemon keeps serving.
+    match client.roundtrip(Request::Stats).unwrap().response {
+        Response::Stats(s) => assert_eq!(s.store, Default::default()),
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    match client.roundtrip(Request::Shutdown).unwrap().response {
+        Response::Shutdown => {}
+        other => panic!("unexpected: {other:?}"),
+    }
+    drop(client);
+    handle.join().unwrap().unwrap();
+}

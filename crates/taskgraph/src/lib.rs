@@ -40,6 +40,6 @@ pub mod workflows;
 
 pub use edit::{EditError, GraphEdit};
 pub use graph::{GraphError, TaskGraph, TaskId};
-pub use prepared::{PreparedGraph, PreparedInstance};
+pub use prepared::{AnalysisSnapshot, PreparedGraph, PreparedInstance};
 pub use sp::SpTree;
 pub use structure::Shape;

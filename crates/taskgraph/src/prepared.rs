@@ -295,6 +295,69 @@ impl PreparedInstance {
         })
     }
 
+    /// Export every *currently filled* analysis cache as plain data,
+    /// for a persistence layer to serialize (the service's disk store
+    /// spills instances this way). Unfilled caches export as `None`
+    /// and simply recompute lazily after [`Self::restore`].
+    pub fn snapshot(&self) -> AnalysisSnapshot {
+        AnalysisSnapshot {
+            topo: self
+                .caches
+                .topo
+                .get()
+                .map(|t| t.iter().map(|id| id.0).collect()),
+            class: self.caches.class.get().cloned(),
+            cp_weight: self.caches.cp_weight.get().copied(),
+            reduced_edges: self
+                .caches
+                .reduced
+                .get()
+                .map(|r| r.edges().iter().map(|&(u, v)| (u.0, v.0)).collect()),
+        }
+    }
+
+    /// Rebuild an instance from a graph plus a previously exported
+    /// [`AnalysisSnapshot`], pre-filling each cache the snapshot
+    /// carries. Each field is cheaply sanity-checked against the graph
+    /// (id ranges, lengths, DAG validity of the reduced edge set);
+    /// anything inconsistent is silently dropped and recomputes lazily
+    /// — a stale or hand-edited snapshot can cost time, never
+    /// correctness.
+    pub fn restore(g: Arc<TaskGraph>, snap: &AnalysisSnapshot) -> PreparedInstance {
+        let n = g.n();
+        let caches = Caches::default();
+        if let Some(topo) = &snap.topo {
+            let ids: Vec<TaskId> = topo.iter().map(|&i| TaskId(i)).collect();
+            if topo.len() == n && analysis::is_topo_order(&g, &ids) {
+                let _ = caches.topo.set(ids);
+            }
+        }
+        if let Some((shape, tree)) = &snap.class {
+            let leaves_ok = tree
+                .as_ref()
+                .is_none_or(|t| t.leaves().iter().all(|id| id.0 < n));
+            if leaves_ok {
+                let _ = caches.class.set((*shape, tree.clone()));
+            }
+        }
+        if let Some(cp) = snap.cp_weight {
+            if cp.is_finite() && cp > 0.0 {
+                let _ = caches.cp_weight.set(cp);
+            }
+        }
+        if let Some(redges) = &snap.reduced_edges {
+            if redges.iter().all(|&(u, v)| u < n && v < n) {
+                if let Ok(r) = TaskGraph::new(g.weights().to_vec(), redges) {
+                    let _ = caches.reduced.set(r);
+                }
+            }
+        }
+        PreparedInstance {
+            g,
+            caches: Arc::new(caches),
+        }
+    }
+
     /// A coarse estimate of the resident size of the graph plus every
     /// *currently filled* cache, in bytes — the unit the service
     /// cache's byte budget is accounted in. It is an estimate (Vec
@@ -320,6 +383,24 @@ impl PreparedInstance {
         }
         total + std::mem::size_of::<Self>()
     }
+}
+
+/// Plain-data export of a [`PreparedInstance`]'s filled analysis
+/// caches — what [`PreparedInstance::snapshot`] returns and
+/// [`PreparedInstance::restore`] consumes. Task ids travel as raw
+/// `usize` indices so a persistence layer can serialize the snapshot
+/// without knowing about [`TaskId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisSnapshot {
+    /// The cached topological order, as task indices.
+    pub topo: Option<Vec<usize>>,
+    /// The cached shape classification and SP decomposition.
+    pub class: Option<(Shape, Option<SpTree>)>,
+    /// The cached critical-path weight.
+    pub cp_weight: Option<f64>,
+    /// The edge set of the cached transitive reduction (its weights
+    /// are always the graph's own).
+    pub reduced_edges: Option<Vec<(usize, usize)>>,
 }
 
 #[cfg(test)]
@@ -494,6 +575,51 @@ mod tests {
             fresh.critical_path_weight()
         );
         assert_eq!(patched.view().reduced().edges(), fresh.reduced().edges());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_warm_analysis() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let inst = PreparedInstance::new(Arc::new(g));
+        inst.warm();
+        let snap = inst.snapshot();
+        assert!(snap.topo.is_some());
+        assert!(snap.class.is_some());
+        assert!(snap.cp_weight.is_some());
+        assert!(snap.reduced_edges.is_some());
+
+        let restored = PreparedInstance::restore(inst.graph_arc(), &snap);
+        let before = profiling::counts();
+        assert_eq!(restored.view().shape(), Shape::SeriesParallel);
+        assert_eq!(restored.view().critical_path_weight(), 8.0);
+        assert_eq!(restored.view().topo(), inst.view().topo());
+        assert_eq!(
+            restored.view().reduced().edges(),
+            inst.view().reduced().edges()
+        );
+        let delta = profiling::counts() - before;
+        assert_eq!(delta.topo_order, 0, "restored instance re-analyzes nothing");
+        assert_eq!(delta.classify, 0);
+        assert_eq!(delta.transitive_reduction, 0);
+        // Round trip again: snapshots are stable.
+        assert_eq!(restored.snapshot(), snap);
+    }
+
+    #[test]
+    fn restore_drops_inconsistent_snapshot_fields() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let inst = PreparedInstance::new(Arc::new(g));
+        inst.warm();
+        let mut snap = inst.snapshot();
+        // Corrupt every field in a way cheap validation must catch.
+        snap.topo = Some(vec![3, 2, 1, 0]); // reversed: not a topo order
+        snap.cp_weight = Some(f64::NAN);
+        snap.reduced_edges = Some(vec![(0, 9)]); // out of range
+        let restored = PreparedInstance::restore(inst.graph_arc(), &snap);
+        // Nothing panics and every answer is still correct (recomputed).
+        assert_eq!(restored.view().critical_path_weight(), 8.0);
+        assert_eq!(restored.view().topo().len(), 4);
+        assert_eq!(restored.view().reduced().m(), 4);
     }
 
     #[test]
