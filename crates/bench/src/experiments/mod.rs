@@ -19,6 +19,7 @@ pub mod x1;
 pub mod x10;
 pub mod x11;
 pub mod x12;
+pub mod x13;
 pub mod x2;
 pub mod x3;
 pub mod x4;
@@ -118,6 +119,7 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
     ("x10", x10::run),
     ("x11", x11::run),
     ("x12", x12::run),
+    ("x13", x13::run),
 ];
 
 /// Run every experiment in order.

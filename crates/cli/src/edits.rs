@@ -14,13 +14,58 @@
 //!
 //! Examples: `set:3:2.5`, `set:0:1;link:1:2`,
 //! `add:1.5:p0.1:s3;drop:2`. Whitespace around ops is ignored.
+//!
+//! Parse failures are reported as a structured [`EditParseError`]
+//! naming the 1-based op position and the offending token, in the
+//! same spirit as [`crate::instance::ParseError`] — a bad spec on a
+//! long command line is attributable from the error alone.
+
+use std::fmt;
 
 use taskgraph::edit::GraphEdit;
 
+/// A `--patch` spec rejection: which op broke, and on what token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EditParseError {
+    /// 1-based position of the offending op in the `;`-separated
+    /// spec (0 for spec-global errors, e.g. an empty spec).
+    pub op: usize,
+    /// What went wrong, in one clause.
+    pub message: String,
+    /// The exact token that failed to parse, when one is to blame
+    /// (a non-numeric id/weight, an unknown op head, a bad list tag).
+    pub token: Option<String>,
+}
+
+impl fmt::Display for EditParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op {}: {}", self.op, self.message)?;
+        if let Some(t) = &self.token {
+            write!(f, " (offending token {t:?})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for EditParseError {}
+
+fn err_tok<T>(
+    op: usize,
+    token: impl Into<String>,
+    message: impl Into<String>,
+) -> Result<T, EditParseError> {
+    Err(EditParseError {
+        op,
+        message: message.into(),
+        token: Some(token.into()),
+    })
+}
+
 /// Parse a `--patch` edit spec (see the module docs for the grammar).
-pub fn parse_edits(spec: &str) -> Result<Vec<GraphEdit>, String> {
+pub fn parse_edits(spec: &str) -> Result<Vec<GraphEdit>, EditParseError> {
     let mut edits = Vec::new();
-    for raw in spec.split(';') {
+    for (idx, raw) in spec.split(';').enumerate() {
+        let pos = idx + 1;
         let op = raw.trim();
         if op.is_empty() {
             continue;
@@ -28,13 +73,11 @@ pub fn parse_edits(spec: &str) -> Result<Vec<GraphEdit>, String> {
         let mut parts = op.split(':');
         let head = parts.next().unwrap_or_default();
         let rest: Vec<&str> = parts.collect();
-        let task = |s: &str| -> Result<usize, String> {
-            s.parse()
-                .map_err(|_| format!("{op:?}: {s:?} is not a task id"))
+        let task = |s: &str| -> Result<usize, EditParseError> {
+            s.parse().or_else(|_| err_tok(pos, s, "not a task id"))
         };
-        let weight = |s: &str| -> Result<f64, String> {
-            s.parse()
-                .map_err(|_| format!("{op:?}: {s:?} is not a weight"))
+        let weight = |s: &str| -> Result<f64, EditParseError> {
+            s.parse().or_else(|_| err_tok(pos, s, "not a weight"))
         };
         let edit = match (head, rest.as_slice()) {
             ("set", [t, w]) => GraphEdit::SetWeight {
@@ -58,7 +101,7 @@ pub fn parse_edits(spec: &str) -> Result<Vec<GraphEdit>, String> {
                     } else if let Some(ids) = list.strip_prefix('s') {
                         (&mut succs, ids)
                     } else {
-                        return Err(format!("{op:?}: expected p… or s…, got {list:?}"));
+                        return err_tok(pos, *list, "expected a p… or s… id list");
                     };
                     for id in ids.split('.').filter(|s| !s.is_empty()) {
                         target.push(task(id)?);
@@ -72,16 +115,22 @@ pub fn parse_edits(spec: &str) -> Result<Vec<GraphEdit>, String> {
             }
             ("drop", [t]) => GraphEdit::RemoveTask { task: task(t)? },
             _ => {
-                return Err(format!(
-                    "unknown edit op {op:?} (want set:T:W, link:U:V, unlink:U:V, \
-                     add:W[:pA.B][:sC.D], or drop:T)"
-                ))
+                return err_tok(
+                    pos,
+                    op,
+                    "unknown edit op (want set:T:W, link:U:V, unlink:U:V, \
+                     add:W[:pA.B][:sC.D], or drop:T)",
+                )
             }
         };
         edits.push(edit);
     }
     if edits.is_empty() {
-        return Err("empty edit spec".into());
+        return Err(EditParseError {
+            op: 0,
+            message: "empty edit spec".into(),
+            token: None,
+        });
     }
     Ok(edits)
 }
@@ -149,5 +198,30 @@ mod tests {
         ] {
             assert!(parse_edits(bad).is_err(), "{bad:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn errors_cite_op_position_and_token() {
+        // The bad token sits in the *second* op; position is 1-based.
+        let e = parse_edits("set:0:1;set:two:1").unwrap_err();
+        assert_eq!(e.op, 2);
+        assert_eq!(e.token.as_deref(), Some("two"));
+        assert_eq!(
+            e.to_string(),
+            "op 2: not a task id (offending token \"two\")"
+        );
+
+        // Unknown op heads blame the whole op text.
+        let e = parse_edits("set:0:1;warp:9").unwrap_err();
+        assert_eq!((e.op, e.token.as_deref()), (2, Some("warp:9")));
+
+        // A bad add-list tag names the list, not the op.
+        let e = parse_edits("add:1.0:q2").unwrap_err();
+        assert_eq!((e.op, e.token.as_deref()), (1, Some("q2")));
+
+        // Empty specs are spec-global: op 0, no token.
+        let e = parse_edits(" ; ").unwrap_err();
+        assert_eq!((e.op, e.token.as_deref()), (0, None));
+        assert_eq!(e.to_string(), "op 0: empty edit spec");
     }
 }

@@ -10,6 +10,6 @@ pub mod gen;
 pub mod instance;
 pub mod pareto;
 
-pub use edits::parse_edits;
+pub use edits::{parse_edits, EditParseError};
 pub use gen::{generate, GenOptions};
 pub use instance::{parse, write, Instance, ParseError};

@@ -29,7 +29,10 @@
 //! terms (which XOR would cancel) cannot occur because ids are unique
 //! and [`taskgraph::TaskGraph`] collapses duplicate edges.
 //!
-//! Task additions/removals renumber the id space, which perturbs an
+//! Task **additions** append id `n` and leave every existing id alone,
+//! so they patch incrementally too: swap the size term and XOR in the
+//! new task's weight and incident-edge terms. Task **removals**
+//! renumber every id above the removed task, which perturbs an
 //! unbounded number of terms — [`patched_key`] reports those honestly
 //! as non-incremental (`None`) and the caller re-keys with
 //! [`content_key`] over the edited graph.
@@ -153,10 +156,11 @@ pub fn content_key(g: &TaskGraph, model: &EnergyModel) -> u128 {
 /// model — to the key of the edited instance, touching only the terms
 /// the edits name. `O(edits)`, independent of graph size.
 ///
-/// Returns `None` when the batch changes the task set
-/// ([`GraphEdit::AddTask`] / [`GraphEdit::RemoveTask`]): removal
+/// Returns `None` only for [`GraphEdit::RemoveTask`]: removal
 /// renumbers every id above the removed task, so the honest move is a
 /// full [`content_key`] over the edited graph, not a delta.
+/// [`GraphEdit::AddTask`] appends id `n` without disturbing existing
+/// ids and patches incrementally like everything else.
 ///
 /// Edits must be valid for `old` (the caller has already applied them
 /// via [`taskgraph::PreparedInstance::apply`] or
@@ -201,7 +205,31 @@ pub fn patched_key(base: u128, old: &TaskGraph, edits: &[GraphEdit]) -> Option<u
                 edges.remove(pos);
                 key ^= edge_term(*from, *to);
             }
-            GraphEdit::AddTask { .. } | GraphEdit::RemoveTask { .. } => return None,
+            GraphEdit::AddTask {
+                weight,
+                preds,
+                succs,
+            } => {
+                let n = weights.len();
+                key ^= size_term(n);
+                key ^= size_term(n + 1);
+                key ^= weight_term(n, *weight);
+                weights.push(*weight);
+                // Mirror `apply_edits` / `TaskGraph::new`: duplicate
+                // entries in preds/succs collapse to one edge (and one
+                // term — a repeated XOR would cancel itself out).
+                for e in preds
+                    .iter()
+                    .map(|&p| (p, n))
+                    .chain(succs.iter().map(|&s| (n, s)))
+                {
+                    if !edges.contains(&e) {
+                        key ^= edge_term(e.0, e.1);
+                        edges.push(e);
+                    }
+                }
+            }
+            GraphEdit::RemoveTask { .. } => return None,
         }
     }
     Some(key)
@@ -323,23 +351,61 @@ mod tests {
     }
 
     #[test]
-    fn task_set_edits_are_not_incremental() {
+    fn add_task_patches_incrementally() {
+        let g = TaskGraph::new(vec![1.0, 2.0, 3.0], &[(0, 1), (0, 2)]).unwrap();
+        let m = EnergyModel::VddHopping(modes());
+        let base = content_key(&g, &m);
+        let batches: Vec<Vec<GraphEdit>> = vec![
+            vec![GraphEdit::AddTask {
+                weight: 4.0,
+                preds: vec![1, 2],
+                succs: vec![],
+            }],
+            // Duplicate pred entries collapse to one edge (and one
+            // key term), like TaskGraph::new.
+            vec![GraphEdit::AddTask {
+                weight: 4.0,
+                preds: vec![1, 1],
+                succs: vec![],
+            }],
+            // Two additions in one batch: the second sees n + 1.
+            vec![
+                GraphEdit::AddTask {
+                    weight: 4.0,
+                    preds: vec![2],
+                    succs: vec![],
+                },
+                GraphEdit::AddTask {
+                    weight: 0.5,
+                    preds: vec![3],
+                    succs: vec![],
+                },
+                GraphEdit::SetWeight {
+                    task: 3,
+                    weight: 6.0,
+                },
+            ],
+        ];
+        for edits in &batches {
+            let (edited, _) = apply_edits(&g, edits).unwrap();
+            assert_eq!(
+                patched_key(base, &g, edits),
+                Some(content_key(&edited, &m)),
+                "delta diverged for {edits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn task_removal_is_not_incremental() {
         let g = TaskGraph::new(vec![1.0, 2.0], &[(0, 1)]).unwrap();
         let m = EnergyModel::continuous_unbounded();
         let base = content_key(&g, &m);
-        for edits in [
-            vec![GraphEdit::AddTask {
-                weight: 1.0,
-                preds: vec![1],
-                succs: vec![],
-            }],
-            vec![GraphEdit::RemoveTask { task: 0 }],
-        ] {
-            assert_eq!(patched_key(base, &g, &edits), None);
-            // The fallback — a full rehash of the edited graph — still
-            // works and differs from the base.
-            let (edited, _) = apply_edits(&g, &edits).unwrap();
-            assert_ne!(content_key(&edited, &m), base);
-        }
+        let edits = vec![GraphEdit::RemoveTask { task: 0 }];
+        assert_eq!(patched_key(base, &g, &edits), None);
+        // The fallback — a full rehash of the edited graph — still
+        // works and differs from the base.
+        let (edited, _) = apply_edits(&g, &edits).unwrap();
+        assert_ne!(content_key(&edited, &m), base);
     }
 }

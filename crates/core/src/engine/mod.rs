@@ -414,11 +414,17 @@ impl Engine {
 
     /// Apply an edit batch to a prepared instance and solve the
     /// edited instance, invalidating only what the edits can have
-    /// dirtied ([`PreparedInstance::apply`]) and routing weight-only
-    /// Vdd-Hopping re-solves through the retained LP basis
-    /// ([`Engine::solve_warm`]). Structural edits (edge or task
-    /// changes) spend the warm handle — the LP matrix they imply is a
-    /// different one.
+    /// dirtied ([`PreparedInstance::apply`]) and routing Vdd-Hopping
+    /// re-solves through the retained LP basis ([`Engine::solve_warm`])
+    /// whenever it still describes the patched LP. The Vdd LP matrix
+    /// is a function of the task count, the mode ladder, and the
+    /// **transitively reduced** precedence rows — so the handle
+    /// survives not just weight-only batches but any structural edit
+    /// that leaves the reduced edge sequence unchanged (e.g. inserting
+    /// or removing a transitive edge). Edits that change the reduction
+    /// (or the task set) spend the handle: the LP they imply is a
+    /// different one, and a stale basis could validate as feasible yet
+    /// be suboptimal.
     ///
     /// Returns the patched instance alongside the solution so callers
     /// (the daemon's `patch` handler, sweep drivers) can keep solving
@@ -435,7 +441,14 @@ impl Engine {
             .apply(edits)
             .map_err(|e| SolveError::Unsupported(format!("invalid edit batch: {e}")))?;
         if !edits.iter().all(GraphEdit::is_weight_only) {
-            *warm = None;
+            // Row order matters (basis indices are positional), so the
+            // reduced edge *sequences* must match exactly.
+            let same_lp = warm.is_some()
+                && !edits.iter().any(|e| e.changes_task_set())
+                && base.view().reduced().edges() == patched.view().reduced().edges();
+            if !same_lp {
+                *warm = None;
+            }
         }
         let sol = self.solve_warm(&patched.view(), model, deadline, warm)?;
         Ok((patched, sol))
@@ -1237,17 +1250,33 @@ mod tests {
             s2.energy,
             cold.energy
         );
-        // A structural edit spends the handle: next solve is cold again.
-        let (_, s3) = engine
+        // A structural edit that leaves the transitively reduced
+        // precedence rows unchanged keeps the handle: inserting the
+        // transitive edge 0→4 changes the graph but not the LP.
+        let (i3, s3) = engine
             .solve_edited(
                 &i2,
+                &[GraphEdit::InsertEdge { from: 0, to: 4 }],
+                &model,
+                d,
+                &mut warm,
+            )
+            .unwrap();
+        assert_eq!(s3.algorithm, "vdd-lp-warm", "same LP: handle survives");
+        let cold = engine.solve(&i3.view(), &model, d).unwrap();
+        assert!((s3.energy - cold.energy).abs() <= 1e-6 * (1.0 + cold.energy));
+        // A structural edit that changes the reduction spends the
+        // handle: the next solve is cold again.
+        let (_, s4) = engine
+            .solve_edited(
+                &i3,
                 &[GraphEdit::InsertEdge { from: 1, to: 2 }],
                 &model,
                 d,
                 &mut warm,
             )
             .unwrap();
-        assert_eq!(s3.algorithm, "vdd-lp");
+        assert_eq!(s4.algorithm, "vdd-lp");
     }
 
     #[test]

@@ -368,9 +368,15 @@ impl InstanceCache {
         };
         let key = patched_key(base, base_inst.graph(), edits)
             .unwrap_or_else(|| content_key(patched.graph(), &model));
-        let warm = if weight_only {
-            // The LP matrix only changed in its RHS: the retained
-            // basis stays re-optimizable and travels with the entry.
+        // The retained Vdd basis travels whenever the patched LP is
+        // the same matrix: weight-only batches only move the RHS, and
+        // structural batches that leave the transitively reduced
+        // precedence rows unchanged (same rule as
+        // `Engine::solve_edited`) don't move anything else either.
+        let same_lp = weight_only
+            || (!edits.iter().any(|e| e.changes_task_set())
+                && base_inst.view().reduced().edges() == patched.view().reduced().edges());
+        let warm = if same_lp {
             base_warm
         } else {
             Arc::new(Mutex::new(None))

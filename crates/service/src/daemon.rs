@@ -283,6 +283,9 @@ struct WorkerCounters {
     bnb_nodes: AtomicU64,
     bnb_steals: AtomicU64,
     bnb_cancelled: AtomicU64,
+    sp_splice: AtomicU64,
+    sp_splice_miss: AtomicU64,
+    cone_nodes: AtomicU64,
 }
 
 /// Socket-layer counters, shared between the poll loop (which owns
@@ -986,6 +989,7 @@ fn worker_loop(
         // calling thread — this one. The delta across the request is
         // exactly this request's events.
         let before = reclaim_core::engine::profiling::counts();
+        let tg_before = taskgraph::profiling::counts();
         let (resp, stop) = if extra > 0 {
             let boosted = engine.clone().threads(1 + extra as usize);
             handle_payload(&job.payload, worker_id, state, &boosted, job.enqueued)
@@ -993,6 +997,7 @@ fn worker_loop(
             handle_payload(&job.payload, worker_id, state, &engine, job.enqueued)
         };
         let delta = reclaim_core::engine::profiling::counts() - before;
+        let tg_delta = taskgraph::profiling::counts() - tg_before;
         // Flush the deltas into the shared counters strictly before
         // the response is handed to the poll loop: a client that has
         // seen this response and then asks for `stats` (even as the
@@ -1012,6 +1017,15 @@ fn worker_loop(
         counters
             .bnb_cancelled
             .fetch_add(delta.bnb_cancelled, Ordering::Relaxed);
+        counters
+            .sp_splice
+            .fetch_add(tg_delta.sp_splice, Ordering::Relaxed);
+        counters
+            .sp_splice_miss
+            .fetch_add(tg_delta.sp_splice_miss, Ordering::Relaxed);
+        counters
+            .cone_nodes
+            .fetch_add(tg_delta.cone_nodes, Ordering::Relaxed);
         state.active.fetch_sub(1 + extra, Ordering::AcqRel);
         completions
             .lock()
@@ -1045,6 +1059,9 @@ fn stats_report(state: &State) -> StatsReport {
                 bnb_nodes: w.bnb_nodes.load(Ordering::Relaxed),
                 bnb_steals: w.bnb_steals.load(Ordering::Relaxed),
                 bnb_cancelled: w.bnb_cancelled.load(Ordering::Relaxed),
+                sp_splice: w.sp_splice.load(Ordering::Relaxed),
+                sp_splice_miss: w.sp_splice_miss.load(Ordering::Relaxed),
+                cone_nodes: w.cone_nodes.load(Ordering::Relaxed),
             })
             .collect(),
     }

@@ -1181,6 +1181,17 @@ pub struct WorkerStatsReport {
     pub bnb_steals: u64,
     /// Subtrees cancelled mid-search by a portfolio race's stop flag.
     pub bnb_cancelled: u64,
+    /// Structural patches whose SP decomposition was locally spliced
+    /// instead of re-recognized ([`taskgraph::profiling`]).
+    pub sp_splice: u64,
+    /// Splice attempts that failed and fell back to lazy full
+    /// recognition: non-zero means structural patches paid cold
+    /// re-analyses.
+    pub sp_splice_miss: u64,
+    /// Total tasks visited by cone-bounded cache repairs (topo-order
+    /// shifts, completion-time relaxations, reduction repairs, SP
+    /// splices) — how local the locality actually was.
+    pub cone_nodes: u64,
 }
 
 /// One edge of a patch lineage chain (v5): `parent` was patched with
@@ -1829,6 +1840,9 @@ fn stats_to_json(s: &StatsReport) -> Json {
                             ("bnb_nodes".into(), Json::num(w.bnb_nodes as f64)),
                             ("bnb_steals".into(), Json::num(w.bnb_steals as f64)),
                             ("bnb_cancelled".into(), Json::num(w.bnb_cancelled as f64)),
+                            ("sp_splice".into(), Json::num(w.sp_splice as f64)),
+                            ("sp_splice_miss".into(), Json::num(w.sp_splice_miss as f64)),
+                            ("cone_nodes".into(), Json::num(w.cone_nodes as f64)),
                         ])
                     })
                     .collect(),
@@ -1904,6 +1918,9 @@ fn stats_from_json(v: &Json) -> Result<StatsReport, ErrorBody> {
                     bnb_nodes: wu0("bnb_nodes"),
                     bnb_steals: wu0("bnb_steals"),
                     bnb_cancelled: wu0("bnb_cancelled"),
+                    sp_splice: wu0("sp_splice"),
+                    sp_splice_miss: wu0("sp_splice_miss"),
+                    cone_nodes: wu0("cone_nodes"),
                 })
             })
             .collect::<Result<_, ErrorBody>>()?,
@@ -2102,6 +2119,9 @@ mod tests {
                         bnb_nodes: 123_456,
                         bnb_steals: 7,
                         bnb_cancelled: 3,
+                        sp_splice: 11,
+                        sp_splice_miss: 1,
+                        cone_nodes: 42,
                     },
                     WorkerStatsReport::default(),
                 ],

@@ -198,6 +198,117 @@ proptest! {
     }
 }
 
+/// Lineage replay is *repair*, not re-analysis: materializing the
+/// leaf of a structural patch chain — an SP-preserving block
+/// conversion, a weight nudge, and a second block conversion that
+/// collapses the graph to a chain — replays every hop through
+/// `PreparedInstance::apply`'s local-repair path. Zero full
+/// topological sorts, zero classifications, zero SP recognitions,
+/// zero transitive reductions happen during the replay (observable on
+/// this thread's profiling counters), exactly one hop splices the SP
+/// tree, and the leaf still matches a from-scratch rebuild bit for
+/// bit.
+#[test]
+fn lineage_replay_of_structural_patches_repairs_locally() {
+    // Two-block SP graph 0→{1,2}→3→{4,5}→6.
+    let g = TaskGraph::new(
+        vec![1.0, 2.0, 1.5, 3.0, 0.5, 2.5, 1.0],
+        &[
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (3, 5),
+            (4, 6),
+            (5, 6),
+        ],
+    )
+    .unwrap();
+    let model = EnergyModel::continuous_unbounded();
+    let dir = tmpdir("lineage-structural");
+
+    let hops: Vec<Vec<GraphEdit>> = vec![
+        // Convert the second block P(4,5) into the chain 4→5: the SP
+        // tree is repaired by splicing only the touched segment.
+        vec![
+            GraphEdit::RemoveEdge { from: 3, to: 5 },
+            GraphEdit::RemoveEdge { from: 4, to: 6 },
+            GraphEdit::InsertEdge { from: 4, to: 5 },
+        ],
+        // Weight-only nudge: everything structural is carried.
+        vec![GraphEdit::SetWeight {
+            task: 2,
+            weight: 2.75,
+        }],
+        // Convert the first block too — the result is a pure chain,
+        // which the cheap specific-shape check classifies outright.
+        vec![
+            GraphEdit::RemoveEdge { from: 0, to: 2 },
+            GraphEdit::RemoveEdge { from: 1, to: 3 },
+            GraphEdit::InsertEdge { from: 1, to: 2 },
+        ],
+    ];
+
+    // Record the chain with only the ROOT instance stored.
+    let mut inst = PreparedInstance::new(Arc::new(g.clone()));
+    inst.warm();
+    let root = content_key(&g, &model);
+    {
+        let store = Store::open(&dir, false).unwrap();
+        store.save(root, &model, &inst, None).unwrap();
+        let mut key = root;
+        for edits in &hops {
+            let delta =
+                patched_key(key, inst.graph(), edits).expect("edge edits keep the task set");
+            inst = inst.apply(edits).unwrap();
+            let child = content_key(inst.graph(), &model);
+            assert_eq!(delta, child, "patched_key must equal a full rehash");
+            store.record_patch(key, edits, child).unwrap();
+            key = child;
+        }
+    }
+    let leaf_key = content_key(inst.graph(), &model);
+
+    // Reopen cold and materialize the leaf by replay, counting every
+    // analysis pass the replay performs on this thread.
+    let store = Store::open(&dir, false).unwrap();
+    let before = taskgraph::profiling::counts();
+    let leaf = store
+        .materialize(leaf_key)
+        .expect("replay from the stored root");
+    let delta = taskgraph::profiling::counts() - before;
+    assert_eq!(store.stats().replays, hops.len() as u64);
+
+    // The repair contract, across the whole replay (including the
+    // final warm-up materialize performs):
+    assert_eq!(delta.topo_order, 0, "replay never re-derives an order");
+    assert_eq!(delta.classify, 0, "replay never re-classifies");
+    assert_eq!(delta.sp_from_graph, 0, "replay never re-recognizes SP");
+    assert_eq!(delta.transitive_reduction, 0, "replay never re-reduces");
+    assert_eq!(
+        delta.sp_splice, 1,
+        "exactly the block-conversion hop splices"
+    );
+    assert_eq!(delta.sp_splice_miss, 0);
+
+    // …and local repair still lands on the exact rebuilt instance.
+    assert_eq!(leaf.inst.graph(), inst.graph());
+    let fresh = PreparedInstance::new(Arc::new(leaf.inst.graph().clone()));
+    fresh.warm();
+    assert_eq!(leaf.inst.view().shape(), fresh.view().shape());
+    assert_eq!(
+        leaf.inst.view().reduced().edges(),
+        fresh.view().reduced().edges()
+    );
+    let deadline = 1.3 * taskgraph::analysis::critical_path_weight(inst.graph());
+    assert_eq!(
+        solve(&leaf.inst, &model, deadline),
+        solve(&fresh, &model, deadline)
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

@@ -225,16 +225,283 @@ pub fn transitive_reduction(g: &TaskGraph) -> TaskGraph {
 
 /// [`transitive_reduction`] with a caller-supplied topological order.
 pub fn transitive_reduction_ordered(g: &TaskGraph, order: &[TaskId]) -> TaskGraph {
+    transitive_reduction_with_reach(g, &reachability_ordered(g, order))
+}
+
+/// [`transitive_reduction`] over a precomputed reachability matrix of
+/// `g` (from [`reachability`]); counts as a full reduction pass in
+/// [`crate::profiling`].
+pub fn transitive_reduction_with_reach(g: &TaskGraph, reach: &[Vec<u64>]) -> TaskGraph {
     crate::profiling::bump_transitive_reduction();
-    let reach = reachability_ordered(g, order);
     let mut kept: Vec<(usize, usize)> = Vec::with_capacity(g.m());
     for &(u, v) in g.edges() {
-        let redundant = g.succs(u).iter().any(|&w| w != v && reaches(&reach, w, v));
+        let redundant = g.succs(u).iter().any(|&w| w != v && reaches(reach, w, v));
         if !redundant {
             kept.push((u.0, v.0));
         }
     }
     TaskGraph::new(g.weights().to_vec(), &kept).expect("removing edges from a DAG keeps it a DAG")
+}
+
+/// Repair a topological order after edge insertions by a localized
+/// shift of the affected window (Pearce–Kelly style), instead of
+/// recomputing the order from scratch.
+///
+/// `old` must be a permutation of the tasks of `g` that is a valid
+/// topological order of `g` *minus* the `inserted` edges; `inserted`
+/// lists the edges new to `g`. For each inserted edge `(u, v)` whose
+/// endpoints the retained order puts backwards, only the nodes between
+/// `v` and `u` that are reachable from `v` or reach `u` are re-slotted
+/// — everything outside that cone keeps its position. Touched nodes
+/// are accounted in [`crate::profiling::Counts::cone_nodes`].
+pub fn repair_topo_order(
+    g: &TaskGraph,
+    old: &[TaskId],
+    inserted: &[(usize, usize)],
+) -> Vec<TaskId> {
+    let n = g.n();
+    assert_eq!(old.len(), n);
+    let mut order = old.to_vec();
+    let mut pos = vec![0usize; n];
+    for (k, &t) in order.iter().enumerate() {
+        pos[t.0] = k;
+    }
+    let mut cone = 0u64;
+    for &(u, v) in inserted {
+        if pos[u] < pos[v] {
+            continue; // already consistent
+        }
+        let (lo, hi) = (pos[v], pos[u]);
+        // F: v and its descendants inside the window — they must move
+        // after u. B: u and its ancestors inside the window — they must
+        // move before v. In a DAG the two sets are disjoint (a common
+        // member would close a cycle through the new edge).
+        let mut fwd = Vec::new();
+        let mut in_f = std::collections::HashSet::new();
+        in_f.insert(v);
+        let mut stack = vec![v];
+        while let Some(x) = stack.pop() {
+            fwd.push(x);
+            for &TaskId(w) in g.succs(TaskId(x)) {
+                if pos[w] <= hi && in_f.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        let mut bwd = Vec::new();
+        let mut in_b = std::collections::HashSet::new();
+        in_b.insert(u);
+        stack.push(u);
+        while let Some(x) = stack.pop() {
+            bwd.push(x);
+            for &TaskId(w) in g.preds(TaskId(x)) {
+                if pos[w] >= lo && in_b.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        debug_assert!(
+            fwd.iter().all(|x| !in_b.contains(x)),
+            "cycle through ({u}, {v})"
+        );
+        // Pool the window positions of F ∪ B and refill them in place:
+        // B first, then F, each keeping its internal relative order.
+        bwd.sort_unstable_by_key(|&x| pos[x]);
+        fwd.sort_unstable_by_key(|&x| pos[x]);
+        let mut slots: Vec<usize> = bwd.iter().chain(&fwd).map(|&x| pos[x]).collect();
+        slots.sort_unstable();
+        for (&slot, &node) in slots.iter().zip(bwd.iter().chain(&fwd)) {
+            order[slot] = TaskId(node);
+            pos[node] = slot;
+        }
+        cone += slots.len() as u64;
+    }
+    crate::profiling::add_cone_nodes(cone);
+    debug_assert!(is_topo_order(g, &order));
+    order
+}
+
+/// Repair cached earliest-completion times after an edit by a
+/// cost-bounded forward relaxation limited to the edit's cone.
+///
+/// `old` holds the pre-edit values; `seeds` names every task whose
+/// inputs may have changed (its duration, or its predecessor set —
+/// i.e. the targets of inserted/removed edges). Tasks are re-evaluated
+/// in topological position order starting from the seeds, and a task's
+/// successors are visited only when its value actually moved — where
+/// the old values are provably unchanged, propagation stops. Visited
+/// tasks are accounted in [`crate::profiling::Counts::cone_nodes`].
+pub fn repair_earliest_completion(
+    g: &TaskGraph,
+    durations: &[f64],
+    order: &[TaskId],
+    old: &[f64],
+    seeds: &[usize],
+) -> Vec<f64> {
+    assert_eq!(durations.len(), g.n());
+    assert_eq!(old.len(), g.n());
+    debug_assert!(is_topo_order(g, order));
+    let mut pos = vec![0usize; g.n()];
+    for (k, &t) in order.iter().enumerate() {
+        pos[t.0] = k;
+    }
+    let mut ecl = old.to_vec();
+    let mut queued: std::collections::HashSet<usize> = seeds.iter().copied().collect();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, usize)>> = queued
+        .iter()
+        .map(|&s| std::cmp::Reverse((pos[s], s)))
+        .collect();
+    let mut visited = 0u64;
+    while let Some(std::cmp::Reverse((_, t))) = heap.pop() {
+        visited += 1;
+        let start = g
+            .preds(TaskId(t))
+            .iter()
+            .map(|&p| ecl[p.0])
+            .fold(0.0f64, f64::max);
+        let val = start + durations[t];
+        if val != ecl[t] {
+            ecl[t] = val;
+            for &TaskId(s) in g.succs(TaskId(t)) {
+                if queued.insert(s) {
+                    heap.push(std::cmp::Reverse((pos[s], s)));
+                }
+            }
+        }
+    }
+    crate::profiling::add_cone_nodes(visited);
+    debug_assert_eq!(ecl, earliest_completion_ordered(g, durations, order));
+    ecl
+}
+
+/// Backward analogue of [`repair_earliest_completion`]: repair cached
+/// latest-completion times by a cone-bounded relaxation from the seeds
+/// (tasks whose duration or successor set may have changed), walking
+/// predecessors only while values actually move.
+pub fn repair_latest_completion(
+    g: &TaskGraph,
+    durations: &[f64],
+    deadline: f64,
+    order: &[TaskId],
+    old: &[f64],
+    seeds: &[usize],
+) -> Vec<f64> {
+    assert_eq!(durations.len(), g.n());
+    assert_eq!(old.len(), g.n());
+    debug_assert!(is_topo_order(g, order));
+    let mut pos = vec![0usize; g.n()];
+    for (k, &t) in order.iter().enumerate() {
+        pos[t.0] = k;
+    }
+    let mut lcl = old.to_vec();
+    let mut queued: std::collections::HashSet<usize> = seeds.iter().copied().collect();
+    // Max-heap on position: process in reverse topological order.
+    let mut heap: std::collections::BinaryHeap<(usize, usize)> =
+        queued.iter().map(|&s| (pos[s], s)).collect();
+    let mut visited = 0u64;
+    while let Some((_, t)) = heap.pop() {
+        visited += 1;
+        let lim = g
+            .succs(TaskId(t))
+            .iter()
+            .map(|&s| lcl[s.0] - durations[s.0])
+            .fold(deadline, f64::min);
+        if lim != lcl[t] {
+            lcl[t] = lim;
+            for &TaskId(p) in g.preds(TaskId(t)) {
+                if queued.insert(p) {
+                    heap.push((pos[p], p));
+                }
+            }
+        }
+    }
+    crate::profiling::add_cone_nodes(visited);
+    debug_assert_eq!(
+        lcl,
+        latest_completion_ordered(g, durations, deadline, order)
+    );
+    lcl
+}
+
+/// Repair a cached reachability matrix and transitive reduction after
+/// edge edits, touching only the affected cone — no full reduction
+/// pass (and no [`crate::profiling::Counts::transitive_reduction`]
+/// bump).
+///
+/// `g` is the edited graph with `order` a valid topological order of
+/// it; `old_reach` is the pre-edit reachability matrix and `old_kept`
+/// the pre-edit reduction's edge set (same id space: the task set must
+/// not have changed). `edited_sources` lists the source endpoint of
+/// every inserted or removed edge — the only nodes whose successor
+/// sets changed.
+///
+/// Reachability rows are recomputed bottom-up starting from those
+/// sources and propagate to predecessors only while a row actually
+/// changes; an edge's keep/drop verdict is re-evaluated only when its
+/// source's successor set or some successor's row changed. Everything
+/// else is carried verbatim from the old reduction. Returns the
+/// repaired matrix and the reduced edge set (in `g.edges()` order,
+/// exactly as a full pass would emit it).
+pub fn repair_reduction(
+    g: &TaskGraph,
+    order: &[TaskId],
+    old_reach: &[Vec<u64>],
+    old_kept: &std::collections::HashSet<(usize, usize)>,
+    edited_sources: &[usize],
+) -> (Vec<Vec<u64>>, Vec<(usize, usize)>) {
+    let n = g.n();
+    assert_eq!(old_reach.len(), n);
+    debug_assert!(is_topo_order(g, order));
+    let wds = n.div_ceil(64);
+    let mut reach = old_reach.to_vec();
+    let mut dirty = vec![false; n]; // successor set changed: must recompute
+    for &u in edited_sources {
+        dirty[u] = true;
+    }
+    let mut changed = vec![false; n]; // row differs from the old matrix
+    let mut visited = 0u64;
+    for &t in order.iter().rev() {
+        let u = t.0;
+        if !dirty[u] && !g.succs(t).iter().any(|&s| changed[s.0]) {
+            continue;
+        }
+        visited += 1;
+        let mut row = vec![0u64; wds];
+        row[u / 64] |= 1 << (u % 64);
+        for &s in g.succs(t) {
+            for (x, y) in row.iter_mut().zip(&reach[s.0]) {
+                *x |= *y;
+            }
+        }
+        if row != reach[u] {
+            changed[u] = true;
+            reach[u] = row;
+        }
+    }
+    // Re-evaluate keep/drop only where a verdict input changed.
+    let mut recheck = vec![false; n];
+    for &u in edited_sources {
+        recheck[u] = true;
+    }
+    for t in g.tasks() {
+        if g.succs(t).iter().any(|&s| changed[s.0]) {
+            recheck[t.0] = true;
+        }
+    }
+    let mut kept: Vec<(usize, usize)> = Vec::with_capacity(g.m());
+    for &(u, v) in g.edges() {
+        let keep = if recheck[u.0] {
+            !g.succs(u).iter().any(|&w| w != v && reaches(&reach, w, v))
+        } else {
+            old_kept.contains(&(u.0, v.0))
+        };
+        if keep {
+            kept.push((u.0, v.0));
+        }
+    }
+    crate::profiling::add_cone_nodes(visited);
+    debug_assert_eq!(reach, reachability_ordered(g, order));
+    (reach, kept)
 }
 
 #[cfg(test)]

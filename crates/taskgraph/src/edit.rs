@@ -17,13 +17,19 @@
 //!
 //! * weight-only batches preserve *every* structural cache (topological
 //!   order, shape class, SP tree, transitive reduction) — only the
-//!   critical-path weight must be re-evaluated, and that re-evaluation
-//!   reuses the cached order;
-//! * edge edits drop the shape/SP/reduction caches but keep the
-//!   topological order whenever it is still valid for the edited edge
-//!   set (always, for pure removals);
+//!   completion times must be re-evaluated, by a cone-bounded
+//!   relaxation seeded at the re-weighted tasks;
+//! * edge edits keep the topological order (repaired in place by a
+//!   localized Pearce–Kelly shift when an insertion breaks it) and
+//!   *repair* the SP tree, reduction, and completion times locally
+//!   within the edit's cone, falling back to recomputation only when
+//!   a repair provably cannot apply;
 //! * task additions/removals renumber or extend the id space and drop
 //!   everything.
+//!
+//! To make that possible, [`EditEffect`] carries a touched-region
+//! summary (net edge changes, their endpoint set, re-weighted tasks)
+//! plus the repaired order itself.
 //!
 //! Edits validate exactly like [`TaskGraph::new`]: bad endpoints,
 //! self-loops, non-positive weights, and introduced cycles are
@@ -167,9 +173,13 @@ impl From<GraphError> for EditError {
 
 /// What an applied edit batch can have dirtied — the contract
 /// [`crate::PreparedInstance::apply`] uses to decide which caches
-/// survive. Computed conservatively from the batch alone (plus one
-/// `O(n + m)` order check for edge insertions).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// survive or get locally repaired. Beyond the three coarse flags it
+/// carries a **touched-region summary**: the net edge changes, their
+/// endpoint set (the edit's cone entry points), the re-weighted tasks,
+/// and — when an insertion broke the retained topological order — a
+/// repaired order produced by a localized Pearce–Kelly shift
+/// ([`crate::analysis::repair_topo_order`]) instead of a recompute.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EditEffect {
     /// Every edit was [`GraphEdit::SetWeight`]: the precedence
     /// structure is untouched, so topological order, shape class, SP
@@ -182,6 +192,27 @@ pub struct EditEffect {
     pub topo_preserved: bool,
     /// The task set (and hence the id space) changed.
     pub task_set_changed: bool,
+    /// Net new edges: present in the edited graph, absent from the
+    /// original. Empty when the task set changed (the id spaces are
+    /// not comparable) — local repair does not apply there.
+    pub inserted_edges: Vec<(usize, usize)>,
+    /// Net removed edges: present in the original, absent from the
+    /// edited graph. Empty when the task set changed.
+    pub removed_edges: Vec<(usize, usize)>,
+    /// Deduplicated, sorted endpoint set of every net edge change —
+    /// the entry points of the edit's cone, which bounds every local
+    /// repair pass. Empty for weight-only batches.
+    pub touched: Vec<usize>,
+    /// Tasks whose cost actually changed (net, bitwise). Seeds the
+    /// cone-bounded completion-time relaxation.
+    pub reweighted: Vec<usize>,
+    /// A valid topological order of the edited graph, present exactly
+    /// when the retained order broke (an insertion pointed backwards)
+    /// but the task set is unchanged: the affected window was shifted
+    /// locally rather than recomputed. `None` whenever
+    /// [`EditEffect::topo_preserved`] is true (the old order still
+    /// works) or the task set changed (nothing to repair from).
+    pub repaired_order: Option<Vec<TaskId>>,
 }
 
 /// Apply an edit batch to a graph, returning the edited graph and the
@@ -291,9 +322,48 @@ pub fn apply_edits_ordered(
     }
 
     let edited = TaskGraph::new(weights, &edges)?;
+
+    // Touched-region summary: net edge/weight changes between the two
+    // graphs. Only meaningful while the id space is stable.
+    let (inserted_edges, removed_edges, touched, reweighted) = if task_set_changed {
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new())
+    } else {
+        let old_set: std::collections::HashSet<(usize, usize)> =
+            g.edges().iter().map(|&(u, v)| (u.0, v.0)).collect();
+        let new_set: std::collections::HashSet<(usize, usize)> =
+            edited.edges().iter().map(|&(u, v)| (u.0, v.0)).collect();
+        let ins: Vec<(usize, usize)> = edited
+            .edges()
+            .iter()
+            .map(|&(u, v)| (u.0, v.0))
+            .filter(|e| !old_set.contains(e))
+            .collect();
+        let rem: Vec<(usize, usize)> = g
+            .edges()
+            .iter()
+            .map(|&(u, v)| (u.0, v.0))
+            .filter(|e| !new_set.contains(e))
+            .collect();
+        let mut tch: Vec<usize> = ins.iter().chain(&rem).flat_map(|&(u, v)| [u, v]).collect();
+        tch.sort_unstable();
+        tch.dedup();
+        let rew: Vec<usize> = g
+            .weights()
+            .iter()
+            .zip(edited.weights())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        (ins, rem, tch, rew)
+    };
+
     // An order valid for the old edge set stays valid when edges are
     // only removed or weights change; insertions require a check (the
-    // inserted edge may point "backwards" in the retained order).
+    // inserted edge may point "backwards" in the retained order). When
+    // the check fails, the order is not discarded but repaired by a
+    // localized Pearce–Kelly shift of the affected window.
+    let mut repaired_order = None;
     let topo_preserved = !task_set_changed
         && (!edges_inserted || {
             // Cheap relative to any recomputation the failed carryover
@@ -307,7 +377,14 @@ pub fn apply_edits_ordered(
                     &computed
                 }
             };
-            analysis::is_topo_order(&edited, order)
+            let still_valid = analysis::is_topo_order(&edited, order);
+            if !still_valid {
+                // `order` is valid for the edited graph minus the
+                // inserted edges (removals never break it), which is
+                // exactly what the localized repair needs.
+                repaired_order = Some(analysis::repair_topo_order(&edited, order, &inserted_edges));
+            }
+            still_valid
         });
     Ok((
         edited,
@@ -315,6 +392,11 @@ pub fn apply_edits_ordered(
             weight_only,
             topo_preserved,
             task_set_changed,
+            inserted_edges,
+            removed_edges,
+            touched,
+            reweighted,
+            repaired_order,
         },
     ))
 }
@@ -380,6 +462,42 @@ mod tests {
         let (edited, eff) = apply_edits(&g, &[GraphEdit::InsertEdge { from, to }]).unwrap();
         assert!(!eff.topo_preserved);
         assert_eq!(edited.m(), 3);
+        // …but the effect carries a locally repaired order instead.
+        let repaired = eff.repaired_order.expect("broken order must be repaired");
+        assert!(analysis::is_topo_order(&edited, &repaired));
+    }
+
+    #[test]
+    fn effect_summarizes_touched_region() {
+        let g = diamond();
+        let (_, eff) = apply_edits(
+            &g,
+            &[
+                GraphEdit::RemoveEdge { from: 0, to: 2 },
+                GraphEdit::InsertEdge { from: 1, to: 2 },
+                GraphEdit::SetWeight {
+                    task: 3,
+                    weight: 9.0,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(eff.inserted_edges, vec![(1, 2)]);
+        assert_eq!(eff.removed_edges, vec![(0, 2)]);
+        assert_eq!(eff.touched, vec![0, 1, 2]);
+        assert_eq!(eff.reweighted, vec![3]);
+        // Insert-then-remove of the same edge nets out to nothing.
+        let (_, eff) = apply_edits(
+            &g,
+            &[
+                GraphEdit::InsertEdge { from: 1, to: 2 },
+                GraphEdit::RemoveEdge { from: 1, to: 2 },
+            ],
+        )
+        .unwrap();
+        assert!(eff.inserted_edges.is_empty() && eff.removed_edges.is_empty());
+        assert!(eff.touched.is_empty());
+        assert!(eff.topo_preserved);
     }
 
     #[test]

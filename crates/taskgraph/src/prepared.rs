@@ -31,6 +31,17 @@ struct Caches {
     class: OnceLock<(Shape, Option<SpTree>)>,
     cp_weight: OnceLock<f64>,
     reduced: OnceLock<TaskGraph>,
+    /// Earliest completion times at unit speed (durations = weights):
+    /// the critical-path weight is its maximum, and a cached copy is
+    /// what the cone-bounded relaxation repairs after an edit. Not
+    /// exported by [`PreparedInstance::snapshot`] — it recomputes
+    /// lazily after a restore.
+    ecl: OnceLock<Vec<f64>>,
+    /// Bit-parallel reachability matrix ([`analysis::reachability`]),
+    /// kept so the transitive reduction can be repaired edge-locally
+    /// after a structural edit. Behind an [`Arc`] so weight-only
+    /// carryover is a pointer bump. Not exported by snapshots.
+    reach: OnceLock<Arc<Vec<Vec<u64>>>>,
 }
 
 impl Caches {
@@ -43,15 +54,25 @@ impl Caches {
             .get_or_init(|| structure::classify_with_tree_ordered(g, self.topo(g)))
     }
 
+    fn ecl(&self, g: &TaskGraph) -> &[f64] {
+        self.ecl
+            .get_or_init(|| analysis::earliest_completion_ordered(g, g.weights(), self.topo(g)))
+    }
+
     fn cp_weight(&self, g: &TaskGraph) -> f64 {
         *self
             .cp_weight
-            .get_or_init(|| analysis::makespan_ordered(g, g.weights(), self.topo(g)))
+            .get_or_init(|| self.ecl(g).iter().fold(0.0f64, |a, &b| a.max(b)))
+    }
+
+    fn reach(&self, g: &TaskGraph) -> &Arc<Vec<Vec<u64>>> {
+        self.reach
+            .get_or_init(|| Arc::new(analysis::reachability_ordered(g, self.topo(g))))
     }
 
     fn reduced(&self, g: &TaskGraph) -> &TaskGraph {
         self.reduced
-            .get_or_init(|| analysis::transitive_reduction_ordered(g, self.topo(g)))
+            .get_or_init(|| analysis::transitive_reduction_with_reach(g, self.reach(g)))
     }
 }
 
@@ -198,40 +219,60 @@ impl PreparedInstance {
     }
 
     /// Eagerly fill every cache (topological order, classification,
-    /// critical path, transitive reduction), so subsequent solves
-    /// through [`Self::view`] pay zero analysis cost. Returns `self`
-    /// for chaining.
+    /// completion times / critical path, reachability, transitive
+    /// reduction), so subsequent solves through [`Self::view`] pay
+    /// zero analysis cost — and subsequent [`Self::apply`] calls can
+    /// repair every analysis locally. Returns `self` for chaining.
     pub fn warm(&self) -> &Self {
         let v = self.view();
         v.topo();
         let _ = v.sp_tree();
+        // Fill ecl/reach explicitly: a snapshot-restored instance may
+        // carry cp_weight/reduced without them, and the repair layer
+        // needs both.
+        let _ = self.caches.ecl(&self.g);
         v.critical_path_weight();
+        let _ = self.caches.reach(&self.g);
         v.reduced();
         self
     }
 
     /// Apply an edit batch, producing a **new** prepared instance that
-    /// keeps every analysis cache the edits cannot have dirtied
-    /// (copy-on-write: `self` and anything sharing its caches are
-    /// untouched, so a daemon can patch an instance other requests are
-    /// still solving against).
+    /// keeps every analysis cache the edits cannot have dirtied and
+    /// **locally repairs** the ones they did (copy-on-write: `self`
+    /// and anything sharing its caches are untouched, so a daemon can
+    /// patch an instance other requests are still solving against).
     ///
-    /// Cache carryover, by edit class (see [`crate::edit::EditEffect`]):
+    /// Cache carryover and repair, by edit class (see
+    /// [`crate::edit::EditEffect`]):
     ///
     /// * **weight-only** ([`GraphEdit::SetWeight`] throughout) — the
-    ///   topological order, shape class, SP tree, and transitive
-    ///   reduction all survive (the reduction's weights are refreshed
-    ///   without re-running the reduction); only the critical-path
-    ///   weight is re-evaluated, lazily, against the carried order;
-    /// * **edge edits** — shape/SP/reduction drop; the topological
-    ///   order survives whenever it is still valid for the edited edge
-    ///   set (always, for pure removals);
+    ///   topological order, shape class, SP tree, reachability, and
+    ///   transitive reduction all survive (the reduction's weights are
+    ///   refreshed without re-running the reduction); completion times
+    ///   and the critical path are repaired by a cone-bounded
+    ///   relaxation seeded at the re-weighted tasks;
+    /// * **edge edits** — every analysis is repaired within the edit's
+    ///   cone: the topological order survives or is shifted locally
+    ///   (Pearce–Kelly, [`analysis::repair_topo_order`]); the SP tree
+    ///   is spliced ([`SpTree::splice`]: only the subtree spanning the
+    ///   touched edge rebuilds); reachability and the transitive
+    ///   reduction are repaired edge-locally
+    ///   ([`analysis::repair_reduction`]); completion times relax
+    ///   within the cone. A cache whose repair provably cannot apply
+    ///   (e.g. the splice fails) is dropped and recomputes lazily —
+    ///   repair can cost a fallback, never correctness;
     /// * **task additions/removals** — the id space changed; nothing
     ///   survives.
     ///
-    /// The once-only promise is observable through
-    /// [`crate::profiling`]: a weight-only patch followed by a solve
-    /// recomputes **zero** structural analyses.
+    /// The repaired analyses are **identical** to what a from-scratch
+    /// rebuild computes (the reduction is unique, completion times are
+    /// exact maxima, the spliced tree re-verifies against the edited
+    /// edge set), so solves against a patched instance are bit-equal
+    /// to solves against a rebuilt one. The once-only promise stays
+    /// observable through [`crate::profiling`]: a patch followed by a
+    /// solve recomputes **zero** full structural analyses, and
+    /// `cone_nodes` accounts how far each repair actually reached.
     ///
     /// ```
     /// use std::sync::Arc;
@@ -246,10 +287,10 @@ impl PreparedInstance {
     ///     .apply(&[GraphEdit::SetWeight { task: 1, weight: 5.0 }])
     ///     .unwrap();
     /// assert_eq!(patched.graph().weights()[1], 5.0);
-    /// // Critical path re-evaluates against the carried topo order…
+    /// // Critical path was repaired within the edit's cone…
     /// assert_eq!(patched.view().critical_path_weight(), 10.0);
     /// assert_eq!(patched.view().shape(), inst.view().shape());
-    /// // …and no structural analysis ran again.
+    /// // …and no full analysis pass ran again.
     /// let delta = profiling::counts() - before;
     /// assert_eq!(delta.topo_order, 0);
     /// assert_eq!(delta.classify, 0);
@@ -263,30 +304,106 @@ impl PreparedInstance {
         let cached_order = self.caches.topo.get().map(Vec::as_slice);
         let (edited, effect) = edit::apply_edits_ordered(&self.g, edits, cached_order)?;
         let caches = Caches::default();
-        if effect.weight_only {
-            if let Some(t) = self.caches.topo.get() {
-                let _ = caches.topo.set(t.clone());
+        if !effect.task_set_changed {
+            // — topological order: carried, or already locally
+            //   repaired by the edit layer.
+            let order: Option<Vec<TaskId>> = if effect.topo_preserved {
+                self.caches.topo.get().cloned()
+            } else {
+                effect.repaired_order
+            };
+
+            // — completion times / critical path: cone-bounded forward
+            //   relaxation seeded at re-weighted tasks and the targets
+            //   of changed edges.
+            if let (Some(order), Some(old_ecl)) = (&order, self.caches.ecl.get()) {
+                let mut seeds: Vec<usize> = effect.reweighted.clone();
+                seeds.extend(
+                    effect
+                        .inserted_edges
+                        .iter()
+                        .chain(&effect.removed_edges)
+                        .map(|&(_, v)| v),
+                );
+                seeds.sort_unstable();
+                seeds.dedup();
+                let ecl = analysis::repair_earliest_completion(
+                    &edited,
+                    edited.weights(),
+                    order,
+                    old_ecl,
+                    &seeds,
+                );
+                let cp = ecl.iter().fold(0.0f64, |a, &b| a.max(b));
+                let _ = caches.ecl.set(ecl);
+                let _ = caches.cp_weight.set(cp);
             }
-            if let Some(c) = self.caches.class.get() {
-                let _ = caches.class.set(c.clone());
+
+            if effect.weight_only {
+                // Structure untouched: classification, reachability,
+                // and the reduced edge set survive verbatim (the
+                // reduction's weights are refreshed without re-running
+                // the reduction — TaskGraph::new is plain construction,
+                // no profiling bump).
+                if let Some(c) = self.caches.class.get() {
+                    let _ = caches.class.set(c.clone());
+                }
+                if let Some(r) = self.caches.reach.get() {
+                    let _ = caches.reach.set(Arc::clone(r));
+                }
+                if let Some(r) = self.caches.reduced.get() {
+                    let redges: Vec<(usize, usize)> =
+                        r.edges().iter().map(|&(u, v)| (u.0, v.0)).collect();
+                    let refreshed = TaskGraph::new(edited.weights().to_vec(), &redges)
+                        .expect("reduction of a DAG stays a valid DAG under new weights");
+                    let _ = caches.reduced.set(refreshed);
+                }
+            } else if let Some(order) = &order {
+                // — classification: a cheap specific shape decides
+                //   outright (keeping the verdict identical to a fresh
+                //   classify); otherwise splice the SP tree around the
+                //   touched region. A miss drops the cache.
+                if let Some(s) = structure::specific_shape(&edited) {
+                    let _ = caches.class.set((s, None));
+                } else if let Some((Shape::SeriesParallel, Some(tree))) = self.caches.class.get() {
+                    let touched: Vec<TaskId> = effect.touched.iter().map(|&i| TaskId(i)).collect();
+                    if let Some(repaired) = tree.splice(&edited, order, &touched) {
+                        let _ = caches.class.set((Shape::SeriesParallel, Some(repaired)));
+                    }
+                }
+
+                // — reachability + transitive reduction: edge-local
+                //   repair from the cached matrix (bootstrapped
+                //   quietly from the pre-edit graph when a restored
+                //   instance carries the reduction without it).
+                let reach_base: Option<Arc<Vec<Vec<u64>>>> =
+                    self.caches.reach.get().cloned().or_else(|| {
+                        let old_order = self.caches.topo.get()?;
+                        self.caches.reduced.get()?;
+                        Some(Arc::new(analysis::reachability_ordered(&self.g, old_order)))
+                    });
+                if let (Some(reach0), Some(red0)) = (reach_base, self.caches.reduced.get()) {
+                    let old_kept: std::collections::HashSet<(usize, usize)> =
+                        red0.edges().iter().map(|&(u, v)| (u.0, v.0)).collect();
+                    let mut sources: Vec<usize> = effect
+                        .inserted_edges
+                        .iter()
+                        .chain(&effect.removed_edges)
+                        .map(|&(u, _)| u)
+                        .collect();
+                    sources.sort_unstable();
+                    sources.dedup();
+                    let (reach, kept) =
+                        analysis::repair_reduction(&edited, order, &reach0, &old_kept, &sources);
+                    let _ = caches.reach.set(Arc::new(reach));
+                    let repaired = TaskGraph::new(edited.weights().to_vec(), &kept)
+                        .expect("repaired reduction of a DAG is a valid DAG");
+                    let _ = caches.reduced.set(repaired);
+                }
             }
-            if let Some(r) = self.caches.reduced.get() {
-                // The reduced *edge set* is weight-independent; rebuild
-                // it over the new weights without re-running the
-                // reduction (TaskGraph::new is plain construction — no
-                // profiling bump).
-                let redges: Vec<(usize, usize)> =
-                    r.edges().iter().map(|&(u, v)| (u.0, v.0)).collect();
-                let refreshed = TaskGraph::new(edited.weights().to_vec(), &redges)
-                    .expect("reduction of a DAG stays a valid DAG under new weights");
-                let _ = caches.reduced.set(refreshed);
-            }
-            // cp_weight is deliberately dropped: it depends on the
-            // weights. Its lazy recomputation reuses the carried topo
-            // order, so it costs one O(n + m) pass, not a re-analysis.
-        } else if !effect.task_set_changed && effect.topo_preserved {
-            if let Some(t) = self.caches.topo.get() {
-                let _ = caches.topo.set(t.clone());
+
+            if let Some(order) = order {
+                let _ = caches.topo.set(order);
             }
         }
         Ok(PreparedInstance {
@@ -380,6 +497,12 @@ impl PreparedInstance {
         }
         if let Some(r) = self.caches.reduced.get() {
             total += graph_bytes(r);
+        }
+        if let Some(e) = self.caches.ecl.get() {
+            total += 8 * e.len();
+        }
+        if let Some(r) = self.caches.reach.get() {
+            total += r.len() * (24 + 8 * r.first().map_or(0, Vec::len));
         }
         total + std::mem::size_of::<Self>()
     }
@@ -510,7 +633,7 @@ mod tests {
     }
 
     #[test]
-    fn edge_removal_keeps_topo_drops_structure() {
+    fn edge_removal_repairs_structure_locally() {
         let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
         let inst = PreparedInstance::new(Arc::new(g));
         inst.warm();
@@ -519,15 +642,101 @@ mod tests {
             .apply(&[GraphEdit::RemoveEdge { from: 0, to: 2 }])
             .unwrap();
         let _ = patched.view().topo();
+        // Removing 0→2 leaves 0→1→3 ← 2: an in-tree. The cheap shape
+        // cascade decides — no classify pass, no SP recognition — and
+        // the reduction is repaired from the cached reachability.
+        assert_eq!(patched.view().shape(), Shape::InTree);
+        assert_eq!(patched.view().reduced().m(), 3);
+        // Longest path is now 0→1→3 (1 + 2 + 4).
+        assert_eq!(patched.view().critical_path_weight(), 7.0);
         let delta = profiling::counts() - before;
         assert_eq!(delta.topo_order, 0, "old order is valid after removal");
-        // Structure caches were dropped: using them recomputes.
-        let _ = patched.view().shape();
+        assert_eq!(delta.classify, 0, "shape decided without a classify pass");
+        assert_eq!(delta.sp_from_graph, 0);
+        assert_eq!(delta.transitive_reduction, 0, "reduction repaired locally");
+        // The repaired caches agree with a from-scratch analysis.
+        let fresh = PreparedGraph::new(patched.graph());
+        assert_eq!(patched.view().shape(), fresh.shape());
+        assert_eq!(patched.view().reduced().edges(), fresh.reduced().edges());
+        assert_eq!(
+            patched.view().critical_path_weight(),
+            fresh.critical_path_weight()
+        );
+    }
+
+    #[test]
+    fn sp_preserving_edit_splices_tree() {
+        // Two diamond blocks in series:
+        //   0 → {1,2} → 3 → {4,5} → 6
+        // Convert the second block's parallel pair to a series chain
+        // (remove 3→5 and 4→6, insert 4→5): still series–parallel,
+        // with the same region interface — the splice rebuilds only
+        // the second block's subtree.
+        let g = crate::TaskGraph::new(
+            vec![1.0; 7],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+            ],
+        )
+        .unwrap();
+        let inst = PreparedInstance::new(Arc::new(g));
+        inst.warm();
+        assert_eq!(inst.view().shape(), Shape::SeriesParallel);
+        let before = profiling::counts();
+        let patched = inst
+            .apply(&[
+                GraphEdit::RemoveEdge { from: 3, to: 5 },
+                GraphEdit::RemoveEdge { from: 4, to: 6 },
+                GraphEdit::InsertEdge { from: 4, to: 5 },
+            ])
+            .unwrap();
+        assert_eq!(patched.view().shape(), Shape::SeriesParallel);
+        let delta = profiling::counts() - before;
+        assert_eq!(delta.sp_splice, 1, "the tree was spliced");
+        assert_eq!(delta.sp_splice_miss, 0);
+        assert_eq!(delta.classify, 0, "no classify pass ran");
+        assert_eq!(delta.sp_from_graph, 0, "no full SP recognition ran");
+        assert_eq!(delta.transitive_reduction, 0);
+        assert_eq!(delta.topo_order, 0);
+        assert!(delta.cone_nodes > 0, "repairs account their cone");
+        // The spliced tree is exactly what a fresh recognition builds.
+        let fresh = PreparedGraph::new(patched.graph());
+        assert_eq!(patched.view().sp_tree(), fresh.sp_tree());
+        assert_eq!(patched.view().reduced().edges(), fresh.reduced().edges());
+        assert_eq!(
+            patched.view().critical_path_weight(),
+            fresh.critical_path_weight()
+        );
+    }
+
+    #[test]
+    fn sp_breaking_edit_falls_back_lazily() {
+        let g = generators::diamond([1.0, 2.0, 3.0, 4.0]);
+        let inst = PreparedInstance::new(Arc::new(g));
+        inst.warm();
+        let before = profiling::counts();
+        // 1→2 makes 0→2 and the new path transitive: node-SP breaks.
+        let patched = inst
+            .apply(&[GraphEdit::InsertEdge { from: 1, to: 2 }])
+            .unwrap();
+        let _ = patched.view().topo();
         let _ = patched.view().reduced();
         let delta = profiling::counts() - before;
-        assert_eq!(delta.classify, 1);
-        assert_eq!(delta.transitive_reduction, 1);
-        assert_eq!(delta.topo_order, 0, "recomputation reuses carried order");
+        assert_eq!(delta.sp_splice_miss, 1, "splice correctly refuses");
+        assert_eq!(delta.topo_order, 0);
+        assert_eq!(delta.transitive_reduction, 0, "reduction repaired locally");
+        // The classification dropped and recomputes lazily — matching
+        // a fresh analysis — while order/reduction stayed repaired.
+        let fresh = PreparedGraph::new(patched.graph());
+        assert_eq!(patched.view().shape(), fresh.shape());
+        assert_eq!(patched.view().reduced().edges(), fresh.reduced().edges());
     }
 
     #[test]

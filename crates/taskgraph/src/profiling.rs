@@ -18,6 +18,9 @@ thread_local! {
     static CLASSIFY: Cell<u64> = const { Cell::new(0) };
     static SP_FROM_GRAPH: Cell<u64> = const { Cell::new(0) };
     static TRANSITIVE_REDUCTION: Cell<u64> = const { Cell::new(0) };
+    static SP_SPLICE: Cell<u64> = const { Cell::new(0) };
+    static SP_SPLICE_MISS: Cell<u64> = const { Cell::new(0) };
+    static CONE_NODES: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Snapshot of this thread's analysis-pass call counts.
@@ -35,6 +38,21 @@ pub struct Counts {
     /// promises weight-only edits never re-run the reduction; this
     /// counter makes that assertable.
     pub transitive_reduction: u64,
+    /// Successful [`crate::SpTree::splice`] calls: a structural edit
+    /// repaired the SP decomposition by rebuilding only the subtree
+    /// spanning the touched edge, with no full recognition pass.
+    pub sp_splice: u64,
+    /// Failed [`crate::SpTree::splice`] calls: the local rebuild or
+    /// its composition re-verification failed, and the caller must
+    /// fall back to full recognition (accounted under
+    /// [`Counts::sp_from_graph`] when it runs).
+    pub sp_splice_miss: u64,
+    /// Total nodes visited by every cone-bounded repair pass
+    /// (localized topological-order shifts, bounded completion-time
+    /// relaxation, reachability/reduction row repair, splice region
+    /// rebuilds). Bounding this is how tests prove a repair stayed
+    /// local instead of silently degrading to a full pass.
+    pub cone_nodes: u64,
 }
 
 impl std::ops::Sub for Counts {
@@ -45,6 +63,9 @@ impl std::ops::Sub for Counts {
             classify: self.classify - rhs.classify,
             sp_from_graph: self.sp_from_graph - rhs.sp_from_graph,
             transitive_reduction: self.transitive_reduction - rhs.transitive_reduction,
+            sp_splice: self.sp_splice - rhs.sp_splice,
+            sp_splice_miss: self.sp_splice_miss - rhs.sp_splice_miss,
+            cone_nodes: self.cone_nodes - rhs.cone_nodes,
         }
     }
 }
@@ -56,6 +77,9 @@ pub fn counts() -> Counts {
         classify: CLASSIFY.with(Cell::get),
         sp_from_graph: SP_FROM_GRAPH.with(Cell::get),
         transitive_reduction: TRANSITIVE_REDUCTION.with(Cell::get),
+        sp_splice: SP_SPLICE.with(Cell::get),
+        sp_splice_miss: SP_SPLICE_MISS.with(Cell::get),
+        cone_nodes: CONE_NODES.with(Cell::get),
     }
 }
 
@@ -73,6 +97,18 @@ pub(crate) fn bump_sp_from_graph() {
 
 pub(crate) fn bump_transitive_reduction() {
     TRANSITIVE_REDUCTION.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn bump_sp_splice() {
+    SP_SPLICE.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn bump_sp_splice_miss() {
+    SP_SPLICE_MISS.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn add_cone_nodes(n: u64) {
+    CONE_NODES.with(|c| c.set(c.get() + n));
 }
 
 #[cfg(test)]

@@ -112,23 +112,8 @@ pub fn classify_with_tree_ordered(g: &TaskGraph, order: &[TaskId]) -> (Shape, Op
 
 fn classify_inner(g: &TaskGraph, order: Option<&[TaskId]>) -> (Shape, Option<SpTree>) {
     crate::profiling::bump_classify();
-    if g.n() == 1 {
-        return (Shape::Single, None);
-    }
-    if is_chain(g) {
-        return (Shape::Chain, None);
-    }
-    if is_fork(g) {
-        return (Shape::Fork, None);
-    }
-    if is_join(g) {
-        return (Shape::Join, None);
-    }
-    if is_out_tree(g) {
-        return (Shape::OutTree, None);
-    }
-    if is_in_tree(g) {
-        return (Shape::InTree, None);
+    if let Some(s) = specific_shape(g) {
+        return (s, None);
     }
     let tree = match order {
         Some(o) => SpTree::from_graph_ordered(g, o),
@@ -138,6 +123,33 @@ fn classify_inner(g: &TaskGraph, order: Option<&[TaskId]>) -> (Shape, Option<SpT
         return (Shape::SeriesParallel, Some(tree));
     }
     (Shape::General, None)
+}
+
+/// The cheap (pre-SP) portion of [`classify`]: the most specific
+/// shape among single/chain/fork/join/tree, or `None` when only the
+/// expensive series–parallel recognition could decide further.
+/// `O(n + m)`, counter-free — the edit layer's local repair uses it
+/// to keep a carried classification bit-identical to a fresh one.
+pub fn specific_shape(g: &TaskGraph) -> Option<Shape> {
+    if g.n() == 1 {
+        return Some(Shape::Single);
+    }
+    if is_chain(g) {
+        return Some(Shape::Chain);
+    }
+    if is_fork(g) {
+        return Some(Shape::Fork);
+    }
+    if is_join(g) {
+        return Some(Shape::Join);
+    }
+    if is_out_tree(g) {
+        return Some(Shape::OutTree);
+    }
+    if is_in_tree(g) {
+        return Some(Shape::InTree);
+    }
+    None
 }
 
 #[cfg(test)]

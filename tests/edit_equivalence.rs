@@ -8,6 +8,12 @@
 //!    followed by a solve recomputes *zero* structural analyses
 //!    (topological order, classification, SP recognition, transitive
 //!    reduction), observable through `taskgraph::profiling`.
+//! 3. **structural edits repair, not rebuild** — a chain of random
+//!    edge insertions/removals never re-derives the topological order
+//!    or re-runs the transitive reduction, and re-recognizes SP
+//!    structure at most once per splice miss — while every analysis
+//!    and every model's solve stays bit-identical to a from-scratch
+//!    rebuild.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -85,6 +91,40 @@ fn random_edits(g: &TaskGraph, k: usize, rng: &mut StdRng) -> Vec<GraphEdit> {
                 task: rng.gen_range(0..n),
             },
             _ => continue,
+        };
+        match apply_edits(&cur, std::slice::from_ref(&candidate)) {
+            Ok((next, _)) => {
+                cur = next;
+                edits.push(candidate);
+            }
+            Err(e) => panic!("constructed edit must be valid: {candidate:?}: {e}"),
+        }
+    }
+    edits
+}
+
+/// A random chain of `k` *structural* (edge-only) edits, each valid
+/// for the graph as left by its predecessors — insertions follow the
+/// current topological order, so they never introduce cycles.
+fn random_structural_edits(g: &TaskGraph, k: usize, rng: &mut StdRng) -> Vec<GraphEdit> {
+    let mut cur = g.clone();
+    let mut edits = Vec::with_capacity(k);
+    for _ in 0..k {
+        let order = analysis::topo_order_quiet(&cur);
+        let n = cur.n();
+        let candidate = if cur.m() > 0 && rng.gen_bool(0.5) {
+            let (u, v) = cur.edges()[rng.gen_range(0..cur.m())];
+            GraphEdit::RemoveEdge {
+                from: u.index(),
+                to: v.index(),
+            }
+        } else {
+            let i = rng.gen_range(0..n - 1);
+            let j = rng.gen_range(i + 1..n);
+            GraphEdit::InsertEdge {
+                from: order[i].index(),
+                to: order[j].index(),
+            }
         };
         match apply_edits(&cur, std::slice::from_ref(&candidate)) {
             Ok((next, _)) => {
@@ -206,5 +246,84 @@ proptest! {
         solve_all(&patched);
         let patched_delta = profiling::counts() - before;
         prop_assert_eq!(patched_delta, baseline, "edit must add zero analysis passes");
+    }
+
+    /// Structural (edge-only) chains are *repaired*, not rebuilt:
+    /// walking the chain one apply at a time (re-warming each step)
+    /// never re-derives the topological order, never re-runs the
+    /// transitive reduction, attempts at most one SP splice per step,
+    /// and re-runs full SP recognition only for steps whose class was
+    /// dropped — yet every carried analysis and every model's energy
+    /// is bit-identical to a from-scratch rebuild.
+    #[test]
+    fn structural_chains_repair_locally(seed in any::<u64>(), k in 1usize..6) {
+        let g = base_graph(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0de);
+        let edits = random_structural_edits(&g, k, &mut rng);
+
+        let inst = PreparedInstance::new(Arc::new(g.clone()));
+        inst.warm();
+
+        // Walk the chain, forcing every lazy recompute inside the
+        // measured window so each step is charged its full cost.
+        let before = profiling::counts();
+        let mut cur = inst;
+        for e in &edits {
+            cur = cur.apply(std::slice::from_ref(e)).unwrap();
+            cur.warm();
+        }
+        let delta = profiling::counts() - before;
+
+        // Counter upper bounds — the heart of the repair contract.
+        prop_assert_eq!(delta.topo_order, 0, "order is carried or window-shifted, never re-derived");
+        prop_assert_eq!(delta.transitive_reduction, 0, "the reduction is repaired edge-locally");
+        prop_assert!(
+            delta.sp_splice + delta.sp_splice_miss <= k as u64,
+            "at most one splice attempt per step: {} + {} > {}",
+            delta.sp_splice, delta.sp_splice_miss, k
+        );
+        prop_assert!(
+            delta.classify + delta.sp_splice <= k as u64,
+            "a spliced step must not also re-classify: {} + {} > {}",
+            delta.classify, delta.sp_splice, k
+        );
+        prop_assert!(
+            delta.sp_from_graph <= delta.classify,
+            "full SP recognition only inside a lazy re-classification: {} > {}",
+            delta.sp_from_graph, delta.classify
+        );
+
+        // apply ≡ rebuild, bit for bit. (All comparisons run after the
+        // delta above — building the fresh twin bumps the same
+        // thread-local counters.)
+        let (rebuilt, _) = apply_edits(&g, &edits).unwrap();
+        prop_assert_eq!(cur.graph(), &rebuilt);
+        let fresh = PreparedInstance::new(Arc::new(rebuilt.clone()));
+        let (pv, fv) = (cur.view(), fresh.view());
+        prop_assert_eq!(pv.topo(), fv.topo());
+        prop_assert_eq!(pv.shape(), fv.shape());
+        prop_assert_eq!(pv.sp_tree(), fv.sp_tree());
+        prop_assert_eq!(
+            pv.critical_path_weight().to_bits(),
+            fv.critical_path_weight().to_bits(),
+            "repaired critical path must be bitwise-stable"
+        );
+        prop_assert_eq!(pv.reduced().edges(), fv.reduced().edges());
+
+        let engine = Engine::new(P).threads(1);
+        for model in all_models() {
+            let d = match model.top_speed() {
+                Some(s) => 1.5 * analysis::critical_path_weight(&rebuilt) / s,
+                None => analysis::critical_path_weight(&rebuilt),
+            };
+            let via_apply = engine.solve(&cur.view(), &model, d).unwrap();
+            let via_rebuild = engine.solve(&fresh.view(), &model, d).unwrap();
+            prop_assert_eq!(via_apply.algorithm, via_rebuild.algorithm);
+            prop_assert_eq!(
+                via_apply.energy.to_bits(),
+                via_rebuild.energy.to_bits(),
+                "model {}: {} vs {}", model.name(), via_apply.energy, via_rebuild.energy
+            );
+        }
     }
 }
